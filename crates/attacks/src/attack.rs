@@ -1,0 +1,183 @@
+//! The [`Attack`] trait and the context handed to Byzantine workers.
+
+use krum_tensor::Vector;
+use thiserror::Error;
+
+/// Errors raised by attack strategies.
+#[derive(Debug, Clone, PartialEq, Error)]
+pub enum AttackError {
+    /// The attack was configured with invalid parameters.
+    #[error("invalid attack configuration for `{attack}`: {message}")]
+    BadConfig {
+        /// Attack that rejected the configuration.
+        attack: &'static str,
+        /// Explanation of the rejection.
+        message: String,
+    },
+    /// The context was unusable (e.g. no honest proposals to observe, or a
+    /// dimension mismatch between context fields).
+    #[error("unusable attack context for `{attack}`: {message}")]
+    BadContext {
+        /// Attack that rejected the context.
+        attack: &'static str,
+        /// Explanation of the rejection.
+        message: String,
+    },
+}
+
+impl AttackError {
+    /// Convenience constructor for [`AttackError::BadConfig`].
+    pub fn config(attack: &'static str, message: impl Into<String>) -> Self {
+        Self::BadConfig {
+            attack,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`AttackError::BadContext`].
+    pub fn context(attack: &'static str, message: impl Into<String>) -> Self {
+        Self::BadContext {
+            attack,
+            message: message.into(),
+        }
+    }
+}
+
+/// Everything the (omniscient, colluding) Byzantine workers observe in one
+/// round before choosing their proposals.
+#[derive(Debug, Clone)]
+pub struct AttackContext<'a> {
+    /// The proposals of the correct workers this round, in worker order.
+    pub honest_proposals: &'a [Vector],
+    /// The parameter vector `x_t` the server broadcast this round.
+    pub current_params: &'a Vector,
+    /// The true gradient `∇Q(x_t)` when analytically available.
+    pub true_gradient: Option<&'a Vector>,
+    /// Number of Byzantine workers (how many vectors to forge).
+    pub byzantine_count: usize,
+    /// Total number of workers `n` (honest + Byzantine).
+    pub total_workers: usize,
+    /// Round index `t`.
+    pub round: usize,
+    /// Name of the aggregation rule in use (Byzantine workers know `F`).
+    pub aggregator_name: &'a str,
+}
+
+impl<'a> AttackContext<'a> {
+    /// Dimension of the parameter/gradient space.
+    pub fn dim(&self) -> usize {
+        self.current_params.dim()
+    }
+
+    /// Mean of the honest proposals, or `None` if there are none.
+    pub fn honest_mean(&self) -> Option<Vector> {
+        Vector::mean_of(self.honest_proposals).ok()
+    }
+
+    /// The best estimate of the gradient available to the adversary: the true
+    /// gradient when known, otherwise the honest mean, otherwise `None`.
+    pub fn gradient_estimate(&self) -> Option<Vector> {
+        self.true_gradient
+            .cloned()
+            .or_else(|| self.honest_mean())
+    }
+}
+
+/// A Byzantine strategy: given full knowledge of the round, produce the
+/// vectors the `f` Byzantine workers propose.
+///
+/// Implementations must return exactly `ctx.byzantine_count` vectors of
+/// dimension `ctx.dim()`.
+pub trait Attack: Send + Sync {
+    /// Forges the Byzantine proposals for this round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] when the context is unusable for this strategy.
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError>;
+
+    /// Human-readable attack name (shown in experiment tables).
+    fn name(&self) -> String;
+}
+
+impl<A: Attack + ?Sized> Attack for &A {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        (**self).forge(ctx, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<A: Attack + ?Sized> Attack for Box<A> {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        (**self).forge(ctx, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context<'a>(
+        honest: &'a [Vector],
+        params: &'a Vector,
+        grad: Option<&'a Vector>,
+    ) -> AttackContext<'a> {
+        AttackContext {
+            honest_proposals: honest,
+            current_params: params,
+            true_gradient: grad,
+            byzantine_count: 2,
+            total_workers: honest.len() + 2,
+            round: 0,
+            aggregator_name: "krum",
+        }
+    }
+
+    #[test]
+    fn context_helpers() {
+        let honest = vec![Vector::from(vec![1.0, 3.0]), Vector::from(vec![3.0, 5.0])];
+        let params = Vector::zeros(2);
+        let grad = Vector::from(vec![9.0, 9.0]);
+        let ctx = context(&honest, &params, Some(&grad));
+        assert_eq!(ctx.dim(), 2);
+        assert_eq!(ctx.honest_mean().unwrap().as_slice(), &[2.0, 4.0]);
+        assert_eq!(ctx.gradient_estimate().unwrap(), grad);
+
+        let ctx = context(&honest, &params, None);
+        assert_eq!(ctx.gradient_estimate().unwrap().as_slice(), &[2.0, 4.0]);
+
+        let empty: Vec<Vector> = vec![];
+        let ctx = context(&empty, &params, None);
+        assert!(ctx.honest_mean().is_none());
+        assert!(ctx.gradient_estimate().is_none());
+    }
+
+    #[test]
+    fn error_constructors_and_display() {
+        let e = AttackError::config("collusion", "magnitude must be positive");
+        assert!(e.to_string().contains("collusion"));
+        let e = AttackError::context("sign-flip", "no honest proposals");
+        assert!(e.to_string().contains("sign-flip"));
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

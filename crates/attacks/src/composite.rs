@@ -1,0 +1,307 @@
+//! Composite and adaptive attack strategies (extensions).
+//!
+//! The paper's adversary is static within a run; these extensions explore two
+//! stronger behaviours the follow-up literature studies: switching strategies
+//! over time, and adapting the attack magnitude to Krum's selection radius so
+//! the forged vectors remain plausible enough to be selected.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{Attack, AttackContext, AttackError};
+
+/// Runs a different inner attack depending on the round number, cycling
+/// through the provided schedule. Useful for testing that an aggregation rule
+/// does not merely adapt to a single stationary adversary.
+pub struct Alternating {
+    attacks: Vec<Box<dyn Attack>>,
+    period: usize,
+}
+
+impl Alternating {
+    /// Creates an alternating attack that switches to the next inner attack
+    /// every `period` rounds, cycling through `attacks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] when `attacks` is empty or `period`
+    /// is zero.
+    pub fn new(attacks: Vec<Box<dyn Attack>>, period: usize) -> Result<Self, AttackError> {
+        if attacks.is_empty() {
+            return Err(AttackError::config(
+                "alternating",
+                "at least one inner attack is required",
+            ));
+        }
+        if period == 0 {
+            return Err(AttackError::config("alternating", "period must be >= 1"));
+        }
+        Ok(Self { attacks, period })
+    }
+
+    /// Number of inner attacks in the cycle.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// Returns `true` when no inner attacks are configured (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+
+    /// Which inner attack is active on `round`.
+    fn active_index(&self, round: usize) -> usize {
+        (round / self.period) % self.attacks.len()
+    }
+}
+
+impl Attack for Alternating {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        self.attacks[self.active_index(ctx.round)].forge(ctx, rng)
+    }
+
+    fn name(&self) -> String {
+        let inner: Vec<String> = self.attacks.iter().map(|a| a.name()).collect();
+        format!("alternating[{}]", inner.join(","))
+    }
+}
+
+impl std::fmt::Debug for Alternating {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Alternating")
+            .field("attacks", &self.name())
+            .field("period", &self.period)
+            .finish()
+    }
+}
+
+/// A Krum-aware stealth attack: instead of proposing wildly remote vectors
+/// (which Krum's neighbour scoring discards), the coalition proposes the
+/// honest mean **shifted against the descent direction by a fraction of the
+/// honest spread**. The forged vectors therefore sit inside or near the honest
+/// cloud — close enough to be selected occasionally — while consistently
+/// biasing the update away from the true gradient.
+///
+/// The `aggressiveness` parameter is the shift expressed in multiples of the
+/// honest proposals' root-mean-square deviation from their mean: small values
+/// are stealthy, large values degenerate into a sign-flip-like attack that
+/// Krum filters out again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KrumAware {
+    aggressiveness: f64,
+}
+
+impl KrumAware {
+    /// Creates the attack with the given aggressiveness (in units of the
+    /// honest spread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `aggressiveness` is positive
+    /// and finite.
+    pub fn new(aggressiveness: f64) -> Result<Self, AttackError> {
+        if !(aggressiveness > 0.0 && aggressiveness.is_finite()) {
+            return Err(AttackError::config(
+                "krum-aware",
+                "aggressiveness must be positive and finite",
+            ));
+        }
+        Ok(Self { aggressiveness })
+    }
+
+    /// The configured shift, in multiples of the honest spread.
+    pub fn aggressiveness(&self) -> f64 {
+        self.aggressiveness
+    }
+}
+
+impl Attack for KrumAware {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let honest = ctx.honest_proposals;
+        let mean = ctx
+            .honest_mean()
+            .ok_or_else(|| AttackError::context("krum-aware", "no honest proposals to observe"))?;
+        // Root-mean-square deviation of the honest proposals from their mean —
+        // the radius of the cloud Krum implicitly trusts.
+        let spread = if honest.len() > 1 {
+            (honest
+                .iter()
+                .map(|v| v.squared_distance(&mean))
+                .sum::<f64>()
+                / honest.len() as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        // Shift against the best gradient estimate available to the adversary.
+        let direction = ctx
+            .gradient_estimate()
+            .and_then(|g| g.normalized())
+            .unwrap_or_else(|| Vector::zeros(ctx.dim()));
+        let mut forged = mean;
+        forged.axpy(-self.aggressiveness * spread, &direction);
+        Ok(vec![forged; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "krum-aware".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{GaussianNoise, SignFlip};
+    use krum_core::{Aggregator, Krum};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn honest_cloud(count: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut v = Vector::filled(dim, 1.0);
+                v.axpy(1.0, &Vector::gaussian(dim, 0.0, 0.2, &mut rng));
+                v
+            })
+            .collect()
+    }
+
+    fn ctx<'a>(honest: &'a [Vector], params: &'a Vector, f: usize, round: usize) -> AttackContext<'a> {
+        AttackContext {
+            honest_proposals: honest,
+            current_params: params,
+            true_gradient: None,
+            byzantine_count: f,
+            total_workers: honest.len() + f,
+            round,
+            aggregator_name: "krum",
+        }
+    }
+
+    #[test]
+    fn alternating_validation_and_cycling() {
+        assert!(Alternating::new(vec![], 5).is_err());
+        assert!(Alternating::new(vec![Box::new(SignFlip::new(1.0).unwrap())], 0).is_err());
+        let alt = Alternating::new(
+            vec![
+                Box::new(SignFlip::new(2.0).unwrap()),
+                Box::new(GaussianNoise::new(100.0).unwrap()),
+            ],
+            3,
+        )
+        .unwrap();
+        assert_eq!(alt.len(), 2);
+        assert!(!alt.is_empty());
+        assert!(alt.name().contains("sign-flip") && alt.name().contains("gaussian-noise"));
+        assert!(!format!("{alt:?}").is_empty());
+        // Rounds 0..2 use attack 0, rounds 3..5 use attack 1, round 6 wraps.
+        assert_eq!(alt.active_index(0), 0);
+        assert_eq!(alt.active_index(2), 0);
+        assert_eq!(alt.active_index(3), 1);
+        assert_eq!(alt.active_index(6), 0);
+    }
+
+    #[test]
+    fn alternating_delegates_to_the_active_attack() {
+        let honest = honest_cloud(6, 4, 0);
+        let params = Vector::zeros(4);
+        let alt = Alternating::new(
+            vec![
+                Box::new(SignFlip::new(3.0).unwrap()),
+                Box::new(GaussianNoise::new(500.0).unwrap()),
+            ],
+            1,
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Round 0: sign-flip → exactly −3 × honest mean, all identical.
+        let round0 = alt.forge(&ctx(&honest, &params, 2, 0), &mut rng).unwrap();
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!(round0[0].cosine_similarity(&mean).unwrap() < -0.999);
+        assert_eq!(round0[0], round0[1]);
+        // Round 1: gaussian noise → huge, non-identical vectors.
+        let round1 = alt.forge(&ctx(&honest, &params, 2, 1), &mut rng).unwrap();
+        assert!(round1[0].norm() > 100.0);
+        assert_ne!(round1[0], round1[1]);
+    }
+
+    #[test]
+    fn krum_aware_validation_and_stealth() {
+        assert!(KrumAware::new(0.0).is_err());
+        assert!(KrumAware::new(f64::NAN).is_err());
+        let attack = KrumAware::new(1.0).unwrap();
+        assert_eq!(attack.aggressiveness(), 1.0);
+        let honest = honest_cloud(8, 6, 2);
+        let params = Vector::zeros(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let forged = attack.forge(&ctx(&honest, &params, 3, 0), &mut rng).unwrap();
+        assert_eq!(forged.len(), 3);
+        // The forged vector stays close to the honest cloud (within a few
+        // spreads of the mean)…
+        let mean = Vector::mean_of(&honest).unwrap();
+        let spread = (honest.iter().map(|v| v.squared_distance(&mean)).sum::<f64>()
+            / honest.len() as f64)
+            .sqrt();
+        assert!(forged[0].distance(&mean) <= 1.0 * spread + 1e-9);
+        // …and points less in the descent direction than the honest mean does.
+        assert!(forged[0].dot(&mean) < mean.dot(&mean));
+        // No honest proposals → context error.
+        let empty: Vec<Vector> = vec![];
+        assert!(attack.forge(&ctx(&empty, &params, 1, 0), &mut rng).is_err());
+    }
+
+    #[test]
+    fn krum_sometimes_selects_the_stealthy_vector_but_never_a_blatant_one() {
+        // With a modest aggressiveness the forged vector is plausible enough
+        // to win Krum's score occasionally; with a huge one it never is.
+        let mut stealth_selected = 0usize;
+        let mut blatant_selected = 0usize;
+        let trials: usize = 200;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for trial in 0..trials {
+            let honest = honest_cloud(7, 5, 100 + trial as u64);
+            let params = Vector::zeros(5);
+            let c = ctx(&honest, &params, 2, 0);
+            let stealthy = KrumAware::new(0.5).unwrap().forge(&c, &mut rng).unwrap();
+            let blatant = KrumAware::new(50.0).unwrap().forge(&c, &mut rng).unwrap();
+            let krum = Krum::new(9, 2).unwrap();
+            let mut with_stealthy = honest.clone();
+            with_stealthy.extend(stealthy);
+            if krum
+                .aggregate_detailed(&with_stealthy)
+                .unwrap()
+                .selected_index()
+                .unwrap()
+                >= 7
+            {
+                stealth_selected += 1;
+            }
+            let mut with_blatant = honest.clone();
+            with_blatant.extend(blatant);
+            if krum
+                .aggregate_detailed(&with_blatant)
+                .unwrap()
+                .selected_index()
+                .unwrap()
+                >= 7
+            {
+                blatant_selected += 1;
+            }
+        }
+        assert_eq!(blatant_selected, 0, "a 50-spread shift must never be selected");
+        assert!(
+            stealth_selected > trials / 10,
+            "a 0.5-spread shift should be selected reasonably often, got {stealth_selected}/{trials}"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # krum-attacks
+//!
+//! Byzantine worker strategies for the Krum reproduction.
+//!
+//! The paper's adversary model is maximal: Byzantine workers know the choice
+//! function, see every other proposal, know the current parameters (and, in
+//! our synthetic settings, the true gradient), and may collude. Each
+//! [`Attack`] implementation receives all of that through [`AttackContext`]
+//! and returns the `f` vectors the Byzantine workers propose this round.
+//!
+//! Implemented strategies:
+//!
+//! * [`NoAttack`] — Byzantine slots behave honestly (baseline);
+//! * [`ConstantTarget`] — the Lemma 3.1 construction: forces any linear rule
+//!   (averaging) to output an arbitrary target vector;
+//! * [`Collusion`] — the Figure 2 construction: `f − 1` remote decoys plus one
+//!   colluder at the displaced barycenter, which defeats the
+//!   closest-to-barycenter rule;
+//! * [`GaussianNoise`] — the full paper's "Gaussian" attack (random proposals
+//!   with large variance);
+//! * [`SignFlip`] — proposes the negated, rescaled mean of the honest
+//!   gradients;
+//! * [`OmniscientNegative`] — proposes the negated, rescaled *true* gradient
+//!   (the full paper's omniscient adversary);
+//! * [`LittleIsEnough`] — shifts each coordinate by a small multiple of the
+//!   honest standard deviation (a stealthy extension attack from the
+//!   follow-up literature);
+//! * [`Mimic`] — copies an honest proposal (benign-looking, degrades
+//!   diversity);
+//! * [`Alternating`] — cycles through a schedule of inner attacks (extension);
+//! * [`KrumAware`] — a stealth attack that stays inside the honest cloud so
+//!   Krum occasionally selects it (extension).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod composite;
+mod strategies;
+
+pub use attack::{Attack, AttackContext, AttackError};
+pub use composite::{Alternating, KrumAware};
+pub use strategies::{
+    Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack,
+    OmniscientNegative, SignFlip,
+};
+
+/// Convenience prelude for the attacks crate.
+pub mod prelude {
+    pub use crate::{
+        Alternating, Attack, AttackContext, AttackError, Collusion, ConstantTarget, GaussianNoise,
+        KrumAware, LittleIsEnough, Mimic, NoAttack, OmniscientNegative, SignFlip,
+    };
+}

@@ -1,0 +1,664 @@
+//! Concrete Byzantine strategies.
+
+use krum_tensor::{random_unit_vector, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{Attack, AttackContext, AttackError};
+
+/// Byzantine slots behave like honest workers: each proposes the mean of the
+/// honest proposals (an unbiased, benign vector). Useful as the `f = 0`-like
+/// baseline while keeping the cluster size fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NoAttack;
+
+impl NoAttack {
+    /// Creates the benign strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Attack for NoAttack {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let proposal = ctx
+            .gradient_estimate()
+            .ok_or_else(|| AttackError::context("none", "no gradient information available"))?;
+        Ok(vec![proposal; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "none".into()
+    }
+}
+
+/// The Lemma 3.1 construction against linear rules: the Byzantine workers
+/// solve for proposals that force the **average** of all `n` proposals to be
+/// exactly `target`, regardless of what the honest workers sent.
+///
+/// Against plain averaging the server's aggregate therefore equals `target`
+/// every round, so the parameter vector is driven wherever the adversary
+/// wants — this is how E1 demonstrates that averaging tolerates no Byzantine
+/// worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstantTarget {
+    target: Vector,
+}
+
+impl ConstantTarget {
+    /// Creates the attack with the aggregate the adversary wants to enforce.
+    pub fn new(target: Vector) -> Self {
+        Self { target }
+    }
+
+    /// The vector the adversary forces the average to equal.
+    pub fn target(&self) -> &Vector {
+        &self.target
+    }
+}
+
+impl Attack for ConstantTarget {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        if self.target.dim() != ctx.dim() {
+            return Err(AttackError::context(
+                "constant-target",
+                format!(
+                    "target has dimension {} but the round uses {}",
+                    self.target.dim(),
+                    ctx.dim()
+                ),
+            ));
+        }
+        if ctx.byzantine_count == 0 {
+            return Ok(Vec::new());
+        }
+        // Σ byz = n·target − Σ honest, split evenly across the f attackers.
+        let mut correction = self.target.scaled(ctx.total_workers as f64);
+        for v in ctx.honest_proposals {
+            correction.axpy(-1.0, v);
+        }
+        let each = correction.scaled(1.0 / ctx.byzantine_count as f64);
+        Ok(vec![each; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "constant-target".into()
+    }
+}
+
+/// The Figure 2 collusion against the closest-to-barycenter rule: `f − 1`
+/// attackers propose a remote decoy (distance `magnitude` from the honest
+/// mean, in a random direction), and the last attacker proposes the barycenter
+/// of all other proposals — which the flawed rule is then guaranteed to pick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Collusion {
+    magnitude: f64,
+}
+
+impl Collusion {
+    /// Creates the collusion with the decoy distance (how far area `B` of
+    /// Figure 2 sits from the honest area `C`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `magnitude` is positive and
+    /// finite.
+    pub fn new(magnitude: f64) -> Result<Self, AttackError> {
+        if !(magnitude > 0.0 && magnitude.is_finite()) {
+            return Err(AttackError::config(
+                "collusion",
+                "magnitude must be positive and finite",
+            ));
+        }
+        Ok(Self { magnitude })
+    }
+
+    /// Distance of the decoys from the honest mean.
+    pub fn magnitude(&self) -> f64 {
+        self.magnitude
+    }
+}
+
+impl Attack for Collusion {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let honest_mean = ctx
+            .honest_mean()
+            .ok_or_else(|| AttackError::context("collusion", "no honest proposals to observe"))?;
+        if ctx.byzantine_count == 0 {
+            return Ok(Vec::new());
+        }
+        if ctx.byzantine_count == 1 {
+            // With a single attacker no decoy is possible; fall back to
+            // proposing the barycenter of the honest proposals.
+            return Ok(vec![honest_mean]);
+        }
+        let direction = random_unit_vector(ctx.dim(), rng);
+        let decoy = &honest_mean + &direction.scaled(self.magnitude);
+        let mut proposals = vec![decoy.clone(); ctx.byzantine_count - 1];
+        // The colluder sits at the barycenter of every *other* proposal
+        // (honest ones plus the decoys), which minimises the sum of squared
+        // distances to them.
+        let mut others: Vec<Vector> = ctx.honest_proposals.to_vec();
+        others.extend(proposals.iter().cloned());
+        let colluder = Vector::mean_of(&others).expect("others is non-empty");
+        proposals.push(colluder);
+        Ok(proposals)
+    }
+
+    fn name(&self) -> String {
+        "collusion".into()
+    }
+}
+
+/// The full paper's "Gaussian" attack: each Byzantine worker proposes a random
+/// vector drawn from `N(0, std² I_d)` — uninformative noise with a large
+/// variance that stalls averaging-based training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNoise {
+    std: f64,
+}
+
+impl GaussianNoise {
+    /// Creates the attack with the per-coordinate standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `std` is positive and finite.
+    pub fn new(std: f64) -> Result<Self, AttackError> {
+        if !(std > 0.0 && std.is_finite()) {
+            return Err(AttackError::config(
+                "gaussian-noise",
+                "std must be positive and finite",
+            ));
+        }
+        Ok(Self { std })
+    }
+
+    /// Per-coordinate standard deviation of the proposed noise.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Attack for GaussianNoise {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        Ok((0..ctx.byzantine_count)
+            .map(|_| Vector::gaussian(ctx.dim(), 0.0, self.std, rng))
+            .collect())
+    }
+
+    fn name(&self) -> String {
+        "gaussian-noise".into()
+    }
+}
+
+/// Proposes `−scale ×` the mean of the honest proposals: pushes averaging
+/// backwards along the descent direction without needing the true gradient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignFlip {
+    scale: f64,
+}
+
+impl SignFlip {
+    /// Creates the attack; the proposals are `−scale × mean(honest)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `scale` is positive and finite.
+    pub fn new(scale: f64) -> Result<Self, AttackError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(AttackError::config(
+                "sign-flip",
+                "scale must be positive and finite",
+            ));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Magnification applied to the flipped gradient.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Attack for SignFlip {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let mean = ctx
+            .honest_mean()
+            .ok_or_else(|| AttackError::context("sign-flip", "no honest proposals to observe"))?;
+        Ok(vec![mean.scaled(-self.scale); ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "sign-flip".into()
+    }
+}
+
+/// The omniscient adversary of the full paper's evaluation: proposes
+/// `−scale × ∇Q(x_t)` using the *true* gradient when available (falling back
+/// to the honest mean otherwise), trying to drag the model up the cost
+/// surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OmniscientNegative {
+    scale: f64,
+}
+
+impl OmniscientNegative {
+    /// Creates the attack with the given magnification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `scale` is positive and finite.
+    pub fn new(scale: f64) -> Result<Self, AttackError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(AttackError::config(
+                "omniscient-negative",
+                "scale must be positive and finite",
+            ));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Magnification applied to the negated gradient.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Attack for OmniscientNegative {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let gradient = ctx.gradient_estimate().ok_or_else(|| {
+            AttackError::context("omniscient-negative", "no gradient information available")
+        })?;
+        Ok(vec![gradient.scaled(-self.scale); ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "omniscient-negative".into()
+    }
+}
+
+/// "A little is enough"-style stealth attack (extension): shift every
+/// coordinate of the honest mean by `z` honest standard deviations. Small `z`
+/// keeps the forged vectors statistically inside the honest cloud while still
+/// biasing the aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LittleIsEnough {
+    z: f64,
+}
+
+impl LittleIsEnough {
+    /// Creates the attack with shift `z` (in units of per-coordinate std).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `z` is finite and non-zero.
+    pub fn new(z: f64) -> Result<Self, AttackError> {
+        if z == 0.0 || !z.is_finite() {
+            return Err(AttackError::config(
+                "little-is-enough",
+                "z must be finite and non-zero",
+            ));
+        }
+        Ok(Self { z })
+    }
+
+    /// The shift in units of the per-coordinate standard deviation.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+}
+
+impl Attack for LittleIsEnough {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let honest = ctx.honest_proposals;
+        let mean = ctx.honest_mean().ok_or_else(|| {
+            AttackError::context("little-is-enough", "no honest proposals to observe")
+        })?;
+        let dim = ctx.dim();
+        // Per-coordinate standard deviation of the honest proposals.
+        let mut std = Vector::zeros(dim);
+        if honest.len() > 1 {
+            for v in honest {
+                for c in 0..dim {
+                    let d = v[c] - mean[c];
+                    std[c] += d * d;
+                }
+            }
+            std.map_inplace(|s| (s / (honest.len() - 1) as f64).sqrt());
+        }
+        let mut forged = mean;
+        forged.axpy(-self.z, &std);
+        Ok(vec![forged; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "little-is-enough".into()
+    }
+}
+
+/// Copies one honest proposal verbatim (extension). Harmless in isolation but
+/// reduces proposal diversity and, for selection rules, boosts the copied
+/// worker's chance of being picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Mimic {
+    victim: usize,
+}
+
+impl Mimic {
+    /// Creates the attack copying the honest worker at index `victim`
+    /// (modulo the number of honest workers in the round).
+    pub fn new(victim: usize) -> Self {
+        Self { victim }
+    }
+
+    /// Index of the honest worker whose proposal is copied.
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+}
+
+impl Attack for Mimic {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        if ctx.honest_proposals.is_empty() {
+            return Err(AttackError::context("mimic", "no honest proposals to copy"));
+        }
+        let victim = self.victim % ctx.honest_proposals.len();
+        Ok(vec![ctx.honest_proposals[victim].clone(); ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "mimic".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krum_core::{Aggregator, Average, ClosestToBarycenter, Krum};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn honest_cloud(count: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut v = Vector::filled(dim, 1.0);
+                v.axpy(1.0, &Vector::gaussian(dim, 0.0, 0.1, &mut rng));
+                v
+            })
+            .collect()
+    }
+
+    fn ctx<'a>(
+        honest: &'a [Vector],
+        params: &'a Vector,
+        grad: Option<&'a Vector>,
+        f: usize,
+    ) -> AttackContext<'a> {
+        AttackContext {
+            honest_proposals: honest,
+            current_params: params,
+            true_gradient: grad,
+            byzantine_count: f,
+            total_workers: honest.len() + f,
+            round: 3,
+            aggregator_name: "average",
+        }
+    }
+
+    #[test]
+    fn no_attack_proposes_benign_vectors() {
+        let honest = honest_cloud(5, 4, 0);
+        let params = Vector::zeros(4);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let forged = NoAttack::new().forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 2);
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!(forged[0].distance(&mean) < 1e-12);
+        assert_eq!(NoAttack.name(), "none");
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(NoAttack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn constant_target_forces_the_average_exactly() {
+        let honest = honest_cloud(8, 6, 2);
+        let params = Vector::zeros(6);
+        let target = Vector::from(vec![5.0, -3.0, 0.0, 2.0, 9.0, -1.0]);
+        let attack = ConstantTarget::new(target.clone());
+        assert_eq!(attack.target(), &target);
+        let c = ctx(&honest, &params, None, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 3);
+        let mut all = honest.clone();
+        all.extend(forged);
+        let aggregate = Average::new().aggregate(&all).unwrap();
+        assert!(
+            aggregate.distance(&target) < 1e-9,
+            "average should equal the target exactly (Lemma 3.1)"
+        );
+    }
+
+    #[test]
+    fn constant_target_with_single_attacker_also_works() {
+        let honest = honest_cloud(6, 3, 4);
+        let params = Vector::zeros(3);
+        let target = Vector::from(vec![-10.0, 10.0, 0.5]);
+        let attack = ConstantTarget::new(target.clone());
+        let c = ctx(&honest, &params, None, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        let mut all = honest.clone();
+        all.extend(forged);
+        let aggregate = Average::new().aggregate(&all).unwrap();
+        assert!(aggregate.distance(&target) < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_rejects_dimension_mismatch_and_zero_f() {
+        let honest = honest_cloud(4, 3, 6);
+        let params = Vector::zeros(3);
+        let attack = ConstantTarget::new(Vector::zeros(2));
+        let c = ctx(&honest, &params, None, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert!(attack.forge(&c, &mut rng).is_err());
+        let attack = ConstantTarget::new(Vector::zeros(3));
+        let c = ctx(&honest, &params, None, 0);
+        assert!(attack.forge(&c, &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn collusion_defeats_closest_to_barycenter_but_not_krum() {
+        let honest = honest_cloud(5, 4, 7);
+        let params = Vector::zeros(4);
+        let attack = Collusion::new(1000.0).unwrap();
+        assert_eq!(attack.magnitude(), 1000.0);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 2);
+        let mut all = honest.clone();
+        all.extend(forged);
+        // The flawed rule selects a Byzantine index (5 or 6).
+        let flawed = ClosestToBarycenter::new().aggregate_detailed(&all).unwrap();
+        assert!(flawed.selected_index().unwrap() >= 5);
+        // Krum still selects an honest one.
+        let krum = Krum::new(7, 2).unwrap().aggregate_detailed(&all).unwrap();
+        assert!(krum.selected_index().unwrap() < 5);
+    }
+
+    #[test]
+    fn collusion_validation_and_degenerate_cases() {
+        assert!(Collusion::new(0.0).is_err());
+        assert!(Collusion::new(f64::INFINITY).is_err());
+        let attack = Collusion::new(10.0).unwrap();
+        let honest = honest_cloud(4, 2, 9);
+        let params = Vector::zeros(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        // f = 1 falls back to proposing the honest barycenter.
+        let c = ctx(&honest, &params, None, 1);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 1);
+        assert!(forged[0].distance(&Vector::mean_of(&honest).unwrap()) < 1e-12);
+        // No honest proposals -> context error.
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 2);
+        assert!(attack.forge(&c, &mut rng).is_err());
+        // f = 0 -> empty result.
+        let c = ctx(&honest, &params, None, 0);
+        assert!(attack.forge(&c, &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gaussian_noise_statistics() {
+        assert!(GaussianNoise::new(0.0).is_err());
+        assert!(GaussianNoise::new(f64::NAN).is_err());
+        let attack = GaussianNoise::new(100.0).unwrap();
+        assert_eq!(attack.std(), 100.0);
+        let honest = honest_cloud(3, 50, 11);
+        let params = Vector::zeros(50);
+        let c = ctx(&honest, &params, None, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 4);
+        // With std = 100 and d = 50, the norm should be large (≈ 100·√50).
+        assert!(forged[0].norm() > 300.0);
+        // Independent draws differ.
+        assert_ne!(forged[0], forged[1]);
+        assert_eq!(attack.name(), "gaussian-noise");
+    }
+
+    #[test]
+    fn sign_flip_points_against_the_honest_mean() {
+        assert!(SignFlip::new(-1.0).is_err());
+        let attack = SignFlip::new(2.0).unwrap();
+        assert_eq!(attack.scale(), 2.0);
+        let honest = honest_cloud(6, 5, 13);
+        let params = Vector::zeros(5);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!(forged[0].cosine_similarity(&mean).unwrap() < -0.999);
+        assert!((forged[0].norm() - 2.0 * mean.norm()).abs() < 1e-9);
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn omniscient_uses_true_gradient_when_available() {
+        assert!(OmniscientNegative::new(0.0).is_err());
+        let attack = OmniscientNegative::new(3.0).unwrap();
+        assert_eq!(attack.scale(), 3.0);
+        let honest = honest_cloud(4, 3, 15);
+        let params = Vector::zeros(3);
+        let grad = Vector::from(vec![0.0, 2.0, 0.0]);
+        let c = ctx(&honest, &params, Some(&grad), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged[0].as_slice(), &[0.0, -6.0, 0.0]);
+        // Without the true gradient it falls back to the honest mean.
+        let c = ctx(&honest, &params, None, 1);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!(forged[0].cosine_similarity(&mean).unwrap() < -0.999);
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn little_is_enough_stays_near_the_honest_cloud() {
+        assert!(LittleIsEnough::new(0.0).is_err());
+        let attack = LittleIsEnough::new(1.5).unwrap();
+        assert_eq!(attack.z(), 1.5);
+        let honest = honest_cloud(10, 6, 17);
+        let params = Vector::zeros(6);
+        let c = ctx(&honest, &params, None, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 3);
+        let mean = Vector::mean_of(&honest).unwrap();
+        // Shift is bounded by z times the largest per-coordinate std (~0.1),
+        // so the forged vector stays within a modest distance of the mean.
+        assert!(forged[0].distance(&mean) < 1.5 * 0.3 * (6.0f64).sqrt());
+        assert!(forged[0].distance(&mean) > 0.0);
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mimic_copies_the_victim() {
+        let attack = Mimic::new(2);
+        assert_eq!(attack.victim(), 2);
+        let honest = honest_cloud(4, 3, 19);
+        let params = Vector::zeros(3);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged[0], honest[2]);
+        assert_eq!(forged[1], honest[2]);
+        // Victim index wraps around.
+        let wrap = Mimic::new(7).forge(&c, &mut rng).unwrap();
+        assert_eq!(wrap[0], honest[3]);
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(Mimic::new(0).forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn attacks_work_behind_trait_objects() {
+        let honest = honest_cloud(5, 3, 21);
+        let params = Vector::zeros(3);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(NoAttack::new()),
+            Box::new(GaussianNoise::new(10.0).unwrap()),
+            Box::new(SignFlip::new(1.0).unwrap()),
+            Box::new(Mimic::new(0)),
+        ];
+        for attack in &attacks {
+            let forged = attack.forge(&c, &mut rng).unwrap();
+            assert_eq!(forged.len(), 2, "attack {}", attack.name());
+            assert!(forged.iter().all(|v| v.dim() == 3));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Aggregation-rule comparison at a fixed cluster shape, including the
+//! exponential minimum-diameter-subset rule the paper rejects on cost grounds
+//! (Section 1): Krum should sit within a small factor of plain averaging,
+//! while the subset rule is orders of magnitude slower even at small `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use krum_bench::{rng, synthetic_proposals};
+use krum_core::{
+    Aggregator, Average, ClosestToBarycenter, CoordinateWiseMedian, GeometricMedian, Krum,
+    MinimumDiameterSubset, MultiKrum, TrimmedMean,
+};
+
+fn rules_at_medium_dimension(c: &mut Criterion) {
+    let n = 15;
+    let f = 3;
+    let dim = 10_000;
+    let mut r = rng(7);
+    let proposals = synthetic_proposals(n, f, dim, 0.2, &mut r);
+    let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
+        ("average", Box::new(Average::new())),
+        ("krum", Box::new(Krum::new(n, f).unwrap())),
+        ("multi-krum", Box::new(MultiKrum::new(n, f, n - f).unwrap())),
+        ("median", Box::new(CoordinateWiseMedian::new())),
+        ("trimmed-mean", Box::new(TrimmedMean::new(f))),
+        ("geometric-median", Box::new(GeometricMedian::new())),
+        ("closest-to-barycenter", Box::new(ClosestToBarycenter::new())),
+        (
+            "min-diameter-subset",
+            Box::new(MinimumDiameterSubset::new(n, f).unwrap()),
+        ),
+    ];
+    let mut group = c.benchmark_group("aggregators/n15_f3_d10000");
+    group.sample_size(10);
+    for (name, rule) in rules {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &proposals, |b, p| {
+            b.iter(|| rule.aggregate(std::hint::black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = rules_at_medium_dimension
+}
+criterion_main!(benches);

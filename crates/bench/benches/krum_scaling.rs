@@ -1,0 +1,56 @@
+//! E3 / Lemma 4.1 — Krum's aggregation cost scales as `O(n² · d)`.
+//!
+//! Two sweeps: cluster size `n` at fixed dimension, and dimension `d` at fixed
+//! cluster size. The reported times should grow roughly quadratically in `n`
+//! and linearly in `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use krum_bench::{rng, synthetic_proposals};
+use krum_core::{Aggregator, Krum};
+
+fn krum_vs_cluster_size(c: &mut Criterion) {
+    let dim = 1_000;
+    let mut group = c.benchmark_group("krum_scaling/n");
+    group.sample_size(20);
+    for &n in &[10usize, 20, 40, 80, 160] {
+        let f = (n - 3) / 2;
+        let mut r = rng(42);
+        let proposals = synthetic_proposals(n, f, dim, 0.2, &mut r);
+        let krum = Krum::new(n, f).unwrap();
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &proposals, |b, proposals| {
+            b.iter(|| krum.aggregate(std::hint::black_box(proposals)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn krum_vs_dimension(c: &mut Criterion) {
+    let n = 20;
+    let f = 6;
+    let mut group = c.benchmark_group("krum_scaling/d");
+    group.sample_size(20);
+    for &dim in &[100usize, 1_000, 10_000, 100_000] {
+        let mut r = rng(43);
+        let proposals = synthetic_proposals(n, f, dim, 0.2, &mut r);
+        let krum = Krum::new(n, f).unwrap();
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dim),
+            &proposals,
+            |b, proposals| {
+                b.iter(|| krum.aggregate(std::hint::black_box(proposals)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = krum_vs_cluster_size, krum_vs_dimension
+}
+criterion_main!(benches);

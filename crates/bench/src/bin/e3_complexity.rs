@@ -1,0 +1,55 @@
+//! E3 — Lemma 4.1: Krum runs in `O(n² · d)` time at the parameter server.
+//!
+//! Coarse wall-clock sweep over `n` (at fixed `d`) and `d` (at fixed `n`),
+//! reporting the measured time and the ratio to the previous row — the `n`
+//! ratios should approach 4 when `n` doubles, the `d` ratios should approach 2
+//! when `d` doubles. (`cargo bench -p krum-bench --bench krum_scaling` runs
+//! the statistically rigorous version.)
+
+use krum_bench::{rng, synthetic_proposals, time_aggregation, Table};
+use krum_core::Krum;
+
+const REPEATS: usize = 5;
+
+fn measure(n: usize, f: usize, dim: usize) -> f64 {
+    let mut r = rng(7);
+    let proposals = synthetic_proposals(n, f, dim, 0.2, &mut r);
+    let krum = Krum::new(n, f).expect("2f + 2 < n");
+    // Warm-up run, then the median of a few repeats.
+    let _ = time_aggregation(&krum, &proposals);
+    let mut times: Vec<u128> = (0..REPEATS)
+        .map(|_| time_aggregation(&krum, &proposals))
+        .collect();
+    times.sort_unstable();
+    times[REPEATS / 2] as f64 / 1_000.0 // microseconds
+}
+
+fn main() {
+    println!("E3 — Lemma 4.1: Krum computation time is O(n² · d)\n");
+
+    let dim = 1_000;
+    let mut table = Table::new(["n", "f=(n-3)/2", "time (µs)", "ratio vs previous n"]);
+    let mut previous: Option<f64> = None;
+    for &n in &[10usize, 20, 40, 80, 160] {
+        let f = (n - 3) / 2;
+        let t = measure(n, f, dim);
+        let ratio = previous.map(|p| format!("{:.2}x", t / p)).unwrap_or_else(|| "-".into());
+        table.row([n.to_string(), f.to_string(), format!("{t:.1}"), ratio]);
+        previous = Some(t);
+    }
+    println!("sweep over n at d = {dim} (each doubling of n should cost ~4x):\n{table}");
+
+    let n = 20;
+    let f = 6;
+    let mut table = Table::new(["d", "time (µs)", "ratio vs previous d"]);
+    let mut previous: Option<f64> = None;
+    for &dim in &[1_000usize, 2_000, 4_000, 8_000, 16_000, 100_000] {
+        let t = measure(n, f, dim);
+        let ratio = previous.map(|p| format!("{:.2}x", t / p)).unwrap_or_else(|| "-".into());
+        table.row([dim.to_string(), format!("{t:.1}"), ratio]);
+        previous = Some(t);
+    }
+    println!("sweep over d at n = {n}, f = {f} (each doubling of d should cost ~2x):\n{table}");
+    println!("paper claim (Lemma 4.1): Krum is computed in O(n²·d) time — quadratic in the");
+    println!("number of workers, linear in the model dimension.");
+}

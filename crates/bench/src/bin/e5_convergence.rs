@@ -1,0 +1,147 @@
+//! E5 — Proposition 4.3: SGD driven by Krum converges (the true gradient norm
+//! reaches a small basin) despite `f` Byzantine workers, for `f` up to just
+//! under `(n − 2)/2`; SGD driven by averaging does not.
+//!
+//! Workloads: the synthetic quadratic cost (where `∇Q` is exact) and logistic
+//! regression on synthetic data. Attack: omniscient negated gradient.
+
+use krum_bench::{quadratic_estimators, Table};
+use krum_core::{Aggregator, Average, CoordinateWiseMedian, Krum};
+use krum_attacks::{Attack, NoAttack, OmniscientNegative};
+use krum_data::{generators, partition, BatchSampler};
+use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
+use krum_models::{BatchGradientEstimator, GradientEstimator, LogisticRegression};
+use krum_tensor::Vector;
+
+const N: usize = 25;
+const DIM: usize = 50;
+const ROUNDS: usize = 400;
+const SIGMA: f64 = 0.5;
+
+fn attack_for(f: usize) -> Box<dyn Attack> {
+    if f == 0 {
+        Box::new(NoAttack::new())
+    } else {
+        Box::new(OmniscientNegative::new(4.0).expect("valid scale"))
+    }
+}
+
+fn quadratic_run(aggregator: Box<dyn Aggregator>, f: usize) -> (f64, f64, bool) {
+    let cluster = ClusterSpec::new(N, f).expect("valid cluster");
+    let config = TrainingConfig {
+        rounds: ROUNDS,
+        schedule: LearningRateSchedule::InverseTime {
+            gamma: 0.2,
+            tau: 100.0,
+        },
+        seed: 5,
+        eval_every: 10,
+        known_optimum: Some(Vector::zeros(DIM)),
+    };
+    let mut trainer = SyncTrainer::new(
+        cluster,
+        aggregator,
+        attack_for(f),
+        quadratic_estimators(N - f, DIM, SIGMA),
+        config,
+    )
+    .expect("valid trainer");
+    let (params, history) = trainer.run(Vector::filled(DIM, 4.0)).expect("run succeeds");
+    let summary = history.summary();
+    (
+        params.norm(),
+        summary.min_gradient_norm.unwrap_or(f64::NAN),
+        summary.diverged,
+    )
+}
+
+fn logistic_run(aggregator: Box<dyn Aggregator>, f: usize) -> (f64, f64) {
+    const FEATURES: usize = 30;
+    let mut rng = krum_bench::rng(17);
+    let (dataset, _, _) =
+        generators::logistic_regression(4_000, FEATURES, &mut rng).expect("valid generator");
+    let cluster = ClusterSpec::new(N, f).expect("valid cluster");
+    let shards = partition::iid_shards(&dataset, cluster.honest(), &mut rng).expect("shards");
+    let estimators: Vec<Box<dyn GradientEstimator>> = shards
+        .into_iter()
+        .map(|shard| {
+            let sampler = BatchSampler::new(shard, 32).expect("non-empty");
+            Box::new(
+                BatchGradientEstimator::new(LogisticRegression::new(FEATURES), sampler)
+                    .expect("estimator"),
+            ) as Box<dyn GradientEstimator>
+        })
+        .collect();
+    let config = TrainingConfig {
+        rounds: ROUNDS,
+        schedule: LearningRateSchedule::InverseTime {
+            gamma: 0.5,
+            tau: 100.0,
+        },
+        seed: 5,
+        eval_every: 50,
+        known_optimum: None,
+    };
+    let mut trainer =
+        SyncTrainer::new(cluster, aggregator, attack_for(f), estimators, config).expect("trainer");
+    let (_, history) = trainer.run(Vector::zeros(FEATURES + 1)).expect("run succeeds");
+    let summary = history.summary();
+    (
+        summary.final_loss.unwrap_or(f64::NAN),
+        summary.min_gradient_norm.unwrap_or(f64::NAN),
+    )
+}
+
+fn main() {
+    println!("E5 — Proposition 4.3: convergence of Krum-driven SGD under Byzantine workers");
+    println!("n = {N}, omniscient attack (−4·∇Q), γ_t = γ₀/(1 + t/τ), {ROUNDS} rounds\n");
+
+    println!("(a) quadratic cost, d = {DIM}, σ = {SIGMA} (optimum at 0, start at ‖x‖ = {:.1}):", 4.0 * (DIM as f64).sqrt());
+    let mut table = Table::new([
+        "f",
+        "aggregator",
+        "final ‖x − x*‖",
+        "min ‖∇Q(x_t)‖",
+        "diverged",
+    ]);
+    for &f in &[0usize, 5, 11] {
+        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
+            ("average", Box::new(Average::new())),
+            ("krum", Box::new(Krum::new(N, f.max(1).min((N - 3) / 2)).expect("config"))),
+            ("median", Box::new(CoordinateWiseMedian::new())),
+        ];
+        for (name, rule) in rules {
+            let (dist, min_grad, diverged) = quadratic_run(rule, f);
+            table.row([
+                f.to_string(),
+                name.to_string(),
+                format!("{dist:.3}"),
+                format!("{min_grad:.3}"),
+                if diverged { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    println!("(b) logistic regression, 30 features, mini-batch workers:");
+    let mut table = Table::new(["f", "aggregator", "final loss", "min ‖∇Q‖"]);
+    for &f in &[0usize, 5, 11] {
+        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
+            ("average", Box::new(Average::new())),
+            ("krum", Box::new(Krum::new(N, f.max(1).min((N - 3) / 2)).expect("config"))),
+        ];
+        for (name, rule) in rules {
+            let (loss, min_grad) = logistic_run(rule, f);
+            table.row([
+                f.to_string(),
+                name.to_string(),
+                format!("{loss:.4}"),
+                format!("{min_grad:.4}"),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("expected shape: with f = 0 both rules converge; with f ∈ {{5, 11}} (up to just");
+    println!("under (n−2)/2 = 11.5) Krum still drives ‖∇Q‖ into a small basin while averaging");
+    println!("is pushed away from the optimum (its loss grows or stalls).");
+}

@@ -1,0 +1,137 @@
+//! E6 — extension (full-paper Fig. 4): MLP classification on the MNIST-like
+//! synthetic digit task, with 0% and 33% Byzantine workers running the
+//! Gaussian and omniscient attacks. Reports cross-entropy and test accuracy
+//! at a few checkpoints for averaging, Krum and Multi-Krum.
+
+use krum_bench::Table;
+use krum_core::{Aggregator, Average, Krum, MultiKrum};
+use krum_attacks::{Attack, GaussianNoise, NoAttack, OmniscientNegative};
+use krum_data::{generators, partition, BatchSampler, Dataset};
+use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
+use krum_models::{accuracy, BatchGradientEstimator, GradientEstimator, Mlp, MlpBuilder, Model};
+use krum_tensor::{InitStrategy, Vector};
+use std::sync::Arc;
+
+const SIDE: usize = 12;
+const HIDDEN: usize = 48;
+const WORKERS: usize = 18;
+const BYZANTINE: usize = 6; // 33 %
+const ROUNDS: usize = 200;
+const BATCH: usize = 32;
+
+fn mlp() -> Mlp {
+    MlpBuilder::new(SIDE * SIDE, 10)
+        .hidden_layer(HIDDEN)
+        .build()
+        .expect("valid architecture")
+}
+
+fn estimators(train: &Dataset, honest: usize, seed: u64) -> Vec<Box<dyn GradientEstimator>> {
+    let mut rng = krum_bench::rng(seed);
+    partition::iid_shards(train, honest, &mut rng)
+        .expect("shards")
+        .into_iter()
+        .map(|shard| {
+            let sampler = BatchSampler::new(shard, BATCH).expect("non-empty");
+            Box::new(BatchGradientEstimator::new(mlp(), sampler).expect("estimator"))
+                as Box<dyn GradientEstimator>
+        })
+        .collect()
+}
+
+fn attack_by_name(name: &str) -> Box<dyn Attack> {
+    match name {
+        "none" => Box::new(NoAttack::new()),
+        "gaussian" => Box::new(GaussianNoise::new(100.0).expect("std")),
+        "omniscient" => Box::new(OmniscientNegative::new(2.0).expect("scale")),
+        other => unreachable!("unknown attack {other}"),
+    }
+}
+
+fn main() {
+    println!("E6 — extension of the full paper's MLP evaluation (Fig. 4), on synthetic digits");
+    println!(
+        "MLP {}-{HIDDEN}-10 (d = {} parameters), n = {WORKERS} workers, f = {BYZANTINE} Byzantine (33%), {ROUNDS} rounds\n",
+        SIDE * SIDE,
+        mlp().dim()
+    );
+
+    let mut data_rng = krum_bench::rng(2017);
+    let dataset = generators::synthetic_digits(4_000, SIDE, 0.25, &mut data_rng)
+        .expect("generator succeeds");
+    let (train, test) = dataset.shuffled(&mut data_rng).split(0.8).expect("split");
+    let test = Arc::new(test);
+    let model = mlp();
+    let mut init_rng = krum_bench::rng(3);
+    let initial = model.init_parameters(InitStrategy::XavierUniform, &mut init_rng);
+
+    let mut table = Table::new([
+        "attack",
+        "f",
+        "aggregator",
+        "loss@50",
+        "loss@final",
+        "test acc",
+        "byz-pick%",
+    ]);
+
+    for &(attack_name, f) in &[("none", 0usize), ("gaussian", BYZANTINE), ("omniscient", BYZANTINE)] {
+        let cluster = ClusterSpec::new(WORKERS, f).expect("valid cluster");
+        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
+            ("average", Box::new(Average::new())),
+            ("krum", Box::new(Krum::new(WORKERS, BYZANTINE).expect("config"))),
+            (
+                "multi-krum",
+                Box::new(MultiKrum::new(WORKERS, BYZANTINE, WORKERS - BYZANTINE).expect("config")),
+            ),
+        ];
+        for (rule_name, rule) in rules {
+            let config = TrainingConfig {
+                rounds: ROUNDS,
+                schedule: LearningRateSchedule::InverseTime {
+                    gamma: 0.5,
+                    tau: 150.0,
+                },
+                seed: 11,
+                eval_every: 50,
+                known_optimum: None,
+            };
+            let test_probe = Arc::clone(&test);
+            let probe_model = mlp();
+            let mut trainer = SyncTrainer::new(
+                cluster,
+                rule,
+                attack_by_name(attack_name),
+                estimators(&train, cluster.honest(), 77),
+                config,
+            )
+            .expect("trainer")
+            .with_accuracy_probe(move |params: &Vector| {
+                accuracy(&probe_model, params, &test_probe).ok().flatten()
+            });
+            let (_, history) = trainer.run(initial.clone()).expect("run succeeds");
+            let loss_at = |round: usize| {
+                history
+                    .rounds
+                    .iter()
+                    .filter(|r| r.round >= round)
+                    .find_map(|r| r.loss)
+                    .unwrap_or(f64::NAN)
+            };
+            let summary = history.summary();
+            table.row([
+                attack_name.to_string(),
+                f.to_string(),
+                rule_name.to_string(),
+                format!("{:.3}", loss_at(50)),
+                format!("{:.3}", summary.final_loss.unwrap_or(f64::NAN)),
+                format!("{:.1}%", 100.0 * summary.final_accuracy.unwrap_or(f64::NAN)),
+                format!("{:.0}%", 100.0 * history.selection_stats().byzantine_rate()),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("expected shape (full paper, Fig. 4): without attack all rules behave similarly;");
+    println!("with 33% Byzantine workers averaging stalls (gaussian) or is driven up the loss");
+    println!("surface (omniscient) while Krum and Multi-Krum stay close to the clean baseline.");
+}

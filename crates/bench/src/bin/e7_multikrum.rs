@@ -1,0 +1,102 @@
+//! E7 — extension (full-paper Fig. 5): the Multi-Krum trade-off.
+//!
+//! Multi-Krum averages the `m` best-scored proposals: `m = 1` is Krum
+//! (maximally conservative, highest-variance updates), `m = n − f` keeps the
+//! variance reduction of averaging while still excluding the `f` worst-scored
+//! proposals. We sweep `m` with and without an attack and report both the
+//! distance to the optimum and the per-round update variance.
+
+use krum_bench::{quadratic_estimators, Table};
+use krum_core::{Aggregator, Average, MultiKrum};
+use krum_attacks::{Attack, GaussianNoise, NoAttack};
+use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
+use krum_tensor::{OnlineStats, Vector};
+
+const N: usize = 20;
+const F: usize = 6;
+const DIM: usize = 100;
+const ROUNDS: usize = 300;
+const SIGMA: f64 = 1.0;
+
+struct Outcome {
+    final_distance: f64,
+    update_noise: f64,
+}
+
+fn run(aggregator: Box<dyn Aggregator>, attacked: bool) -> Outcome {
+    // Attacked runs have f Byzantine workers; the clean baseline runs the same
+    // aggregator over n fully honest workers (f = 0), so the m-sweep isolates
+    // the variance-reduction effect rather than the behaviour of benign
+    // Byzantine slots.
+    let byzantine = if attacked { F } else { 0 };
+    let cluster = ClusterSpec::new(N, byzantine).expect("valid cluster");
+    let config = TrainingConfig {
+        rounds: ROUNDS,
+        schedule: LearningRateSchedule::InverseTime {
+            gamma: 0.1,
+            tau: 100.0,
+        },
+        seed: 21,
+        eval_every: 10,
+        known_optimum: Some(Vector::zeros(DIM)),
+    };
+    let attack: Box<dyn Attack> = if attacked {
+        Box::new(GaussianNoise::new(200.0).expect("std"))
+    } else {
+        Box::new(NoAttack::new())
+    };
+    let mut trainer = SyncTrainer::new(
+        cluster,
+        aggregator,
+        attack,
+        quadratic_estimators(cluster.honest(), DIM, SIGMA),
+        config,
+    )
+    .expect("trainer");
+    let (params, history) = trainer.run(Vector::filled(DIM, 5.0)).expect("run succeeds");
+    // Update variance proxy: dispersion of the aggregate norm over the last
+    // 100 rounds (once the trajectory has settled near the optimum).
+    let stats: OnlineStats = history.rounds[ROUNDS - 100..]
+        .iter()
+        .map(|r| r.aggregate_norm)
+        .collect();
+    Outcome {
+        final_distance: params.norm(),
+        update_noise: stats.stddev(),
+    }
+}
+
+fn main() {
+    println!("E7 — Multi-Krum trade-off (extension; full-paper Fig. 5)");
+    println!("n = {N}, f = {F}, d = {DIM}, σ = {SIGMA}, Gaussian attack (σ = 200) vs clean, {ROUNDS} rounds\n");
+    let mut table = Table::new([
+        "aggregator",
+        "‖x − x*‖ (attacked)",
+        "‖x − x*‖ (clean)",
+        "update σ (clean)",
+    ]);
+    let mut ms: Vec<usize> = vec![1, 2, 5, 10, N - F];
+    ms.dedup();
+    for m in ms {
+        let attacked = run(Box::new(MultiKrum::new(N, F, m).expect("config")), true);
+        let clean = run(Box::new(MultiKrum::new(N, F, m).expect("config")), false);
+        table.row([
+            format!("multi-krum m={m}"),
+            format!("{:.4}", attacked.final_distance),
+            format!("{:.4}", clean.final_distance),
+            format!("{:.4}", clean.update_noise),
+        ]);
+    }
+    let attacked = run(Box::new(Average::new()), true);
+    let clean = run(Box::new(Average::new()), false);
+    table.row([
+        "average".to_string(),
+        format!("{:.4}", attacked.final_distance),
+        format!("{:.4}", clean.final_distance),
+        format!("{:.4}", clean.update_noise),
+    ]);
+    println!("{table}");
+    println!("expected shape: every Multi-Krum variant survives the attack (final distance stays");
+    println!("small) and larger m reduces the update noise on clean rounds, approaching the");
+    println!("variance of plain averaging — which itself is destroyed by the attack.");
+}

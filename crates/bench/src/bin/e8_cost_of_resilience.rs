@@ -1,0 +1,111 @@
+//! E8 — extension (full-paper Figs. 6–7): the cost of resilience.
+//!
+//! Using the threaded parameter-server engine with a simulated network, we
+//! measure the duration of a synchronous round for averaging vs Krum vs
+//! Multi-Krum as (a) the number of workers grows at fixed model size and
+//! (b) the model dimension grows at fixed cluster size. Aggregation time is
+//! reported separately so the server-side overhead of Krum is visible.
+
+use krum_bench::{quadratic_estimators, Table};
+use krum_core::{Aggregator, Average, Krum, MultiKrum};
+use krum_attacks::GaussianNoise;
+use krum_dist::{
+    ClusterSpec, LatencyModel, LearningRateSchedule, NetworkModel, ThreadedTrainer, TrainingConfig,
+};
+use krum_tensor::Vector;
+
+const ROUNDS: usize = 8;
+
+fn network() -> NetworkModel {
+    NetworkModel {
+        // 100 µs ± 50 µs one-way latency, ~1 GB/s links.
+        latency: LatencyModel::Uniform {
+            min_nanos: 50_000,
+            max_nanos: 150_000,
+        },
+        nanos_per_byte: 1.0,
+    }
+}
+
+struct Timing {
+    round_micros: f64,
+    aggregation_micros: f64,
+}
+
+fn run(n: usize, f: usize, dim: usize, aggregator: Box<dyn Aggregator>) -> Timing {
+    let cluster = ClusterSpec::new(n, f).expect("valid cluster");
+    let config = TrainingConfig {
+        rounds: ROUNDS,
+        schedule: LearningRateSchedule::Constant { gamma: 0.05 },
+        seed: 9,
+        eval_every: ROUNDS, // metrics only at the edges; timing is the point
+        known_optimum: None,
+    };
+    let mut trainer = ThreadedTrainer::new(
+        cluster,
+        aggregator,
+        Box::new(GaussianNoise::new(50.0).expect("std")),
+        quadratic_estimators(n - f + 1, dim, 0.2),
+        config,
+        network(),
+    )
+    .expect("trainer");
+    let (_, history) = trainer.run(Vector::filled(dim, 1.0)).expect("run succeeds");
+    Timing {
+        round_micros: history.mean_round_nanos() / 1_000.0,
+        aggregation_micros: history.mean_aggregation_nanos() / 1_000.0,
+    }
+}
+
+fn rules(n: usize, f: usize) -> Vec<(&'static str, Box<dyn Aggregator>)> {
+    vec![
+        ("average", Box::new(Average::new())),
+        ("krum", Box::new(Krum::new(n, f).expect("config"))),
+        (
+            "multi-krum",
+            Box::new(MultiKrum::new(n, f, n - f).expect("config")),
+        ),
+    ]
+}
+
+fn main() {
+    println!("E8 — cost of resilience (extension; full-paper Figs. 6–7)");
+    println!("threaded engine, simulated network (~100 µs latency, ~1 GB/s), {ROUNDS} rounds per cell\n");
+
+    let dim = 20_000;
+    let mut table = Table::new(["n", "f", "rule", "round (µs)", "aggregation (µs)"]);
+    for &n in &[10usize, 20, 40, 80] {
+        let f = (n - 3) / 2;
+        for (name, rule) in rules(n, f) {
+            let t = run(n, f, dim, rule);
+            table.row([
+                n.to_string(),
+                f.to_string(),
+                name.to_string(),
+                format!("{:.0}", t.round_micros),
+                format!("{:.0}", t.aggregation_micros),
+            ]);
+        }
+    }
+    println!("(a) sweep over n at d = {dim}:\n{table}");
+
+    let n = 20;
+    let f = 6;
+    let mut table = Table::new(["d", "rule", "round (µs)", "aggregation (µs)"]);
+    for &dim in &[10_000usize, 50_000, 100_000] {
+        for (name, rule) in rules(n, f) {
+            let t = run(n, f, dim, rule);
+            table.row([
+                dim.to_string(),
+                name.to_string(),
+                format!("{:.0}", t.round_micros),
+                format!("{:.0}", t.aggregation_micros),
+            ]);
+        }
+    }
+    println!("(b) sweep over d at n = {n}, f = {f}:\n{table}");
+    println!("expected shape: the aggregation column grows quadratically in n and linearly in d");
+    println!("for Krum/Multi-Krum while staying linear-in-n for averaging, but it remains a small");
+    println!("fraction of the full round (which is dominated by gradient computation and the");
+    println!("network), so resilience is cheap at realistic cluster sizes — the full paper's point.");
+}

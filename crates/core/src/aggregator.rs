@@ -1,0 +1,214 @@
+//! The [`Aggregator`] trait — the paper's *choice function* `F`.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AggregationError;
+
+/// Result of one aggregation step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aggregation {
+    /// The aggregated vector `F(V_1, …, V_n)` that the server applies.
+    pub value: Vector,
+    /// For selection-style rules, the indices of the proposals that were
+    /// selected (a single index for Krum, `m` indices for Multi-Krum, the
+    /// chosen subset for the minimum-diameter rule). Empty for rules that mix
+    /// every proposal (averaging, medians).
+    pub selected: Vec<usize>,
+    /// Per-proposal scores when the rule computes them (Krum scores, distances
+    /// to the barycenter, …); empty otherwise. Lower is better for every rule
+    /// that fills this in.
+    pub scores: Vec<f64>,
+}
+
+impl Aggregation {
+    /// Creates an aggregation result that mixes all proposals (no selection).
+    pub fn mixed(value: Vector) -> Self {
+        Self {
+            value,
+            selected: Vec::new(),
+            scores: Vec::new(),
+        }
+    }
+
+    /// Creates an aggregation result for a selection rule.
+    pub fn selected(value: Vector, selected: Vec<usize>, scores: Vec<f64>) -> Self {
+        Self {
+            value,
+            selected,
+            scores,
+        }
+    }
+
+    /// The single selected index, when exactly one proposal was selected.
+    pub fn selected_index(&self) -> Option<usize> {
+        if self.selected.len() == 1 {
+            Some(self.selected[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// A deterministic choice function `F(V_1, …, V_n)` applied by the parameter
+/// server to the proposals of one synchronous round.
+///
+/// Implementations must be deterministic functions of their input (the model
+/// section of the paper requires `F` to be deterministic) and must not panic
+/// on malformed input — all validation errors are reported through
+/// [`AggregationError`].
+pub trait Aggregator: Send + Sync {
+    /// Aggregates the proposals, reporting selection details and scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError`] when the proposals are empty, have
+    /// mismatched dimensions, or do not match the rule's configuration.
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError>;
+
+    /// Aggregates the proposals, returning only the aggregated vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Aggregator::aggregate_detailed`].
+    fn aggregate(&self, proposals: &[Vector]) -> Result<Vector, AggregationError> {
+        Ok(self.aggregate_detailed(proposals)?.value)
+    }
+
+    /// Human-readable rule name, including its parameters, e.g. `"krum(f=2)"`.
+    fn name(&self) -> String;
+
+    /// `true` when the rule outputs one of its input vectors (selection rule)
+    /// rather than a mixture. Averaging-style rules return `false`.
+    fn is_selection_rule(&self) -> bool {
+        false
+    }
+}
+
+impl<A: Aggregator + ?Sized> Aggregator for &A {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        (**self).aggregate_detailed(proposals)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_selection_rule(&self) -> bool {
+        (**self).is_selection_rule()
+    }
+}
+
+impl<A: Aggregator + ?Sized> Aggregator for Box<A> {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        (**self).aggregate_detailed(proposals)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_selection_rule(&self) -> bool {
+        (**self).is_selection_rule()
+    }
+}
+
+/// Validates a proposal family: non-empty and dimensionally consistent.
+/// Returns the common dimension.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::NoProposals`] or
+/// [`AggregationError::DimensionMismatch`].
+pub fn validate_proposals(proposals: &[Vector]) -> Result<usize, AggregationError> {
+    let first = proposals.first().ok_or(AggregationError::NoProposals)?;
+    let dim = first.dim();
+    for (index, v) in proposals.iter().enumerate().skip(1) {
+        if v.dim() != dim {
+            return Err(AggregationError::DimensionMismatch {
+                index,
+                expected: dim,
+                found: v.dim(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct First;
+
+    impl Aggregator for First {
+        fn aggregate_detailed(
+            &self,
+            proposals: &[Vector],
+        ) -> Result<Aggregation, AggregationError> {
+            validate_proposals(proposals)?;
+            Ok(Aggregation::selected(
+                proposals[0].clone(),
+                vec![0],
+                vec![0.0; proposals.len()],
+            ))
+        }
+
+        fn name(&self) -> String {
+            "first".into()
+        }
+
+        fn is_selection_rule(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn validate_proposals_catches_problems() {
+        assert_eq!(validate_proposals(&[]), Err(AggregationError::NoProposals));
+        let ok = vec![Vector::zeros(3), Vector::zeros(3)];
+        assert_eq!(validate_proposals(&ok), Ok(3));
+        let bad = vec![Vector::zeros(3), Vector::zeros(2)];
+        assert!(matches!(
+            validate_proposals(&bad),
+            Err(AggregationError::DimensionMismatch {
+                index: 1,
+                expected: 3,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn default_aggregate_delegates_to_detailed() {
+        let rule = First;
+        let proposals = vec![Vector::from(vec![1.0]), Vector::from(vec![2.0])];
+        assert_eq!(rule.aggregate(&proposals).unwrap().as_slice(), &[1.0]);
+        let detailed = rule.aggregate_detailed(&proposals).unwrap();
+        assert_eq!(detailed.selected_index(), Some(0));
+        assert!(rule.is_selection_rule());
+    }
+
+    #[test]
+    fn aggregation_constructors() {
+        let mixed = Aggregation::mixed(Vector::zeros(2));
+        assert!(mixed.selected.is_empty());
+        assert!(mixed.selected_index().is_none());
+        let sel = Aggregation::selected(Vector::zeros(2), vec![3, 4], vec![1.0, 2.0]);
+        assert!(sel.selected_index().is_none());
+        let single = Aggregation::selected(Vector::zeros(2), vec![3], vec![]);
+        assert_eq!(single.selected_index(), Some(3));
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let rule = First;
+        let proposals = vec![Vector::from(vec![1.0])];
+        let by_ref: &dyn Aggregator = &rule;
+        assert_eq!(by_ref.name(), "first");
+        assert!(by_ref.aggregate(&proposals).is_ok());
+        let boxed: Box<dyn Aggregator> = Box::new(First);
+        assert!(boxed.is_selection_rule());
+        assert_eq!(boxed.aggregate(&proposals).unwrap().as_slice(), &[1.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Linear aggregation rules — the baselines of Lemma 3.1.
+//!
+//! The paper's first result is negative: **no** linear combination of the
+//! proposals tolerates even a single Byzantine worker, because that worker can
+//! solve for the proposal that forces the combination to equal any target
+//! vector `U`. [`Average`] is the ubiquitous special case; [`WeightedAverage`]
+//! covers the general `F_lin = Σ λ_i V_i` form so experiment E1 can demonstrate
+//! the lemma for arbitrary non-zero weights.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::error::AggregationError;
+
+/// Plain averaging `F(V_1, …, V_n) = (1/n) Σ V_i` — the default choice
+/// function of non-Byzantine distributed SGD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Average;
+
+impl Average {
+    /// Creates the averaging rule.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Aggregator for Average {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        validate_proposals(proposals)?;
+        let mean = Vector::mean_of(proposals).expect("validated non-empty, consistent dims");
+        Ok(Aggregation::mixed(mean))
+    }
+
+    fn name(&self) -> String {
+        "average".into()
+    }
+}
+
+/// A general linear rule `F(V_1, …, V_n) = Σ λ_i V_i` with fixed non-zero
+/// coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedAverage {
+    weights: Vec<f64>,
+}
+
+impl WeightedAverage {
+    /// Creates a linear rule with the given coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] when `weights` is empty or
+    /// any coefficient is zero or non-finite (Lemma 3.1 assumes non-zero
+    /// scalars).
+    pub fn new(weights: Vec<f64>) -> Result<Self, AggregationError> {
+        if weights.is_empty() {
+            return Err(AggregationError::config(
+                "weighted-average",
+                "weights must be non-empty",
+            ));
+        }
+        if weights.iter().any(|w| *w == 0.0 || !w.is_finite()) {
+            return Err(AggregationError::config(
+                "weighted-average",
+                "all weights must be non-zero and finite",
+            ));
+        }
+        Ok(Self { weights })
+    }
+
+    /// Uniform weights `λ_i = 1/n` (identical to [`Average`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] when `n` is zero.
+    pub fn uniform(n: usize) -> Result<Self, AggregationError> {
+        if n == 0 {
+            return Err(AggregationError::config(
+                "weighted-average",
+                "n must be >= 1",
+            ));
+        }
+        Self::new(vec![1.0 / n as f64; n])
+    }
+
+    /// The coefficients `λ_i`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Aggregator for WeightedAverage {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        let dim = validate_proposals(proposals)?;
+        if proposals.len() != self.weights.len() {
+            return Err(AggregationError::WrongWorkerCount {
+                expected: self.weights.len(),
+                found: proposals.len(),
+            });
+        }
+        let mut out = Vector::zeros(dim);
+        for (v, &w) in proposals.iter().zip(&self.weights) {
+            out.axpy(w, v);
+        }
+        Ok(Aggregation::mixed(out))
+    }
+
+    fn name(&self) -> String {
+        format!("weighted-average(n={})", self.weights.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proposals() -> Vec<Vector> {
+        vec![
+            Vector::from(vec![1.0, 2.0]),
+            Vector::from(vec![3.0, 4.0]),
+            Vector::from(vec![5.0, 6.0]),
+        ]
+    }
+
+    #[test]
+    fn average_is_the_barycenter() {
+        let avg = Average::new();
+        let out = avg.aggregate(&proposals()).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 4.0]);
+        assert!(!avg.is_selection_rule());
+        assert_eq!(avg.name(), "average");
+        assert!(avg
+            .aggregate_detailed(&proposals())
+            .unwrap()
+            .selected
+            .is_empty());
+    }
+
+    #[test]
+    fn average_rejects_empty_and_mismatched() {
+        let avg = Average;
+        assert!(avg.aggregate(&[]).is_err());
+        assert!(avg
+            .aggregate(&[Vector::zeros(2), Vector::zeros(3)])
+            .is_err());
+    }
+
+    #[test]
+    fn lemma_3_1_single_byzantine_controls_any_linear_rule() {
+        // A single Byzantine worker (index n-1) can force the linear rule to
+        // output an arbitrary target U by proposing
+        // (U − Σ_{i<n−1} λ_i V_i) / λ_{n−1}.
+        let weights = vec![0.2, 0.3, -0.1, 0.6];
+        let rule = WeightedAverage::new(weights.clone()).unwrap();
+        let honest = vec![
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![2.0, -1.0]),
+            Vector::from(vec![0.5, 0.5]),
+        ];
+        let target = Vector::from(vec![-77.0, 123.0]);
+        let mut partial = Vector::zeros(2);
+        for (v, &w) in honest.iter().zip(&weights) {
+            partial.axpy(w, v);
+        }
+        let byzantine = (&target - &partial).scaled(1.0 / weights[3]);
+        let mut all = honest;
+        all.push(byzantine);
+        let out = rule.aggregate(&all).unwrap();
+        assert!(out.distance(&target) < 1e-9, "attacker forced {out} != {target}");
+    }
+
+    #[test]
+    fn weighted_average_validation() {
+        assert!(WeightedAverage::new(vec![]).is_err());
+        assert!(WeightedAverage::new(vec![1.0, 0.0]).is_err());
+        assert!(WeightedAverage::new(vec![1.0, f64::NAN]).is_err());
+        assert!(WeightedAverage::uniform(0).is_err());
+        let w = WeightedAverage::new(vec![0.5, 0.5, 1.0]).unwrap();
+        assert_eq!(w.weights(), &[0.5, 0.5, 1.0]);
+        assert!(w.name().contains("n=3"));
+        assert!(matches!(
+            w.aggregate(&proposals()[..2]),
+            Err(AggregationError::WrongWorkerCount { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_weighted_average_equals_average() {
+        let avg = Average.aggregate(&proposals()).unwrap();
+        let uni = WeightedAverage::uniform(3)
+            .unwrap()
+            .aggregate(&proposals())
+            .unwrap();
+        assert!(avg.distance(&uni) < 1e-12);
+    }
+}

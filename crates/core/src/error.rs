@@ -1,0 +1,72 @@
+//! Error type for aggregation rules.
+
+use thiserror::Error;
+
+/// Errors raised by aggregation rules.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+pub enum AggregationError {
+    /// The rule received no proposals.
+    #[error("aggregation requires at least one proposal")]
+    NoProposals,
+    /// The proposals do not all share the same dimension.
+    #[error("proposal {index} has dimension {found} but the first proposal has {expected}")]
+    DimensionMismatch {
+        /// Index of the offending proposal.
+        index: usize,
+        /// Dimension of the first proposal.
+        expected: usize,
+        /// Dimension of the offending proposal.
+        found: usize,
+    },
+    /// The number of proposals does not match the configured cluster size.
+    #[error("rule was configured for {expected} workers but received {found} proposals")]
+    WrongWorkerCount {
+        /// Cluster size the rule was configured for.
+        expected: usize,
+        /// Number of proposals received.
+        found: usize,
+    },
+    /// The `(n, f)` (or other) configuration is invalid for this rule.
+    #[error("invalid configuration for `{rule}`: {message}")]
+    InvalidConfig {
+        /// Rule that rejected the configuration.
+        rule: &'static str,
+        /// Explanation of the rejection.
+        message: String,
+    },
+}
+
+impl AggregationError {
+    /// Convenience constructor for [`AggregationError::InvalidConfig`].
+    pub fn config(rule: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AggregationError::DimensionMismatch {
+            index: 3,
+            expected: 10,
+            found: 7,
+        };
+        let text = e.to_string();
+        assert!(text.contains('3') && text.contains("10") && text.contains('7'));
+        let e = AggregationError::config("krum", "need 2f + 2 < n");
+        assert!(e.to_string().contains("krum"));
+        assert!(e.to_string().contains("2f + 2 < n"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<AggregationError>();
+    }
+}

@@ -1,0 +1,74 @@
+//! # krum-core
+//!
+//! Aggregation (choice) functions for Byzantine-tolerant distributed SGD —
+//! the contribution of *Brief Announcement: Byzantine-Tolerant Machine
+//! Learning* (Blanchard, El Mhamdi, Guerraoui, Stainer, PODC 2017).
+//!
+//! The parameter server collects one proposal vector per worker and applies a
+//! choice function `F(V_1, …, V_n)`. This crate implements:
+//!
+//! * [`Krum`] — the paper's rule: score each proposal by the summed squared
+//!   distance to its `n − f − 2` closest neighbours and select the minimiser
+//!   (ties broken towards the smallest worker id, per footnote 3);
+//! * [`MultiKrum`] — the full-version extension averaging the `m` best-scored
+//!   proposals;
+//! * baselines the paper argues about: [`Average`] and [`WeightedAverage`]
+//!   (the linear rules of Lemma 3.1), [`ClosestToBarycenter`] (the
+//!   distance-based rule defeated by the Figure-2 collusion),
+//!   [`MinimumDiameterSubset`] (the exponential majority-based rule of the
+//!   introduction), plus the classical robust statistics
+//!   [`CoordinateWiseMedian`], [`TrimmedMean`] and [`GeometricMedian`];
+//! * the [`resilience`] module — an empirical estimator of the
+//!   `(α, f)`-Byzantine-resilience condition of Definition 3.2 and the
+//!   `η(n, f)` constant of Proposition 4.2.
+//!
+//! ## Example
+//!
+//! ```
+//! use krum_core::{Aggregator, Krum};
+//! use krum_tensor::Vector;
+//!
+//! // n = 5 workers, f = 1 Byzantine.
+//! let proposals = vec![
+//!     Vector::from(vec![1.0, 1.0]),
+//!     Vector::from(vec![1.1, 0.9]),
+//!     Vector::from(vec![0.9, 1.1]),
+//!     Vector::from(vec![1.0, 0.95]),
+//!     Vector::from(vec![-50.0, 80.0]), // Byzantine outlier
+//! ];
+//! let krum = Krum::new(5, 1).unwrap();
+//! let chosen = krum.aggregate(&proposals).unwrap();
+//! assert!(chosen.distance(&Vector::from(vec![1.0, 1.0])) < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregator;
+mod average;
+mod distance;
+mod error;
+mod krum;
+mod median;
+mod registry;
+pub mod resilience;
+mod subset;
+
+pub use aggregator::{validate_proposals, Aggregation, Aggregator};
+pub use registry::{build_aggregator, RULE_NAMES};
+pub use average::{Average, WeightedAverage};
+pub use distance::{ClosestToBarycenter, GeometricMedian};
+pub use error::AggregationError;
+pub use krum::{Krum, MultiKrum};
+pub use median::{CoordinateWiseMedian, TrimmedMean};
+pub use resilience::{eta, krum_sin_alpha, ResilienceCheck, ResilienceEstimator};
+pub use subset::MinimumDiameterSubset;
+
+/// Convenience prelude for the aggregation crate.
+pub mod prelude {
+    pub use crate::{
+        Aggregation, AggregationError, Aggregator, Average, ClosestToBarycenter,
+        CoordinateWiseMedian, GeometricMedian, Krum, MinimumDiameterSubset, MultiKrum,
+        TrimmedMean, WeightedAverage,
+    };
+}

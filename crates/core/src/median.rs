@@ -1,0 +1,179 @@
+//! Coordinate-wise robust statistics: median and trimmed mean.
+//!
+//! These rules are not part of the PODC paper but are the standard robust
+//! baselines the follow-up literature compares Krum against; they are included
+//! so the experiment drivers can report a fuller comparison (clearly labelled
+//! as extensions in EXPERIMENTS.md).
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::error::AggregationError;
+
+/// Coordinate-wise median of the proposals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoordinateWiseMedian;
+
+impl CoordinateWiseMedian {
+    /// Creates the coordinate-wise median rule.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Aggregator for CoordinateWiseMedian {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        let dim = validate_proposals(proposals)?;
+        let mut out = Vector::zeros(dim);
+        let mut column = vec![0.0; proposals.len()];
+        for c in 0..dim {
+            for (k, v) in proposals.iter().enumerate() {
+                column[k] = v[c];
+            }
+            out[c] = median_in_place(&mut column);
+        }
+        Ok(Aggregation::mixed(out))
+    }
+
+    fn name(&self) -> String {
+        "coordinate-median".into()
+    }
+}
+
+/// Coordinate-wise trimmed mean: per coordinate, drop the `trim` largest and
+/// `trim` smallest values and average the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrimmedMean {
+    trim: usize,
+}
+
+impl TrimmedMean {
+    /// Creates a trimmed mean that removes `trim` values from each tail of
+    /// every coordinate.
+    pub fn new(trim: usize) -> Self {
+        Self { trim }
+    }
+
+    /// Number of values trimmed from each tail.
+    pub fn trim(&self) -> usize {
+        self.trim
+    }
+}
+
+impl Aggregator for TrimmedMean {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        let dim = validate_proposals(proposals)?;
+        let n = proposals.len();
+        if 2 * self.trim >= n {
+            return Err(AggregationError::config(
+                "trimmed-mean",
+                format!("trim = {} removes all {n} proposals", self.trim),
+            ));
+        }
+        let mut out = Vector::zeros(dim);
+        let mut column = vec![0.0; n];
+        for c in 0..dim {
+            for (k, v) in proposals.iter().enumerate() {
+                column[k] = v[c];
+            }
+            column.sort_by(f64::total_cmp);
+            let kept = &column[self.trim..n - self.trim];
+            out[c] = kept.iter().sum::<f64>() / kept.len() as f64;
+        }
+        Ok(Aggregation::mixed(out))
+    }
+
+    fn name(&self) -> String {
+        format!("trimmed-mean(trim={})", self.trim)
+    }
+}
+
+/// Median of a mutable slice (lower median for even lengths is averaged with
+/// the upper one).
+fn median_in_place(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proposals() -> Vec<Vector> {
+        vec![
+            Vector::from(vec![1.0, 10.0]),
+            Vector::from(vec![2.0, 20.0]),
+            Vector::from(vec![3.0, 30.0]),
+            Vector::from(vec![4.0, 40.0]),
+            Vector::from(vec![1000.0, -999.0]), // outlier
+        ]
+    }
+
+    #[test]
+    fn median_resists_a_single_outlier() {
+        let med = CoordinateWiseMedian::new();
+        let out = med.aggregate(&proposals()).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 20.0]);
+        assert_eq!(med.name(), "coordinate-median");
+    }
+
+    #[test]
+    fn median_even_count_averages_middle_pair() {
+        let ps = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![2.0]),
+            Vector::from(vec![3.0]),
+            Vector::from(vec![10.0]),
+        ];
+        let out = CoordinateWiseMedian.aggregate(&ps).unwrap();
+        assert_eq!(out.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn median_rejects_malformed_input() {
+        assert!(CoordinateWiseMedian.aggregate(&[]).is_err());
+        assert!(CoordinateWiseMedian
+            .aggregate(&[Vector::zeros(1), Vector::zeros(2)])
+            .is_err());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_tails() {
+        let tm = TrimmedMean::new(1);
+        assert_eq!(tm.trim(), 1);
+        let out = tm.aggregate(&proposals()).unwrap();
+        // First coordinate keeps {2, 3, 4} -> 3; second keeps {10, 20, 30} -> 20.
+        assert_eq!(out.as_slice(), &[3.0, 20.0]);
+        assert!(tm.name().contains("trim=1"));
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_trim_is_average() {
+        let ps = proposals();
+        let tm = TrimmedMean::new(0).aggregate(&ps).unwrap();
+        let avg = crate::Average.aggregate(&ps).unwrap();
+        assert!(tm.distance(&avg) < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_excessive_trim() {
+        let tm = TrimmedMean::new(3);
+        assert!(matches!(
+            tm.aggregate(&proposals()),
+            Err(AggregationError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn median_helper_handles_odd_and_even() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_in_place(&mut [7.0]), 7.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Constructing aggregation rules from textual specifications.
+//!
+//! Experiment drivers, configuration files and command lines refer to rules by
+//! name (`"krum"`, `"multi-krum:m=8"`, `"trimmed-mean:trim=2"`). This module
+//! turns such a specification plus the cluster shape `(n, f)` into a boxed
+//! [`Aggregator`], so sweeps over rules can be driven by plain strings.
+
+use crate::aggregator::Aggregator;
+use crate::average::{Average, WeightedAverage};
+use crate::distance::{ClosestToBarycenter, GeometricMedian};
+use crate::error::AggregationError;
+use crate::krum::{Krum, MultiKrum};
+use crate::median::{CoordinateWiseMedian, TrimmedMean};
+use crate::subset::MinimumDiameterSubset;
+
+/// Names of every rule the registry can build (canonical spellings).
+pub const RULE_NAMES: &[&str] = &[
+    "average",
+    "krum",
+    "multi-krum",
+    "median",
+    "trimmed-mean",
+    "geometric-median",
+    "closest-to-barycenter",
+    "min-diameter-subset",
+];
+
+/// Builds an aggregation rule from a specification string.
+///
+/// The specification is a rule name optionally followed by `:key=value`
+/// parameters:
+///
+/// * `"average"`
+/// * `"krum"` — uses the supplied `(n, f)`
+/// * `"multi-krum"` (defaults to `m = n − f`) or `"multi-krum:m=4"`
+/// * `"median"`
+/// * `"trimmed-mean"` (defaults to `trim = f`) or `"trimmed-mean:trim=3"`
+/// * `"geometric-median"`
+/// * `"closest-to-barycenter"`
+/// * `"min-diameter-subset"`
+///
+/// # Errors
+///
+/// Returns [`AggregationError::InvalidConfig`] for unknown rule names, unknown
+/// or malformed parameters, or parameters that are invalid for the given
+/// `(n, f)` (e.g. Krum with `2f + 2 ≥ n`).
+///
+/// # Examples
+///
+/// ```
+/// use krum_core::{build_aggregator, Aggregator};
+/// use krum_tensor::Vector;
+///
+/// let rule = build_aggregator("multi-krum:m=3", 9, 2)?;
+/// assert_eq!(rule.name(), "multi-krum(n=9,f=2,m=3)");
+/// let proposals = vec![Vector::zeros(4); 9];
+/// assert_eq!(rule.aggregate(&proposals)?.dim(), 4);
+/// # Ok::<(), krum_core::AggregationError>(())
+/// ```
+pub fn build_aggregator(
+    spec: &str,
+    n: usize,
+    f: usize,
+) -> Result<Box<dyn Aggregator>, AggregationError> {
+    let mut parts = spec.splitn(2, ':');
+    let name = parts.next().unwrap_or_default().trim();
+    let params = parse_params(parts.next().unwrap_or(""), name)?;
+    let get = |key: &str| -> Option<usize> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
+    let reject_unknown = |allowed: &[&str]| -> Result<(), AggregationError> {
+        if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
+            return Err(AggregationError::config(
+                "registry",
+                format!("unknown parameter `{key}` for rule `{name}`"),
+            ));
+        }
+        Ok(())
+    };
+    match name {
+        "average" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(Average::new()))
+        }
+        "uniform-weighted-average" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(WeightedAverage::uniform(n)?))
+        }
+        "krum" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(Krum::new(n, f)?))
+        }
+        "multi-krum" => {
+            reject_unknown(&["m"])?;
+            let m = get("m").unwrap_or_else(|| n.saturating_sub(f).max(1));
+            Ok(Box::new(MultiKrum::new(n, f, m)?))
+        }
+        "median" | "coordinate-median" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(CoordinateWiseMedian::new()))
+        }
+        "trimmed-mean" => {
+            reject_unknown(&["trim"])?;
+            Ok(Box::new(TrimmedMean::new(get("trim").unwrap_or(f))))
+        }
+        "geometric-median" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(GeometricMedian::new()))
+        }
+        "closest-to-barycenter" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(ClosestToBarycenter::new()))
+        }
+        "min-diameter-subset" => {
+            reject_unknown(&[])?;
+            Ok(Box::new(MinimumDiameterSubset::new(n, f)?))
+        }
+        other => Err(AggregationError::config(
+            "registry",
+            format!(
+                "unknown aggregation rule `{other}`; known rules: {}",
+                RULE_NAMES.join(", ")
+            ),
+        )),
+    }
+}
+
+/// Parses `key=value,key=value` parameter lists with `usize` values.
+fn parse_params(raw: &str, rule: &str) -> Result<Vec<(String, usize)>, AggregationError> {
+    let mut out = Vec::new();
+    for piece in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let mut kv = piece.splitn(2, '=');
+        let key = kv.next().unwrap_or_default().trim();
+        let value = kv.next().ok_or_else(|| {
+            AggregationError::config(
+                "registry",
+                format!("parameter `{piece}` for rule `{rule}` is not of the form key=value"),
+            )
+        })?;
+        let value: usize = value.trim().parse().map_err(|_| {
+            AggregationError::config(
+                "registry",
+                format!("parameter `{key}` of rule `{rule}` must be a non-negative integer"),
+            )
+        })?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krum_tensor::Vector;
+
+    #[test]
+    fn builds_every_canonical_rule() {
+        for &name in RULE_NAMES {
+            let rule = build_aggregator(name, 9, 2)
+                .unwrap_or_else(|e| panic!("rule {name} failed to build: {e}"));
+            let proposals = vec![Vector::zeros(3); 9];
+            assert_eq!(rule.aggregate(&proposals).unwrap().dim(), 3, "rule {name}");
+        }
+    }
+
+    #[test]
+    fn parameterised_specifications() {
+        let rule = build_aggregator("multi-krum:m=3", 9, 2).unwrap();
+        assert_eq!(rule.name(), "multi-krum(n=9,f=2,m=3)");
+        let rule = build_aggregator("trimmed-mean:trim=1", 9, 2).unwrap();
+        assert_eq!(rule.name(), "trimmed-mean(trim=1)");
+        // Defaults: multi-krum uses m = n − f, trimmed-mean uses trim = f.
+        let rule = build_aggregator("multi-krum", 9, 2).unwrap();
+        assert_eq!(rule.name(), "multi-krum(n=9,f=2,m=7)");
+        let rule = build_aggregator("trimmed-mean", 9, 2).unwrap();
+        assert_eq!(rule.name(), "trimmed-mean(trim=2)");
+    }
+
+    #[test]
+    fn rejects_unknown_rules_parameters_and_bad_values() {
+        assert!(build_aggregator("zeno", 9, 2).is_err());
+        assert!(build_aggregator("krum:m=3", 9, 2).is_err());
+        assert!(build_aggregator("multi-krum:k=3", 9, 2).is_err());
+        assert!(build_aggregator("multi-krum:m", 9, 2).is_err());
+        assert!(build_aggregator("multi-krum:m=abc", 9, 2).is_err());
+        // Invalid (n, f) for Krum propagates the underlying error.
+        assert!(build_aggregator("krum", 6, 2).is_err());
+        // Subset rule enforces its practical cap.
+        assert!(build_aggregator("min-diameter-subset", 64, 2).is_err());
+    }
+
+    #[test]
+    fn whitespace_and_aliases_are_tolerated() {
+        assert!(build_aggregator("multi-krum: m = 3 ", 9, 2).is_ok());
+        assert!(build_aggregator("coordinate-median", 9, 2).is_ok());
+        assert!(build_aggregator("uniform-weighted-average", 9, 2).is_ok());
+    }
+}

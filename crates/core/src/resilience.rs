@@ -1,0 +1,421 @@
+//! Empirical `(α, f)`-Byzantine-resilience checking (Definition 3.2,
+//! Proposition 4.2).
+//!
+//! Definition 3.2 requires the choice function `F` to satisfy, for i.i.d.
+//! correct proposals `V_i ∼ G` with `E G = g` and any `f` Byzantine vectors:
+//!
+//! 1. `⟨E F, g⟩ ≥ (1 − sin α) · ‖g‖² > 0`, and
+//! 2. for `r = 2, 3, 4`, `E ‖F‖^r` is bounded by a linear combination of
+//!    products of moments of `G` of total order `r`.
+//!
+//! Proposition 4.2 instantiates this for Krum with
+//! `sin α = η(n, f) · √d · σ / ‖g‖` provided `2f + 2 < n` and
+//! `η(n, f) · √d · σ < ‖g‖`.
+//!
+//! The expectations cannot be computed in closed form for an arbitrary rule
+//! and attack, so [`ResilienceEstimator`] estimates them by Monte-Carlo
+//! sampling: correct proposals are drawn `N(g, σ² I_d)` (matching the
+//! `E‖G − g‖² = d σ²` premise of the proposition), the caller supplies the
+//! Byzantine vectors through a closure, and the estimator reports the
+//! empirical inner product, the bound, and the moment ratios. Experiment E4
+//! sweeps this over `σ/‖g‖`, `n` and `f`.
+
+use krum_tensor::Vector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::Aggregator;
+use crate::error::AggregationError;
+
+/// The `η(n, f)` constant of Proposition 4.2.
+///
+/// The brief announcement specifies only its asymptotics
+/// (`O(n)` when `f = Θ(n)`, `O(√n)` when `f = O(1)`); this is the closed form
+/// from the full version of the paper (arXiv:1703.02757),
+///
+/// `η(n, f) = √( 2 ( n − f + (f·(n−f−2) + f²·(n−f−1)) / (n − 2f − 2) ) )`,
+///
+/// which realises both asymptotic regimes.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::InvalidConfig`] unless `2f + 2 < n`.
+pub fn eta(n: usize, f: usize) -> Result<f64, AggregationError> {
+    if 2 * f + 2 >= n {
+        return Err(AggregationError::config(
+            "eta",
+            format!("eta(n, f) requires 2f + 2 < n, got n = {n}, f = {f}"),
+        ));
+    }
+    let n = n as f64;
+    let f = f as f64;
+    let inner = n - f + (f * (n - f - 2.0) + f * f * (n - f - 1.0)) / (n - 2.0 * f - 2.0);
+    Ok((2.0 * inner).sqrt())
+}
+
+/// `sin α` for Krum per Proposition 4.2: `η(n, f) · √d · σ / ‖g‖`.
+///
+/// A return value `≥ 1` means the proposition's premise
+/// `η(n,f)·√d·σ < ‖g‖` is violated (no valid angle `α < π/2` exists); the
+/// value is still returned so experiments can plot where the guarantee stops
+/// applying.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::InvalidConfig`] when `2f + 2 ≥ n`, when `d` is
+/// zero, or when `sigma` is negative / `grad_norm` is not strictly positive.
+pub fn krum_sin_alpha(
+    n: usize,
+    f: usize,
+    d: usize,
+    sigma: f64,
+    grad_norm: f64,
+) -> Result<f64, AggregationError> {
+    if d == 0 {
+        return Err(AggregationError::config("krum_sin_alpha", "d must be >= 1"));
+    }
+    if sigma < 0.0 || !sigma.is_finite() {
+        return Err(AggregationError::config(
+            "krum_sin_alpha",
+            "sigma must be finite and >= 0",
+        ));
+    }
+    if !(grad_norm > 0.0) || !grad_norm.is_finite() {
+        return Err(AggregationError::config(
+            "krum_sin_alpha",
+            "the gradient norm must be finite and > 0",
+        ));
+    }
+    Ok(eta(n, f)? * (d as f64).sqrt() * sigma / grad_norm)
+}
+
+/// Monte-Carlo estimator of the Definition-3.2 conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceEstimator {
+    trials: usize,
+}
+
+impl Default for ResilienceEstimator {
+    fn default() -> Self {
+        Self { trials: 2_000 }
+    }
+}
+
+/// Outcome of one resilience check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceCheck {
+    /// Empirical `E F` over the trials.
+    pub expected_aggregate: Vector,
+    /// Empirical `⟨E F, g⟩`.
+    pub inner_product: f64,
+    /// Theoretical lower bound `(1 − sin α)·‖g‖²` from Proposition 4.2.
+    pub required_lower_bound: f64,
+    /// `sin α` used for the bound (values ≥ 1 mean the premise fails).
+    pub sin_alpha: f64,
+    /// Whether condition (i) held empirically: `inner_product ≥ required_lower_bound`.
+    pub condition_i: bool,
+    /// Empirical ratios `E‖F‖^r / E‖G‖^r` for `r = 2, 3, 4`. Condition (ii)
+    /// asks for these to be bounded by a constant depending only on `n`; the
+    /// experiments report them for inspection.
+    pub moment_ratios: [f64; 3],
+    /// Number of Monte-Carlo trials used.
+    pub trials: usize,
+    /// Empirical mean squared deviation of the correct estimator,
+    /// `E‖G − g‖²` (should be close to `d·σ²`).
+    pub estimator_deviation: f64,
+}
+
+impl ResilienceEstimator {
+    /// Creates an estimator running `trials` Monte-Carlo rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] when `trials` is zero.
+    pub fn new(trials: usize) -> Result<Self, AggregationError> {
+        if trials == 0 {
+            return Err(AggregationError::config(
+                "resilience-estimator",
+                "trials must be >= 1",
+            ));
+        }
+        Ok(Self { trials })
+    }
+
+    /// Number of Monte-Carlo trials per check.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Estimates the Definition-3.2 quantities for `aggregator`.
+    ///
+    /// * `g` — the true gradient (mean of the correct estimator).
+    /// * `sigma` — per-coordinate standard deviation of the correct estimator.
+    /// * `n`, `f` — cluster size and number of Byzantine workers.
+    /// * `forge` — produces the `f` Byzantine vectors; it receives the correct
+    ///   proposals of the trial (the omniscient adversary of the model
+    ///   section) and the RNG. It must return exactly `f` vectors of the right
+    ///   dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError`] on invalid configuration, if `forge`
+    /// returns the wrong number of vectors, or if the aggregator fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check<A, FB, R>(
+        &self,
+        aggregator: &A,
+        g: &Vector,
+        sigma: f64,
+        n: usize,
+        f: usize,
+        mut forge: FB,
+        rng: &mut R,
+    ) -> Result<ResilienceCheck, AggregationError>
+    where
+        A: Aggregator + ?Sized,
+        FB: FnMut(&[Vector], &mut R) -> Vec<Vector>,
+        R: Rng,
+    {
+        if f >= n {
+            return Err(AggregationError::config(
+                "resilience-estimator",
+                format!("need f < n, got n = {n}, f = {f}"),
+            ));
+        }
+        if sigma < 0.0 || !sigma.is_finite() {
+            return Err(AggregationError::config(
+                "resilience-estimator",
+                "sigma must be finite and >= 0",
+            ));
+        }
+        let d = g.dim();
+        let grad_norm = g.norm();
+        let sin_alpha = if grad_norm > 0.0 {
+            krum_sin_alpha(n, f, d, sigma, grad_norm).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+
+        let mut sum_f = Vector::zeros(d);
+        let mut sum_norm_f = [0.0f64; 3];
+        let mut sum_norm_g = [0.0f64; 3];
+        let mut sum_dev_g = 0.0f64;
+        let correct_count = n - f;
+        for _ in 0..self.trials {
+            let correct: Vec<Vector> = (0..correct_count)
+                .map(|_| {
+                    let mut v = g.clone();
+                    if sigma > 0.0 {
+                        v.axpy(1.0, &Vector::gaussian(d, 0.0, sigma, rng));
+                    }
+                    v
+                })
+                .collect();
+            let byzantine = forge(&correct, rng);
+            if byzantine.len() != f {
+                return Err(AggregationError::config(
+                    "resilience-estimator",
+                    format!("forge returned {} vectors, expected f = {f}", byzantine.len()),
+                ));
+            }
+            let mut proposals = correct.clone();
+            proposals.extend(byzantine);
+            let aggregate = aggregator.aggregate(&proposals)?;
+
+            sum_f.axpy(1.0, &aggregate);
+            let norm = aggregate.norm();
+            sum_norm_f[0] += norm.powi(2);
+            sum_norm_f[1] += norm.powi(3);
+            sum_norm_f[2] += norm.powi(4);
+            for v in &correct {
+                let vn = v.norm();
+                sum_norm_g[0] += vn.powi(2);
+                sum_norm_g[1] += vn.powi(3);
+                sum_norm_g[2] += vn.powi(4);
+                sum_dev_g += v.squared_distance(g);
+            }
+        }
+        let trials = self.trials as f64;
+        let correct_samples = trials * correct_count as f64;
+        let expected_aggregate = sum_f.scaled(1.0 / trials);
+        let inner_product = expected_aggregate.dot(g);
+        let required_lower_bound = (1.0 - sin_alpha) * grad_norm * grad_norm;
+        let mut moment_ratios = [0.0f64; 3];
+        for r in 0..3 {
+            let ef = sum_norm_f[r] / trials;
+            let eg = sum_norm_g[r] / correct_samples;
+            moment_ratios[r] = if eg > 0.0 { ef / eg } else { f64::INFINITY };
+        }
+        Ok(ResilienceCheck {
+            expected_aggregate,
+            inner_product,
+            required_lower_bound,
+            sin_alpha,
+            condition_i: inner_product >= required_lower_bound && required_lower_bound > 0.0,
+            moment_ratios,
+            trials: self.trials,
+            estimator_deviation: sum_dev_g / correct_samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Average, Krum};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn eta_validates_and_matches_asymptotics() {
+        assert!(eta(4, 1).is_err());
+        assert!(eta(10, 4).is_err());
+        // f = 0: eta = sqrt(2n).
+        let e = eta(10, 0).unwrap();
+        assert!((e - (20.0f64).sqrt()).abs() < 1e-12);
+        // With f fixed, eta grows like sqrt(n): eta(4n)/eta(n) ≈ 2.
+        let ratio = eta(400, 1).unwrap() / eta(100, 1).unwrap();
+        assert!((ratio - 2.0).abs() < 0.2, "sqrt growth, ratio = {ratio}");
+        // With f proportional to n, eta grows like n: eta(4n)/eta(n) ≈ 4.
+        let ratio = eta(400, 100).unwrap() / eta(100, 25).unwrap();
+        assert!((ratio - 4.0).abs() < 0.5, "linear growth, ratio = {ratio}");
+        // Monotone in f for fixed n.
+        assert!(eta(25, 11).unwrap() > eta(25, 5).unwrap());
+        assert!(eta(25, 5).unwrap() > eta(25, 0).unwrap());
+    }
+
+    #[test]
+    fn sin_alpha_validation_and_scaling() {
+        assert!(krum_sin_alpha(25, 5, 0, 0.1, 1.0).is_err());
+        assert!(krum_sin_alpha(25, 5, 10, -0.1, 1.0).is_err());
+        assert!(krum_sin_alpha(25, 5, 10, 0.1, 0.0).is_err());
+        assert!(krum_sin_alpha(4, 1, 10, 0.1, 1.0).is_err());
+        let a = krum_sin_alpha(25, 5, 100, 0.01, 10.0).unwrap();
+        let b = krum_sin_alpha(25, 5, 100, 0.02, 10.0).unwrap();
+        assert!((b / a - 2.0).abs() < 1e-9, "sin alpha is linear in sigma");
+        let c = krum_sin_alpha(25, 5, 100, 0.01, 20.0).unwrap();
+        assert!((a / c - 2.0).abs() < 1e-9, "sin alpha is inverse in ‖g‖");
+    }
+
+    #[test]
+    fn estimator_constructor_validation() {
+        assert!(ResilienceEstimator::new(0).is_err());
+        assert_eq!(ResilienceEstimator::new(10).unwrap().trials(), 10);
+        assert_eq!(ResilienceEstimator::default().trials(), 2_000);
+    }
+
+    #[test]
+    fn krum_satisfies_condition_i_under_omniscient_attack() {
+        // n = 11, f = 2, d = 10, small noise relative to ‖g‖ so the premise
+        // of Proposition 4.2 holds comfortably.
+        let n = 11;
+        let f = 2;
+        let d = 10;
+        let g = Vector::filled(d, 1.0); // ‖g‖ = √10 ≈ 3.16
+        let sigma = 0.05;
+        let krum = Krum::new(n, f).unwrap();
+        let estimator = ResilienceEstimator::new(300).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // Omniscient attack: propose the negated mean of the correct vectors.
+        let check = estimator
+            .check(
+                &krum,
+                &g,
+                sigma,
+                n,
+                f,
+                |correct, _| {
+                    let mean = Vector::mean_of(correct).unwrap();
+                    vec![mean.scaled(-5.0); 2]
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(check.sin_alpha < 1.0, "premise should hold: {}", check.sin_alpha);
+        assert!(
+            check.condition_i,
+            "⟨EF, g⟩ = {} should exceed {}",
+            check.inner_product, check.required_lower_bound
+        );
+        // The estimator deviation should be close to d·σ².
+        let expected_dev = d as f64 * sigma * sigma;
+        assert!((check.estimator_deviation - expected_dev).abs() / expected_dev < 0.2);
+        // Moments of the selected vector stay comparable to the correct estimator's.
+        assert!(check.moment_ratios.iter().all(|&r| r.is_finite() && r < 10.0));
+    }
+
+    #[test]
+    fn averaging_fails_condition_i_under_directed_attack() {
+        // The same setting, but the attacker drives the average away from g:
+        // with plain averaging a single Byzantine worker suffices (Lemma 3.1).
+        let n = 11;
+        let f = 2;
+        let d = 10;
+        let g = Vector::filled(d, 1.0);
+        let sigma = 0.05;
+        let avg = Average::new();
+        let estimator = ResilienceEstimator::new(200).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let check = estimator
+            .check(
+                &avg,
+                &g,
+                sigma,
+                n,
+                f,
+                |correct, _| {
+                    // Force the average towards −g: propose n·(−g) minus the
+                    // honest contributions, split across the f attackers.
+                    let target = g.scaled(-(n as f64));
+                    let mut correction = target;
+                    for v in correct {
+                        correction.axpy(-1.0, v);
+                    }
+                    vec![correction.scaled(1.0 / f as f64); f]
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            !check.condition_i,
+            "averaging should violate condition (i): ⟨EF, g⟩ = {}",
+            check.inner_product
+        );
+        assert!(check.inner_product < 0.0);
+    }
+
+    #[test]
+    fn check_validates_inputs() {
+        let krum = Krum::new(7, 2).unwrap();
+        let estimator = ResilienceEstimator::new(5).unwrap();
+        let g = Vector::filled(4, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // f >= n
+        assert!(estimator
+            .check(&krum, &g, 0.1, 3, 3, |_, _| vec![], &mut rng)
+            .is_err());
+        // negative sigma
+        assert!(estimator
+            .check(&krum, &g, -0.1, 7, 2, |_, _| vec![Vector::zeros(4); 2], &mut rng)
+            .is_err());
+        // forge returning the wrong count
+        assert!(estimator
+            .check(&krum, &g, 0.1, 7, 2, |_, _| vec![Vector::zeros(4)], &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_gradient_reports_unsatisfiable_bound() {
+        let krum = Krum::new(7, 2).unwrap();
+        let estimator = ResilienceEstimator::new(10).unwrap();
+        let g = Vector::zeros(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let check = estimator
+            .check(&krum, &g, 0.1, 7, 2, |_, rng| {
+                vec![Vector::gaussian(4, 0.0, 1.0, rng), Vector::gaussian(4, 0.0, 1.0, rng)]
+            }, &mut rng)
+            .unwrap();
+        assert!(check.sin_alpha.is_infinite());
+        assert!(!check.condition_i);
+    }
+}

@@ -1,0 +1,224 @@
+//! The exponential majority-based rule sketched in the paper's introduction:
+//! examine every subset of `n − f` proposals, pick the subset with the
+//! smallest diameter, and output its barycenter.
+//!
+//! The paper notes this rule is robust to remote Byzantine proposals but has
+//! prohibitive (exponential) cost — Krum was designed to combine its intuition
+//! with the distance-based rule at `O(n²·d)` cost. The implementation below is
+//! deliberately the straightforward combinatorial one so the cost comparison
+//! in the `aggregators` benchmark is honest; construction caps `n` to keep the
+//! number of subsets manageable.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::error::AggregationError;
+
+/// Largest cluster size accepted by [`MinimumDiameterSubset::new`]; beyond
+/// this the number of subsets (`C(n, n−f)`) makes the rule impractical, which
+/// is precisely the paper's point.
+pub const MAX_WORKERS_FOR_SUBSET_RULE: usize = 30;
+
+/// Majority-based rule: smallest-diameter subset of size `n − f`, averaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinimumDiameterSubset {
+    n: usize,
+    f: usize,
+}
+
+impl MinimumDiameterSubset {
+    /// Creates the rule for `n` workers with at most `f` Byzantine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] when `f >= n`, when the
+    /// subset size `n − f` is zero, or when `n` exceeds
+    /// [`MAX_WORKERS_FOR_SUBSET_RULE`].
+    pub fn new(n: usize, f: usize) -> Result<Self, AggregationError> {
+        if n == 0 || f >= n {
+            return Err(AggregationError::config(
+                "minimum-diameter-subset",
+                format!("need 0 <= f < n, got n = {n}, f = {f}"),
+            ));
+        }
+        if n > MAX_WORKERS_FOR_SUBSET_RULE {
+            return Err(AggregationError::config(
+                "minimum-diameter-subset",
+                format!(
+                    "n = {n} exceeds the practical cap of {MAX_WORKERS_FOR_SUBSET_RULE} \
+                     (the rule enumerates C(n, n-f) subsets)"
+                ),
+            ));
+        }
+        Ok(Self { n, f })
+    }
+
+    /// Total number of workers `n`.
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tolerated Byzantine workers `f`.
+    pub fn byzantine(&self) -> usize {
+        self.f
+    }
+
+    /// Squared diameter of the proposals at `indices`.
+    fn squared_diameter(proposals: &[Vector], indices: &[usize]) -> f64 {
+        let mut diameter = 0.0f64;
+        for (a, &i) in indices.iter().enumerate() {
+            for &j in &indices[a + 1..] {
+                diameter = diameter.max(proposals[i].squared_distance(&proposals[j]));
+            }
+        }
+        diameter
+    }
+}
+
+impl Aggregator for MinimumDiameterSubset {
+    fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        validate_proposals(proposals)?;
+        if proposals.len() != self.n {
+            return Err(AggregationError::WrongWorkerCount {
+                expected: self.n,
+                found: proposals.len(),
+            });
+        }
+        let subset_size = self.n - self.f;
+        let mut best_subset: Option<Vec<usize>> = None;
+        let mut best_diameter = f64::INFINITY;
+        let mut current = Vec::with_capacity(subset_size);
+        enumerate_subsets(self.n, subset_size, 0, &mut current, &mut |subset| {
+            let diameter = Self::squared_diameter(proposals, subset);
+            if diameter < best_diameter {
+                best_diameter = diameter;
+                best_subset = Some(subset.to_vec());
+            }
+        });
+        let subset = best_subset.expect("at least one subset exists because n - f >= 1");
+        let chosen: Vec<Vector> = subset.iter().map(|&i| proposals[i].clone()).collect();
+        let value = Vector::mean_of(&chosen).expect("subset is non-empty");
+        Ok(Aggregation::selected(value, subset, Vec::new()))
+    }
+
+    fn name(&self) -> String {
+        format!("min-diameter-subset(n={},f={})", self.n, self.f)
+    }
+}
+
+/// Calls `visit` with every `k`-element subset of `{0, …, n-1}` (in
+/// lexicographic order).
+fn enumerate_subsets(
+    n: usize,
+    k: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if current.len() == k {
+        visit(current);
+        return;
+    }
+    let remaining = k - current.len();
+    for i in start..=n.saturating_sub(remaining) {
+        current.push(i);
+        enumerate_subsets(n, k, i + 1, current, visit);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(MinimumDiameterSubset::new(0, 0).is_err());
+        assert!(MinimumDiameterSubset::new(5, 5).is_err());
+        assert!(MinimumDiameterSubset::new(40, 2).is_err());
+        let rule = MinimumDiameterSubset::new(6, 2).unwrap();
+        assert_eq!(rule.workers(), 6);
+        assert_eq!(rule.byzantine(), 2);
+        assert!(rule.name().contains("f=2"));
+    }
+
+    #[test]
+    fn subset_enumeration_counts_binomials() {
+        let mut count = 0usize;
+        let mut current = Vec::new();
+        enumerate_subsets(6, 3, 0, &mut current, &mut |_| count += 1);
+        assert_eq!(count, 20); // C(6,3)
+        let mut count = 0usize;
+        enumerate_subsets(5, 5, 0, &mut current, &mut |s| {
+            assert_eq!(s, &[0, 1, 2, 3, 4]);
+            count += 1;
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn picks_the_tight_honest_cluster() {
+        // 4 honest proposals tightly clustered, 2 Byzantine far apart.
+        let proposals = vec![
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![1.1, 0.9]),
+            Vector::from(vec![0.9, 1.1]),
+            Vector::from(vec![1.0, 0.95]),
+            Vector::from(vec![500.0, 0.0]),
+            Vector::from(vec![-500.0, 0.0]),
+        ];
+        let rule = MinimumDiameterSubset::new(6, 2).unwrap();
+        let result = rule.aggregate_detailed(&proposals).unwrap();
+        assert_eq!(result.selected, vec![0, 1, 2, 3]);
+        assert!(result.value.distance(&Vector::from(vec![1.0, 1.0])) < 0.2);
+    }
+
+    #[test]
+    fn resists_remote_collusion_unlike_closest_to_barycenter() {
+        // Same construction as the Figure-2 test: decoy + colluder at the
+        // displaced barycenter. The min-diameter rule ignores both because any
+        // subset containing the decoy or the colluder has a huge diameter.
+        let honest = vec![
+            Vector::from(vec![0.0, 0.1]),
+            Vector::from(vec![0.1, -0.1]),
+            Vector::from(vec![-0.1, 0.0]),
+            Vector::from(vec![0.05, 0.05]),
+        ];
+        let decoy = Vector::from(vec![600.0, -600.0]);
+        let mut five = honest.clone();
+        five.push(decoy.clone());
+        let colluder = Vector::mean_of(&five).unwrap();
+        let mut all = honest;
+        all.push(decoy);
+        all.push(colluder);
+        let result = MinimumDiameterSubset::new(6, 2)
+            .unwrap()
+            .aggregate_detailed(&all)
+            .unwrap();
+        assert_eq!(result.selected, vec![0, 1, 2, 3]);
+        assert!(result.value.norm() < 1.0);
+    }
+
+    #[test]
+    fn with_f_zero_it_averages_everything() {
+        let proposals = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![2.0]),
+            Vector::from(vec![3.0]),
+        ];
+        let rule = MinimumDiameterSubset::new(3, 0).unwrap();
+        let result = rule.aggregate_detailed(&proposals).unwrap();
+        assert_eq!(result.selected, vec![0, 1, 2]);
+        assert!((result.value[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_wrong_worker_count() {
+        let rule = MinimumDiameterSubset::new(5, 1).unwrap();
+        assert!(matches!(
+            rule.aggregate(&vec![Vector::zeros(2); 4]),
+            Err(AggregationError::WrongWorkerCount { .. })
+        ));
+    }
+}

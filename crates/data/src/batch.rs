@@ -1,0 +1,221 @@
+//! Mini-batch sampling.
+//!
+//! Each correct worker in the paper computes its gradient estimate on a
+//! mini-batch drawn uniformly and independently from its share of the data —
+//! that is exactly what [`BatchSampler::sample`] does, and what makes the
+//! worker's estimate unbiased (the assumption behind `E G(x, ξ) = ∇Q(x)`).
+
+use krum_tensor::{Matrix, Vector};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DataError, Dataset, Label};
+
+/// A mini-batch of samples: a feature matrix plus parallel labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// One row per sample in the batch.
+    pub features: Matrix,
+    /// One label per row of [`Batch::features`].
+    pub labels: Vec<Label>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature vector and label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> (Vector, Label) {
+        (self.features.row_vector(i), self.labels[i])
+    }
+}
+
+/// Draws uniform-with-replacement mini-batches from a dataset.
+///
+/// Sampling **with replacement** matches the i.i.d. assumption of the paper's
+/// model section; [`BatchSampler::sample_without_replacement`] is provided for
+/// epoch-style training.
+///
+/// # Example
+///
+/// ```
+/// use krum_data::{generators, BatchSampler};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let ds = generators::gaussian_blobs(100, 2, 3, 1.0, 0.2, &mut rng).unwrap();
+/// let sampler = BatchSampler::new(ds, 16).unwrap();
+/// let batch = sampler.sample(&mut rng);
+/// assert_eq!(batch.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    dataset: Dataset,
+    batch_size: usize,
+}
+
+impl BatchSampler {
+    /// Creates a sampler drawing batches of `batch_size` from `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] for an empty dataset and
+    /// [`DataError::InvalidArgument`] for a zero batch size.
+    pub fn new(dataset: Dataset, batch_size: usize) -> Result<Self, DataError> {
+        if dataset.is_empty() {
+            return Err(DataError::Empty("BatchSampler::new"));
+        }
+        if batch_size == 0 {
+            return Err(DataError::invalid(
+                "BatchSampler::new",
+                "batch_size must be at least 1",
+            ));
+        }
+        Ok(Self {
+            dataset,
+            batch_size,
+        })
+    }
+
+    /// The dataset backing this sampler.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Draws a batch uniformly **with replacement**.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Batch {
+        let indices: Vec<usize> = (0..self.batch_size)
+            .map(|_| rng.gen_range(0..self.dataset.len()))
+            .collect();
+        self.batch_from_indices(&indices)
+    }
+
+    /// Draws a batch uniformly **without replacement**. If the batch size
+    /// exceeds the dataset size the whole (shuffled) dataset is returned.
+    pub fn sample_without_replacement<R: Rng + ?Sized>(&self, rng: &mut R) -> Batch {
+        use rand::seq::index::sample as index_sample;
+        let take = self.batch_size.min(self.dataset.len());
+        let indices: Vec<usize> = index_sample(rng, self.dataset.len(), take).into_vec();
+        self.batch_from_indices(&indices)
+    }
+
+    /// Returns the whole dataset as one batch (full-gradient computation).
+    pub fn full_batch(&self) -> Batch {
+        let indices: Vec<usize> = (0..self.dataset.len()).collect();
+        self.batch_from_indices(&indices)
+    }
+
+    fn batch_from_indices(&self, indices: &[usize]) -> Batch {
+        let rows: Vec<Vec<f64>> = indices
+            .iter()
+            .map(|&i| self.dataset.features().row(i).to_vec())
+            .collect();
+        let labels: Vec<Label> = indices.iter().map(|&i| self.dataset.labels()[i]).collect();
+        let features = Matrix::from_rows(&rows).expect("rows share the dataset feature dim");
+        Batch { features, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dataset() -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        generators::gaussian_blobs(50, 3, 2, 2.0, 0.3, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn new_validates_arguments() {
+        let ds = dataset();
+        assert!(BatchSampler::new(ds.clone(), 0).is_err());
+        assert!(BatchSampler::new(ds, 8).is_ok());
+    }
+
+    #[test]
+    fn sample_has_requested_size_and_valid_rows() {
+        let ds = dataset();
+        let sampler = BatchSampler::new(ds.clone(), 7).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let batch = sampler.sample(&mut rng);
+        assert_eq!(batch.len(), 7);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.features.cols(), ds.feature_dim());
+        // Every sampled row must exist somewhere in the dataset.
+        for i in 0..batch.len() {
+            let (x, _) = batch.sample(i);
+            let found = (0..ds.len()).any(|j| ds.sample(j).0 == x);
+            assert!(found, "sampled row not present in dataset");
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let sampler = BatchSampler::new(dataset(), 10).unwrap();
+        let a = sampler.sample(&mut ChaCha8Rng::seed_from_u64(3));
+        let b = sampler.sample(&mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn without_replacement_has_distinct_rows() {
+        let sampler = BatchSampler::new(dataset(), 20).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let batch = sampler.sample_without_replacement(&mut rng);
+        assert_eq!(batch.len(), 20);
+        for i in 0..batch.len() {
+            for j in (i + 1)..batch.len() {
+                assert_ne!(
+                    batch.features.row(i),
+                    batch.features.row(j),
+                    "rows {i} and {j} are duplicates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_replacement_caps_at_dataset_size() {
+        let sampler = BatchSampler::new(dataset(), 10_000).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batch = sampler.sample_without_replacement(&mut rng);
+        assert_eq!(batch.len(), sampler.dataset().len());
+    }
+
+    #[test]
+    fn full_batch_returns_everything_in_order() {
+        let ds = dataset();
+        let sampler = BatchSampler::new(ds.clone(), 4).unwrap();
+        let batch = sampler.full_batch();
+        assert_eq!(batch.len(), ds.len());
+        assert_eq!(batch.features, *ds.features());
+        assert_eq!(batch.labels, ds.labels());
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let ds = dataset();
+        let sampler = BatchSampler::new(ds.clone(), 4).unwrap();
+        assert_eq!(sampler.batch_size(), 4);
+        assert_eq!(sampler.dataset().len(), ds.len());
+    }
+}

@@ -1,0 +1,441 @@
+//! In-memory labelled dataset.
+
+use krum_tensor::{Matrix, Vector};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+/// A label attached to a sample: either a class index or a regression target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Label {
+    /// Class index for classification tasks.
+    Class(usize),
+    /// Real-valued target for regression tasks.
+    Real(f64),
+}
+
+impl Label {
+    /// Class index, or `None` for a regression label.
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            Self::Class(c) => Some(*c),
+            Self::Real(_) => None,
+        }
+    }
+
+    /// Regression target, or `None` for a class label.
+    pub fn real(&self) -> Option<f64> {
+        match self {
+            Self::Class(_) => None,
+            Self::Real(v) => Some(*v),
+        }
+    }
+
+    /// The label as an `f64`: the class index cast, or the regression value.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Self::Class(c) => *c as f64,
+            Self::Real(v) => *v,
+        }
+    }
+}
+
+impl From<usize> for Label {
+    fn from(c: usize) -> Self {
+        Self::Class(c)
+    }
+}
+
+impl From<f64> for Label {
+    fn from(v: f64) -> Self {
+        Self::Real(v)
+    }
+}
+
+/// Errors produced when constructing or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Error)]
+pub enum DataError {
+    /// The number of labels does not match the number of feature rows.
+    #[error("feature matrix has {rows} rows but {labels} labels were provided")]
+    LengthMismatch {
+        /// Rows in the feature matrix.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// An operation that needs at least one sample received an empty dataset.
+    #[error("operation `{0}` requires a non-empty dataset")]
+    Empty(&'static str),
+    /// A parameter was outside its valid range.
+    #[error("invalid argument for `{context}`: {message}")]
+    InvalidArgument {
+        /// Operation rejecting the argument.
+        context: &'static str,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl DataError {
+    /// Convenience constructor for [`DataError::InvalidArgument`].
+    pub fn invalid(context: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidArgument {
+            context,
+            message: message.into(),
+        }
+    }
+}
+
+/// A labelled dataset: one feature row per sample plus a parallel label vector.
+///
+/// # Example
+///
+/// ```
+/// use krum_data::{Dataset, Label};
+/// use krum_tensor::Matrix;
+///
+/// let features = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+/// let ds = Dataset::new(features, vec![Label::Class(0), Label::Class(1)]).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.feature_dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<Label>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a feature matrix and one label per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LengthMismatch`] when `labels.len() != features.rows()`.
+    pub fn new(features: Matrix, labels: Vec<Label>) -> Result<Self, DataError> {
+        if features.rows() != labels.len() {
+            return Err(DataError::LengthMismatch {
+                rows: features.rows(),
+                labels: labels.len(),
+            });
+        }
+        Ok(Self { features, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Dimension of each feature vector.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Borrows the feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Borrows the labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Feature vector of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> (Vector, Label) {
+        (self.features.row_vector(i), self.labels[i])
+    }
+
+    /// Number of distinct classes (0 for pure regression datasets).
+    pub fn num_classes(&self) -> usize {
+        self.labels
+            .iter()
+            .filter_map(Label::class)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// Builds a new dataset containing the rows at `indices` (in that order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Result<Self, DataError> {
+        let mut rows = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::invalid(
+                    "subset",
+                    format!("index {i} out of range for {} samples", self.len()),
+                ));
+            }
+            rows.push(self.features.row(i).to_vec());
+            labels.push(self.labels[i]);
+        }
+        if rows.is_empty() {
+            return Err(DataError::Empty("subset"));
+        }
+        let features = Matrix::from_rows(&rows).expect("rows share the dataset's feature dim");
+        Self::new(features, labels)
+    }
+
+    /// Returns a copy with the samples shuffled using `rng`.
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        if indices.is_empty() {
+            return self.clone();
+        }
+        self.subset(&indices).expect("indices are in range")
+    }
+
+    /// Splits into `(train, test)` where the first `ratio` fraction of samples
+    /// (after any prior shuffling) goes to the training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidArgument`] unless `0 < ratio < 1`, or
+    /// [`DataError::Empty`] if either split would be empty.
+    pub fn split(&self, ratio: f64) -> Result<(Self, Self), DataError> {
+        if !(0.0..1.0).contains(&ratio) || ratio == 0.0 {
+            return Err(DataError::invalid(
+                "split",
+                format!("ratio must be in (0, 1), got {ratio}"),
+            ));
+        }
+        let cut = (self.len() as f64 * ratio).round() as usize;
+        if cut == 0 || cut >= self.len() {
+            return Err(DataError::Empty("split"));
+        }
+        let train_idx: Vec<usize> = (0..cut).collect();
+        let test_idx: Vec<usize> = (cut..self.len()).collect();
+        Ok((self.subset(&train_idx)?, self.subset(&test_idx)?))
+    }
+
+    /// Standardises every feature column to zero mean and unit variance
+    /// (columns with zero variance are left centred only). Returns the
+    /// per-column `(mean, std)` used, so a test set can be normalised with the
+    /// training statistics.
+    pub fn standardize(&mut self) -> Vec<(f64, f64)> {
+        let n = self.len().max(1) as f64;
+        let dim = self.feature_dim();
+        let mut stats = Vec::with_capacity(dim);
+        for c in 0..dim {
+            let col = self.features.column_vector(c);
+            let mean = col.mean();
+            let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let std = var.sqrt();
+            stats.push((mean, std));
+        }
+        self.apply_standardization(&stats);
+        stats
+    }
+
+    /// Applies externally computed per-column `(mean, std)` statistics.
+    pub fn apply_standardization(&mut self, stats: &[(f64, f64)]) {
+        let dim = self.feature_dim();
+        let data = self.features.as_mut_slice();
+        for (i, x) in data.iter_mut().enumerate() {
+            let c = i % dim;
+            if let Some(&(mean, std)) = stats.get(c) {
+                *x -= mean;
+                if std > 1e-12 {
+                    *x /= std;
+                }
+            }
+        }
+    }
+
+    /// Concatenates several datasets with identical feature dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Empty`] for an empty input slice and
+    /// [`DataError::InvalidArgument`] when feature dimensions disagree.
+    pub fn concat(parts: &[Self]) -> Result<Self, DataError> {
+        let first = parts.first().ok_or(DataError::Empty("concat"))?;
+        let dim = first.feature_dim();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for p in parts {
+            if p.feature_dim() != dim {
+                return Err(DataError::invalid(
+                    "concat",
+                    format!("feature dim {} != {}", p.feature_dim(), dim),
+                ));
+            }
+            rows.extend(p.features.iter_rows().map(<[f64]>::to_vec));
+            labels.extend_from_slice(&p.labels);
+        }
+        let features = Matrix::from_rows(&rows).expect("validated dims");
+        Self::new(features, labels)
+    }
+
+    /// Counts how many samples carry each class label (indexed by class).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let k = self.num_classes();
+        let mut hist = vec![0usize; k];
+        for l in &self.labels {
+            if let Some(c) = l.class() {
+                hist[c] += 1;
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        Dataset::new(
+            features,
+            vec![
+                Label::Class(0),
+                Label::Class(1),
+                Label::Class(0),
+                Label::Class(1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let features = Matrix::zeros(3, 2);
+        assert!(matches!(
+            Dataset::new(features, vec![Label::Class(0)]),
+            Err(DataError::LengthMismatch { rows: 3, labels: 1 })
+        ));
+    }
+
+    #[test]
+    fn label_accessors() {
+        assert_eq!(Label::Class(3).class(), Some(3));
+        assert_eq!(Label::Class(3).real(), None);
+        assert_eq!(Label::Real(2.5).real(), Some(2.5));
+        assert_eq!(Label::Real(2.5).class(), None);
+        assert_eq!(Label::from(4usize), Label::Class(4));
+        assert_eq!(Label::from(1.5f64), Label::Real(1.5));
+        assert_eq!(Label::Class(2).as_f64(), 2.0);
+        assert_eq!(Label::Real(-1.0).as_f64(), -1.0);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        let (x, y) = ds.sample(2);
+        assert_eq!(x.as_slice(), &[2.0, 2.0]);
+        assert_eq!(y, Label::Class(0));
+        assert_eq!(ds.class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_and_errors() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.sample(0).0.as_slice(), &[3.0, 3.0]);
+        assert!(ds.subset(&[9]).is_err());
+        assert!(matches!(ds.subset(&[]), Err(DataError::Empty(_))));
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let ds = toy();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sh = ds.shuffled(&mut rng);
+        assert_eq!(sh.len(), ds.len());
+        let mut orig: Vec<f64> = ds.features().as_slice().to_vec();
+        let mut new: Vec<f64> = sh.features().as_slice().to_vec();
+        orig.sort_by(f64::total_cmp);
+        new.sort_by(f64::total_cmp);
+        assert_eq!(orig, new);
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let ds = toy();
+        let a = ds.shuffled(&mut ChaCha8Rng::seed_from_u64(5));
+        let b = ds.shuffled(&mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_ratios() {
+        let ds = toy();
+        let (train, test) = ds.split(0.5).unwrap();
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+        assert!(ds.split(0.0).is_err());
+        assert!(ds.split(1.0).is_err());
+        assert!(ds.split(-0.5).is_err());
+    }
+
+    #[test]
+    fn standardize_centres_columns() {
+        let mut ds = toy();
+        let stats = ds.standardize();
+        assert_eq!(stats.len(), 2);
+        for c in 0..2 {
+            let col = ds.features().column_vector(c);
+            assert!(col.mean().abs() < 1e-12);
+        }
+        // Applying the same stats to an identical dataset gives identical output.
+        let mut other = toy();
+        other.apply_standardization(&stats);
+        assert_eq!(ds, other);
+    }
+
+    #[test]
+    fn concat_validates_dims() {
+        let ds = toy();
+        let merged = Dataset::concat(&[ds.clone(), ds.clone()]).unwrap();
+        assert_eq!(merged.len(), 8);
+        assert!(Dataset::concat(&[]).is_err());
+        let other = Dataset::new(Matrix::zeros(1, 3), vec![Label::Class(0)]).unwrap();
+        assert!(Dataset::concat(&[ds, other]).is_err());
+    }
+
+    #[test]
+    fn num_classes_for_regression_is_zero() {
+        let ds = Dataset::new(Matrix::zeros(2, 1), vec![Label::Real(0.1), Label::Real(0.2)])
+            .unwrap();
+        assert_eq!(ds.num_classes(), 0);
+        assert!(ds.class_histogram().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ds = toy();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

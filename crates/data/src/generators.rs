@@ -1,0 +1,431 @@
+//! Synthetic dataset generators.
+//!
+//! Every generator is a deterministic function of its RNG, so fixing the seed
+//! reproduces the dataset exactly. The generators are stand-ins for the
+//! datasets used in the full version of the paper (MNIST, spambase); see
+//! DESIGN.md §2 for the substitution argument.
+
+use krum_tensor::{Matrix, Vector};
+use rand::Rng;
+use rand_distr::{Bernoulli, Distribution, Normal};
+
+use crate::dataset::{DataError, Dataset, Label};
+
+/// Multi-class Gaussian blobs: `classes` isotropic clusters whose centres are
+/// drawn uniformly from `[-separation, separation]^dim`, each sample being its
+/// centre plus `N(0, noise² I)`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `samples`, `dim` or `classes`
+/// is zero, or when `noise` is negative.
+pub fn gaussian_blobs<R: Rng + ?Sized>(
+    samples: usize,
+    dim: usize,
+    classes: usize,
+    separation: f64,
+    noise: f64,
+    rng: &mut R,
+) -> Result<Dataset, DataError> {
+    validate_positive(samples, "samples", "gaussian_blobs")?;
+    validate_positive(dim, "dim", "gaussian_blobs")?;
+    validate_positive(classes, "classes", "gaussian_blobs")?;
+    if noise < 0.0 {
+        return Err(DataError::invalid("gaussian_blobs", "noise must be >= 0"));
+    }
+    let centres: Vec<Vector> = (0..classes)
+        .map(|_| Vector::uniform(dim, -separation, separation, rng))
+        .collect();
+    let normal = Normal::new(0.0, noise.max(f64::MIN_POSITIVE)).expect("validated noise");
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % classes;
+        let row: Vec<f64> = centres[class]
+            .iter()
+            .map(|&c| c + if noise > 0.0 { normal.sample(rng) } else { 0.0 })
+            .collect();
+        rows.push(row);
+        labels.push(Label::Class(class));
+    }
+    let features = Matrix::from_rows(&rows).expect("rows share dim");
+    Dataset::new(features, labels)
+}
+
+/// The classic two-spirals binary classification task in `R^2`, a non-linearly
+/// separable problem that requires a hidden layer — used to exercise the MLP.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `samples` is zero or `noise`
+/// is negative.
+pub fn two_spirals<R: Rng + ?Sized>(
+    samples: usize,
+    noise: f64,
+    rng: &mut R,
+) -> Result<Dataset, DataError> {
+    validate_positive(samples, "samples", "two_spirals")?;
+    if noise < 0.0 {
+        return Err(DataError::invalid("two_spirals", "noise must be >= 0"));
+    }
+    let normal = Normal::new(0.0, noise.max(f64::MIN_POSITIVE)).expect("validated noise");
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % 2;
+        let t = (i / 2) as f64 / ((samples / 2).max(1) as f64) * 3.0 * std::f64::consts::PI;
+        let r = t / (3.0 * std::f64::consts::PI) * 2.0 + 0.1;
+        let sign = if class == 0 { 1.0 } else { -1.0 };
+        let mut x = sign * r * t.cos();
+        let mut y = sign * r * t.sin();
+        if noise > 0.0 {
+            x += normal.sample(rng);
+            y += normal.sample(rng);
+        }
+        rows.push(vec![x, y]);
+        labels.push(Label::Class(class));
+    }
+    let features = Matrix::from_rows(&rows).expect("rows share dim");
+    Dataset::new(features, labels)
+}
+
+/// Linear regression data `y = ⟨w*, x⟩ + b* + N(0, noise²)` with features
+/// `x ~ N(0, I)`. Returns the dataset together with the ground-truth
+/// parameters `(w*, b*)` so tests can compare against the analytic optimum.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `samples` or `dim` is zero, or
+/// when `noise` is negative.
+pub fn linear_regression<R: Rng + ?Sized>(
+    samples: usize,
+    dim: usize,
+    noise: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Vector, f64), DataError> {
+    validate_positive(samples, "samples", "linear_regression")?;
+    validate_positive(dim, "dim", "linear_regression")?;
+    if noise < 0.0 {
+        return Err(DataError::invalid("linear_regression", "noise must be >= 0"));
+    }
+    let w_star = Vector::gaussian(dim, 0.0, 1.0, rng);
+    let b_star: f64 = rng.gen_range(-1.0..1.0);
+    let normal = Normal::new(0.0, noise.max(f64::MIN_POSITIVE)).expect("validated noise");
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let x = Vector::gaussian(dim, 0.0, 1.0, rng);
+        let mut y = w_star.dot(&x) + b_star;
+        if noise > 0.0 {
+            y += normal.sample(rng);
+        }
+        rows.push(x.into_inner());
+        labels.push(Label::Real(y));
+    }
+    let features = Matrix::from_rows(&rows).expect("rows share dim");
+    Ok((Dataset::new(features, labels)?, w_star, b_star))
+}
+
+/// Logistic regression data: `P(y = 1 | x) = sigmoid(⟨w*, x⟩ + b*)` with
+/// `x ~ N(0, I)`. Returns the dataset and the ground-truth `(w*, b*)`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `samples` or `dim` is zero.
+pub fn logistic_regression<R: Rng + ?Sized>(
+    samples: usize,
+    dim: usize,
+    rng: &mut R,
+) -> Result<(Dataset, Vector, f64), DataError> {
+    validate_positive(samples, "samples", "logistic_regression")?;
+    validate_positive(dim, "dim", "logistic_regression")?;
+    let w_star = Vector::gaussian(dim, 0.0, 2.0, rng);
+    let b_star: f64 = rng.gen_range(-0.5..0.5);
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let x = Vector::gaussian(dim, 0.0, 1.0, rng);
+        let p = sigmoid(w_star.dot(&x) + b_star);
+        let y = usize::from(rng.gen_bool(p.clamp(1e-9, 1.0 - 1e-9)));
+        rows.push(x.into_inner());
+        labels.push(Label::Class(y));
+    }
+    let features = Matrix::from_rows(&rows).expect("rows share dim");
+    Ok((Dataset::new(features, labels)?, w_star, b_star))
+}
+
+/// MNIST-like synthetic digits: 10 classes of `side × side` grayscale images.
+///
+/// Each class has a smooth random template (a sum of a handful of Gaussian
+/// bumps at class-specific locations); a sample is its class template plus
+/// i.i.d. pixel noise, clamped to `[0, 1]`. This preserves what the MLP
+/// experiment needs from MNIST: high input dimension (784 for `side = 28`),
+/// 10 classes, and samples concentrated around class-conditional means.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `samples` is zero, `side < 4`,
+/// or `noise` is negative.
+pub fn synthetic_digits<R: Rng + ?Sized>(
+    samples: usize,
+    side: usize,
+    noise: f64,
+    rng: &mut R,
+) -> Result<Dataset, DataError> {
+    validate_positive(samples, "samples", "synthetic_digits")?;
+    if side < 4 {
+        return Err(DataError::invalid("synthetic_digits", "side must be >= 4"));
+    }
+    if noise < 0.0 {
+        return Err(DataError::invalid("synthetic_digits", "noise must be >= 0"));
+    }
+    const CLASSES: usize = 10;
+    const BUMPS: usize = 4;
+    let dim = side * side;
+    // Build one template per class from BUMPS Gaussian bumps.
+    let mut templates = Vec::with_capacity(CLASSES);
+    for _ in 0..CLASSES {
+        let mut template = vec![0.0f64; dim];
+        for _ in 0..BUMPS {
+            let cx = rng.gen_range(0.0..side as f64);
+            let cy = rng.gen_range(0.0..side as f64);
+            let width = rng.gen_range(side as f64 / 10.0..side as f64 / 4.0);
+            let amplitude = rng.gen_range(0.5..1.0);
+            for (idx, t) in template.iter_mut().enumerate() {
+                let px = (idx % side) as f64;
+                let py = (idx / side) as f64;
+                let dist2 = (px - cx).powi(2) + (py - cy).powi(2);
+                *t += amplitude * (-dist2 / (2.0 * width * width)).exp();
+            }
+        }
+        for t in &mut template {
+            *t = t.min(1.0);
+        }
+        templates.push(template);
+    }
+    let normal = Normal::new(0.0, noise.max(f64::MIN_POSITIVE)).expect("validated noise");
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % CLASSES;
+        let row: Vec<f64> = templates[class]
+            .iter()
+            .map(|&t| {
+                let n = if noise > 0.0 { normal.sample(rng) } else { 0.0 };
+                (t + n).clamp(0.0, 1.0)
+            })
+            .collect();
+        rows.push(row);
+        labels.push(Label::Class(class));
+    }
+    let features = Matrix::from_rows(&rows).expect("rows share dim");
+    Dataset::new(features, labels)
+}
+
+/// Spambase-like binary classification: 57 continuous features whose
+/// class-conditional means differ (word/character frequencies and run-length
+/// statistics in the real dataset), plus heavier-tailed noise on a handful of
+/// columns — mimicking the real dataset's skew.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `samples` is zero.
+pub fn spambase_like<R: Rng + ?Sized>(samples: usize, rng: &mut R) -> Result<Dataset, DataError> {
+    validate_positive(samples, "samples", "spambase_like")?;
+    const DIM: usize = 57;
+    // Class-conditional feature means: spam emails have elevated frequencies
+    // on a random subset of features.
+    let spam_shift = Vector::uniform(DIM, 0.0, 1.5, rng);
+    let ham_shift = Vector::uniform(DIM, 0.0, 0.5, rng);
+    let spam_prob = Bernoulli::new(0.4).expect("valid probability");
+    let normal: Normal<f64> = Normal::new(0.0, 0.5).expect("valid normal");
+    let heavy: Normal<f64> = Normal::new(0.0, 2.0).expect("valid normal");
+    let mut rows = Vec::with_capacity(samples);
+    let mut labels = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let is_spam = spam_prob.sample(rng);
+        let shift = if is_spam { &spam_shift } else { &ham_shift };
+        let row: Vec<f64> = shift
+            .iter()
+            .enumerate()
+            .map(|(j, &m)| {
+                // The last 3 features mimic the capital-run-length columns,
+                // which are heavy-tailed in the real spambase data.
+                let noise: f64 = if j >= DIM - 3 {
+                    heavy.sample(rng).abs()
+                } else {
+                    normal.sample(rng)
+                };
+                (m + noise).max(0.0)
+            })
+            .collect();
+        rows.push(row);
+        labels.push(Label::Class(usize::from(is_spam)));
+    }
+    let features = Matrix::from_rows(&rows).expect("rows share dim");
+    Dataset::new(features, labels)
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+fn validate_positive(
+    value: usize,
+    name: &'static str,
+    context: &'static str,
+) -> Result<(), DataError> {
+    if value == 0 {
+        Err(DataError::invalid(context, format!("{name} must be >= 1")))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gaussian_blobs_shape_and_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = gaussian_blobs(30, 5, 3, 2.0, 0.1, &mut rng).unwrap();
+        assert_eq!(ds.len(), 30);
+        assert_eq!(ds.feature_dim(), 5);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.class_histogram(), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn gaussian_blobs_rejects_bad_arguments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(gaussian_blobs(0, 2, 2, 1.0, 0.1, &mut rng).is_err());
+        assert!(gaussian_blobs(10, 0, 2, 1.0, 0.1, &mut rng).is_err());
+        assert!(gaussian_blobs(10, 2, 0, 1.0, 0.1, &mut rng).is_err());
+        assert!(gaussian_blobs(10, 2, 2, 1.0, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gaussian_blobs_zero_noise_collapses_to_centres() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = gaussian_blobs(20, 3, 2, 5.0, 0.0, &mut rng).unwrap();
+        // All samples of the same class are identical when noise is zero.
+        let (x0, _) = ds.sample(0);
+        let (x2, _) = ds.sample(2);
+        assert_eq!(x0, x2);
+    }
+
+    #[test]
+    fn two_spirals_is_balanced_2d() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = two_spirals(100, 0.05, &mut rng).unwrap();
+        assert_eq!(ds.feature_dim(), 2);
+        assert_eq!(ds.class_histogram(), vec![50, 50]);
+        assert!(two_spirals(0, 0.0, &mut rng).is_err());
+        assert!(two_spirals(10, -1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn linear_regression_labels_match_ground_truth_when_noiseless() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (ds, w, b) = linear_regression(40, 6, 0.0, &mut rng).unwrap();
+        for i in 0..ds.len() {
+            let (x, y) = ds.sample(i);
+            let expected = w.dot(&x) + b;
+            assert!((y.real().unwrap() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_regression_validates_arguments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(linear_regression(0, 2, 0.1, &mut rng).is_err());
+        assert!(linear_regression(5, 0, 0.1, &mut rng).is_err());
+        assert!(linear_regression(5, 2, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn logistic_regression_labels_are_binary_and_correlated_with_margin() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (ds, w, b) = logistic_regression(400, 4, &mut rng).unwrap();
+        assert_eq!(ds.num_classes(), 2);
+        // Samples with a strongly positive margin should mostly be labelled 1.
+        let mut pos_margin_and_one = 0usize;
+        let mut pos_margin = 0usize;
+        for i in 0..ds.len() {
+            let (x, y) = ds.sample(i);
+            let margin = w.dot(&x) + b;
+            if margin > 2.0 {
+                pos_margin += 1;
+                if y.class() == Some(1) {
+                    pos_margin_and_one += 1;
+                }
+            }
+        }
+        assert!(pos_margin > 10, "need enough high-margin samples");
+        assert!(pos_margin_and_one as f64 / pos_margin as f64 > 0.8);
+    }
+
+    #[test]
+    fn synthetic_digits_shape_and_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ds = synthetic_digits(50, 12, 0.1, &mut rng).unwrap();
+        assert_eq!(ds.feature_dim(), 144);
+        assert_eq!(ds.num_classes(), 10);
+        assert!(ds
+            .features()
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn synthetic_digits_class_means_are_separated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let ds = synthetic_digits(200, 10, 0.05, &mut rng).unwrap();
+        // Mean image of class 0 differs measurably from the mean image of class 1.
+        let mean_image = |class: usize| -> Vector {
+            let idx: Vec<usize> = (0..ds.len())
+                .filter(|&i| ds.labels()[i].class() == Some(class))
+                .collect();
+            let vs: Vec<Vector> = idx.iter().map(|&i| ds.sample(i).0).collect();
+            Vector::mean_of(&vs).unwrap()
+        };
+        let m0 = mean_image(0);
+        let m1 = mean_image(1);
+        assert!(m0.distance(&m1) > 0.5, "templates should differ between classes");
+    }
+
+    #[test]
+    fn synthetic_digits_validates_arguments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(synthetic_digits(0, 10, 0.1, &mut rng).is_err());
+        assert!(synthetic_digits(10, 3, 0.1, &mut rng).is_err());
+        assert!(synthetic_digits(10, 10, -0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn spambase_like_has_57_nonnegative_features() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ds = spambase_like(300, &mut rng).unwrap();
+        assert_eq!(ds.feature_dim(), 57);
+        assert_eq!(ds.num_classes(), 2);
+        assert!(ds.features().as_slice().iter().all(|&x| x >= 0.0));
+        assert!(spambase_like(0, &mut rng).is_err());
+        // Both classes should be represented in a 300-sample draw.
+        let hist = ds.class_histogram();
+        assert!(hist[0] > 50 && hist[1] > 50);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = synthetic_digits(20, 8, 0.1, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let b = synthetic_digits(20, 8, 0.1, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+        let c = spambase_like(20, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let d = spambase_like(20, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,40 @@
+//! # krum-data
+//!
+//! Synthetic dataset substrate for the Krum reproduction.
+//!
+//! The paper's full-version evaluation trains on MNIST and spambase. Those
+//! datasets are not available offline in this environment, so this crate
+//! provides synthetic stand-ins that preserve the properties the theory relies
+//! on — i.i.d. samples, unbiased mini-batch gradients with bounded variance,
+//! and non-trivial classification structure:
+//!
+//! * [`generators::gaussian_blobs`] — well-separated multi-class clusters,
+//! * [`generators::two_spirals`] — a non-linearly separable binary task for the MLP,
+//! * [`generators::linear_regression`] / [`generators::logistic_regression`] —
+//!   convex tasks with analytically known optima,
+//! * [`generators::synthetic_digits`] — an MNIST-like 10-class image task
+//!   (class templates + pixel noise, 28×28 by default),
+//! * [`generators::spambase_like`] — a 57-feature binary task mimicking the
+//!   spambase feature statistics.
+//!
+//! [`Dataset`] stores features and labels, supports shuffling, train/test
+//! splits, normalisation and worker sharding ([`partition`]); [`BatchSampler`]
+//! draws reproducible mini-batches, which is what each (correct) worker uses
+//! to compute its gradient estimate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod dataset;
+pub mod generators;
+pub mod partition;
+
+pub use batch::{Batch, BatchSampler};
+pub use dataset::{DataError, Dataset, Label};
+
+/// Convenience prelude for the data crate.
+pub mod prelude {
+    pub use crate::generators;
+    pub use crate::{Batch, BatchSampler, DataError, Dataset, Label};
+}

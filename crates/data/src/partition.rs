@@ -1,0 +1,202 @@
+//! Sharding a dataset across workers.
+//!
+//! The paper's model has every correct worker draw samples i.i.d. from the
+//! same distribution ([`iid_shards`]). The introduction also mentions that
+//! *biases in the way the data samples are distributed among the processes*
+//! are one practical source of Byzantine-looking behaviour; [`label_skewed_shards`]
+//! produces exactly that situation so experiments can study it.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::{DataError, Dataset};
+
+/// Splits `dataset` into `workers` shards of (nearly) equal size after a
+/// uniform shuffle, so every shard follows the global distribution.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `workers` is zero or larger
+/// than the number of samples.
+pub fn iid_shards<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    workers: usize,
+    rng: &mut R,
+) -> Result<Vec<Dataset>, DataError> {
+    validate_worker_count(dataset, workers)?;
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(rng);
+    shards_from_indices(dataset, &indices, workers)
+}
+
+/// Splits `dataset` into `workers` shards sorted by label, so each shard sees
+/// only a narrow slice of the classes (the pathological non-i.i.d. setting).
+///
+/// For regression datasets the sort key is the real-valued target.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `workers` is zero or larger
+/// than the number of samples.
+pub fn label_skewed_shards(dataset: &Dataset, workers: usize) -> Result<Vec<Dataset>, DataError> {
+    validate_worker_count(dataset, workers)?;
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.sort_by(|&a, &b| {
+        dataset.labels()[a]
+            .as_f64()
+            .total_cmp(&dataset.labels()[b].as_f64())
+    });
+    shards_from_indices(dataset, &indices, workers)
+}
+
+/// Gives every worker an independently resampled bootstrap copy (sampling with
+/// replacement) of `shard_size` samples — the closest match to the paper's
+/// "each worker draws its share from an unknown distribution".
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidArgument`] when `workers` or `shard_size` is zero.
+pub fn bootstrap_shards<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    workers: usize,
+    shard_size: usize,
+    rng: &mut R,
+) -> Result<Vec<Dataset>, DataError> {
+    if workers == 0 {
+        return Err(DataError::invalid("bootstrap_shards", "workers must be >= 1"));
+    }
+    if shard_size == 0 {
+        return Err(DataError::invalid(
+            "bootstrap_shards",
+            "shard_size must be >= 1",
+        ));
+    }
+    if dataset.is_empty() {
+        return Err(DataError::Empty("bootstrap_shards"));
+    }
+    let mut shards = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let indices: Vec<usize> = (0..shard_size)
+            .map(|_| rng.gen_range(0..dataset.len()))
+            .collect();
+        shards.push(dataset.subset(&indices)?);
+    }
+    Ok(shards)
+}
+
+fn validate_worker_count(dataset: &Dataset, workers: usize) -> Result<(), DataError> {
+    if workers == 0 {
+        return Err(DataError::invalid("shards", "workers must be >= 1"));
+    }
+    if workers > dataset.len() {
+        return Err(DataError::invalid(
+            "shards",
+            format!(
+                "cannot split {} samples across {workers} workers",
+                dataset.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn shards_from_indices(
+    dataset: &Dataset,
+    indices: &[usize],
+    workers: usize,
+) -> Result<Vec<Dataset>, DataError> {
+    let base = indices.len() / workers;
+    let extra = indices.len() % workers;
+    let mut shards = Vec::with_capacity(workers);
+    let mut offset = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        let chunk = &indices[offset..offset + size];
+        shards.push(dataset.subset(chunk)?);
+        offset += size;
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dataset() -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        generators::gaussian_blobs(103, 4, 5, 2.0, 0.2, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn iid_shards_cover_the_dataset() {
+        let ds = dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let shards = iid_shards(&ds, 7, &mut rng).unwrap();
+        assert_eq!(shards.len(), 7);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, ds.len());
+        // Shard sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(Dataset::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn iid_shards_have_mixed_classes() {
+        let ds = dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let shards = iid_shards(&ds, 4, &mut rng).unwrap();
+        for shard in &shards {
+            let classes_present = shard
+                .class_histogram()
+                .iter()
+                .filter(|&&count| count > 0)
+                .count();
+            assert!(classes_present >= 3, "iid shard should mix classes");
+        }
+    }
+
+    #[test]
+    fn label_skewed_shards_concentrate_classes() {
+        let ds = dataset();
+        let shards = label_skewed_shards(&ds, 5).unwrap();
+        assert_eq!(shards.len(), 5);
+        // The first shard should contain (almost) exclusively the lowest class.
+        let hist = shards[0].class_histogram();
+        let dominant = hist.iter().max().unwrap();
+        let total: usize = hist.iter().sum();
+        assert!(*dominant as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn worker_count_validation() {
+        let ds = dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(iid_shards(&ds, 0, &mut rng).is_err());
+        assert!(iid_shards(&ds, ds.len() + 1, &mut rng).is_err());
+        assert!(label_skewed_shards(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn bootstrap_shards_have_requested_size() {
+        let ds = dataset();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let shards = bootstrap_shards(&ds, 6, 40, &mut rng).unwrap();
+        assert_eq!(shards.len(), 6);
+        assert!(shards.iter().all(|s| s.len() == 40));
+        assert!(bootstrap_shards(&ds, 0, 10, &mut rng).is_err());
+        assert!(bootstrap_shards(&ds, 3, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sharding_is_seed_deterministic() {
+        let ds = dataset();
+        let a = iid_shards(&ds, 5, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
+        let b = iid_shards(&ds, 5, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
+        assert_eq!(a, b);
+    }
+}

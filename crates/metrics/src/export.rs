@@ -1,0 +1,117 @@
+//! Exporters: CSV and JSON serialisation of training histories.
+
+use std::io::Write;
+use std::path::Path;
+
+use thiserror::Error;
+
+use crate::history::TrainingHistory;
+use crate::round::RoundRecord;
+
+/// Errors raised when exporting metrics.
+#[derive(Debug, Error)]
+pub enum ExportError {
+    /// Serialisation to JSON failed.
+    #[error("failed to serialise history to JSON: {0}")]
+    Json(#[from] serde_json::Error),
+    /// Writing to the output file failed.
+    #[error("failed to write export file: {0}")]
+    Io(#[from] std::io::Error),
+}
+
+/// Renders a history as a CSV document (header plus one row per round).
+pub fn to_csv(history: &TrainingHistory) -> String {
+    let mut out = String::new();
+    out.push_str(RoundRecord::csv_header());
+    out.push('\n');
+    for r in &history.rounds {
+        out.push_str(&r.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a history as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`ExportError::Json`] if serialisation fails.
+pub fn to_json(history: &TrainingHistory) -> Result<String, ExportError> {
+    Ok(serde_json::to_string_pretty(history)?)
+}
+
+/// Writes the CSV rendering of `history` to `path`.
+///
+/// # Errors
+///
+/// Returns [`ExportError::Io`] on filesystem errors.
+pub fn write_csv(history: &TrainingHistory, path: impl AsRef<Path>) -> Result<(), ExportError> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_csv(history).as_bytes())?;
+    Ok(())
+}
+
+/// Writes the JSON rendering of `history` to `path`.
+///
+/// # Errors
+///
+/// Returns [`ExportError::Json`] or [`ExportError::Io`].
+pub fn write_json(history: &TrainingHistory, path: impl AsRef<Path>) -> Result<(), ExportError> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_json(history)?.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> TrainingHistory {
+        let mut h = TrainingHistory::new("export-test", "krum", "gaussian", 12, 4);
+        for i in 0..3 {
+            let mut r = RoundRecord::new(i, 1.0 / (i + 1) as f64, 0.1);
+            r.loss = Some(2.0 / (i + 1) as f64);
+            h.push(r);
+        }
+        h
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_round() {
+        let csv = to_csv(&history());
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("round,loss"));
+        assert!(lines[1].starts_with("0,2,"));
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let h = history();
+        let json = to_json(&h).unwrap();
+        let back: TrainingHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn files_are_written() {
+        let dir = std::env::temp_dir().join(format!("krum-metrics-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("history.csv");
+        let json_path = dir.join("history.json");
+        write_csv(&history(), &csv_path).unwrap();
+        write_json(&history(), &json_path).unwrap();
+        assert!(std::fs::read_to_string(&csv_path).unwrap().contains("round,loss"));
+        assert!(std::fs::read_to_string(&json_path)
+            .unwrap()
+            .contains("\"aggregator\": \"krum\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_errors_are_reported() {
+        let err = write_csv(&history(), "/nonexistent-dir/OUT/metrics.csv").unwrap_err();
+        assert!(matches!(err, ExportError::Io(_)));
+        assert!(err.to_string().contains("write"));
+    }
+}

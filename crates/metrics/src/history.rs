@@ -1,0 +1,303 @@
+//! Training history: an ordered collection of round records plus metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::round::RoundRecord;
+use crate::selection::SelectionStats;
+
+/// The full trajectory of one training run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Free-form run label, e.g. `"krum n=25 f=11 gaussian-attack"`.
+    pub label: String,
+    /// Name of the aggregation rule used by the parameter server.
+    pub aggregator: String,
+    /// Name of the attack the Byzantine workers ran (`"none"` if `f = 0`).
+    pub attack: String,
+    /// Total number of workers `n`.
+    pub workers: usize,
+    /// Number of Byzantine workers `f`.
+    pub byzantine: usize,
+    /// One record per completed round, in round order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+/// Summary of how (and whether) a run converged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceSummary {
+    /// Loss at the first recorded round, when available.
+    pub initial_loss: Option<f64>,
+    /// Loss at the last recorded round, when available.
+    pub final_loss: Option<f64>,
+    /// Best (lowest) loss seen during the run, when available.
+    pub best_loss: Option<f64>,
+    /// Accuracy at the last recorded round, when available.
+    pub final_accuracy: Option<f64>,
+    /// Smallest recorded true-gradient norm, when available.
+    pub min_gradient_norm: Option<f64>,
+    /// Number of recorded rounds.
+    pub rounds: usize,
+    /// Whether any recorded quantity became non-finite (a diverged run).
+    pub diverged: bool,
+}
+
+impl TrainingHistory {
+    /// Creates an empty history with descriptive metadata.
+    pub fn new(
+        label: impl Into<String>,
+        aggregator: impl Into<String>,
+        attack: impl Into<String>,
+        workers: usize,
+        byzantine: usize,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            aggregator: aggregator.into(),
+            attack: attack.into(),
+            workers,
+            byzantine,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Appends one round record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Returns `true` when no round has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The last recorded round, if any.
+    pub fn last(&self) -> Option<&RoundRecord> {
+        self.rounds.last()
+    }
+
+    /// Loss series (rounds without a loss measurement are skipped).
+    pub fn losses(&self) -> Vec<(usize, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.loss.map(|l| (r.round, l)))
+            .collect()
+    }
+
+    /// Accuracy series (rounds without an accuracy measurement are skipped).
+    pub fn accuracies(&self) -> Vec<(usize, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.accuracy.map(|a| (r.round, a)))
+            .collect()
+    }
+
+    /// True-gradient-norm series.
+    pub fn gradient_norms(&self) -> Vec<(usize, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.true_gradient_norm.map(|g| (r.round, g)))
+            .collect()
+    }
+
+    /// First round at which the loss dropped to `threshold` or below, if ever.
+    pub fn rounds_to_loss(&self, threshold: f64) -> Option<usize> {
+        self.rounds
+            .iter()
+            .find(|r| r.loss.is_some_and(|l| l <= threshold))
+            .map(|r| r.round)
+    }
+
+    /// First round at which the accuracy reached `threshold` or above, if ever.
+    pub fn rounds_to_accuracy(&self, threshold: f64) -> Option<usize> {
+        self.rounds
+            .iter()
+            .find(|r| r.accuracy.is_some_and(|a| a >= threshold))
+            .map(|r| r.round)
+    }
+
+    /// Selection statistics accumulated over the whole run.
+    pub fn selection_stats(&self) -> SelectionStats {
+        let mut stats = SelectionStats::default();
+        for r in &self.rounds {
+            if let Some(byz) = r.selected_byzantine {
+                stats.record(byz);
+            }
+        }
+        stats
+    }
+
+    /// Mean aggregation time per round in nanoseconds (0 when empty).
+    pub fn mean_aggregation_nanos(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds
+            .iter()
+            .map(|r| r.aggregation_nanos as f64)
+            .sum::<f64>()
+            / self.rounds.len() as f64
+    }
+
+    /// Mean full-round time in nanoseconds (0 when empty).
+    pub fn mean_round_nanos(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.round_nanos as f64).sum::<f64>()
+            / self.rounds.len() as f64
+    }
+
+    /// Builds a [`ConvergenceSummary`] over the recorded rounds.
+    pub fn summary(&self) -> ConvergenceSummary {
+        let losses: Vec<f64> = self.rounds.iter().filter_map(|r| r.loss).collect();
+        let accuracy = self.rounds.iter().rev().find_map(|r| r.accuracy);
+        let grad_norms: Vec<f64> = self
+            .rounds
+            .iter()
+            .filter_map(|r| r.true_gradient_norm)
+            .collect();
+        let diverged = self.rounds.iter().any(|r| {
+            r.loss.is_some_and(|l| !l.is_finite())
+                || !r.aggregate_norm.is_finite()
+                || r.true_gradient_norm.is_some_and(|g| !g.is_finite())
+        });
+        ConvergenceSummary {
+            initial_loss: losses.first().copied(),
+            final_loss: losses.last().copied(),
+            best_loss: losses.iter().copied().reduce(f64::min),
+            final_accuracy: accuracy,
+            min_gradient_norm: grad_norms.iter().copied().reduce(f64::min),
+            rounds: self.rounds.len(),
+            diverged,
+        }
+    }
+}
+
+impl Extend<RoundRecord> for TrainingHistory {
+    fn extend<T: IntoIterator<Item = RoundRecord>>(&mut self, iter: T) {
+        self.rounds.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, loss: f64, acc: f64) -> RoundRecord {
+        let mut r = RoundRecord::new(round, 1.0, 0.1);
+        r.loss = Some(loss);
+        r.accuracy = Some(acc);
+        r.true_gradient_norm = Some(loss * 2.0);
+        r
+    }
+
+    fn history() -> TrainingHistory {
+        let mut h = TrainingHistory::new("test", "krum", "none", 10, 3);
+        for (i, (l, a)) in [(1.0, 0.3), (0.6, 0.5), (0.3, 0.7), (0.1, 0.9)]
+            .iter()
+            .enumerate()
+        {
+            h.push(record(i, *l, *a));
+        }
+        h
+    }
+
+    #[test]
+    fn metadata_and_series() {
+        let h = history();
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+        assert_eq!(h.aggregator, "krum");
+        assert_eq!(h.workers, 10);
+        assert_eq!(h.byzantine, 3);
+        assert_eq!(h.losses().len(), 4);
+        assert_eq!(h.accuracies()[3], (3, 0.9));
+        assert_eq!(h.gradient_norms()[0], (0, 2.0));
+        assert_eq!(h.last().unwrap().round, 3);
+    }
+
+    #[test]
+    fn convergence_thresholds() {
+        let h = history();
+        assert_eq!(h.rounds_to_loss(0.6), Some(1));
+        assert_eq!(h.rounds_to_loss(0.05), None);
+        assert_eq!(h.rounds_to_accuracy(0.7), Some(2));
+        assert_eq!(h.rounds_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn summary_reports_losses_and_divergence() {
+        let h = history();
+        let s = h.summary();
+        assert_eq!(s.initial_loss, Some(1.0));
+        assert_eq!(s.final_loss, Some(0.1));
+        assert_eq!(s.best_loss, Some(0.1));
+        assert_eq!(s.final_accuracy, Some(0.9));
+        assert_eq!(s.min_gradient_norm, Some(0.2));
+        assert_eq!(s.rounds, 4);
+        assert!(!s.diverged);
+
+        let mut bad = history();
+        bad.push(record(4, f64::INFINITY, 0.0));
+        assert!(bad.summary().diverged);
+    }
+
+    #[test]
+    fn empty_history_summary_is_all_none() {
+        let h = TrainingHistory::new("empty", "average", "none", 5, 0);
+        let s = h.summary();
+        assert!(s.initial_loss.is_none());
+        assert!(s.best_loss.is_none());
+        assert_eq!(s.rounds, 0);
+        assert!(!s.diverged);
+        assert_eq!(h.mean_aggregation_nanos(), 0.0);
+        assert_eq!(h.mean_round_nanos(), 0.0);
+    }
+
+    #[test]
+    fn selection_stats_accumulate() {
+        let mut h = TrainingHistory::new("sel", "krum", "collusion", 10, 2);
+        for i in 0..6 {
+            let mut r = RoundRecord::new(i, 1.0, 0.1);
+            r.selected_byzantine = Some(i % 3 == 0);
+            h.push(r);
+        }
+        let stats = h.selection_stats();
+        assert_eq!(stats.total(), 6);
+        assert_eq!(stats.byzantine_selected(), 2);
+        assert!((stats.byzantine_rate() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_means() {
+        let mut h = TrainingHistory::new("t", "krum", "none", 4, 0);
+        for i in 0..3 {
+            let mut r = RoundRecord::new(i, 1.0, 0.1);
+            r.aggregation_nanos = 100 * (i as u128 + 1);
+            r.round_nanos = 1000;
+            h.push(r);
+        }
+        assert!((h.mean_aggregation_nanos() - 200.0).abs() < 1e-9);
+        assert!((h.mean_round_nanos() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_appends_records() {
+        let mut h = TrainingHistory::new("e", "average", "none", 2, 0);
+        h.extend(vec![RoundRecord::new(0, 1.0, 0.1), RoundRecord::new(1, 1.0, 0.1)]);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = history();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: TrainingHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

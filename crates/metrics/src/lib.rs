@@ -1,0 +1,30 @@
+//! # krum-metrics
+//!
+//! Round-level telemetry for the Krum reproduction.
+//!
+//! Every experiment in EXPERIMENTS.md is regenerated from the numeric series
+//! produced here: a [`RoundRecord`] per synchronous round, collected into a
+//! [`TrainingHistory`], summarised by [`SelectionStats`] (how often the
+//! aggregation rule picked a Byzantine proposal) and exported as CSV or JSON
+//! for the tables in the write-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod history;
+mod round;
+mod selection;
+
+pub use export::{to_csv, to_json, write_csv, write_json, ExportError};
+pub use history::{ConvergenceSummary, TrainingHistory};
+pub use round::RoundRecord;
+pub use selection::SelectionStats;
+
+/// Convenience prelude for the metrics crate.
+pub mod prelude {
+    pub use crate::{
+        to_csv, to_json, ConvergenceSummary, ExportError, RoundRecord, SelectionStats,
+        TrainingHistory,
+    };
+}

@@ -1,0 +1,133 @@
+//! Per-round measurement record.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the parameter server measured during one synchronous round.
+///
+/// Fields that cannot always be computed (test accuracy, the angle to the true
+/// gradient, which worker was selected) are optional; experiments fill in what
+/// their configuration makes observable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index `t`, starting at 0.
+    pub round: usize,
+    /// Training loss `Q(x_t)` (or the best available estimate of it).
+    pub loss: Option<f64>,
+    /// Accuracy on a held-out evaluation set, when one is configured.
+    pub accuracy: Option<f64>,
+    /// Norm of the true gradient `‖∇Q(x_t)‖` when analytically available.
+    pub true_gradient_norm: Option<f64>,
+    /// Norm of the aggregated update `‖F(V_1, …, V_n)‖`.
+    pub aggregate_norm: f64,
+    /// Cosine of the angle between the aggregate and the true gradient
+    /// (`⟨F, g⟩ / (‖F‖·‖g‖)`), when the true gradient is available.
+    pub alignment: Option<f64>,
+    /// Distance between the parameter vector and a known optimum `‖x_t − x*‖`,
+    /// when the optimum is known (quadratic cost experiments).
+    pub distance_to_optimum: Option<f64>,
+    /// Index of the worker whose proposal was selected, for selection rules
+    /// (Krum, Multi-Krum with m = 1); `None` for averaging-style rules.
+    pub selected_worker: Option<usize>,
+    /// Whether the selected worker was Byzantine.
+    pub selected_byzantine: Option<bool>,
+    /// Learning rate `γ_t` used this round.
+    pub learning_rate: f64,
+    /// Wall-clock duration of the aggregation step, in nanoseconds.
+    pub aggregation_nanos: u128,
+    /// Wall-clock duration of the full round, in nanoseconds.
+    pub round_nanos: u128,
+}
+
+impl RoundRecord {
+    /// Creates a record with only the mandatory fields; the optional
+    /// measurements start as `None`/zero and are filled in by the trainer.
+    pub fn new(round: usize, aggregate_norm: f64, learning_rate: f64) -> Self {
+        Self {
+            round,
+            loss: None,
+            accuracy: None,
+            true_gradient_norm: None,
+            aggregate_norm,
+            alignment: None,
+            distance_to_optimum: None,
+            selected_worker: None,
+            selected_byzantine: None,
+            learning_rate,
+            aggregation_nanos: 0,
+            round_nanos: 0,
+        }
+    }
+
+    /// CSV header matching [`RoundRecord::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "round,loss,accuracy,true_gradient_norm,aggregate_norm,alignment,\
+         distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
+         aggregation_nanos,round_nanos"
+    }
+
+    /// Serialises the record as one CSV row (empty cells for `None`).
+    pub fn to_csv_row(&self) -> String {
+        fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+            v.as_ref().map(ToString::to_string).unwrap_or_default()
+        }
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.round,
+            opt(&self.loss),
+            opt(&self.accuracy),
+            opt(&self.true_gradient_norm),
+            self.aggregate_norm,
+            opt(&self.alignment),
+            opt(&self.distance_to_optimum),
+            opt(&self.selected_worker),
+            opt(&self.selected_byzantine),
+            self.learning_rate,
+            self.aggregation_nanos,
+            self.round_nanos,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fills_defaults() {
+        let r = RoundRecord::new(3, 1.5, 0.01);
+        assert_eq!(r.round, 3);
+        assert_eq!(r.aggregate_norm, 1.5);
+        assert_eq!(r.learning_rate, 0.01);
+        assert!(r.loss.is_none());
+        assert!(r.selected_worker.is_none());
+        assert_eq!(r.aggregation_nanos, 0);
+    }
+
+    #[test]
+    fn csv_row_has_as_many_cells_as_header() {
+        let mut r = RoundRecord::new(0, 2.0, 0.1);
+        r.loss = Some(0.7);
+        r.selected_worker = Some(4);
+        r.selected_byzantine = Some(false);
+        let header_cells = RoundRecord::csv_header().split(',').count();
+        let row_cells = r.to_csv_row().split(',').count();
+        assert_eq!(header_cells, row_cells);
+        assert!(r.to_csv_row().contains("0.7"));
+    }
+
+    #[test]
+    fn none_fields_serialise_as_empty_cells() {
+        let r = RoundRecord::new(1, 0.0, 0.1);
+        let row = r.to_csv_row();
+        assert!(row.starts_with("1,,,,"), "row was {row}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut r = RoundRecord::new(9, 0.4, 0.05);
+        r.alignment = Some(0.99);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

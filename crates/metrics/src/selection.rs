@@ -1,0 +1,123 @@
+//! Selection statistics for selection-based aggregation rules.
+//!
+//! The Figure-2 experiment (E2) measures exactly this: how often each rule
+//! ends up selecting a Byzantine proposal under the collusion attack.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts how often the aggregation rule selected an honest vs. a Byzantine
+/// proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SelectionStats {
+    honest: usize,
+    byzantine: usize,
+}
+
+impl SelectionStats {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one selection event.
+    pub fn record(&mut self, selected_byzantine: bool) {
+        if selected_byzantine {
+            self.byzantine += 1;
+        } else {
+            self.honest += 1;
+        }
+    }
+
+    /// Number of rounds in which an honest proposal was selected.
+    pub fn honest_selected(&self) -> usize {
+        self.honest
+    }
+
+    /// Number of rounds in which a Byzantine proposal was selected.
+    pub fn byzantine_selected(&self) -> usize {
+        self.byzantine
+    }
+
+    /// Total number of recorded selections.
+    pub fn total(&self) -> usize {
+        self.honest + self.byzantine
+    }
+
+    /// Fraction of rounds in which a Byzantine proposal was selected
+    /// (0.0 when nothing has been recorded).
+    pub fn byzantine_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.byzantine as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.honest += other.honest;
+        self.byzantine += other.byzantine;
+    }
+}
+
+impl std::fmt::Display for SelectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "selections: {} honest, {} byzantine ({:.1}% byzantine)",
+            self.honest,
+            self.byzantine,
+            100.0 * self.byzantine_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = SelectionStats::new();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.byzantine_rate(), 0.0);
+        s.record(false);
+        s.record(false);
+        s.record(true);
+        assert_eq!(s.honest_selected(), 2);
+        assert_eq!(s.byzantine_selected(), 1);
+        assert_eq!(s.total(), 3);
+        assert!((s.byzantine_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = SelectionStats::new();
+        a.record(true);
+        let mut b = SelectionStats::new();
+        b.record(false);
+        b.record(false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.byzantine_selected(), 1);
+    }
+
+    #[test]
+    fn display_mentions_percentage() {
+        let mut s = SelectionStats::new();
+        s.record(true);
+        s.record(false);
+        let text = s.to_string();
+        assert!(text.contains("50.0%"));
+        assert!(text.contains("1 honest"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = SelectionStats::new();
+        s.record(true);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SelectionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,117 @@
+//! Element-wise activation functions for the MLP.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (no non-linearity).
+    Identity,
+    /// Rectified linear unit `max(0, z)`.
+    Relu,
+    /// Logistic sigmoid `1 / (1 + e^{-z})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Default for Activation {
+    fn default() -> Self {
+        Self::Relu
+    }
+}
+
+impl Activation {
+    /// Applies the activation to a scalar pre-activation.
+    pub fn apply(&self, z: f64) -> f64 {
+        match self {
+            Self::Identity => z,
+            Self::Relu => z.max(0.0),
+            Self::Sigmoid => 1.0 / (1.0 + (-z).exp()),
+            Self::Tanh => z.tanh(),
+        }
+    }
+
+    /// Derivative of the activation, expressed as a function of the
+    /// pre-activation `z`.
+    pub fn derivative(&self, z: f64) -> f64 {
+        match self {
+            Self::Identity => 1.0,
+            Self::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::Sigmoid => {
+                let s = self.apply(z);
+                s * (1.0 - s)
+            }
+            Self::Tanh => 1.0 - z.tanh().powi(2),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Identity => "identity",
+            Self::Relu => "relu",
+            Self::Sigmoid => "sigmoid",
+            Self::Tanh => "tanh",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 4] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+
+    #[test]
+    fn apply_known_values() {
+        assert_eq!(Activation::Identity.apply(-2.5), -2.5);
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_matches_finite_differences() {
+        let eps = 1e-6;
+        for act in ALL {
+            for &z in &[-1.3, -0.2, 0.4, 2.1] {
+                let numeric = (act.apply(z + eps) - act.apply(z - eps)) / (2.0 * eps);
+                let analytic = act.derivative(z);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{}: derivative mismatch at {z}: {numeric} vs {analytic}",
+                    act.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_at_kink_is_zero() {
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn default_is_relu() {
+        assert_eq!(Activation::default(), Activation::Relu);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type shared by the model implementations.
+
+use thiserror::Error;
+
+/// Errors produced by model construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Error)]
+pub enum ModelError {
+    /// A parameter vector had the wrong dimension for this model.
+    #[error("parameter vector has dimension {found} but the model expects {expected}")]
+    ParameterDimension {
+        /// Dimension the model expects.
+        expected: usize,
+        /// Dimension that was supplied.
+        found: usize,
+    },
+    /// A batch had a feature dimension that does not match the model input.
+    #[error("batch features have dimension {found} but the model expects {expected}")]
+    FeatureDimension {
+        /// Input dimension the model expects.
+        expected: usize,
+        /// Feature dimension of the offending batch.
+        found: usize,
+    },
+    /// A label was incompatible with the model (e.g. a regression label fed to
+    /// a classifier, or a class index out of range).
+    #[error("incompatible label: {0}")]
+    BadLabel(String),
+    /// A configuration value was invalid.
+    #[error("invalid model configuration: {0}")]
+    BadConfig(String),
+    /// An operation requiring at least one sample got an empty batch.
+    #[error("operation `{0}` requires a non-empty batch")]
+    EmptyBatch(&'static str),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::ParameterDimension {
+            expected: 10,
+            found: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+        let e = ModelError::BadLabel("class 7 out of range".into());
+        assert!(e.to_string().contains("class 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

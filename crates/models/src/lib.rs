@@ -1,0 +1,55 @@
+//! # krum-models
+//!
+//! Learning models, loss functions and stochastic gradient estimators for the
+//! Krum reproduction.
+//!
+//! The paper frames learning as minimising a cost function `Q(x)` over a
+//! parameter vector `x ∈ R^d`, with workers computing stochastic estimates
+//! `G(x, ξ)` of `∇Q(x)`. This crate supplies:
+//!
+//! * the [`Model`] trait — a stateless description of a differentiable model
+//!   whose parameters are a flat [`Vector`](krum_tensor::Vector) (exactly the
+//!   paper's `x ∈ R^d`),
+//! * concrete models: [`LinearRegression`], [`LogisticRegression`],
+//!   [`SoftmaxRegression`] and a multi-layer perceptron ([`Mlp`]) with manual
+//!   backpropagation,
+//! * the synthetic [`QuadraticCost`] used for the theory-facing experiments
+//!   (its gradient and optimum are known in closed form),
+//! * the [`GradientEstimator`] abstraction that workers use to produce
+//!   `G(x, ξ)`: [`BatchGradientEstimator`] (model + mini-batch) and
+//!   [`GaussianEstimator`] (true gradient + Gaussian noise, matching the
+//!   `E‖G − g‖² = d·σ²` assumption of Proposition 4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod error;
+mod estimator;
+mod linear;
+mod loss;
+mod mlp;
+mod model;
+mod quadratic;
+mod softmax;
+
+pub use activation::Activation;
+pub use error::ModelError;
+pub use estimator::{
+    sample_estimates, BatchGradientEstimator, GaussianEstimator, GradientEstimator,
+};
+pub use linear::{LinearRegression, LogisticRegression};
+pub use loss::{binary_cross_entropy, mse, softmax, softmax_cross_entropy, Loss};
+pub use mlp::{Mlp, MlpBuilder};
+pub use model::{accuracy, evaluate, finite_difference_check, EvalReport, Model, Prediction};
+pub use quadratic::QuadraticCost;
+pub use softmax::SoftmaxRegression;
+
+/// Convenience prelude for the models crate.
+pub mod prelude {
+    pub use crate::{
+        accuracy, evaluate, sample_estimates, Activation, BatchGradientEstimator, EvalReport,
+        GaussianEstimator, GradientEstimator, LinearRegression, LogisticRegression, Mlp,
+        MlpBuilder, Model, ModelError, Prediction, QuadraticCost, SoftmaxRegression,
+    };
+}

@@ -1,0 +1,449 @@
+//! Linear and logistic regression.
+//!
+//! Both models flatten their parameters as `[w_0 … w_{p-1}, b]` where `p` is
+//! the input feature dimension, so `d = p + 1`.
+
+use krum_data::{Batch, Label};
+use krum_tensor::{InitStrategy, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::model::{flat_init, Model, Prediction};
+
+/// Least-squares linear regression `ŷ = ⟨w, x⟩ + b` with loss
+/// `mean((ŷ − y)² / 2) + (λ/2)‖w‖²`.
+///
+/// # Example
+///
+/// ```
+/// use krum_models::{LinearRegression, Model};
+/// use krum_tensor::Vector;
+///
+/// let model = LinearRegression::new(3);
+/// assert_eq!(model.dim(), 4); // 3 weights + bias
+/// let params = Vector::zeros(4);
+/// let pred = model.predict(&params, &Vector::zeros(3)).unwrap();
+/// assert_eq!(pred.value(), Some(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    input_dim: usize,
+    l2: f64,
+}
+
+impl LinearRegression {
+    /// Creates an unregularised linear regression on `input_dim` features.
+    pub fn new(input_dim: usize) -> Self {
+        Self { input_dim, l2: 0.0 }
+    }
+
+    /// Creates a ridge regression with L2 penalty `λ = l2` on the weights.
+    pub fn with_l2(input_dim: usize, l2: f64) -> Self {
+        Self { input_dim, l2 }
+    }
+
+    /// Number of input features.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// L2 regularisation strength.
+    pub fn l2(&self) -> f64 {
+        self.l2
+    }
+
+    fn split_params<'a>(&self, params: &'a Vector) -> (&'a [f64], f64) {
+        let slice = params.as_slice();
+        (&slice[..self.input_dim], slice[self.input_dim])
+    }
+
+    fn check_batch(&self, batch: &Batch) -> Result<(), ModelError> {
+        if batch.is_empty() {
+            return Err(ModelError::EmptyBatch("LinearRegression"));
+        }
+        if batch.features.cols() != self.input_dim {
+            return Err(ModelError::FeatureDimension {
+                expected: self.input_dim,
+                found: batch.features.cols(),
+            });
+        }
+        Ok(())
+    }
+
+    fn target(label: &Label) -> Result<f64, ModelError> {
+        match label {
+            Label::Real(v) => Ok(*v),
+            Label::Class(c) => Ok(*c as f64),
+        }
+    }
+}
+
+impl Model for LinearRegression {
+    fn dim(&self) -> usize {
+        self.input_dim + 1
+    }
+
+    fn init_parameters(&self, strategy: InitStrategy, rng: &mut dyn rand::RngCore) -> Vector {
+        flat_init(self.dim(), strategy, rng)
+    }
+
+    fn loss(&self, params: &Vector, batch: &Batch) -> Result<f64, ModelError> {
+        self.check_params(params)?;
+        self.check_batch(batch)?;
+        let (w, b) = self.split_params(params);
+        let w = Vector::from(w);
+        let mut total = 0.0;
+        for i in 0..batch.len() {
+            let (x, label) = batch.sample(i);
+            let pred = w.dot(&x) + b;
+            let err = pred - Self::target(&label)?;
+            total += 0.5 * err * err;
+        }
+        let mut loss = total / batch.len() as f64;
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * w.squared_norm();
+        }
+        Ok(loss)
+    }
+
+    fn gradient(&self, params: &Vector, batch: &Batch) -> Result<Vector, ModelError> {
+        self.check_params(params)?;
+        self.check_batch(batch)?;
+        let (w, b) = self.split_params(params);
+        let w = Vector::from(w);
+        let mut grad_w = Vector::zeros(self.input_dim);
+        let mut grad_b = 0.0;
+        for i in 0..batch.len() {
+            let (x, label) = batch.sample(i);
+            let err = w.dot(&x) + b - Self::target(&label)?;
+            grad_w.axpy(err, &x);
+            grad_b += err;
+        }
+        let scale = 1.0 / batch.len() as f64;
+        grad_w.scale(scale);
+        grad_b *= scale;
+        if self.l2 > 0.0 {
+            grad_w.axpy(self.l2, &w);
+        }
+        let mut out = grad_w.into_inner();
+        out.push(grad_b);
+        Ok(Vector::from(out))
+    }
+
+    fn predict(&self, params: &Vector, features: &Vector) -> Result<Prediction, ModelError> {
+        self.check_params(params)?;
+        if features.dim() != self.input_dim {
+            return Err(ModelError::FeatureDimension {
+                expected: self.input_dim,
+                found: features.dim(),
+            });
+        }
+        let (w, b) = self.split_params(params);
+        Ok(Prediction::Value(Vector::from(w).dot(features) + b))
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-regression"
+    }
+}
+
+/// Binary logistic regression `P(y=1|x) = sigmoid(⟨w, x⟩ + b)` with
+/// cross-entropy loss and optional L2 penalty.
+///
+/// Labels must be `Label::Class(0)` or `Label::Class(1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    input_dim: usize,
+    l2: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an unregularised logistic regression on `input_dim` features.
+    pub fn new(input_dim: usize) -> Self {
+        Self { input_dim, l2: 0.0 }
+    }
+
+    /// Creates an L2-regularised logistic regression.
+    pub fn with_l2(input_dim: usize, l2: f64) -> Self {
+        Self { input_dim, l2 }
+    }
+
+    /// Number of input features.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Probability that the sample belongs to class 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on dimension mismatch.
+    pub fn probability(&self, params: &Vector, features: &Vector) -> Result<f64, ModelError> {
+        self.check_params(params)?;
+        if features.dim() != self.input_dim {
+            return Err(ModelError::FeatureDimension {
+                expected: self.input_dim,
+                found: features.dim(),
+            });
+        }
+        let slice = params.as_slice();
+        let w = Vector::from(&slice[..self.input_dim]);
+        let b = slice[self.input_dim];
+        Ok(sigmoid(w.dot(features) + b))
+    }
+
+    fn check_batch(&self, batch: &Batch) -> Result<(), ModelError> {
+        if batch.is_empty() {
+            return Err(ModelError::EmptyBatch("LogisticRegression"));
+        }
+        if batch.features.cols() != self.input_dim {
+            return Err(ModelError::FeatureDimension {
+                expected: self.input_dim,
+                found: batch.features.cols(),
+            });
+        }
+        Ok(())
+    }
+
+    fn binary_target(label: &Label) -> Result<f64, ModelError> {
+        match label {
+            Label::Class(0) => Ok(0.0),
+            Label::Class(1) => Ok(1.0),
+            Label::Class(c) => Err(ModelError::BadLabel(format!(
+                "logistic regression expects classes 0/1, got {c}"
+            ))),
+            Label::Real(v) => Err(ModelError::BadLabel(format!(
+                "logistic regression expects class labels, got real value {v}"
+            ))),
+        }
+    }
+}
+
+impl Model for LogisticRegression {
+    fn dim(&self) -> usize {
+        self.input_dim + 1
+    }
+
+    fn init_parameters(&self, strategy: InitStrategy, rng: &mut dyn rand::RngCore) -> Vector {
+        flat_init(self.dim(), strategy, rng)
+    }
+
+    fn loss(&self, params: &Vector, batch: &Batch) -> Result<f64, ModelError> {
+        self.check_params(params)?;
+        self.check_batch(batch)?;
+        let slice = params.as_slice();
+        let w = Vector::from(&slice[..self.input_dim]);
+        let b = slice[self.input_dim];
+        let mut total = 0.0;
+        for i in 0..batch.len() {
+            let (x, label) = batch.sample(i);
+            let y = Self::binary_target(&label)?;
+            let p = sigmoid(w.dot(&x) + b).clamp(1e-12, 1.0 - 1e-12);
+            total += -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+        }
+        let mut loss = total / batch.len() as f64;
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * w.squared_norm();
+        }
+        Ok(loss)
+    }
+
+    fn gradient(&self, params: &Vector, batch: &Batch) -> Result<Vector, ModelError> {
+        self.check_params(params)?;
+        self.check_batch(batch)?;
+        let slice = params.as_slice();
+        let w = Vector::from(&slice[..self.input_dim]);
+        let b = slice[self.input_dim];
+        let mut grad_w = Vector::zeros(self.input_dim);
+        let mut grad_b = 0.0;
+        for i in 0..batch.len() {
+            let (x, label) = batch.sample(i);
+            let y = Self::binary_target(&label)?;
+            let err = sigmoid(w.dot(&x) + b) - y;
+            grad_w.axpy(err, &x);
+            grad_b += err;
+        }
+        let scale = 1.0 / batch.len() as f64;
+        grad_w.scale(scale);
+        grad_b *= scale;
+        if self.l2 > 0.0 {
+            grad_w.axpy(self.l2, &w);
+        }
+        let mut out = grad_w.into_inner();
+        out.push(grad_b);
+        Ok(Vector::from(out))
+    }
+
+    fn predict(&self, params: &Vector, features: &Vector) -> Result<Prediction, ModelError> {
+        let p = self.probability(params, features)?;
+        Ok(Prediction::Class(usize::from(p >= 0.5)))
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic-regression"
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::finite_difference_check;
+    use krum_data::{generators, BatchSampler};
+    use krum_tensor::Matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn regression_batch() -> Batch {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (ds, _, _) = generators::linear_regression(32, 5, 0.1, &mut rng).unwrap();
+        BatchSampler::new(ds, 32).unwrap().full_batch()
+    }
+
+    fn classification_batch() -> Batch {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (ds, _, _) = generators::logistic_regression(64, 4, &mut rng).unwrap();
+        BatchSampler::new(ds, 64).unwrap().full_batch()
+    }
+
+    #[test]
+    fn linear_dimensions_and_validation() {
+        let model = LinearRegression::new(5);
+        assert_eq!(model.dim(), 6);
+        assert_eq!(model.input_dim(), 5);
+        let bad = Vector::zeros(3);
+        assert!(model.loss(&bad, &regression_batch()).is_err());
+        let params = Vector::zeros(6);
+        let empty = Batch {
+            features: Matrix::zeros(0, 5),
+            labels: vec![],
+        };
+        assert!(matches!(
+            model.loss(&params, &empty),
+            Err(ModelError::EmptyBatch(_))
+        ));
+        let wrong_dim = Batch {
+            features: Matrix::zeros(2, 3),
+            labels: vec![Label::Real(0.0); 2],
+        };
+        assert!(model.loss(&params, &wrong_dim).is_err());
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_differences() {
+        let model = LinearRegression::with_l2(5, 0.01);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let params = model.init_parameters(InitStrategy::Gaussian { std: 0.5 }, &mut rng);
+        let err = finite_difference_check(&model, &params, &regression_batch(), 1e-5).unwrap();
+        assert!(err < 1e-6, "finite-difference error too large: {err}");
+    }
+
+    #[test]
+    fn linear_gradient_descent_reduces_loss() {
+        let model = LinearRegression::new(5);
+        let batch = regression_batch();
+        let mut params = Vector::zeros(6);
+        let initial = model.loss(&params, &batch).unwrap();
+        for _ in 0..200 {
+            let g = model.gradient(&params, &batch).unwrap();
+            params.axpy(-0.1, &g);
+        }
+        let final_loss = model.loss(&params, &batch).unwrap();
+        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn linear_predicts_inner_product_plus_bias() {
+        let model = LinearRegression::new(2);
+        let params = Vector::from(vec![2.0, -1.0, 0.5]);
+        let pred = model
+            .predict(&params, &Vector::from(vec![1.0, 3.0]))
+            .unwrap();
+        assert_eq!(pred.value(), Some(2.0 - 3.0 + 0.5));
+        assert!(model.predict(&params, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn linear_l2_penalises_weights_not_bias() {
+        let plain = LinearRegression::new(2);
+        let ridge = LinearRegression::with_l2(2, 1.0);
+        assert_eq!(ridge.l2(), 1.0);
+        let batch = Batch {
+            features: Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap(),
+            labels: vec![Label::Real(0.0)],
+        };
+        let params = Vector::from(vec![1.0, 1.0, 5.0]);
+        let l_plain = plain.loss(&params, &batch).unwrap();
+        let l_ridge = ridge.loss(&params, &batch).unwrap();
+        // Penalty adds 0.5 * λ * ‖w‖² = 1.0, independent of the bias.
+        assert!((l_ridge - l_plain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_differences() {
+        let model = LogisticRegression::with_l2(4, 0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let params = model.init_parameters(InitStrategy::Gaussian { std: 0.3 }, &mut rng);
+        let err = finite_difference_check(&model, &params, &classification_batch(), 1e-5).unwrap();
+        assert!(err < 1e-6, "finite-difference error too large: {err}");
+    }
+
+    #[test]
+    fn logistic_training_reaches_good_accuracy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (ds, _, _) = generators::logistic_regression(500, 3, &mut rng).unwrap();
+        let model = LogisticRegression::new(3);
+        let batch = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+        let mut params = Vector::zeros(model.dim());
+        for _ in 0..300 {
+            let g = model.gradient(&params, &batch).unwrap();
+            params.axpy(-0.5, &g);
+        }
+        // Labels are themselves sampled from the sigmoid probabilities, so the
+        // Bayes accuracy is well below 1; 0.8 is a comfortable margin above chance.
+        let acc = crate::model::accuracy(&model, &params, &ds).unwrap().unwrap();
+        assert!(acc > 0.8, "accuracy only {acc}");
+    }
+
+    #[test]
+    fn logistic_rejects_bad_labels() {
+        let model = LogisticRegression::new(2);
+        let params = Vector::zeros(3);
+        let batch = Batch {
+            features: Matrix::zeros(1, 2),
+            labels: vec![Label::Class(4)],
+        };
+        assert!(matches!(
+            model.loss(&params, &batch),
+            Err(ModelError::BadLabel(_))
+        ));
+        let batch = Batch {
+            features: Matrix::zeros(1, 2),
+            labels: vec![Label::Real(0.3)],
+        };
+        assert!(model.gradient(&params, &batch).is_err());
+    }
+
+    #[test]
+    fn logistic_probability_is_half_at_zero_params() {
+        let model = LogisticRegression::new(2);
+        let params = Vector::zeros(3);
+        let p = model
+            .probability(&params, &Vector::from(vec![0.4, -0.2]))
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+        let pred = model
+            .predict(&params, &Vector::from(vec![0.4, -0.2]))
+            .unwrap();
+        assert_eq!(pred.class(), Some(1));
+    }
+
+    #[test]
+    fn names_are_reported() {
+        assert_eq!(LinearRegression::new(1).name(), "linear-regression");
+        assert_eq!(LogisticRegression::new(1).name(), "logistic-regression");
+    }
+}

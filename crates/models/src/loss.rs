@@ -1,0 +1,181 @@
+//! Loss functions.
+//!
+//! All losses are means over the batch, so the gradient of the batch loss is
+//! an unbiased estimator of the gradient of the population loss when the
+//! batch is drawn i.i.d. — the assumption the paper places on correct workers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a loss family (useful for reporting / serialisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error, for regression.
+    MeanSquaredError,
+    /// Binary cross-entropy on sigmoid outputs.
+    BinaryCrossEntropy,
+    /// Multi-class cross-entropy on softmax outputs.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::MeanSquaredError => "mse",
+            Self::BinaryCrossEntropy => "binary-cross-entropy",
+            Self::SoftmaxCrossEntropy => "softmax-cross-entropy",
+        }
+    }
+}
+
+/// Mean squared error `mean((pred - target)^2) / 2`.
+///
+/// The factor `1/2` makes the derivative with respect to the prediction simply
+/// `pred - target`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "mse: predictions and targets must have equal length"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| 0.5 * (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Binary cross-entropy between probabilities `p ∈ (0,1)` and labels `y ∈ {0,1}`.
+///
+/// Probabilities are clamped away from 0 and 1 for numerical stability.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn binary_cross_entropy(probabilities: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(
+        probabilities.len(),
+        labels.len(),
+        "binary_cross_entropy: probabilities and labels must have equal length"
+    );
+    if probabilities.is_empty() {
+        return 0.0;
+    }
+    probabilities
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum::<f64>()
+        / probabilities.len() as f64
+}
+
+/// Numerically stable softmax of a logit slice.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy of softmax probabilities against an integer class label.
+///
+/// `probabilities` must already be a probability distribution (e.g. the output
+/// of [`softmax`]); the value is `-ln p[label]`, clamped for stability.
+///
+/// # Panics
+///
+/// Panics if `label >= probabilities.len()`.
+pub fn softmax_cross_entropy(probabilities: &[f64], label: usize) -> f64 {
+    assert!(
+        label < probabilities.len(),
+        "label {label} out of range for {} classes",
+        probabilities.len()
+    );
+    -probabilities[label].clamp(1e-12, 1.0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // 0.5 * ((1)^2 + (3)^2) / 2 = 2.5
+        assert!((mse(&[1.0, 3.0], &[0.0, 0.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mse_length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bce_is_zero_for_perfect_predictions_and_grows_with_error() {
+        let perfect = binary_cross_entropy(&[1.0 - 1e-12, 1e-12], &[1.0, 0.0]);
+        assert!(perfect < 1e-9);
+        let bad = binary_cross_entropy(&[0.1, 0.9], &[1.0, 0.0]);
+        assert!(bad > 1.0);
+        assert_eq!(binary_cross_entropy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bce_handles_extreme_probabilities_without_nan() {
+        let v = binary_cross_entropy(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn softmax_is_a_probability_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable_for_large_logits() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(b.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn softmax_cross_entropy_prefers_correct_class() {
+        let p = softmax(&[2.0, 0.0, 0.0]);
+        assert!(softmax_cross_entropy(&p, 0) < softmax_cross_entropy(&p, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn softmax_cross_entropy_rejects_bad_label() {
+        softmax_cross_entropy(&[0.5, 0.5], 2);
+    }
+
+    #[test]
+    fn loss_names() {
+        assert_eq!(Loss::MeanSquaredError.name(), "mse");
+        assert_eq!(Loss::BinaryCrossEntropy.name(), "binary-cross-entropy");
+        assert_eq!(Loss::SoftmaxCrossEntropy.name(), "softmax-cross-entropy");
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Model`] trait and generic evaluation helpers.
+
+use krum_data::{Batch, Dataset, Label};
+use krum_tensor::{InitStrategy, Vector};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// Output of a model for a single sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Prediction {
+    /// Predicted class index (classification models).
+    Class(usize),
+    /// Predicted real value (regression models).
+    Value(f64),
+}
+
+impl Prediction {
+    /// Predicted class, or `None` for regression outputs.
+    pub fn class(&self) -> Option<usize> {
+        match self {
+            Self::Class(c) => Some(*c),
+            Self::Value(_) => None,
+        }
+    }
+
+    /// Predicted value, or `None` for classification outputs.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Self::Class(_) => None,
+            Self::Value(v) => Some(*v),
+        }
+    }
+}
+
+/// A differentiable learning model whose parameters are a flat vector in `R^d`.
+///
+/// Implementations are **stateless with respect to the parameters**: the
+/// parameter vector is always passed in explicitly. This mirrors the paper's
+/// protocol, where the server owns `x_t` and broadcasts it to every worker at
+/// the start of a round.
+///
+/// The contract every implementation upholds (checked by the crate's tests and
+/// by the property tests in `tests/`):
+///
+/// * `loss` is non-negative and finite for finite inputs;
+/// * `gradient` has dimension [`Model::dim`];
+/// * `gradient` is the exact gradient of `loss` on the same batch (verified by
+///   finite differences).
+pub trait Model: Send + Sync {
+    /// Dimension `d` of the flattened parameter vector.
+    fn dim(&self) -> usize;
+
+    /// Draws an initial parameter vector.
+    fn init_parameters(&self, strategy: InitStrategy, rng: &mut dyn rand::RngCore) -> Vector;
+
+    /// Mean loss of `params` on `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when `params` or the batch is incompatible with
+    /// the model (wrong dimension, bad labels, empty batch).
+    fn loss(&self, params: &Vector, batch: &Batch) -> Result<f64, ModelError>;
+
+    /// Gradient of the mean loss on `batch`, evaluated at `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when `params` or the batch is incompatible with
+    /// the model (wrong dimension, bad labels, empty batch).
+    fn gradient(&self, params: &Vector, batch: &Batch) -> Result<Vector, ModelError>;
+
+    /// Prediction for a single feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when `params` or `features` has the wrong
+    /// dimension.
+    fn predict(&self, params: &Vector, features: &Vector) -> Result<Prediction, ModelError>;
+
+    /// Short human-readable model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Validates that a parameter vector has the dimension this model expects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ParameterDimension`] on mismatch.
+    fn check_params(&self, params: &Vector) -> Result<(), ModelError> {
+        if params.dim() != self.dim() {
+            Err(ModelError::ParameterDimension {
+                expected: self.dim(),
+                found: params.dim(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Aggregate quality report of a parameter vector on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Mean loss over the dataset.
+    pub loss: f64,
+    /// Classification accuracy in `[0, 1]`; `None` for regression models.
+    pub accuracy: Option<f64>,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+/// Classification accuracy of `model` with `params` on `dataset`.
+///
+/// Returns `None` when the dataset carries no class labels (pure regression).
+///
+/// # Errors
+///
+/// Propagates any [`ModelError`] raised by [`Model::predict`].
+pub fn accuracy<M: Model + ?Sized>(
+    model: &M,
+    params: &Vector,
+    dataset: &Dataset,
+) -> Result<Option<f64>, ModelError> {
+    let mut correct = 0usize;
+    let mut counted = 0usize;
+    for i in 0..dataset.len() {
+        let (x, label) = dataset.sample(i);
+        if let Label::Class(c) = label {
+            counted += 1;
+            if model.predict(params, &x)?.class() == Some(c) {
+                correct += 1;
+            }
+        }
+    }
+    if counted == 0 {
+        Ok(None)
+    } else {
+        Ok(Some(correct as f64 / counted as f64))
+    }
+}
+
+/// Evaluates loss and accuracy of `params` on a full dataset.
+///
+/// # Errors
+///
+/// Propagates any [`ModelError`] raised by the model.
+pub fn evaluate<M: Model + ?Sized>(
+    model: &M,
+    params: &Vector,
+    dataset: &Dataset,
+) -> Result<EvalReport, ModelError> {
+    let batch = Batch {
+        features: dataset.features().clone(),
+        labels: dataset.labels().to_vec(),
+    };
+    let loss = model.loss(params, &batch)?;
+    let accuracy = accuracy(model, params, dataset)?;
+    Ok(EvalReport {
+        loss,
+        accuracy,
+        samples: dataset.len(),
+    })
+}
+
+/// Checks `gradient` against central finite differences of `loss`.
+///
+/// Returns the maximum absolute coordinate-wise deviation. Exposed publicly so
+/// downstream crates (and the integration tests) can validate custom models.
+///
+/// # Errors
+///
+/// Propagates any [`ModelError`] raised by the model.
+pub fn finite_difference_check<M: Model + ?Sized>(
+    model: &M,
+    params: &Vector,
+    batch: &Batch,
+    epsilon: f64,
+) -> Result<f64, ModelError> {
+    let analytic = model.gradient(params, batch)?;
+    let mut max_err = 0.0f64;
+    for i in 0..params.dim() {
+        let mut plus = params.clone();
+        plus[i] += epsilon;
+        let mut minus = params.clone();
+        minus[i] -= epsilon;
+        let numeric = (model.loss(&plus, batch)? - model.loss(&minus, batch)?) / (2.0 * epsilon);
+        max_err = max_err.max((numeric - analytic[i]).abs());
+    }
+    Ok(max_err)
+}
+
+/// Helper used by implementations: draws an i.i.d. Gaussian/uniform/Xavier
+/// init of the right dimension for models without layer structure.
+pub(crate) fn flat_init<R: Rng + ?Sized>(
+    dim: usize,
+    strategy: InitStrategy,
+    rng: &mut R,
+) -> Vector {
+    strategy.sample_vector(dim, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_accessors() {
+        assert_eq!(Prediction::Class(3).class(), Some(3));
+        assert_eq!(Prediction::Class(3).value(), None);
+        assert_eq!(Prediction::Value(1.5).value(), Some(1.5));
+        assert_eq!(Prediction::Value(1.5).class(), None);
+    }
+
+    #[test]
+    fn flat_init_has_requested_dim() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let v = flat_init(12, InitStrategy::Gaussian { std: 0.1 }, &mut rng);
+        assert_eq!(v.dim(), 12);
+    }
+
+    // The substantial Model-trait tests live with the concrete implementations
+    // (linear.rs, softmax.rs, mlp.rs, quadratic.rs) and in tests/.
+}

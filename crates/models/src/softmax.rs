@@ -1,0 +1,318 @@
+//! Multi-class softmax (multinomial logistic) regression.
+
+use krum_data::{Batch, Label};
+use krum_tensor::{InitStrategy, Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::loss::softmax;
+use crate::model::{Model, Prediction};
+
+/// Softmax regression with `classes` outputs over `input_dim` features.
+///
+/// Parameter layout (row-major): a `classes × input_dim` weight matrix
+/// followed by a `classes`-dimensional bias vector, so
+/// `d = classes · input_dim + classes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxRegression {
+    input_dim: usize,
+    classes: usize,
+    l2: f64,
+}
+
+impl SoftmaxRegression {
+    /// Creates an unregularised softmax regression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadConfig`] when `input_dim` or `classes` is
+    /// zero, or when `classes < 2`.
+    pub fn new(input_dim: usize, classes: usize) -> Result<Self, ModelError> {
+        Self::with_l2(input_dim, classes, 0.0)
+    }
+
+    /// Creates an L2-regularised softmax regression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadConfig`] when `input_dim` is zero, `classes < 2`
+    /// or `l2 < 0`.
+    pub fn with_l2(input_dim: usize, classes: usize, l2: f64) -> Result<Self, ModelError> {
+        if input_dim == 0 {
+            return Err(ModelError::BadConfig("input_dim must be >= 1".into()));
+        }
+        if classes < 2 {
+            return Err(ModelError::BadConfig("classes must be >= 2".into()));
+        }
+        if l2 < 0.0 {
+            return Err(ModelError::BadConfig("l2 must be >= 0".into()));
+        }
+        Ok(Self {
+            input_dim,
+            classes,
+            l2,
+        })
+    }
+
+    /// Number of input features.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Class probabilities for a single feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] on dimension mismatch.
+    pub fn probabilities(&self, params: &Vector, features: &Vector) -> Result<Vec<f64>, ModelError> {
+        self.check_params(params)?;
+        if features.dim() != self.input_dim {
+            return Err(ModelError::FeatureDimension {
+                expected: self.input_dim,
+                found: features.dim(),
+            });
+        }
+        let (weights, bias) = self.unpack(params);
+        let logits = weights.matvec(features);
+        let logits: Vec<f64> = logits
+            .iter()
+            .zip(bias.iter())
+            .map(|(z, b)| z + b)
+            .collect();
+        Ok(softmax(&logits))
+    }
+
+    fn unpack(&self, params: &Vector) -> (Matrix, Vector) {
+        let w_len = self.classes * self.input_dim;
+        let slice = params.as_slice();
+        let weights = Matrix::from_vec(self.classes, self.input_dim, slice[..w_len].to_vec())
+            .expect("parameter layout is fixed by construction");
+        let bias = Vector::from(&slice[w_len..]);
+        (weights, bias)
+    }
+
+    fn check_batch(&self, batch: &Batch) -> Result<(), ModelError> {
+        if batch.is_empty() {
+            return Err(ModelError::EmptyBatch("SoftmaxRegression"));
+        }
+        if batch.features.cols() != self.input_dim {
+            return Err(ModelError::FeatureDimension {
+                expected: self.input_dim,
+                found: batch.features.cols(),
+            });
+        }
+        Ok(())
+    }
+
+    fn class_target(&self, label: &Label) -> Result<usize, ModelError> {
+        match label {
+            Label::Class(c) if *c < self.classes => Ok(*c),
+            Label::Class(c) => Err(ModelError::BadLabel(format!(
+                "class {c} out of range for {} classes",
+                self.classes
+            ))),
+            Label::Real(v) => Err(ModelError::BadLabel(format!(
+                "softmax regression expects class labels, got real value {v}"
+            ))),
+        }
+    }
+}
+
+impl Model for SoftmaxRegression {
+    fn dim(&self) -> usize {
+        self.classes * self.input_dim + self.classes
+    }
+
+    fn init_parameters(&self, strategy: InitStrategy, rng: &mut dyn rand::RngCore) -> Vector {
+        // Weight block via the strategy's matrix sampler (so Xavier uses the
+        // right fan-in/fan-out), bias block via the vector sampler.
+        let w = strategy.sample_matrix(self.classes, self.input_dim, rng);
+        let b = strategy.sample_vector(self.classes, rng);
+        let mut flat = w.into_inner();
+        flat.extend(b.into_inner());
+        debug_assert_eq!(flat.len(), self.dim());
+        Vector::from(flat)
+    }
+
+    fn loss(&self, params: &Vector, batch: &Batch) -> Result<f64, ModelError> {
+        self.check_params(params)?;
+        self.check_batch(batch)?;
+        let (weights, bias) = self.unpack(params);
+        let mut total = 0.0;
+        for i in 0..batch.len() {
+            let (x, label) = batch.sample(i);
+            let y = self.class_target(&label)?;
+            let logits: Vec<f64> = weights
+                .matvec(&x)
+                .iter()
+                .zip(bias.iter())
+                .map(|(z, b)| z + b)
+                .collect();
+            let probs = softmax(&logits);
+            total += -probs[y].clamp(1e-12, 1.0).ln();
+        }
+        let mut loss = total / batch.len() as f64;
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * weights.flatten().squared_norm();
+        }
+        Ok(loss)
+    }
+
+    fn gradient(&self, params: &Vector, batch: &Batch) -> Result<Vector, ModelError> {
+        self.check_params(params)?;
+        self.check_batch(batch)?;
+        let (weights, bias) = self.unpack(params);
+        let mut grad_w = Matrix::zeros(self.classes, self.input_dim);
+        let mut grad_b = Vector::zeros(self.classes);
+        for i in 0..batch.len() {
+            let (x, label) = batch.sample(i);
+            let y = self.class_target(&label)?;
+            let logits: Vec<f64> = weights
+                .matvec(&x)
+                .iter()
+                .zip(bias.iter())
+                .map(|(z, b)| z + b)
+                .collect();
+            let mut delta = softmax(&logits);
+            delta[y] -= 1.0;
+            // grad_W += delta ⊗ x ; grad_b += delta
+            for (c, &d) in delta.iter().enumerate() {
+                if d != 0.0 {
+                    for (j, &xj) in x.iter().enumerate() {
+                        grad_w[(c, j)] += d * xj;
+                    }
+                    grad_b[c] += d;
+                }
+            }
+        }
+        let scale = 1.0 / batch.len() as f64;
+        grad_w.scale(scale);
+        grad_b.scale(scale);
+        if self.l2 > 0.0 {
+            grad_w.axpy(self.l2, &weights);
+        }
+        let mut flat = grad_w.into_inner();
+        flat.extend(grad_b.into_inner());
+        Ok(Vector::from(flat))
+    }
+
+    fn predict(&self, params: &Vector, features: &Vector) -> Result<Prediction, ModelError> {
+        let probs = self.probabilities(params, features)?;
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(Prediction::Class(best))
+    }
+
+    fn name(&self) -> &'static str {
+        "softmax-regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{accuracy, finite_difference_check};
+    use krum_data::{generators, BatchSampler};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn blob_batch(classes: usize) -> (krum_data::Dataset, Batch) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let ds = generators::gaussian_blobs(120, 4, classes, 3.0, 0.3, &mut rng).unwrap();
+        let batch = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+        (ds, batch)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(SoftmaxRegression::new(0, 3).is_err());
+        assert!(SoftmaxRegression::new(4, 1).is_err());
+        assert!(SoftmaxRegression::with_l2(4, 3, -1.0).is_err());
+        let m = SoftmaxRegression::new(4, 3).unwrap();
+        assert_eq!(m.dim(), 15);
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.classes(), 3);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = SoftmaxRegression::new(4, 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let params = m.init_parameters(InitStrategy::Gaussian { std: 0.5 }, &mut rng);
+        let p = m
+            .probabilities(&params, &Vector::from(vec![0.5, -1.0, 2.0, 0.0]))
+            .unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let m = SoftmaxRegression::with_l2(4, 3, 0.02).unwrap();
+        let (_, batch) = blob_batch(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let params = m.init_parameters(InitStrategy::Gaussian { std: 0.3 }, &mut rng);
+        let err = finite_difference_check(&m, &params, &batch, 1e-5).unwrap();
+        assert!(err < 1e-6, "finite-difference error too large: {err}");
+    }
+
+    #[test]
+    fn training_separable_blobs_reaches_high_accuracy() {
+        let m = SoftmaxRegression::new(4, 3).unwrap();
+        let (ds, batch) = blob_batch(3);
+        let mut params = Vector::zeros(m.dim());
+        for _ in 0..300 {
+            let g = m.gradient(&params, &batch).unwrap();
+            params.axpy(-0.5, &g);
+        }
+        let acc = accuracy(&m, &params, &ds).unwrap().unwrap();
+        assert!(acc > 0.95, "accuracy only {acc}");
+    }
+
+    #[test]
+    fn rejects_incompatible_labels_and_shapes() {
+        let m = SoftmaxRegression::new(2, 3).unwrap();
+        let params = Vector::zeros(m.dim());
+        let batch = Batch {
+            features: krum_tensor::Matrix::zeros(1, 2),
+            labels: vec![Label::Class(7)],
+        };
+        assert!(matches!(m.loss(&params, &batch), Err(ModelError::BadLabel(_))));
+        let batch = Batch {
+            features: krum_tensor::Matrix::zeros(1, 5),
+            labels: vec![Label::Class(0)],
+        };
+        assert!(m.gradient(&params, &batch).is_err());
+        assert!(m.predict(&params, &Vector::zeros(9)).is_err());
+        assert!(m.loss(&Vector::zeros(2), &batch).is_err());
+    }
+
+    #[test]
+    fn init_has_model_dimension_and_is_deterministic() {
+        let m = SoftmaxRegression::new(6, 4).unwrap();
+        let a = m.init_parameters(
+            InitStrategy::XavierUniform,
+            &mut ChaCha8Rng::seed_from_u64(3),
+        );
+        let b = m.init_parameters(
+            InitStrategy::XavierUniform,
+            &mut ChaCha8Rng::seed_from_u64(3),
+        );
+        assert_eq!(a.dim(), m.dim());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(SoftmaxRegression::new(2, 2).unwrap().name(), "softmax-regression");
+    }
+}

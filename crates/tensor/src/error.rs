@@ -1,0 +1,100 @@
+//! Error types for tensor operations.
+
+use thiserror::Error;
+
+/// Describes a dimension mismatch between two operands.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+#[error("shape mismatch: expected {expected:?}, found {found:?} in {context}")]
+pub struct ShapeError {
+    /// The shape the operation required.
+    pub expected: Vec<usize>,
+    /// The shape that was actually supplied.
+    pub found: Vec<usize>,
+    /// Human-readable name of the operation that failed.
+    pub context: &'static str,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for `context`, comparing `expected` against `found`.
+    pub fn new(expected: Vec<usize>, found: Vec<usize>, context: &'static str) -> Self {
+        Self {
+            expected,
+            found,
+            context,
+        }
+    }
+}
+
+/// Errors produced by the tensor crate.
+#[derive(Debug, Clone, PartialEq, Error)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    #[error(transparent)]
+    Shape(#[from] ShapeError),
+    /// A construction was attempted with an inconsistent buffer length.
+    #[error("buffer of length {len} cannot form a {rows}x{cols} matrix")]
+    BadBuffer {
+        /// Length of the provided buffer.
+        len: usize,
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    #[error("operation `{0}` requires a non-empty tensor")]
+    Empty(&'static str),
+    /// A numeric argument was outside its valid domain.
+    #[error("invalid argument for `{context}`: {message}")]
+    InvalidArgument {
+        /// Operation that rejected the argument.
+        context: &'static str,
+        /// Explanation of the rejection.
+        message: String,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::InvalidArgument`].
+    pub fn invalid(context: &'static str, message: impl Into<String>) -> Self {
+        Self::InvalidArgument {
+            context,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_error_displays_context() {
+        let err = ShapeError::new(vec![3], vec![4], "dot");
+        let msg = err.to_string();
+        assert!(msg.contains("dot"));
+        assert!(msg.contains("[3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn tensor_error_from_shape_error() {
+        let err: TensorError = ShapeError::new(vec![2, 2], vec![2, 3], "matmul").into();
+        assert!(matches!(err, TensorError::Shape(_)));
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn invalid_argument_constructor() {
+        let err = TensorError::invalid("quantile", "q must be in [0, 1]");
+        assert!(err.to_string().contains("quantile"));
+        assert!(err.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+        assert_send_sync::<ShapeError>();
+    }
+}

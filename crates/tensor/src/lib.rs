@@ -1,0 +1,48 @@
+//! # krum-tensor
+//!
+//! Dense linear-algebra substrate for the Krum reproduction.
+//!
+//! The paper ([Blanchard et al., PODC 2017]) works with parameter vectors and
+//! gradient estimates living in `R^d`, and its evaluation trains multi-layer
+//! perceptrons, which additionally need matrix arithmetic. This crate provides
+//! exactly that substrate: a [`Vector`] newtype over `Vec<f64>` and a
+//! row-major [`Matrix`], together with the numerically careful reductions the
+//! aggregation rules rely on (squared Euclidean distances, norms, dot
+//! products), random initialisation helpers, and summary statistics.
+//!
+//! The crate is deliberately free of `unsafe` and of external BLAS
+//! dependencies so the whole reproduction is self-contained and portable.
+//!
+//! ## Example
+//!
+//! ```
+//! use krum_tensor::Vector;
+//!
+//! let g = Vector::from(vec![1.0, 2.0, 2.0]);
+//! let v = Vector::from(vec![1.0, 0.0, 2.0]);
+//! assert_eq!(g.norm(), 3.0);
+//! assert_eq!(g.squared_distance(&v), 4.0);
+//! assert_eq!(g.dot(&v), 5.0);
+//! ```
+//!
+//! [Blanchard et al., PODC 2017]: https://dl.acm.org/doi/10.1145/3087801.3087861
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod matrix;
+mod stats;
+mod vector;
+
+pub use error::{ShapeError, TensorError};
+pub use init::{random_unit_vector, xavier_uniform, InitStrategy};
+pub use matrix::Matrix;
+pub use stats::{mean, quantile, stddev, OnlineStats, Summary};
+pub use vector::Vector;
+
+/// Convenience prelude bringing the most commonly used items into scope.
+pub mod prelude {
+    pub use crate::{Matrix, OnlineStats, Summary, TensorError, Vector};
+}

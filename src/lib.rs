@@ -1,0 +1,92 @@
+//! # krum
+//!
+//! Facade crate for the reproduction of *Brief Announcement: Byzantine-Tolerant
+//! Machine Learning* (Blanchard, El Mhamdi, Guerraoui, Stainer — PODC 2017),
+//! better known as the **Krum** aggregation rule for distributed SGD.
+//!
+//! The reproduction is split into focused crates; this facade re-exports their
+//! public APIs under one roof so examples and downstream users can depend on a
+//! single crate.
+//!
+//! | Module | Backing crate | Contents |
+//! |--------|---------------|----------|
+//! | [`tensor`] | `krum-tensor` | dense vectors/matrices, RNG init, statistics |
+//! | [`data`] | `krum-data` | synthetic datasets and batching |
+//! | [`models`] | `krum-models` | linear/logistic/softmax/MLP models and losses |
+//! | [`aggregation`] | `krum-core` | Krum, Multi-Krum and baseline aggregation rules |
+//! | [`attacks`] | `krum-attacks` | Byzantine worker strategies |
+//! | [`dist`] | `krum-dist` | synchronous parameter-server simulator |
+//! | [`metrics`] | `krum-metrics` | round records, histories, exporters |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use krum::aggregation::{Aggregator, Krum};
+//! use krum::tensor::Vector;
+//!
+//! // 7 workers, 2 of them Byzantine, gradients in R^3.
+//! let honest = vec![
+//!     Vector::from(vec![1.0, 0.0, 0.1]),
+//!     Vector::from(vec![0.9, 0.1, 0.0]),
+//!     Vector::from(vec![1.1, -0.1, 0.0]),
+//!     Vector::from(vec![1.0, 0.1, -0.1]),
+//!     Vector::from(vec![0.95, 0.0, 0.05]),
+//! ];
+//! let mut proposals = honest.clone();
+//! proposals.push(Vector::from(vec![-100.0, 50.0, 80.0])); // Byzantine
+//! proposals.push(Vector::from(vec![77.0, -3.0, 12.0]));   // Byzantine
+//!
+//! let krum = Krum::new(7, 2).unwrap();
+//! let chosen = krum.aggregate(&proposals).unwrap();
+//! // Krum selects one of the honest proposals, never the outliers.
+//! assert!(honest.contains(&chosen));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Dense linear algebra (re-export of `krum-tensor`).
+pub mod tensor {
+    pub use krum_tensor::*;
+}
+
+/// Synthetic datasets and batching (re-export of `krum-data`).
+pub mod data {
+    pub use krum_data::*;
+}
+
+/// Learning models, losses and gradients (re-export of `krum-models`).
+pub mod models {
+    pub use krum_models::*;
+}
+
+/// Aggregation rules: Krum, Multi-Krum and baselines (re-export of `krum-core`).
+pub mod aggregation {
+    pub use krum_core::*;
+}
+
+/// Byzantine attack strategies (re-export of `krum-attacks`).
+pub mod attacks {
+    pub use krum_attacks::*;
+}
+
+/// Synchronous distributed-SGD simulator (re-export of `krum-dist`).
+pub mod dist {
+    pub use krum_dist::*;
+}
+
+/// Metrics, histories and exporters (re-export of `krum-metrics`).
+pub mod metrics {
+    pub use krum_metrics::*;
+}
+
+/// Commonly used items across the whole reproduction.
+pub mod prelude {
+    pub use krum_attacks::prelude::*;
+    pub use krum_core::prelude::*;
+    pub use krum_data::prelude::*;
+    pub use krum_dist::prelude::*;
+    pub use krum_metrics::prelude::*;
+    pub use krum_models::prelude::*;
+    pub use krum_tensor::prelude::*;
+}

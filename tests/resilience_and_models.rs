@@ -1,0 +1,198 @@
+//! Property tests on the resilience machinery (Definition 3.2 / Proposition
+//! 4.2) and on the gradient implementations of every model.
+
+use krum::aggregation::{eta, krum_sin_alpha, Krum, ResilienceEstimator};
+use krum::data::{generators, Batch, BatchSampler};
+use krum::models::{
+    finite_difference_check, LinearRegression, LogisticRegression, Mlp, MlpBuilder, Model,
+    SoftmaxRegression,
+};
+use krum::tensor::{InitStrategy, Vector};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eta_is_monotone_in_f_and_increasing_in_n(n in 7usize..60) {
+        let max_f = (n - 3) / 2;
+        let mut previous = 0.0;
+        for f in 0..=max_f {
+            let value = eta(n, f).unwrap();
+            prop_assert!(value.is_finite() && value > 0.0);
+            prop_assert!(value >= previous, "eta must grow with f");
+            previous = value;
+        }
+        // eta grows with n for fixed f.
+        prop_assert!(eta(n + 1, 0).unwrap() > eta(n, 0).unwrap());
+    }
+
+    #[test]
+    fn sin_alpha_scales_linearly_with_sigma(n in 7usize..40, d in 1usize..200,
+                                            sigma in 0.001f64..0.5, norm in 0.5f64..20.0) {
+        let f = (n - 3) / 2;
+        let one = krum_sin_alpha(n, f, d, sigma, norm).unwrap();
+        let two = krum_sin_alpha(n, f, d, 2.0 * sigma, norm).unwrap();
+        prop_assert!((two / one - 2.0).abs() < 1e-9);
+        // And inversely with the gradient norm.
+        let half = krum_sin_alpha(n, f, d, sigma, 2.0 * norm).unwrap();
+        prop_assert!((one / half - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_model_gradients_match_finite_differences(seed in 0u64..500, dim in 1usize..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (ds, _, _) = generators::linear_regression(12, dim, 0.2, &mut rng).unwrap();
+        let batch = BatchSampler::new(ds, 12).unwrap().full_batch();
+        let model = LinearRegression::with_l2(dim, 0.01);
+        let params = model.init_parameters(InitStrategy::Gaussian { std: 0.5 }, &mut rng);
+        let err = finite_difference_check(&model, &params, &batch, 1e-5).unwrap();
+        prop_assert!(err < 1e-5, "finite-difference error {err}");
+    }
+
+    #[test]
+    fn logistic_model_gradients_match_finite_differences(seed in 0u64..500, dim in 1usize..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (ds, _, _) = generators::logistic_regression(16, dim, &mut rng).unwrap();
+        let batch = BatchSampler::new(ds, 16).unwrap().full_batch();
+        let model = LogisticRegression::new(dim);
+        let params = model.init_parameters(InitStrategy::Gaussian { std: 0.5 }, &mut rng);
+        let err = finite_difference_check(&model, &params, &batch, 1e-5).unwrap();
+        prop_assert!(err < 1e-5, "finite-difference error {err}");
+    }
+
+    #[test]
+    fn softmax_model_gradients_match_finite_differences(seed in 0u64..200, classes in 2usize..5) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ds = generators::gaussian_blobs(20, 3, classes, 2.0, 0.4, &mut rng).unwrap();
+        let batch = BatchSampler::new(ds, 20).unwrap().full_batch();
+        let model = SoftmaxRegression::new(3, classes).unwrap();
+        let params = model.init_parameters(InitStrategy::Gaussian { std: 0.3 }, &mut rng);
+        let err = finite_difference_check(&model, &params, &batch, 1e-5).unwrap();
+        prop_assert!(err < 1e-5, "finite-difference error {err}");
+    }
+
+    #[test]
+    fn mlp_gradients_match_finite_differences(seed in 0u64..100, hidden in 2usize..8) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ds = generators::gaussian_blobs(10, 2, 2, 2.0, 0.4, &mut rng).unwrap();
+        let batch = BatchSampler::new(ds, 10).unwrap().full_batch();
+        let mlp: Mlp = MlpBuilder::new(2, 2)
+            .hidden_layer(hidden)
+            .activation(krum::models::Activation::Tanh)
+            .build()
+            .unwrap();
+        let params = mlp.init_parameters(InitStrategy::Gaussian { std: 0.4 }, &mut rng);
+        let err = finite_difference_check(&mlp, &params, &batch, 1e-5).unwrap();
+        prop_assert!(err < 1e-4, "finite-difference error {err}");
+    }
+
+    #[test]
+    fn model_losses_are_finite_and_nonnegative(seed in 0u64..300) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ds = generators::gaussian_blobs(15, 4, 3, 2.0, 0.5, &mut rng).unwrap();
+        let batch = BatchSampler::new(ds, 15).unwrap().full_batch();
+        let model = SoftmaxRegression::new(4, 3).unwrap();
+        let params = model.init_parameters(InitStrategy::Gaussian { std: 1.0 }, &mut rng);
+        let loss = model.loss(&params, &batch).unwrap();
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        let grad = model.gradient(&params, &batch).unwrap();
+        prop_assert!(grad.is_finite());
+        prop_assert_eq!(grad.dim(), model.dim());
+    }
+}
+
+#[test]
+fn krum_resilience_holds_across_f_values_when_premise_is_satisfied() {
+    // Sweep f for n = 15, d = 8 with noise small enough that
+    // η(n,f)·√d·σ < ‖g‖ for every tested f; condition (i) must hold.
+    let n = 15;
+    let d = 8;
+    let g = Vector::filled(d, 2.0); // ‖g‖ = 2√8 ≈ 5.66
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for f in [0usize, 2, 4, 6] {
+        if 2 * f + 2 >= n {
+            continue;
+        }
+        let sigma = 0.02;
+        let sin_alpha = krum_sin_alpha(n, f, d, sigma, g.norm()).unwrap();
+        assert!(sin_alpha < 1.0, "premise violated for f = {f}");
+        let krum = Krum::new(n, f).unwrap();
+        let estimator = ResilienceEstimator::new(150).unwrap();
+        let check = estimator
+            .check(
+                &krum,
+                &g,
+                sigma,
+                n,
+                f,
+                |correct, rng| {
+                    // Strong adversary: negated honest mean, large magnitude.
+                    let mean = Vector::mean_of(correct).unwrap();
+                    (0..f)
+                        .map(|_| {
+                            let mut v = mean.scaled(-10.0);
+                            v.axpy(1.0, &Vector::gaussian(mean.dim(), 0.0, 1.0, rng));
+                            v
+                        })
+                        .collect()
+                },
+                &mut rng,
+            )
+            .unwrap();
+        assert!(
+            check.condition_i,
+            "condition (i) failed for f = {f}: inner product {} < bound {}",
+            check.inner_product, check.required_lower_bound
+        );
+    }
+}
+
+#[test]
+fn resilience_premise_fails_gracefully_when_noise_dominates() {
+    // With σ so large that η√d·σ ≥ ‖g‖, the theory makes no promise; the
+    // estimator must report sin α ≥ 1 rather than a spurious pass.
+    let n = 9;
+    let f = 3;
+    let d = 16;
+    let g = Vector::filled(d, 0.1);
+    let sin_alpha = krum_sin_alpha(n, f, d, 1.0, g.norm()).unwrap();
+    assert!(sin_alpha >= 1.0);
+    let krum = Krum::new(n, f).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let check = ResilienceEstimator::new(50)
+        .unwrap()
+        .check(
+            &krum,
+            &g,
+            1.0,
+            n,
+            f,
+            |_, rng| (0..f).map(|_| Vector::gaussian(d, 0.0, 5.0, rng)).collect(),
+            &mut rng,
+        )
+        .unwrap();
+    assert!(check.sin_alpha >= 1.0);
+    assert!(check.required_lower_bound <= 0.0);
+    assert!(!check.condition_i);
+}
+
+#[test]
+fn batch_helpers_round_trip_through_models() {
+    // A Batch built by hand behaves identically to one from the sampler.
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let ds = generators::gaussian_blobs(30, 3, 2, 2.0, 0.3, &mut rng).unwrap();
+    let model = SoftmaxRegression::new(3, 2).unwrap();
+    let params = model.init_parameters(InitStrategy::Zeros, &mut rng);
+    let from_sampler = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+    let by_hand = Batch {
+        features: ds.features().clone(),
+        labels: ds.labels().to_vec(),
+    };
+    assert_eq!(
+        model.loss(&params, &from_sampler).unwrap(),
+        model.loss(&params, &by_hand).unwrap()
+    );
+}
