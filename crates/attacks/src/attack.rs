@@ -77,9 +77,7 @@ impl<'a> AttackContext<'a> {
     /// The best estimate of the gradient available to the adversary: the true
     /// gradient when known, otherwise the honest mean, otherwise `None`.
     pub fn gradient_estimate(&self) -> Option<Vector> {
-        self.true_gradient
-            .cloned()
-            .or_else(|| self.honest_mean())
+        self.true_gradient.cloned().or_else(|| self.honest_mean())
     }
 }
 

@@ -176,7 +176,12 @@ mod tests {
             .collect()
     }
 
-    fn ctx<'a>(honest: &'a [Vector], params: &'a Vector, f: usize, round: usize) -> AttackContext<'a> {
+    fn ctx<'a>(
+        honest: &'a [Vector],
+        params: &'a Vector,
+        f: usize,
+        round: usize,
+    ) -> AttackContext<'a> {
         AttackContext {
             honest_proposals: honest,
             current_params: params,
@@ -244,12 +249,17 @@ mod tests {
         let honest = honest_cloud(8, 6, 2);
         let params = Vector::zeros(6);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let forged = attack.forge(&ctx(&honest, &params, 3, 0), &mut rng).unwrap();
+        let forged = attack
+            .forge(&ctx(&honest, &params, 3, 0), &mut rng)
+            .unwrap();
         assert_eq!(forged.len(), 3);
         // The forged vector stays close to the honest cloud (within a few
         // spreads of the mean)…
         let mean = Vector::mean_of(&honest).unwrap();
-        let spread = (honest.iter().map(|v| v.squared_distance(&mean)).sum::<f64>()
+        let spread = (honest
+            .iter()
+            .map(|v| v.squared_distance(&mean))
+            .sum::<f64>()
             / honest.len() as f64)
             .sqrt();
         assert!(forged[0].distance(&mean) <= 1.0 * spread + 1e-9);
@@ -298,7 +308,10 @@ mod tests {
                 blatant_selected += 1;
             }
         }
-        assert_eq!(blatant_selected, 0, "a 50-spread shift must never be selected");
+        assert_eq!(
+            blatant_selected, 0,
+            "a 50-spread shift must never be selected"
+        );
         assert!(
             stealth_selected > trials / 10,
             "a 0.5-spread shift should be selected reasonably often, got {stealth_selected}/{trials}"

@@ -41,8 +41,8 @@ mod strategies;
 pub use attack::{Attack, AttackContext, AttackError};
 pub use composite::{Alternating, KrumAware};
 pub use strategies::{
-    Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack,
-    OmniscientNegative, SignFlip,
+    Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack, OmniscientNegative,
+    SignFlip,
 };
 
 /// Convenience prelude for the attacks crate.

@@ -395,7 +395,10 @@ impl Attack for Mimic {
             return Err(AttackError::context("mimic", "no honest proposals to copy"));
         }
         let victim = self.victim % ctx.honest_proposals.len();
-        Ok(vec![ctx.honest_proposals[victim].clone(); ctx.byzantine_count])
+        Ok(vec![
+            ctx.honest_proposals[victim].clone();
+            ctx.byzantine_count
+        ])
     }
 
     fn name(&self) -> String {

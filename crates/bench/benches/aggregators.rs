@@ -23,7 +23,10 @@ fn rules_at_medium_dimension(c: &mut Criterion) {
         ("median", Box::new(CoordinateWiseMedian::new())),
         ("trimmed-mean", Box::new(TrimmedMean::new(f))),
         ("geometric-median", Box::new(GeometricMedian::new())),
-        ("closest-to-barycenter", Box::new(ClosestToBarycenter::new())),
+        (
+            "closest-to-barycenter",
+            Box::new(ClosestToBarycenter::new()),
+        ),
         (
             "min-diameter-subset",
             Box::new(MinimumDiameterSubset::new(n, f).unwrap()),

@@ -3,10 +3,15 @@
 //! Two sweeps: cluster size `n` at fixed dimension, and dimension `d` at fixed
 //! cluster size. The reported times should grow roughly quadratically in `n`
 //! and linearly in `d`.
+//!
+//! The `krum_scaling/n_naive` group times the pre-optimization per-pair path
+//! (`krum-core`'s `naive` feature) on the same inputs, so the cached-norm
+//! kernel's speedup stays measured; `BENCH_krum_scaling.json` at the repo
+//! root records the committed baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use krum_bench::{rng, synthetic_proposals};
-use krum_core::{Aggregator, Krum};
+use krum_core::{naive, Aggregator, Krum};
 
 fn krum_vs_cluster_size(c: &mut Criterion) {
     let dim = 1_000;
@@ -18,9 +23,35 @@ fn krum_vs_cluster_size(c: &mut Criterion) {
         let proposals = synthetic_proposals(n, f, dim, 0.2, &mut r);
         let krum = Krum::new(n, f).unwrap();
         group.throughput(Throughput::Elements((n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &proposals, |b, proposals| {
-            b.iter(|| krum.aggregate(std::hint::black_box(proposals)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &proposals,
+            |b, proposals| {
+                b.iter(|| krum.aggregate(std::hint::black_box(proposals)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The pre-optimization reference path on the same inputs as
+/// `krum_vs_cluster_size` — the denominator of the kernel's speedup claim.
+fn naive_vs_cluster_size(c: &mut Criterion) {
+    let dim = 1_000;
+    let mut group = c.benchmark_group("krum_scaling/n_naive");
+    group.sample_size(20);
+    for &n in &[10usize, 20, 40, 80, 160] {
+        let f = (n - 3) / 2;
+        let mut r = rng(42);
+        let proposals = synthetic_proposals(n, f, dim, 0.2, &mut r);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &proposals,
+            |b, proposals| {
+                b.iter(|| naive::krum_choose(std::hint::black_box(proposals), f));
+            },
+        );
     }
     group.finish();
 }
@@ -51,6 +82,6 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = krum_vs_cluster_size, krum_vs_dimension
+    targets = krum_vs_cluster_size, naive_vs_cluster_size, krum_vs_dimension
 }
 criterion_main!(benches);

@@ -39,10 +39,18 @@ fn full_round(c: &mut Criterion) {
         let mut krum_trainer = build_trainer(n, f, dim, Box::new(Krum::new(n, f).unwrap()));
         let mut avg_trainer = build_trainer(n, f, dim, Box::new(Average::new()));
         group.bench_with_input(BenchmarkId::new("krum", n), &params, |b, params| {
-            b.iter(|| krum_trainer.run_round(std::hint::black_box(params), 0).unwrap());
+            b.iter(|| {
+                krum_trainer
+                    .run_round(std::hint::black_box(params), 0)
+                    .unwrap()
+            });
         });
         group.bench_with_input(BenchmarkId::new("average", n), &params, |b, params| {
-            b.iter(|| avg_trainer.run_round(std::hint::black_box(params), 0).unwrap());
+            b.iter(|| {
+                avg_trainer
+                    .run_round(std::hint::black_box(params), 0)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -5,9 +5,9 @@
 //!
 //! Regenerates the claim behind Figure 1 / Lemma 3.1 of the paper.
 
+use krum_attacks::ConstantTarget;
 use krum_bench::{quadratic_estimators, Table};
 use krum_core::{Aggregator, Average, Krum, WeightedAverage};
-use krum_attacks::ConstantTarget;
 use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
 use krum_tensor::Vector;
 
@@ -74,8 +74,15 @@ fn main() {
     let avg_out = Average::new().aggregate(&all).expect("aggregate");
     let weighted = WeightedAverage::uniform(N).expect("weights");
     let weighted_out = weighted.aggregate(&all).expect("aggregate");
-    let krum_out = Krum::new(N, F).expect("config").aggregate(&all).expect("aggregate");
-    let mut single = Table::new(["rule", "‖F − U‖ (U = attacker target)", "‖F − g‖ (g = honest mean)"]);
+    let krum_out = Krum::new(N, F)
+        .expect("config")
+        .aggregate(&all)
+        .expect("aggregate");
+    let mut single = Table::new([
+        "rule",
+        "‖F − U‖ (U = attacker target)",
+        "‖F − g‖ (g = honest mean)",
+    ]);
     let honest_mean = Vector::mean_of(&honest).expect("non-empty");
     for (name, out) in [
         ("average", &avg_out),
@@ -91,12 +98,7 @@ fn main() {
     println!("single-round control (lower first column = attacker wins):\n{single}");
 
     // Dynamic demonstration: full SGD trajectories.
-    let mut table = Table::new([
-        "aggregator",
-        "final ‖x − x*‖",
-        "final loss Q(x)",
-        "verdict",
-    ]);
+    let mut table = Table::new(["aggregator", "final ‖x − x*‖", "final loss Q(x)", "verdict"]);
     let scenarios: Vec<(&str, Box<dyn Aggregator>)> = vec![
         ("average", Box::new(Average::new())),
         ("krum", Box::new(Krum::new(N, F).expect("config"))),

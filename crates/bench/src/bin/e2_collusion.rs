@@ -6,9 +6,9 @@
 //! Byzantine proposal, and how far the selected vector lies from the honest
 //! mean.
 
+use krum_attacks::{Attack, AttackContext, Collusion};
 use krum_bench::{rng, Table};
 use krum_core::{Aggregator, ClosestToBarycenter, Krum, MinimumDiameterSubset};
-use krum_attacks::{Attack, AttackContext, Collusion};
 use krum_tensor::Vector;
 
 const N: usize = 20;
@@ -68,15 +68,13 @@ fn main() {
     println!(
         "setting: n = {N}, d = {DIM}, honest gradients N(g, {SIGMA}²·I), decoys at distance {MAGNITUDE}, {TRIALS} independent rounds\n"
     );
-    let mut table = Table::new([
-        "f",
-        "rule",
-        "byzantine selected",
-        "mean ‖F − mean(honest)‖",
-    ]);
+    let mut table = Table::new(["f", "rule", "byzantine selected", "mean ‖F − mean(honest)‖"]);
     for &f in &[2usize, 4, 6] {
         let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
-            ("closest-to-barycenter", Box::new(ClosestToBarycenter::new())),
+            (
+                "closest-to-barycenter",
+                Box::new(ClosestToBarycenter::new()),
+            ),
             ("krum", Box::new(Krum::new(N, f).expect("2f+2 < n"))),
             (
                 "min-diameter-subset",

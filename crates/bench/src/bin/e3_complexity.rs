@@ -33,7 +33,9 @@ fn main() {
     for &n in &[10usize, 20, 40, 80, 160] {
         let f = (n - 3) / 2;
         let t = measure(n, f, dim);
-        let ratio = previous.map(|p| format!("{:.2}x", t / p)).unwrap_or_else(|| "-".into());
+        let ratio = previous
+            .map(|p| format!("{:.2}x", t / p))
+            .unwrap_or_else(|| "-".into());
         table.row([n.to_string(), f.to_string(), format!("{t:.1}"), ratio]);
         previous = Some(t);
     }
@@ -45,7 +47,9 @@ fn main() {
     let mut previous: Option<f64> = None;
     for &dim in &[1_000usize, 2_000, 4_000, 8_000, 16_000, 100_000] {
         let t = measure(n, f, dim);
-        let ratio = previous.map(|p| format!("{:.2}x", t / p)).unwrap_or_else(|| "-".into());
+        let ratio = previous
+            .map(|p| format!("{:.2}x", t / p))
+            .unwrap_or_else(|| "-".into());
         table.row([dim.to_string(), format!("{t:.1}"), ratio]);
         previous = Some(t);
     }

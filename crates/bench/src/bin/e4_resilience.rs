@@ -16,7 +16,9 @@ const TRIALS: usize = 400;
 
 fn main() {
     println!("E4 — empirical (α, f)-Byzantine resilience of Krum (Proposition 4.2)");
-    println!("d = {DIM}, ‖g‖ fixed, correct estimator N(g, σ²·I), omniscient attack −10·mean(honest)");
+    println!(
+        "d = {DIM}, ‖g‖ fixed, correct estimator N(g, σ²·I), omniscient attack −10·mean(honest)"
+    );
     println!("bound: ⟨E F, g⟩ ≥ (1 − sin α)·‖g‖², sin α = η(n,f)·√d·σ/‖g‖\n");
 
     let g = Vector::filled(DIM, 1.0); // ‖g‖ = √20

@@ -5,9 +5,9 @@
 //! Workloads: the synthetic quadratic cost (where `∇Q` is exact) and logistic
 //! regression on synthetic data. Attack: omniscient negated gradient.
 
+use krum_attacks::{Attack, NoAttack, OmniscientNegative};
 use krum_bench::{quadratic_estimators, Table};
 use krum_core::{Aggregator, Average, CoordinateWiseMedian, Krum};
-use krum_attacks::{Attack, NoAttack, OmniscientNegative};
 use krum_data::{generators, partition, BatchSampler};
 use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
 use krum_models::{BatchGradientEstimator, GradientEstimator, LogisticRegression};
@@ -84,7 +84,9 @@ fn logistic_run(aggregator: Box<dyn Aggregator>, f: usize) -> (f64, f64) {
     };
     let mut trainer =
         SyncTrainer::new(cluster, aggregator, attack_for(f), estimators, config).expect("trainer");
-    let (_, history) = trainer.run(Vector::zeros(FEATURES + 1)).expect("run succeeds");
+    let (_, history) = trainer
+        .run(Vector::zeros(FEATURES + 1))
+        .expect("run succeeds");
     let summary = history.summary();
     (
         summary.final_loss.unwrap_or(f64::NAN),
@@ -96,7 +98,10 @@ fn main() {
     println!("E5 — Proposition 4.3: convergence of Krum-driven SGD under Byzantine workers");
     println!("n = {N}, omniscient attack (−4·∇Q), γ_t = γ₀/(1 + t/τ), {ROUNDS} rounds\n");
 
-    println!("(a) quadratic cost, d = {DIM}, σ = {SIGMA} (optimum at 0, start at ‖x‖ = {:.1}):", 4.0 * (DIM as f64).sqrt());
+    println!(
+        "(a) quadratic cost, d = {DIM}, σ = {SIGMA} (optimum at 0, start at ‖x‖ = {:.1}):",
+        4.0 * (DIM as f64).sqrt()
+    );
     let mut table = Table::new([
         "f",
         "aggregator",
@@ -107,7 +112,10 @@ fn main() {
     for &f in &[0usize, 5, 11] {
         let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
             ("average", Box::new(Average::new())),
-            ("krum", Box::new(Krum::new(N, f.max(1).min((N - 3) / 2)).expect("config"))),
+            (
+                "krum",
+                Box::new(Krum::new(N, f.clamp(1, (N - 3) / 2)).expect("config")),
+            ),
             ("median", Box::new(CoordinateWiseMedian::new())),
         ];
         for (name, rule) in rules {
@@ -128,7 +136,10 @@ fn main() {
     for &f in &[0usize, 5, 11] {
         let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
             ("average", Box::new(Average::new())),
-            ("krum", Box::new(Krum::new(N, f.max(1).min((N - 3) / 2)).expect("config"))),
+            (
+                "krum",
+                Box::new(Krum::new(N, f.clamp(1, (N - 3) / 2)).expect("config")),
+            ),
         ];
         for (name, rule) in rules {
             let (loss, min_grad) = logistic_run(rule, f);

@@ -3,9 +3,9 @@
 //! Gaussian and omniscient attacks. Reports cross-entropy and test accuracy
 //! at a few checkpoints for averaging, Krum and Multi-Krum.
 
+use krum_attacks::{Attack, GaussianNoise, NoAttack, OmniscientNegative};
 use krum_bench::Table;
 use krum_core::{Aggregator, Average, Krum, MultiKrum};
-use krum_attacks::{Attack, GaussianNoise, NoAttack, OmniscientNegative};
 use krum_data::{generators, partition, BatchSampler, Dataset};
 use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
 use krum_models::{accuracy, BatchGradientEstimator, GradientEstimator, Mlp, MlpBuilder, Model};
@@ -57,8 +57,8 @@ fn main() {
     );
 
     let mut data_rng = krum_bench::rng(2017);
-    let dataset = generators::synthetic_digits(4_000, SIDE, 0.25, &mut data_rng)
-        .expect("generator succeeds");
+    let dataset =
+        generators::synthetic_digits(4_000, SIDE, 0.25, &mut data_rng).expect("generator succeeds");
     let (train, test) = dataset.shuffled(&mut data_rng).split(0.8).expect("split");
     let test = Arc::new(test);
     let model = mlp();
@@ -75,11 +75,18 @@ fn main() {
         "byz-pick%",
     ]);
 
-    for &(attack_name, f) in &[("none", 0usize), ("gaussian", BYZANTINE), ("omniscient", BYZANTINE)] {
+    for &(attack_name, f) in &[
+        ("none", 0usize),
+        ("gaussian", BYZANTINE),
+        ("omniscient", BYZANTINE),
+    ] {
         let cluster = ClusterSpec::new(WORKERS, f).expect("valid cluster");
         let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
             ("average", Box::new(Average::new())),
-            ("krum", Box::new(Krum::new(WORKERS, BYZANTINE).expect("config"))),
+            (
+                "krum",
+                Box::new(Krum::new(WORKERS, BYZANTINE).expect("config")),
+            ),
             (
                 "multi-krum",
                 Box::new(MultiKrum::new(WORKERS, BYZANTINE, WORKERS - BYZANTINE).expect("config")),

@@ -6,9 +6,9 @@
 //! proposals. We sweep `m` with and without an attack and report both the
 //! distance to the optimum and the per-round update variance.
 
+use krum_attacks::{Attack, GaussianNoise, NoAttack};
 use krum_bench::{quadratic_estimators, Table};
 use krum_core::{Aggregator, Average, MultiKrum};
-use krum_attacks::{Attack, GaussianNoise, NoAttack};
 use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
 use krum_tensor::{OnlineStats, Vector};
 

@@ -6,9 +6,9 @@
 //! (b) the model dimension grows at fixed cluster size. Aggregation time is
 //! reported separately so the server-side overhead of Krum is visible.
 
+use krum_attacks::GaussianNoise;
 use krum_bench::{quadratic_estimators, Table};
 use krum_core::{Aggregator, Average, Krum, MultiKrum};
-use krum_attacks::GaussianNoise;
 use krum_dist::{
     ClusterSpec, LatencyModel, LearningRateSchedule, NetworkModel, ThreadedTrainer, TrainingConfig,
 };
@@ -70,7 +70,9 @@ fn rules(n: usize, f: usize) -> Vec<(&'static str, Box<dyn Aggregator>)> {
 
 fn main() {
     println!("E8 — cost of resilience (extension; full-paper Figs. 6–7)");
-    println!("threaded engine, simulated network (~100 µs latency, ~1 GB/s), {ROUNDS} rounds per cell\n");
+    println!(
+        "threaded engine, simulated network (~100 µs latency, ~1 GB/s), {ROUNDS} rounds per cell\n"
+    );
 
     let dim = 20_000;
     let mut table = Table::new(["n", "f", "rule", "round (µs)", "aggregation (µs)"]);
@@ -107,5 +109,7 @@ fn main() {
     println!("expected shape: the aggregation column grows quadratically in n and linearly in d");
     println!("for Krum/Multi-Krum while staying linear-in-n for averaging, but it remains a small");
     println!("fraction of the full round (which is dominated by gradient computation and the");
-    println!("network), so resilience is cheap at realistic cluster sizes — the full paper's point.");
+    println!(
+        "network), so resilience is cheap at realistic cluster sizes — the full paper's point."
+    );
 }

@@ -166,7 +166,10 @@ mod tests {
         let mut all = honest;
         all.push(byzantine);
         let out = rule.aggregate(&all).unwrap();
-        assert!(out.distance(&target) < 1e-9, "attacker forced {out} != {target}");
+        assert!(
+            out.distance(&target) < 1e-9,
+            "attacker forced {out} != {target}"
+        );
     }
 
     #[test]

@@ -29,29 +29,30 @@ impl ClosestToBarycenter {
         Self
     }
 
-    /// The per-proposal criterion `Σ_j ‖V_i − V_j‖²`.
+    /// The per-proposal criterion `Σ_j ‖V_i − V_j‖²`, computed with the same
+    /// cached-norm pairwise kernel Krum uses (row sums of the distance
+    /// matrix).
     ///
     /// # Errors
     ///
     /// Returns [`AggregationError`] for malformed input.
     pub fn scores(&self, proposals: &[Vector]) -> Result<Vec<f64>, AggregationError> {
         validate_proposals(proposals)?;
-        Ok(proposals
-            .iter()
-            .map(|vi| proposals.iter().map(|vj| vi.squared_distance(vj)).sum())
-            .collect())
+        let distances = crate::kernel::pairwise_squared_distances(proposals);
+        Ok(crate::kernel::row_sums(&distances, proposals.len()))
     }
 }
 
 impl Aggregator for ClosestToBarycenter {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
         let scores = self.scores(proposals)?;
-        let mut best = 0;
-        for (i, &s) in scores.iter().enumerate() {
-            if s < scores[best] {
-                best = i;
-            }
-        }
+        // NaN-safe argmin shared with Krum. Note the protection is weaker
+        // for this rule than for Krum: the criterion sums distances to ALL
+        // proposals, so one NaN proposal poisons every score and the argmin
+        // falls back to index 0 deterministically (Krum's neighbour sums
+        // keep honest scores finite, so there the NaN worker truly never
+        // wins).
+        let best = crate::kernel::argmin(&scores);
         Ok(Aggregation::selected(
             proposals[best].clone(),
             vec![best],
@@ -212,7 +213,8 @@ mod tests {
         assert!(result.value.norm() > 50.0);
 
         // Krum, configured for the same (n, f), does NOT fall for it.
-        let krum = crate::Krum::new(7, 2).unwrap()
+        let krum = crate::Krum::new(7, 2)
+            .unwrap()
             .aggregate_detailed(&all)
             .unwrap();
         assert!(krum.selected_index().unwrap() < 5);
@@ -224,6 +226,51 @@ mod tests {
         let scores = ClosestToBarycenter.scores(&proposals).unwrap();
         assert_eq!(scores, vec![4.0, 4.0]);
         assert!(ClosestToBarycenter.scores(&[]).is_err());
+    }
+
+    #[test]
+    fn shared_kernel_matches_naive_double_loop() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            let proposals: Vec<Vector> = (0..9)
+                .map(|_| Vector::gaussian(23, 0.0, 2.0, &mut rng))
+                .collect();
+            let fast = ClosestToBarycenter.scores(&proposals).unwrap();
+            let slow: Vec<f64> = proposals
+                .iter()
+                .map(|vi| proposals.iter().map(|vj| vi.squared_distance(vj)).sum())
+                .collect();
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() <= 1e-9 * b.abs().max(1e-9), "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Satellite regression test for the shared NaN-safe argmin. Unlike
+    /// Krum (which only sums the closest neighbours, so honest scores stay
+    /// finite), this rule sums distances to **all** proposals: one NaN
+    /// proposal poisons every score. The hardened argmin must then fall back
+    /// deterministically instead of comparing NaN (the old inline argmin's
+    /// `s < best` loop silently depended on NaN comparison semantics), and
+    /// partially-poisoned score vectors must resolve to the best finite
+    /// score.
+    #[test]
+    fn nan_scores_resolve_deterministically() {
+        let proposals = vec![
+            Vector::from(vec![f64::NAN, 0.0]),
+            Vector::from(vec![1.0, 0.0]),
+            Vector::from(vec![0.0, 1.0]),
+            Vector::from(vec![0.4, 0.4]),
+        ];
+        let result = ClosestToBarycenter.aggregate_detailed(&proposals).unwrap();
+        // Every score is NaN (each sums a distance to the NaN proposal)…
+        assert!(result.scores.iter().all(|s| s.is_nan()));
+        // …and the selection falls back to index 0 rather than panicking or
+        // depending on NaN comparison order.
+        assert_eq!(result.selected_index(), Some(0));
+        // The shared argmin picks the best finite score when one exists.
+        assert_eq!(crate::kernel::argmin(&[f64::NAN, 7.0, 3.0, f64::NAN]), 2);
     }
 
     #[test]

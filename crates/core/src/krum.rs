@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
 use crate::error::AggregationError;
+use crate::kernel;
 
 /// The Krum choice function.
 ///
@@ -71,8 +72,12 @@ impl Krum {
     /// [`Aggregator::aggregate_detailed`]).
     pub fn scores(&self, proposals: &[Vector]) -> Result<Vec<f64>, AggregationError> {
         self.check(proposals)?;
-        let distances = pairwise_squared_distances(proposals);
-        Ok(scores_from_distances(&distances, self.neighbours()))
+        let distances = kernel::pairwise_squared_distances(proposals);
+        Ok(kernel::scores_from_distances(
+            &distances,
+            self.n,
+            self.neighbours(),
+        ))
     }
 
     fn check(&self, proposals: &[Vector]) -> Result<(), AggregationError> {
@@ -90,9 +95,9 @@ impl Krum {
 impl Aggregator for Krum {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
         self.check(proposals)?;
-        let distances = pairwise_squared_distances(proposals);
-        let scores = scores_from_distances(&distances, self.neighbours());
-        let best = argmin(&scores);
+        let distances = kernel::pairwise_squared_distances(proposals);
+        let scores = kernel::scores_from_distances(&distances, self.n, self.neighbours());
+        let best = kernel::argmin(&scores);
         Ok(Aggregation::selected(
             proposals[best].clone(),
             vec![best],
@@ -139,7 +144,10 @@ impl MultiKrum {
         if m == 0 || m > n - f {
             return Err(AggregationError::config(
                 "multi-krum",
-                format!("Multi-Krum requires 1 <= m <= n - f, got m = {m}, n - f = {}", n - f),
+                format!(
+                    "Multi-Krum requires 1 <= m <= n - f, got m = {m}, n - f = {}",
+                    n - f
+                ),
             ));
         }
         Ok(Self { n, f, m })
@@ -170,17 +178,17 @@ impl Aggregator for MultiKrum {
                 found: proposals.len(),
             });
         }
-        let distances = pairwise_squared_distances(proposals);
-        let scores = scores_from_distances(&distances, self.n - self.f - 2);
-        // Order worker indices by (score, index) — the same tie-breaking rule
-        // as Krum, extended to the m best.
-        let mut order: Vec<usize> = (0..self.n).collect();
-        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
-        let chosen: Vec<usize> = order.into_iter().take(self.m).collect();
-        let selected_vectors: Vec<Vector> =
-            chosen.iter().map(|&i| proposals[i].clone()).collect();
-        let value = Vector::mean_of(&selected_vectors)
-            .expect("chosen is non-empty and dimensionally consistent");
+        let distances = kernel::pairwise_squared_distances(proposals);
+        let scores = kernel::scores_from_distances(&distances, self.n, self.n - self.f - 2);
+        // The m best worker indices by (score, index) — the same tie-breaking
+        // rule as Krum, extended to a set — found by partial selection.
+        let chosen = kernel::smallest_indices(&scores, self.m);
+        // Average the selected proposals in place, without cloning them.
+        let mut value = Vector::zeros(proposals[0].dim());
+        for &i in &chosen {
+            value.axpy(1.0, &proposals[i]);
+        }
+        value.scale(1.0 / chosen.len() as f64);
         Ok(Aggregation::selected(value, chosen, scores))
     }
 
@@ -192,48 +200,6 @@ impl Aggregator for MultiKrum {
         // Only the degenerate m = 1 case returns one of its inputs verbatim.
         self.m == 1
     }
-}
-
-/// Full symmetric matrix of pairwise squared distances, flattened row-major.
-fn pairwise_squared_distances(proposals: &[Vector]) -> Vec<f64> {
-    let n = proposals.len();
-    let mut d = vec![0.0; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let dist = proposals[i].squared_distance(&proposals[j]);
-            d[i * n + j] = dist;
-            d[j * n + i] = dist;
-        }
-    }
-    d
-}
-
-/// Krum scores from a pairwise distance matrix: for each `i`, the sum of the
-/// `neighbours` smallest squared distances to other proposals.
-fn scores_from_distances(distances: &[f64], neighbours: usize) -> Vec<f64> {
-    let n = (distances.len() as f64).sqrt() as usize;
-    debug_assert_eq!(n * n, distances.len());
-    let mut scores = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut row: Vec<f64> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| distances[i * n + j])
-            .collect();
-        row.sort_by(f64::total_cmp);
-        scores.push(row.iter().take(neighbours).sum());
-    }
-    scores
-}
-
-/// Index of the smallest score, ties broken towards the smallest index.
-fn argmin(scores: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &s) in scores.iter().enumerate() {
-        if s < scores[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 #[cfg(test)]
@@ -363,7 +329,10 @@ mod tests {
         let wrong_count = vec![Vector::zeros(2); 4];
         assert!(matches!(
             krum.aggregate(&wrong_count),
-            Err(AggregationError::WrongWorkerCount { expected: 5, found: 4 })
+            Err(AggregationError::WrongWorkerCount {
+                expected: 5,
+                found: 4
+            })
         ));
         let mut mismatched = vec![Vector::zeros(2); 5];
         mismatched[3] = Vector::zeros(3);
@@ -376,7 +345,9 @@ mod tests {
     #[test]
     fn krum_output_is_always_one_of_the_inputs() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let proposals: Vec<Vector> = (0..11).map(|_| Vector::gaussian(8, 0.0, 3.0, &mut rng)).collect();
+        let proposals: Vec<Vector> = (0..11)
+            .map(|_| Vector::gaussian(8, 0.0, 3.0, &mut rng))
+            .collect();
         let krum = Krum::new(11, 4).unwrap();
         let out = krum.aggregate(&proposals).unwrap();
         assert!(proposals.contains(&out));
@@ -454,9 +425,69 @@ mod tests {
             Vector::from(vec![2.0]),
             Vector::from(vec![10.0]),
         ];
-        let d = pairwise_squared_distances(&proposals);
-        let s = scores_from_distances(&d, 1);
+        let d = kernel::pairwise_squared_distances(&proposals);
+        let s = kernel::scores_from_distances(&d, 4, 1);
         assert_eq!(s, vec![1.0, 1.0, 1.0, 64.0]);
+    }
+
+    /// Satellite property test: the optimized Krum/Multi-Krum paths select
+    /// exactly the indices the naive (sort-based, per-pair) path selects,
+    /// over seeded random proposal sets, and the scores agree to 1e-9.
+    #[test]
+    fn optimized_paths_match_naive_selection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..40 {
+            let n = 7 + trial % 8; // 7..=14
+            let f = (n - 3) / 2;
+            let dim = 1 + (trial * 13) % 64;
+            let spread = [0.05, 1.0, 25.0][trial % 3];
+            let proposals: Vec<Vector> = (0..n)
+                .map(|_| Vector::gaussian(dim, 0.5, spread, &mut rng))
+                .collect();
+            let krum = Krum::new(n, f).unwrap();
+            let fast_scores = krum.scores(&proposals).unwrap();
+            let naive_scores = crate::kernel::naive::krum_scores(&proposals, n - f - 2);
+            for (a, b) in fast_scores.iter().zip(&naive_scores) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1e-9),
+                    "trial {trial}: score {a} vs naive {b}"
+                );
+            }
+            let fast_choice = krum
+                .aggregate_detailed(&proposals)
+                .unwrap()
+                .selected_index()
+                .unwrap();
+            let naive_choice = crate::kernel::naive::krum_choose(&proposals, f);
+            assert_eq!(fast_choice, naive_choice, "trial {trial}");
+            // Multi-Krum: the selected set must match the naive full sort.
+            let m = (n - f).max(1);
+            let mk = MultiKrum::new(n, f, m).unwrap();
+            let selected = mk.aggregate_detailed(&proposals).unwrap().selected;
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| naive_scores[a].total_cmp(&naive_scores[b]).then(a.cmp(&b)));
+            order.truncate(m);
+            assert_eq!(selected, order, "trial {trial}");
+        }
+    }
+
+    /// Satellite regression test: a NaN proposal at index 0 used to poison
+    /// `argmin` (NaN never compares less, so index 0 stayed "best"); the
+    /// NaN-safe argmin must skip it for Krum and never select it.
+    #[test]
+    fn nan_proposal_at_index_zero_is_never_selected() {
+        let mut proposals = clustered_proposals();
+        proposals[0] = Vector::filled(2, f64::NAN);
+        let krum = Krum::new(7, 2).unwrap();
+        let result = krum.aggregate_detailed(&proposals).unwrap();
+        let idx = result.selected_index().unwrap();
+        assert_ne!(idx, 0, "the NaN proposal must not win");
+        assert!(result.value.is_finite());
+        assert!(result.scores[0].is_nan());
+        // Multi-Krum keeps NaN out of the selected set as well.
+        let mk = MultiKrum::new(7, 2, 4).unwrap();
+        let selected = mk.aggregate_detailed(&proposals).unwrap().selected;
+        assert!(!selected.contains(&0));
     }
 
     #[test]

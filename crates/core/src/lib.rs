@@ -48,19 +48,28 @@ mod aggregator;
 mod average;
 mod distance;
 mod error;
+mod kernel;
 mod krum;
 mod median;
 mod registry;
 pub mod resilience;
 mod subset;
 
+/// The pre-optimization (per-pair, sort-based) Krum reference path, exposed
+/// for benchmarks comparing it against the cached-norm kernel. Enable the
+/// `naive` feature to use it.
+#[cfg(feature = "naive")]
+pub mod naive {
+    pub use crate::kernel::naive::{krum_choose, krum_scores, pairwise_squared_distances};
+}
+
 pub use aggregator::{validate_proposals, Aggregation, Aggregator};
-pub use registry::{build_aggregator, RULE_NAMES};
 pub use average::{Average, WeightedAverage};
 pub use distance::{ClosestToBarycenter, GeometricMedian};
 pub use error::AggregationError;
 pub use krum::{Krum, MultiKrum};
 pub use median::{CoordinateWiseMedian, TrimmedMean};
+pub use registry::{build_aggregator, RULE_NAMES};
 pub use resilience::{eta, krum_sin_alpha, ResilienceCheck, ResilienceEstimator};
 pub use subset::MinimumDiameterSubset;
 
@@ -68,7 +77,7 @@ pub use subset::MinimumDiameterSubset;
 pub mod prelude {
     pub use crate::{
         Aggregation, AggregationError, Aggregator, Average, ClosestToBarycenter,
-        CoordinateWiseMedian, GeometricMedian, Krum, MinimumDiameterSubset, MultiKrum,
-        TrimmedMean, WeightedAverage,
+        CoordinateWiseMedian, GeometricMedian, Krum, MinimumDiameterSubset, MultiKrum, TrimmedMean,
+        WeightedAverage,
     };
 }

@@ -65,7 +65,8 @@ pub fn build_aggregator(
     let mut parts = spec.splitn(2, ':');
     let name = parts.next().unwrap_or_default().trim();
     let params = parse_params(parts.next().unwrap_or(""), name)?;
-    let get = |key: &str| -> Option<usize> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
+    let get =
+        |key: &str| -> Option<usize> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
     let reject_unknown = |allowed: &[&str]| -> Result<(), AggregationError> {
         if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
             return Err(AggregationError::config(

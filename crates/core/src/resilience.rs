@@ -80,7 +80,7 @@ pub fn krum_sin_alpha(
             "sigma must be finite and >= 0",
         ));
     }
-    if !(grad_norm > 0.0) || !grad_norm.is_finite() {
+    if !grad_norm.is_finite() || grad_norm <= 0.0 {
         return Err(AggregationError::config(
             "krum_sin_alpha",
             "the gradient norm must be finite and > 0",
@@ -215,7 +215,10 @@ impl ResilienceEstimator {
             if byzantine.len() != f {
                 return Err(AggregationError::config(
                     "resilience-estimator",
-                    format!("forge returned {} vectors, expected f = {f}", byzantine.len()),
+                    format!(
+                        "forge returned {} vectors, expected f = {f}",
+                        byzantine.len()
+                    ),
                 ));
             }
             let mut proposals = correct.clone();
@@ -331,7 +334,11 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        assert!(check.sin_alpha < 1.0, "premise should hold: {}", check.sin_alpha);
+        assert!(
+            check.sin_alpha < 1.0,
+            "premise should hold: {}",
+            check.sin_alpha
+        );
         assert!(
             check.condition_i,
             "⟨EF, g⟩ = {} should exceed {}",
@@ -341,7 +348,10 @@ mod tests {
         let expected_dev = d as f64 * sigma * sigma;
         assert!((check.estimator_deviation - expected_dev).abs() / expected_dev < 0.2);
         // Moments of the selected vector stay comparable to the correct estimator's.
-        assert!(check.moment_ratios.iter().all(|&r| r.is_finite() && r < 10.0));
+        assert!(check
+            .moment_ratios
+            .iter()
+            .all(|&r| r.is_finite() && r < 10.0));
     }
 
     #[test]
@@ -396,11 +406,27 @@ mod tests {
             .is_err());
         // negative sigma
         assert!(estimator
-            .check(&krum, &g, -0.1, 7, 2, |_, _| vec![Vector::zeros(4); 2], &mut rng)
+            .check(
+                &krum,
+                &g,
+                -0.1,
+                7,
+                2,
+                |_, _| vec![Vector::zeros(4); 2],
+                &mut rng
+            )
             .is_err());
         // forge returning the wrong count
         assert!(estimator
-            .check(&krum, &g, 0.1, 7, 2, |_, _| vec![Vector::zeros(4)], &mut rng)
+            .check(
+                &krum,
+                &g,
+                0.1,
+                7,
+                2,
+                |_, _| vec![Vector::zeros(4)],
+                &mut rng
+            )
             .is_err());
     }
 
@@ -411,9 +437,20 @@ mod tests {
         let g = Vector::zeros(4);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let check = estimator
-            .check(&krum, &g, 0.1, 7, 2, |_, rng| {
-                vec![Vector::gaussian(4, 0.0, 1.0, rng), Vector::gaussian(4, 0.0, 1.0, rng)]
-            }, &mut rng)
+            .check(
+                &krum,
+                &g,
+                0.1,
+                7,
+                2,
+                |_, rng| {
+                    vec![
+                        Vector::gaussian(4, 0.0, 1.0, rng),
+                        Vector::gaussian(4, 0.0, 1.0, rng),
+                    ]
+                },
+                &mut rng,
+            )
             .unwrap();
         assert!(check.sin_alpha.is_infinite());
         assert!(!check.condition_i);

@@ -425,8 +425,11 @@ mod tests {
 
     #[test]
     fn num_classes_for_regression_is_zero() {
-        let ds = Dataset::new(Matrix::zeros(2, 1), vec![Label::Real(0.1), Label::Real(0.2)])
-            .unwrap();
+        let ds = Dataset::new(
+            Matrix::zeros(2, 1),
+            vec![Label::Real(0.1), Label::Real(0.2)],
+        )
+        .unwrap();
         assert_eq!(ds.num_classes(), 0);
         assert!(ds.class_histogram().is_empty());
     }

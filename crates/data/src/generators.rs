@@ -106,7 +106,10 @@ pub fn linear_regression<R: Rng + ?Sized>(
     validate_positive(samples, "samples", "linear_regression")?;
     validate_positive(dim, "dim", "linear_regression")?;
     if noise < 0.0 {
-        return Err(DataError::invalid("linear_regression", "noise must be >= 0"));
+        return Err(DataError::invalid(
+            "linear_regression",
+            "noise must be >= 0",
+        ));
     }
     let w_star = Vector::gaussian(dim, 0.0, 1.0, rng);
     let b_star: f64 = rng.gen_range(-1.0..1.0);
@@ -395,7 +398,10 @@ mod tests {
         };
         let m0 = mean_image(0);
         let m1 = mean_image(1);
-        assert!(m0.distance(&m1) > 0.5, "templates should differ between classes");
+        assert!(
+            m0.distance(&m1) > 0.5,
+            "templates should differ between classes"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn bootstrap_shards<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<Dataset>, DataError> {
     if workers == 0 {
-        return Err(DataError::invalid("bootstrap_shards", "workers must be >= 1"));
+        return Err(DataError::invalid(
+            "bootstrap_shards",
+            "workers must be >= 1",
+        ));
     }
     if shard_size == 0 {
         return Err(DataError::invalid(

@@ -1,0 +1,234 @@
+//! Cluster shape, learning-rate schedules and run configuration.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::error::TrainError;
+
+/// Shape of the worker cluster: `n` workers, of which `f` are Byzantine.
+///
+/// Workers `0 .. n − f` are the correct (honest) ones; workers
+/// `n − f .. n` are controlled by the adversary. The trainers use this
+/// ordering when attributing selections to honest or Byzantine workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    n: usize,
+    f: usize,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster of `n` workers with `f` Byzantine among them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] unless `1 ≤ n` and `f < n`.
+    pub fn new(n: usize, f: usize) -> Result<Self, TrainError> {
+        if n == 0 {
+            return Err(TrainError::config("cluster needs at least one worker"));
+        }
+        if f >= n {
+            return Err(TrainError::config(format!(
+                "cluster needs f < n, got n = {n}, f = {f}"
+            )));
+        }
+        Ok(Self { n, f })
+    }
+
+    /// Total number of workers `n`.
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+
+    /// Number of Byzantine workers `f`.
+    pub fn byzantine(&self) -> usize {
+        self.f
+    }
+
+    /// Number of honest workers `n − f`.
+    pub fn honest(&self) -> usize {
+        self.n - self.f
+    }
+}
+
+/// Learning-rate schedule `γ_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LearningRateSchedule {
+    /// Fixed rate `γ_t = gamma`.
+    Constant {
+        /// The constant learning rate.
+        gamma: f64,
+    },
+    /// Inverse-time decay `γ_t = gamma / (1 + t/tau)` — the `1/t`-style
+    /// schedule the paper's convergence conditions (`Σ γ_t = ∞`,
+    /// `Σ γ_t² < ∞`) call for.
+    InverseTime {
+        /// Initial learning rate.
+        gamma: f64,
+        /// Decay time constant (in rounds).
+        tau: f64,
+    },
+}
+
+impl LearningRateSchedule {
+    /// The learning rate at round `t`.
+    pub fn rate(&self, round: usize) -> f64 {
+        match *self {
+            Self::Constant { gamma } => gamma,
+            Self::InverseTime { gamma, tau } => gamma / (1.0 + round as f64 / tau),
+        }
+    }
+
+    /// Validates the schedule parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] for non-positive or non-finite
+    /// parameters.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        let ok = match *self {
+            Self::Constant { gamma } => gamma > 0.0 && gamma.is_finite(),
+            Self::InverseTime { gamma, tau } => {
+                gamma > 0.0 && gamma.is_finite() && tau > 0.0 && tau.is_finite()
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(TrainError::config(
+                "learning-rate parameters must be positive and finite",
+            ))
+        }
+    }
+}
+
+/// Configuration of one training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Number of synchronous rounds to run.
+    pub rounds: usize,
+    /// Learning-rate schedule.
+    pub schedule: LearningRateSchedule,
+    /// Master seed; every worker RNG, the attack RNG and the network RNG are
+    /// derived from it deterministically, so runs are reproducible and the
+    /// sequential and threaded engines follow identical trajectories.
+    pub seed: u64,
+    /// Evaluate loss/accuracy every this many rounds (the final round is
+    /// always evaluated). `0` evaluates only the final round.
+    pub eval_every: usize,
+    /// Known optimum `x*`, recorded as `‖x_t − x*‖` per round when set.
+    pub known_optimum: Option<Vector>,
+}
+
+impl TrainingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when `rounds` is zero or the
+    /// schedule is invalid.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        if self.rounds == 0 {
+            return Err(TrainError::config("rounds must be >= 1"));
+        }
+        self.schedule.validate()
+    }
+
+    /// Whether round `round` (of `self.rounds`) is an evaluation round.
+    pub(crate) fn eval_due(&self, round: usize) -> bool {
+        round + 1 == self.rounds || (self.eval_every != 0 && round.is_multiple_of(self.eval_every))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_spec_validation() {
+        assert!(ClusterSpec::new(0, 0).is_err());
+        assert!(ClusterSpec::new(4, 4).is_err());
+        assert!(ClusterSpec::new(4, 5).is_err());
+        let c = ClusterSpec::new(15, 4).unwrap();
+        assert_eq!(c.workers(), 15);
+        assert_eq!(c.byzantine(), 4);
+        assert_eq!(c.honest(), 11);
+    }
+
+    #[test]
+    fn schedules_produce_expected_rates() {
+        let c = LearningRateSchedule::Constant { gamma: 0.1 };
+        assert_eq!(c.rate(0), 0.1);
+        assert_eq!(c.rate(100), 0.1);
+        let i = LearningRateSchedule::InverseTime {
+            gamma: 0.2,
+            tau: 50.0,
+        };
+        assert_eq!(i.rate(0), 0.2);
+        assert!((i.rate(50) - 0.1).abs() < 1e-12);
+        assert!(i.rate(200) < i.rate(100));
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(LearningRateSchedule::Constant { gamma: 0.0 }
+            .validate()
+            .is_err());
+        assert!(LearningRateSchedule::Constant { gamma: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(LearningRateSchedule::InverseTime {
+            gamma: 0.1,
+            tau: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LearningRateSchedule::Constant { gamma: 0.5 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn config_validation_and_eval_cadence() {
+        let config = TrainingConfig {
+            rounds: 10,
+            schedule: LearningRateSchedule::Constant { gamma: 0.1 },
+            seed: 1,
+            eval_every: 4,
+            known_optimum: None,
+        };
+        config.validate().unwrap();
+        assert!(config.eval_due(0));
+        assert!(!config.eval_due(1));
+        assert!(config.eval_due(4));
+        assert!(config.eval_due(8));
+        assert!(config.eval_due(9), "final round always evaluates");
+        let bad = TrainingConfig {
+            rounds: 0,
+            ..config.clone()
+        };
+        assert!(bad.validate().is_err());
+        let lazy = TrainingConfig {
+            eval_every: 0,
+            ..config
+        };
+        assert!(!lazy.eval_due(0));
+        assert!(lazy.eval_due(9));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = TrainingConfig {
+            rounds: 5,
+            schedule: LearningRateSchedule::InverseTime {
+                gamma: 0.3,
+                tau: 20.0,
+            },
+            seed: 7,
+            eval_every: 2,
+            known_optimum: Some(Vector::zeros(3)),
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: TrainingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared round engine behind both trainers.
+//!
+//! Holds the cluster state (aggregator, attack, worker estimators, RNG
+//! streams) and executes one synchronous round at a time. Built perf-first:
+//! the proposal buffer is allocated once and reused across rounds, worker
+//! RNGs are independent streams derived from the master seed (so the
+//! sequential and threaded engines follow bit-identical trajectories), and
+//! the honest-gradient fan-out can run serially or on the `rayon` pool.
+
+use std::time::Instant;
+
+use krum_attacks::{Attack, AttackContext};
+use krum_core::Aggregator;
+use krum_metrics::RoundRecord;
+use krum_models::GradientEstimator;
+use krum_tensor::Vector;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::config::{ClusterSpec, TrainingConfig};
+use crate::error::TrainError;
+
+/// Callback measuring held-out accuracy of a parameter vector.
+pub(crate) type AccuracyProbe = Box<dyn Fn(&Vector) -> Option<f64> + Send + Sync>;
+
+/// Derives an independent RNG stream from the master seed.
+pub(crate) fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// RNG stream index reserved for the adversary.
+pub(crate) const ATTACK_STREAM: u64 = u64::MAX - 1;
+/// RNG stream index reserved for the simulated network.
+pub(crate) const NETWORK_STREAM: u64 = u64::MAX - 2;
+
+/// The state shared by [`SyncTrainer`](crate::SyncTrainer) and
+/// [`ThreadedTrainer`](crate::ThreadedTrainer).
+pub(crate) struct EngineCore {
+    pub(crate) cluster: ClusterSpec,
+    pub(crate) aggregator: Box<dyn Aggregator>,
+    pub(crate) aggregator_name: String,
+    pub(crate) attack: Box<dyn Attack>,
+    pub(crate) attack_name: String,
+    /// One estimator per honest worker.
+    pub(crate) estimators: Vec<Box<dyn GradientEstimator>>,
+    /// Dedicated metrics/adversary probe; the sequential engine shares
+    /// `estimators[0]` instead.
+    pub(crate) probe: Option<Box<dyn GradientEstimator>>,
+    pub(crate) config: TrainingConfig,
+    pub(crate) accuracy_probe: Option<AccuracyProbe>,
+    pub(crate) dim: usize,
+    /// One independent RNG per honest worker.
+    worker_rngs: Vec<ChaCha8Rng>,
+    attack_rng: ChaCha8Rng,
+    /// Per-round proposal scratch (`n` slots), reused across rounds.
+    proposals: Vec<Vector>,
+}
+
+impl EngineCore {
+    /// Builds the core, validating the configuration.
+    pub(crate) fn new(
+        cluster: ClusterSpec,
+        aggregator: Box<dyn Aggregator>,
+        attack: Box<dyn Attack>,
+        estimators: Vec<Box<dyn GradientEstimator>>,
+        probe: Option<Box<dyn GradientEstimator>>,
+        config: TrainingConfig,
+    ) -> Result<Self, TrainError> {
+        config.validate()?;
+        if estimators.len() != cluster.honest() {
+            return Err(TrainError::config(format!(
+                "expected one estimator per honest worker ({}), got {}",
+                cluster.honest(),
+                estimators.len()
+            )));
+        }
+        let dim = estimators
+            .first()
+            .map(|e| e.dim())
+            .ok_or_else(|| TrainError::config("at least one honest worker is required"))?;
+        if let Some(worker) = estimators.iter().position(|e| e.dim() != dim) {
+            return Err(TrainError::config(format!(
+                "estimator {worker} has dimension {}, expected {dim}",
+                estimators[worker].dim()
+            )));
+        }
+        if let Some(p) = &probe {
+            if p.dim() != dim {
+                return Err(TrainError::config(format!(
+                    "probe estimator has dimension {}, expected {dim}",
+                    p.dim()
+                )));
+            }
+        }
+        if let Some(optimum) = &config.known_optimum {
+            if optimum.dim() != dim {
+                return Err(TrainError::config(format!(
+                    "known optimum has dimension {}, expected {dim}",
+                    optimum.dim()
+                )));
+            }
+        }
+        let worker_rngs = (0..cluster.honest())
+            .map(|w| stream_rng(config.seed, w as u64))
+            .collect();
+        let proposals = vec![Vector::zeros(dim); cluster.workers()];
+        Ok(Self {
+            cluster,
+            aggregator_name: aggregator.name(),
+            aggregator,
+            attack_name: attack.name(),
+            attack,
+            estimators,
+            probe,
+            attack_rng: stream_rng(config.seed, ATTACK_STREAM),
+            config,
+            accuracy_probe: None,
+            dim,
+            worker_rngs,
+            proposals,
+        })
+    }
+
+    fn probe_estimator(&self) -> &dyn GradientEstimator {
+        self.probe
+            .as_deref()
+            .unwrap_or_else(|| &*self.estimators[0])
+    }
+
+    /// Runs one synchronous round: workers estimate gradients at `params`,
+    /// the adversary forges its proposals, the server aggregates and applies
+    /// the update in place. Returns the round's metrics record.
+    pub(crate) fn step(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+        parallel: bool,
+    ) -> Result<RoundRecord, TrainError> {
+        let round_start = Instant::now();
+        let honest = self.cluster.honest();
+        let byzantine = self.cluster.byzantine();
+
+        // 1. Honest workers compute their gradient estimates (the scratch
+        //    buffer is reused; only the estimator outputs are fresh).
+        if parallel && honest > 1 {
+            let params_ref: &Vector = params;
+            let outputs: Result<Vec<Vector>, _> = self.estimators[..honest]
+                .iter()
+                .zip(self.worker_rngs.iter_mut())
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(estimator, rng)| estimator.estimate(params_ref, rng))
+                .collect();
+            for (slot, proposal) in self.proposals.iter_mut().zip(outputs?) {
+                *slot = proposal;
+            }
+        } else {
+            for w in 0..honest {
+                self.proposals[w] =
+                    self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
+            }
+        }
+
+        // 2. The omniscient adversary observes everything, including the true
+        //    gradient when the workload exposes one.
+        let true_gradient = self.probe_estimator().true_gradient(params);
+        let forged = {
+            let ctx = AttackContext {
+                honest_proposals: &self.proposals[..honest],
+                current_params: params,
+                true_gradient: true_gradient.as_ref(),
+                byzantine_count: byzantine,
+                total_workers: self.cluster.workers(),
+                round,
+                aggregator_name: &self.aggregator_name,
+            };
+            self.attack.forge(&ctx, &mut self.attack_rng)?
+        };
+        if forged.len() != byzantine {
+            return Err(TrainError::AttackContract {
+                attack: self.attack_name.clone(),
+                message: format!("returned {} proposals, expected {byzantine}", forged.len()),
+            });
+        }
+        for (slot, proposal) in self.proposals[honest..].iter_mut().zip(forged) {
+            if proposal.dim() != self.dim {
+                return Err(TrainError::AttackContract {
+                    attack: self.attack_name.clone(),
+                    message: format!(
+                        "returned a proposal of dimension {}, expected {}",
+                        proposal.dim(),
+                        self.dim
+                    ),
+                });
+            }
+            *slot = proposal;
+        }
+
+        // 3. Server-side aggregation (timed separately: this is the paper's
+        //    O(n²·d) hot path).
+        let aggregation_start = Instant::now();
+        let aggregation = self.aggregator.aggregate_detailed(&self.proposals)?;
+        let aggregation_nanos = aggregation_start.elapsed().as_nanos();
+
+        // 4. Apply the SGD update.
+        let learning_rate = self.config.schedule.rate(round);
+        params.axpy(-learning_rate, &aggregation.value);
+
+        // 5. Metrics.
+        let mut record = RoundRecord::new(round, aggregation.value.norm(), learning_rate);
+        record.aggregation_nanos = aggregation_nanos;
+        record.selected_worker = aggregation.selected_index();
+        record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
+        if let Some(gradient) = &true_gradient {
+            record.true_gradient_norm = Some(gradient.norm());
+            record.alignment = aggregation.value.cosine_similarity(gradient);
+        }
+        if let Some(optimum) = &self.config.known_optimum {
+            record.distance_to_optimum = Some(params.distance(optimum));
+        }
+        if self.config.eval_due(round) {
+            record.loss = self.probe_estimator().loss(params);
+            if let Some(probe) = &self.accuracy_probe {
+                record.accuracy = probe(params);
+            }
+        }
+        record.round_nanos = round_start.elapsed().as_nanos();
+        Ok(record)
+    }
+
+    /// Metadata-filled empty history for a run of this engine.
+    pub(crate) fn new_history(&self) -> krum_metrics::TrainingHistory {
+        krum_metrics::TrainingHistory::new(
+            format!(
+                "{} vs {} (n={}, f={}, d={})",
+                self.aggregator_name,
+                self.attack_name,
+                self.cluster.workers(),
+                self.cluster.byzantine(),
+                self.dim
+            ),
+            self.aggregator_name.clone(),
+            self.attack_name.clone(),
+            self.cluster.workers(),
+            self.cluster.byzantine(),
+        )
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the training engines.
+
+use krum_attacks::AttackError;
+use krum_core::AggregationError;
+use krum_models::ModelError;
+use thiserror::Error;
+
+/// Errors raised while configuring or running a training engine.
+#[derive(Debug, Error)]
+pub enum TrainError {
+    /// The trainer was configured inconsistently.
+    #[error("invalid training configuration: {0}")]
+    InvalidConfig(String),
+    /// A worker's gradient estimator failed.
+    #[error("worker gradient estimation failed: {0}")]
+    Model(#[from] ModelError),
+    /// The Byzantine strategy rejected the round context.
+    #[error("attack failed: {0}")]
+    Attack(#[from] AttackError),
+    /// The aggregation rule rejected the proposals.
+    #[error("aggregation failed: {0}")]
+    Aggregation(#[from] AggregationError),
+    /// The Byzantine strategy violated its contract (wrong vector count or
+    /// dimension).
+    #[error("attack `{attack}` violated its contract: {message}")]
+    AttackContract {
+        /// Name of the offending attack.
+        attack: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl TrainError {
+    /// Convenience constructor for [`TrainError::InvalidConfig`].
+    pub fn config(message: impl Into<String>) -> Self {
+        Self::InvalidConfig(message.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TrainError::config("rounds must be >= 1");
+        assert!(e.to_string().contains("rounds"));
+        let e = TrainError::AttackContract {
+            attack: "broken".into(),
+            message: "returned 1 proposals, expected 2".into(),
+        };
+        assert!(e.to_string().contains("broken"));
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn error_conversions_and_traits() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<TrainError>();
+        let inner = AggregationError::NoProposals;
+        let e: TrainError = inner.into();
+        assert!(matches!(e, TrainError::Aggregation(_)));
+        assert!(e.to_string().contains("aggregation"));
+    }
+}

@@ -1,0 +1,270 @@
+//! # krum-dist
+//!
+//! Synchronous parameter-server training engines for the Krum reproduction.
+//!
+//! The paper's model section fixes the protocol: each round `t`, the server
+//! broadcasts `x_t`, every correct worker replies with a gradient estimate
+//! `G(x_t, ξ)`, the Byzantine workers reply with anything (chosen with full
+//! knowledge of the round), and the server applies
+//! `x_{t+1} = x_t − γ_t · F(V_1, …, V_n)` for a choice function `F`.
+//!
+//! Two engines implement that protocol:
+//!
+//! * [`SyncTrainer`] — sequential reference engine;
+//! * [`ThreadedTrainer`] — computes honest worker gradients in parallel and
+//!   charges a simulated [`NetworkModel`] (per-message latency + bandwidth)
+//!   to the round timings, for the cost-of-resilience experiments (E8).
+//!
+//! Both engines are deterministic functions of
+//! [`TrainingConfig::seed`] — worker, attack and network randomness are
+//! independent ChaCha streams derived from it — so the two engines produce
+//! **identical parameter trajectories** and experiments are exactly
+//! reproducible.
+//!
+//! Performance notes: the per-round proposal buffer is allocated once and
+//! reused; the aggregation step is timed separately from the full round so
+//! the server-side `O(n²·d)` cost of Krum stays visible in the metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod error;
+mod sync;
+mod threaded;
+
+pub use config::{ClusterSpec, LearningRateSchedule, TrainingConfig};
+pub use error::TrainError;
+pub use sync::SyncTrainer;
+pub use threaded::{LatencyModel, NetworkModel, ThreadedTrainer};
+
+/// Convenience prelude for the distributed-training crate.
+pub mod prelude {
+    pub use crate::{
+        ClusterSpec, LatencyModel, LearningRateSchedule, NetworkModel, SyncTrainer,
+        ThreadedTrainer, TrainError, TrainingConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krum_attacks::{NoAttack, SignFlip};
+    use krum_core::{Average, Krum};
+    use krum_models::{GaussianEstimator, GradientEstimator, QuadraticCost};
+    use krum_tensor::Vector;
+
+    fn estimators(count: usize, dim: usize, sigma: f64) -> Vec<Box<dyn GradientEstimator>> {
+        (0..count)
+            .map(|_| {
+                Box::new(
+                    GaussianEstimator::new(
+                        QuadraticCost::isotropic(Vector::zeros(dim), 0.0),
+                        sigma,
+                    )
+                    .unwrap(),
+                ) as Box<dyn GradientEstimator>
+            })
+            .collect()
+    }
+
+    fn config(rounds: usize, dim: usize) -> TrainingConfig {
+        TrainingConfig {
+            rounds,
+            schedule: LearningRateSchedule::Constant { gamma: 0.2 },
+            seed: 11,
+            eval_every: 5,
+            known_optimum: Some(Vector::zeros(dim)),
+        }
+    }
+
+    #[test]
+    fn sync_trainer_converges_on_clean_quadratic() {
+        let dim = 8;
+        let cluster = ClusterSpec::new(5, 0).unwrap();
+        let mut trainer = SyncTrainer::new(
+            cluster,
+            Box::new(Average::new()),
+            Box::new(NoAttack::new()),
+            estimators(5, dim, 0.05),
+            config(120, dim),
+        )
+        .unwrap();
+        assert_eq!(trainer.cluster().workers(), 5);
+        assert_eq!(trainer.dim(), dim);
+        let (params, history) = trainer.run(Vector::filled(dim, 2.0)).unwrap();
+        assert!(params.norm() < 0.2, "‖x‖ = {}", params.norm());
+        assert_eq!(history.len(), 120);
+        assert!(!history.summary().diverged);
+        // distance-to-optimum decreases over the run.
+        let first = history.rounds[0].distance_to_optimum.unwrap();
+        let last = history.rounds[119].distance_to_optimum.unwrap();
+        assert!(last < first * 0.2);
+    }
+
+    #[test]
+    fn sync_trainer_runs_are_reproducible() {
+        let dim = 6;
+        let cluster = ClusterSpec::new(7, 2).unwrap();
+        let run = || {
+            let mut trainer = SyncTrainer::new(
+                cluster,
+                Box::new(Krum::new(7, 2).unwrap()),
+                Box::new(SignFlip::new(3.0).unwrap()),
+                estimators(5, dim, 0.2),
+                config(30, dim),
+            )
+            .unwrap();
+            trainer.run(Vector::filled(dim, 1.0)).unwrap().0
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_round_advances_from_given_params() {
+        let dim = 4;
+        let cluster = ClusterSpec::new(5, 1).unwrap();
+        let mut trainer = SyncTrainer::new(
+            cluster,
+            Box::new(Krum::new(5, 1).unwrap()),
+            Box::new(NoAttack::new()),
+            estimators(4, dim, 0.0),
+            config(1, dim),
+        )
+        .unwrap();
+        let start = Vector::filled(dim, 1.0);
+        let (next, record) = trainer.run_round(&start, 0).unwrap();
+        // Zero noise: the aggregate is exactly the gradient x, so the update
+        // is x ← x − 0.2·x.
+        assert!(next.distance(&start.scaled(0.8)) < 1e-12);
+        assert_eq!(record.round, 0);
+        assert!(record.aggregation_nanos > 0);
+        assert_eq!(record.selected_byzantine, Some(false));
+    }
+
+    #[test]
+    fn construction_rejects_bad_shapes() {
+        let dim = 4;
+        let cluster = ClusterSpec::new(5, 1).unwrap();
+        // Wrong estimator count.
+        assert!(SyncTrainer::new(
+            cluster,
+            Box::new(Average::new()),
+            Box::new(NoAttack::new()),
+            estimators(3, dim, 0.1),
+            config(5, dim),
+        )
+        .is_err());
+        // Mismatched estimator dimensions.
+        let mut mixed = estimators(3, dim, 0.1);
+        mixed.extend(estimators(1, dim + 1, 0.1));
+        assert!(SyncTrainer::new(
+            cluster,
+            Box::new(Average::new()),
+            Box::new(NoAttack::new()),
+            mixed,
+            config(5, dim),
+        )
+        .is_err());
+        // Known optimum with the wrong dimension.
+        let bad_config = TrainingConfig {
+            known_optimum: Some(Vector::zeros(dim + 2)),
+            ..config(5, dim)
+        };
+        assert!(SyncTrainer::new(
+            cluster,
+            Box::new(Average::new()),
+            Box::new(NoAttack::new()),
+            estimators(4, dim, 0.1),
+            bad_config,
+        )
+        .is_err());
+        // Threaded engine wants honest + 1 estimators.
+        let network = NetworkModel {
+            latency: LatencyModel::Constant { nanos: 1_000 },
+            nanos_per_byte: 0.1,
+        };
+        assert!(ThreadedTrainer::new(
+            cluster,
+            Box::new(Average::new()),
+            Box::new(NoAttack::new()),
+            estimators(4, dim, 0.1),
+            config(5, dim),
+            network,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn threaded_matches_sequential_trajectory() {
+        let dim = 5;
+        let cluster = ClusterSpec::new(6, 1).unwrap();
+        let network = NetworkModel {
+            latency: LatencyModel::Uniform {
+                min_nanos: 1_000,
+                max_nanos: 2_000,
+            },
+            nanos_per_byte: 0.5,
+        };
+        let mut sequential = SyncTrainer::new(
+            cluster,
+            Box::new(Krum::new(6, 1).unwrap()),
+            Box::new(SignFlip::new(2.0).unwrap()),
+            estimators(5, dim, 0.3),
+            config(25, dim),
+        )
+        .unwrap();
+        let mut threaded = ThreadedTrainer::new(
+            cluster,
+            Box::new(Krum::new(6, 1).unwrap()),
+            Box::new(SignFlip::new(2.0).unwrap()),
+            estimators(6, dim, 0.3),
+            config(25, dim),
+            network,
+        )
+        .unwrap();
+        let start = Vector::filled(dim, 1.5);
+        let (seq, seq_history) = sequential.run(start.clone()).unwrap();
+        let (thr, thr_history) = threaded.run(start).unwrap();
+        assert_eq!(seq, thr, "engines must follow identical trajectories");
+        // The network charge only widens the round timings.
+        assert!(thr_history.mean_round_nanos() >= seq_history.mean_round_nanos());
+        assert!(thr_history.mean_round_nanos() >= 2_000.0);
+        assert_eq!(threaded.network(), network);
+        assert_eq!(threaded.cluster().honest(), 5);
+        assert_eq!(threaded.dim(), dim);
+    }
+
+    #[test]
+    fn latency_models_sample_within_bounds() {
+        let mut rng = crate::engine::stream_rng(3, 0);
+        let constant = LatencyModel::Constant { nanos: 42 };
+        assert_eq!(constant.sample(&mut rng), 42);
+        let uniform = LatencyModel::Uniform {
+            min_nanos: 10,
+            max_nanos: 20,
+        };
+        for _ in 0..100 {
+            let draw = uniform.sample(&mut rng);
+            assert!((10..=20).contains(&draw));
+        }
+        // Degenerate range falls back to the minimum.
+        let tight = LatencyModel::Uniform {
+            min_nanos: 7,
+            max_nanos: 7,
+        };
+        assert_eq!(tight.sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn network_round_cost_reflects_payload() {
+        let mut rng = crate::engine::stream_rng(4, 0);
+        let network = NetworkModel {
+            latency: LatencyModel::Constant { nanos: 100 },
+            nanos_per_byte: 1.0,
+        };
+        // 2 latencies + 2 × (8·d bytes × 1 ns/byte).
+        assert_eq!(network.round_nanos(3, 10, &mut rng), 200 + 2 * 80);
+    }
+}

@@ -1,0 +1,103 @@
+//! The sequential parameter-server engine.
+
+use krum_attacks::Attack;
+use krum_core::Aggregator;
+use krum_metrics::{RoundRecord, TrainingHistory};
+use krum_models::GradientEstimator;
+use krum_tensor::Vector;
+
+use crate::config::{ClusterSpec, TrainingConfig};
+use crate::engine::EngineCore;
+use crate::error::TrainError;
+
+/// The synchronous parameter server of the paper's model section, executed
+/// sequentially: each round, every honest worker estimates a gradient at the
+/// broadcast parameters, the Byzantine workers forge theirs with full
+/// knowledge of the round, and the server applies the aggregation rule.
+///
+/// The engine is deterministic: every random stream derives from
+/// [`TrainingConfig::seed`], so a run is exactly reproducible (and matches
+/// the [`ThreadedTrainer`](crate::ThreadedTrainer) trajectory for the same
+/// seed).
+pub struct SyncTrainer {
+    core: EngineCore,
+}
+
+impl SyncTrainer {
+    /// Creates a trainer.
+    ///
+    /// `estimators` supplies exactly one gradient estimator per **honest**
+    /// worker (`cluster.honest()` of them); the Byzantine workers' proposals
+    /// come from `attack`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when the configuration is
+    /// invalid or the estimator count/dimensions are inconsistent.
+    pub fn new(
+        cluster: ClusterSpec,
+        aggregator: Box<dyn Aggregator>,
+        attack: Box<dyn Attack>,
+        estimators: Vec<Box<dyn GradientEstimator>>,
+        config: TrainingConfig,
+    ) -> Result<Self, TrainError> {
+        Ok(Self {
+            core: EngineCore::new(cluster, aggregator, attack, estimators, None, config)?,
+        })
+    }
+
+    /// Attaches a held-out accuracy probe, called on evaluation rounds with
+    /// the current parameters.
+    #[must_use]
+    pub fn with_accuracy_probe(
+        mut self,
+        probe: impl Fn(&Vector) -> Option<f64> + Send + Sync + 'static,
+    ) -> Self {
+        self.core.accuracy_probe = Some(Box::new(probe));
+        self
+    }
+
+    /// Runs the configured number of rounds from `start`, returning the final
+    /// parameters and the per-round history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when a worker, the attack or the aggregator
+    /// fails mid-run.
+    pub fn run(&mut self, start: Vector) -> Result<(Vector, TrainingHistory), TrainError> {
+        let mut params = start;
+        let mut history = self.core.new_history();
+        for round in 0..self.core.config.rounds {
+            let record = self.core.step(&mut params, round, false)?;
+            history.push(record);
+        }
+        Ok((params, history))
+    }
+
+    /// Runs a single round from the given parameters (without mutating them),
+    /// returning the updated parameters and the round record. Used by the
+    /// round-duration benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SyncTrainer::run`].
+    pub fn run_round(
+        &mut self,
+        params: &Vector,
+        round: usize,
+    ) -> Result<(Vector, RoundRecord), TrainError> {
+        let mut next = params.clone();
+        let record = self.core.step(&mut next, round, false)?;
+        Ok((next, record))
+    }
+
+    /// The cluster this trainer drives.
+    pub fn cluster(&self) -> ClusterSpec {
+        self.core.cluster
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.core.dim
+    }
+}

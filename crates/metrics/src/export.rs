@@ -101,7 +101,9 @@ mod tests {
         let json_path = dir.join("history.json");
         write_csv(&history(), &csv_path).unwrap();
         write_json(&history(), &json_path).unwrap();
-        assert!(std::fs::read_to_string(&csv_path).unwrap().contains("round,loss"));
+        assert!(std::fs::read_to_string(&csv_path)
+            .unwrap()
+            .contains("round,loss"));
         assert!(std::fs::read_to_string(&json_path)
             .unwrap()
             .contains("\"aggregator\": \"krum\""));

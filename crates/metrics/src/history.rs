@@ -148,7 +148,10 @@ impl TrainingHistory {
         if self.rounds.is_empty() {
             return 0.0;
         }
-        self.rounds.iter().map(|r| r.round_nanos as f64).sum::<f64>()
+        self.rounds
+            .iter()
+            .map(|r| r.round_nanos as f64)
+            .sum::<f64>()
             / self.rounds.len() as f64
     }
 
@@ -289,7 +292,10 @@ mod tests {
     #[test]
     fn extend_appends_records() {
         let mut h = TrainingHistory::new("e", "average", "none", 2, 0);
-        h.extend(vec![RoundRecord::new(0, 1.0, 0.1), RoundRecord::new(1, 1.0, 0.1)]);
+        h.extend(vec![
+            RoundRecord::new(0, 1.0, 0.1),
+            RoundRecord::new(1, 1.0, 0.1),
+        ]);
         assert_eq!(h.len(), 2);
     }
 

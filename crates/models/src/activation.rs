@@ -3,22 +3,17 @@
 use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Activation {
     /// Identity (no non-linearity).
     Identity,
     /// Rectified linear unit `max(0, z)`.
+    #[default]
     Relu,
     /// Logistic sigmoid `1 / (1 + e^{-z})`.
     Sigmoid,
     /// Hyperbolic tangent.
     Tanh,
-}
-
-impl Default for Activation {
-    fn default() -> Self {
-        Self::Relu
-    }
 }
 
 impl Activation {

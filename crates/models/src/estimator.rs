@@ -34,11 +34,7 @@ pub trait GradientEstimator: Send + Sync {
     ///
     /// Returns [`ModelError`] when `params` is incompatible with the
     /// underlying model.
-    fn estimate(
-        &self,
-        params: &Vector,
-        rng: &mut dyn rand::RngCore,
-    ) -> Result<Vector, ModelError>;
+    fn estimate(&self, params: &Vector, rng: &mut dyn rand::RngCore) -> Result<Vector, ModelError>;
 
     /// The true gradient `∇Q(params)` when it is analytically available
     /// (synthetic costs), or a full-data gradient when it is computable, or
@@ -86,11 +82,7 @@ impl<M: Model> GradientEstimator for BatchGradientEstimator<M> {
         self.model.dim()
     }
 
-    fn estimate(
-        &self,
-        params: &Vector,
-        rng: &mut dyn rand::RngCore,
-    ) -> Result<Vector, ModelError> {
+    fn estimate(&self, params: &Vector, rng: &mut dyn rand::RngCore) -> Result<Vector, ModelError> {
         let batch = self.sampler.sample(rng);
         self.model.gradient(params, &batch)
     }
@@ -146,11 +138,7 @@ impl GradientEstimator for GaussianEstimator {
         self.cost.dim()
     }
 
-    fn estimate(
-        &self,
-        params: &Vector,
-        rng: &mut dyn rand::RngCore,
-    ) -> Result<Vector, ModelError> {
+    fn estimate(&self, params: &Vector, rng: &mut dyn rand::RngCore) -> Result<Vector, ModelError> {
         if params.dim() != self.dim() {
             return Err(ModelError::ParameterDimension {
                 expected: self.dim(),
@@ -227,11 +215,8 @@ mod tests {
         let samples = sample_estimates(&est, &x, 4000, &mut rng).unwrap();
         let mean = Vector::mean_of(&samples).unwrap();
         assert!(mean.distance(&g) < 0.05, "estimator should be unbiased");
-        let mean_sq_dev: f64 = samples
-            .iter()
-            .map(|s| s.squared_distance(&g))
-            .sum::<f64>()
-            / samples.len() as f64;
+        let mean_sq_dev: f64 =
+            samples.iter().map(|s| s.squared_distance(&g)).sum::<f64>() / samples.len() as f64;
         let expected = dim as f64 * sigma * sigma;
         assert!(
             (mean_sq_dev - expected).abs() / expected < 0.1,

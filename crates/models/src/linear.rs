@@ -352,7 +352,10 @@ mod tests {
             params.axpy(-0.1, &g);
         }
         let final_loss = model.loss(&params, &batch).unwrap();
-        assert!(final_loss < initial * 0.05, "loss {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.05,
+            "loss {initial} -> {final_loss}"
+        );
     }
 
     #[test]
@@ -396,7 +399,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let (ds, _, _) = generators::logistic_regression(500, 3, &mut rng).unwrap();
         let model = LogisticRegression::new(3);
-        let batch = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+        let batch = BatchSampler::new(ds.clone(), ds.len())
+            .unwrap()
+            .full_batch();
         let mut params = Vector::zeros(model.dim());
         for _ in 0..300 {
             let g = model.gradient(&params, &batch).unwrap();
@@ -404,7 +409,9 @@ mod tests {
         }
         // Labels are themselves sampled from the sigmoid probabilities, so the
         // Bayes accuracy is well below 1; 0.8 is a comfortable margin above chance.
-        let acc = crate::model::accuracy(&model, &params, &ds).unwrap().unwrap();
+        let acc = crate::model::accuracy(&model, &params, &ds)
+            .unwrap()
+            .unwrap();
         assert!(acc > 0.8, "accuracy only {acc}");
     }
 

@@ -88,7 +88,7 @@ impl MlpBuilder {
         if self.classes < 2 {
             return Err(ModelError::BadConfig("classes must be >= 2".into()));
         }
-        if self.hidden.iter().any(|&w| w == 0) {
+        if self.hidden.contains(&0) {
             return Err(ModelError::BadConfig(
                 "hidden layers must have width >= 1".into(),
             ));
@@ -221,7 +221,11 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns [`ModelError`] on dimension mismatch.
-    pub fn probabilities(&self, params: &Vector, features: &Vector) -> Result<Vec<f64>, ModelError> {
+    pub fn probabilities(
+        &self,
+        params: &Vector,
+        features: &Vector,
+    ) -> Result<Vec<f64>, ModelError> {
         self.check_params(params)?;
         if features.dim() != self.input_dim() {
             return Err(ModelError::FeatureDimension {
@@ -393,7 +397,11 @@ mod tests {
         assert!(MlpBuilder::new(0, 2).build().is_err());
         assert!(MlpBuilder::new(4, 1).build().is_err());
         assert!(MlpBuilder::new(4, 2).hidden_layer(0).build().is_err());
-        let mlp = MlpBuilder::new(4, 3).hidden_layer(5).hidden_layer(6).build().unwrap();
+        let mlp = MlpBuilder::new(4, 3)
+            .hidden_layer(5)
+            .hidden_layer(6)
+            .build()
+            .unwrap();
         assert_eq!(mlp.sizes(), &[4, 5, 6, 3]);
         assert_eq!(mlp.dim(), 4 * 5 + 5 + 5 * 6 + 6 + 6 * 3 + 3);
         assert_eq!(mlp.classes(), 3);
@@ -469,7 +477,9 @@ mod tests {
         let mlp = MlpBuilder::new(2, 3).hidden_layer(16).build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let ds = generators::gaussian_blobs(150, 2, 3, 3.0, 0.3, &mut rng).unwrap();
-        let batch = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+        let batch = BatchSampler::new(ds.clone(), ds.len())
+            .unwrap()
+            .full_batch();
         let mut params = mlp.init_parameters(InitStrategy::XavierUniform, &mut rng);
         let initial_loss = mlp.loss(&params, &batch).unwrap();
         for _ in 0..200 {
@@ -499,10 +509,15 @@ mod tests {
         let mlp = small_mlp();
         let params = Vector::zeros(mlp.dim());
         assert!(mlp.predict(&params, &Vector::zeros(5)).is_err());
-        assert!(mlp.loss(&Vector::zeros(3), &Batch {
-            features: krum_tensor::Matrix::zeros(1, 2),
-            labels: vec![Label::Class(0)],
-        }).is_err());
+        assert!(mlp
+            .loss(
+                &Vector::zeros(3),
+                &Batch {
+                    features: krum_tensor::Matrix::zeros(1, 2),
+                    labels: vec![Label::Class(0)],
+                }
+            )
+            .is_err());
         let bad_label = Batch {
             features: krum_tensor::Matrix::zeros(1, 2),
             labels: vec![Label::Real(0.5)],

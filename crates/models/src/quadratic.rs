@@ -149,12 +149,8 @@ mod tests {
 
     #[test]
     fn diagonal_curvature_scales_gradient() {
-        let q = QuadraticCost::diagonal(
-            Vector::zeros(3),
-            Vector::from(vec![1.0, 2.0, 4.0]),
-            0.0,
-        )
-        .unwrap();
+        let q = QuadraticCost::diagonal(Vector::zeros(3), Vector::from(vec![1.0, 2.0, 4.0]), 0.0)
+            .unwrap();
         let x = Vector::from(vec![1.0, 1.0, 1.0]);
         assert_eq!(q.true_gradient(&x).as_slice(), &[1.0, 2.0, 4.0]);
         assert!((q.cost(&x) - 3.5).abs() < 1e-12);
@@ -168,7 +164,10 @@ mod tests {
         assert_eq!(q.loss(&x, &batch).unwrap(), 12.5);
         assert_eq!(q.gradient(&x, &batch).unwrap(), x);
         assert!(q.loss(&Vector::zeros(2), &batch).is_err());
-        assert_eq!(q.predict(&x, &Vector::zeros(0)).unwrap().value(), Some(12.5));
+        assert_eq!(
+            q.predict(&x, &Vector::zeros(0)).unwrap().value(),
+            Some(12.5)
+        );
         assert_eq!(q.name(), "quadratic-cost");
     }
 

@@ -69,7 +69,11 @@ impl SoftmaxRegression {
     /// # Errors
     ///
     /// Returns [`ModelError`] on dimension mismatch.
-    pub fn probabilities(&self, params: &Vector, features: &Vector) -> Result<Vec<f64>, ModelError> {
+    pub fn probabilities(
+        &self,
+        params: &Vector,
+        features: &Vector,
+    ) -> Result<Vec<f64>, ModelError> {
         self.check_params(params)?;
         if features.dim() != self.input_dim {
             return Err(ModelError::FeatureDimension {
@@ -79,11 +83,7 @@ impl SoftmaxRegression {
         }
         let (weights, bias) = self.unpack(params);
         let logits = weights.matvec(features);
-        let logits: Vec<f64> = logits
-            .iter()
-            .zip(bias.iter())
-            .map(|(z, b)| z + b)
-            .collect();
+        let logits: Vec<f64> = logits.iter().zip(bias.iter()).map(|(z, b)| z + b).collect();
         Ok(softmax(&logits))
     }
 
@@ -228,7 +228,9 @@ mod tests {
     fn blob_batch(classes: usize) -> (krum_data::Dataset, Batch) {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let ds = generators::gaussian_blobs(120, 4, classes, 3.0, 0.3, &mut rng).unwrap();
-        let batch = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+        let batch = BatchSampler::new(ds.clone(), ds.len())
+            .unwrap()
+            .full_batch();
         (ds, batch)
     }
 
@@ -286,7 +288,10 @@ mod tests {
             features: krum_tensor::Matrix::zeros(1, 2),
             labels: vec![Label::Class(7)],
         };
-        assert!(matches!(m.loss(&params, &batch), Err(ModelError::BadLabel(_))));
+        assert!(matches!(
+            m.loss(&params, &batch),
+            Err(ModelError::BadLabel(_))
+        ));
         let batch = Batch {
             features: krum_tensor::Matrix::zeros(1, 5),
             labels: vec![Label::Class(0)],
@@ -313,6 +318,9 @@ mod tests {
 
     #[test]
     fn name_is_reported() {
-        assert_eq!(SoftmaxRegression::new(2, 2).unwrap().name(), "softmax-regression");
+        assert_eq!(
+            SoftmaxRegression::new(2, 2).unwrap().name(),
+            "softmax-regression"
+        );
     }
 }

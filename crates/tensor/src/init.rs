@@ -11,7 +11,7 @@ use crate::matrix::Matrix;
 use crate::vector::Vector;
 
 /// How to draw initial weights.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum InitStrategy {
     /// Every weight is zero. Useful for convex models where the optimum is
     /// independent of the start point.
@@ -28,13 +28,8 @@ pub enum InitStrategy {
     },
     /// Xavier/Glorot uniform initialisation: uniform on
     /// `[-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))]`.
+    #[default]
     XavierUniform,
-}
-
-impl Default for InitStrategy {
-    fn default() -> Self {
-        Self::XavierUniform
-    }
 }
 
 impl InitStrategy {
@@ -109,7 +104,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let m = InitStrategy::Zeros.sample_matrix(3, 4, &mut rng);
         assert_eq!(m, Matrix::zeros(3, 4));
-        assert_eq!(InitStrategy::Zeros.sample_vector(5, &mut rng), Vector::zeros(5));
+        assert_eq!(
+            InitStrategy::Zeros.sample_vector(5, &mut rng),
+            Vector::zeros(5)
+        );
     }
 
     #[test]

@@ -185,8 +185,14 @@ impl Matrix {
     ///
     /// Panics if `c >= cols`.
     pub fn column_vector(&self, c: usize) -> Vector {
-        assert!(c < self.cols, "column {c} out of range for {} cols", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column {c} out of range for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterates over the rows as slices.
@@ -226,9 +232,8 @@ impl Matrix {
         }
         let xs = x.as_slice();
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(xs).map(|(a, b)| a * b).sum();
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols.max(1))) {
+            *o = row.iter().zip(xs).map(|(a, b)| a * b).sum();
         }
         Ok(Vector::from(out))
     }
@@ -240,12 +245,13 @@ impl Matrix {
     /// Returns [`TensorError::Shape`] if `x.dim() != rows`.
     pub fn try_matvec_transposed(&self, x: &Vector) -> Result<Vector, TensorError> {
         if x.dim() != self.rows {
-            return Err(ShapeError::new(vec![self.rows], vec![x.dim()], "matvec_transposed").into());
+            return Err(
+                ShapeError::new(vec![self.rows], vec![x.dim()], "matvec_transposed").into(),
+            );
         }
         let xs = x.as_slice();
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        for (r, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
             let xr = xs[r];
             for (o, a) in out.iter_mut().zip(row) {
                 *o += a * xr;

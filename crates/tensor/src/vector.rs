@@ -131,12 +131,7 @@ impl Vector {
     /// Returns [`TensorError::Shape`] if the dimensions differ.
     pub fn try_dot(&self, other: &Self) -> Result<f64, TensorError> {
         self.check_same_dim(other, "dot")?;
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Squared Euclidean norm `‖self‖²`.
@@ -373,7 +368,10 @@ impl Vector {
         if total != self.dim() {
             return Err(TensorError::invalid(
                 "split",
-                format!("lengths sum to {total} but vector has dimension {}", self.dim()),
+                format!(
+                    "lengths sum to {total} but vector has dimension {}",
+                    self.dim()
+                ),
             ));
         }
         let mut out = Vec::with_capacity(lengths.len());
@@ -387,7 +385,11 @@ impl Vector {
 
     fn check_same_dim(&self, other: &Self, context: &'static str) -> Result<(), ShapeError> {
         if self.dim() != other.dim() {
-            Err(ShapeError::new(vec![self.dim()], vec![other.dim()], context))
+            Err(ShapeError::new(
+                vec![self.dim()],
+                vec![other.dim()],
+                context,
+            ))
         } else {
             Ok(())
         }

@@ -12,8 +12,8 @@ use krum::aggregation::{
     MultiKrum, TrimmedMean,
 };
 use krum::attacks::{
-    Attack, Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, NoAttack,
-    OmniscientNegative, SignFlip,
+    Attack, Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, NoAttack, OmniscientNegative,
+    SignFlip,
 };
 use krum::data::{generators, partition, BatchSampler};
 use krum::dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};

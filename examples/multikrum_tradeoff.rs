@@ -74,10 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ms: Vec<usize> = vec![1, 2, 5, 10, WORKERS - BYZANTINE];
     ms.dedup();
     for m in ms {
-        let attacked = run(
-            Box::new(MultiKrum::new(WORKERS, BYZANTINE, m)?),
-            true,
-        );
+        let attacked = run(Box::new(MultiKrum::new(WORKERS, BYZANTINE, m)?), true);
         let clean = run(Box::new(MultiKrum::new(WORKERS, BYZANTINE, m)?), false);
         println!(
             "{:<22} {:>18.4} {:>18.4}",

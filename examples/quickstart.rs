@@ -57,11 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0..count)
             .map(|_| {
                 Box::new(
-                    GaussianEstimator::new(
-                        QuadraticCost::isotropic(Vector::zeros(dim), 0.0),
-                        0.2,
-                    )
-                    .expect("valid sigma"),
+                    GaussianEstimator::new(QuadraticCost::isotropic(Vector::zeros(dim), 0.0), 0.2)
+                        .expect("valid sigma"),
                 ) as Box<dyn GradientEstimator>
             })
             .collect()

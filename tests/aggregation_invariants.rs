@@ -21,14 +21,8 @@ fn clustered_proposals(
     dim: usize,
 ) -> impl Strategy<Value = (Vec<Vector>, usize)> {
     let centre = prop::collection::vec(-5.0f64..5.0, dim);
-    let noise = prop::collection::vec(
-        prop::collection::vec(-0.5f64..0.5, dim),
-        honest,
-    );
-    let outliers = prop::collection::vec(
-        prop::collection::vec(50.0f64..500.0, dim),
-        byz,
-    );
+    let noise = prop::collection::vec(prop::collection::vec(-0.5f64..0.5, dim), honest);
+    let outliers = prop::collection::vec(prop::collection::vec(50.0f64..500.0, dim), byz);
     (centre, noise, outliers).prop_map(move |(centre, noise, outliers)| {
         let mut proposals: Vec<Vector> = noise
             .into_iter()

@@ -84,7 +84,10 @@ fn krum_converges_on_quadratic_with_a_third_byzantine() {
         .iter()
         .filter(|r| r.selected_byzantine == Some(true))
         .count();
-    assert!(early_byzantine <= 2, "{early_byzantine} Byzantine selections in the first 20 rounds");
+    assert!(
+        early_byzantine <= 2,
+        "{early_byzantine} Byzantine selections in the first 20 rounds"
+    );
 }
 
 #[test]
@@ -102,7 +105,11 @@ fn averaging_is_destroyed_by_the_same_attack() {
     let (params, _) = trainer.run(Vector::filled(dim, 4.0)).unwrap();
     // The omniscient attacker reverses the average update direction, so the
     // parameters move away from the optimum instead of towards it.
-    assert!(params.norm() > 4.0 * (dim as f64).sqrt() * 0.5, "‖x‖ = {}", params.norm());
+    assert!(
+        params.norm() > 4.0 * (dim as f64).sqrt() * 0.5,
+        "‖x‖ = {}",
+        params.norm()
+    );
 }
 
 #[test]

@@ -9,8 +9,6 @@ use krum::attacks::{
 use krum::dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
 use krum::models::{GaussianEstimator, GradientEstimator, ModelError, QuadraticCost};
 use krum::tensor::Vector;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn quadratic_estimators(count: usize, dim: usize, sigma: f64) -> Vec<Box<dyn GradientEstimator>> {
     (0..count)
@@ -185,7 +183,10 @@ fn registry_driven_training_sweep_runs_every_rule() {
         assert_eq!(history.len(), 15, "rule {spec}");
         // Robust rules make progress; even averaging stays finite under the
         // (zero-mean) Gaussian attack.
-        assert!(params.is_finite(), "rule {spec} produced non-finite parameters");
+        assert!(
+            params.is_finite(),
+            "rule {spec} produced non-finite parameters"
+        );
     }
 }
 
@@ -220,7 +221,11 @@ fn alternating_attack_is_survived_by_krum_but_not_by_averaging() {
     };
     let krum_params = run(Box::new(Krum::new(n, f).unwrap()));
     let avg_params = run(Box::new(Average::new()));
-    assert!(krum_params.norm() < 1.0, "krum ‖x‖ = {}", krum_params.norm());
+    assert!(
+        krum_params.norm() < 1.0,
+        "krum ‖x‖ = {}",
+        krum_params.norm()
+    );
     assert!(avg_params.norm() > 3.0 * krum_params.norm());
 }
 
@@ -247,7 +252,11 @@ fn krum_aware_attack_degrades_but_does_not_break_krum() {
     };
     let (clean_params, _) = run(Box::new(NoAttack::new()));
     let (attacked_params, history) = run(Box::new(KrumAware::new(1.5).unwrap()));
-    assert!(attacked_params.norm() < 2.0, "‖x‖ = {}", attacked_params.norm());
+    assert!(
+        attacked_params.norm() < 2.0,
+        "‖x‖ = {}",
+        attacked_params.norm()
+    );
     assert!(attacked_params.norm() >= clean_params.norm() * 0.5);
     // The stealth attack gets selected at least occasionally — that is its point.
     assert!(history.selection_stats().total() > 0);

@@ -186,7 +186,9 @@ fn batch_helpers_round_trip_through_models() {
     let ds = generators::gaussian_blobs(30, 3, 2, 2.0, 0.3, &mut rng).unwrap();
     let model = SoftmaxRegression::new(3, 2).unwrap();
     let params = model.init_parameters(InitStrategy::Zeros, &mut rng);
-    let from_sampler = BatchSampler::new(ds.clone(), ds.len()).unwrap().full_batch();
+    let from_sampler = BatchSampler::new(ds.clone(), ds.len())
+        .unwrap()
+        .full_batch();
     let by_hand = Batch {
         features: ds.features().clone(),
         labels: ds.labels().to_vec(),

@@ -1,0 +1,376 @@
+//! Vendored micro-benchmark harness exposing the subset of the Criterion API
+//! this workspace's benches use: `Criterion`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurements are real wall-clock timings: each sample times a batch of
+//! iterations sized so one sample costs roughly
+//! `measurement_time / sample_size`, after a warm-up phase. Results are
+//! printed in a criterion-like format; when the `CRITERION_SUMMARY`
+//! environment variable names a file, one JSON line per benchmark
+//! (`{"id": …, "mean_ns": …, "median_ns": …, …}`) is appended to it so
+//! drivers can persist machine-readable baselines.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_benchmark(&config, &id.into(), None, &mut f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(2));
+        self
+    }
+
+    /// Declares the throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.measurement_time = duration;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input` on every invocation.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut config = self.criterion.clone();
+        if let Some(samples) = self.sample_size {
+            config.sample_size = samples;
+        }
+        let full_id = format!("{}/{}", self.name, id);
+        run_benchmark(&config, &full_id, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut config = self.criterion.clone();
+        if let Some(samples) = self.sample_size {
+            config.sample_size = samples;
+        }
+        let full_id = format!("{}/{}", self.name, id);
+        run_benchmark(&config, &full_id, self.throughput, &mut f);
+        self
+    }
+
+    /// Finishes the group (output is emitted eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration of each sample.
+    sample_nanos: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize, warm_up: Duration, measurement_time: Duration) -> Self {
+        Self {
+            iters_per_sample: 0,
+            samples,
+            warm_up,
+            measurement_time,
+            sample_nanos: Vec::new(),
+        }
+    }
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration wall-clock nanoseconds.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, measuring the cost
+        // of one iteration to size the batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Pick a batch size so one sample takes its share of the budget.
+        if self.iters_per_sample == 0 {
+            let sample_budget_ns =
+                (self.target_total().as_nanos() as f64 / self.samples as f64).max(1.0);
+            self.iters_per_sample = ((sample_budget_ns / per_iter.max(1.0)) as u64).max(1);
+        }
+        self.sample_nanos.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.sample_nanos.push(nanos / self.iters_per_sample as f64);
+        }
+    }
+
+    fn target_total(&self) -> Duration {
+        self.measurement_time
+    }
+}
+
+fn run_benchmark(
+    config: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::new(
+        config.sample_size,
+        config.warm_up_time,
+        config.measurement_time,
+    );
+    f(&mut bencher);
+    if bencher.sample_nanos.is_empty() {
+        println!("{id}: no measurement recorded");
+        return;
+    }
+    let mut sorted = bencher.sample_nanos.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    print!(
+        "{id:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        let rate = count / (mean * 1e-9);
+        print!("  thrpt: {rate:.3e} {unit}");
+    }
+    println!();
+    if let Ok(path) = std::env::var("CRITERION_SUMMARY") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"id\":\"{id}\",\"mean_ns\":{mean:.1},\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                sorted.len(),
+                bencher.iters_per_sample
+            );
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| file.write_all(line.as_bytes()));
+            if let Err(e) = result {
+                eprintln!("criterion: failed to append summary to {path}: {e}");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions; both the simple and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = quick();
+        c.bench_function("noop-ish", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+        });
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let input = vec![1u64; 64];
+        group.bench_with_input(BenchmarkId::from_parameter(64), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 64), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("a", 1).to_string(), "a/1");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

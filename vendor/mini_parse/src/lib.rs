@@ -1,0 +1,521 @@
+//! A tiny, text-based parser for `struct`/`enum` items, shared by the
+//! workspace's vendored derive macros (`serde_derive`, `thiserror_impl`).
+//!
+//! Proc-macro crates cannot share code through the `proc_macro` API (its types
+//! only exist inside proc-macro crates), so the derives stringify their input
+//! (`TokenStream::to_string`) and hand the text to this crate. The parser
+//! understands exactly the shapes the workspace uses: non-generic structs and
+//! enums with optional attributes on the item, its variants and its fields.
+//! It is **not** a general Rust parser.
+
+#![forbid(unsafe_code)]
+
+/// An attribute `#[name]`, `#[name(...)]` or `#[name = ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// The attribute path (first identifier), e.g. `error`, `from`, `doc`.
+    pub name: String,
+    /// Raw text inside the parentheses for `#[name(...)]`, or after `=` for
+    /// `#[name = ...]`; empty for bare `#[name]`.
+    pub body: String,
+}
+
+/// One field of a struct or enum variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name for named fields, `None` for tuple fields.
+    pub name: Option<String>,
+    /// Raw source text of the field type.
+    pub ty: String,
+    /// Attributes attached to the field.
+    pub attrs: Vec<Attr>,
+}
+
+/// Field layout of a struct or variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fields {
+    /// No fields (`struct S;` or a unit variant).
+    Unit,
+    /// Named fields in braces.
+    Named(Vec<Field>),
+    /// Positional fields in parentheses.
+    Tuple(Vec<Field>),
+}
+
+impl Fields {
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        match self {
+            Fields::Unit => 0,
+            Fields::Named(f) | Fields::Tuple(f) => f.len(),
+        }
+    }
+
+    /// Returns `true` for a unit layout or an empty field list.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One variant of an enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant payload.
+    pub fields: Fields,
+    /// Attributes attached to the variant.
+    pub attrs: Vec<Attr>,
+}
+
+/// Payload of a parsed item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A struct with the given fields.
+    Struct(Fields),
+    /// An enum with the given variants.
+    Enum(Vec<Variant>),
+}
+
+/// A parsed `struct` or `enum` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Item name.
+    pub name: String,
+    /// Struct fields or enum variants.
+    pub kind: ItemKind,
+    /// Attributes attached to the item itself.
+    pub attrs: Vec<Attr>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                // Doc comments survive `TokenStream::to_string`; skip them
+                // like the whitespace they lexically are for our purposes.
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.src.get(self.pos + 1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => panic!("mini_parse: unterminated block comment"),
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8, ctx: &str) {
+        if !self.eat(c) {
+            panic!(
+                "mini_parse: expected `{}` {ctx} at byte {} of `{}`",
+                c as char,
+                self.pos,
+                String::from_utf8_lossy(self.src)
+            );
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {}
+            _ => return None,
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    /// Skips a string literal whose opening quote was already consumed.
+    fn skip_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+        panic!("mini_parse: unterminated string literal");
+    }
+
+    /// Skips a `'`-introduced token: a lifetime or a char literal. The `'`
+    /// was already consumed.
+    fn skip_tick(&mut self) {
+        // Lifetime: 'ident not followed by a closing quote.
+        let mut probe = self.pos;
+        let mut saw_ident = false;
+        while let Some(&c) = self.src.get(probe) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                saw_ident = true;
+                probe += 1;
+            } else {
+                break;
+            }
+        }
+        if saw_ident && self.src.get(probe) != Some(&b'\'') {
+            self.pos = probe; // lifetime
+            return;
+        }
+        // Char literal: consume until unescaped closing quote.
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+        panic!("mini_parse: unterminated char literal");
+    }
+
+    /// Captures raw text until `stop` at bracket/angle depth zero (the `stop`
+    /// byte itself is not consumed). `closers` lists bytes that also end the
+    /// capture at depth zero without being consumed (e.g. a closing delimiter
+    /// the caller will handle).
+    fn capture_until(&mut self, stop: u8, closers: &[u8]) -> String {
+        let start = self.pos;
+        let mut depth: i32 = 0; // (), [], {}
+        let mut angle: i32 = 0; // <>
+        while let Some(c) = self.peek() {
+            if depth == 0 && angle == 0 && (c == stop || closers.contains(&c)) {
+                break;
+            }
+            self.pos += 1;
+            match c {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b'<' => angle += 1,
+                // `->` does not close an angle bracket.
+                b'>' if self.src.get(self.pos.wrapping_sub(2)) != Some(&b'-') => angle -= 1,
+                b'"' => self.skip_string(),
+                b'\'' => self.skip_tick(),
+                _ => {}
+            }
+            if depth < 0 {
+                // Hit the caller's closing delimiter.
+                self.pos -= 1;
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim()
+            .to_string()
+    }
+
+    fn attrs(&mut self) -> Vec<Attr> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'#') {
+                return attrs;
+            }
+            self.pos += 1;
+            // `#!` inner attributes do not occur in derive input items.
+            self.expect(b'[', "to open an attribute");
+            self.skip_ws();
+            let name = self.ident().expect("attribute path");
+            // Consume any path continuation (`::segment`).
+            loop {
+                self.skip_ws();
+                if self.peek() == Some(b':') && self.src.get(self.pos + 1) == Some(&b':') {
+                    self.pos += 2;
+                    let _ = self.ident();
+                } else {
+                    break;
+                }
+            }
+            self.skip_ws();
+            let body = match self.peek() {
+                Some(b'(') => {
+                    self.pos += 1;
+                    let body = self.capture_until(b')', &[]);
+                    self.expect(b')', "to close the attribute arguments");
+                    body
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    self.capture_until(b']', &[])
+                }
+                _ => String::new(),
+            };
+            self.expect(b']', "to close the attribute");
+            attrs.push(Attr { name, body });
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        self.skip_ws();
+        let save = self.pos;
+        if let Some(ident) = self.ident() {
+            if ident == "pub" {
+                self.skip_ws();
+                if self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    let _ = self.capture_until(b')', &[]);
+                    self.expect(b')', "to close the visibility scope");
+                }
+                return;
+            }
+        }
+        self.pos = save;
+    }
+
+    fn named_fields(&mut self) -> Vec<Field> {
+        // Cursor is positioned just after `{`.
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return fields;
+            }
+            let attrs = self.attrs();
+            self.skip_visibility();
+            let name = self.ident().expect("field name");
+            self.expect(b':', "after a field name");
+            let ty = self.capture_until(b',', b"}");
+            let _ = self.eat(b',');
+            fields.push(Field {
+                name: Some(name),
+                ty,
+                attrs,
+            });
+        }
+    }
+
+    fn tuple_fields(&mut self) -> Vec<Field> {
+        // Cursor is positioned just after `(`.
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b')') {
+                self.pos += 1;
+                return fields;
+            }
+            let attrs = self.attrs();
+            self.skip_visibility();
+            let ty = self.capture_until(b',', b")");
+            let _ = self.eat(b',');
+            fields.push(Field {
+                name: None,
+                ty,
+                attrs,
+            });
+        }
+    }
+
+    fn variants(&mut self) -> Vec<Variant> {
+        // Cursor is positioned just after `{`.
+        let mut variants = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return variants;
+            }
+            let attrs = self.attrs();
+            let name = self.ident().expect("variant name");
+            self.skip_ws();
+            let fields = match self.peek() {
+                Some(b'(') => {
+                    self.pos += 1;
+                    Fields::Tuple(self.tuple_fields())
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    Fields::Named(self.named_fields())
+                }
+                _ => Fields::Unit,
+            };
+            // Discriminants (`= expr`) are not supported on purpose.
+            let _ = self.eat(b',');
+            variants.push(Variant {
+                name,
+                fields,
+                attrs,
+            });
+        }
+    }
+}
+
+/// Parses the stringified token stream of a `struct` or `enum` item.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message, surfacing as a compile error inside
+/// the proc macro) when the item is generic, is a union, or otherwise falls
+/// outside the supported grammar.
+pub fn parse_item(src: &str) -> Item {
+    let mut cur = Cursor::new(src);
+    let attrs = cur.attrs();
+    cur.skip_visibility();
+    let keyword = cur.ident().expect("`struct` or `enum` keyword");
+    if keyword != "struct" && keyword != "enum" {
+        panic!("mini_parse: unsupported item kind `{keyword}`");
+    }
+    let name = cur.ident().expect("item name");
+    cur.skip_ws();
+    if cur.peek() == Some(b'<') {
+        panic!("mini_parse: generic items are not supported (deriving on `{name}`)");
+    }
+    let kind = if keyword == "struct" {
+        match cur.bump() {
+            Some(b';') => ItemKind::Struct(Fields::Unit),
+            Some(b'{') => ItemKind::Struct(Fields::Named(cur.named_fields())),
+            Some(b'(') => {
+                let fields = cur.tuple_fields();
+                let _ = cur.eat(b';');
+                ItemKind::Struct(Fields::Tuple(fields))
+            }
+            other => panic!("mini_parse: unexpected token {other:?} after struct name"),
+        }
+    } else {
+        cur.expect(b'{', "to open the enum body");
+        ItemKind::Enum(cur.variants())
+    };
+    Item { name, kind, attrs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_named_struct_with_attrs() {
+        let item = parse_item(
+            r#"#[doc = " docs "] pub struct RoundRecord { #[doc = "x"] pub round : usize, pub loss : Option < f64 >, pub nanos : u128, }"#,
+        );
+        assert_eq!(item.name, "RoundRecord");
+        match item.kind {
+            ItemKind::Struct(Fields::Named(fields)) => {
+                assert_eq!(fields.len(), 3);
+                assert_eq!(fields[0].name.as_deref(), Some("round"));
+                assert_eq!(fields[1].ty.replace(' ', ""), "Option<f64>");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unit_and_tuple_structs() {
+        let unit = parse_item("pub struct Average ;");
+        assert_eq!(unit.kind, ItemKind::Struct(Fields::Unit));
+        let tuple = parse_item("pub struct Wrapper (pub Vec < f64 >, usize) ;");
+        match tuple.kind {
+            ItemKind::Struct(Fields::Tuple(fields)) => assert_eq!(fields.len(), 2),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_enum_with_mixed_variants() {
+        let item = parse_item(
+            r#"pub enum E {
+                #[error("plain {x}, `{y:?}`")] A { x : usize, y : String },
+                #[error("wrapped: {0}")] B (#[from] std :: io :: Error),
+                #[error("unit, with ')' inside")] C,
+            }"#,
+        );
+        let ItemKind::Enum(variants) = item.kind else {
+            panic!("expected an enum");
+        };
+        assert_eq!(variants.len(), 3);
+        assert_eq!(variants[0].name, "A");
+        assert_eq!(variants[0].attrs[0].name, "error");
+        assert!(variants[0].attrs[0].body.contains("{y:?}"));
+        assert_eq!(variants[1].fields.len(), 1);
+        match &variants[1].fields {
+            Fields::Tuple(fs) => {
+                assert_eq!(fs[0].attrs[0].name, "from");
+                assert!(fs[0].ty.contains("io"));
+            }
+            other => panic!("wrong fields: {other:?}"),
+        }
+        assert_eq!(variants[2].fields, Fields::Unit);
+        assert!(variants[2].attrs[0].body.contains("')'"));
+    }
+
+    #[test]
+    fn angle_depth_keeps_commas_inside_generics() {
+        let item = parse_item("struct S { map : Vec < (usize, f64) >, tail : u8 }");
+        let ItemKind::Struct(Fields::Named(fields)) = item.kind else {
+            panic!("expected a struct");
+        };
+        assert_eq!(fields.len(), 2);
+        assert!(fields[0].ty.contains("(usize, f64)"));
+    }
+
+    #[test]
+    fn static_lifetime_in_type() {
+        let item = parse_item("struct S { context : & 'static str }");
+        let ItemKind::Struct(Fields::Named(fields)) = item.kind else {
+            panic!("expected a struct");
+        };
+        assert!(fields[0].ty.contains("static"));
+    }
+}

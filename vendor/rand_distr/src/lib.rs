@@ -1,0 +1,232 @@
+//! Vendored probability distributions (the subset of `rand_distr` this
+//! workspace uses): [`Normal`], [`Uniform`] and [`Bernoulli`] behind the
+//! [`Distribution`] trait.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+/// Types that can produce samples of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error raised when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+///
+/// Sampling uses the Box–Muller transform, drawing two uniforms per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T = f64> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(DistrError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: z = sqrt(-2 ln u1) * cos(2π u2), u1 ∈ (0, 1].
+        let u1: f64 = 1.0 - rng.gen_range(0.0..1.0); // (0, 1]
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * radius * angle.cos()
+    }
+}
+
+/// The continuous uniform distribution on `[low, high)` (or `[low, high]`
+/// for [`Uniform::new_inclusive`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    span: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform on the half-open interval `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or either bound is not finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            low < high && low.is_finite() && high.is_finite(),
+            "Uniform::new requires finite low < high"
+        );
+        Self {
+            low,
+            span: high - low,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform on the closed interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high` or either bound is not finite.
+    pub fn new_inclusive(low: f64, high: f64) -> Self {
+        assert!(
+            low <= high && low.is_finite() && high.is_finite(),
+            "Uniform::new_inclusive requires finite low <= high"
+        );
+        Self {
+            low,
+            span: high - low,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit: f64 = rng.gen_range(0.0..1.0);
+        if self.inclusive {
+            // Stretch [0, 1) over [low, high] with 53-bit resolution; the
+            // endpoint has the same probability as every other grid point.
+            let grid = (1u64 << 53) as f64;
+            self.low + self.span * ((unit * grid).floor() / (grid - 1.0)).min(1.0)
+        } else {
+            self.low + self.span * unit
+        }
+    }
+}
+
+/// The Bernoulli distribution: `true` with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 ≤ p ≤ 1`.
+    pub fn new(p: f64) -> Result<Self, DistrError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistrError("Bernoulli requires p in [0, 1]"));
+        }
+        Ok(Self { p })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_range(0.0..1.0) < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SplitMix {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_right() {
+        let normal = Normal::new(2.0, 3.0).unwrap();
+        assert_eq!(normal.mean(), 2.0);
+        assert_eq!(normal.std_dev(), 3.0);
+        let mut rng = SplitMix::seed_from_u64(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let u = Uniform::new(-1.0, 2.0);
+        let mut rng = SplitMix::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((-1.0..2.0).contains(&x));
+        }
+        let ui = Uniform::new_inclusive(-0.5, 0.5);
+        for _ in 0..10_000 {
+            let x = ui.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let b = Bernoulli::new(0.3).unwrap();
+        assert!(Bernoulli::new(1.5).is_err());
+        let mut rng = SplitMix::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| b.sample(&mut rng)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+}

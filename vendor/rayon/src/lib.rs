@@ -1,0 +1,324 @@
+//! Vendored minimal `rayon` shim.
+//!
+//! Provides the small part of rayon's parallel-iterator API this workspace
+//! uses (`par_iter` / `into_par_iter` / `map` / `for_each` / `collect` /
+//! `sum`), executed on real OS threads via `std::thread::scope`. Work is
+//! distributed round-robin across `current_num_threads()` workers, which
+//! balances the linearly-skewed loads of triangular loops; on single-core
+//! machines everything degrades gracefully to serial execution with no
+//! thread overhead.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items`, preserving order, using round-robin striping over
+/// scoped threads. Falls back to serial execution for small inputs or
+/// single-threaded machines.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let slots = &slots;
+            let results = &results;
+            scope.spawn(move || {
+                let mut i = t;
+                while i < n {
+                    let item = slots[i]
+                        .lock()
+                        .expect("parallel slot poisoned")
+                        .take()
+                        .expect("each slot is consumed exactly once");
+                    let out = f(item);
+                    *results[i].lock().expect("parallel result poisoned") = Some(out);
+                    i += threads;
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("parallel result poisoned")
+                .expect("each result is written exactly once")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a source that can execute a mapping over all items
+/// on the thread pool.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consumes the iterator, applying `g` to every item in parallel and
+    /// returning the results in order. (Internal driver; the public
+    /// combinators are implemented on top of it.)
+    fn execute<R, G>(self, g: G) -> Vec<R>
+    where
+        R: Send,
+        G: Fn(Self::Item) -> R + Sync + Send;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item (in parallel) for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.execute(move |item| {
+            f(item);
+        });
+    }
+
+    /// Collects the items in order into any `FromIterator` collection
+    /// (including `Result<Vec<_>, E>`).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.execute(|item| item).into_iter().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.execute(|item| item).into_iter().sum()
+    }
+
+    /// Reduces the items with `op`, starting each chunk from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.execute(|item| item).into_iter().fold(identity(), op)
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn execute<R2, G>(self, g: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync + Send,
+    {
+        let f = self.f;
+        self.base.execute(move |item| g(f(item)))
+    }
+}
+
+/// Parallel iterator over an owned vector of items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn execute<R, G>(self, g: G) -> Vec<R>
+    where
+        R: Send,
+        G: Fn(T) -> R + Sync + Send,
+    {
+        par_map_vec(self.items, &g)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IntoParIter<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = IntoParIter<&'data T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = IntoParIter<&'data T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` on borrowed collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type (a mutable reference).
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = IntoParIter<&'data mut T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        IntoParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = IntoParIter<&'data mut T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        IntoParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let ok: Result<Vec<usize>, String> = vec![1usize, 2, 3].into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<usize>, String> = (0..10)
+            .into_par_iter()
+            .map(|i| {
+                if i == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let sum: f64 = data.par_iter().map(|x| x * x).sum();
+        assert!((sum - 14.0).abs() < 1e-12);
+        assert_eq!(data.len(), 3); // still usable
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut data = vec![1, 2, 3, 4];
+        data.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(data, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn chained_maps_fuse() {
+        let out: Vec<i64> = (0..20)
+            .into_par_iter()
+            .map(|i| i as i64)
+            .map(|i| i - 5)
+            .collect();
+        assert_eq!(out[0], -5);
+        assert_eq!(out[19], 14);
+    }
+}

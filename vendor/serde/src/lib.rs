@@ -1,0 +1,448 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small serialization framework with the same *surface* the code uses
+//! (`Serialize`/`Deserialize` traits, derive macros, `serde_json` round
+//! trips) but a much simpler design: values serialize into an owned
+//! [`Value`] tree and deserialize back out of one. This is not upstream
+//! serde; only the subset the Krum reproduction needs is provided.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the JSON data model plus integer width).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u128),
+    /// A negative integer.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (preserves insertion order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short description of the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced while deserializing a [`Value`] into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a value of the wrong kind.
+    pub fn invalid_type(expected: &str, found: &str) -> Self {
+        Self::custom(format!("invalid type: expected {expected}, found {found}"))
+    }
+
+    /// Error for an unknown enum variant.
+    pub fn unknown_variant(enum_name: &str, variant: &str) -> Self {
+        Self::custom(format!("unknown variant `{variant}` for enum {enum_name}"))
+    }
+
+    /// Error for a missing struct field.
+    pub fn missing_field(field: &str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value does not match the expected shape.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid_type("bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let raw: u128 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u128,
+                    Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u128::MAX as f64 => {
+                        *f as u128
+                    }
+                    other => return Err(DeError::invalid_type("unsigned integer", other.kind())),
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 {
+                    Value::UInt(v as u128)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let raw: i128 = match value {
+                    Value::UInt(u) if *u <= i128::MAX as u128 => *u as i128,
+                    Value::Int(i) => *i,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < i128::MAX as f64 => *f as i128,
+                    other => return Err(DeError::invalid_type("integer", other.kind())),
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            // JSON cannot represent NaN/±inf; mirror serde_json's `null`.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            // Non-finite floats serialize as null; recover NaN so structs
+            // containing them still round-trip structurally.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::invalid_type("float", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        (*self as f64).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_type("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::invalid_type(
+                "single-character string",
+                other.kind(),
+            )),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::invalid_type("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected an array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                const IDX: &[usize] = &[$($idx),+];
+                let arr = __private::array_of_len(value, IDX.len())?;
+                Ok(($($name::deserialize(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Helpers used by the generated derive code. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Value};
+
+    /// Looks up a named field in an object value.
+    pub fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::missing_field(name)),
+            other => Err(DeError::invalid_type("object", other.kind())),
+        }
+    }
+
+    /// Requires `value` to be an array of exactly `len` elements.
+    pub fn array_of_len(value: &Value, len: usize) -> Result<&[Value], DeError> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(DeError::custom(format!(
+                "expected an array of length {len}, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::invalid_type("array", other.kind())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-5i32).serialize()).unwrap(), -5);
+        assert_eq!(f64::deserialize(&1.25f64.serialize()).unwrap(), 1.25);
+        assert!(f64::deserialize(&f64::NAN.serialize()).unwrap().is_nan());
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<f64>::deserialize(&Some(2.0).serialize()).unwrap(),
+            Some(2.0)
+        );
+        assert_eq!(
+            Option::<f64>::deserialize(&None::<f64>.serialize()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2, 3].serialize()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let arr: [f64; 3] = [1.0, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::deserialize(&arr.serialize()).unwrap(), arr);
+        let pair = (3usize, 0.5f64);
+        assert_eq!(
+            <(usize, f64)>::deserialize(&pair.serialize()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn numeric_cross_coercion() {
+        // An integral float deserializes into integer types and vice versa.
+        assert_eq!(u32::deserialize(&Value::Float(7.0)).unwrap(), 7);
+        assert_eq!(f64::deserialize(&Value::UInt(7)).unwrap(), 7.0);
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::deserialize(&Value::UInt(1)).is_err());
+        assert!(String::deserialize(&Value::Null).is_err());
+        assert!(Vec::<u8>::deserialize(&Value::Str("x".into())).is_err());
+        let err = __private::field(&Value::Object(vec![]), "missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! These target the workspace's vendored, `Value`-based `serde` crate (see
+//! `vendor/serde`), not upstream serde's `Serializer`/`Deserializer` model.
+//! Supported shapes: non-generic structs (unit, named, tuple) and enums with
+//! unit, newtype, tuple and struct variants, using serde's externally-tagged
+//! representation.
+
+use mini_parse::{Fields, ItemKind, Variant};
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = mini_parse::parse_item(&input.to_string());
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => serialize_struct_body(fields),
+        ItemKind::Enum(variants) => serialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = mini_parse::parse_item(&input.to_string());
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => deserialize_struct_body(name, fields),
+        ItemKind::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let pairs: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().expect("named field");
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize(&self.{n}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Fields::Tuple(fs) if fs.len() == 1 => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(fs) => {
+            let items: Vec<String> = (0..fs.len())
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                Fields::Tuple(fs) if fs.len() == 1 => format!(
+                    "{name}::{vn}(__0) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize(__0))]),"
+                ),
+                Fields::Tuple(fs) => {
+                    let binds: Vec<String> = (0..fs.len()).map(|i| format!("__{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Array(::std::vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let binds: Vec<String> = fs
+                        .iter()
+                        .map(|f| f.name.clone().expect("named field"))
+                        .collect();
+                    let pairs: Vec<String> = binds
+                        .iter()
+                        .map(|b| {
+                            format!(
+                                "(::std::string::String::from(\"{b}\"), ::serde::Serialize::serialize({b}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Value::Object(::std::vec![{}]))]),",
+                        binds.join(", "),
+                        pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().expect("named field");
+                    format!(
+                        "{n}: ::serde::Deserialize::deserialize(::serde::__private::field(__v, \"{n}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+        Fields::Tuple(fs) if fs.len() == 1 => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Fields::Tuple(fs) => {
+            let n = fs.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?,"))
+                .collect();
+            format!(
+                "let __arr = ::serde::__private::array_of_len(__v, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(" ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Tuple(fs) if fs.len() == 1 => format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::deserialize(__inner)?)),"
+                ),
+                Fields::Tuple(fs) => {
+                    let n = fs.len();
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&__arr[{i}])?,"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{\n\
+                         let __arr = ::serde::__private::array_of_len(__inner, {n})?;\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n}},",
+                        items.join(" ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            let fname = f.name.as_ref().expect("named field");
+                            format!(
+                                "{fname}: ::serde::Deserialize::deserialize(::serde::__private::field(__inner, \"{fname}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n{}\n}}),",
+                        inits.join("\n")
+                    )
+                }
+                Fields::Unit => unreachable!("filtered above"),
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+         }},\n\
+         ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+         let (__key, __inner) = &__pairs[0];\n\
+         let _ = __inner;\n\
+         match __key.as_str() {{\n\
+         {payload}\n\
+         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::DeError::invalid_type(\"{name} variant\", __other.kind())),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        payload = payload_arms.join("\n"),
+    )
+}

@@ -1,0 +1,65 @@
+//! Vendored `thiserror` facade: re-exports the workspace's `#[derive(Error)]`
+//! macro (see `vendor/thiserror_impl`). Only the derive is provided — the
+//! real crate's auxiliary items are not used by this workspace.
+
+#![forbid(unsafe_code)]
+
+pub use thiserror_impl::Error;
+
+#[cfg(test)]
+mod tests {
+    use super::Error;
+
+    #[derive(Debug, Error)]
+    #[error("flat error {code}: {label:?}")]
+    struct FlatWithAttr {
+        code: usize,
+        label: String,
+    }
+
+    #[derive(Debug, Error)]
+    enum Multi {
+        #[error("nothing to do")]
+        Unit,
+        #[error("count {found} != {expected}")]
+        Counts { expected: usize, found: usize },
+        #[error("inner: {0}")]
+        Wrapped(#[from] FlatWithAttr),
+        #[error(transparent)]
+        Passthrough(#[from] std::io::Error),
+    }
+
+    #[test]
+    fn display_interpolates_named_and_positional() {
+        let e = FlatWithAttr {
+            code: 7,
+            label: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "flat error 7: \"bad\"");
+        assert_eq!(Multi::Unit.to_string(), "nothing to do");
+        assert_eq!(
+            Multi::Counts {
+                expected: 3,
+                found: 5
+            }
+            .to_string(),
+            "count 5 != 3"
+        );
+        let wrapped: Multi = FlatWithAttr {
+            code: 1,
+            label: "x".into(),
+        }
+        .into();
+        assert_eq!(wrapped.to_string(), "inner: flat error 1: \"x\"");
+    }
+
+    #[test]
+    fn transparent_and_source() {
+        use std::error::Error as _;
+        let io = std::io::Error::other("disk on fire");
+        let e: Multi = io.into();
+        assert_eq!(e.to_string(), "disk on fire");
+        assert!(e.source().is_some());
+        assert!(Multi::Unit.source().is_none());
+    }
+}

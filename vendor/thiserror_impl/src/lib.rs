@@ -1,0 +1,222 @@
+//! Vendored `#[derive(Error)]` macro (the subset of `thiserror` this
+//! workspace uses): `#[error("format …")]` display strings with named and
+//! positional interpolation, `#[error(transparent)]`, and `#[from]` fields
+//! (which also wire up `std::error::Error::source`).
+
+use mini_parse::{Attr, Field, Fields, ItemKind};
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let item = mini_parse::parse_item(&input.to_string());
+    let name = &item.name;
+
+    let mut display_arms = Vec::new();
+    let mut source_arms = Vec::new();
+    let mut from_impls = Vec::new();
+
+    match &item.kind {
+        ItemKind::Struct(fields) => {
+            let spec = error_attr(&item.attrs).unwrap_or_else(|| {
+                panic!("thiserror: struct `{name}` is missing an #[error(...)] attribute")
+            });
+            let (pattern, write) = display_for(name, name, fields, &spec);
+            display_arms.push(format!("{pattern} => {{ {write} }}"));
+            if let Some((idx, field)) = source_field(fields) {
+                let bind = binding_name(fields, idx);
+                source_arms.push(format!(
+                    "{} => ::std::option::Option::Some({bind} as &(dyn ::std::error::Error + 'static)),",
+                    pattern_for(name, name, fields)
+                ));
+                if has_attr(&field.attrs, "from") {
+                    from_impls.push(from_impl(name, name, fields, &field.ty));
+                }
+            }
+        }
+        ItemKind::Enum(variants) => {
+            for variant in variants {
+                let spec = error_attr(&variant.attrs).unwrap_or_else(|| {
+                    panic!(
+                        "thiserror: variant `{name}::{}` is missing an #[error(...)] attribute",
+                        variant.name
+                    )
+                });
+                let path = format!("{name}::{}", variant.name);
+                let (pattern, write) = display_for(name, &path, &variant.fields, &spec);
+                display_arms.push(format!("{pattern} => {{ {write} }}"));
+                if let Some((idx, field)) = source_field(&variant.fields) {
+                    let bind = binding_name(&variant.fields, idx);
+                    source_arms.push(format!(
+                        "{} => ::std::option::Option::Some({bind} as &(dyn ::std::error::Error + 'static)),",
+                        pattern_for(name, &path, &variant.fields)
+                    ));
+                    if has_attr(&field.attrs, "from") {
+                        from_impls.push(from_impl(name, &path, &variant.fields, &field.ty));
+                    }
+                }
+            }
+        }
+    }
+
+    let source_body = if source_arms.is_empty() {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "#[allow(unused_variables)]\nmatch self {{\n{}\n_ => ::std::option::Option::None,\n}}",
+            source_arms.join("\n")
+        )
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::std::fmt::Display for {name} {{\n\
+             #[allow(unused_variables, clippy::all)]\n\
+             fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 match self {{\n{display}\n}}\n\
+             }}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::std::error::Error for {name} {{\n\
+             fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n\
+                 {source_body}\n\
+             }}\n\
+         }}\n\
+         {froms}",
+        display = display_arms.join("\n"),
+        froms = from_impls.join("\n"),
+    );
+    out.parse().expect("thiserror_impl generated invalid Rust")
+}
+
+/// The `#[error(...)]` attribute body, if present: either `transparent` or a
+/// string literal (with optional trailing arguments, which are passed along).
+fn error_attr(attrs: &[Attr]) -> Option<String> {
+    attrs
+        .iter()
+        .find(|a| a.name == "error")
+        .map(|a| a.body.trim().to_string())
+}
+
+fn has_attr(attrs: &[Attr], name: &str) -> bool {
+    attrs.iter().any(|a| a.name == name)
+}
+
+/// Index and field of the `#[from]`/`#[source]` field, if any.
+fn source_field(fields: &Fields) -> Option<(usize, &Field)> {
+    let list = match fields {
+        Fields::Unit => return None,
+        Fields::Named(fs) | Fields::Tuple(fs) => fs,
+    };
+    list.iter()
+        .enumerate()
+        .find(|(_, f)| has_attr(&f.attrs, "from") || has_attr(&f.attrs, "source"))
+}
+
+/// Name the binding of field `idx` uses inside a destructuring pattern.
+fn binding_name(fields: &Fields, idx: usize) -> String {
+    match fields {
+        Fields::Unit => unreachable!("unit layouts have no fields"),
+        Fields::Named(fs) => fs[idx].name.clone().expect("named field"),
+        Fields::Tuple(_) => format!("__{idx}"),
+    }
+}
+
+/// A destructuring pattern binding every field of the shape.
+fn pattern_for(_name: &str, path: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Named(fs) => {
+            let binds: Vec<String> = fs
+                .iter()
+                .map(|f| f.name.clone().expect("named field"))
+                .collect();
+            format!("{path} {{ {} }}", binds.join(", "))
+        }
+        Fields::Tuple(fs) => {
+            let binds: Vec<String> = (0..fs.len()).map(|i| format!("__{i}")).collect();
+            format!("{path}({})", binds.join(", "))
+        }
+    }
+}
+
+/// Builds the match arm pattern and the `write!` (or delegation) expression
+/// for one variant/struct.
+fn display_for(name: &str, path: &str, fields: &Fields, spec: &str) -> (String, String) {
+    let pattern = pattern_for(name, path, fields);
+    if spec == "transparent" {
+        let bind = match fields {
+            Fields::Tuple(fs) if fs.len() == 1 => "__0".to_string(),
+            Fields::Named(fs) if fs.len() == 1 => fs[0].name.clone().expect("named field"),
+            _ => panic!("thiserror: #[error(transparent)] requires exactly one field"),
+        };
+        return (pattern, format!("::std::fmt::Display::fmt({bind}, __f)"));
+    }
+    // `spec` is the raw attribute body: a format string literal, possibly
+    // followed by explicit arguments. Positional placeholders `{0}`, `{1}` …
+    // refer to tuple fields, so bind them as trailing arguments.
+    let mut args = String::new();
+    if let Fields::Tuple(fs) = fields {
+        let highest = highest_positional(spec, fs.len());
+        for i in 0..highest {
+            args.push_str(&format!(", __{i}"));
+        }
+    }
+    (pattern, format!("::std::write!(__f, {spec}{args})"))
+}
+
+/// Number of leading positional arguments the format string requires
+/// (`{0}`/`{1:?}`-style placeholders), capped at the field count.
+fn highest_positional(spec: &str, fields: usize) -> usize {
+    let bytes = spec.as_bytes();
+    let mut highest = 0usize;
+    let mut i = 0;
+    // Only scan the first literal in the spec (up to its closing quote).
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            let mut digits = String::new();
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                digits.push(bytes[j] as char);
+                j += 1;
+            }
+            if !digits.is_empty() && (bytes.get(j) == Some(&b'}') || bytes.get(j) == Some(&b':')) {
+                if let Ok(idx) = digits.parse::<usize>() {
+                    highest = highest.max(idx + 1);
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    highest.min(fields)
+}
+
+/// Generates `impl From<FieldType> for Enum` for a `#[from]` field.
+fn from_impl(name: &str, path: &str, fields: &Fields, ty: &str) -> String {
+    let construct = match fields {
+        Fields::Tuple(fs) if fs.len() == 1 => format!("{path}(__value)"),
+        Fields::Named(fs) if fs.len() == 1 => {
+            format!(
+                "{path} {{ {}: __value }}",
+                fs[0].name.clone().expect("named field")
+            )
+        }
+        _ => panic!("thiserror: #[from] requires the variant to have exactly one field"),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all)]\n\
+         impl ::std::convert::From<{ty}> for {name} {{\n\
+             fn from(__value: {ty}) -> Self {{\n\
+                 {construct}\n\
+             }}\n\
+         }}"
+    )
+}
