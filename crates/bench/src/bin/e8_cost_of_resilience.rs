@@ -29,7 +29,9 @@ fn network() -> NetworkModel {
 
 struct Timing {
     round_micros: f64,
+    propose_micros: f64,
     aggregation_micros: f64,
+    network_micros: f64,
 }
 
 fn run(n: usize, f: usize, dim: usize, aggregator: Box<dyn Aggregator>) -> Timing {
@@ -53,7 +55,9 @@ fn run(n: usize, f: usize, dim: usize, aggregator: Box<dyn Aggregator>) -> Timin
     let (_, history) = trainer.run(Vector::filled(dim, 1.0)).expect("run succeeds");
     Timing {
         round_micros: history.mean_round_nanos() / 1_000.0,
+        propose_micros: history.mean_propose_nanos() / 1_000.0,
         aggregation_micros: history.mean_aggregation_nanos() / 1_000.0,
+        network_micros: history.mean_network_nanos() / 1_000.0,
     }
 }
 
@@ -75,7 +79,15 @@ fn main() {
     );
 
     let dim = 20_000;
-    let mut table = Table::new(["n", "f", "rule", "round (µs)", "aggregation (µs)"]);
+    let mut table = Table::new([
+        "n",
+        "f",
+        "rule",
+        "round (µs)",
+        "propose (µs)",
+        "aggregation (µs)",
+        "network (µs)",
+    ]);
     for &n in &[10usize, 20, 40, 80] {
         let f = (n - 3) / 2;
         for (name, rule) in rules(n, f) {
@@ -85,7 +97,9 @@ fn main() {
                 f.to_string(),
                 name.to_string(),
                 format!("{:.0}", t.round_micros),
+                format!("{:.0}", t.propose_micros),
                 format!("{:.0}", t.aggregation_micros),
+                format!("{:.0}", t.network_micros),
             ]);
         }
     }
@@ -93,7 +107,14 @@ fn main() {
 
     let n = 20;
     let f = 6;
-    let mut table = Table::new(["d", "rule", "round (µs)", "aggregation (µs)"]);
+    let mut table = Table::new([
+        "d",
+        "rule",
+        "round (µs)",
+        "propose (µs)",
+        "aggregation (µs)",
+        "network (µs)",
+    ]);
     for &dim in &[10_000usize, 50_000, 100_000] {
         for (name, rule) in rules(n, f) {
             let t = run(n, f, dim, rule);
@@ -101,7 +122,9 @@ fn main() {
                 dim.to_string(),
                 name.to_string(),
                 format!("{:.0}", t.round_micros),
+                format!("{:.0}", t.propose_micros),
                 format!("{:.0}", t.aggregation_micros),
+                format!("{:.0}", t.network_micros),
             ]);
         }
     }

@@ -6,6 +6,9 @@
 //! * `src/bin/e1_linear_fragility.rs` … `src/bin/e8_cost_of_resilience.rs` —
 //!   one runnable driver per experiment, each printing the series/rows of the
 //!   corresponding figure;
+//! * `src/bin/round_pipeline.rs` — records `BENCH_round_pipeline.json`
+//!   (aggregation-path wall time and allocation counts before/after the
+//!   `AggregationContext` refactor);
 //! * `benches/krum_scaling.rs`, `benches/aggregators.rs`,
 //!   `benches/round_duration.rs` — Criterion micro/macro benchmarks backing
 //!   E3 and E8.

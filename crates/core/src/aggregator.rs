@@ -3,6 +3,7 @@
 use krum_tensor::Vector;
 use serde::{Deserialize, Serialize};
 
+use crate::context::AggregationContext;
 use crate::error::AggregationError;
 
 /// Result of one aggregation step.
@@ -40,6 +41,28 @@ impl Aggregation {
         }
     }
 
+    /// Resets `value` to a `dim`-dimensional zero vector in place (capacity
+    /// preserved) and hands it back for accumulation — the one place that
+    /// holds the "zero the reused output before accumulating" invariant for
+    /// rules writing into a reused
+    /// [`AggregationContext`](crate::AggregationContext).
+    pub(crate) fn reset_value(&mut self, dim: usize) -> &mut Vector {
+        self.value.resize(dim, 0.0);
+        self.value.fill(0.0);
+        &mut self.value
+    }
+
+    /// Overwrites the selection bookkeeping in place, reusing the existing
+    /// buffer capacity — the one place that holds the "clear stale
+    /// selected/scores before writing" invariant for every rule writing
+    /// into a reused [`AggregationContext`](crate::AggregationContext).
+    pub(crate) fn set_selection(&mut self, selected: &[usize], scores: &[f64]) {
+        self.selected.clear();
+        self.selected.extend_from_slice(selected);
+        self.scores.clear();
+        self.scores.extend_from_slice(scores);
+    }
+
     /// The single selected index, when exactly one proposal was selected.
     pub fn selected_index(&self) -> Option<usize> {
         if self.selected.len() == 1 {
@@ -60,11 +83,41 @@ impl Aggregation {
 pub trait Aggregator: Send + Sync {
     /// Aggregates the proposals, reporting selection details and scores.
     ///
+    /// This is the allocation-per-call entry point; hot loops should prefer
+    /// [`Aggregator::aggregate_in`] with a reused [`AggregationContext`].
+    ///
     /// # Errors
     ///
     /// Returns [`AggregationError`] when the proposals are empty, have
     /// mismatched dimensions, or do not match the rule's configuration.
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError>;
+
+    /// Aggregates the proposals into the reusable workspace `ctx`; the result
+    /// is left in [`AggregationContext::output`].
+    ///
+    /// Every rule in this crate overrides this with an implementation that
+    /// performs **zero heap allocations** once the context has warmed up on
+    /// the proposal shape (under the sequential execution policy). The
+    /// default implementation bridges rules that only implement
+    /// [`Aggregator::aggregate_detailed`] by delegating to it, so external
+    /// implementors stay source-compatible.
+    ///
+    /// On error the context's previous output is left unspecified (it may
+    /// hold the result of an earlier round); callers must not read
+    /// [`AggregationContext::output`] after a failed call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Aggregator::aggregate_detailed`].
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        let result = self.aggregate_detailed(proposals)?;
+        ctx.set_output(result);
+        Ok(())
+    }
 
     /// Aggregates the proposals, returning only the aggregated vector.
     ///
@@ -90,6 +143,14 @@ impl<A: Aggregator + ?Sized> Aggregator for &A {
         (**self).aggregate_detailed(proposals)
     }
 
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        (**self).aggregate_in(ctx, proposals)
+    }
+
     fn name(&self) -> String {
         (**self).name()
     }
@@ -102,6 +163,14 @@ impl<A: Aggregator + ?Sized> Aggregator for &A {
 impl<A: Aggregator + ?Sized> Aggregator for Box<A> {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
         (**self).aggregate_detailed(proposals)
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        (**self).aggregate_in(ctx, proposals)
     }
 
     fn name(&self) -> String {
@@ -198,6 +267,25 @@ mod tests {
         assert!(sel.selected_index().is_none());
         let single = Aggregation::selected(Vector::zeros(2), vec![3], vec![]);
         assert_eq!(single.selected_index(), Some(3));
+    }
+
+    #[test]
+    fn default_aggregate_in_bridges_external_rules() {
+        // `First` only implements the allocating entry point; the default
+        // `aggregate_in` must still deliver its result through the context.
+        let rule = First;
+        let proposals = vec![Vector::from(vec![4.0]), Vector::from(vec![5.0])];
+        let mut ctx = AggregationContext::new();
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert_eq!(ctx.output().value.as_slice(), &[4.0]);
+        assert_eq!(ctx.output().selected_index(), Some(0));
+        // And the forwarding impls route `aggregate_in` through the box.
+        let boxed: Box<dyn Aggregator> = Box::new(First);
+        boxed.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert_eq!(ctx.output().selected_index(), Some(0));
+        let by_ref: &dyn Aggregator = &First;
+        by_ref.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert_eq!(ctx.output().value.as_slice(), &[4.0]);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use krum_tensor::Vector;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::context::AggregationContext;
 use crate::error::AggregationError;
 
 /// Plain averaging `F(V_1, …, V_n) = (1/n) Σ V_i` — the default choice
@@ -27,9 +28,24 @@ impl Average {
 
 impl Aggregator for Average {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
-        validate_proposals(proposals)?;
-        let mean = Vector::mean_of(proposals).expect("validated non-empty, consistent dims");
-        Ok(Aggregation::mixed(mean))
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        let dim = validate_proposals(proposals)?;
+        // Same accumulation order as `Vector::mean_of`: sum, then scale.
+        let value = ctx.begin_mixed(dim);
+        for v in proposals {
+            value.axpy(1.0, v);
+        }
+        value.scale(1.0 / proposals.len() as f64);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -91,6 +107,16 @@ impl WeightedAverage {
 
 impl Aggregator for WeightedAverage {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
         let dim = validate_proposals(proposals)?;
         if proposals.len() != self.weights.len() {
             return Err(AggregationError::WrongWorkerCount {
@@ -98,11 +124,11 @@ impl Aggregator for WeightedAverage {
                 found: proposals.len(),
             });
         }
-        let mut out = Vector::zeros(dim);
+        let value = ctx.begin_mixed(dim);
         for (v, &w) in proposals.iter().zip(&self.weights) {
-            out.axpy(w, v);
+            value.axpy(w, v);
         }
-        Ok(Aggregation::mixed(out))
+        Ok(())
     }
 
     fn name(&self) -> String {

@@ -1,0 +1,221 @@
+//! The reusable aggregation workspace.
+//!
+//! The paper's server loop applies `F(V_1, …, V_n)` every round, so at
+//! production scale the aggregation path runs millions of times. Allocating
+//! the Gram matrix, score buffers and transposed column blocks on every call
+//! turns the hot path into an allocator benchmark; [`AggregationContext`]
+//! owns all of that scratch once and lets every rule reuse it through
+//! [`Aggregator::aggregate_in`](crate::Aggregator::aggregate_in).
+//!
+//! The contract: after the context has warmed up on a given proposal shape
+//! `(n, d)`, repeated aggregations of that shape perform **zero heap
+//! allocations** on the sequential path (the `allocation_regression`
+//! integration test pins this for Krum, Multi-Krum, the coordinate-wise
+//! median and the trimmed mean). Buffers only grow, so mixing shapes is
+//! correct — the workspace simply settles at the high-water mark.
+//!
+//! Parallel execution (the [`ExecutionPolicy::Parallel`] fan-out over the
+//! `rayon` pool) necessarily allocates per-task bookkeeping inside the thread
+//! pool; the policy therefore lives on the context so callers that need the
+//! allocation-free guarantee (or deterministic single-thread profiling) can
+//! force [`ExecutionPolicy::Sequential`].
+
+use krum_tensor::Vector;
+
+use crate::aggregator::Aggregation;
+
+/// How a rule may spread its work across the `rayon` pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionPolicy {
+    /// Decide per call from the input size and the available parallelism
+    /// (the default; matches the allocation-per-call API's behaviour).
+    #[default]
+    Auto,
+    /// Never use the thread pool. The only policy with the zero-allocation
+    /// guarantee, and the reference the property tests pin against.
+    Sequential,
+    /// Always fan out, even for small inputs (useful for testing the
+    /// parallel path deterministically).
+    Parallel,
+}
+
+impl ExecutionPolicy {
+    /// Whether a workload over `n` independent rows should use the pool.
+    pub(crate) fn use_parallel(self, n: usize) -> bool {
+        match self {
+            Self::Sequential => false,
+            Self::Parallel => true,
+            Self::Auto => n >= 8 && rayon::current_num_threads() > 1,
+        }
+    }
+}
+
+/// Reusable per-`(n, d)` workspace for aggregation rules.
+///
+/// Create one per server (or per thread), hand it to
+/// [`Aggregator::aggregate_in`](crate::Aggregator::aggregate_in) every round,
+/// and read the result through [`AggregationContext::output`]. All scratch —
+/// the Gram/distance matrix, score and index buffers, the transposed column
+/// blocks of the coordinate-wise rules, and the output [`Aggregation`]
+/// itself — is retained between calls.
+///
+/// # Example
+///
+/// ```
+/// use krum_core::{AggregationContext, Aggregator, Krum};
+/// use krum_tensor::Vector;
+///
+/// let krum = Krum::new(5, 1).unwrap();
+/// let proposals = vec![Vector::filled(3, 1.0); 5];
+/// let mut ctx = AggregationContext::new();
+/// for _round in 0..10 {
+///     krum.aggregate_in(&mut ctx, &proposals).unwrap();
+///     assert_eq!(ctx.output().selected_index(), Some(0));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct AggregationContext {
+    policy: ExecutionPolicy,
+    /// Flattened `n × n` pairwise squared-distance (Gram) matrix.
+    pub(crate) distances: Vec<f64>,
+    /// Cached squared norms `‖V_i‖²` (length `n`).
+    pub(crate) norms: Vec<f64>,
+    /// Per-proposal scores (length `n`).
+    pub(crate) scores: Vec<f64>,
+    /// Selection scratch row (length `n − 1`).
+    pub(crate) scratch: Vec<f64>,
+    /// Index-ordering buffer (length `n`).
+    pub(crate) order: Vec<usize>,
+    /// Subset-enumeration scratch for the minimum-diameter rule.
+    pub(crate) subset: Vec<usize>,
+    /// Transposed column block for the coordinate-wise rules
+    /// (`n × block_columns` values, column-major per coordinate).
+    pub(crate) columns: Vec<f64>,
+    /// Dimension-sized scratch (Weiszfeld numerator, …).
+    pub(crate) coords: Vec<f64>,
+    /// The output record rules write into (public access via
+    /// [`AggregationContext::output`]; `pub(crate)` so rules can borrow it
+    /// disjointly from the scratch buffers).
+    pub(crate) output: Aggregation,
+}
+
+impl Default for AggregationContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AggregationContext {
+    /// Creates an empty workspace with the [`ExecutionPolicy::Auto`] policy.
+    /// Buffers are grown lazily on first use.
+    pub fn new() -> Self {
+        Self::with_policy(ExecutionPolicy::Auto)
+    }
+
+    /// Creates an empty workspace with an explicit execution policy.
+    pub fn with_policy(policy: ExecutionPolicy) -> Self {
+        Self {
+            policy,
+            distances: Vec::new(),
+            norms: Vec::new(),
+            scores: Vec::new(),
+            scratch: Vec::new(),
+            order: Vec::new(),
+            subset: Vec::new(),
+            columns: Vec::new(),
+            coords: Vec::new(),
+            output: Aggregation::mixed(Vector::zeros(0)),
+        }
+    }
+
+    /// The execution policy rules consult when deciding whether to fan out.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
+    /// Changes the execution policy (buffers are kept).
+    pub fn set_policy(&mut self, policy: ExecutionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The result of the most recent [`aggregate_in`] call.
+    ///
+    /// [`aggregate_in`]: crate::Aggregator::aggregate_in
+    pub fn output(&self) -> &Aggregation {
+        &self.output
+    }
+
+    /// Consumes the workspace and returns its most recent result. Used by
+    /// the allocation-per-call wrappers; steady-state callers should keep
+    /// the context alive and read [`AggregationContext::output`] instead.
+    pub fn into_output(self) -> Aggregation {
+        self.output
+    }
+
+    /// Replaces the output wholesale (the default [`aggregate_in`] bridge for
+    /// rules that only implement the allocating entry point).
+    ///
+    /// [`aggregate_in`]: crate::Aggregator::aggregate_in
+    pub fn set_output(&mut self, output: Aggregation) {
+        self.output = output;
+    }
+
+    /// Resets the output for a selection-free (mixing) rule: `value` becomes
+    /// a zero vector of dimension `dim`, `selected`/`scores` are cleared.
+    /// Never allocates once the buffers have reached `dim` capacity.
+    pub(crate) fn begin_mixed(&mut self, dim: usize) -> &mut Vector {
+        self.output.selected.clear();
+        self.output.scores.clear();
+        self.output.reset_value(dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aggregator, Krum};
+
+    #[test]
+    fn policy_controls_fanout_decision() {
+        assert!(!ExecutionPolicy::Sequential.use_parallel(1_000));
+        assert!(ExecutionPolicy::Parallel.use_parallel(2));
+        let auto = ExecutionPolicy::Auto;
+        assert!(!auto.use_parallel(2));
+        assert_eq!(ExecutionPolicy::default(), ExecutionPolicy::Auto);
+    }
+
+    #[test]
+    fn context_reuse_matches_fresh_contexts() {
+        let krum = Krum::new(5, 1).unwrap();
+        let proposals: Vec<Vector> = (0..5).map(|i| Vector::filled(4, i as f64 * 0.25)).collect();
+        let mut reused = AggregationContext::with_policy(ExecutionPolicy::Sequential);
+        for _ in 0..3 {
+            krum.aggregate_in(&mut reused, &proposals).unwrap();
+            let fresh = krum.aggregate_detailed(&proposals).unwrap();
+            assert_eq!(reused.output(), &fresh);
+        }
+    }
+
+    #[test]
+    fn policy_is_adjustable_and_buffers_survive() {
+        let krum = Krum::new(5, 1).unwrap();
+        let proposals: Vec<Vector> = (0..5).map(|i| Vector::filled(3, i as f64)).collect();
+        let mut ctx = AggregationContext::new();
+        krum.aggregate_in(&mut ctx, &proposals).unwrap();
+        let sequential = ctx.output().clone();
+        ctx.set_policy(ExecutionPolicy::Parallel);
+        assert_eq!(ctx.policy(), ExecutionPolicy::Parallel);
+        krum.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert_eq!(ctx.output(), &sequential);
+    }
+
+    #[test]
+    fn into_output_hands_back_the_result() {
+        let krum = Krum::new(5, 1).unwrap();
+        let proposals: Vec<Vector> = (0..5).map(|i| Vector::filled(2, i as f64)).collect();
+        let mut ctx = AggregationContext::new();
+        krum.aggregate_in(&mut ctx, &proposals).unwrap();
+        let expected = ctx.output().clone();
+        assert_eq!(ctx.into_output(), expected);
+    }
+}

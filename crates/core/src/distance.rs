@@ -16,6 +16,7 @@ use krum_tensor::Vector;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::context::AggregationContext;
 use crate::error::AggregationError;
 
 /// The flawed distance-based rule of Figure 2: select the proposal minimising
@@ -45,19 +46,36 @@ impl ClosestToBarycenter {
 
 impl Aggregator for ClosestToBarycenter {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
-        let scores = self.scores(proposals)?;
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        validate_proposals(proposals)?;
+        let n = proposals.len();
+        let parallel = ctx.policy().use_parallel(n);
+        crate::kernel::pairwise_squared_distances_into(
+            proposals,
+            &mut ctx.norms,
+            &mut ctx.distances,
+            parallel,
+        );
+        crate::kernel::row_sums_into(&ctx.distances, n, &mut ctx.scores);
         // NaN-safe argmin shared with Krum. Note the protection is weaker
         // for this rule than for Krum: the criterion sums distances to ALL
         // proposals, so one NaN proposal poisons every score and the argmin
         // falls back to index 0 deterministically (Krum's neighbour sums
         // keep honest scores finite, so there the NaN worker truly never
         // wins).
-        let best = crate::kernel::argmin(&scores);
-        Ok(Aggregation::selected(
-            proposals[best].clone(),
-            vec![best],
-            scores,
-        ))
+        let best = crate::kernel::argmin(&ctx.scores);
+        ctx.output.value.assign(proposals[best].as_slice());
+        ctx.output.set_selection(&[best], &ctx.scores);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -120,11 +138,31 @@ impl GeometricMedian {
 
 impl Aggregator for GeometricMedian {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
         let dim = validate_proposals(proposals)?;
-        // Start from the coordinate-wise mean.
-        let mut current = Vector::mean_of(proposals).expect("validated input");
+        // The Weiszfeld iterate lives directly in the output vector; the
+        // context's dimension-sized scratch holds the weighted numerator.
+        ctx.begin_mixed(dim);
+        ctx.coords.clear();
+        ctx.coords.resize(dim, 0.0);
+        let (current, numerator) = (&mut ctx.output.value, &mut ctx.coords);
+        // Start from the coordinate-wise mean (same accumulation order as
+        // `Vector::mean_of`).
+        for v in proposals {
+            current.axpy(1.0, v);
+        }
+        current.scale(1.0 / proposals.len() as f64);
         for _ in 0..self.max_iterations {
-            let mut numerator = Vector::zeros(dim);
+            numerator.fill(0.0);
             let mut denominator = 0.0;
             let mut coincident: Option<&Vector> = None;
             for v in proposals {
@@ -134,28 +172,45 @@ impl Aggregator for GeometricMedian {
                     continue;
                 }
                 let w = 1.0 / dist;
-                numerator.axpy(w, v);
+                for (a, b) in numerator.iter_mut().zip(v.iter()) {
+                    *a += w * b;
+                }
                 denominator += w;
             }
-            let next = if denominator == 0.0 {
+            if denominator == 0.0 {
                 // Every proposal coincides with the current point.
                 break;
-            } else {
-                let mut candidate = numerator.scaled(1.0 / denominator);
-                if let Some(v) = coincident {
-                    // Standard Weiszfeld fix-up when the iterate hits a data
-                    // point: nudge the candidate towards that point.
-                    candidate = (&candidate + v).scaled(0.5);
+            }
+            let inv = 1.0 / denominator;
+            // Form the candidate, overwrite the iterate and accumulate the
+            // squared movement in one pass (no `next` buffer needed). When
+            // the iterate hit a data point, the standard Weiszfeld fix-up
+            // nudges the candidate towards that point.
+            let mut movement_squared = 0.0;
+            match coincident {
+                Some(v) => {
+                    for ((cur, &num), &vc) in current.iter_mut().zip(numerator.iter()).zip(v.iter())
+                    {
+                        let candidate = (num * inv + vc) * 0.5;
+                        let d = *cur - candidate;
+                        movement_squared += d * d;
+                        *cur = candidate;
+                    }
                 }
-                candidate
-            };
-            let movement = current.distance(&next);
-            current = next;
-            if movement < self.tolerance {
+                None => {
+                    for (cur, &num) in current.iter_mut().zip(numerator.iter()) {
+                        let candidate = num * inv;
+                        let d = *cur - candidate;
+                        movement_squared += d * d;
+                        *cur = candidate;
+                    }
+                }
+            }
+            if movement_squared.sqrt() < self.tolerance {
                 break;
             }
         }
-        Ok(Aggregation::mixed(current))
+        Ok(())
     }
 
     fn name(&self) -> String {

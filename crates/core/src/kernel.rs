@@ -69,73 +69,119 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Full symmetric matrix of pairwise squared distances, flattened row-major,
 /// computed with the cached-norm Gram formulation over the upper triangle.
+/// Allocation-per-call wrapper around [`pairwise_squared_distances_into`].
 pub(crate) fn pairwise_squared_distances(proposals: &[Vector]) -> Vec<f64> {
     let n = proposals.len();
-    let norms: Vec<f64> = proposals
-        .iter()
-        .map(|v| dot(v.as_slice(), v.as_slice()))
-        .collect();
-    // Strict-upper-triangle rows, computed independently (and in parallel
-    // when worthwhile: the row loop is the O(n²·d) part).
-    let rows: Vec<Vec<f64>> = if n >= 8 && rayon::current_num_threads() > 1 {
-        (0..n.saturating_sub(1))
-            .into_par_iter()
-            .map(|i| upper_row(proposals, &norms, i))
-            .collect()
-    } else {
-        (0..n.saturating_sub(1))
-            .map(|i| upper_row(proposals, &norms, i))
-            .collect()
-    };
-    let mut out = vec![0.0; n * n];
-    for (i, row) in rows.iter().enumerate() {
-        for (k, &d) in row.iter().enumerate() {
-            let j = i + 1 + k;
-            out[i * n + j] = d;
-            out[j * n + i] = d;
-        }
-    }
+    let parallel = crate::ExecutionPolicy::Auto.use_parallel(n);
+    let mut norms = Vec::new();
+    let mut out = Vec::new();
+    pairwise_squared_distances_into(proposals, &mut norms, &mut out, parallel);
     out
 }
 
-/// Distances from proposal `i` to every proposal `j > i`.
+/// Cached-norm pairwise distances written into a caller-owned workspace.
+///
+/// `norms` and `out` are resized to `n` and `n × n`; neither allocates once
+/// its capacity has reached the proposal shape. The sequential path performs
+/// zero heap allocations. The parallel path fans the strict-upper-triangle
+/// rows out over disjoint mutable row slices of `out` (the vendored pool
+/// schedules them round-robin, which balances the linearly shrinking rows),
+/// then mirrors the triangle serially; the thread-pool bookkeeping itself
+/// allocates, which is why the zero-allocation contract is tied to the
+/// sequential policy.
+pub(crate) fn pairwise_squared_distances_into(
+    proposals: &[Vector],
+    norms: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+    parallel: bool,
+) {
+    let n = proposals.len();
+    norms.clear();
+    norms.extend(proposals.iter().map(|v| dot(v.as_slice(), v.as_slice())));
+    out.clear();
+    out.resize(n * n, 0.0);
+    if parallel && n >= 2 {
+        let norms_ref: &[f64] = norms;
+        let rows: Vec<(usize, &mut [f64])> = out.chunks_mut(n).enumerate().collect();
+        rows.into_par_iter().for_each(|(i, row)| {
+            fill_upper_row(proposals, norms_ref, i, row);
+        });
+        // Mirror the strict upper triangle (cheap `O(n²)` serial pass).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out[j * n + i] = out[i * n + j];
+            }
+        }
+    } else {
+        for i in 0..n {
+            let ni = norms[i];
+            let vi = proposals[i].as_slice();
+            for j in (i + 1)..n {
+                let d = clamp_distance(ni + norms[j] - 2.0 * dot(vi, proposals[j].as_slice()));
+                out[i * n + j] = d;
+                out[j * n + i] = d;
+            }
+        }
+    }
+}
+
+/// Writes distances from proposal `i` to every proposal `j > i` into the
+/// tail of `row` (the full `n`-wide row `i` of the distance matrix).
 #[inline]
-fn upper_row(proposals: &[Vector], norms: &[f64], i: usize) -> Vec<f64> {
+fn fill_upper_row(proposals: &[Vector], norms: &[f64], i: usize, row: &mut [f64]) {
     let vi = proposals[i].as_slice();
     let ni = norms[i];
-    ((i + 1)..proposals.len())
-        .map(|j| {
-            let d = ni + norms[j] - 2.0 * dot(vi, proposals[j].as_slice());
-            // Clamp the cancellation error below zero, but let NaN through
-            // (a `max(0.0)` would silently turn NaN into 0 and hand the
-            // aggregation to a poisoned worker).
-            if d < 0.0 {
-                0.0
-            } else {
-                d
-            }
-        })
-        .collect()
+    for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+        *slot = clamp_distance(ni + norms[j] - 2.0 * dot(vi, proposals[j].as_slice()));
+    }
+}
+
+/// Clamps the cancellation error below zero, but lets NaN through (a
+/// `max(0.0)` would silently turn NaN into 0 and hand the aggregation to a
+/// poisoned worker).
+#[inline]
+fn clamp_distance(d: f64) -> f64 {
+    if d < 0.0 {
+        0.0
+    } else {
+        d
+    }
+}
+
+/// Krum scores from a flattened `n × n` distance matrix. Allocation-per-call
+/// wrapper around [`scores_from_distances_into`].
+pub(crate) fn scores_from_distances(distances: &[f64], n: usize, neighbours: usize) -> Vec<f64> {
+    let mut scratch = Vec::new();
+    let mut scores = Vec::new();
+    scores_from_distances_into(distances, n, neighbours, &mut scratch, &mut scores);
+    scores
 }
 
 /// Krum scores from a flattened `n × n` distance matrix: for each `i`, the
 /// sum of the `neighbours` smallest squared distances to other proposals.
-/// Uses partial selection (`O(n)` per row) with one reusable scratch row.
-pub(crate) fn scores_from_distances(distances: &[f64], n: usize, neighbours: usize) -> Vec<f64> {
+/// Uses partial selection (`O(n)` per row) with the caller-owned scratch row;
+/// allocation-free once `scratch`/`scores` have warmed up.
+pub(crate) fn scores_from_distances_into(
+    distances: &[f64],
+    n: usize,
+    neighbours: usize,
+    scratch: &mut Vec<f64>,
+    scores: &mut Vec<f64>,
+) {
     assert_eq!(n * n, distances.len(), "distance matrix must be n × n");
     assert!(
         neighbours <= n.saturating_sub(1),
         "cannot take {neighbours} neighbours out of {n} proposals"
     );
-    let mut scores = Vec::with_capacity(n);
-    let mut row = vec![0.0f64; n.saturating_sub(1)];
+    scores.clear();
+    scratch.clear();
+    scratch.resize(n.saturating_sub(1), 0.0);
     for i in 0..n {
         let base = i * n;
-        row[..i].copy_from_slice(&distances[base..base + i]);
-        row[i..].copy_from_slice(&distances[base + i + 1..base + n]);
-        scores.push(sum_of_smallest(&mut row, neighbours));
+        scratch[..i].copy_from_slice(&distances[base..base + i]);
+        scratch[i..].copy_from_slice(&distances[base + i + 1..base + n]);
+        scores.push(sum_of_smallest(scratch, neighbours));
     }
-    scores
 }
 
 /// Sum of the `k` smallest values of `values` (which is reordered).
@@ -155,11 +201,21 @@ fn sum_of_smallest(values: &mut [f64], k: usize) -> f64 {
 /// Row sums of the distance matrix: `Σ_j ‖Vi − Vj‖²` per proposal — the
 /// closest-to-barycenter criterion, sharing the cached-norm kernel.
 pub(crate) fn row_sums(distances: &[f64], n: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    row_sums_into(distances, n, &mut out);
+    out
+}
+
+/// [`row_sums`] written into a caller-owned buffer (allocation-free once
+/// warmed up).
+pub(crate) fn row_sums_into(distances: &[f64], n: usize, out: &mut Vec<f64>) {
     assert_eq!(n * n, distances.len(), "distance matrix must be n × n");
-    distances
-        .chunks_exact(n.max(1))
-        .map(|row| row.iter().sum())
-        .collect()
+    out.clear();
+    out.extend(
+        distances
+            .chunks_exact(n.max(1))
+            .map(|row| row.iter().sum::<f64>()),
+    );
 }
 
 /// Index of the smallest score; ties break towards the smallest index and
@@ -182,17 +238,26 @@ pub(crate) fn argmin(scores: &[f64]) -> usize {
 /// The `m` best-scored indices, ordered by `(score, index)` — Krum's
 /// tie-breaking rule extended to a set. Uses partial selection, so the cost
 /// is `O(n + m log m)` rather than `O(n log n)`.
+#[cfg(test)]
 pub(crate) fn smallest_indices(scores: &[f64], m: usize) -> Vec<usize> {
+    let mut order = Vec::new();
+    smallest_indices_into(scores, m, &mut order);
+    order
+}
+
+/// The `m` best-scored indices written into a caller-owned index buffer
+/// (allocation-free once warmed up; truncation keeps the capacity).
+pub(crate) fn smallest_indices_into(scores: &[f64], m: usize, order: &mut Vec<usize>) {
     let n = scores.len();
     debug_assert!(m >= 1 && m <= n);
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     let compare = |a: &usize, b: &usize| scores[*a].total_cmp(&scores[*b]).then(a.cmp(b));
     if m < n {
         order.select_nth_unstable_by(m - 1, compare);
         order.truncate(m);
     }
     order.sort_unstable_by(compare);
-    order
 }
 
 /// The pre-optimization reference path: per-pair scalar distances and

@@ -4,6 +4,7 @@ use krum_tensor::Vector;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::context::AggregationContext;
 use crate::error::AggregationError;
 use crate::kernel;
 
@@ -94,15 +95,35 @@ impl Krum {
 
 impl Aggregator for Krum {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
         self.check(proposals)?;
-        let distances = kernel::pairwise_squared_distances(proposals);
-        let scores = kernel::scores_from_distances(&distances, self.n, self.neighbours());
-        let best = kernel::argmin(&scores);
-        Ok(Aggregation::selected(
-            proposals[best].clone(),
-            vec![best],
-            scores,
-        ))
+        let parallel = ctx.policy().use_parallel(self.n);
+        kernel::pairwise_squared_distances_into(
+            proposals,
+            &mut ctx.norms,
+            &mut ctx.distances,
+            parallel,
+        );
+        kernel::scores_from_distances_into(
+            &ctx.distances,
+            self.n,
+            self.neighbours(),
+            &mut ctx.scratch,
+            &mut ctx.scores,
+        );
+        let best = kernel::argmin(&ctx.scores);
+        ctx.output.value.assign(proposals[best].as_slice());
+        ctx.output.set_selection(&[best], &ctx.scores);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -171,25 +192,48 @@ impl MultiKrum {
 
 impl Aggregator for MultiKrum {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
-        validate_proposals(proposals)?;
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        let dim = validate_proposals(proposals)?;
         if proposals.len() != self.n {
             return Err(AggregationError::WrongWorkerCount {
                 expected: self.n,
                 found: proposals.len(),
             });
         }
-        let distances = kernel::pairwise_squared_distances(proposals);
-        let scores = kernel::scores_from_distances(&distances, self.n, self.n - self.f - 2);
+        let parallel = ctx.policy().use_parallel(self.n);
+        kernel::pairwise_squared_distances_into(
+            proposals,
+            &mut ctx.norms,
+            &mut ctx.distances,
+            parallel,
+        );
+        kernel::scores_from_distances_into(
+            &ctx.distances,
+            self.n,
+            self.n - self.f - 2,
+            &mut ctx.scratch,
+            &mut ctx.scores,
+        );
         // The m best worker indices by (score, index) — the same tie-breaking
         // rule as Krum, extended to a set — found by partial selection.
-        let chosen = kernel::smallest_indices(&scores, self.m);
+        kernel::smallest_indices_into(&ctx.scores, self.m, &mut ctx.order);
         // Average the selected proposals in place, without cloning them.
-        let mut value = Vector::zeros(proposals[0].dim());
-        for &i in &chosen {
+        let value = ctx.output.reset_value(dim);
+        for &i in &ctx.order {
             value.axpy(1.0, &proposals[i]);
         }
-        value.scale(1.0 / chosen.len() as f64);
-        Ok(Aggregation::selected(value, chosen, scores))
+        value.scale(1.0 / ctx.order.len() as f64);
+        ctx.output.set_selection(&ctx.order, &ctx.scores);
+        Ok(())
     }
 
     fn name(&self) -> String {

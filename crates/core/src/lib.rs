@@ -22,6 +22,12 @@
 //!   `(α, f)`-Byzantine-resilience condition of Definition 3.2 and the
 //!   `η(n, f)` constant of Proposition 4.2.
 //!
+//! Every rule exposes two entry points: the allocation-per-call
+//! [`Aggregator::aggregate_detailed`] / [`Aggregator::aggregate`], and the
+//! workspace-backed [`Aggregator::aggregate_in`] which reuses an
+//! [`AggregationContext`] so steady-state rounds perform zero heap
+//! allocations (see the `context` module docs for the exact contract).
+//!
 //! ## Example
 //!
 //! ```
@@ -46,6 +52,7 @@
 
 mod aggregator;
 mod average;
+mod context;
 mod distance;
 mod error;
 mod kernel;
@@ -65,6 +72,7 @@ pub mod naive {
 
 pub use aggregator::{validate_proposals, Aggregation, Aggregator};
 pub use average::{Average, WeightedAverage};
+pub use context::{AggregationContext, ExecutionPolicy};
 pub use distance::{ClosestToBarycenter, GeometricMedian};
 pub use error::AggregationError;
 pub use krum::{Krum, MultiKrum};
@@ -76,8 +84,8 @@ pub use subset::MinimumDiameterSubset;
 /// Convenience prelude for the aggregation crate.
 pub mod prelude {
     pub use crate::{
-        Aggregation, AggregationError, Aggregator, Average, ClosestToBarycenter,
-        CoordinateWiseMedian, GeometricMedian, Krum, MinimumDiameterSubset, MultiKrum, TrimmedMean,
-        WeightedAverage,
+        Aggregation, AggregationContext, AggregationError, Aggregator, Average,
+        ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy, GeometricMedian, Krum,
+        MinimumDiameterSubset, MultiKrum, TrimmedMean, WeightedAverage,
     };
 }

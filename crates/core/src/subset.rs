@@ -13,6 +13,7 @@ use krum_tensor::Vector;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::{validate_proposals, Aggregation, Aggregator};
+use crate::context::AggregationContext;
 use crate::error::AggregationError;
 
 /// Largest cluster size accepted by [`MinimumDiameterSubset::new`]; beyond
@@ -64,12 +65,20 @@ impl MinimumDiameterSubset {
         self.f
     }
 
-    /// Squared diameter of the proposals at `indices`.
+    /// Squared diameter of the proposals at `indices`. Returns NaN when any
+    /// pairwise distance is NaN — `f64::max` would silently drop the NaN and
+    /// make a subset containing a poisoned proposal look artificially tight
+    /// (only its finite pairs would count), handing the selection to a
+    /// Byzantine worker.
     fn squared_diameter(proposals: &[Vector], indices: &[usize]) -> f64 {
         let mut diameter = 0.0f64;
         for (a, &i) in indices.iter().enumerate() {
             for &j in &indices[a + 1..] {
-                diameter = diameter.max(proposals[i].squared_distance(&proposals[j]));
+                let d = proposals[i].squared_distance(&proposals[j]);
+                if d.is_nan() {
+                    return f64::NAN;
+                }
+                diameter = diameter.max(d);
             }
         }
         diameter
@@ -78,7 +87,17 @@ impl MinimumDiameterSubset {
 
 impl Aggregator for MinimumDiameterSubset {
     fn aggregate_detailed(&self, proposals: &[Vector]) -> Result<Aggregation, AggregationError> {
-        validate_proposals(proposals)?;
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        let dim = validate_proposals(proposals)?;
         if proposals.len() != self.n {
             return Err(AggregationError::WrongWorkerCount {
                 expected: self.n,
@@ -86,20 +105,42 @@ impl Aggregator for MinimumDiameterSubset {
             });
         }
         let subset_size = self.n - self.f;
-        let mut best_subset: Option<Vec<usize>> = None;
+        // `order` holds the best subset found so far, `subset` the
+        // enumeration scratch — both reused across rounds. NaN diameters
+        // (poisoned proposals) never beat a finite subset: a NaN-diameter
+        // subset is only remembered as a deterministic fallback for the
+        // degenerate case where *every* subset contains a NaN proposal.
+        let (best_subset, current) = (&mut ctx.order, &mut ctx.subset);
+        best_subset.clear();
+        current.clear();
+        let mut found = false;
         let mut best_diameter = f64::INFINITY;
-        let mut current = Vec::with_capacity(subset_size);
-        enumerate_subsets(self.n, subset_size, 0, &mut current, &mut |subset| {
+        enumerate_subsets(self.n, subset_size, 0, current, &mut |subset| {
             let diameter = Self::squared_diameter(proposals, subset);
-            if diameter < best_diameter {
+            let better = if found {
+                diameter < best_diameter
+            } else {
+                !diameter.is_nan()
+            };
+            if better {
                 best_diameter = diameter;
-                best_subset = Some(subset.to_vec());
+                found = true;
+                best_subset.clear();
+                best_subset.extend_from_slice(subset);
+            } else if best_subset.is_empty() {
+                // First (lexicographically smallest) subset, kept only until
+                // a non-NaN one shows up.
+                best_subset.extend_from_slice(subset);
             }
         });
-        let subset = best_subset.expect("at least one subset exists because n - f >= 1");
-        let chosen: Vec<Vector> = subset.iter().map(|&i| proposals[i].clone()).collect();
-        let value = Vector::mean_of(&chosen).expect("subset is non-empty");
-        Ok(Aggregation::selected(value, subset, Vec::new()))
+        // Average the chosen subset in place (same order as `Vector::mean_of`).
+        let value = ctx.output.reset_value(dim);
+        for &i in ctx.order.iter() {
+            value.axpy(1.0, &proposals[i]);
+        }
+        value.scale(1.0 / ctx.order.len() as f64);
+        ctx.output.set_selection(&ctx.order, &[]);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -198,6 +239,28 @@ mod tests {
             .unwrap();
         assert_eq!(result.selected, vec![0, 1, 2, 3]);
         assert!(result.value.norm() < 1.0);
+    }
+
+    /// A NaN-poisoned proposal (even at a low worker index, where its
+    /// subsets enumerate first) must never drag the rule onto a NaN-diameter
+    /// subset while a finite subset exists.
+    #[test]
+    fn nan_proposal_never_wins_over_a_finite_subset() {
+        let proposals = vec![
+            Vector::from(vec![f64::NAN, 0.0]),
+            Vector::from(vec![1.0, 1.0]),
+            Vector::from(vec![1.1, 0.9]),
+            Vector::from(vec![0.9, 1.1]),
+        ];
+        let rule = MinimumDiameterSubset::new(4, 1).unwrap();
+        let result = rule.aggregate_detailed(&proposals).unwrap();
+        assert_eq!(result.selected, vec![1, 2, 3]);
+        assert!(result.value.is_finite());
+        // Degenerate all-NaN case: fall back to the first subset
+        // deterministically instead of panicking.
+        let poisoned = vec![Vector::from(vec![f64::NAN]); 4];
+        let result = rule.aggregate_detailed(&poisoned).unwrap();
+        assert_eq!(result.selected, vec![0, 1, 2]);
     }
 
     #[test]

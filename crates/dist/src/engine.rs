@@ -1,17 +1,38 @@
-//! Shared round engine behind both trainers.
+//! The shared round engine — one implementation of the paper's synchronous
+//! protocol behind every trainer.
 //!
-//! Holds the cluster state (aggregator, attack, worker estimators, RNG
-//! streams) and executes one synchronous round at a time. Built perf-first:
-//! the proposal buffer is allocated once and reused across rounds, worker
-//! RNGs are independent streams derived from the master seed (so the
-//! sequential and threaded engines follow bit-identical trajectories), and
-//! the honest-gradient fan-out can run serially or on the `rayon` pool.
+//! Each round is one pass through the pipeline
+//!
+//! ```text
+//! broadcast → propose → attack → aggregate → step → record
+//! ```
+//!
+//! * **broadcast** — the server publishes `x_t` (in-process: the parameter
+//!   borrow handed to the workers);
+//! * **propose** — every honest worker estimates a gradient at `x_t`;
+//! * **attack** — the omniscient adversary observes the round and forges the
+//!   `f` Byzantine proposals;
+//! * **aggregate** — the server applies the choice function `F` through a
+//!   reused [`AggregationContext`] (zero steady-state heap allocations on
+//!   the aggregation path);
+//! * **step** — `x_{t+1} = x_t − γ_t · F(V_1, …, V_n)`;
+//! * **record** — per-phase wall-clock timings and convergence metrics go
+//!   into a [`RoundRecord`].
+//!
+//! The pipeline is parameterized by an [`ExecutionStrategy`]: sequential
+//! (the reference engine) or threaded (honest gradients fan out over the
+//! `rayon` pool and a simulated [`NetworkModel`] charges communication time
+//! to the metrics). Because every random stream derives from the master
+//! seed, **both strategies follow bit-identical parameter trajectories** —
+//! the strategy changes only wall-clock columns. New scenarios (stragglers,
+//! partial participation, async staleness) should be added here as strategy
+//! variants rather than as new trainer copies.
 
 use std::time::Instant;
 
 use krum_attacks::{Attack, AttackContext};
-use krum_core::Aggregator;
-use krum_metrics::RoundRecord;
+use krum_core::{AggregationContext, Aggregator, ExecutionPolicy};
+use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
 use krum_tensor::Vector;
 use rand::SeedableRng;
@@ -20,6 +41,7 @@ use rayon::prelude::*;
 
 use crate::config::{ClusterSpec, TrainingConfig};
 use crate::error::TrainError;
+use crate::network::NetworkModel;
 
 /// Callback measuring held-out accuracy of a parameter vector.
 pub(crate) type AccuracyProbe = Box<dyn Fn(&Vector) -> Option<f64> + Send + Sync>;
@@ -34,38 +56,98 @@ pub(crate) const ATTACK_STREAM: u64 = u64::MAX - 1;
 /// RNG stream index reserved for the simulated network.
 pub(crate) const NETWORK_STREAM: u64 = u64::MAX - 2;
 
-/// The state shared by [`SyncTrainer`](crate::SyncTrainer) and
+/// How the round pipeline executes one round.
+///
+/// The strategy affects wall-clock behaviour only; the parameter trajectory
+/// is a deterministic function of [`TrainingConfig::seed`] under every
+/// strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionStrategy {
+    /// Honest workers run one after the other on the server thread — the
+    /// reference engine of [`SyncTrainer`](crate::SyncTrainer).
+    Sequential,
+    /// Honest worker gradients are computed in parallel on the `rayon` pool
+    /// and the simulated [`NetworkModel`] charges per-round communication
+    /// time to the metrics — the engine of
+    /// [`ThreadedTrainer`](crate::ThreadedTrainer).
+    Threaded {
+        /// The simulated network charged to each round's timings.
+        network: NetworkModel,
+    },
+}
+
+impl ExecutionStrategy {
+    /// Whether honest-gradient computation fans out over the thread pool.
+    fn parallel_workers(&self) -> bool {
+        matches!(self, Self::Threaded { .. })
+    }
+
+    /// The simulated network, when the strategy carries one.
+    pub(crate) fn network(&self) -> Option<NetworkModel> {
+        match *self {
+            Self::Sequential => None,
+            Self::Threaded { network } => Some(network),
+        }
+    }
+}
+
+/// The shared synchronous-round engine behind
+/// [`SyncTrainer`](crate::SyncTrainer) and
 /// [`ThreadedTrainer`](crate::ThreadedTrainer).
-pub(crate) struct EngineCore {
-    pub(crate) cluster: ClusterSpec,
-    pub(crate) aggregator: Box<dyn Aggregator>,
-    pub(crate) aggregator_name: String,
-    pub(crate) attack: Box<dyn Attack>,
-    pub(crate) attack_name: String,
+///
+/// Holds the cluster state (aggregator, attack, worker estimators, RNG
+/// streams) and executes one round at a time through the
+/// broadcast → propose → attack → aggregate → step → record pipeline. Built
+/// perf-first: the proposal buffer and the [`AggregationContext`] are
+/// allocated once and reused across rounds, and worker RNGs are independent
+/// streams derived from the master seed so every execution strategy follows
+/// the same trajectory.
+pub struct RoundEngine {
+    cluster: ClusterSpec,
+    aggregator: Box<dyn Aggregator>,
+    aggregator_name: String,
+    attack: Box<dyn Attack>,
+    attack_name: String,
     /// One estimator per honest worker.
-    pub(crate) estimators: Vec<Box<dyn GradientEstimator>>,
-    /// Dedicated metrics/adversary probe; the sequential engine shares
-    /// `estimators[0]` instead.
-    pub(crate) probe: Option<Box<dyn GradientEstimator>>,
-    pub(crate) config: TrainingConfig,
-    pub(crate) accuracy_probe: Option<AccuracyProbe>,
-    pub(crate) dim: usize,
+    estimators: Vec<Box<dyn GradientEstimator>>,
+    /// Dedicated metrics/adversary probe; when absent, `estimators[0]`
+    /// serves the probe queries.
+    probe: Option<Box<dyn GradientEstimator>>,
+    config: TrainingConfig,
+    accuracy_probe: Option<AccuracyProbe>,
+    strategy: ExecutionStrategy,
+    dim: usize,
     /// One independent RNG per honest worker.
     worker_rngs: Vec<ChaCha8Rng>,
     attack_rng: ChaCha8Rng,
+    network_rng: ChaCha8Rng,
     /// Per-round proposal scratch (`n` slots), reused across rounds.
     proposals: Vec<Vector>,
+    /// Reusable aggregation workspace — the server's hot path performs zero
+    /// steady-state heap allocations through it.
+    ctx: AggregationContext,
 }
 
-impl EngineCore {
-    /// Builds the core, validating the configuration.
-    pub(crate) fn new(
+impl RoundEngine {
+    /// Builds an engine, validating the configuration.
+    ///
+    /// `estimators` supplies exactly one gradient estimator per honest
+    /// worker; `probe`, when given, serves the metrics/adversary queries
+    /// (loss, true gradient) so the worker estimators stay exclusive to the
+    /// propose phase (otherwise `estimators[0]` is shared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when the configuration is
+    /// invalid or the estimator count/dimensions are inconsistent.
+    pub fn new(
         cluster: ClusterSpec,
         aggregator: Box<dyn Aggregator>,
         attack: Box<dyn Attack>,
         estimators: Vec<Box<dyn GradientEstimator>>,
         probe: Option<Box<dyn GradientEstimator>>,
         config: TrainingConfig,
+        strategy: ExecutionStrategy,
     ) -> Result<Self, TrainError> {
         config.validate()?;
         if estimators.len() != cluster.honest() {
@@ -114,12 +196,47 @@ impl EngineCore {
             estimators,
             probe,
             attack_rng: stream_rng(config.seed, ATTACK_STREAM),
+            network_rng: stream_rng(config.seed, NETWORK_STREAM),
             config,
             accuracy_probe: None,
+            strategy,
             dim,
             worker_rngs,
             proposals,
+            ctx: AggregationContext::new(),
         })
+    }
+
+    /// Attaches a held-out accuracy probe, called on evaluation rounds with
+    /// the current parameters.
+    pub fn set_accuracy_probe(&mut self, probe: AccuracyProbe) {
+        self.accuracy_probe = Some(probe);
+    }
+
+    /// Overrides the aggregation workspace's execution policy (e.g. force
+    /// [`ExecutionPolicy::Sequential`] for allocation-free profiling).
+    pub fn set_aggregation_policy(&mut self, policy: ExecutionPolicy) {
+        self.ctx.set_policy(policy);
+    }
+
+    /// The cluster this engine drives.
+    pub fn cluster(&self) -> ClusterSpec {
+        self.cluster
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The execution strategy of this engine.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.strategy
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
     }
 
     fn probe_estimator(&self) -> &dyn GradientEstimator {
@@ -128,22 +245,58 @@ impl EngineCore {
             .unwrap_or_else(|| &*self.estimators[0])
     }
 
-    /// Runs one synchronous round: workers estimate gradients at `params`,
-    /// the adversary forges its proposals, the server aggregates and applies
-    /// the update in place. Returns the round's metrics record.
-    pub(crate) fn step(
+    /// Runs the configured number of rounds from `start`, returning the
+    /// final parameters and the per-round history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when a worker, the attack or the aggregator
+    /// fails mid-run.
+    pub fn run(&mut self, start: Vector) -> Result<(Vector, TrainingHistory), TrainError> {
+        let mut params = start;
+        let mut history = self.new_history();
+        for round in 0..self.config.rounds {
+            let record = self.step(&mut params, round)?;
+            history.push(record);
+        }
+        Ok((params, history))
+    }
+
+    /// Runs a single round from the given parameters (without mutating
+    /// them), returning the updated parameters and the round record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoundEngine::run`].
+    pub fn run_round(
         &mut self,
-        params: &mut Vector,
+        params: &Vector,
         round: usize,
-        parallel: bool,
-    ) -> Result<RoundRecord, TrainError> {
+    ) -> Result<(Vector, RoundRecord), TrainError> {
+        let mut next = params.clone();
+        let record = self.step(&mut next, round)?;
+        Ok((next, record))
+    }
+
+    /// Executes one pass of the round pipeline, applying the update to
+    /// `params` in place. Returns the round's metrics record with per-phase
+    /// timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when a worker, the attack or the aggregator
+    /// fails.
+    pub fn step(&mut self, params: &mut Vector, round: usize) -> Result<RoundRecord, TrainError> {
         let round_start = Instant::now();
         let honest = self.cluster.honest();
         let byzantine = self.cluster.byzantine();
 
-        // 1. Honest workers compute their gradient estimates (the scratch
-        //    buffer is reused; only the estimator outputs are fresh).
-        if parallel && honest > 1 {
+        // Phase 1+2: broadcast + propose. The server publishes `x_t` (the
+        // shared borrow below) and every honest worker estimates a gradient
+        // at it; the scratch buffer is reused, only the estimator outputs
+        // are fresh.
+        let propose_start = Instant::now();
+        if self.strategy.parallel_workers() && honest > 1 {
             let params_ref: &Vector = params;
             let outputs: Result<Vec<Vector>, _> = self.estimators[..honest]
                 .iter()
@@ -161,9 +314,11 @@ impl EngineCore {
                     self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
             }
         }
+        let propose_nanos = propose_start.elapsed().as_nanos();
 
-        // 2. The omniscient adversary observes everything, including the true
-        //    gradient when the workload exposes one.
+        // Phase 3: attack. The omniscient adversary observes everything,
+        // including the true gradient when the workload exposes one.
+        let attack_start = Instant::now();
         let true_gradient = self.probe_estimator().true_gradient(params);
         let forged = {
             let ctx = AttackContext {
@@ -196,19 +351,24 @@ impl EngineCore {
             }
             *slot = proposal;
         }
+        let attack_nanos = attack_start.elapsed().as_nanos();
 
-        // 3. Server-side aggregation (timed separately: this is the paper's
-        //    O(n²·d) hot path).
+        // Phase 4: aggregate — the paper's O(n²·d) server-side hot path,
+        // through the reused workspace (no steady-state allocations).
         let aggregation_start = Instant::now();
-        let aggregation = self.aggregator.aggregate_detailed(&self.proposals)?;
+        self.aggregator
+            .aggregate_in(&mut self.ctx, &self.proposals)?;
         let aggregation_nanos = aggregation_start.elapsed().as_nanos();
+        let aggregation = self.ctx.output();
 
-        // 4. Apply the SGD update.
+        // Phase 5: step — apply the SGD update.
         let learning_rate = self.config.schedule.rate(round);
         params.axpy(-learning_rate, &aggregation.value);
 
-        // 5. Metrics.
+        // Phase 6: record.
         let mut record = RoundRecord::new(round, aggregation.value.norm(), learning_rate);
+        record.propose_nanos = propose_nanos;
+        record.attack_nanos = attack_nanos;
         record.aggregation_nanos = aggregation_nanos;
         record.selected_worker = aggregation.selected_index();
         record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
@@ -226,12 +386,21 @@ impl EngineCore {
             }
         }
         record.round_nanos = round_start.elapsed().as_nanos();
+
+        // The simulated network (threaded strategy) charges the synchronous
+        // barrier's communication time on top of the measured wall clock.
+        if let ExecutionStrategy::Threaded { network } = self.strategy {
+            let simulated =
+                network.round_nanos(self.cluster.workers(), self.dim, &mut self.network_rng);
+            record.network_nanos = simulated;
+            record.round_nanos += simulated;
+        }
         Ok(record)
     }
 
     /// Metadata-filled empty history for a run of this engine.
-    pub(crate) fn new_history(&self) -> krum_metrics::TrainingHistory {
-        krum_metrics::TrainingHistory::new(
+    pub fn new_history(&self) -> TrainingHistory {
+        TrainingHistory::new(
             format!(
                 "{} vs {} (n={}, f={}, d={})",
                 self.aggregator_name,

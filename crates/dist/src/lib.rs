@@ -8,22 +8,28 @@
 //! knowledge of the round), and the server applies
 //! `x_{t+1} = x_t − γ_t · F(V_1, …, V_n)` for a choice function `F`.
 //!
-//! Two engines implement that protocol:
+//! One [`RoundEngine`] implements that protocol as a
+//! broadcast → propose → attack → aggregate → step → record pipeline,
+//! parameterized by an [`ExecutionStrategy`]; two thin trainer facades pick
+//! the strategy:
 //!
-//! * [`SyncTrainer`] — sequential reference engine;
-//! * [`ThreadedTrainer`] — computes honest worker gradients in parallel and
-//!   charges a simulated [`NetworkModel`] (per-message latency + bandwidth)
-//!   to the round timings, for the cost-of-resilience experiments (E8).
+//! * [`SyncTrainer`] — [`ExecutionStrategy::Sequential`], the reference
+//!   engine;
+//! * [`ThreadedTrainer`] — [`ExecutionStrategy::Threaded`]: honest worker
+//!   gradients fan out over the `rayon` pool and a simulated
+//!   [`NetworkModel`] (per-message latency + bandwidth) is charged to the
+//!   round timings, for the cost-of-resilience experiments (E8).
 //!
-//! Both engines are deterministic functions of
-//! [`TrainingConfig::seed`] — worker, attack and network randomness are
-//! independent ChaCha streams derived from it — so the two engines produce
-//! **identical parameter trajectories** and experiments are exactly
-//! reproducible.
+//! The engine is a deterministic function of [`TrainingConfig::seed`] —
+//! worker, attack and network randomness are independent ChaCha streams
+//! derived from it — so every strategy produces **identical parameter
+//! trajectories** and experiments are exactly reproducible.
 //!
-//! Performance notes: the per-round proposal buffer is allocated once and
-//! reused; the aggregation step is timed separately from the full round so
-//! the server-side `O(n²·d)` cost of Krum stays visible in the metrics.
+//! Performance notes: the per-round proposal buffer and the aggregation
+//! workspace ([`krum_core::AggregationContext`]) are allocated once and
+//! reused, making the server-side aggregation path allocation-free in the
+//! steady state; each pipeline phase is timed separately so the `O(n²·d)`
+//! cost of Krum stays visible in the metrics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,19 +37,22 @@
 mod config;
 mod engine;
 mod error;
+mod network;
 mod sync;
 mod threaded;
 
 pub use config::{ClusterSpec, LearningRateSchedule, TrainingConfig};
+pub use engine::{ExecutionStrategy, RoundEngine};
 pub use error::TrainError;
+pub use network::{LatencyModel, NetworkModel};
 pub use sync::SyncTrainer;
-pub use threaded::{LatencyModel, NetworkModel, ThreadedTrainer};
+pub use threaded::ThreadedTrainer;
 
 /// Convenience prelude for the distributed-training crate.
 pub mod prelude {
     pub use crate::{
-        ClusterSpec, LatencyModel, LearningRateSchedule, NetworkModel, SyncTrainer,
-        ThreadedTrainer, TrainError, TrainingConfig,
+        ClusterSpec, ExecutionStrategy, LatencyModel, LearningRateSchedule, NetworkModel,
+        RoundEngine, SyncTrainer, ThreadedTrainer, TrainError, TrainingConfig,
     };
 }
 
@@ -234,6 +243,83 @@ mod tests {
         assert_eq!(threaded.network(), network);
         assert_eq!(threaded.cluster().honest(), 5);
         assert_eq!(threaded.dim(), dim);
+        // Per-phase accounting: the sequential engine charges no network
+        // time; the threaded engine records the simulated barrier.
+        assert_eq!(seq_history.mean_network_nanos(), 0.0);
+        assert!(thr_history.mean_network_nanos() >= 2_000.0);
+        assert!(seq_history.mean_propose_nanos() > 0.0);
+        assert!(thr_history.mean_attack_nanos() > 0.0);
+    }
+
+    #[test]
+    fn round_engine_is_usable_directly() {
+        let dim = 4;
+        let cluster = ClusterSpec::new(5, 1).unwrap();
+        let mut engine = RoundEngine::new(
+            cluster,
+            Box::new(Krum::new(5, 1).unwrap()),
+            Box::new(NoAttack::new()),
+            estimators(4, dim, 0.0),
+            None,
+            config(3, dim),
+            ExecutionStrategy::Sequential,
+        )
+        .unwrap();
+        assert_eq!(engine.strategy(), ExecutionStrategy::Sequential);
+        assert_eq!(engine.config().rounds, 3);
+        engine.set_aggregation_policy(krum_core::ExecutionPolicy::Sequential);
+        let mut params = Vector::filled(dim, 1.0);
+        let record = engine.step(&mut params, 0).unwrap();
+        // Zero noise: the aggregate is exactly the gradient x.
+        assert!(params.distance(&Vector::filled(dim, 0.8)) < 1e-12);
+        assert!(record.aggregation_nanos > 0);
+        assert!(record.propose_nanos > 0);
+        assert_eq!(record.network_nanos, 0);
+        // The pipeline phases are all contained in the round wall-clock.
+        assert!(
+            record.round_nanos
+                >= record.propose_nanos + record.attack_nanos + record.aggregation_nanos
+        );
+        // A history produced directly by the engine carries the metadata.
+        let history = engine.new_history();
+        assert_eq!(history.workers, 5);
+        assert!(history.aggregator.contains("krum"));
+    }
+
+    #[test]
+    fn engine_strategies_match_trainer_trajectories() {
+        // The same RoundEngine drives both facades; a bare engine with the
+        // Threaded strategy must reproduce the ThreadedTrainer trajectory.
+        let dim = 6;
+        let cluster = ClusterSpec::new(7, 2).unwrap();
+        let network = NetworkModel {
+            latency: LatencyModel::Constant { nanos: 500 },
+            nanos_per_byte: 0.2,
+        };
+        let mut engine = RoundEngine::new(
+            cluster,
+            Box::new(Krum::new(7, 2).unwrap()),
+            Box::new(SignFlip::new(2.5).unwrap()),
+            estimators(5, dim, 0.4),
+            Some(estimators(1, dim, 0.4).pop().unwrap()),
+            config(12, dim),
+            ExecutionStrategy::Threaded { network },
+        )
+        .unwrap();
+        let mut trainer = ThreadedTrainer::new(
+            cluster,
+            Box::new(Krum::new(7, 2).unwrap()),
+            Box::new(SignFlip::new(2.5).unwrap()),
+            estimators(6, dim, 0.4),
+            config(12, dim),
+            network,
+        )
+        .unwrap();
+        let start = Vector::filled(dim, 1.0);
+        let (a, _) = engine.run(start.clone()).unwrap();
+        let (b, _) = trainer.run(start).unwrap();
+        assert_eq!(a, b);
+        assert!(trainer.engine_mut().strategy().network().is_some());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The simulated network charged to round metrics by the threaded engine.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One-way message latency model for the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Fixed latency.
+    Constant {
+        /// One-way latency in nanoseconds.
+        nanos: u64,
+    },
+    /// Latency drawn uniformly from `[min_nanos, max_nanos]` per message.
+    Uniform {
+        /// Minimum one-way latency in nanoseconds.
+        min_nanos: u64,
+        /// Maximum one-way latency in nanoseconds.
+        max_nanos: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one one-way latency.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        match *self {
+            Self::Constant { nanos } => nanos,
+            Self::Uniform {
+                min_nanos,
+                max_nanos,
+            } => {
+                if min_nanos >= max_nanos {
+                    min_nanos
+                } else {
+                    rng.gen_range(min_nanos..=max_nanos)
+                }
+            }
+        }
+    }
+}
+
+/// Simulated network: per-message latency plus byte-proportional transfer
+/// time. One round charges, per worker, a parameter broadcast down and a
+/// gradient push up (both `8·d` bytes), and the synchronous barrier waits
+/// for the slowest worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-message one-way latency.
+    pub latency: LatencyModel,
+    /// Transfer cost per payload byte, in nanoseconds.
+    pub nanos_per_byte: f64,
+}
+
+impl NetworkModel {
+    /// Simulated nanoseconds the synchronous barrier spends on the network
+    /// for one round: the slowest worker's round trip.
+    pub(crate) fn round_nanos(&self, workers: usize, dim: usize, rng: &mut ChaCha8Rng) -> u128 {
+        let payload = (dim as f64 * 8.0 * self.nanos_per_byte).max(0.0) as u128;
+        let mut slowest: u128 = 0;
+        for _ in 0..workers {
+            let down = self.latency.sample(rng) as u128;
+            let up = self.latency.sample(rng) as u128;
+            slowest = slowest.max(down + up + 2 * payload);
+        }
+        slowest
+    }
+}

@@ -7,7 +7,7 @@ use krum_models::GradientEstimator;
 use krum_tensor::Vector;
 
 use crate::config::{ClusterSpec, TrainingConfig};
-use crate::engine::EngineCore;
+use crate::engine::{ExecutionStrategy, RoundEngine};
 use crate::error::TrainError;
 
 /// The synchronous parameter server of the paper's model section, executed
@@ -15,12 +15,13 @@ use crate::error::TrainError;
 /// broadcast parameters, the Byzantine workers forge theirs with full
 /// knowledge of the round, and the server applies the aggregation rule.
 ///
-/// The engine is deterministic: every random stream derives from
-/// [`TrainingConfig::seed`], so a run is exactly reproducible (and matches
-/// the [`ThreadedTrainer`](crate::ThreadedTrainer) trajectory for the same
-/// seed).
+/// A thin wrapper over [`RoundEngine`] with
+/// [`ExecutionStrategy::Sequential`]. The engine is deterministic: every
+/// random stream derives from [`TrainingConfig::seed`], so a run is exactly
+/// reproducible (and matches the [`ThreadedTrainer`](crate::ThreadedTrainer)
+/// trajectory for the same seed).
 pub struct SyncTrainer {
-    core: EngineCore,
+    engine: RoundEngine,
 }
 
 impl SyncTrainer {
@@ -42,7 +43,15 @@ impl SyncTrainer {
         config: TrainingConfig,
     ) -> Result<Self, TrainError> {
         Ok(Self {
-            core: EngineCore::new(cluster, aggregator, attack, estimators, None, config)?,
+            engine: RoundEngine::new(
+                cluster,
+                aggregator,
+                attack,
+                estimators,
+                None,
+                config,
+                ExecutionStrategy::Sequential,
+            )?,
         })
     }
 
@@ -53,7 +62,7 @@ impl SyncTrainer {
         mut self,
         probe: impl Fn(&Vector) -> Option<f64> + Send + Sync + 'static,
     ) -> Self {
-        self.core.accuracy_probe = Some(Box::new(probe));
+        self.engine.set_accuracy_probe(Box::new(probe));
         self
     }
 
@@ -65,13 +74,7 @@ impl SyncTrainer {
     /// Returns [`TrainError`] when a worker, the attack or the aggregator
     /// fails mid-run.
     pub fn run(&mut self, start: Vector) -> Result<(Vector, TrainingHistory), TrainError> {
-        let mut params = start;
-        let mut history = self.core.new_history();
-        for round in 0..self.core.config.rounds {
-            let record = self.core.step(&mut params, round, false)?;
-            history.push(record);
-        }
-        Ok((params, history))
+        self.engine.run(start)
     }
 
     /// Runs a single round from the given parameters (without mutating them),
@@ -86,18 +89,22 @@ impl SyncTrainer {
         params: &Vector,
         round: usize,
     ) -> Result<(Vector, RoundRecord), TrainError> {
-        let mut next = params.clone();
-        let record = self.core.step(&mut next, round, false)?;
-        Ok((next, record))
+        self.engine.run_round(params, round)
     }
 
     /// The cluster this trainer drives.
     pub fn cluster(&self) -> ClusterSpec {
-        self.core.cluster
+        self.engine.cluster()
     }
 
     /// Model dimension `d`.
     pub fn dim(&self) -> usize {
-        self.core.dim
+        self.engine.dim()
+    }
+
+    /// The shared round engine backing this trainer (e.g. to adjust the
+    /// aggregation execution policy or drive rounds directly).
+    pub fn engine_mut(&mut self) -> &mut RoundEngine {
+        &mut self.engine
     }
 }

@@ -5,90 +5,24 @@ use krum_core::Aggregator;
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
 use krum_tensor::Vector;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::config::{ClusterSpec, TrainingConfig};
-use crate::engine::{stream_rng, EngineCore, NETWORK_STREAM};
+use crate::engine::{ExecutionStrategy, RoundEngine};
 use crate::error::TrainError;
-
-/// One-way message latency model for the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum LatencyModel {
-    /// Fixed latency.
-    Constant {
-        /// One-way latency in nanoseconds.
-        nanos: u64,
-    },
-    /// Latency drawn uniformly from `[min_nanos, max_nanos]` per message.
-    Uniform {
-        /// Minimum one-way latency in nanoseconds.
-        min_nanos: u64,
-        /// Maximum one-way latency in nanoseconds.
-        max_nanos: u64,
-    },
-}
-
-impl LatencyModel {
-    /// Draws one one-way latency.
-    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
-        match *self {
-            Self::Constant { nanos } => nanos,
-            Self::Uniform {
-                min_nanos,
-                max_nanos,
-            } => {
-                if min_nanos >= max_nanos {
-                    min_nanos
-                } else {
-                    rng.gen_range(min_nanos..=max_nanos)
-                }
-            }
-        }
-    }
-}
-
-/// Simulated network: per-message latency plus byte-proportional transfer
-/// time. One round charges, per worker, a parameter broadcast down and a
-/// gradient push up (both `8·d` bytes), and the synchronous barrier waits
-/// for the slowest worker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct NetworkModel {
-    /// Per-message one-way latency.
-    pub latency: LatencyModel,
-    /// Transfer cost per payload byte, in nanoseconds.
-    pub nanos_per_byte: f64,
-}
-
-impl NetworkModel {
-    /// Simulated nanoseconds the synchronous barrier spends on the network
-    /// for one round: the slowest worker's round trip.
-    pub(crate) fn round_nanos(&self, workers: usize, dim: usize, rng: &mut ChaCha8Rng) -> u128 {
-        let payload = (dim as f64 * 8.0 * self.nanos_per_byte).max(0.0) as u128;
-        let mut slowest: u128 = 0;
-        for _ in 0..workers {
-            let down = self.latency.sample(rng) as u128;
-            let up = self.latency.sample(rng) as u128;
-            slowest = slowest.max(down + up + 2 * payload);
-        }
-        slowest
-    }
-}
+use crate::network::NetworkModel;
 
 /// The threaded variant of [`SyncTrainer`](crate::SyncTrainer): honest
 /// worker gradients are computed in parallel on the `rayon` pool, and a
 /// simulated [`NetworkModel`] charges communication time to each round's
 /// wall-clock metrics.
 ///
-/// Because every worker owns an independent RNG stream derived from the
-/// master seed, the parameter trajectory is **identical** to the sequential
-/// engine's for the same configuration — parallelism and the simulated
-/// network change only the timing columns.
+/// A thin wrapper over [`RoundEngine`] with
+/// [`ExecutionStrategy::Threaded`]. Because every worker owns an independent
+/// RNG stream derived from the master seed, the parameter trajectory is
+/// **identical** to the sequential engine's for the same configuration —
+/// parallelism and the simulated network change only the timing columns.
 pub struct ThreadedTrainer {
-    core: EngineCore,
-    network: NetworkModel,
-    network_rng: ChaCha8Rng,
+    engine: RoundEngine,
 }
 
 impl ThreadedTrainer {
@@ -120,11 +54,16 @@ impl ThreadedTrainer {
             )));
         }
         let probe = estimators.pop().expect("length checked above");
-        let network_rng = stream_rng(config.seed, NETWORK_STREAM);
         Ok(Self {
-            core: EngineCore::new(cluster, aggregator, attack, estimators, Some(probe), config)?,
-            network,
-            network_rng,
+            engine: RoundEngine::new(
+                cluster,
+                aggregator,
+                attack,
+                estimators,
+                Some(probe),
+                config,
+                ExecutionStrategy::Threaded { network },
+            )?,
         })
     }
 
@@ -134,7 +73,7 @@ impl ThreadedTrainer {
         mut self,
         probe: impl Fn(&Vector) -> Option<f64> + Send + Sync + 'static,
     ) -> Self {
-        self.core.accuracy_probe = Some(Box::new(probe));
+        self.engine.set_accuracy_probe(Box::new(probe));
         self
     }
 
@@ -145,13 +84,7 @@ impl ThreadedTrainer {
     /// Returns [`TrainError`] when a worker, the attack or the aggregator
     /// fails mid-run.
     pub fn run(&mut self, start: Vector) -> Result<(Vector, TrainingHistory), TrainError> {
-        let mut params = start;
-        let mut history = self.core.new_history();
-        for round in 0..self.core.config.rounds {
-            let record = self.step(&mut params, round)?;
-            history.push(record);
-        }
-        Ok((params, history))
+        self.engine.run(start)
     }
 
     /// Runs a single round from the given parameters (without mutating them).
@@ -164,34 +97,29 @@ impl ThreadedTrainer {
         params: &Vector,
         round: usize,
     ) -> Result<(Vector, RoundRecord), TrainError> {
-        let mut next = params.clone();
-        let record = self.step(&mut next, round)?;
-        Ok((next, record))
-    }
-
-    fn step(&mut self, params: &mut Vector, round: usize) -> Result<RoundRecord, TrainError> {
-        let mut record = self.core.step(params, round, true)?;
-        let simulated = self.network.round_nanos(
-            self.core.cluster.workers(),
-            self.core.dim,
-            &mut self.network_rng,
-        );
-        record.round_nanos += simulated;
-        Ok(record)
+        self.engine.run_round(params, round)
     }
 
     /// The cluster this trainer drives.
     pub fn cluster(&self) -> ClusterSpec {
-        self.core.cluster
+        self.engine.cluster()
     }
 
     /// Model dimension `d`.
     pub fn dim(&self) -> usize {
-        self.core.dim
+        self.engine.dim()
     }
 
     /// The simulated network model.
     pub fn network(&self) -> NetworkModel {
-        self.network
+        self.engine
+            .strategy()
+            .network()
+            .expect("threaded trainer always carries a network model")
+    }
+
+    /// The shared round engine backing this trainer.
+    pub fn engine_mut(&mut self) -> &mut RoundEngine {
+        &mut self.engine
     }
 }

@@ -131,28 +131,38 @@ impl TrainingHistory {
         stats
     }
 
-    /// Mean aggregation time per round in nanoseconds (0 when empty).
-    pub fn mean_aggregation_nanos(&self) -> f64 {
+    fn mean_nanos(&self, pick: impl Fn(&RoundRecord) -> u128) -> f64 {
         if self.rounds.is_empty() {
             return 0.0;
         }
-        self.rounds
-            .iter()
-            .map(|r| r.aggregation_nanos as f64)
-            .sum::<f64>()
-            / self.rounds.len() as f64
+        self.rounds.iter().map(|r| pick(r) as f64).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// Mean aggregation time per round in nanoseconds (0 when empty).
+    pub fn mean_aggregation_nanos(&self) -> f64 {
+        self.mean_nanos(|r| r.aggregation_nanos)
+    }
+
+    /// Mean propose-phase (worker gradient) time per round in nanoseconds
+    /// (0 when empty).
+    pub fn mean_propose_nanos(&self) -> f64 {
+        self.mean_nanos(|r| r.propose_nanos)
+    }
+
+    /// Mean attack-phase time per round in nanoseconds (0 when empty).
+    pub fn mean_attack_nanos(&self) -> f64 {
+        self.mean_nanos(|r| r.attack_nanos)
+    }
+
+    /// Mean simulated-network charge per round in nanoseconds (0 when empty
+    /// or when no network model is attached).
+    pub fn mean_network_nanos(&self) -> f64 {
+        self.mean_nanos(|r| r.network_nanos)
     }
 
     /// Mean full-round time in nanoseconds (0 when empty).
     pub fn mean_round_nanos(&self) -> f64 {
-        if self.rounds.is_empty() {
-            return 0.0;
-        }
-        self.rounds
-            .iter()
-            .map(|r| r.round_nanos as f64)
-            .sum::<f64>()
-            / self.rounds.len() as f64
+        self.mean_nanos(|r| r.round_nanos)
     }
 
     /// Builds a [`ConvergenceSummary`] over the recorded rounds.
@@ -282,11 +292,20 @@ mod tests {
         for i in 0..3 {
             let mut r = RoundRecord::new(i, 1.0, 0.1);
             r.aggregation_nanos = 100 * (i as u128 + 1);
+            r.propose_nanos = 50;
+            r.attack_nanos = 10 * (i as u128 + 1);
+            r.network_nanos = 400;
             r.round_nanos = 1000;
             h.push(r);
         }
         assert!((h.mean_aggregation_nanos() - 200.0).abs() < 1e-9);
         assert!((h.mean_round_nanos() - 1000.0).abs() < 1e-9);
+        assert!((h.mean_propose_nanos() - 50.0).abs() < 1e-9);
+        assert!((h.mean_attack_nanos() - 20.0).abs() < 1e-9);
+        assert!((h.mean_network_nanos() - 400.0).abs() < 1e-9);
+        let empty = TrainingHistory::new("e", "krum", "none", 4, 0);
+        assert_eq!(empty.mean_propose_nanos(), 0.0);
+        assert_eq!(empty.mean_network_nanos(), 0.0);
     }
 
     #[test]

@@ -32,9 +32,19 @@ pub struct RoundRecord {
     pub selected_byzantine: Option<bool>,
     /// Learning rate `γ_t` used this round.
     pub learning_rate: f64,
+    /// Wall-clock duration of the propose phase (honest workers estimating
+    /// gradients at the broadcast parameters), in nanoseconds.
+    pub propose_nanos: u128,
+    /// Wall-clock duration of the attack phase (the adversary observing the
+    /// round and forging its proposals), in nanoseconds.
+    pub attack_nanos: u128,
     /// Wall-clock duration of the aggregation step, in nanoseconds.
     pub aggregation_nanos: u128,
-    /// Wall-clock duration of the full round, in nanoseconds.
+    /// Simulated network time charged to this round (zero when no network
+    /// model is attached), in nanoseconds. Included in `round_nanos`.
+    pub network_nanos: u128,
+    /// Wall-clock duration of the full round (including any simulated
+    /// network charge), in nanoseconds.
     pub round_nanos: u128,
 }
 
@@ -53,16 +63,20 @@ impl RoundRecord {
             selected_worker: None,
             selected_byzantine: None,
             learning_rate,
+            propose_nanos: 0,
+            attack_nanos: 0,
             aggregation_nanos: 0,
+            network_nanos: 0,
             round_nanos: 0,
         }
     }
 
-    /// CSV header matching [`RoundRecord::to_csv_row`].
+    /// CSV header matching [`RoundRecord::to_csv_row`]. The timing columns
+    /// follow the round pipeline: propose → attack → aggregate → network.
     pub fn csv_header() -> &'static str {
         "round,loss,accuracy,true_gradient_norm,aggregate_norm,alignment,\
          distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
-         aggregation_nanos,round_nanos"
+         propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos"
     }
 
     /// Serialises the record as one CSV row (empty cells for `None`).
@@ -71,7 +85,7 @@ impl RoundRecord {
             v.as_ref().map(ToString::to_string).unwrap_or_default()
         }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             opt(&self.loss),
             opt(&self.accuracy),
@@ -82,7 +96,10 @@ impl RoundRecord {
             opt(&self.selected_worker),
             opt(&self.selected_byzantine),
             self.learning_rate,
+            self.propose_nanos,
+            self.attack_nanos,
             self.aggregation_nanos,
+            self.network_nanos,
             self.round_nanos,
         )
     }
@@ -101,6 +118,28 @@ mod tests {
         assert!(r.loss.is_none());
         assert!(r.selected_worker.is_none());
         assert_eq!(r.aggregation_nanos, 0);
+        assert_eq!(r.propose_nanos, 0);
+        assert_eq!(r.attack_nanos, 0);
+        assert_eq!(r.network_nanos, 0);
+    }
+
+    #[test]
+    fn phase_columns_appear_in_pipeline_order() {
+        let header = RoundRecord::csv_header();
+        let propose = header.find("propose_nanos").unwrap();
+        let attack = header.find("attack_nanos").unwrap();
+        let aggregation = header.find("aggregation_nanos").unwrap();
+        let network = header.find("network_nanos").unwrap();
+        let round = header.find("round_nanos").unwrap();
+        assert!(propose < attack && attack < aggregation);
+        assert!(aggregation < network && network < round);
+        let mut r = RoundRecord::new(0, 1.0, 0.1);
+        r.propose_nanos = 11;
+        r.attack_nanos = 22;
+        r.aggregation_nanos = 33;
+        r.network_nanos = 44;
+        r.round_nanos = 110;
+        assert!(r.to_csv_row().ends_with("11,22,33,44,110"));
     }
 
     #[test]

@@ -198,6 +198,27 @@ impl Vector {
         }
     }
 
+    /// Sets every coordinate to `value` without changing the dimension (or
+    /// reallocating).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Resizes the vector to `dim` coordinates in place, filling any new
+    /// coordinates with `value`. Shrinking keeps the existing allocation, so
+    /// repeated resizes to the same dimension never reallocate.
+    pub fn resize(&mut self, dim: usize, value: f64) {
+        self.data.resize(dim, value);
+    }
+
+    /// Overwrites the vector with the contents of `src`, adopting its length.
+    /// Reuses the existing allocation whenever the capacity suffices — the
+    /// zero-allocation primitive behind the aggregation workspace.
+    pub fn assign(&mut self, src: &[f64]) {
+        self.data.clear();
+        self.data.extend_from_slice(src);
+    }
+
     /// Returns `self * alpha` without consuming `self`.
     pub fn scaled(&self, alpha: f64) -> Self {
         Self {
@@ -571,6 +592,20 @@ mod tests {
         let b = Vector::zeros(4);
         assert!(matches!(a.try_dot(&b), Err(TensorError::Shape(_))));
         assert!(a.try_squared_distance(&b).is_err());
+    }
+
+    #[test]
+    fn fill_resize_assign_reuse_the_allocation() {
+        let mut v = Vector::from(vec![1.0, 2.0, 3.0, 4.0]);
+        v.fill(7.0);
+        assert_eq!(v.as_slice(), &[7.0; 4]);
+        v.resize(2, 0.0);
+        assert_eq!(v.as_slice(), &[7.0, 7.0]);
+        v.resize(4, 9.0);
+        assert_eq!(v.as_slice(), &[7.0, 7.0, 9.0, 9.0]);
+        v.assign(&[1.5, 2.5]);
+        assert_eq!(v.as_slice(), &[1.5, 2.5]);
+        assert_eq!(v.dim(), 2);
     }
 
     #[test]

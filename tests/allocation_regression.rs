@@ -1,0 +1,147 @@
+//! Allocation regression test for the workspace-backed aggregation path.
+//!
+//! The `AggregationContext` contract: once the workspace has warmed up on a
+//! proposal shape `(n, d)`, repeated `aggregate_in` calls under the
+//! sequential execution policy perform **zero heap allocations**. This test
+//! installs a counting global allocator and pins that contract for Krum,
+//! Multi-Krum, the coordinate-wise median and the trimmed mean (the rules
+//! named by the server hot paths), plus the allocation-free kernel shared
+//! with `closest-to-barycenter`.
+//!
+//! The counter is thread-local so the test stays meaningful even if the
+//! harness runs other tests concurrently in the same process; for the same
+//! reason everything lives in a single `#[test]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use krum::aggregation::{
+    AggregationContext, Aggregator, ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy,
+    Krum, MultiKrum, TrimmedMean,
+};
+use krum::tensor::Vector;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts every allocation made by the current thread; delegates the actual
+/// memory management to the system allocator.
+///
+/// Deliberately duplicated in `crates/bench/src/bin/round_pipeline.rs`
+/// (keep the two in sync): a shared home would have to live in a library
+/// crate, and every crate in this workspace forbids `unsafe_code`, which a
+/// `GlobalAlloc` impl requires.
+struct CountingAllocator;
+
+fn bump() {
+    // `try_with` so allocations during thread teardown never panic.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+/// Deterministic pseudo-random proposals (no RNG crate involvement so the
+/// measured region stays simple).
+fn proposals(n: usize, dim: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|w| {
+            Vector::from(
+                (0..dim)
+                    .map(|c| {
+                        let x = (w * 31 + c * 7 + 13) as f64;
+                        (x * 0.618_033_988_749).fract() * 2.0 - 1.0
+                    })
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn aggregation_path_is_allocation_free_after_warmup() {
+    // n = 24 exercises sorts well past any insertion-sort cutoff; d = 257
+    // straddles the kernel's 32-lane chunks and the median block size.
+    let n = 24;
+    let f = 7; // 2f + 2 < n
+    let dim = 257;
+    let ps = proposals(n, dim);
+
+    let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
+        ("krum", Box::new(Krum::new(n, f).unwrap())),
+        ("multi-krum", Box::new(MultiKrum::new(n, f, n - f).unwrap())),
+        ("median", Box::new(CoordinateWiseMedian::new())),
+        ("trimmed-mean", Box::new(TrimmedMean::new(f))),
+        (
+            "closest-to-barycenter",
+            Box::new(ClosestToBarycenter::new()),
+        ),
+    ];
+
+    for (name, rule) in &rules {
+        // The zero-allocation guarantee is tied to the sequential policy:
+        // the thread-pool fan-out necessarily allocates task bookkeeping.
+        let mut ctx = AggregationContext::with_policy(ExecutionPolicy::Sequential);
+
+        // Warm-up: grows every buffer to the (n, d) high-water mark.
+        for _ in 0..2 {
+            rule.aggregate_in(&mut ctx, &ps).unwrap();
+        }
+        let expected = rule.aggregate_detailed(&ps).unwrap();
+
+        let before = allocations();
+        for _ in 0..10 {
+            rule.aggregate_in(&mut ctx, &ps).unwrap();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "rule `{name}` allocated {} times in 10 warm aggregate_in calls",
+            after - before
+        );
+
+        // The warm path still computes the right answer.
+        assert_eq!(
+            ctx.output(),
+            &expected,
+            "rule `{name}` warm output diverged from the allocating path"
+        );
+    }
+
+    // Sanity check that the counter actually counts: an allocating call
+    // must register.
+    let krum = Krum::new(n, f).unwrap();
+    let before = allocations();
+    let _ = krum.aggregate_detailed(&ps).unwrap();
+    assert!(
+        allocations() > before,
+        "counting allocator failed to observe the allocating path"
+    );
+}

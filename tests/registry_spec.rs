@@ -1,0 +1,136 @@
+//! Property tests for the aggregation-rule registry's spec parsing.
+//!
+//! `build_aggregator` is the boundary where user-controlled strings (CLI
+//! flags, config files) enter the system, so it must never panic: every
+//! canonical name must build on a valid cluster shape, and every malformed
+//! spec or out-of-range `(n, f)` must come back as
+//! `AggregationError::InvalidConfig` (or another structured error), never a
+//! panic or an unwrap.
+
+use krum::aggregation::{build_aggregator, AggregationError, Aggregator, RULE_NAMES};
+use krum::tensor::Vector;
+use proptest::prelude::*;
+
+/// Canonical names round-trip: each builds on a valid shape, aggregates, and
+/// reports a display name that starts with the spec it was built from (so
+/// the name printed in experiment tables can be traced back to a spec).
+#[test]
+fn canonical_names_round_trip() {
+    for &name in RULE_NAMES {
+        let rule = build_aggregator(name, 9, 2)
+            .unwrap_or_else(|e| panic!("canonical rule `{name}` failed to build: {e}"));
+        let display = rule.name();
+        let base = display.split('(').next().unwrap();
+        assert!(
+            name == base || name == "median" && base == "coordinate-median",
+            "rule `{name}` reports unrelated display name `{display}`"
+        );
+        // Rebuilding from the canonical name is stable.
+        let again = build_aggregator(name, 9, 2).unwrap();
+        assert_eq!(display, again.name());
+        let proposals = vec![Vector::zeros(3); 9];
+        assert_eq!(rule.aggregate(&proposals).unwrap().dim(), 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary (name, params, n, f) combinations never panic — they either
+    /// build a working rule or return a structured error.
+    #[test]
+    fn arbitrary_specs_never_panic(
+        name_idx in 0usize..12,
+        key_idx in 0usize..6,
+        value in 0usize..64,
+        decoration in 0usize..6,
+        n in 0usize..40,
+        f in 0usize..40,
+    ) {
+        let name = [
+            "average",
+            "krum",
+            "multi-krum",
+            "median",
+            "trimmed-mean",
+            "geometric-median",
+            "closest-to-barycenter",
+            "min-diameter-subset",
+            "uniform-weighted-average",
+            "coordinate-median",
+            "zeno",
+            "",
+        ][name_idx];
+        let key = ["m", "trim", "k", "", "m m", "=m"][key_idx];
+        let spec = match decoration {
+            0 => name.to_string(),
+            1 => format!("{name}:{key}={value}"),
+            2 => format!("{name}:{key}"),
+            3 => format!("{name}:{key}={value},{key}={value}"),
+            4 => format!("{name}:{key}=not-a-number"),
+            _ => format!(" {name} : {key} = {value} "),
+        };
+        // Must not panic; on success the rule must aggregate or reject
+        // structurally (wrong worker count etc.), still without panicking.
+        match build_aggregator(&spec, n, f) {
+            Ok(rule) => {
+                let proposals = vec![Vector::zeros(2); n];
+                let _ = rule.aggregate_detailed(&proposals);
+                prop_assert!(!rule.name().is_empty());
+            }
+            Err(e) => {
+                // Registry failures surface as structured config errors.
+                prop_assert!(
+                    matches!(e, AggregationError::InvalidConfig { .. }),
+                    "spec `{}` (n={}, f={}) returned unexpected error {:?}",
+                    spec, n, f, e
+                );
+            }
+        }
+    }
+
+    /// Malformed `key=value` parameter lists are always InvalidConfig.
+    #[test]
+    fn malformed_params_are_invalid_config(
+        name_idx in 0usize..2,
+        junk_idx in 0usize..5,
+    ) {
+        let name = ["multi-krum", "trimmed-mean"][name_idx];
+        let junk = ["m", "=3", "m=", "m=3.5", "m=-1"][junk_idx];
+        let spec = format!("{name}:{junk}");
+        let result = build_aggregator(&spec, 9, 2);
+        prop_assert!(
+            matches!(result, Err(AggregationError::InvalidConfig { .. })),
+            "spec `{}` should be InvalidConfig, got {:?}",
+            spec,
+            result.map(|r| r.name())
+        );
+    }
+
+    /// Out-of-range cluster shapes surface the underlying rule's
+    /// InvalidConfig instead of panicking: Krum and Multi-Krum require
+    /// 2f + 2 < n, the subset rule caps n.
+    #[test]
+    fn out_of_range_shapes_are_invalid_config(n in 0usize..80, f in 0usize..80) {
+        for spec in ["krum", "multi-krum"] {
+            let result = build_aggregator(spec, n, f);
+            if 2 * f + 2 >= n {
+                prop_assert!(
+                    matches!(result, Err(AggregationError::InvalidConfig { .. })),
+                    "{spec} with n={n}, f={f} must be rejected"
+                );
+            } else {
+                prop_assert!(result.is_ok(), "{spec} with n={n}, f={f} must build");
+            }
+        }
+        let subset = build_aggregator("min-diameter-subset", n, f);
+        if n == 0 || f >= n || n > 30 {
+            prop_assert!(matches!(
+                subset,
+                Err(AggregationError::InvalidConfig { .. })
+            ));
+        } else {
+            prop_assert!(subset.is_ok());
+        }
+    }
+}
