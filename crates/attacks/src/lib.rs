@@ -30,16 +30,23 @@
 //! * [`Alternating`] — cycles through a schedule of inner attacks (extension);
 //! * [`KrumAware`] — a stealth attack that stays inside the honest cloud so
 //!   Krum occasionally selects it (extension).
+//!
+//! Every non-composite strategy is also constructible from a typed, serde
+//! round-trippable [`AttackSpec`] (or its textual form such as
+//! `"sign-flip:scale=5"` via [`build_attack`]) — the registry the scenario
+//! API and the `krum` CLI drive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attack;
 mod composite;
+mod spec;
 mod strategies;
 
 pub use attack::{Attack, AttackContext, AttackError};
 pub use composite::{Alternating, KrumAware};
+pub use spec::{build_attack, AttackSpec, ATTACK_NAMES};
 pub use strategies::{
     Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack, OmniscientNegative,
     SignFlip,
@@ -48,7 +55,7 @@ pub use strategies::{
 /// Convenience prelude for the attacks crate.
 pub mod prelude {
     pub use crate::{
-        Alternating, Attack, AttackContext, AttackError, Collusion, ConstantTarget, GaussianNoise,
-        KrumAware, LittleIsEnough, Mimic, NoAttack, OmniscientNegative, SignFlip,
+        Alternating, Attack, AttackContext, AttackError, AttackSpec, Collusion, ConstantTarget,
+        GaussianNoise, KrumAware, LittleIsEnough, Mimic, NoAttack, OmniscientNegative, SignFlip,
     };
 }

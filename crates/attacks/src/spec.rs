@@ -1,0 +1,413 @@
+//! Typed attack specifications and the registry built on them.
+//!
+//! Mirrors `krum_core::RuleSpec` for the adversary side: an [`AttackSpec`] is
+//! a serialisable value naming a Byzantine strategy and its parameters, with
+//! `Display`/`FromStr` round-tripping the canonical textual form
+//! (`"sign-flip:scale=5"`, `"gaussian-noise:std=100"`). The model dimension
+//! is supplied at [`AttackSpec::build`] time so one spec can be swept across
+//! workloads. Composite attacks ([`Alternating`](crate::Alternating)) hold
+//! arbitrary boxed inner attacks and are constructed programmatically, not
+//! through the spec registry.
+
+use std::fmt;
+use std::str::FromStr;
+
+use krum_tensor::Vector;
+
+use crate::attack::{Attack, AttackError};
+use crate::composite::KrumAware;
+use crate::strategies::{
+    Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack, OmniscientNegative,
+    SignFlip,
+};
+
+/// Names of every attack the spec registry can build (canonical spellings).
+pub const ATTACK_NAMES: &[&str] = &[
+    "none",
+    "constant-target",
+    "collusion",
+    "gaussian-noise",
+    "sign-flip",
+    "omniscient-negative",
+    "little-is-enough",
+    "mimic",
+    "krum-aware",
+];
+
+/// A typed, serialisable specification of a Byzantine strategy.
+///
+/// `Display` renders the canonical textual form and `FromStr` parses it back
+/// — `spec.to_string().parse()` is the identity for every variant. Omitted
+/// parameters parse to each strategy's documented default. Serde serialises
+/// the spec as the same string, so a JSON scenario reads
+/// `"attack": "omniscient-negative:scale=4"`. Parameter *values* are only
+/// range-checked at [`AttackSpec::build`] time (parsing records what was
+/// written; building runs the strategies' constructors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackSpec {
+    /// Byzantine slots behave honestly ([`NoAttack`]).
+    None,
+    /// Lemma 3.1: force the average to equal `(fill, …, fill)`
+    /// ([`ConstantTarget`] with a constant-filled target vector).
+    ConstantTarget {
+        /// Per-coordinate value of the enforced aggregate (default `10`).
+        fill: f64,
+    },
+    /// The Figure-2 collusion ([`Collusion`]).
+    Collusion {
+        /// Decoy distance from the honest mean (default `100`).
+        magnitude: f64,
+    },
+    /// Large-variance random proposals ([`GaussianNoise`]).
+    GaussianNoise {
+        /// Per-coordinate standard deviation (default `100`).
+        std: f64,
+    },
+    /// Negated, rescaled honest mean ([`SignFlip`]).
+    SignFlip {
+        /// Magnification of the flipped mean (default `2`).
+        scale: f64,
+    },
+    /// Negated, rescaled true gradient ([`OmniscientNegative`]).
+    OmniscientNegative {
+        /// Magnification of the negated gradient (default `2`).
+        scale: f64,
+    },
+    /// Small per-coordinate shift in honest-std units ([`LittleIsEnough`]).
+    LittleIsEnough {
+        /// Shift in units of the per-coordinate std (default `1.5`).
+        z: f64,
+    },
+    /// Copy an honest proposal ([`Mimic`]).
+    Mimic {
+        /// Index of the copied honest worker (default `0`).
+        victim: usize,
+    },
+    /// Stealth shift tuned to Krum's selection radius ([`KrumAware`]).
+    KrumAware {
+        /// Shift in multiples of the honest spread (default `0.5`).
+        aggressiveness: f64,
+    },
+}
+
+impl AttackSpec {
+    /// Builds the Byzantine strategy for a model of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] when a parameter is out of range
+    /// for the strategy (non-positive scale, zero dimension, …).
+    pub fn build(&self, dim: usize) -> Result<Box<dyn Attack>, AttackError> {
+        if dim == 0 {
+            return Err(AttackError::config(
+                "spec",
+                "attacks need a model dimension >= 1",
+            ));
+        }
+        match *self {
+            Self::None => Ok(Box::new(NoAttack::new())),
+            Self::ConstantTarget { fill } => {
+                if !fill.is_finite() {
+                    return Err(AttackError::config(
+                        "constant-target",
+                        "fill must be finite",
+                    ));
+                }
+                Ok(Box::new(ConstantTarget::new(Vector::filled(dim, fill))))
+            }
+            Self::Collusion { magnitude } => Ok(Box::new(Collusion::new(magnitude)?)),
+            Self::GaussianNoise { std } => Ok(Box::new(GaussianNoise::new(std)?)),
+            Self::SignFlip { scale } => Ok(Box::new(SignFlip::new(scale)?)),
+            Self::OmniscientNegative { scale } => Ok(Box::new(OmniscientNegative::new(scale)?)),
+            Self::LittleIsEnough { z } => Ok(Box::new(LittleIsEnough::new(z)?)),
+            Self::Mimic { victim } => Ok(Box::new(Mimic::new(victim))),
+            Self::KrumAware { aggressiveness } => Ok(Box::new(KrumAware::new(aggressiveness)?)),
+        }
+    }
+
+    /// The canonical attack name (the `Display` form without parameters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::ConstantTarget { .. } => "constant-target",
+            Self::Collusion { .. } => "collusion",
+            Self::GaussianNoise { .. } => "gaussian-noise",
+            Self::SignFlip { .. } => "sign-flip",
+            Self::OmniscientNegative { .. } => "omniscient-negative",
+            Self::LittleIsEnough { .. } => "little-is-enough",
+            Self::Mimic { .. } => "mimic",
+            Self::KrumAware { .. } => "krum-aware",
+        }
+    }
+
+    /// One spec per canonical attack name, with default parameters — the
+    /// iteration order matches [`ATTACK_NAMES`].
+    pub fn all() -> Vec<AttackSpec> {
+        ATTACK_NAMES
+            .iter()
+            .map(|name| name.parse().expect("canonical names parse"))
+            .collect()
+    }
+}
+
+impl fmt::Display for AttackSpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::None => out.write_str("none"),
+            Self::ConstantTarget { fill } => write!(out, "constant-target:fill={fill}"),
+            Self::Collusion { magnitude } => write!(out, "collusion:magnitude={magnitude}"),
+            Self::GaussianNoise { std } => write!(out, "gaussian-noise:std={std}"),
+            Self::SignFlip { scale } => write!(out, "sign-flip:scale={scale}"),
+            Self::OmniscientNegative { scale } => write!(out, "omniscient-negative:scale={scale}"),
+            Self::LittleIsEnough { z } => write!(out, "little-is-enough:z={z}"),
+            Self::Mimic { victim } => write!(out, "mimic:victim={victim}"),
+            Self::KrumAware { aggressiveness } => {
+                write!(out, "krum-aware:aggressiveness={aggressiveness}")
+            }
+        }
+    }
+}
+
+impl FromStr for AttackSpec {
+    type Err = AttackError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut parts = spec.splitn(2, ':');
+        let name = parts.next().unwrap_or_default().trim();
+        let params = parse_params(parts.next().unwrap_or(""), name)?;
+        let get =
+            |key: &str| -> Option<f64> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
+        let reject_unknown = |allowed: &[&str]| -> Result<(), AttackError> {
+            if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
+                return Err(AttackError::config(
+                    "spec",
+                    format!("unknown parameter `{key}` for attack `{name}`"),
+                ));
+            }
+            Ok(())
+        };
+        match name {
+            "none" => {
+                reject_unknown(&[])?;
+                Ok(Self::None)
+            }
+            "constant-target" => {
+                reject_unknown(&["fill"])?;
+                Ok(Self::ConstantTarget {
+                    fill: get("fill").unwrap_or(10.0),
+                })
+            }
+            "collusion" => {
+                reject_unknown(&["magnitude"])?;
+                Ok(Self::Collusion {
+                    magnitude: get("magnitude").unwrap_or(100.0),
+                })
+            }
+            "gaussian-noise" => {
+                reject_unknown(&["std"])?;
+                Ok(Self::GaussianNoise {
+                    std: get("std").unwrap_or(100.0),
+                })
+            }
+            "sign-flip" => {
+                reject_unknown(&["scale"])?;
+                Ok(Self::SignFlip {
+                    scale: get("scale").unwrap_or(2.0),
+                })
+            }
+            "omniscient-negative" => {
+                reject_unknown(&["scale"])?;
+                Ok(Self::OmniscientNegative {
+                    scale: get("scale").unwrap_or(2.0),
+                })
+            }
+            "little-is-enough" => {
+                reject_unknown(&["z"])?;
+                Ok(Self::LittleIsEnough {
+                    z: get("z").unwrap_or(1.5),
+                })
+            }
+            "mimic" => {
+                reject_unknown(&["victim"])?;
+                let victim = match get("victim") {
+                    Option::None => 0,
+                    Some(v) if v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64 => v as usize,
+                    Some(_) => {
+                        return Err(AttackError::config(
+                            "mimic",
+                            "parameter `victim` must be a non-negative integer",
+                        ))
+                    }
+                };
+                Ok(Self::Mimic { victim })
+            }
+            "krum-aware" => {
+                reject_unknown(&["aggressiveness"])?;
+                Ok(Self::KrumAware {
+                    aggressiveness: get("aggressiveness").unwrap_or(0.5),
+                })
+            }
+            other => Err(AttackError::config(
+                "spec",
+                format!(
+                    "unknown attack `{other}`; known attacks: {}",
+                    ATTACK_NAMES.join(", ")
+                ),
+            )),
+        }
+    }
+}
+
+impl serde::Serialize for AttackSpec {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for AttackSpec {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|e: AttackError| serde::DeError::custom(e.to_string())),
+            other => Err(serde::DeError::invalid_type(
+                "attack spec string",
+                other.kind(),
+            )),
+        }
+    }
+}
+
+/// Builds a Byzantine strategy from a specification string — a thin wrapper
+/// over `spec.parse::<`[`AttackSpec`]`>()` followed by [`AttackSpec::build`].
+///
+/// # Errors
+///
+/// Returns [`AttackError::BadConfig`] for unknown names, malformed parameter
+/// lists or out-of-range parameter values.
+pub fn build_attack(spec: &str, dim: usize) -> Result<Box<dyn Attack>, AttackError> {
+    spec.parse::<AttackSpec>()?.build(dim)
+}
+
+/// Parses `key=value,key=value` parameter lists with `f64` values.
+fn parse_params(raw: &str, attack: &str) -> Result<Vec<(String, f64)>, AttackError> {
+    let mut out = Vec::new();
+    for piece in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let mut kv = piece.splitn(2, '=');
+        let key = kv.next().unwrap_or_default().trim();
+        let value = kv.next().ok_or_else(|| {
+            AttackError::config(
+                "spec",
+                format!("parameter `{piece}` for attack `{attack}` is not of the form key=value"),
+            )
+        })?;
+        let value: f64 = value.trim().parse().map_err(|_| {
+            AttackError::config(
+                "spec",
+                format!("parameter `{key}` of attack `{attack}` must be a number"),
+            )
+        })?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackContext;
+
+    fn ctx<'a>(honest: &'a [Vector], params: &'a Vector, f: usize) -> AttackContext<'a> {
+        AttackContext {
+            honest_proposals: honest,
+            current_params: params,
+            true_gradient: None,
+            byzantine_count: f,
+            total_workers: honest.len() + f,
+            round: 0,
+            aggregator_name: "average",
+        }
+    }
+
+    #[test]
+    fn every_canonical_attack_builds_and_forges() {
+        use rand::SeedableRng;
+        let honest = vec![Vector::filled(4, 1.0); 5];
+        let params = Vector::zeros(4);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        for spec in AttackSpec::all() {
+            let attack = spec
+                .build(4)
+                .unwrap_or_else(|e| panic!("attack {spec} failed to build: {e}"));
+            let forged = attack
+                .forge(&ctx(&honest, &params, 2), &mut rng)
+                .unwrap_or_else(|e| panic!("attack {spec} failed to forge: {e}"));
+            assert_eq!(forged.len(), 2, "attack {spec}");
+        }
+        assert_eq!(AttackSpec::all().len(), ATTACK_NAMES.len());
+    }
+
+    #[test]
+    fn display_round_trips_for_every_variant() {
+        let specs = [
+            AttackSpec::None,
+            AttackSpec::ConstantTarget { fill: -3.5 },
+            AttackSpec::Collusion { magnitude: 1000.0 },
+            AttackSpec::GaussianNoise { std: 12.25 },
+            AttackSpec::SignFlip { scale: 5.0 },
+            AttackSpec::OmniscientNegative { scale: 4.0 },
+            AttackSpec::LittleIsEnough { z: 1.5 },
+            AttackSpec::Mimic { victim: 3 },
+            AttackSpec::KrumAware {
+                aggressiveness: 0.5,
+            },
+        ];
+        for spec in specs {
+            let parsed: AttackSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec, "Display → FromStr must round-trip");
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: AttackSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "serde must round-trip");
+        }
+    }
+
+    #[test]
+    fn omitted_parameters_take_defaults() {
+        assert_eq!(
+            "sign-flip".parse::<AttackSpec>().unwrap(),
+            AttackSpec::SignFlip { scale: 2.0 }
+        );
+        assert_eq!(
+            "mimic".parse::<AttackSpec>().unwrap(),
+            AttackSpec::Mimic { victim: 0 }
+        );
+        assert_eq!(
+            " gaussian-noise : std = 50 ".parse::<AttackSpec>().unwrap(),
+            AttackSpec::GaussianNoise { std: 50.0 }
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_structured_errors() {
+        assert!("zeno".parse::<AttackSpec>().is_err());
+        assert!("sign-flip:z=1".parse::<AttackSpec>().is_err());
+        assert!("sign-flip:scale".parse::<AttackSpec>().is_err());
+        assert!("sign-flip:scale=abc".parse::<AttackSpec>().is_err());
+        assert!("mimic:victim=1.5".parse::<AttackSpec>().is_err());
+        assert!("mimic:victim=-1".parse::<AttackSpec>().is_err());
+        // Range errors surface at build time, not parse time.
+        let negative = "sign-flip:scale=-1".parse::<AttackSpec>().unwrap();
+        assert!(negative.build(4).is_err());
+        assert!(AttackSpec::None.build(0).is_err());
+        assert!(AttackSpec::ConstantTarget { fill: f64::NAN }
+            .build(4)
+            .is_err());
+    }
+
+    #[test]
+    fn build_attack_wrapper_matches_typed_path() {
+        let typed = AttackSpec::SignFlip { scale: 5.0 }.build(3).unwrap();
+        let stringly = build_attack("sign-flip:scale=5", 3).unwrap();
+        assert_eq!(typed.name(), stringly.name());
+    }
+}

@@ -5,10 +5,12 @@
 //!
 //! Regenerates the claim behind Figure 1 / Lemma 3.1 of the paper.
 
-use krum_attacks::ConstantTarget;
-use krum_bench::{quadratic_estimators, Table};
-use krum_core::{Aggregator, Average, Krum, WeightedAverage};
-use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
+use krum_attacks::{AttackSpec, ConstantTarget};
+use krum_bench::Table;
+use krum_core::{Aggregator, Average, Krum, RuleSpec, WeightedAverage};
+use krum_dist::LearningRateSchedule;
+use krum_models::EstimatorSpec;
+use krum_scenario::ScenarioBuilder;
 use krum_tensor::Vector;
 
 const N: usize = 25;
@@ -16,28 +18,26 @@ const F: usize = 1;
 const DIM: usize = 100;
 const ROUNDS: usize = 200;
 const SIGMA: f64 = 0.2;
+const TARGET_FILL: f64 = 10.0;
 
-fn run(aggregator: Box<dyn Aggregator>, target: &Vector) -> (f64, f64) {
-    let cluster = ClusterSpec::new(N, F).expect("valid cluster");
-    let config = TrainingConfig {
-        rounds: ROUNDS,
-        schedule: LearningRateSchedule::Constant { gamma: 0.05 },
-        seed: 1,
-        eval_every: 20,
-        known_optimum: Some(Vector::zeros(DIM)),
-    };
-    let mut trainer = SyncTrainer::new(
-        cluster,
-        aggregator,
-        Box::new(ConstantTarget::new(target.clone())),
-        quadratic_estimators(N - F, DIM, SIGMA),
-        config,
-    )
-    .expect("valid trainer");
-    let (params, history) = trainer.run(Vector::filled(DIM, 2.0)).expect("run succeeds");
+fn run(rule: RuleSpec) -> (f64, f64) {
+    let report = ScenarioBuilder::new(N, F)
+        .rule(rule)
+        .attack(AttackSpec::ConstantTarget { fill: TARGET_FILL })
+        .estimator(EstimatorSpec::GaussianQuadratic {
+            dim: DIM,
+            sigma: SIGMA,
+        })
+        .schedule(LearningRateSchedule::Constant { gamma: 0.05 })
+        .rounds(ROUNDS)
+        .eval_every(20)
+        .seed(1)
+        .init_fill(2.0)
+        .run()
+        .expect("valid scenario");
     (
-        params.norm(),
-        history.summary().final_loss.unwrap_or(f64::NAN),
+        report.final_params.norm(),
+        report.summary().final_loss.unwrap_or(f64::NAN),
     )
 }
 
@@ -56,7 +56,7 @@ fn main() {
             v
         })
         .collect();
-    let target = Vector::filled(DIM, 10.0);
+    let target = Vector::filled(DIM, TARGET_FILL);
     let attack = ConstantTarget::new(target.clone());
     let ctx = krum_attacks::AttackContext {
         honest_proposals: &honest,
@@ -97,17 +97,14 @@ fn main() {
     }
     println!("single-round control (lower first column = attacker wins):\n{single}");
 
-    // Dynamic demonstration: full SGD trajectories.
+    // Dynamic demonstration: full SGD trajectories, one declarative
+    // scenario per rule.
     let mut table = Table::new(["aggregator", "final ‖x − x*‖", "final loss Q(x)", "verdict"]);
-    let scenarios: Vec<(&str, Box<dyn Aggregator>)> = vec![
-        ("average", Box::new(Average::new())),
-        ("krum", Box::new(Krum::new(N, F).expect("config"))),
-    ];
-    for (name, aggregator) in scenarios {
-        let (dist, loss) = run(aggregator, &target);
+    for rule in [RuleSpec::Average, RuleSpec::Krum] {
+        let (dist, loss) = run(rule);
         let verdict = if dist < 1.0 { "converged" } else { "hijacked" };
         table.row([
-            name.to_string(),
+            rule.to_string(),
             format!("{dist:.4}"),
             format!("{loss:.4}"),
             verdict.to_string(),

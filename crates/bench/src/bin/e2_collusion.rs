@@ -8,7 +8,7 @@
 
 use krum_attacks::{Attack, AttackContext, Collusion};
 use krum_bench::{rng, Table};
-use krum_core::{Aggregator, ClosestToBarycenter, Krum, MinimumDiameterSubset};
+use krum_core::{build_aggregator, Aggregator};
 use krum_tensor::Vector;
 
 const N: usize = 20;
@@ -70,17 +70,13 @@ fn main() {
     );
     let mut table = Table::new(["f", "rule", "byzantine selected", "mean ‖F − mean(honest)‖"]);
     for &f in &[2usize, 4, 6] {
-        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
-            (
-                "closest-to-barycenter",
-                Box::new(ClosestToBarycenter::new()),
-            ),
-            ("krum", Box::new(Krum::new(N, f).expect("2f+2 < n"))),
-            (
-                "min-diameter-subset",
-                Box::new(MinimumDiameterSubset::new(N, f).expect("valid")),
-            ),
-        ];
+        // The rules under test come straight from the string registry — the
+        // same specs a scenario file or `krum sweep --rule …` would use.
+        let rules: Vec<(&str, Box<dyn Aggregator>)> =
+            ["closest-to-barycenter", "krum", "min-diameter-subset"]
+                .map(|spec| (spec, build_aggregator(spec, N, f).expect("valid spec")))
+                .into_iter()
+                .collect();
         for (name, rule) in rules {
             let outcome = evaluate(&rule, f, 100 + f as u64);
             table.row([

@@ -8,7 +8,7 @@
 //! negative control.
 
 use krum_bench::{rng, Table};
-use krum_core::{krum_sin_alpha, Average, Krum, ResilienceEstimator};
+use krum_core::{krum_sin_alpha, ResilienceEstimator, RuleSpec};
 use krum_tensor::Vector;
 
 const DIM: usize = 20;
@@ -85,8 +85,11 @@ fn main() {
                     format!("{:.2}", check.moment_ratios[0]),
                 ]);
             };
-            run("krum", &Krum::new(n, f).expect("2f+2 < n"));
-            run("average", &Average::new());
+            // Rules built through the typed spec registry.
+            let krum = RuleSpec::Krum.build(n, f).expect("2f+2 < n");
+            run("krum", krum.as_ref());
+            let average = RuleSpec::Average.build(n, f).expect("always valid");
+            run("average", average.as_ref());
         }
     }
     println!("{table}");

@@ -3,95 +3,70 @@
 //! under `(n − 2)/2`; SGD driven by averaging does not.
 //!
 //! Workloads: the synthetic quadratic cost (where `∇Q` is exact) and logistic
-//! regression on synthetic data. Attack: omniscient negated gradient.
+//! regression on synthetic data. Attack: omniscient negated gradient. Every
+//! cell of the table is one declarative scenario — only the rule spec, the
+//! attack spec and `f` change between cells.
 
-use krum_attacks::{Attack, NoAttack, OmniscientNegative};
-use krum_bench::{quadratic_estimators, Table};
-use krum_core::{Aggregator, Average, CoordinateWiseMedian, Krum};
-use krum_data::{generators, partition, BatchSampler};
-use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum_models::{BatchGradientEstimator, GradientEstimator, LogisticRegression};
-use krum_tensor::Vector;
+use krum_attacks::AttackSpec;
+use krum_bench::Table;
+use krum_core::RuleSpec;
+use krum_dist::LearningRateSchedule;
+use krum_models::{DataSpec, EstimatorSpec, ModelSpec};
+use krum_scenario::{ScenarioBuilder, ScenarioReport};
 
 const N: usize = 25;
 const DIM: usize = 50;
 const ROUNDS: usize = 400;
 const SIGMA: f64 = 0.5;
 
-fn attack_for(f: usize) -> Box<dyn Attack> {
+fn attack_for(f: usize) -> AttackSpec {
     if f == 0 {
-        Box::new(NoAttack::new())
+        AttackSpec::None
     } else {
-        Box::new(OmniscientNegative::new(4.0).expect("valid scale"))
+        AttackSpec::OmniscientNegative { scale: 4.0 }
     }
 }
 
-fn quadratic_run(aggregator: Box<dyn Aggregator>, f: usize) -> (f64, f64, bool) {
-    let cluster = ClusterSpec::new(N, f).expect("valid cluster");
-    let config = TrainingConfig {
-        rounds: ROUNDS,
-        schedule: LearningRateSchedule::InverseTime {
+fn quadratic_run(rule: RuleSpec, f: usize) -> ScenarioReport {
+    ScenarioBuilder::new(N, f)
+        .rule(rule)
+        .attack(attack_for(f))
+        .estimator(EstimatorSpec::GaussianQuadratic {
+            dim: DIM,
+            sigma: SIGMA,
+        })
+        .schedule(LearningRateSchedule::InverseTime {
             gamma: 0.2,
             tau: 100.0,
-        },
-        seed: 5,
-        eval_every: 10,
-        known_optimum: Some(Vector::zeros(DIM)),
-    };
-    let mut trainer = SyncTrainer::new(
-        cluster,
-        aggregator,
-        attack_for(f),
-        quadratic_estimators(N - f, DIM, SIGMA),
-        config,
-    )
-    .expect("valid trainer");
-    let (params, history) = trainer.run(Vector::filled(DIM, 4.0)).expect("run succeeds");
-    let summary = history.summary();
-    (
-        params.norm(),
-        summary.min_gradient_norm.unwrap_or(f64::NAN),
-        summary.diverged,
-    )
+        })
+        .rounds(ROUNDS)
+        .eval_every(10)
+        .seed(5)
+        .init_fill(4.0)
+        .run()
+        .expect("valid scenario")
 }
 
-fn logistic_run(aggregator: Box<dyn Aggregator>, f: usize) -> (f64, f64) {
+fn logistic_run(rule: RuleSpec, f: usize) -> ScenarioReport {
     const FEATURES: usize = 30;
-    let mut rng = krum_bench::rng(17);
-    let (dataset, _, _) =
-        generators::logistic_regression(4_000, FEATURES, &mut rng).expect("valid generator");
-    let cluster = ClusterSpec::new(N, f).expect("valid cluster");
-    let shards = partition::iid_shards(&dataset, cluster.honest(), &mut rng).expect("shards");
-    let estimators: Vec<Box<dyn GradientEstimator>> = shards
-        .into_iter()
-        .map(|shard| {
-            let sampler = BatchSampler::new(shard, 32).expect("non-empty");
-            Box::new(
-                BatchGradientEstimator::new(LogisticRegression::new(FEATURES), sampler)
-                    .expect("estimator"),
-            ) as Box<dyn GradientEstimator>
+    ScenarioBuilder::new(N, f)
+        .rule(rule)
+        .attack(attack_for(f))
+        .estimator(EstimatorSpec::Synthetic {
+            model: ModelSpec::Logistic { features: FEATURES },
+            data: DataSpec::LogisticRegression { samples: 4_000 },
+            batch: 32,
+            holdout: 0.0,
         })
-        .collect();
-    let config = TrainingConfig {
-        rounds: ROUNDS,
-        schedule: LearningRateSchedule::InverseTime {
+        .schedule(LearningRateSchedule::InverseTime {
             gamma: 0.5,
             tau: 100.0,
-        },
-        seed: 5,
-        eval_every: 50,
-        known_optimum: None,
-    };
-    let mut trainer =
-        SyncTrainer::new(cluster, aggregator, attack_for(f), estimators, config).expect("trainer");
-    let (_, history) = trainer
-        .run(Vector::zeros(FEATURES + 1))
-        .expect("run succeeds");
-    let summary = history.summary();
-    (
-        summary.final_loss.unwrap_or(f64::NAN),
-        summary.min_gradient_norm.unwrap_or(f64::NAN),
-    )
+        })
+        .rounds(ROUNDS)
+        .eval_every(50)
+        .seed(5)
+        .run()
+        .expect("valid scenario")
 }
 
 fn main() {
@@ -110,22 +85,15 @@ fn main() {
         "diverged",
     ]);
     for &f in &[0usize, 5, 11] {
-        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
-            ("average", Box::new(Average::new())),
-            (
-                "krum",
-                Box::new(Krum::new(N, f.clamp(1, (N - 3) / 2)).expect("config")),
-            ),
-            ("median", Box::new(CoordinateWiseMedian::new())),
-        ];
-        for (name, rule) in rules {
-            let (dist, min_grad, diverged) = quadratic_run(rule, f);
+        for rule in [RuleSpec::Average, RuleSpec::Krum, RuleSpec::Median] {
+            let report = quadratic_run(rule, f);
+            let summary = report.summary();
             table.row([
                 f.to_string(),
-                name.to_string(),
-                format!("{dist:.3}"),
-                format!("{min_grad:.3}"),
-                if diverged { "yes" } else { "no" }.to_string(),
+                rule.to_string(),
+                format!("{:.3}", report.final_params.norm()),
+                format!("{:.3}", summary.min_gradient_norm.unwrap_or(f64::NAN)),
+                if summary.diverged { "yes" } else { "no" }.to_string(),
             ]);
         }
     }
@@ -134,20 +102,14 @@ fn main() {
     println!("(b) logistic regression, 30 features, mini-batch workers:");
     let mut table = Table::new(["f", "aggregator", "final loss", "min ‖∇Q‖"]);
     for &f in &[0usize, 5, 11] {
-        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
-            ("average", Box::new(Average::new())),
-            (
-                "krum",
-                Box::new(Krum::new(N, f.clamp(1, (N - 3) / 2)).expect("config")),
-            ),
-        ];
-        for (name, rule) in rules {
-            let (loss, min_grad) = logistic_run(rule, f);
+        for rule in [RuleSpec::Average, RuleSpec::Krum] {
+            let report = logistic_run(rule, f);
+            let summary = report.summary();
             table.row([
                 f.to_string(),
-                name.to_string(),
-                format!("{loss:.4}"),
-                format!("{min_grad:.4}"),
+                rule.to_string(),
+                format!("{:.4}", summary.final_loss.unwrap_or(f64::NAN)),
+                format!("{:.4}", summary.min_gradient_norm.unwrap_or(f64::NAN)),
             ]);
         }
     }

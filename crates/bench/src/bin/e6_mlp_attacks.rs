@@ -2,15 +2,18 @@
 //! synthetic digit task, with 0% and 33% Byzantine workers running the
 //! Gaussian and omniscient attacks. Reports cross-entropy and test accuracy
 //! at a few checkpoints for averaging, Krum and Multi-Krum.
+//!
+//! Each table row is one declarative scenario: the MLP-on-digits workload is
+//! a single `EstimatorSpec` (data generation, sharding and the held-out
+//! accuracy probe included) and only the rule/attack specs vary.
 
-use krum_attacks::{Attack, GaussianNoise, NoAttack, OmniscientNegative};
+use krum_attacks::AttackSpec;
 use krum_bench::Table;
-use krum_core::{Aggregator, Average, Krum, MultiKrum};
-use krum_data::{generators, partition, BatchSampler, Dataset};
-use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum_models::{accuracy, BatchGradientEstimator, GradientEstimator, Mlp, MlpBuilder, Model};
-use krum_tensor::{InitStrategy, Vector};
-use std::sync::Arc;
+use krum_core::RuleSpec;
+use krum_dist::LearningRateSchedule;
+use krum_models::{DataSpec, EstimatorSpec, ModelSpec};
+use krum_scenario::ScenarioBuilder;
+use krum_tensor::InitStrategy;
 
 const SIDE: usize = 12;
 const HIDDEN: usize = 48;
@@ -19,32 +22,19 @@ const BYZANTINE: usize = 6; // 33 %
 const ROUNDS: usize = 200;
 const BATCH: usize = 32;
 
-fn mlp() -> Mlp {
-    MlpBuilder::new(SIDE * SIDE, 10)
-        .hidden_layer(HIDDEN)
-        .build()
-        .expect("valid architecture")
-}
-
-fn estimators(train: &Dataset, honest: usize, seed: u64) -> Vec<Box<dyn GradientEstimator>> {
-    let mut rng = krum_bench::rng(seed);
-    partition::iid_shards(train, honest, &mut rng)
-        .expect("shards")
-        .into_iter()
-        .map(|shard| {
-            let sampler = BatchSampler::new(shard, BATCH).expect("non-empty");
-            Box::new(BatchGradientEstimator::new(mlp(), sampler).expect("estimator"))
-                as Box<dyn GradientEstimator>
-        })
-        .collect()
-}
-
-fn attack_by_name(name: &str) -> Box<dyn Attack> {
-    match name {
-        "none" => Box::new(NoAttack::new()),
-        "gaussian" => Box::new(GaussianNoise::new(100.0).expect("std")),
-        "omniscient" => Box::new(OmniscientNegative::new(2.0).expect("scale")),
-        other => unreachable!("unknown attack {other}"),
+fn workload() -> EstimatorSpec {
+    EstimatorSpec::Synthetic {
+        model: ModelSpec::Mlp {
+            inputs: SIDE * SIDE,
+            hidden: vec![HIDDEN],
+            classes: 10,
+        },
+        data: DataSpec::SyntheticDigits {
+            samples: 4_000,
+            noise: 0.25,
+        },
+        batch: BATCH,
+        holdout: 0.2,
     }
 }
 
@@ -53,17 +43,8 @@ fn main() {
     println!(
         "MLP {}-{HIDDEN}-10 (d = {} parameters), n = {WORKERS} workers, f = {BYZANTINE} Byzantine (33%), {ROUNDS} rounds\n",
         SIDE * SIDE,
-        mlp().dim()
+        workload().dim().expect("valid architecture")
     );
-
-    let mut data_rng = krum_bench::rng(2017);
-    let dataset =
-        generators::synthetic_digits(4_000, SIDE, 0.25, &mut data_rng).expect("generator succeeds");
-    let (train, test) = dataset.shuffled(&mut data_rng).split(0.8).expect("split");
-    let test = Arc::new(test);
-    let model = mlp();
-    let mut init_rng = krum_bench::rng(3);
-    let initial = model.init_parameters(InitStrategy::XavierUniform, &mut init_rng);
 
     let mut table = Table::new([
         "attack",
@@ -75,48 +56,41 @@ fn main() {
         "byz-pick%",
     ]);
 
-    for &(attack_name, f) in &[
-        ("none", 0usize),
-        ("gaussian", BYZANTINE),
-        ("omniscient", BYZANTINE),
-    ] {
-        let cluster = ClusterSpec::new(WORKERS, f).expect("valid cluster");
-        let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
-            ("average", Box::new(Average::new())),
-            (
-                "krum",
-                Box::new(Krum::new(WORKERS, BYZANTINE).expect("config")),
-            ),
-            (
-                "multi-krum",
-                Box::new(MultiKrum::new(WORKERS, BYZANTINE, WORKERS - BYZANTINE).expect("config")),
-            ),
+    let attacks: [(&str, AttackSpec, usize); 3] = [
+        ("none", AttackSpec::None, 0),
+        (
+            "gaussian",
+            AttackSpec::GaussianNoise { std: 100.0 },
+            BYZANTINE,
+        ),
+        (
+            "omniscient",
+            AttackSpec::OmniscientNegative { scale: 2.0 },
+            BYZANTINE,
+        ),
+    ];
+    for (attack_name, attack, f) in attacks {
+        let rules = [
+            ("average", RuleSpec::Average),
+            ("krum", RuleSpec::Krum),
+            ("multi-krum", RuleSpec::MultiKrum { m: None }),
         ];
         for (rule_name, rule) in rules {
-            let config = TrainingConfig {
-                rounds: ROUNDS,
-                schedule: LearningRateSchedule::InverseTime {
+            let report = ScenarioBuilder::new(WORKERS, f)
+                .rule(rule)
+                .attack(attack)
+                .estimator(workload())
+                .schedule(LearningRateSchedule::InverseTime {
                     gamma: 0.5,
                     tau: 150.0,
-                },
-                seed: 11,
-                eval_every: 50,
-                known_optimum: None,
-            };
-            let test_probe = Arc::clone(&test);
-            let probe_model = mlp();
-            let mut trainer = SyncTrainer::new(
-                cluster,
-                rule,
-                attack_by_name(attack_name),
-                estimators(&train, cluster.honest(), 77),
-                config,
-            )
-            .expect("trainer")
-            .with_accuracy_probe(move |params: &Vector| {
-                accuracy(&probe_model, params, &test_probe).ok().flatten()
-            });
-            let (_, history) = trainer.run(initial.clone()).expect("run succeeds");
+                })
+                .rounds(ROUNDS)
+                .eval_every(50)
+                .seed(11)
+                .init_sample(InitStrategy::XavierUniform, 3)
+                .run()
+                .expect("valid scenario");
+            let history = &report.history;
             let loss_at = |round: usize| {
                 history
                     .rounds
@@ -125,7 +99,7 @@ fn main() {
                     .find_map(|r| r.loss)
                     .unwrap_or(f64::NAN)
             };
-            let summary = history.summary();
+            let summary = report.summary();
             table.row([
                 attack_name.to_string(),
                 f.to_string(),

@@ -4,13 +4,16 @@
 //! (maximally conservative, highest-variance updates), `m = n − f` keeps the
 //! variance reduction of averaging while still excluding the `f` worst-scored
 //! proposals. We sweep `m` with and without an attack and report both the
-//! distance to the optimum and the per-round update variance.
+//! distance to the optimum and the per-round update variance. Each cell is
+//! one declarative scenario; the `m` sweep is a sweep over rule specs.
 
-use krum_attacks::{Attack, GaussianNoise, NoAttack};
-use krum_bench::{quadratic_estimators, Table};
-use krum_core::{Aggregator, Average, MultiKrum};
-use krum_dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum_tensor::{OnlineStats, Vector};
+use krum_attacks::AttackSpec;
+use krum_bench::Table;
+use krum_core::RuleSpec;
+use krum_dist::LearningRateSchedule;
+use krum_models::EstimatorSpec;
+use krum_scenario::ScenarioBuilder;
+use krum_tensor::OnlineStats;
 
 const N: usize = 20;
 const F: usize = 6;
@@ -23,45 +26,42 @@ struct Outcome {
     update_noise: f64,
 }
 
-fn run(aggregator: Box<dyn Aggregator>, attacked: bool) -> Outcome {
+fn run(rule: RuleSpec, attacked: bool) -> Outcome {
     // Attacked runs have f Byzantine workers; the clean baseline runs the same
     // aggregator over n fully honest workers (f = 0), so the m-sweep isolates
     // the variance-reduction effect rather than the behaviour of benign
     // Byzantine slots.
     let byzantine = if attacked { F } else { 0 };
-    let cluster = ClusterSpec::new(N, byzantine).expect("valid cluster");
-    let config = TrainingConfig {
-        rounds: ROUNDS,
-        schedule: LearningRateSchedule::InverseTime {
+    let attack = if attacked {
+        AttackSpec::GaussianNoise { std: 200.0 }
+    } else {
+        AttackSpec::None
+    };
+    let report = ScenarioBuilder::new(N, byzantine)
+        .rule(rule)
+        .attack(attack)
+        .estimator(EstimatorSpec::GaussianQuadratic {
+            dim: DIM,
+            sigma: SIGMA,
+        })
+        .schedule(LearningRateSchedule::InverseTime {
             gamma: 0.1,
             tau: 100.0,
-        },
-        seed: 21,
-        eval_every: 10,
-        known_optimum: Some(Vector::zeros(DIM)),
-    };
-    let attack: Box<dyn Attack> = if attacked {
-        Box::new(GaussianNoise::new(200.0).expect("std"))
-    } else {
-        Box::new(NoAttack::new())
-    };
-    let mut trainer = SyncTrainer::new(
-        cluster,
-        aggregator,
-        attack,
-        quadratic_estimators(cluster.honest(), DIM, SIGMA),
-        config,
-    )
-    .expect("trainer");
-    let (params, history) = trainer.run(Vector::filled(DIM, 5.0)).expect("run succeeds");
+        })
+        .rounds(ROUNDS)
+        .eval_every(10)
+        .seed(21)
+        .init_fill(5.0)
+        .run()
+        .expect("valid scenario");
     // Update variance proxy: dispersion of the aggregate norm over the last
     // 100 rounds (once the trajectory has settled near the optimum).
-    let stats: OnlineStats = history.rounds[ROUNDS - 100..]
+    let stats: OnlineStats = report.history.rounds[ROUNDS - 100..]
         .iter()
         .map(|r| r.aggregate_norm)
         .collect();
     Outcome {
-        final_distance: params.norm(),
+        final_distance: report.final_params.norm(),
         update_noise: stats.stddev(),
     }
 }
@@ -77,24 +77,21 @@ fn main() {
     ]);
     let mut ms: Vec<usize> = vec![1, 2, 5, 10, N - F];
     ms.dedup();
-    for m in ms {
-        let attacked = run(Box::new(MultiKrum::new(N, F, m).expect("config")), true);
-        let clean = run(Box::new(MultiKrum::new(N, F, m).expect("config")), false);
+    let mut rules: Vec<RuleSpec> = ms
+        .into_iter()
+        .map(|m| RuleSpec::MultiKrum { m: Some(m) })
+        .collect();
+    rules.push(RuleSpec::Average);
+    for rule in rules {
+        let attacked = run(rule, true);
+        let clean = run(rule, false);
         table.row([
-            format!("multi-krum m={m}"),
+            rule.to_string(),
             format!("{:.4}", attacked.final_distance),
             format!("{:.4}", clean.final_distance),
             format!("{:.4}", clean.update_noise),
         ]);
     }
-    let attacked = run(Box::new(Average::new()), true);
-    let clean = run(Box::new(Average::new()), false);
-    table.row([
-        "average".to_string(),
-        format!("{:.4}", attacked.final_distance),
-        format!("{:.4}", clean.final_distance),
-        format!("{:.4}", clean.update_noise),
-    ]);
     println!("{table}");
     println!("expected shape: every Multi-Krum variant survives the attack (final distance stays");
     println!("small) and larger m reduces the update noise on clean rounds, approaching the");

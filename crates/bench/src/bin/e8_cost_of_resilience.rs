@@ -1,18 +1,18 @@
 //! E8 — extension (full-paper Figs. 6–7): the cost of resilience.
 //!
-//! Using the threaded parameter-server engine with a simulated network, we
+//! Using the threaded execution strategy with a simulated network, we
 //! measure the duration of a synchronous round for averaging vs Krum vs
 //! Multi-Krum as (a) the number of workers grows at fixed model size and
 //! (b) the model dimension grows at fixed cluster size. Aggregation time is
-//! reported separately so the server-side overhead of Krum is visible.
+//! reported separately so the server-side overhead of Krum is visible. Each
+//! cell is one declarative threaded scenario.
 
-use krum_attacks::GaussianNoise;
-use krum_bench::{quadratic_estimators, Table};
-use krum_core::{Aggregator, Average, Krum, MultiKrum};
-use krum_dist::{
-    ClusterSpec, LatencyModel, LearningRateSchedule, NetworkModel, ThreadedTrainer, TrainingConfig,
-};
-use krum_tensor::Vector;
+use krum_attacks::AttackSpec;
+use krum_bench::Table;
+use krum_core::RuleSpec;
+use krum_dist::{LatencyModel, LearningRateSchedule, NetworkModel};
+use krum_models::EstimatorSpec;
+use krum_scenario::ScenarioBuilder;
 
 const ROUNDS: usize = 8;
 
@@ -34,25 +34,21 @@ struct Timing {
     network_micros: f64,
 }
 
-fn run(n: usize, f: usize, dim: usize, aggregator: Box<dyn Aggregator>) -> Timing {
-    let cluster = ClusterSpec::new(n, f).expect("valid cluster");
-    let config = TrainingConfig {
-        rounds: ROUNDS,
-        schedule: LearningRateSchedule::Constant { gamma: 0.05 },
-        seed: 9,
-        eval_every: ROUNDS, // metrics only at the edges; timing is the point
-        known_optimum: None,
-    };
-    let mut trainer = ThreadedTrainer::new(
-        cluster,
-        aggregator,
-        Box::new(GaussianNoise::new(50.0).expect("std")),
-        quadratic_estimators(n - f + 1, dim, 0.2),
-        config,
-        network(),
-    )
-    .expect("trainer");
-    let (_, history) = trainer.run(Vector::filled(dim, 1.0)).expect("run succeeds");
+fn run(n: usize, f: usize, dim: usize, rule: RuleSpec) -> Timing {
+    let report = ScenarioBuilder::new(n, f)
+        .rule(rule)
+        .attack(AttackSpec::GaussianNoise { std: 50.0 })
+        .estimator(EstimatorSpec::GaussianQuadratic { dim, sigma: 0.2 })
+        .schedule(LearningRateSchedule::Constant { gamma: 0.05 })
+        .threaded(network())
+        .rounds(ROUNDS)
+        .eval_every(ROUNDS) // metrics only at the edges; timing is the point
+        .seed(9)
+        .init_fill(1.0)
+        .track_optimum(false)
+        .run()
+        .expect("valid scenario");
+    let history = &report.history;
     Timing {
         round_micros: history.mean_round_nanos() / 1_000.0,
         propose_micros: history.mean_propose_nanos() / 1_000.0,
@@ -61,14 +57,11 @@ fn run(n: usize, f: usize, dim: usize, aggregator: Box<dyn Aggregator>) -> Timin
     }
 }
 
-fn rules(n: usize, f: usize) -> Vec<(&'static str, Box<dyn Aggregator>)> {
-    vec![
-        ("average", Box::new(Average::new())),
-        ("krum", Box::new(Krum::new(n, f).expect("config"))),
-        (
-            "multi-krum",
-            Box::new(MultiKrum::new(n, f, n - f).expect("config")),
-        ),
+fn rules() -> [(&'static str, RuleSpec); 3] {
+    [
+        ("average", RuleSpec::Average),
+        ("krum", RuleSpec::Krum),
+        ("multi-krum", RuleSpec::MultiKrum { m: None }),
     ]
 }
 
@@ -90,7 +83,7 @@ fn main() {
     ]);
     for &n in &[10usize, 20, 40, 80] {
         let f = (n - 3) / 2;
-        for (name, rule) in rules(n, f) {
+        for (name, rule) in rules() {
             let t = run(n, f, dim, rule);
             table.row([
                 n.to_string(),
@@ -116,7 +109,7 @@ fn main() {
         "network (µs)",
     ]);
     for &dim in &[10_000usize, 50_000, 100_000] {
-        for (name, rule) in rules(n, f) {
+        for (name, rule) in rules() {
             let t = run(n, f, dim, rule);
             table.row([
                 dim.to_string(),

@@ -1,0 +1,736 @@
+//! # krum-cli
+//!
+//! The `krum` command line: drives declarative scenarios (see
+//! `krum-scenario`) from JSON files — single runs, cartesian sweeps and
+//! registry inspection — with CSV/JSON export of the per-round metrics.
+//!
+//! ```text
+//! krum run scenarios/smoke.json --csv out.csv
+//! krum sweep scenarios/smoke.json --rule krum,median --f 2..6 --out sweeps/
+//! krum list
+//! krum template > my-scenario.json
+//! ```
+//!
+//! The argument parser is hand-rolled (the build environment vendors no CLI
+//! crate) and lives here, in library form, so it is unit-testable; the
+//! binary in `main.rs` is a thin shell around [`execute`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use krum_attacks::{AttackSpec, ATTACK_NAMES};
+use krum_core::{RuleSpec, RULE_NAMES};
+use krum_dist::ClusterSpec;
+use krum_scenario::{Scenario, ScenarioError, ScenarioReport, ScenarioSpec};
+use thiserror::Error;
+
+/// Errors raised by the command line.
+#[derive(Debug, Error)]
+pub enum CliError {
+    /// The arguments did not form a valid command.
+    #[error("{0}\n\n{USAGE}")]
+    Usage(String),
+    /// A scenario failed to parse, validate, build or run.
+    #[error("scenario error: {0}")]
+    Scenario(#[from] ScenarioError),
+    /// A file could not be read or written.
+    #[error("io error on `{path}`: {source}")]
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+/// The usage banner printed on argument errors and `krum help`.
+pub const USAGE: &str = "\
+usage: krum <command> [options]
+
+commands:
+  run <spec.json> [--csv PATH] [--json PATH] [--quiet]
+      Run one scenario and print its summary. --csv / --json export the
+      per-round metrics (CSV carries a human-readable metadata header).
+
+  sweep <base.json> [axes…] [--out DIR] [--quiet]
+      Run the cartesian product of the base scenario and the given axes,
+      printing one summary row per cell. Cells whose constraints fail
+      (e.g. krum with 2f + 2 >= n) are reported and skipped. With --out,
+      each cell's metrics are written to DIR/<name>.csv.
+      axes:
+        --rule r1,r2,…     rule specs (e.g. krum,median,multi-krum:m=4)
+        --attack a1,a2,…   attack specs (e.g. sign-flip:scale=5,none)
+        --n LIST|A..B      worker counts (e.g. 10,20 or 10..14)
+        --f LIST|A..B      byzantine counts (e.g. 2..6)
+        --seed LIST|A..B   master seeds
+        --rounds K         override the round count
+  list
+      Print every rule, attack and workload kind the registries know.
+
+  template
+      Print an example scenario JSON to adapt.
+
+  help
+      Print this message.";
+
+/// A parsed `krum` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `krum run`.
+    Run {
+        /// Path of the scenario JSON file.
+        spec_path: String,
+        /// Optional CSV export path.
+        csv: Option<String>,
+        /// Optional JSON export path.
+        json: Option<String>,
+        /// Suppress the summary (exports still happen).
+        quiet: bool,
+    },
+    /// `krum sweep`.
+    Sweep {
+        /// Path of the base scenario JSON file.
+        base_path: String,
+        /// The sweep axes.
+        axes: SweepAxes,
+        /// Directory receiving one CSV per cell.
+        out: Option<String>,
+        /// Suppress per-cell summary rows.
+        quiet: bool,
+    },
+    /// `krum list`.
+    List,
+    /// `krum template`.
+    Template,
+    /// `krum help`.
+    Help,
+}
+
+/// The axes of a cartesian sweep; empty axes keep the base spec's value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepAxes {
+    /// Rules to sweep (empty → base rule).
+    pub rules: Vec<RuleSpec>,
+    /// Attacks to sweep (empty → base attack).
+    pub attacks: Vec<AttackSpec>,
+    /// Worker counts to sweep (empty → base n).
+    pub ns: Vec<usize>,
+    /// Byzantine counts to sweep (empty → base f).
+    pub fs: Vec<usize>,
+    /// Seeds to sweep (empty → base seed).
+    pub seeds: Vec<u64>,
+    /// Round-count override.
+    pub rounds: Option<usize>,
+}
+
+/// Parses a `krum` argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the first malformed argument.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let usage = |message: String| CliError::Usage(message);
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("template") => Ok(Command::Template),
+        Some("run") => {
+            let mut spec_path = None;
+            let mut csv = None;
+            let mut json = None;
+            let mut quiet = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--csv" => csv = Some(expect_value(&mut it, "--csv")?),
+                    "--json" => json = Some(expect_value(&mut it, "--json")?),
+                    "--quiet" => quiet = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(usage(format!("unknown `run` option `{flag}`")))
+                    }
+                    path if spec_path.is_none() => spec_path = Some(path.to_string()),
+                    extra => return Err(usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let spec_path =
+                spec_path.ok_or_else(|| usage("`run` needs a scenario file".to_string()))?;
+            Ok(Command::Run {
+                spec_path,
+                csv,
+                json,
+                quiet,
+            })
+        }
+        Some("sweep") => {
+            let mut base_path = None;
+            let mut axes = SweepAxes::default();
+            let mut out = None;
+            let mut quiet = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--rule" => {
+                        axes.rules = split_list(&expect_value(&mut it, "--rule")?)
+                            .map(|s| s.parse::<RuleSpec>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| usage(format!("--rule: {e}")))?;
+                    }
+                    "--attack" => {
+                        axes.attacks = split_list(&expect_value(&mut it, "--attack")?)
+                            .map(|s| s.parse::<AttackSpec>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| usage(format!("--attack: {e}")))?;
+                    }
+                    "--n" => axes.ns = parse_axis(&expect_value(&mut it, "--n")?, "--n")?,
+                    "--f" => axes.fs = parse_axis(&expect_value(&mut it, "--f")?, "--f")?,
+                    "--seed" => {
+                        axes.seeds = parse_axis(&expect_value(&mut it, "--seed")?, "--seed")?
+                            .into_iter()
+                            .map(|s| s as u64)
+                            .collect();
+                    }
+                    "--rounds" => {
+                        let value = expect_value(&mut it, "--rounds")?;
+                        axes.rounds = Some(value.parse().map_err(|_| {
+                            usage(format!("--rounds expects an integer, got `{value}`"))
+                        })?);
+                    }
+                    "--out" => out = Some(expect_value(&mut it, "--out")?),
+                    "--quiet" => quiet = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(usage(format!("unknown `sweep` option `{flag}`")))
+                    }
+                    path if base_path.is_none() => base_path = Some(path.to_string()),
+                    extra => return Err(usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let base_path =
+                base_path.ok_or_else(|| usage("`sweep` needs a base scenario file".to_string()))?;
+            Ok(Command::Sweep {
+                base_path,
+                axes,
+                out,
+                quiet,
+            })
+        }
+        Some(other) => Err(usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn expect_value<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .map(str::to_string)
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+fn split_list(raw: &str) -> impl Iterator<Item = &str> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+/// Parses an integer axis: either a comma list (`2,4,6`) or an inclusive
+/// range (`2..6`).
+pub fn parse_axis(raw: &str, flag: &str) -> Result<Vec<usize>, CliError> {
+    let malformed = || {
+        CliError::Usage(format!(
+            "{flag} expects a comma list (`2,4,6`) or an inclusive range (`2..6`), got `{raw}`"
+        ))
+    };
+    if let Some((lo, hi)) = raw.split_once("..") {
+        let lo: usize = lo.trim().parse().map_err(|_| malformed())?;
+        let hi: usize = hi.trim().parse().map_err(|_| malformed())?;
+        if lo > hi {
+            return Err(malformed());
+        }
+        Ok((lo..=hi).collect())
+    } else {
+        let values: Vec<usize> = split_list(raw)
+            .map(|s| s.parse().map_err(|_| malformed()))
+            .collect::<Result<_, _>>()?;
+        if values.is_empty() {
+            return Err(malformed());
+        }
+        Ok(values)
+    }
+}
+
+/// One cell of a sweep: either a runnable spec or the reason it was skipped.
+#[derive(Debug)]
+pub enum SweepCell {
+    /// A valid grid cell.
+    Spec(Box<ScenarioSpec>),
+    /// An invalid combination (name, reason) — reported, not run.
+    Invalid(String, String),
+}
+
+/// Expands the cartesian product of `base` and `axes` into one cell per
+/// combination. Invalid combinations (a rule rejecting the cluster shape, an
+/// `f ≥ n`, …) become [`SweepCell::Invalid`] so a sweep over a wide grid
+/// reports rather than aborts on the infeasible corner.
+pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
+    let rules = if axes.rules.is_empty() {
+        vec![base.rule]
+    } else {
+        axes.rules.clone()
+    };
+    let attacks = if axes.attacks.is_empty() {
+        vec![base.attack]
+    } else {
+        axes.attacks.clone()
+    };
+    let ns = if axes.ns.is_empty() {
+        vec![base.cluster.workers()]
+    } else {
+        axes.ns.clone()
+    };
+    let fs = if axes.fs.is_empty() {
+        vec![base.cluster.byzantine()]
+    } else {
+        axes.fs.clone()
+    };
+    let seeds = if axes.seeds.is_empty() {
+        vec![base.seed]
+    } else {
+        axes.seeds.clone()
+    };
+
+    let mut cells = Vec::new();
+    for &rule in &rules {
+        for &attack in &attacks {
+            for &n in &ns {
+                for &f in &fs {
+                    for &seed in &seeds {
+                        let name = cell_name(&base.name, rule, attack, n, f, seed);
+                        let cluster = match ClusterSpec::new(n, f) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                cells.push(SweepCell::Invalid(name, e.to_string()));
+                                continue;
+                            }
+                        };
+                        let mut spec = base.clone();
+                        spec.name = name.clone();
+                        spec.cluster = cluster;
+                        spec.rule = rule;
+                        spec.attack = attack;
+                        spec.seed = seed;
+                        if let Some(rounds) = axes.rounds {
+                            spec.rounds = rounds;
+                        }
+                        match spec.validate() {
+                            Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
+                            Err(e) => cells.push(SweepCell::Invalid(name, e.to_string())),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// A file-name-safe label for one sweep cell.
+fn cell_name(
+    base: &str,
+    rule: RuleSpec,
+    attack: AttackSpec,
+    n: usize,
+    f: usize,
+    seed: u64,
+) -> String {
+    let sanitize = |s: String| s.replace([':', '=', ',', '.'], "-");
+    format!(
+        "{base}_{}_{}_n{n}_f{f}_s{seed}",
+        sanitize(rule.to_string()),
+        sanitize(attack.to_string())
+    )
+}
+
+/// One line summarising a finished run.
+pub fn summary_line(report: &ScenarioReport) -> String {
+    let summary = report.summary();
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{}: rounds={} wall={:.1}ms",
+        report.spec.name,
+        summary.rounds,
+        report.wall_nanos as f64 / 1e6
+    );
+    if let Some(loss) = summary.final_loss {
+        let _ = write!(line, " final_loss={loss:.6}");
+    }
+    if let Some(last) = report.history.last() {
+        if let Some(dist) = last.distance_to_optimum {
+            let _ = write!(line, " |x-x*|={dist:.6}");
+        }
+    }
+    if let Some(acc) = summary.final_accuracy {
+        let _ = write!(line, " accuracy={:.1}%", 100.0 * acc);
+    }
+    let selections = report.history.selection_stats();
+    if selections.total() > 0 {
+        let _ = write!(
+            line,
+            " byz-pick={:.1}%",
+            100.0 * selections.byzantine_rate()
+        );
+    }
+    if summary.diverged {
+        line.push_str(" DIVERGED");
+    }
+    line
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// Attributes an export failure to the file it was writing, so `--csv` and
+/// `--json` failures name the offending path.
+fn export_err(path: &(impl AsRef<Path> + ?Sized), error: ScenarioError) -> CliError {
+    match error {
+        ScenarioError::Io(source) => CliError::Io {
+            path: path.as_ref().display().to_string(),
+            source,
+        },
+        other => CliError::Scenario(other),
+    }
+}
+
+/// The example scenario printed by `krum template`.
+pub fn template_spec() -> ScenarioSpec {
+    use krum_dist::LearningRateSchedule;
+    use krum_models::EstimatorSpec;
+    use krum_scenario::{ExecutionSpec, InitSpec, ProbeSpec};
+    ScenarioSpec {
+        name: "template".into(),
+        cluster: ClusterSpec::new(15, 4).expect("valid template cluster"),
+        rule: RuleSpec::Krum,
+        attack: AttackSpec::SignFlip { scale: 5.0 },
+        estimator: EstimatorSpec::GaussianQuadratic {
+            dim: 20,
+            sigma: 0.2,
+        },
+        schedule: LearningRateSchedule::InverseTime {
+            gamma: 0.2,
+            tau: 50.0,
+        },
+        execution: ExecutionSpec::Sequential,
+        rounds: 200,
+        eval_every: 20,
+        seed: 42,
+        init: InitSpec::Fill { value: 3.0 },
+        probes: ProbeSpec::default(),
+    }
+}
+
+/// Executes a parsed command, writing human output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when a scenario fails or a file cannot be
+/// read/written.
+pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let io_err = |path: &Path, source: std::io::Error| CliError::Io {
+        path: path.display().to_string(),
+        source,
+    };
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+        }
+        Command::List => {
+            writeln!(out, "aggregation rules (krum run: \"rule\" field):")
+                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            for name in RULE_NAMES {
+                writeln!(out, "  {name}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
+            writeln!(
+                out,
+                "\nattacks (\"attack\" field, with default parameters):"
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            for spec in AttackSpec::all() {
+                writeln!(out, "  {spec}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
+            debug_assert_eq!(AttackSpec::all().len(), ATTACK_NAMES.len());
+            writeln!(
+                out,
+                "\nworkloads (\"estimator\" field):\n  GaussianQuadratic {{ dim, sigma }}\n  \
+                 Synthetic {{ model, data, batch, holdout }}\n    models: Linear | Logistic | \
+                 Softmax | Mlp\n    data: LinearRegression | LogisticRegression | SyntheticDigits"
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+        }
+        Command::Template => {
+            let json = template_spec().to_json()?;
+            writeln!(out, "{json}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+        }
+        Command::Run {
+            spec_path,
+            csv,
+            json,
+            quiet,
+        } => {
+            let scenario = Scenario::from_json(&read_file(&spec_path)?)?;
+            let report = scenario.run()?;
+            if let Some(path) = &csv {
+                report.write_csv(path).map_err(|e| export_err(path, e))?;
+            }
+            if let Some(path) = &json {
+                report.write_json(path).map_err(|e| export_err(path, e))?;
+            }
+            if !quiet {
+                writeln!(out, "{}", report.spec.headline())
+                    .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                writeln!(out, "{}", summary_line(&report))
+                    .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                for path in csv.iter().chain(json.iter()) {
+                    writeln!(out, "wrote {path}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                }
+            }
+        }
+        Command::Sweep {
+            base_path,
+            axes,
+            out: out_dir,
+            quiet,
+        } => {
+            let base = ScenarioSpec::from_json(&read_file(&base_path)?)?;
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).map_err(|e| io_err(Path::new(dir), e))?;
+            }
+            let cells = expand_sweep(&base, &axes);
+            let total = cells.len();
+            let mut ran = 0usize;
+            let mut failed = 0usize;
+            for cell in cells {
+                match cell {
+                    SweepCell::Invalid(name, reason) => {
+                        if !quiet {
+                            writeln!(out, "{name}: SKIPPED ({reason})")
+                                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                        }
+                    }
+                    SweepCell::Spec(spec) => {
+                        // A cell failing mid-run must not abort the rest of
+                        // the grid — report it like an invalid cell.
+                        let name = spec.name.clone();
+                        match Scenario::from_spec(*spec).and_then(Scenario::run) {
+                            Err(e) => {
+                                failed += 1;
+                                if !quiet {
+                                    writeln!(out, "{name}: FAILED ({e})")
+                                        .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                                }
+                            }
+                            Ok(report) => {
+                                if let Some(dir) = &out_dir {
+                                    let path: PathBuf =
+                                        Path::new(dir).join(format!("{}.csv", report.spec.name));
+                                    report.write_csv(&path).map_err(|e| export_err(&path, e))?;
+                                }
+                                if !quiet {
+                                    writeln!(out, "{}", summary_line(&report))
+                                        .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                                }
+                                ran += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if !quiet {
+                writeln!(
+                    out,
+                    "sweep complete: {ran}/{total} cells ran, {failed} failed"
+                )
+                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Entry point used by the binary: parses and executes, mapping errors to an
+/// exit code (2 for usage errors, 1 for runtime failures).
+pub fn main_with(args: &[String], out: &mut dyn std::io::Write) -> i32 {
+    match parse(args) {
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+        Ok(command) => match execute(command, out) {
+            Ok(()) => 0,
+            Err(e @ CliError::Usage(_)) => {
+                eprintln!("{e}");
+                2
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                1
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_and_flags() {
+        let cmd = parse(&args(&["run", "spec.json", "--csv", "out.csv", "--quiet"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                spec_path: "spec.json".into(),
+                csv: Some("out.csv".into()),
+                json: None,
+                quiet: true,
+            }
+        );
+        assert!(parse(&args(&["run"])).is_err());
+        assert!(parse(&args(&["run", "a.json", "--nope"])).is_err());
+        assert!(parse(&args(&["run", "a.json", "b.json"])).is_err());
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse(&args(&["template"])).unwrap(), Command::Template);
+    }
+
+    #[test]
+    fn parses_sweep_axes() {
+        let cmd = parse(&args(&[
+            "sweep",
+            "base.json",
+            "--rule",
+            "krum,median",
+            "--f",
+            "2..4",
+            "--seed",
+            "1,2",
+            "--rounds",
+            "10",
+            "--out",
+            "dir",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                base_path,
+                axes,
+                out,
+                quiet,
+            } => {
+                assert_eq!(base_path, "base.json");
+                assert_eq!(axes.rules, vec![RuleSpec::Krum, RuleSpec::Median]);
+                assert_eq!(axes.fs, vec![2, 3, 4]);
+                assert_eq!(axes.seeds, vec![1, 2]);
+                assert_eq!(axes.rounds, Some(10));
+                assert_eq!(out.as_deref(), Some("dir"));
+                assert!(!quiet);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        assert!(parse(&args(&["sweep", "b.json", "--rule", "zeno"])).is_err());
+        assert!(parse(&args(&["sweep", "b.json", "--f", "4..2"])).is_err());
+        assert!(parse(&args(&["sweep", "b.json", "--f", "x"])).is_err());
+        assert!(parse(&args(&["sweep", "b.json", "--rounds", "ten"])).is_err());
+        assert!(parse(&args(&["sweep"])).is_err());
+    }
+
+    #[test]
+    fn axis_parsing_accepts_lists_and_ranges() {
+        assert_eq!(parse_axis("2..6", "--f").unwrap(), vec![2, 3, 4, 5, 6]);
+        assert_eq!(parse_axis("7", "--f").unwrap(), vec![7]);
+        assert_eq!(parse_axis(" 1, 3 ,5 ", "--f").unwrap(), vec![1, 3, 5]);
+        assert!(parse_axis("", "--f").is_err());
+        assert!(parse_axis("1..", "--f").is_err());
+    }
+
+    #[test]
+    fn sweep_expansion_covers_the_grid_and_reports_invalid_cells() {
+        let base = template_spec();
+        let axes = SweepAxes {
+            rules: vec![RuleSpec::Krum, RuleSpec::Median],
+            fs: vec![2, 7],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 4);
+        let specs: Vec<&ScenarioSpec> = cells
+            .iter()
+            .filter_map(|c| match c {
+                SweepCell::Spec(s) => Some(s.as_ref()),
+                SweepCell::Invalid(..) => None,
+            })
+            .collect();
+        // krum at n=15 rejects f=7 (2f + 2 >= n); median accepts both.
+        assert_eq!(specs.len(), 3);
+        assert!(specs.iter().all(|s| s.rounds == 5));
+        assert!(specs
+            .iter()
+            .any(|s| s.rule == RuleSpec::Median && s.cluster.byzantine() == 7));
+        let invalid: Vec<_> = cells
+            .iter()
+            .filter_map(|c| match c {
+                SweepCell::Invalid(name, reason) => Some((name, reason)),
+                SweepCell::Spec(_) => None,
+            })
+            .collect();
+        assert_eq!(invalid.len(), 1);
+        assert!(invalid[0].0.contains("krum"));
+        // Names are file-name safe.
+        assert!(specs.iter().all(|s| !s.name.contains(':')));
+    }
+
+    #[test]
+    fn execute_list_template_and_help_write_output() {
+        let mut out = Vec::new();
+        execute(Command::List, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("krum"));
+        assert!(text.contains("sign-flip"));
+        assert!(text.contains("GaussianQuadratic"));
+
+        let mut out = Vec::new();
+        execute(Command::Template, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let spec = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(spec.name, "template");
+
+        let mut out = Vec::new();
+        execute(Command::Help, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("usage: krum"));
+    }
+
+    #[test]
+    fn execute_run_reports_missing_files_with_the_path() {
+        let mut out = Vec::new();
+        let err = execute(
+            Command::Run {
+                spec_path: "/definitely/missing.json".into(),
+                csv: None,
+                json: None,
+                quiet: false,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("/definitely/missing.json"));
+    }
+}

@@ -1,0 +1,7 @@
+//! The `krum` binary — a thin shell around the library in `lib.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(krum_cli::main_with(&args, &mut stdout));
+}

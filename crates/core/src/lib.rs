@@ -28,6 +28,11 @@
 //! [`AggregationContext`] so steady-state rounds perform zero heap
 //! allocations (see the `context` module docs for the exact contract).
 //!
+//! Rules are also constructible from a typed, serde round-trippable
+//! [`RuleSpec`] (or its textual form such as `"multi-krum:m=8"` via
+//! [`build_aggregator`]) — the registry the scenario API and the `krum`
+//! CLI drive.
+//!
 //! ## Example
 //!
 //! ```
@@ -77,7 +82,7 @@ pub use distance::{ClosestToBarycenter, GeometricMedian};
 pub use error::AggregationError;
 pub use krum::{Krum, MultiKrum};
 pub use median::{CoordinateWiseMedian, TrimmedMean};
-pub use registry::{build_aggregator, RULE_NAMES};
+pub use registry::{build_aggregator, RuleSpec, RULE_NAMES};
 pub use resilience::{eta, krum_sin_alpha, ResilienceCheck, ResilienceEstimator};
 pub use subset::MinimumDiameterSubset;
 
@@ -86,6 +91,6 @@ pub mod prelude {
     pub use crate::{
         Aggregation, AggregationContext, AggregationError, Aggregator, Average,
         ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy, GeometricMedian, Krum,
-        MinimumDiameterSubset, MultiKrum, TrimmedMean, WeightedAverage,
+        MinimumDiameterSubset, MultiKrum, RuleSpec, TrimmedMean, WeightedAverage,
     };
 }

@@ -1,9 +1,16 @@
-//! Constructing aggregation rules from textual specifications.
+//! Typed rule specifications and the registry built on them.
 //!
-//! Experiment drivers, configuration files and command lines refer to rules by
-//! name (`"krum"`, `"multi-krum:m=8"`, `"trimmed-mean:trim=2"`). This module
-//! turns such a specification plus the cluster shape `(n, f)` into a boxed
-//! [`Aggregator`], so sweeps over rules can be driven by plain strings.
+//! Experiment drivers, configuration files and command lines refer to rules
+//! either as a typed [`RuleSpec`] value (serde round-trippable, the form the
+//! scenario API uses) or as its textual rendering (`"krum"`,
+//! `"multi-krum:m=8"`, `"trimmed-mean:trim=2"`). [`RuleSpec`] implements
+//! `Display`/`FromStr` so the two forms round-trip exactly, and
+//! [`RuleSpec::build`] turns a spec plus the cluster shape `(n, f)` into a
+//! boxed [`Aggregator`]. The string-level [`build_aggregator`] is a thin
+//! wrapper kept for callers that start from plain text.
+
+use std::fmt;
+use std::str::FromStr;
 
 use crate::aggregator::Aggregator;
 use crate::average::{Average, WeightedAverage};
@@ -25,6 +32,209 @@ pub const RULE_NAMES: &[&str] = &[
     "min-diameter-subset",
 ];
 
+/// A typed, serialisable specification of an aggregation rule.
+///
+/// The spec captures the rule identity and its rule-level parameters; the
+/// cluster shape `(n, f)` is supplied at [`RuleSpec::build`] time, so one
+/// spec can be swept across cluster sizes. `Display` renders the canonical
+/// textual form (`"multi-krum:m=3"`) and `FromStr` parses it back —
+/// `spec.to_string().parse()` is the identity for every variant. Serde
+/// serialises the spec as that same string, so a JSON scenario reads
+/// `"rule": "trimmed-mean:trim=2"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleSpec {
+    /// Plain averaging — the linear rule of Lemma 3.1.
+    Average,
+    /// Uniformly weighted averaging (also linear).
+    UniformWeightedAverage,
+    /// The paper's Krum rule.
+    Krum,
+    /// Multi-Krum averaging the `m` best-scored proposals; `None` defaults
+    /// to `m = n − f` at build time.
+    MultiKrum {
+        /// How many best-scored proposals to average (`None` → `n − f`).
+        m: Option<usize>,
+    },
+    /// Coordinate-wise median.
+    Median,
+    /// Coordinate-wise trimmed mean; `None` defaults to `trim = f` at build
+    /// time.
+    TrimmedMean {
+        /// How many extremes to trim per coordinate side (`None` → `f`).
+        trim: Option<usize>,
+    },
+    /// Geometric (spatial) median.
+    GeometricMedian,
+    /// The flawed distance-based rule defeated by the Figure-2 collusion.
+    ClosestToBarycenter,
+    /// The exponential minimum-diameter-subset rule of the introduction.
+    MinDiameterSubset,
+}
+
+impl RuleSpec {
+    /// Builds the aggregation rule for a cluster of `n` workers with `f`
+    /// Byzantine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] when the parameters are
+    /// invalid for the given `(n, f)` (e.g. Krum with `2f + 2 ≥ n`).
+    pub fn build(&self, n: usize, f: usize) -> Result<Box<dyn Aggregator>, AggregationError> {
+        match *self {
+            Self::Average => Ok(Box::new(Average::new())),
+            Self::UniformWeightedAverage => Ok(Box::new(WeightedAverage::uniform(n)?)),
+            Self::Krum => Ok(Box::new(Krum::new(n, f)?)),
+            Self::MultiKrum { m } => {
+                let m = m.unwrap_or_else(|| n.saturating_sub(f).max(1));
+                Ok(Box::new(MultiKrum::new(n, f, m)?))
+            }
+            Self::Median => Ok(Box::new(CoordinateWiseMedian::new())),
+            Self::TrimmedMean { trim } => {
+                let trim = trim.unwrap_or(f);
+                // TrimmedMean itself only checks feasibility once proposals
+                // arrive; reject an infeasible trim here so scenario
+                // validation catches it before any round runs.
+                if 2 * trim >= n {
+                    return Err(AggregationError::config(
+                        "trimmed-mean",
+                        format!("trimming needs 2·trim < n, got n = {n}, trim = {trim}"),
+                    ));
+                }
+                Ok(Box::new(TrimmedMean::new(trim)))
+            }
+            Self::GeometricMedian => Ok(Box::new(GeometricMedian::new())),
+            Self::ClosestToBarycenter => Ok(Box::new(ClosestToBarycenter::new())),
+            Self::MinDiameterSubset => Ok(Box::new(MinimumDiameterSubset::new(n, f)?)),
+        }
+    }
+
+    /// The canonical rule name (the `Display` form without parameters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Average => "average",
+            Self::UniformWeightedAverage => "uniform-weighted-average",
+            Self::Krum => "krum",
+            Self::MultiKrum { .. } => "multi-krum",
+            Self::Median => "median",
+            Self::TrimmedMean { .. } => "trimmed-mean",
+            Self::GeometricMedian => "geometric-median",
+            Self::ClosestToBarycenter => "closest-to-barycenter",
+            Self::MinDiameterSubset => "min-diameter-subset",
+        }
+    }
+
+    /// One spec per canonical rule name, with default parameters — the
+    /// iteration order matches [`RULE_NAMES`].
+    pub fn all() -> Vec<RuleSpec> {
+        vec![
+            Self::Average,
+            Self::Krum,
+            Self::MultiKrum { m: None },
+            Self::Median,
+            Self::TrimmedMean { trim: None },
+            Self::GeometricMedian,
+            Self::ClosestToBarycenter,
+            Self::MinDiameterSubset,
+        ]
+    }
+}
+
+impl fmt::Display for RuleSpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::MultiKrum { m: Some(m) } => write!(out, "multi-krum:m={m}"),
+            Self::TrimmedMean { trim: Some(trim) } => write!(out, "trimmed-mean:trim={trim}"),
+            _ => out.write_str(self.name()),
+        }
+    }
+}
+
+impl FromStr for RuleSpec {
+    type Err = AggregationError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut parts = spec.splitn(2, ':');
+        let name = parts.next().unwrap_or_default().trim();
+        let params = parse_params(parts.next().unwrap_or(""), name)?;
+        let get =
+            |key: &str| -> Option<usize> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
+        let reject_unknown = |allowed: &[&str]| -> Result<(), AggregationError> {
+            if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
+                return Err(AggregationError::config(
+                    "registry",
+                    format!("unknown parameter `{key}` for rule `{name}`"),
+                ));
+            }
+            Ok(())
+        };
+        match name {
+            "average" => {
+                reject_unknown(&[])?;
+                Ok(Self::Average)
+            }
+            "uniform-weighted-average" => {
+                reject_unknown(&[])?;
+                Ok(Self::UniformWeightedAverage)
+            }
+            "krum" => {
+                reject_unknown(&[])?;
+                Ok(Self::Krum)
+            }
+            "multi-krum" => {
+                reject_unknown(&["m"])?;
+                Ok(Self::MultiKrum { m: get("m") })
+            }
+            "median" | "coordinate-median" => {
+                reject_unknown(&[])?;
+                Ok(Self::Median)
+            }
+            "trimmed-mean" => {
+                reject_unknown(&["trim"])?;
+                Ok(Self::TrimmedMean { trim: get("trim") })
+            }
+            "geometric-median" => {
+                reject_unknown(&[])?;
+                Ok(Self::GeometricMedian)
+            }
+            "closest-to-barycenter" => {
+                reject_unknown(&[])?;
+                Ok(Self::ClosestToBarycenter)
+            }
+            "min-diameter-subset" => {
+                reject_unknown(&[])?;
+                Ok(Self::MinDiameterSubset)
+            }
+            other => Err(AggregationError::config(
+                "registry",
+                format!(
+                    "unknown aggregation rule `{other}`; known rules: {}",
+                    RULE_NAMES.join(", ")
+                ),
+            )),
+        }
+    }
+}
+
+impl serde::Serialize for RuleSpec {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for RuleSpec {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|e: AggregationError| serde::DeError::custom(e.to_string())),
+            other => Err(serde::DeError::invalid_type(
+                "rule spec string",
+                other.kind(),
+            )),
+        }
+    }
+}
+
 /// Builds an aggregation rule from a specification string.
 ///
 /// The specification is a rule name optionally followed by `:key=value`
@@ -38,6 +248,9 @@ pub const RULE_NAMES: &[&str] = &[
 /// * `"geometric-median"`
 /// * `"closest-to-barycenter"`
 /// * `"min-diameter-subset"`
+///
+/// This is a thin wrapper over `spec.parse::<`[`RuleSpec`]`>()` followed by
+/// [`RuleSpec::build`].
 ///
 /// # Errors
 ///
@@ -62,66 +275,7 @@ pub fn build_aggregator(
     n: usize,
     f: usize,
 ) -> Result<Box<dyn Aggregator>, AggregationError> {
-    let mut parts = spec.splitn(2, ':');
-    let name = parts.next().unwrap_or_default().trim();
-    let params = parse_params(parts.next().unwrap_or(""), name)?;
-    let get =
-        |key: &str| -> Option<usize> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
-    let reject_unknown = |allowed: &[&str]| -> Result<(), AggregationError> {
-        if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
-            return Err(AggregationError::config(
-                "registry",
-                format!("unknown parameter `{key}` for rule `{name}`"),
-            ));
-        }
-        Ok(())
-    };
-    match name {
-        "average" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(Average::new()))
-        }
-        "uniform-weighted-average" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(WeightedAverage::uniform(n)?))
-        }
-        "krum" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(Krum::new(n, f)?))
-        }
-        "multi-krum" => {
-            reject_unknown(&["m"])?;
-            let m = get("m").unwrap_or_else(|| n.saturating_sub(f).max(1));
-            Ok(Box::new(MultiKrum::new(n, f, m)?))
-        }
-        "median" | "coordinate-median" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(CoordinateWiseMedian::new()))
-        }
-        "trimmed-mean" => {
-            reject_unknown(&["trim"])?;
-            Ok(Box::new(TrimmedMean::new(get("trim").unwrap_or(f))))
-        }
-        "geometric-median" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(GeometricMedian::new()))
-        }
-        "closest-to-barycenter" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(ClosestToBarycenter::new()))
-        }
-        "min-diameter-subset" => {
-            reject_unknown(&[])?;
-            Ok(Box::new(MinimumDiameterSubset::new(n, f)?))
-        }
-        other => Err(AggregationError::config(
-            "registry",
-            format!(
-                "unknown aggregation rule `{other}`; known rules: {}",
-                RULE_NAMES.join(", ")
-            ),
-        )),
-    }
+    spec.parse::<RuleSpec>()?.build(n, f)
 }
 
 /// Parses `key=value,key=value` parameter lists with `usize` values.
@@ -184,6 +338,12 @@ mod tests {
         assert!(build_aggregator("multi-krum:m=abc", 9, 2).is_err());
         // Invalid (n, f) for Krum propagates the underlying error.
         assert!(build_aggregator("krum", 6, 2).is_err());
+        // Infeasible trim is rejected at build time, not mid-run.
+        assert!(build_aggregator("trimmed-mean:trim=5", 9, 2).is_err());
+        assert!(
+            build_aggregator("trimmed-mean", 8, 4).is_err(),
+            "default trim = f"
+        );
         // Subset rule enforces its practical cap.
         assert!(build_aggregator("min-diameter-subset", 64, 2).is_err());
     }
@@ -193,5 +353,66 @@ mod tests {
         assert!(build_aggregator("multi-krum: m = 3 ", 9, 2).is_ok());
         assert!(build_aggregator("coordinate-median", 9, 2).is_ok());
         assert!(build_aggregator("uniform-weighted-average", 9, 2).is_ok());
+    }
+
+    #[test]
+    fn typed_specs_display_their_canonical_form() {
+        assert_eq!(RuleSpec::Krum.to_string(), "krum");
+        assert_eq!(RuleSpec::MultiKrum { m: None }.to_string(), "multi-krum");
+        assert_eq!(
+            RuleSpec::MultiKrum { m: Some(4) }.to_string(),
+            "multi-krum:m=4"
+        );
+        assert_eq!(
+            RuleSpec::TrimmedMean { trim: Some(2) }.to_string(),
+            "trimmed-mean:trim=2"
+        );
+        assert_eq!(
+            RuleSpec::UniformWeightedAverage.to_string(),
+            "uniform-weighted-average"
+        );
+    }
+
+    #[test]
+    fn typed_specs_round_trip_through_strings_and_serde() {
+        let specs = [
+            RuleSpec::Average,
+            RuleSpec::UniformWeightedAverage,
+            RuleSpec::Krum,
+            RuleSpec::MultiKrum { m: None },
+            RuleSpec::MultiKrum { m: Some(3) },
+            RuleSpec::Median,
+            RuleSpec::TrimmedMean { trim: None },
+            RuleSpec::TrimmedMean { trim: Some(1) },
+            RuleSpec::GeometricMedian,
+            RuleSpec::ClosestToBarycenter,
+            RuleSpec::MinDiameterSubset,
+        ];
+        for spec in specs {
+            let parsed: RuleSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec, "Display → FromStr must round-trip");
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: RuleSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "serde must round-trip");
+        }
+    }
+
+    #[test]
+    fn typed_build_matches_string_registry() {
+        let typed = RuleSpec::MultiKrum { m: Some(3) }.build(9, 2).unwrap();
+        let stringly = build_aggregator("multi-krum:m=3", 9, 2).unwrap();
+        assert_eq!(typed.name(), stringly.name());
+        assert_eq!(RuleSpec::Krum.name(), "krum");
+        assert!(RuleSpec::Krum.build(6, 2).is_err());
+    }
+
+    #[test]
+    fn all_covers_every_canonical_name() {
+        let all = RuleSpec::all();
+        assert_eq!(all.len(), RULE_NAMES.len());
+        for (spec, &name) in all.iter().zip(RULE_NAMES) {
+            assert_eq!(spec.name(), name);
+            assert!(spec.build(9, 2).is_ok(), "{name} must build at (9, 2)");
+        }
     }
 }

@@ -101,6 +101,17 @@ impl LearningRateSchedule {
     }
 }
 
+impl std::fmt::Display for LearningRateSchedule {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::Constant { gamma } => write!(out, "constant(gamma={gamma})"),
+            Self::InverseTime { gamma, tau } => {
+                write!(out, "inverse-time(gamma={gamma}, tau={tau})")
+            }
+        }
+    }
+}
+
 /// Configuration of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingConfig {
@@ -113,7 +124,8 @@ pub struct TrainingConfig {
     /// sequential and threaded engines follow identical trajectories.
     pub seed: u64,
     /// Evaluate loss/accuracy every this many rounds (the final round is
-    /// always evaluated). `0` evaluates only the final round.
+    /// always evaluated). Must be at least 1; set `eval_every = rounds` to
+    /// evaluate only at the edges of the run.
     pub eval_every: usize,
     /// Known optimum `x*`, recorded as `‖x_t − x*‖` per round when set.
     pub known_optimum: Option<Vector>,
@@ -124,16 +136,32 @@ impl TrainingConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError::InvalidConfig`] when `rounds` is zero or the
-    /// schedule is invalid.
+    /// Returns [`TrainError::InvalidConfig`] when `rounds` is zero, when
+    /// `eval_every` is zero (a degenerate cadence that used to silently
+    /// disable periodic evaluation — use `eval_every = rounds` to evaluate
+    /// only at the edges of the run), when the known optimum is non-finite,
+    /// or when the schedule is invalid.
     pub fn validate(&self) -> Result<(), TrainError> {
         if self.rounds == 0 {
             return Err(TrainError::config("rounds must be >= 1"));
+        }
+        if self.eval_every == 0 {
+            return Err(TrainError::config(
+                "eval_every must be >= 1 (use eval_every = rounds to evaluate only the final round)",
+            ));
+        }
+        if let Some(optimum) = &self.known_optimum {
+            if optimum.iter().any(|x| !x.is_finite()) {
+                return Err(TrainError::config(
+                    "known optimum must have finite coordinates",
+                ));
+            }
         }
         self.schedule.validate()
     }
 
     /// Whether round `round` (of `self.rounds`) is an evaluation round.
+    /// `eval_every` is validated to be non-zero before a run starts.
     pub(crate) fn eval_due(&self, round: usize) -> bool {
         round + 1 == self.rounds || (self.eval_every != 0 && round.is_multiple_of(self.eval_every))
     }
@@ -207,12 +235,45 @@ mod tests {
             ..config.clone()
         };
         assert!(bad.validate().is_err());
-        let lazy = TrainingConfig {
+        // A zero evaluation cadence is a configuration bug, not a "never
+        // evaluate" request — it must be rejected with a descriptive error.
+        let degenerate = TrainingConfig {
             eval_every: 0,
+            ..config.clone()
+        };
+        let err = degenerate.validate().unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)));
+        assert!(err.to_string().contains("eval_every"));
+        let non_finite = TrainingConfig {
+            known_optimum: Some(Vector::filled(3, f64::NAN)),
+            ..config.clone()
+        };
+        assert!(non_finite.validate().is_err());
+        // eval_every = rounds evaluates only at the edges of the run.
+        let lazy = TrainingConfig {
+            eval_every: 10,
             ..config
         };
-        assert!(!lazy.eval_due(0));
+        lazy.validate().unwrap();
+        assert!(lazy.eval_due(0));
+        assert!(!lazy.eval_due(5));
         assert!(lazy.eval_due(9));
+    }
+
+    #[test]
+    fn schedules_display_readably() {
+        assert_eq!(
+            LearningRateSchedule::Constant { gamma: 0.1 }.to_string(),
+            "constant(gamma=0.1)"
+        );
+        assert_eq!(
+            LearningRateSchedule::InverseTime {
+                gamma: 0.2,
+                tau: 50.0
+            }
+            .to_string(),
+            "inverse-time(gamma=0.2, tau=50)"
+        );
     }
 
     #[test]

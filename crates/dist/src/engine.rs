@@ -91,6 +91,15 @@ impl ExecutionStrategy {
     }
 }
 
+impl std::fmt::Display for ExecutionStrategy {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sequential => out.write_str("sequential"),
+            Self::Threaded { network } => write!(out, "threaded({network})"),
+        }
+    }
+}
+
 /// The shared synchronous-round engine behind
 /// [`SyncTrainer`](crate::SyncTrainer) and
 /// [`ThreadedTrainer`](crate::ThreadedTrainer).

@@ -40,6 +40,18 @@ impl LatencyModel {
     }
 }
 
+impl std::fmt::Display for LatencyModel {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::Constant { nanos } => write!(out, "constant({nanos}ns)"),
+            Self::Uniform {
+                min_nanos,
+                max_nanos,
+            } => write!(out, "uniform({min_nanos}..{max_nanos}ns)"),
+        }
+    }
+}
+
 /// Simulated network: per-message latency plus byte-proportional transfer
 /// time. One round charges, per worker, a parameter broadcast down and a
 /// gradient push up (both `8·d` bytes), and the synchronous barrier waits
@@ -50,6 +62,16 @@ pub struct NetworkModel {
     pub latency: LatencyModel,
     /// Transfer cost per payload byte, in nanoseconds.
     pub nanos_per_byte: f64,
+}
+
+impl std::fmt::Display for NetworkModel {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            out,
+            "network(latency={}, {}ns/byte)",
+            self.latency, self.nanos_per_byte
+        )
+    }
 }
 
 impl NetworkModel {

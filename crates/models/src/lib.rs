@@ -18,7 +18,12 @@
 //! * the [`GradientEstimator`] abstraction that workers use to produce
 //!   `G(x, ξ)`: [`BatchGradientEstimator`] (model + mini-batch) and
 //!   [`GaussianEstimator`] (true gradient + Gaussian noise, matching the
-//!   `E‖G − g‖² = d·σ²` assumption of Proposition 4.2).
+//!   `E‖G − g‖² = d·σ²` assumption of Proposition 4.2),
+//! * the typed workload registry behind the scenario API: [`ModelSpec`],
+//!   [`DataSpec`] and [`EstimatorSpec`], whose
+//!   [`build`](EstimatorSpec::build) factory deterministically produces the
+//!   per-worker estimator cluster plus probe/metrics hooks as a
+//!   [`Workload`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@ mod mlp;
 mod model;
 mod quadratic;
 mod softmax;
+mod spec;
 
 pub use activation::Activation;
 pub use error::ModelError;
@@ -44,12 +50,14 @@ pub use mlp::{Mlp, MlpBuilder};
 pub use model::{accuracy, evaluate, finite_difference_check, EvalReport, Model, Prediction};
 pub use quadratic::QuadraticCost;
 pub use softmax::SoftmaxRegression;
+pub use spec::{AccuracyFn, DataSpec, EstimatorSpec, ModelSpec, Workload};
 
 /// Convenience prelude for the models crate.
 pub mod prelude {
     pub use crate::{
-        accuracy, evaluate, sample_estimates, Activation, BatchGradientEstimator, EvalReport,
-        GaussianEstimator, GradientEstimator, LinearRegression, LogisticRegression, Mlp,
-        MlpBuilder, Model, ModelError, Prediction, QuadraticCost, SoftmaxRegression,
+        accuracy, evaluate, sample_estimates, Activation, BatchGradientEstimator, DataSpec,
+        EstimatorSpec, EvalReport, GaussianEstimator, GradientEstimator, LinearRegression,
+        LogisticRegression, Mlp, MlpBuilder, Model, ModelError, ModelSpec, Prediction,
+        QuadraticCost, SoftmaxRegression, Workload,
     };
 }

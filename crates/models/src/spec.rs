@@ -1,0 +1,581 @@
+//! Typed workload specifications: models, datasets and estimator clusters.
+//!
+//! The scenario API describes *what the honest workers compute* as data, not
+//! code: a [`ModelSpec`] names a model architecture, a [`DataSpec`] names a
+//! synthetic dataset, and an [`EstimatorSpec`] combines them into the full
+//! worker-side workload. [`EstimatorSpec::build`] is the factory the
+//! distributed runtime calls: it deterministically (from a seed) generates
+//! the data, shards it across the honest workers and returns one
+//! [`GradientEstimator`] per worker plus the probe/metrics hooks as a
+//! [`Workload`]. Everything is serde round-trippable so a scenario file can
+//! pin the whole experiment.
+
+use krum_data::{generators, partition, BatchSampler, Dataset};
+use krum_tensor::{InitStrategy, Vector};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::estimator::{BatchGradientEstimator, GaussianEstimator, GradientEstimator};
+use crate::linear::{LinearRegression, LogisticRegression};
+use crate::mlp::{Mlp, MlpBuilder};
+use crate::model::{accuracy, Model};
+use crate::quadratic::QuadraticCost;
+use crate::softmax::SoftmaxRegression;
+
+/// Held-out accuracy probe produced by a workload: maps a parameter vector to
+/// test-set accuracy (`None` when the model/labels make accuracy undefined).
+pub type AccuracyFn = Box<dyn Fn(&Vector) -> Option<f64> + Send + Sync>;
+
+/// A typed, serialisable specification of a model architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Linear regression on `features` inputs (`d = features + 1`).
+    Linear {
+        /// Number of input features.
+        features: usize,
+    },
+    /// Logistic regression on `features` inputs (`d = features + 1`).
+    Logistic {
+        /// Number of input features.
+        features: usize,
+    },
+    /// Softmax regression over `classes` classes.
+    Softmax {
+        /// Number of input features.
+        features: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Multi-layer perceptron with the given hidden widths.
+    Mlp {
+        /// Number of input features.
+        inputs: usize,
+        /// Hidden-layer widths, in order.
+        hidden: Vec<usize>,
+        /// Number of output classes.
+        classes: usize,
+    },
+}
+
+/// One concrete model behind a [`ModelSpec`] — enum dispatch keeps the
+/// builders monomorphic without requiring `Model` to be boxed.
+enum BuiltModel {
+    Linear(LinearRegression),
+    Logistic(LogisticRegression),
+    Softmax(SoftmaxRegression),
+    Mlp(Mlp),
+}
+
+impl ModelSpec {
+    fn build_model(&self) -> Result<BuiltModel, ModelError> {
+        match self {
+            Self::Linear { features } => Ok(BuiltModel::Linear(LinearRegression::new(*features))),
+            Self::Logistic { features } => {
+                Ok(BuiltModel::Logistic(LogisticRegression::new(*features)))
+            }
+            Self::Softmax { features, classes } => Ok(BuiltModel::Softmax(SoftmaxRegression::new(
+                *features, *classes,
+            )?)),
+            Self::Mlp {
+                inputs,
+                hidden,
+                classes,
+            } => {
+                let mut builder = MlpBuilder::new(*inputs, *classes);
+                for &width in hidden {
+                    builder.hidden_layer(width);
+                }
+                Ok(BuiltModel::Mlp(builder.build()?))
+            }
+        }
+    }
+
+    /// Parameter dimension `d` of the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the architecture itself is invalid (e.g.
+    /// a zero-class softmax).
+    pub fn dim(&self) -> Result<usize, ModelError> {
+        Ok(match self.build_model()? {
+            BuiltModel::Linear(m) => m.dim(),
+            BuiltModel::Logistic(m) => m.dim(),
+            BuiltModel::Softmax(m) => m.dim(),
+            BuiltModel::Mlp(m) => m.dim(),
+        })
+    }
+
+    /// Number of input features the model consumes.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            Self::Linear { features } | Self::Logistic { features } => *features,
+            Self::Softmax { features, .. } => *features,
+            Self::Mlp { inputs, .. } => *inputs,
+        }
+    }
+
+    /// A mini-batch gradient estimator of this model over `sampler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the architecture is invalid.
+    pub fn estimator(
+        &self,
+        sampler: BatchSampler,
+    ) -> Result<Box<dyn GradientEstimator>, ModelError> {
+        Ok(match self.build_model()? {
+            BuiltModel::Linear(m) => Box::new(BatchGradientEstimator::new(m, sampler)?),
+            BuiltModel::Logistic(m) => Box::new(BatchGradientEstimator::new(m, sampler)?),
+            BuiltModel::Softmax(m) => Box::new(BatchGradientEstimator::new(m, sampler)?),
+            BuiltModel::Mlp(m) => Box::new(BatchGradientEstimator::new(m, sampler)?),
+        })
+    }
+
+    /// Samples initial parameters with `strategy` from a seeded RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the architecture is invalid.
+    pub fn init_params(&self, strategy: InitStrategy, seed: u64) -> Result<Vector, ModelError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Ok(match self.build_model()? {
+            BuiltModel::Linear(m) => m.init_parameters(strategy, &mut rng),
+            BuiltModel::Logistic(m) => m.init_parameters(strategy, &mut rng),
+            BuiltModel::Softmax(m) => m.init_parameters(strategy, &mut rng),
+            BuiltModel::Mlp(m) => m.init_parameters(strategy, &mut rng),
+        })
+    }
+
+    /// A held-out accuracy probe of this model over `test`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the architecture is invalid.
+    pub fn accuracy_probe(&self, test: Dataset) -> Result<AccuracyFn, ModelError> {
+        let model = self.build_model()?;
+        Ok(Box::new(move |params: &Vector| match &model {
+            BuiltModel::Linear(m) => accuracy(m, params, &test).ok().flatten(),
+            BuiltModel::Logistic(m) => accuracy(m, params, &test).ok().flatten(),
+            BuiltModel::Softmax(m) => accuracy(m, params, &test).ok().flatten(),
+            BuiltModel::Mlp(m) => accuracy(m, params, &test).ok().flatten(),
+        }))
+    }
+}
+
+/// A typed, serialisable specification of a synthetic dataset.
+///
+/// The feature dimension is supplied at build time (from the paired
+/// [`ModelSpec`]) so the two cannot disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// `generators::linear_regression`: a noisy linear teacher.
+    LinearRegression {
+        /// Number of samples to generate.
+        samples: usize,
+        /// Label noise standard deviation.
+        noise: f64,
+    },
+    /// `generators::logistic_regression`: a logistic teacher.
+    LogisticRegression {
+        /// Number of samples to generate.
+        samples: usize,
+    },
+    /// `generators::synthetic_digits`: the MNIST-like 10-class digit task on
+    /// a `side × side` grid (the paired model must consume `side²` inputs).
+    SyntheticDigits {
+        /// Number of samples to generate.
+        samples: usize,
+        /// Pixel noise standard deviation.
+        noise: f64,
+    },
+}
+
+impl DataSpec {
+    /// Generates the dataset for a model consuming `input_dim` features.
+    fn build(&self, input_dim: usize, rng: &mut ChaCha8Rng) -> Result<Dataset, ModelError> {
+        let data = match *self {
+            Self::LinearRegression { samples, noise } => {
+                generators::linear_regression(samples, input_dim, noise, rng).map(|(d, _, _)| d)
+            }
+            Self::LogisticRegression { samples } => {
+                generators::logistic_regression(samples, input_dim, rng).map(|(d, _, _)| d)
+            }
+            Self::SyntheticDigits { samples, noise } => {
+                let side = (input_dim as f64).sqrt().round() as usize;
+                if side * side != input_dim {
+                    return Err(ModelError::BadConfig(format!(
+                        "synthetic-digits needs a square input dimension, got {input_dim}"
+                    )));
+                }
+                generators::synthetic_digits(samples, side, noise, rng)
+            }
+        };
+        data.map_err(|e| ModelError::BadConfig(format!("data generation failed: {e}")))
+    }
+}
+
+/// A typed, serialisable specification of the honest workers' computation —
+/// the factory behind `Scenario`'s propose phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorSpec {
+    /// The theory-facing workload: `G(x, ξ) = ∇Q(x) + N(0, σ²·I_d)` around an
+    /// isotropic quadratic centred at the origin, realising exactly the
+    /// `E‖G − g‖² = d·σ²` assumption of Proposition 4.2. The optimum is known
+    /// (`x* = 0`), so scenarios can track `‖x_t − x*‖`.
+    GaussianQuadratic {
+        /// Model dimension `d`.
+        dim: usize,
+        /// Per-coordinate noise standard deviation σ.
+        sigma: f64,
+    },
+    /// The realistic workload: a model trained on i.i.d. shards of a
+    /// generated dataset, one mini-batch estimator per honest worker, with a
+    /// held-out split for the accuracy probe.
+    Synthetic {
+        /// The model every worker trains.
+        model: ModelSpec,
+        /// The dataset generator.
+        data: DataSpec,
+        /// Mini-batch size per gradient estimate.
+        batch: usize,
+        /// Fraction of the dataset held out for the accuracy probe, in
+        /// `[0, 1)`; `0` keeps everything for training and disables the
+        /// probe.
+        holdout: f64,
+    },
+}
+
+/// Everything [`EstimatorSpec::build`] produces for the distributed runtime.
+pub struct Workload {
+    /// One gradient estimator per honest worker.
+    pub estimators: Vec<Box<dyn GradientEstimator>>,
+    /// Dedicated probe estimator serving metrics/adversary queries (loss and
+    /// true gradient over the *full* training set), when the workload
+    /// distinguishes one.
+    pub probe: Option<Box<dyn GradientEstimator>>,
+    /// Model dimension `d`.
+    pub dim: usize,
+    /// The analytic optimum `x*`, when the workload knows one.
+    pub optimum: Option<Vector>,
+    /// Held-out accuracy probe, when the workload carries labelled test data.
+    pub accuracy: Option<AccuracyFn>,
+}
+
+impl EstimatorSpec {
+    /// Model dimension `d` of the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the underlying model spec is invalid.
+    pub fn dim(&self) -> Result<usize, ModelError> {
+        match self {
+            Self::GaussianQuadratic { dim, .. } => Ok(*dim),
+            Self::Synthetic { model, .. } => model.dim(),
+        }
+    }
+
+    /// Validates the specification without building it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match self {
+            Self::GaussianQuadratic { dim, sigma } => {
+                if *dim == 0 {
+                    return Err(ModelError::BadConfig(
+                        "gaussian-quadratic needs dim >= 1".into(),
+                    ));
+                }
+                if *sigma < 0.0 || !sigma.is_finite() {
+                    return Err(ModelError::BadConfig(format!(
+                        "sigma must be finite and >= 0, got {sigma}"
+                    )));
+                }
+            }
+            Self::Synthetic {
+                model,
+                batch,
+                holdout,
+                ..
+            } => {
+                model.dim()?;
+                if *batch == 0 {
+                    return Err(ModelError::BadConfig("batch size must be >= 1".into()));
+                }
+                if !(0.0..1.0).contains(holdout) {
+                    return Err(ModelError::BadConfig(format!(
+                        "holdout must be in [0, 1), got {holdout}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the workload for `honest` workers, deterministically from
+    /// `seed` (data generation, shuffling and sharding all derive from it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] for invalid parameters or when the dataset is
+    /// too small to shard across the workers.
+    pub fn build(&self, honest: usize, seed: u64) -> Result<Workload, ModelError> {
+        self.validate()?;
+        if honest == 0 {
+            return Err(ModelError::BadConfig(
+                "workloads need at least one honest worker".into(),
+            ));
+        }
+        match self {
+            Self::GaussianQuadratic { dim, sigma } => {
+                let make = || -> Result<Box<dyn GradientEstimator>, ModelError> {
+                    Ok(Box::new(GaussianEstimator::new(
+                        QuadraticCost::isotropic(Vector::zeros(*dim), 0.0),
+                        *sigma,
+                    )?))
+                };
+                let estimators = (0..honest).map(|_| make()).collect::<Result<Vec<_>, _>>()?;
+                Ok(Workload {
+                    estimators,
+                    probe: None,
+                    dim: *dim,
+                    optimum: Some(Vector::zeros(*dim)),
+                    accuracy: None,
+                })
+            }
+            Self::Synthetic {
+                model,
+                data,
+                batch,
+                holdout,
+            } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let dataset = data.build(model.input_dim(), &mut rng)?;
+                let (train, test) = if *holdout > 0.0 {
+                    let (train, test) = dataset
+                        .shuffled(&mut rng)
+                        .split(1.0 - holdout)
+                        .map_err(|e| ModelError::BadConfig(format!("holdout split failed: {e}")))?;
+                    (train, Some(test))
+                } else {
+                    (dataset, None)
+                };
+                let shards = partition::iid_shards(&train, honest, &mut rng)
+                    .map_err(|e| ModelError::BadConfig(format!("sharding failed: {e}")))?;
+                let estimators = shards
+                    .into_iter()
+                    .map(|shard| {
+                        let size = (*batch).min(shard.len()).max(1);
+                        let sampler = BatchSampler::new(shard, size)
+                            .map_err(|e| ModelError::BadConfig(format!("bad shard: {e}")))?;
+                        model.estimator(sampler)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                // The probe sees the full training set: full-batch gradients
+                // and losses, exactly the omniscient adversary's knowledge.
+                let probe_sampler = BatchSampler::new(train.clone(), train.len())
+                    .map_err(|e| ModelError::BadConfig(format!("bad probe batch: {e}")))?;
+                let probe = model.estimator(probe_sampler)?;
+                let accuracy = test.map(|t| model.accuracy_probe(t)).transpose()?;
+                Ok(Workload {
+                    estimators,
+                    probe: Some(probe),
+                    dim: model.dim()?,
+                    optimum: None,
+                    accuracy,
+                })
+            }
+        }
+    }
+
+    /// Samples initial parameters for this workload with `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the underlying model spec is invalid.
+    pub fn init_params(&self, strategy: InitStrategy, seed: u64) -> Result<Vector, ModelError> {
+        match self {
+            Self::GaussianQuadratic { dim, .. } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                Ok(strategy.sample_vector(*dim, &mut rng))
+            }
+            Self::Synthetic { model, .. } => model.init_params(strategy, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn model_specs_report_dimensions() {
+        assert_eq!(ModelSpec::Linear { features: 4 }.dim().unwrap(), 5);
+        assert_eq!(ModelSpec::Logistic { features: 20 }.dim().unwrap(), 21);
+        let mlp = ModelSpec::Mlp {
+            inputs: 9,
+            hidden: vec![4],
+            classes: 3,
+        };
+        assert_eq!(mlp.input_dim(), 9);
+        assert!(mlp.dim().unwrap() > 9);
+        assert!(ModelSpec::Softmax {
+            features: 3,
+            classes: 0
+        }
+        .dim()
+        .is_err());
+    }
+
+    #[test]
+    fn gaussian_quadratic_builds_identical_estimator_clusters() {
+        let spec = EstimatorSpec::GaussianQuadratic { dim: 6, sigma: 0.3 };
+        assert_eq!(spec.dim().unwrap(), 6);
+        let workload = spec.build(4, 7).unwrap();
+        assert_eq!(workload.estimators.len(), 4);
+        assert_eq!(workload.dim, 6);
+        assert_eq!(workload.optimum, Some(Vector::zeros(6)));
+        assert!(workload.probe.is_none());
+        assert!(workload.accuracy.is_none());
+        // The estimators share the analytic cost: identical true gradients.
+        let x = Vector::filled(6, 2.0);
+        let g0 = workload.estimators[0].true_gradient(&x).unwrap();
+        let g1 = workload.estimators[1].true_gradient(&x).unwrap();
+        assert_eq!(g0, g1);
+    }
+
+    #[test]
+    fn synthetic_workload_is_deterministic_in_the_seed() {
+        let spec = EstimatorSpec::Synthetic {
+            model: ModelSpec::Logistic { features: 5 },
+            data: DataSpec::LogisticRegression { samples: 200 },
+            batch: 8,
+            holdout: 0.2,
+        };
+        let a = spec.build(3, 42).unwrap();
+        let b = spec.build(3, 42).unwrap();
+        assert_eq!(a.estimators.len(), 3);
+        assert!(a.probe.is_some());
+        assert!(a.accuracy.is_some());
+        assert_eq!(a.dim, 6);
+        // Same seed ⇒ same shards ⇒ identical gradient estimates.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(1);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(1);
+        let x = Vector::zeros(6);
+        assert_eq!(
+            a.estimators[0].estimate(&x, &mut rng_a).unwrap(),
+            b.estimators[0].estimate(&x, &mut rng_b).unwrap()
+        );
+        // The accuracy probe evaluates on the held-out split.
+        let acc = (a.accuracy.unwrap())(&x);
+        assert!(acc.is_some());
+    }
+
+    #[test]
+    fn digits_workload_wires_an_mlp_with_accuracy_probe() {
+        let spec = EstimatorSpec::Synthetic {
+            model: ModelSpec::Mlp {
+                inputs: 16,
+                hidden: vec![6],
+                classes: 10,
+            },
+            data: DataSpec::SyntheticDigits {
+                samples: 120,
+                noise: 0.1,
+            },
+            batch: 8,
+            holdout: 0.25,
+        };
+        let workload = spec.build(2, 5).unwrap();
+        assert!(workload.accuracy.is_some());
+        let init = spec.init_params(InitStrategy::XavierUniform, 3).unwrap();
+        assert_eq!(init.dim(), workload.dim);
+        // Xavier init is reproducible from the seed.
+        assert_eq!(
+            init,
+            spec.init_params(InitStrategy::XavierUniform, 3).unwrap()
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = workload.estimators[0].estimate(&init, &mut rng).unwrap();
+        assert_eq!(g.dim(), workload.dim);
+        assert!(workload.probe.unwrap().loss(&init).is_some());
+        rng.next_u32();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(EstimatorSpec::GaussianQuadratic { dim: 0, sigma: 0.1 }
+            .validate()
+            .is_err());
+        assert!(EstimatorSpec::GaussianQuadratic {
+            dim: 3,
+            sigma: -1.0
+        }
+        .validate()
+        .is_err());
+        let bad_batch = EstimatorSpec::Synthetic {
+            model: ModelSpec::Logistic { features: 4 },
+            data: DataSpec::LogisticRegression { samples: 50 },
+            batch: 0,
+            holdout: 0.0,
+        };
+        assert!(bad_batch.validate().is_err());
+        let bad_holdout = EstimatorSpec::Synthetic {
+            model: ModelSpec::Logistic { features: 4 },
+            data: DataSpec::LogisticRegression { samples: 50 },
+            batch: 4,
+            holdout: 1.0,
+        };
+        assert!(bad_holdout.validate().is_err());
+        // Non-square input dimension for the digits task.
+        let non_square = EstimatorSpec::Synthetic {
+            model: ModelSpec::Mlp {
+                inputs: 10,
+                hidden: vec![],
+                classes: 10,
+            },
+            data: DataSpec::SyntheticDigits {
+                samples: 50,
+                noise: 0.1,
+            },
+            batch: 4,
+            holdout: 0.0,
+        };
+        assert!(non_square.build(2, 0).is_err());
+        assert!(EstimatorSpec::GaussianQuadratic { dim: 3, sigma: 0.1 }
+            .build(0, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        let specs = [
+            EstimatorSpec::GaussianQuadratic {
+                dim: 20,
+                sigma: 0.2,
+            },
+            EstimatorSpec::Synthetic {
+                model: ModelSpec::Mlp {
+                    inputs: 144,
+                    hidden: vec![48],
+                    classes: 10,
+                },
+                data: DataSpec::SyntheticDigits {
+                    samples: 4000,
+                    noise: 0.25,
+                },
+                batch: 32,
+                holdout: 0.2,
+            },
+        ];
+        for spec in &specs {
+            let json = serde_json::to_string(spec).unwrap();
+            let back: EstimatorSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, spec);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The fluent scenario builder.
+
+use krum_attacks::AttackSpec;
+use krum_core::RuleSpec;
+use krum_dist::{ClusterSpec, LearningRateSchedule, NetworkModel};
+use krum_models::EstimatorSpec;
+use krum_tensor::InitStrategy;
+
+use crate::error::ScenarioError;
+use crate::report::ScenarioReport;
+use crate::scenario::Scenario;
+use crate::spec::{ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec};
+
+/// Fluent construction of a [`ScenarioSpec`], with experiment-shaped
+/// defaults: Krum against the benign strategy on a clean quadratic
+/// workload, sequential execution, 100 rounds, seed 0.
+///
+/// Cross-constraint validation (Krum's `2f + 2 < n`, attack/workload
+/// parameter ranges, the evaluation cadence) runs at [`ScenarioBuilder::build`]
+/// time, so a misconfigured scenario fails before any work starts.
+///
+/// # Example
+///
+/// ```
+/// use krum_scenario::ScenarioBuilder;
+/// use krum_core::RuleSpec;
+/// use krum_attacks::AttackSpec;
+/// use krum_models::EstimatorSpec;
+///
+/// let report = ScenarioBuilder::new(15, 4)
+///     .rule(RuleSpec::Krum)
+///     .attack(AttackSpec::SignFlip { scale: 5.0 })
+///     .estimator(EstimatorSpec::GaussianQuadratic { dim: 20, sigma: 0.2 })
+///     .rounds(50)
+///     .seed(42)
+///     .init_fill(3.0)
+///     .run()?;
+/// assert_eq!(report.history.len(), 50);
+/// # Ok::<(), krum_scenario::ScenarioError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    n: usize,
+    f: usize,
+    rule: RuleSpec,
+    attack: AttackSpec,
+    estimator: EstimatorSpec,
+    schedule: LearningRateSchedule,
+    execution: ExecutionSpec,
+    rounds: usize,
+    eval_every: usize,
+    seed: u64,
+    init: InitSpec,
+    probes: ProbeSpec,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder for a cluster of `n` workers with `f` Byzantine.
+    pub fn new(n: usize, f: usize) -> Self {
+        Self {
+            name: String::new(),
+            n,
+            f,
+            rule: RuleSpec::Krum,
+            attack: AttackSpec::None,
+            estimator: EstimatorSpec::GaussianQuadratic {
+                dim: 10,
+                sigma: 0.1,
+            },
+            schedule: LearningRateSchedule::Constant { gamma: 0.1 },
+            execution: ExecutionSpec::Sequential,
+            rounds: 100,
+            eval_every: 10,
+            seed: 0,
+            init: InitSpec::Zeros,
+            probes: ProbeSpec::default(),
+        }
+    }
+
+    /// Sets the scenario label used in reports and file names.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the aggregation rule.
+    #[must_use]
+    pub fn rule(mut self, rule: RuleSpec) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Sets the Byzantine strategy.
+    #[must_use]
+    pub fn attack(mut self, attack: AttackSpec) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Sets the honest workers' workload.
+    #[must_use]
+    pub fn estimator(mut self, estimator: EstimatorSpec) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the learning-rate schedule.
+    #[must_use]
+    pub fn schedule(mut self, schedule: LearningRateSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Runs honest workers sequentially on the server thread (the default).
+    #[must_use]
+    pub fn sequential(mut self) -> Self {
+        self.execution = ExecutionSpec::Sequential;
+        self
+    }
+
+    /// Fans honest workers out over the thread pool and charges `network`
+    /// to the round timings.
+    #[must_use]
+    pub fn threaded(mut self, network: NetworkModel) -> Self {
+        self.execution = ExecutionSpec::Threaded { network };
+        self
+    }
+
+    /// Sets the number of synchronous rounds.
+    #[must_use]
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the evaluation cadence (≥ 1; the final round always evaluates).
+    #[must_use]
+    pub fn eval_every(mut self, eval_every: usize) -> Self {
+        self.eval_every = eval_every;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the start-point rule.
+    #[must_use]
+    pub fn init(mut self, init: InitSpec) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Starts the trajectory at `(value, …, value)`.
+    #[must_use]
+    pub fn init_fill(self, value: f64) -> Self {
+        self.init(InitSpec::Fill { value })
+    }
+
+    /// Starts the trajectory at a model-sampled point (e.g. Xavier for
+    /// MLPs), drawn reproducibly from `seed`.
+    #[must_use]
+    pub fn init_sample(self, strategy: InitStrategy, seed: u64) -> Self {
+        self.init(InitSpec::Sample { strategy, seed })
+    }
+
+    /// Records `‖x_t − x*‖` when the workload has an analytic optimum
+    /// (enabled by default).
+    #[must_use]
+    pub fn track_optimum(mut self, on: bool) -> Self {
+        self.probes.track_optimum = on;
+        self
+    }
+
+    /// Attaches the workload's held-out accuracy probe when it has one
+    /// (enabled by default).
+    #[must_use]
+    pub fn accuracy(mut self, on: bool) -> Self {
+        self.probes.accuracy = on;
+        self
+    }
+
+    /// The spec this builder currently describes (e.g. to serialise it to a
+    /// scenario file). Not yet validated — see [`ScenarioSpec::validate`].
+    pub fn spec(&self) -> Result<ScenarioSpec, ScenarioError> {
+        let cluster = ClusterSpec::new(self.n, self.f)?;
+        let name = if self.name.is_empty() {
+            format!(
+                "{}-vs-{}-n{}-f{}",
+                self.rule.name(),
+                self.attack.name(),
+                self.n,
+                self.f
+            )
+        } else {
+            self.name.clone()
+        };
+        Ok(ScenarioSpec {
+            name,
+            cluster,
+            rule: self.rule,
+            attack: self.attack,
+            estimator: self.estimator.clone(),
+            schedule: self.schedule,
+            execution: self.execution,
+            rounds: self.rounds,
+            eval_every: self.eval_every,
+            seed: self.seed,
+            init: self.init,
+            probes: self.probes,
+        })
+    }
+
+    /// Validates the cross-constraints and wires the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] describing the first violated constraint.
+    pub fn build(&self) -> Result<Scenario, ScenarioError> {
+        Scenario::from_spec(self.spec()?)
+    }
+
+    /// Builds and runs the scenario in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioBuilder::build`] plus any mid-run failure.
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        self.build()?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_produce_a_runnable_scenario() {
+        let report = ScenarioBuilder::new(9, 2).rounds(5).run().unwrap();
+        assert_eq!(report.history.len(), 5);
+        assert_eq!(report.spec.name, "krum-vs-none-n9-f2");
+        assert!(report.history.rounds[0].distance_to_optimum.is_some());
+    }
+
+    #[test]
+    fn builder_spec_round_trips_to_scenario_json() {
+        let builder = ScenarioBuilder::new(15, 4)
+            .name("readme")
+            .attack(AttackSpec::SignFlip { scale: 5.0 })
+            .estimator(EstimatorSpec::GaussianQuadratic {
+                dim: 20,
+                sigma: 0.2,
+            })
+            .schedule(LearningRateSchedule::InverseTime {
+                gamma: 0.2,
+                tau: 50.0,
+            })
+            .rounds(40)
+            .eval_every(20)
+            .seed(42)
+            .init_fill(3.0);
+        let spec = builder.spec().unwrap();
+        let json = spec.to_json().unwrap();
+        let reparsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(reparsed, spec);
+        // Builder-built and JSON-built scenarios follow identical
+        // trajectories.
+        let a = builder.run().unwrap();
+        let b = Scenario::from_spec(reparsed).unwrap().run().unwrap();
+        assert_eq!(a.final_params, b.final_params);
+    }
+
+    #[test]
+    fn build_time_validation_catches_cross_constraints() {
+        // Krum needs 2f + 2 < n: 9 workers cannot absorb f = 4.
+        let err = ScenarioBuilder::new(9, 4).build().unwrap_err();
+        assert!(err.to_string().contains("krum"), "got: {err}");
+        // f >= n fails at the cluster level.
+        assert!(ScenarioBuilder::new(3, 3).build().is_err());
+        // Zero rounds fail before any wiring happens.
+        assert!(ScenarioBuilder::new(9, 2).rounds(0).build().is_err());
+        assert!(ScenarioBuilder::new(9, 2).eval_every(0).build().is_err());
+    }
+}

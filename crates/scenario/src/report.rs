@@ -1,0 +1,191 @@
+//! The scenario run report and its exports.
+
+use std::path::Path;
+
+use krum_metrics::{ConvergenceSummary, RoundRecord, TrainingHistory};
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ScenarioError;
+use crate::spec::ScenarioSpec;
+
+/// Everything one [`Scenario::run`](crate::Scenario::run) produced: the spec
+/// it ran, the final parameters, the full per-round history (with per-phase
+/// timings) and the wall-clock total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The spec the run was built from (round-trippable: re-running it
+    /// reproduces this report's trajectory exactly).
+    pub spec: ScenarioSpec,
+    /// Final parameter vector `x_T`.
+    pub final_params: Vector,
+    /// One record per round, with convergence metrics and phase timings.
+    pub history: TrainingHistory,
+    /// Wall-clock duration of the whole run in nanoseconds (engine rounds
+    /// only; excludes data generation and wiring).
+    pub wall_nanos: u128,
+}
+
+impl ScenarioReport {
+    /// Convergence summary over the recorded rounds.
+    pub fn summary(&self) -> ConvergenceSummary {
+        self.history.summary()
+    }
+
+    /// Human-readable metadata describing the run — the scenario's key/value
+    /// header, using the `Display` forms of the rule, attack, schedule and
+    /// execution strategy.
+    pub fn metadata(&self) -> Vec<(&'static str, String)> {
+        let spec = &self.spec;
+        vec![
+            ("scenario", spec.name.clone()),
+            ("rule", spec.rule.to_string()),
+            ("attack", spec.attack.to_string()),
+            (
+                "cluster",
+                format!(
+                    "n={}, f={}",
+                    spec.cluster.workers(),
+                    spec.cluster.byzantine()
+                ),
+            ),
+            ("dim", self.final_params.dim().to_string()),
+            ("schedule", spec.schedule.to_string()),
+            ("execution", spec.execution.to_string()),
+            ("rounds", spec.rounds.to_string()),
+            ("eval_every", spec.eval_every.to_string()),
+            ("seed", spec.seed.to_string()),
+            ("wall_ms", format!("{:.3}", self.wall_nanos as f64 / 1e6)),
+        ]
+    }
+
+    /// The metadata block as `# key: value` comment lines.
+    pub fn header(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in self.metadata() {
+            out.push_str(&format!("# {key}: {value}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as CSV: the `#`-prefixed metadata header followed
+    /// by the standard round-record table.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header();
+        out.push_str(RoundRecord::csv_header());
+        out.push('\n');
+        for record in &self.history.rounds {
+            out.push_str(&record.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the full report (spec included) as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Json`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String, ScenarioError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Writes the CSV rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Io`] on filesystem errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
+        std::fs::write(path, self.to_csv())?;
+        Ok(())
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Json`] or [`ScenarioError::Io`].
+    pub fn write_json(&self, path: impl AsRef<Path>) -> Result<(), ScenarioError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExecutionSpec, InitSpec, ProbeSpec};
+    use crate::Scenario;
+    use krum_attacks::AttackSpec;
+    use krum_core::RuleSpec;
+    use krum_dist::{ClusterSpec, LearningRateSchedule};
+    use krum_models::EstimatorSpec;
+
+    fn report() -> ScenarioReport {
+        let spec = ScenarioSpec {
+            name: "report-test".into(),
+            cluster: ClusterSpec::new(9, 2).unwrap(),
+            rule: RuleSpec::MultiKrum { m: Some(3) },
+            attack: AttackSpec::GaussianNoise { std: 10.0 },
+            estimator: EstimatorSpec::GaussianQuadratic { dim: 4, sigma: 0.1 },
+            schedule: LearningRateSchedule::Constant { gamma: 0.2 },
+            execution: ExecutionSpec::Sequential,
+            rounds: 6,
+            eval_every: 2,
+            seed: 1,
+            init: InitSpec::Fill { value: 1.0 },
+            probes: ProbeSpec::default(),
+        };
+        Scenario::from_spec(spec).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn csv_has_readable_metadata_then_standard_table() {
+        let r = report();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Metadata first, all comment-prefixed and human-readable.
+        assert!(lines[0].starts_with("# scenario: report-test"));
+        assert!(csv.contains("# rule: multi-krum:m=3"));
+        assert!(csv.contains("# attack: gaussian-noise:std=10"));
+        assert!(csv.contains("# schedule: constant(gamma=0.2)"));
+        assert!(csv.contains("# execution: sequential"));
+        assert!(csv.contains("# cluster: n=9, f=2"));
+        // Then the standard header and one row per round.
+        let header_idx = lines
+            .iter()
+            .position(|l| l.starts_with("round,loss"))
+            .expect("csv header present");
+        assert_eq!(lines.len() - header_idx - 1, 6, "one row per round");
+        let cells = RoundRecord::csv_header().split(',').count();
+        for row in &lines[header_idx + 1..] {
+            assert_eq!(row.split(',').count(), cells, "well-formed row: {row}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_spec_and_history() {
+        let r = report();
+        let json = r.to_json().unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.spec.rule, RuleSpec::MultiKrum { m: Some(3) });
+    }
+
+    #[test]
+    fn files_are_written() {
+        let dir = std::env::temp_dir().join(format!("krum-scenario-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = report();
+        r.write_csv(dir.join("run.csv")).unwrap();
+        r.write_json(dir.join("run.json")).unwrap();
+        assert!(std::fs::read_to_string(dir.join("run.csv"))
+            .unwrap()
+            .contains("round,loss"));
+        assert!(std::fs::read_to_string(dir.join("run.json"))
+            .unwrap()
+            .contains("\"final_params\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(r.write_csv("/nonexistent-dir/OUT/run.csv").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Building and running a scenario.
+
+use std::time::Instant;
+
+use krum_dist::RoundEngine;
+use krum_tensor::Vector;
+
+use crate::error::ScenarioError;
+use crate::report::ScenarioReport;
+use crate::spec::{InitSpec, ScenarioSpec};
+
+/// A fully wired, ready-to-run experiment: the validated spec plus the
+/// [`RoundEngine`] built from it and the initial parameter vector.
+///
+/// `Scenario` is the one entry point from "a description of an experiment"
+/// to "a trained model and its metrics": it owns exactly the same engine a
+/// hand-wired `SyncTrainer`/`ThreadedTrainer` would own, so the parameter
+/// trajectory is bit-identical to the legacy construction path for the same
+/// spec fields, and running it adds no per-round work on top of the engine.
+pub struct Scenario {
+    spec: ScenarioSpec,
+    engine: RoundEngine,
+    start: Vector,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("Scenario")
+            .field("spec", &self.spec)
+            .field("dim", &self.engine.dim())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scenario {
+    /// Validates `spec` and wires the engine: workload estimators, rule,
+    /// attack, probes and execution strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when any cross-constraint fails (see
+    /// [`ScenarioSpec::validate`]) or a component rejects its configuration.
+    pub fn from_spec(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
+        spec.validate()?;
+        let cluster = spec.cluster;
+        let workload = spec.estimator.build(cluster.honest(), spec.seed)?;
+        let aggregator = spec.rule.build(cluster.workers(), cluster.byzantine())?;
+        let attack = spec.attack.build(workload.dim)?;
+        let config = krum_dist::TrainingConfig {
+            rounds: spec.rounds,
+            schedule: spec.schedule,
+            seed: spec.seed,
+            eval_every: spec.eval_every,
+            known_optimum: if spec.probes.track_optimum {
+                workload.optimum
+            } else {
+                None
+            },
+        };
+        let mut engine = RoundEngine::new(
+            cluster,
+            aggregator,
+            attack,
+            workload.estimators,
+            workload.probe,
+            config,
+            spec.execution.strategy(),
+        )?;
+        if spec.probes.accuracy {
+            if let Some(probe) = workload.accuracy {
+                engine.set_accuracy_probe(probe);
+            }
+        }
+        let start = match spec.init {
+            InitSpec::Zeros => Vector::zeros(workload.dim),
+            InitSpec::Fill { value } => Vector::filled(workload.dim, value),
+            InitSpec::Sample { strategy, seed } => spec.estimator.init_params(strategy, seed)?,
+        };
+        Ok(Self {
+            spec,
+            engine,
+            start,
+        })
+    }
+
+    /// Parses, validates and wires a scenario from its JSON rendering.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSpec::from_json`] plus [`Scenario::from_spec`].
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        Self::from_spec(ScenarioSpec::from_json(json)?)
+    }
+
+    /// The validated specification this scenario was built from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.engine.dim()
+    }
+
+    /// The initial parameter vector `x_0`.
+    pub fn start(&self) -> &Vector {
+        &self.start
+    }
+
+    /// The wired round engine (e.g. to force an aggregation execution policy
+    /// or to drive rounds manually in benchmarks).
+    pub fn engine_mut(&mut self) -> &mut RoundEngine {
+        &mut self.engine
+    }
+
+    /// Runs the scenario to completion and returns the report: final
+    /// parameters, full per-round history and wall-clock totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Train`] when a worker, the attack or the
+    /// aggregator fails mid-run.
+    pub fn run(mut self) -> Result<ScenarioReport, ScenarioError> {
+        let wall_start = Instant::now();
+        let (final_params, history) = self.engine.run(self.start)?;
+        let wall_nanos = wall_start.elapsed().as_nanos();
+        Ok(ScenarioReport {
+            spec: self.spec,
+            final_params,
+            history,
+            wall_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExecutionSpec, ProbeSpec};
+    use krum_attacks::AttackSpec;
+    use krum_core::RuleSpec;
+    use krum_dist::{
+        ClusterSpec, LatencyModel, LearningRateSchedule, NetworkModel, SyncTrainer, TrainingConfig,
+    };
+    use krum_models::{DataSpec, EstimatorSpec, ModelSpec};
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "scenario-test".into(),
+            cluster: ClusterSpec::new(9, 2).unwrap(),
+            rule: RuleSpec::Krum,
+            attack: AttackSpec::SignFlip { scale: 3.0 },
+            estimator: EstimatorSpec::GaussianQuadratic { dim: 6, sigma: 0.3 },
+            schedule: LearningRateSchedule::Constant { gamma: 0.2 },
+            execution: ExecutionSpec::Sequential,
+            rounds: 25,
+            eval_every: 5,
+            seed: 7,
+            init: InitSpec::Fill { value: 1.5 },
+            probes: ProbeSpec::default(),
+        }
+    }
+
+    #[test]
+    fn scenario_run_matches_hand_wired_sync_trainer() {
+        let scenario = Scenario::from_spec(spec()).unwrap();
+        assert_eq!(scenario.dim(), 6);
+        assert_eq!(scenario.start(), &Vector::filled(6, 1.5));
+        let report = scenario.run().unwrap();
+
+        // Legacy path: the same components assembled by hand.
+        let estimators = EstimatorSpec::GaussianQuadratic { dim: 6, sigma: 0.3 }
+            .build(7, 7)
+            .unwrap()
+            .estimators;
+        let mut trainer = SyncTrainer::new(
+            ClusterSpec::new(9, 2).unwrap(),
+            RuleSpec::Krum.build(9, 2).unwrap(),
+            AttackSpec::SignFlip { scale: 3.0 }.build(6).unwrap(),
+            estimators,
+            TrainingConfig {
+                rounds: 25,
+                schedule: LearningRateSchedule::Constant { gamma: 0.2 },
+                seed: 7,
+                eval_every: 5,
+                known_optimum: Some(Vector::zeros(6)),
+            },
+        )
+        .unwrap();
+        let (legacy_params, legacy_history) = trainer.run(Vector::filled(6, 1.5)).unwrap();
+
+        assert_eq!(report.final_params, legacy_params);
+        assert_eq!(report.history.len(), legacy_history.len());
+        for (a, b) in report.history.rounds.iter().zip(&legacy_history.rounds) {
+            assert_eq!(a.aggregate_norm, b.aggregate_norm);
+            assert_eq!(a.distance_to_optimum, b.distance_to_optimum);
+        }
+        assert!(report.wall_nanos > 0);
+    }
+
+    #[test]
+    fn threaded_execution_matches_sequential_trajectory() {
+        let sequential = Scenario::from_spec(spec()).unwrap().run().unwrap();
+        let mut threaded_spec = spec();
+        threaded_spec.execution = ExecutionSpec::Threaded {
+            network: NetworkModel {
+                latency: LatencyModel::Constant { nanos: 1_000 },
+                nanos_per_byte: 0.1,
+            },
+        };
+        let threaded = Scenario::from_spec(threaded_spec).unwrap().run().unwrap();
+        assert_eq!(sequential.final_params, threaded.final_params);
+        assert!(threaded.history.mean_network_nanos() > 0.0);
+        assert_eq!(sequential.history.mean_network_nanos(), 0.0);
+    }
+
+    #[test]
+    fn synthetic_workload_records_accuracy() {
+        let spec = ScenarioSpec {
+            name: "logistic".into(),
+            cluster: ClusterSpec::new(7, 2).unwrap(),
+            rule: RuleSpec::Krum,
+            attack: AttackSpec::GaussianNoise { std: 50.0 },
+            estimator: EstimatorSpec::Synthetic {
+                model: ModelSpec::Logistic { features: 6 },
+                data: DataSpec::LogisticRegression { samples: 300 },
+                batch: 16,
+                holdout: 0.2,
+            },
+            schedule: LearningRateSchedule::Constant { gamma: 0.5 },
+            execution: ExecutionSpec::Sequential,
+            rounds: 30,
+            eval_every: 10,
+            seed: 3,
+            init: InitSpec::Zeros,
+            probes: ProbeSpec::default(),
+        };
+        let report = Scenario::from_spec(spec).unwrap().run().unwrap();
+        let summary = report.summary();
+        assert!(summary.final_accuracy.is_some(), "accuracy probe attached");
+        assert!(summary.final_loss.is_some());
+        // The probe serves full-train loss, so losses are present on
+        // evaluation rounds and absent elsewhere.
+        assert!(report.history.rounds[1].loss.is_none());
+        assert!(report.history.rounds[10].loss.is_some());
+    }
+
+    #[test]
+    fn probes_can_be_disabled() {
+        let mut s = spec();
+        s.probes = ProbeSpec {
+            track_optimum: false,
+            accuracy: false,
+        };
+        let report = Scenario::from_spec(s).unwrap().run().unwrap();
+        assert!(report.history.rounds[0].distance_to_optimum.is_none());
+    }
+
+    #[test]
+    fn invalid_specs_fail_to_build() {
+        let mut bad = spec();
+        bad.cluster = ClusterSpec::new(5, 2).unwrap(); // Krum needs 2f+2 < n
+        assert!(Scenario::from_spec(bad).is_err());
+        assert!(Scenario::from_json("{\"name\": 1}").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The serialisable scenario specification.
+
+use krum_attacks::AttackSpec;
+use krum_core::RuleSpec;
+use krum_dist::{ClusterSpec, ExecutionStrategy, LearningRateSchedule, NetworkModel};
+use krum_models::EstimatorSpec;
+use krum_tensor::InitStrategy;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ScenarioError;
+
+/// How the round pipeline executes — the serialisable face of
+/// [`ExecutionStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExecutionSpec {
+    /// Honest workers run sequentially on the server thread.
+    Sequential,
+    /// Honest gradients fan out over the thread pool and the simulated
+    /// network is charged to the round timings.
+    Threaded {
+        /// The simulated network model.
+        network: NetworkModel,
+    },
+}
+
+impl ExecutionSpec {
+    /// The engine strategy this spec selects.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        match *self {
+            Self::Sequential => ExecutionStrategy::Sequential,
+            Self::Threaded { network } => ExecutionStrategy::Threaded { network },
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionSpec {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.strategy().fmt(out)
+    }
+}
+
+/// Where the parameter trajectory starts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitSpec {
+    /// `x_0 = 0`.
+    Zeros,
+    /// `x_0 = (value, …, value)`.
+    Fill {
+        /// Per-coordinate start value.
+        value: f64,
+    },
+    /// `x_0` sampled by the workload's model with the given strategy (e.g.
+    /// Xavier for MLPs), from its own seed so the draw is reproducible and
+    /// independent of the worker streams.
+    Sample {
+        /// The initialisation strategy.
+        strategy: InitStrategy,
+        /// Seed of the initialisation draw.
+        seed: u64,
+    },
+}
+
+/// Which optional measurements the scenario records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeSpec {
+    /// Record `‖x_t − x*‖` when the workload has an analytic optimum.
+    pub track_optimum: bool,
+    /// Attach the workload's held-out accuracy probe, when it has one.
+    pub accuracy: bool,
+}
+
+impl Default for ProbeSpec {
+    fn default() -> Self {
+        Self {
+            track_optimum: true,
+            accuracy: true,
+        }
+    }
+}
+
+/// A complete, serialisable description of one experiment: the grid cell
+/// `(rule F, attack, cluster shape, workload, schedule, execution, seed)`
+/// the paper sweeps, as one value.
+///
+/// A spec can come from JSON (`krum run spec.json`), from the fluent
+/// [`ScenarioBuilder`](crate::ScenarioBuilder), or be constructed literally;
+/// all three produce bit-identical parameter trajectories for the same
+/// field values because every random stream derives from `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Free-form scenario label used in reports and file names.
+    pub name: String,
+    /// Cluster shape: `n` workers, `f` Byzantine.
+    pub cluster: ClusterSpec,
+    /// The aggregation (choice) function `F`.
+    pub rule: RuleSpec,
+    /// The Byzantine strategy.
+    pub attack: AttackSpec,
+    /// What the honest workers compute.
+    pub estimator: EstimatorSpec,
+    /// Learning-rate schedule `γ_t`.
+    pub schedule: LearningRateSchedule,
+    /// Sequential or threaded execution.
+    pub execution: ExecutionSpec,
+    /// Number of synchronous rounds.
+    pub rounds: usize,
+    /// Evaluation cadence (≥ 1; the final round is always evaluated).
+    pub eval_every: usize,
+    /// Master seed for every random stream.
+    pub seed: u64,
+    /// Where the trajectory starts.
+    pub init: InitSpec,
+    /// Optional measurements.
+    pub probes: ProbeSpec,
+}
+
+impl ScenarioSpec {
+    /// Parses a spec from its JSON rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Json`] for malformed JSON and
+    /// [`ScenarioError::InvalidSpec`] when the parsed spec fails
+    /// [`ScenarioSpec::validate`].
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        let spec: Self = serde_json::from_str(json)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Renders the spec as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Json`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String, ScenarioError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Cross-checks every constraint the runtime relies on, without building
+    /// anything: cluster shape, rule/cluster compatibility (e.g. Krum's
+    /// `2f + 2 < n`), attack and workload parameters, schedule positivity,
+    /// evaluation cadence and the execution model.
+    ///
+    /// Deserialisation does not validate on its own (a JSON file can encode
+    /// any field values); every build/run entry point calls this first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        // The cluster may have been deserialised around its constructor.
+        let cluster = ClusterSpec::new(self.cluster.workers(), self.cluster.byzantine())?;
+        self.estimator.validate()?;
+        let dim = self.estimator.dim()?;
+        // Building the rule and the attack runs their own cross-checks
+        // against (n, f) and d; the built values are discarded.
+        self.rule.build(cluster.workers(), cluster.byzantine())?;
+        self.attack.build(dim)?;
+        if self.rounds == 0 {
+            return Err(ScenarioError::invalid("rounds must be >= 1"));
+        }
+        if self.eval_every == 0 {
+            return Err(ScenarioError::invalid(
+                "eval_every must be >= 1 (use eval_every = rounds to evaluate only the final round)",
+            ));
+        }
+        self.schedule.validate()?;
+        if let ExecutionSpec::Threaded { network } = &self.execution {
+            if !(network.nanos_per_byte.is_finite() && network.nanos_per_byte >= 0.0) {
+                return Err(ScenarioError::invalid(
+                    "network nanos_per_byte must be finite and >= 0",
+                ));
+            }
+        }
+        match self.init {
+            InitSpec::Zeros => {}
+            InitSpec::Fill { value } => {
+                if !value.is_finite() {
+                    return Err(ScenarioError::invalid("init fill value must be finite"));
+                }
+            }
+            InitSpec::Sample { strategy, .. } => match strategy {
+                InitStrategy::Gaussian { std } if !(std.is_finite() && std >= 0.0) => {
+                    return Err(ScenarioError::invalid(
+                        "init gaussian std must be finite and >= 0",
+                    ));
+                }
+                InitStrategy::Uniform { limit } if !(limit.is_finite() && limit >= 0.0) => {
+                    return Err(ScenarioError::invalid(
+                        "init uniform limit must be finite and >= 0",
+                    ));
+                }
+                _ => {}
+            },
+        }
+        Ok(())
+    }
+
+    /// Model dimension `d` of the scenario's workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Model`] when the workload spec is invalid.
+    pub fn dim(&self) -> Result<usize, ScenarioError> {
+        Ok(self.estimator.dim()?)
+    }
+
+    /// A short single-line description (`rule vs attack (n=…, f=…)`).
+    pub fn headline(&self) -> String {
+        format!(
+            "{} vs {} (n={}, f={}, rounds={}, seed={})",
+            self.rule,
+            self.attack,
+            self.cluster.workers(),
+            self.cluster.byzantine(),
+            self.rounds,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krum_dist::LatencyModel;
+
+    pub(crate) fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit".into(),
+            cluster: ClusterSpec::new(9, 2).unwrap(),
+            rule: RuleSpec::Krum,
+            attack: AttackSpec::SignFlip { scale: 3.0 },
+            estimator: EstimatorSpec::GaussianQuadratic { dim: 6, sigma: 0.3 },
+            schedule: LearningRateSchedule::Constant { gamma: 0.2 },
+            execution: ExecutionSpec::Sequential,
+            rounds: 20,
+            eval_every: 5,
+            seed: 7,
+            init: InitSpec::Fill { value: 1.5 },
+            probes: ProbeSpec::default(),
+        }
+    }
+
+    #[test]
+    fn valid_spec_round_trips_through_json() {
+        let s = spec();
+        s.validate().unwrap();
+        let json = s.to_json().unwrap();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(json.contains("\"rule\": \"krum\""));
+        assert!(json.contains("sign-flip:scale=3"));
+        assert!(s.headline().contains("krum vs sign-flip"));
+        assert_eq!(s.dim().unwrap(), 6);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        // Krum needs 2f + 2 < n.
+        let mut bad = spec();
+        bad.cluster = ClusterSpec::new(5, 2).unwrap();
+        assert!(matches!(bad.validate(), Err(ScenarioError::Rule(_))));
+
+        let mut bad = spec();
+        bad.rounds = 0;
+        assert!(matches!(bad.validate(), Err(ScenarioError::InvalidSpec(_))));
+
+        let mut bad = spec();
+        bad.eval_every = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = spec();
+        bad.schedule = LearningRateSchedule::Constant { gamma: -1.0 };
+        assert!(bad.validate().is_err());
+
+        let mut bad = spec();
+        bad.attack = AttackSpec::SignFlip { scale: -1.0 };
+        assert!(matches!(bad.validate(), Err(ScenarioError::Attack(_))));
+
+        let mut bad = spec();
+        bad.estimator = EstimatorSpec::GaussianQuadratic { dim: 0, sigma: 0.1 };
+        assert!(matches!(bad.validate(), Err(ScenarioError::Model(_))));
+
+        let mut bad = spec();
+        bad.init = InitSpec::Fill {
+            value: f64::INFINITY,
+        };
+        assert!(bad.validate().is_err());
+
+        let mut bad = spec();
+        bad.execution = ExecutionSpec::Threaded {
+            network: NetworkModel {
+                latency: LatencyModel::Constant { nanos: 100 },
+                nanos_per_byte: f64::NAN,
+            },
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_cluster_json_is_rejected_not_panicked() {
+        // f >= n encodes fine in JSON but must fail validation.
+        let json = spec().to_json().unwrap().replace("\"f\": 2", "\"f\": 9");
+        assert!(ScenarioSpec::from_json(&json).is_err());
+        // Garbage JSON is a structured error.
+        assert!(ScenarioSpec::from_json("{not json").is_err());
+        assert!(ScenarioSpec::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn execution_spec_displays_via_strategy() {
+        assert_eq!(ExecutionSpec::Sequential.to_string(), "sequential");
+        let threaded = ExecutionSpec::Threaded {
+            network: NetworkModel {
+                latency: LatencyModel::Constant { nanos: 500 },
+                nanos_per_byte: 0.5,
+            },
+        };
+        let text = threaded.to_string();
+        assert!(text.starts_with("threaded("));
+        assert!(text.contains("constant(500ns)"));
+        assert!(text.contains("0.5ns/byte"));
+    }
+}

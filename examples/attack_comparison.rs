@@ -1,121 +1,84 @@
 //! Compare every aggregation rule against every attack on a convex task
 //! (logistic regression on synthetic data) and print the final-loss matrix.
 //!
+//! The whole matrix is driven by the typed registries: each cell is one
+//! declarative scenario built from a (RuleSpec, AttackSpec) pair over the
+//! same synthetic-logistic workload spec — no hand-wired trainers.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example attack_comparison
 //! ```
 
-use krum::aggregation::{
-    Aggregator, Average, ClosestToBarycenter, CoordinateWiseMedian, GeometricMedian, Krum,
-    MultiKrum, TrimmedMean,
-};
-use krum::attacks::{
-    Attack, Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, NoAttack, OmniscientNegative,
-    SignFlip,
-};
-use krum::data::{generators, partition, BatchSampler};
-use krum::dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum::models::{BatchGradientEstimator, GradientEstimator, LogisticRegression};
-use krum::tensor::Vector;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use krum::aggregation::RuleSpec;
+use krum::attacks::AttackSpec;
+use krum::dist::LearningRateSchedule;
+use krum::models::{DataSpec, EstimatorSpec, ModelSpec};
+use krum::scenario::ScenarioBuilder;
 
 const WORKERS: usize = 13;
 const BYZANTINE: usize = 3;
 const FEATURES: usize = 20;
 const ROUNDS: usize = 150;
 
-fn estimators(train: &krum::data::Dataset, honest: usize) -> Vec<Box<dyn GradientEstimator>> {
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
-    partition::iid_shards(train, honest, &mut rng)
-        .expect("enough samples")
-        .into_iter()
-        .map(|shard| {
-            let sampler = BatchSampler::new(shard, 16).expect("non-empty shard");
-            Box::new(
-                BatchGradientEstimator::new(LogisticRegression::new(FEATURES), sampler)
-                    .expect("valid estimator"),
-            ) as Box<dyn GradientEstimator>
-        })
-        .collect()
+fn workload() -> EstimatorSpec {
+    EstimatorSpec::Synthetic {
+        model: ModelSpec::Logistic { features: FEATURES },
+        data: DataSpec::LogisticRegression { samples: 4_000 },
+        batch: 16,
+        holdout: 0.15,
+    }
 }
 
-fn aggregators() -> Vec<(&'static str, Box<dyn Aggregator>)> {
+fn rules() -> Vec<(&'static str, RuleSpec)> {
     vec![
-        ("average", Box::new(Average::new())),
-        ("krum", Box::new(Krum::new(WORKERS, BYZANTINE).unwrap())),
-        (
-            "multi-krum",
-            Box::new(MultiKrum::new(WORKERS, BYZANTINE, WORKERS - BYZANTINE).unwrap()),
-        ),
-        ("median", Box::new(CoordinateWiseMedian::new())),
-        ("trimmed", Box::new(TrimmedMean::new(BYZANTINE))),
-        ("geo-median", Box::new(GeometricMedian::new())),
-        ("closest-bary", Box::new(ClosestToBarycenter::new())),
+        ("average", RuleSpec::Average),
+        ("krum", RuleSpec::Krum),
+        ("multi-krum", RuleSpec::MultiKrum { m: None }),
+        ("median", RuleSpec::Median),
+        ("trimmed", RuleSpec::TrimmedMean { trim: None }),
+        ("geo-median", RuleSpec::GeometricMedian),
+        ("closest-bary", RuleSpec::ClosestToBarycenter),
     ]
 }
 
-fn attacks(dim: usize) -> Vec<(&'static str, Box<dyn Attack>)> {
+fn attacks() -> Vec<(&'static str, AttackSpec)> {
     vec![
-        ("none", Box::new(NoAttack::new())),
-        ("gaussian", Box::new(GaussianNoise::new(50.0).unwrap())),
-        ("sign-flip", Box::new(SignFlip::new(5.0).unwrap())),
-        (
-            "omniscient",
-            Box::new(OmniscientNegative::new(3.0).unwrap()),
-        ),
-        ("collusion", Box::new(Collusion::new(500.0).unwrap())),
-        (
-            "const-target",
-            Box::new(ConstantTarget::new(Vector::filled(dim, 10.0))),
-        ),
-        ("lie", Box::new(LittleIsEnough::new(2.0).unwrap())),
+        ("none", AttackSpec::None),
+        ("gaussian", AttackSpec::GaussianNoise { std: 50.0 }),
+        ("sign-flip", AttackSpec::SignFlip { scale: 5.0 }),
+        ("omniscient", AttackSpec::OmniscientNegative { scale: 3.0 }),
+        ("collusion", AttackSpec::Collusion { magnitude: 500.0 }),
+        ("const-target", AttackSpec::ConstantTarget { fill: 10.0 }),
+        ("lie", AttackSpec::LittleIsEnough { z: 2.0 }),
     ]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let (dataset, _, _) = generators::logistic_regression(4_000, FEATURES, &mut rng)?;
-    let (train, _test) = dataset.split(0.85)?;
-    let cluster = ClusterSpec::new(WORKERS, BYZANTINE)?;
-    let model_dim = FEATURES + 1;
-
     // Header.
     print!("{:<14}", "final loss");
-    for (agg_name, _) in aggregators() {
-        print!("{agg_name:>13}");
+    for (rule_name, _) in rules() {
+        print!("{rule_name:>13}");
     }
     println!();
 
-    for (attack_name, _) in attacks(model_dim) {
+    for (attack_name, attack) in attacks() {
         print!("{attack_name:<14}");
-        for (_, aggregator) in aggregators() {
-            let attack = attacks(model_dim)
-                .into_iter()
-                .find(|(name, _)| *name == attack_name)
-                .map(|(_, a)| a)
-                .expect("attack exists");
-            let config = TrainingConfig {
-                rounds: ROUNDS,
-                schedule: LearningRateSchedule::InverseTime {
+        for (_, rule) in rules() {
+            let report = ScenarioBuilder::new(WORKERS, BYZANTINE)
+                .rule(rule)
+                .attack(attack)
+                .estimator(workload())
+                .schedule(LearningRateSchedule::InverseTime {
                     gamma: 0.5,
                     tau: 60.0,
-                },
-                seed: 11,
-                eval_every: ROUNDS, // only evaluate at the end (and round 0)
-                known_optimum: None,
-            };
-            let mut trainer = SyncTrainer::new(
-                cluster,
-                aggregator,
-                attack,
-                estimators(&train, cluster.honest()),
-                config,
-            )?;
-            let (_, history) = trainer.run(Vector::zeros(model_dim))?;
-            let loss = history.summary().final_loss.unwrap_or(f64::NAN);
+                })
+                .rounds(ROUNDS)
+                .eval_every(ROUNDS) // only evaluate at the edges
+                .seed(11)
+                .run()?;
+            let loss = report.summary().final_loss.unwrap_or(f64::NAN);
             if loss.is_finite() && loss < 100.0 {
                 print!("{loss:>13.4}");
             } else {

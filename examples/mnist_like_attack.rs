@@ -2,118 +2,90 @@
 //! third of the workers Byzantine — the scenario of the full paper's
 //! evaluation (Figure 4 there), on the synthetic stand-in dataset.
 //!
+//! The workload (MLP + digit generator + shards + held-out accuracy probe)
+//! is one `EstimatorSpec`; each (attack, rule) cell is one declarative
+//! scenario over it.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example mnist_like_attack
 //! ```
 
-use krum::aggregation::{Aggregator, Average, Krum, MultiKrum};
-use krum::attacks::{Attack, GaussianNoise, NoAttack, OmniscientNegative};
-use krum::data::{generators, partition, BatchSampler};
-use krum::dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum::models::{accuracy, BatchGradientEstimator, GradientEstimator, Mlp, MlpBuilder, Model};
-use krum::tensor::{InitStrategy, Vector};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
+use krum::aggregation::RuleSpec;
+use krum::attacks::AttackSpec;
+use krum::dist::LearningRateSchedule;
+use krum::models::{DataSpec, EstimatorSpec, ModelSpec};
+use krum::scenario::ScenarioBuilder;
+use krum::tensor::InitStrategy;
 
-const SIDE: usize = 12; // 12×12 synthetic "digits" → d = 144·32 + … parameters
+const SIDE: usize = 12; // 12×12 synthetic "digits"
 const HIDDEN: usize = 32;
 const WORKERS: usize = 15;
 const BYZANTINE: usize = 5;
 const ROUNDS: usize = 150;
 
-fn build_mlp() -> Mlp {
-    MlpBuilder::new(SIDE * SIDE, 10)
-        .hidden_layer(HIDDEN)
-        .build()
-        .expect("valid architecture")
-}
-
-fn worker_estimators(
-    train: &krum::data::Dataset,
-    honest: usize,
-    rng: &mut ChaCha8Rng,
-) -> Vec<Box<dyn GradientEstimator>> {
-    let shards = partition::iid_shards(train, honest, rng).expect("enough samples per worker");
-    shards
-        .into_iter()
-        .map(|shard| {
-            let sampler = BatchSampler::new(shard, 32).expect("non-empty shard");
-            Box::new(BatchGradientEstimator::new(build_mlp(), sampler).expect("valid estimator"))
-                as Box<dyn GradientEstimator>
-        })
-        .collect()
+fn workload() -> EstimatorSpec {
+    EstimatorSpec::Synthetic {
+        model: ModelSpec::Mlp {
+            inputs: SIDE * SIDE,
+            hidden: vec![HIDDEN],
+            classes: 10,
+        },
+        data: DataSpec::SyntheticDigits {
+            samples: 3_000,
+            noise: 0.25,
+        },
+        batch: 32,
+        holdout: 0.2,
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = ChaCha8Rng::seed_from_u64(2017);
-    let dataset = generators::synthetic_digits(3_000, SIDE, 0.25, &mut rng)?;
-    let (train, test) = dataset.shuffled(&mut rng).split(0.8)?;
-    let test = Arc::new(test);
+    let spec = workload();
     println!(
-        "synthetic digits: {} train / {} test samples, d = {} model parameters",
-        train.len(),
-        test.len(),
-        build_mlp().dim()
+        "synthetic digits: 3000 samples (20% held out), d = {} model parameters",
+        spec.dim()?
     );
 
-    let cluster = ClusterSpec::new(WORKERS, BYZANTINE)?;
-    let mlp = build_mlp();
-    let mut init_rng = ChaCha8Rng::seed_from_u64(7);
-    let initial = mlp.init_parameters(InitStrategy::XavierUniform, &mut init_rng);
-
-    let scenarios: Vec<(&str, Box<dyn Attack>)> = vec![
-        ("no attack", Box::new(NoAttack::new())),
-        ("gaussian", Box::new(GaussianNoise::new(100.0)?)),
-        ("omniscient", Box::new(OmniscientNegative::new(2.0)?)),
+    let attacks: Vec<(&str, AttackSpec)> = vec![
+        ("no attack", AttackSpec::None),
+        ("gaussian", AttackSpec::GaussianNoise { std: 100.0 }),
+        ("omniscient", AttackSpec::OmniscientNegative { scale: 2.0 }),
+    ];
+    let rules: Vec<(&str, RuleSpec)> = vec![
+        ("average", RuleSpec::Average),
+        ("krum", RuleSpec::Krum),
+        ("multi-krum", RuleSpec::MultiKrum { m: None }),
     ];
 
     println!(
         "{:<12} {:<12} {:>12} {:>12} {:>10}",
         "attack", "aggregator", "final loss", "accuracy", "byz-pick%"
     );
-    for (attack_name, attack) in scenarios {
-        let aggregators: Vec<(&str, Box<dyn Aggregator>)> = vec![
-            ("average", Box::new(Average::new())),
-            ("krum", Box::new(Krum::new(WORKERS, BYZANTINE)?)),
-            (
-                "multi-krum",
-                Box::new(MultiKrum::new(WORKERS, BYZANTINE, WORKERS - BYZANTINE)?),
-            ),
-        ];
-        for (agg_name, aggregator) in aggregators {
-            let mut shard_rng = ChaCha8Rng::seed_from_u64(99);
-            let estimators = worker_estimators(&train, cluster.honest(), &mut shard_rng);
-            let config = TrainingConfig {
-                rounds: ROUNDS,
-                schedule: LearningRateSchedule::InverseTime {
+    for (attack_name, attack) in &attacks {
+        for (rule_name, rule) in &rules {
+            let report = ScenarioBuilder::new(WORKERS, BYZANTINE)
+                .rule(*rule)
+                .attack(*attack)
+                .estimator(workload())
+                .schedule(LearningRateSchedule::InverseTime {
                     gamma: 0.5,
                     tau: 100.0,
-                },
-                seed: 1234,
-                eval_every: 25,
-                known_optimum: None,
-            };
-            let attack_clone: Box<dyn Attack> = clone_attack(attack_name)?;
-            let test_for_probe = Arc::clone(&test);
-            let probe_mlp = build_mlp();
-            let mut trainer =
-                SyncTrainer::new(cluster, aggregator, attack_clone, estimators, config)?
-                    .with_accuracy_probe(move |params: &Vector| {
-                        accuracy(&probe_mlp, params, &test_for_probe).ok().flatten()
-                    });
-            let (_, history) = trainer.run(initial.clone())?;
-            let summary = history.summary();
+                })
+                .rounds(ROUNDS)
+                .eval_every(25)
+                .seed(1234)
+                .init_sample(InitStrategy::XavierUniform, 7)
+                .run()?;
+            let summary = report.summary();
             println!(
-                "{attack_name:<12} {agg_name:<12} {:>12.4} {:>11.1}% {:>9.1}%",
+                "{attack_name:<12} {rule_name:<12} {:>12.4} {:>11.1}% {:>9.1}%",
                 summary.final_loss.unwrap_or(f64::NAN),
                 100.0 * summary.final_accuracy.unwrap_or(f64::NAN),
-                100.0 * history.selection_stats().byzantine_rate(),
+                100.0 * report.history.selection_stats().byzantine_rate(),
             );
         }
-        let _ = attack; // each run used its own clone
     }
     println!();
     println!(
@@ -121,15 +93,4 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          diverges under both attacks while Krum and Multi-Krum stay close to the attack-free run."
     );
     Ok(())
-}
-
-/// Rebuild an attack by name so each (attack, aggregator) cell gets a fresh,
-/// identically configured adversary.
-fn clone_attack(name: &str) -> Result<Box<dyn Attack>, Box<dyn std::error::Error>> {
-    Ok(match name {
-        "no attack" => Box::new(NoAttack::new()),
-        "gaussian" => Box::new(GaussianNoise::new(100.0)?),
-        "omniscient" => Box::new(OmniscientNegative::new(2.0)?),
-        other => return Err(format!("unknown attack {other}").into()),
-    })
 }

@@ -2,17 +2,20 @@
 //! trade-off between pure Krum (`m = 1`) and plain averaging (`m = n`),
 //! mirroring the Multi-Krum figure of the full version of the paper.
 //!
+//! Each grid cell is one declarative scenario; only the rule spec and the
+//! attack spec change between cells.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example multikrum_tradeoff
 //! ```
 
-use krum::aggregation::{Aggregator, Average, MultiKrum};
-use krum::attacks::{GaussianNoise, NoAttack};
-use krum::dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum::models::{GaussianEstimator, GradientEstimator, QuadraticCost};
-use krum::tensor::Vector;
+use krum::aggregation::RuleSpec;
+use krum::attacks::AttackSpec;
+use krum::dist::LearningRateSchedule;
+use krum::models::EstimatorSpec;
+use krum::scenario::ScenarioBuilder;
 
 const WORKERS: usize = 20;
 const BYZANTINE: usize = 6;
@@ -20,47 +23,32 @@ const DIM: usize = 50;
 const ROUNDS: usize = 250;
 const SIGMA: f64 = 1.0;
 
-fn estimators(count: usize) -> Vec<Box<dyn GradientEstimator>> {
-    (0..count)
-        .map(|_| {
-            Box::new(
-                GaussianEstimator::new(QuadraticCost::isotropic(Vector::zeros(DIM), 0.0), SIGMA)
-                    .expect("valid sigma"),
-            ) as Box<dyn GradientEstimator>
+fn run(rule: RuleSpec, attacked: bool) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let attack = if attacked {
+        AttackSpec::GaussianNoise { std: 200.0 }
+    } else {
+        AttackSpec::None
+    };
+    let report = ScenarioBuilder::new(WORKERS, BYZANTINE)
+        .rule(rule)
+        .attack(attack)
+        .estimator(EstimatorSpec::GaussianQuadratic {
+            dim: DIM,
+            sigma: SIGMA,
         })
-        .collect()
-}
-
-fn run(aggregator: Box<dyn Aggregator>, attacked: bool) -> (f64, f64) {
-    let cluster = ClusterSpec::new(WORKERS, BYZANTINE).expect("valid cluster");
-    let config = TrainingConfig {
-        rounds: ROUNDS,
-        schedule: LearningRateSchedule::InverseTime {
+        .schedule(LearningRateSchedule::InverseTime {
             gamma: 0.1,
             tau: 80.0,
-        },
-        seed: 77,
-        eval_every: 25,
-        known_optimum: Some(Vector::zeros(DIM)),
-    };
-    let attack: Box<dyn krum::attacks::Attack> = if attacked {
-        Box::new(GaussianNoise::new(200.0).expect("valid std"))
-    } else {
-        Box::new(NoAttack::new())
-    };
-    let mut trainer = SyncTrainer::new(
-        cluster,
-        aggregator,
-        attack,
-        estimators(cluster.honest()),
-        config,
-    )
-    .expect("valid trainer");
-    let (final_params, history) = trainer.run(Vector::filled(DIM, 5.0)).expect("run succeeds");
-    (
-        final_params.norm(),
-        history.summary().final_loss.unwrap_or(f64::NAN),
-    )
+        })
+        .rounds(ROUNDS)
+        .eval_every(25)
+        .seed(77)
+        .init_fill(5.0)
+        .run()?;
+    Ok((
+        report.final_params.norm(),
+        report.summary().final_loss.unwrap_or(f64::NAN),
+    ))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -73,19 +61,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut ms: Vec<usize> = vec![1, 2, 5, 10, WORKERS - BYZANTINE];
     ms.dedup();
-    for m in ms {
-        let attacked = run(Box::new(MultiKrum::new(WORKERS, BYZANTINE, m)?), true);
-        let clean = run(Box::new(MultiKrum::new(WORKERS, BYZANTINE, m)?), false);
+    let mut rules: Vec<RuleSpec> = ms
+        .into_iter()
+        .map(|m| RuleSpec::MultiKrum { m: Some(m) })
+        .collect();
+    rules.push(RuleSpec::Average);
+    for rule in rules {
+        let attacked = run(rule, true)?;
+        let clean = run(rule, false)?;
         println!(
             "{:<22} {:>18.4} {:>18.4}",
-            format!("multi-krum m={m}"),
+            rule.to_string(),
             attacked.0,
             clean.0
         );
     }
-    let attacked = run(Box::new(Average::new()), true);
-    let clean = run(Box::new(Average::new()), false);
-    println!("{:<22} {:>18.4} {:>18.4}", "average", attacked.0, clean.0);
     println!();
     println!("Larger m averages more proposals: better variance reduction on clean rounds,");
     println!("still robust as long as m ≤ n − f; plain averaging is destroyed by the attack.");

@@ -1,5 +1,5 @@
-//! Quickstart: aggregate worker proposals with Krum and run a tiny
-//! Byzantine-tolerant SGD session.
+//! Quickstart: aggregate worker proposals with Krum, then describe a full
+//! Byzantine-tolerant SGD experiment as one declarative scenario and run it.
 //!
 //! Run with:
 //!
@@ -7,10 +7,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use krum::aggregation::{Aggregator, Average, Krum};
-use krum::attacks::SignFlip;
-use krum::dist::{ClusterSpec, LearningRateSchedule, SyncTrainer, TrainingConfig};
-use krum::models::{GaussianEstimator, GradientEstimator, QuadraticCost};
+use krum::aggregation::{Aggregator, Average, Krum, RuleSpec};
+use krum::attacks::AttackSpec;
+use krum::dist::LearningRateSchedule;
+use krum::models::EstimatorSpec;
+use krum::scenario::ScenarioBuilder;
 use krum::tensor::Vector;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,51 +40,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // ------------------------------------------------------------------
-    // 2. A small distributed SGD run on a quadratic cost, under attack.
+    // 2. A full experiment as one declarative scenario: n = 15 workers,
+    //    f = 4 Byzantine running a sign-flip attack on a quadratic cost.
+    //    The same spec could be serialised to JSON and run with
+    //    `krum run spec.json` — identical trajectory either way.
     // ------------------------------------------------------------------
     let dim = 20;
-    let cluster = ClusterSpec::new(15, 4)?;
-    let config = TrainingConfig {
-        rounds: 200,
-        schedule: LearningRateSchedule::InverseTime {
-            gamma: 0.2,
-            tau: 50.0,
-        },
-        seed: 42,
-        eval_every: 20,
-        known_optimum: Some(Vector::zeros(dim)),
-    };
-    let estimators = |count: usize| -> Vec<Box<dyn GradientEstimator>> {
-        (0..count)
-            .map(|_| {
-                Box::new(
-                    GaussianEstimator::new(QuadraticCost::isotropic(Vector::zeros(dim), 0.0), 0.2)
-                        .expect("valid sigma"),
-                ) as Box<dyn GradientEstimator>
-            })
-            .collect()
-    };
-
     println!("== Distributed SGD, n = 15 workers, f = 4 Byzantine (sign-flip attack) ==");
-    for (label, aggregator) in [
-        ("krum", Box::new(Krum::new(15, 4)?) as Box<dyn Aggregator>),
-        ("average", Box::new(Average::new()) as Box<dyn Aggregator>),
-    ] {
-        let mut trainer = SyncTrainer::new(
-            cluster,
-            aggregator,
-            Box::new(SignFlip::new(5.0)?),
-            estimators(cluster.honest()),
-            config.clone(),
-        )?;
-        let (final_params, history) = trainer.run(Vector::filled(dim, 3.0))?;
-        let summary = history.summary();
+    for rule in [RuleSpec::Krum, RuleSpec::Average] {
+        let report = ScenarioBuilder::new(15, 4)
+            .rule(rule)
+            .attack(AttackSpec::SignFlip { scale: 5.0 })
+            .estimator(EstimatorSpec::GaussianQuadratic { dim, sigma: 0.2 })
+            .schedule(LearningRateSchedule::InverseTime {
+                gamma: 0.2,
+                tau: 50.0,
+            })
+            .rounds(200)
+            .eval_every(20)
+            .seed(42)
+            .init_fill(3.0)
+            .run()?;
+        let summary = report.summary();
         println!(
-            "{label:>8}: final ‖x − x*‖ = {:8.4}   loss {:10.4} -> {:10.4}   byzantine selected {:.1}%",
-            final_params.norm(),
+            "{:>8}: final ‖x − x*‖ = {:8.4}   loss {:10.4} -> {:10.4}   byzantine selected {:.1}%",
+            rule.to_string(),
+            report.final_params.norm(),
             summary.initial_loss.unwrap_or(f64::NAN),
             summary.final_loss.unwrap_or(f64::NAN),
-            100.0 * history.selection_stats().byzantine_rate(),
+            100.0 * report.history.selection_stats().byzantine_rate(),
         );
     }
     println!();

@@ -17,6 +17,7 @@
 //! | [`attacks`] | `krum-attacks` | Byzantine worker strategies |
 //! | [`dist`] | `krum-dist` | synchronous parameter-server simulator |
 //! | [`metrics`] | `krum-metrics` | round records, histories, exporters |
+//! | [`scenario`] | `krum-scenario` | declarative experiment specs, builder and runner |
 //!
 //! ## Quickstart
 //!
@@ -80,6 +81,12 @@ pub mod metrics {
     pub use krum_metrics::*;
 }
 
+/// Declarative scenario specs, builder and runner (re-export of
+/// `krum-scenario`).
+pub mod scenario {
+    pub use krum_scenario::*;
+}
+
 /// Commonly used items across the whole reproduction.
 pub mod prelude {
     pub use krum_attacks::prelude::*;
@@ -88,5 +95,6 @@ pub mod prelude {
     pub use krum_dist::prelude::*;
     pub use krum_metrics::prelude::*;
     pub use krum_models::prelude::*;
+    pub use krum_scenario::prelude::*;
     pub use krum_tensor::prelude::*;
 }

@@ -1,13 +1,15 @@
-//! Property tests for the aggregation-rule registry's spec parsing.
+//! Property tests for the rule and attack registries' spec parsing.
 //!
-//! `build_aggregator` is the boundary where user-controlled strings (CLI
-//! flags, config files) enter the system, so it must never panic: every
-//! canonical name must build on a valid cluster shape, and every malformed
-//! spec or out-of-range `(n, f)` must come back as
-//! `AggregationError::InvalidConfig` (or another structured error), never a
-//! panic or an unwrap.
+//! `build_aggregator` / `build_attack` are the boundary where
+//! user-controlled strings (CLI flags, scenario files) enter the system, so
+//! they must never panic: every canonical name must build on a valid
+//! configuration, every typed spec must round-trip `Display → FromStr`
+//! exactly, and every malformed spec or out-of-range parameter must come
+//! back as a structured error (`AggregationError::InvalidConfig` /
+//! `AttackError::BadConfig`), never a panic or an unwrap.
 
-use krum::aggregation::{build_aggregator, AggregationError, Aggregator, RULE_NAMES};
+use krum::aggregation::{build_aggregator, AggregationError, Aggregator, RuleSpec, RULE_NAMES};
+use krum::attacks::{build_attack, AttackError, AttackSpec, ATTACK_NAMES};
 use krum::tensor::Vector;
 use proptest::prelude::*;
 
@@ -33,8 +35,139 @@ fn canonical_names_round_trip() {
     }
 }
 
+/// A generator covering every [`RuleSpec`] variant, parameterised and not.
+fn rule_spec(seed: usize, param: usize) -> RuleSpec {
+    match seed % 11 {
+        0 => RuleSpec::Average,
+        1 => RuleSpec::UniformWeightedAverage,
+        2 => RuleSpec::Krum,
+        3 => RuleSpec::MultiKrum { m: None },
+        4 => RuleSpec::MultiKrum { m: Some(param) },
+        5 => RuleSpec::Median,
+        6 => RuleSpec::TrimmedMean { trim: None },
+        7 => RuleSpec::TrimmedMean { trim: Some(param) },
+        8 => RuleSpec::GeometricMedian,
+        9 => RuleSpec::ClosestToBarycenter,
+        _ => RuleSpec::MinDiameterSubset,
+    }
+}
+
+/// A generator covering every [`AttackSpec`] variant.
+fn attack_spec(seed: usize, param: f64) -> AttackSpec {
+    match seed % 9 {
+        0 => AttackSpec::None,
+        1 => AttackSpec::ConstantTarget { fill: param },
+        2 => AttackSpec::Collusion { magnitude: param },
+        3 => AttackSpec::GaussianNoise { std: param },
+        4 => AttackSpec::SignFlip { scale: param },
+        5 => AttackSpec::OmniscientNegative { scale: param },
+        6 => AttackSpec::LittleIsEnough { z: param },
+        7 => AttackSpec::Mimic {
+            victim: param.abs() as usize,
+        },
+        _ => AttackSpec::KrumAware {
+            aggressiveness: param,
+        },
+    }
+}
+
+/// Every canonical attack name parses with defaults, builds, and reports a
+/// display name whose base matches the spec it came from.
+#[test]
+fn canonical_attack_names_round_trip() {
+    for &name in ATTACK_NAMES {
+        let spec: AttackSpec = name
+            .parse()
+            .unwrap_or_else(|e| panic!("canonical attack `{name}` failed to parse: {e}"));
+        assert_eq!(spec.name(), name);
+        let built = spec
+            .build(4)
+            .unwrap_or_else(|e| panic!("canonical attack `{name}` failed to build: {e}"));
+        assert_eq!(built.name(), name);
+        // Re-parsing the parameterised rendering lands on the same spec.
+        let reparsed: AttackSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `Display → FromStr` is the identity for every `RuleSpec` variant, so
+    /// the textual form in tables/CLIs/JSON names exactly one typed spec.
+    #[test]
+    fn rule_specs_round_trip_display_fromstr(seed in 0usize..11, param in 0usize..1000) {
+        let spec = rule_spec(seed, param);
+        let text = spec.to_string();
+        let parsed: RuleSpec = text.parse().unwrap_or_else(|e| {
+            panic!("`{text}` (from {spec:?}) failed to parse back: {e}")
+        });
+        prop_assert_eq!(parsed, spec);
+        // And the serde rendering is the same string.
+        let json = serde_json::to_string(&spec).unwrap();
+        prop_assert_eq!(json, format!("\"{text}\""));
+    }
+
+    /// `Display → FromStr` is the identity for every `AttackSpec` variant,
+    /// including non-round float parameters (f64 `Display` is exact).
+    #[test]
+    fn attack_specs_round_trip_display_fromstr(
+        seed in 0usize..9,
+        param in 1e-6f64..1e9,
+    ) {
+        let spec = attack_spec(seed, param);
+        let text = spec.to_string();
+        let parsed: AttackSpec = text.parse().unwrap_or_else(|e| {
+            panic!("`{text}` (from {spec:?}) failed to parse back: {e}")
+        });
+        prop_assert_eq!(parsed, spec);
+        let back: AttackSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Arbitrary attack-spec strings never panic: they parse into a working
+    /// strategy or return a structured `AttackError`, and building at any
+    /// dimension never panics either.
+    #[test]
+    fn arbitrary_attack_specs_never_panic(
+        name_idx in 0usize..12,
+        key_idx in 0usize..6,
+        value in -1e3f64..1e3,
+        decoration in 0usize..6,
+        dim in 0usize..40,
+    ) {
+        let name = [
+            "none",
+            "constant-target",
+            "collusion",
+            "gaussian-noise",
+            "sign-flip",
+            "omniscient-negative",
+            "little-is-enough",
+            "mimic",
+            "krum-aware",
+            "zeno",
+            "",
+            "sign-flip ",
+        ][name_idx];
+        let key = ["fill", "scale", "std", "", "z z", "=z"][key_idx];
+        let spec = match decoration {
+            0 => name.to_string(),
+            1 => format!("{name}:{key}={value}"),
+            2 => format!("{name}:{key}"),
+            3 => format!("{name}:{key}={value},{key}={value}"),
+            4 => format!("{name}:{key}=not-a-number"),
+            _ => format!(" {name} : {key} = {value} "),
+        };
+        match build_attack(&spec, dim) {
+            Ok(attack) => prop_assert!(!attack.name().is_empty()),
+            Err(e) => prop_assert!(
+                matches!(e, AttackError::BadConfig { .. }),
+                "spec `{}` (dim={}) returned unexpected error {:?}",
+                spec, dim, e
+            ),
+        }
+    }
 
     /// Arbitrary (name, params, n, f) combinations never panic — they either
     /// build a working rule or return a structured error.
