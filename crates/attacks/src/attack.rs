@@ -81,6 +81,31 @@ impl<'a> AttackContext<'a> {
     }
 }
 
+/// When the Byzantine proposals reach the server, relative to the honest
+/// ones — the timing half of the adversary model. Barrier strategies
+/// (sequential/threaded) wait for everyone, so timing only matters under
+/// partial-quorum execution (`AsyncQuorum`), where the adversary controls
+/// *when* it responds as well as *what* it sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackTiming {
+    /// Byzantine proposals race like honest ones: their arrival latency is
+    /// drawn from the same network model.
+    #[default]
+    Honest,
+    /// Byzantine proposals always arrive after every honest proposal of
+    /// their round: they miss the quorum whenever it can be filled without
+    /// them and land as stale carry-overs in later rounds (or are dropped by
+    /// the staleness bound).
+    Straggle,
+    /// Byzantine workers wait until they have observed the proposals that
+    /// would close the quorum, then respond just before it closes — an
+    /// omniscient attacker that always squeezes into the quorum's last
+    /// slots. Under this timing the engine calls [`Attack::forge`] *after*
+    /// the rest of the quorum is known, with `honest_proposals` set to the
+    /// observed quorum members.
+    LastToRespond,
+}
+
 /// A Byzantine strategy: given full knowledge of the round, produce the
 /// vectors the `f` Byzantine workers propose.
 ///
@@ -100,6 +125,13 @@ pub trait Attack: Send + Sync {
 
     /// Human-readable attack name (shown in experiment tables).
     fn name(&self) -> String;
+
+    /// When the forged proposals reach the server under partial-quorum
+    /// execution. Barrier engines ignore this. Defaults to
+    /// [`AttackTiming::Honest`].
+    fn timing(&self) -> AttackTiming {
+        AttackTiming::Honest
+    }
 }
 
 impl<A: Attack + ?Sized> Attack for &A {
@@ -114,6 +146,10 @@ impl<A: Attack + ?Sized> Attack for &A {
     fn name(&self) -> String {
         (**self).name()
     }
+
+    fn timing(&self) -> AttackTiming {
+        (**self).timing()
+    }
 }
 
 impl<A: Attack + ?Sized> Attack for Box<A> {
@@ -127,6 +163,10 @@ impl<A: Attack + ?Sized> Attack for Box<A> {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn timing(&self) -> AttackTiming {
+        (**self).timing()
     }
 }
 

@@ -13,6 +13,14 @@ use crate::attack::{Attack, AttackContext, AttackError};
 /// Runs a different inner attack depending on the round number, cycling
 /// through the provided schedule. Useful for testing that an aggregation rule
 /// does not merely adapt to a single stationary adversary.
+///
+/// Timing note: [`Attack::timing`] is queried *before* the engine knows the
+/// round's context, so a composite cannot forward a per-round inner timing.
+/// `Alternating` therefore reports the default
+/// [`AttackTiming::Honest`](crate::AttackTiming::Honest) — under
+/// partial-quorum execution the inner attacks' *values* alternate, but all
+/// proposals race with honest latency. Use the timing-aware attacks
+/// directly (un-composed) when the straggle/respond-last behaviour matters.
 pub struct Alternating {
     attacks: Vec<Box<dyn Attack>>,
     period: usize,

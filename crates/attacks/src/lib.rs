@@ -29,7 +29,17 @@
 //!   diversity);
 //! * [`Alternating`] — cycles through a schedule of inner attacks (extension);
 //! * [`KrumAware`] — a stealth attack that stays inside the honest cloud so
-//!   Krum occasionally selects it (extension).
+//!   Krum occasionally selects it (extension);
+//! * [`Straggler`] — timing-aware: deliberately late sign-flipped proposals
+//!   that land as stale carry-overs under partial-quorum execution;
+//! * [`LastToRespond`] — timing-aware: waits to observe the closing quorum,
+//!   then squeezes a negated gradient into its last slots;
+//! * [`NonFinite`] — fault injection: NaN-filled proposals probing
+//!   degenerate-input handling across the stack.
+//!
+//! The adversary controls *timing* as well as values: every attack reports
+//! an [`AttackTiming`] (racing honestly, straggling, or responding last)
+//! that the partial-quorum engine honours and the barrier engines ignore.
 //!
 //! Every non-composite strategy is also constructible from a typed, serde
 //! round-trippable [`AttackSpec`] (or its textual form such as
@@ -44,18 +54,19 @@ mod composite;
 mod spec;
 mod strategies;
 
-pub use attack::{Attack, AttackContext, AttackError};
+pub use attack::{Attack, AttackContext, AttackError, AttackTiming};
 pub use composite::{Alternating, KrumAware};
 pub use spec::{build_attack, AttackSpec, ATTACK_NAMES};
 pub use strategies::{
-    Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack, OmniscientNegative,
-    SignFlip,
+    Collusion, ConstantTarget, GaussianNoise, LastToRespond, LittleIsEnough, Mimic, NoAttack,
+    NonFinite, OmniscientNegative, SignFlip, Straggler,
 };
 
 /// Convenience prelude for the attacks crate.
 pub mod prelude {
     pub use crate::{
-        Alternating, Attack, AttackContext, AttackError, AttackSpec, Collusion, ConstantTarget,
-        GaussianNoise, KrumAware, LittleIsEnough, Mimic, NoAttack, OmniscientNegative, SignFlip,
+        Alternating, Attack, AttackContext, AttackError, AttackSpec, AttackTiming, Collusion,
+        ConstantTarget, GaussianNoise, KrumAware, LastToRespond, LittleIsEnough, Mimic, NoAttack,
+        NonFinite, OmniscientNegative, SignFlip, Straggler,
     };
 }

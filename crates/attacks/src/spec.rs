@@ -17,8 +17,8 @@ use krum_tensor::Vector;
 use crate::attack::{Attack, AttackError};
 use crate::composite::KrumAware;
 use crate::strategies::{
-    Collusion, ConstantTarget, GaussianNoise, LittleIsEnough, Mimic, NoAttack, OmniscientNegative,
-    SignFlip,
+    Collusion, ConstantTarget, GaussianNoise, LastToRespond, LittleIsEnough, Mimic, NoAttack,
+    NonFinite, OmniscientNegative, SignFlip, Straggler,
 };
 
 /// Names of every attack the spec registry can build (canonical spellings).
@@ -32,6 +32,9 @@ pub const ATTACK_NAMES: &[&str] = &[
     "little-is-enough",
     "mimic",
     "krum-aware",
+    "straggler",
+    "last-to-respond",
+    "non-finite",
 ];
 
 /// A typed, serialisable specification of a Byzantine strategy.
@@ -88,6 +91,21 @@ pub enum AttackSpec {
         /// Shift in multiples of the honest spread (default `0.5`).
         aggressiveness: f64,
     },
+    /// Timing-aware: deliberately late sign-flipped proposals that land as
+    /// stale carry-overs under partial-quorum execution ([`Straggler`]).
+    Straggler {
+        /// Magnification of the flipped honest mean (default `2`).
+        scale: f64,
+    },
+    /// Timing-aware: waits to observe the closing quorum, then responds just
+    /// before it closes with a negated gradient ([`LastToRespond`]).
+    LastToRespond {
+        /// Magnification of the negated gradient (default `2`).
+        scale: f64,
+    },
+    /// Fault injection: NaN-filled proposals probing degenerate-input
+    /// handling ([`NonFinite`]).
+    NonFinite,
 }
 
 impl AttackSpec {
@@ -122,6 +140,32 @@ impl AttackSpec {
             Self::LittleIsEnough { z } => Ok(Box::new(LittleIsEnough::new(z)?)),
             Self::Mimic { victim } => Ok(Box::new(Mimic::new(victim))),
             Self::KrumAware { aggressiveness } => Ok(Box::new(KrumAware::new(aggressiveness)?)),
+            Self::Straggler { scale } => Ok(Box::new(Straggler::new(scale)?)),
+            Self::LastToRespond { scale } => Ok(Box::new(LastToRespond::new(scale)?)),
+            Self::NonFinite => Ok(Box::new(NonFinite::new())),
+        }
+    }
+
+    /// Cross-validates the spec against the cluster shape. The Figure-2
+    /// collusion needs `f ≥ 2` (`f − 1` decoys plus one colluder): with a
+    /// single Byzantine worker it degenerates to proposing the honest mean
+    /// and stops being the paper's attack, so scenario validation rejects it
+    /// rather than running a misleading experiment. (`f = 0` is allowed —
+    /// every attack is a no-op then.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] when the spec cannot express its
+    /// attack with `byzantine` workers.
+    pub fn validate_for_cluster(&self, byzantine: usize) -> Result<(), AttackError> {
+        match self {
+            Self::Collusion { .. } if byzantine == 1 => Err(AttackError::config(
+                "collusion",
+                "the Figure-2 collusion needs f >= 2 (f - 1 decoys plus one colluder); \
+                 with f = 1 it degenerates to proposing the honest mean — use `none`, \
+                 `mimic` or `sign-flip` instead",
+            )),
+            _ => Ok(()),
         }
     }
 
@@ -137,6 +181,9 @@ impl AttackSpec {
             Self::LittleIsEnough { .. } => "little-is-enough",
             Self::Mimic { .. } => "mimic",
             Self::KrumAware { .. } => "krum-aware",
+            Self::Straggler { .. } => "straggler",
+            Self::LastToRespond { .. } => "last-to-respond",
+            Self::NonFinite => "non-finite",
         }
     }
 
@@ -164,6 +211,9 @@ impl fmt::Display for AttackSpec {
             Self::KrumAware { aggressiveness } => {
                 write!(out, "krum-aware:aggressiveness={aggressiveness}")
             }
+            Self::Straggler { scale } => write!(out, "straggler:scale={scale}"),
+            Self::LastToRespond { scale } => write!(out, "last-to-respond:scale={scale}"),
+            Self::NonFinite => out.write_str("non-finite"),
         }
     }
 }
@@ -246,6 +296,22 @@ impl FromStr for AttackSpec {
                 Ok(Self::KrumAware {
                     aggressiveness: get("aggressiveness").unwrap_or(0.5),
                 })
+            }
+            "straggler" => {
+                reject_unknown(&["scale"])?;
+                Ok(Self::Straggler {
+                    scale: get("scale").unwrap_or(2.0),
+                })
+            }
+            "last-to-respond" => {
+                reject_unknown(&["scale"])?;
+                Ok(Self::LastToRespond {
+                    scale: get("scale").unwrap_or(2.0),
+                })
+            }
+            "non-finite" => {
+                reject_unknown(&[])?;
+                Ok(Self::NonFinite)
             }
             other => Err(AttackError::config(
                 "spec",
@@ -361,6 +427,9 @@ mod tests {
             AttackSpec::KrumAware {
                 aggressiveness: 0.5,
             },
+            AttackSpec::Straggler { scale: 2.5 },
+            AttackSpec::LastToRespond { scale: 4.0 },
+            AttackSpec::NonFinite,
         ];
         for spec in specs {
             let parsed: AttackSpec = spec.to_string().parse().unwrap();
@@ -409,5 +478,44 @@ mod tests {
         let typed = AttackSpec::SignFlip { scale: 5.0 }.build(3).unwrap();
         let stringly = build_attack("sign-flip:scale=5", 3).unwrap();
         assert_eq!(typed.name(), stringly.name());
+    }
+
+    #[test]
+    fn timing_aware_specs_carry_their_timing() {
+        use crate::attack::AttackTiming;
+        let straggler = "straggler".parse::<AttackSpec>().unwrap();
+        assert_eq!(straggler, AttackSpec::Straggler { scale: 2.0 });
+        assert_eq!(straggler.build(4).unwrap().timing(), AttackTiming::Straggle);
+        let ltr = "last-to-respond:scale=3".parse::<AttackSpec>().unwrap();
+        assert_eq!(ltr.build(4).unwrap().timing(), AttackTiming::LastToRespond);
+        // Value-only attacks keep the default racing timing.
+        let flip = "sign-flip".parse::<AttackSpec>().unwrap();
+        assert_eq!(flip.build(4).unwrap().timing(), AttackTiming::Honest);
+        // Out-of-range parameters still surface at build time.
+        assert!("straggler:scale=-1"
+            .parse::<AttackSpec>()
+            .unwrap()
+            .build(4)
+            .is_err());
+        assert!("non-finite:x=1".parse::<AttackSpec>().is_err());
+    }
+
+    /// Satellite: the Figure-2 collusion degenerates with f = 1 (zero
+    /// decoys); cross-validation must reject it with a clear error instead
+    /// of running a misleading scenario.
+    #[test]
+    fn collusion_with_single_attacker_is_rejected_by_cross_validation() {
+        let collusion = AttackSpec::Collusion { magnitude: 100.0 };
+        let err = collusion.validate_for_cluster(1).unwrap_err();
+        assert!(err.to_string().contains("f >= 2"), "got: {err}");
+        // f = 0 (no-op) and f >= 2 (the real construction) stay valid.
+        assert!(collusion.validate_for_cluster(0).is_ok());
+        assert!(collusion.validate_for_cluster(2).is_ok());
+        // Other attacks have no cluster constraint.
+        for spec in AttackSpec::all() {
+            if spec.name() != "collusion" {
+                assert!(spec.validate_for_cluster(1).is_ok(), "{spec}");
+            }
+        }
     }
 }

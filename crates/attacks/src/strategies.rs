@@ -3,7 +3,7 @@
 use krum_tensor::{random_unit_vector, Vector};
 use serde::{Deserialize, Serialize};
 
-use crate::attack::{Attack, AttackContext, AttackError};
+use crate::attack::{Attack, AttackContext, AttackError, AttackTiming};
 
 /// Byzantine slots behave like honest workers: each proposes the mean of the
 /// honest proposals (an unbiased, benign vector). Useful as the `f = 0`-like
@@ -406,6 +406,152 @@ impl Attack for Mimic {
     }
 }
 
+/// A timing-aware adversary for partial-quorum rounds: the Byzantine workers
+/// deliberately straggle, arriving after every honest proposal of their
+/// round. Their (poisoned) vectors — `−scale ×` the honest mean, the
+/// sign-flip construction — therefore miss the quorum whenever it can close
+/// without them, and land as **stale carry-overs** in later rounds instead
+/// (or are dropped by the engine's staleness bound). Under barrier engines
+/// the timing is ignored and this degrades to a plain [`SignFlip`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    scale: f64,
+}
+
+impl Straggler {
+    /// Creates the straggling adversary; the (late) proposals are
+    /// `−scale × mean(honest)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `scale` is positive and
+    /// finite.
+    pub fn new(scale: f64) -> Result<Self, AttackError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(AttackError::config(
+                "straggler",
+                "scale must be positive and finite",
+            ));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Magnification applied to the flipped honest mean.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Attack for Straggler {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let mean = ctx
+            .honest_mean()
+            .ok_or_else(|| AttackError::context("straggler", "no honest proposals to observe"))?;
+        Ok(vec![mean.scaled(-self.scale); ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "straggler".into()
+    }
+
+    fn timing(&self) -> AttackTiming {
+        AttackTiming::Straggle
+    }
+}
+
+/// A timing-aware adversary for partial-quorum rounds: the Byzantine workers
+/// wait until they have observed the proposals that would close the quorum,
+/// then respond just before it closes — so they are always in the quorum and
+/// always forge with full knowledge of exactly the set the server is about
+/// to aggregate. The forged vectors are `−scale ×` the best gradient
+/// estimate available (the true gradient when the workload exposes one,
+/// otherwise the mean of the observed proposals). Under barrier engines the
+/// timing is ignored and this degrades to [`OmniscientNegative`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LastToRespond {
+    scale: f64,
+}
+
+impl LastToRespond {
+    /// Creates the last-to-respond adversary with the given magnification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `scale` is positive and
+    /// finite.
+    pub fn new(scale: f64) -> Result<Self, AttackError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(AttackError::config(
+                "last-to-respond",
+                "scale must be positive and finite",
+            ));
+        }
+        Ok(Self { scale })
+    }
+
+    /// Magnification applied to the negated gradient estimate.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Attack for LastToRespond {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let gradient = ctx.gradient_estimate().ok_or_else(|| {
+            AttackError::context("last-to-respond", "no gradient information available")
+        })?;
+        Ok(vec![gradient.scaled(-self.scale); ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "last-to-respond".into()
+    }
+
+    fn timing(&self) -> AttackTiming {
+        AttackTiming::LastToRespond
+    }
+}
+
+/// Fault injection: every Byzantine proposal is a NaN-filled vector. This is
+/// the degenerate-input probe for the robustness stack (a robust location
+/// estimator is only as robust as its handling of non-finite input): rules
+/// and engines must either filter the poisoned proposals or fail with a
+/// structured error — never panic, never step on garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NonFinite;
+
+impl NonFinite {
+    /// Creates the NaN-injection attack.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Attack for NonFinite {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        Ok(vec![
+            Vector::filled(ctx.dim(), f64::NAN);
+            ctx.byzantine_count
+        ])
+    }
+
+    fn name(&self) -> String {
+        "non-finite".into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +790,60 @@ mod tests {
         let empty: Vec<Vector> = vec![];
         let c = ctx(&empty, &params, None, 1);
         assert!(Mimic::new(0).forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn straggler_flips_the_mean_and_declares_straggle_timing() {
+        assert!(Straggler::new(0.0).is_err());
+        assert!(Straggler::new(f64::NAN).is_err());
+        let attack = Straggler::new(2.0).unwrap();
+        assert_eq!(attack.scale(), 2.0);
+        assert_eq!(attack.timing(), AttackTiming::Straggle);
+        assert_eq!(attack.name(), "straggler");
+        let honest = honest_cloud(5, 4, 30);
+        let params = Vector::zeros(4);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 2);
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!(forged[0].cosine_similarity(&mean).unwrap() < -0.999);
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn last_to_respond_negates_the_observed_gradient() {
+        assert!(LastToRespond::new(-1.0).is_err());
+        let attack = LastToRespond::new(3.0).unwrap();
+        assert_eq!(attack.scale(), 3.0);
+        assert_eq!(attack.timing(), AttackTiming::LastToRespond);
+        let honest = honest_cloud(4, 3, 32);
+        let params = Vector::zeros(3);
+        let grad = Vector::from(vec![0.0, 1.0, 0.0]);
+        let c = ctx(&honest, &params, Some(&grad), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged[0].as_slice(), &[0.0, -3.0, 0.0]);
+        // Without the true gradient it falls back to the observed mean.
+        let c = ctx(&honest, &params, None, 1);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!(forged[0].cosine_similarity(&mean).unwrap() < -0.999);
+    }
+
+    #[test]
+    fn non_finite_attack_emits_nan_vectors() {
+        let attack = NonFinite::new();
+        assert_eq!(attack.timing(), AttackTiming::Honest);
+        let honest = honest_cloud(4, 3, 34);
+        let params = Vector::zeros(3);
+        let c = ctx(&honest, &params, None, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 2);
+        assert!(forged.iter().all(|v| v.iter().all(|x| x.is_nan())));
     }
 
     #[test]

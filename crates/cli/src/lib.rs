@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use krum_attacks::{AttackSpec, ATTACK_NAMES};
 use krum_core::{RuleSpec, RULE_NAMES};
 use krum_dist::ClusterSpec;
-use krum_scenario::{Scenario, ScenarioError, ScenarioReport, ScenarioSpec};
+use krum_scenario::{ExecutionSpec, Scenario, ScenarioError, ScenarioReport, ScenarioSpec};
 use thiserror::Error;
 
 /// Errors raised by the command line.
@@ -66,6 +66,7 @@ commands:
         --n LIST|A..B      worker counts (e.g. 10,20 or 10..14)
         --f LIST|A..B      byzantine counts (e.g. 2..6)
         --seed LIST|A..B   master seeds
+        --quorum LIST|A..B quorum sizes (base must use AsyncQuorum execution)
         --rounds K         override the round count
   list
       Print every rule, attack and workload kind the registries know.
@@ -122,6 +123,9 @@ pub struct SweepAxes {
     pub fs: Vec<usize>,
     /// Seeds to sweep (empty → base seed).
     pub seeds: Vec<u64>,
+    /// Quorum sizes to sweep (empty → base execution unchanged; requires an
+    /// `AsyncQuorum` base execution).
+    pub quorums: Vec<usize>,
     /// Round-count override.
     pub rounds: Option<usize>,
 }
@@ -185,6 +189,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--n" => axes.ns = parse_axis(&expect_value(&mut it, "--n")?, "--n")?,
                     "--f" => axes.fs = parse_axis(&expect_value(&mut it, "--f")?, "--f")?,
+                    "--quorum" => {
+                        axes.quorums = parse_axis(&expect_value(&mut it, "--quorum")?, "--quorum")?;
+                    }
                     "--seed" => {
                         axes.seeds = parse_axis(&expect_value(&mut it, "--seed")?, "--seed")?
                             .into_iter()
@@ -297,6 +304,11 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
     } else {
         axes.seeds.clone()
     };
+    let quorums: Vec<Option<usize>> = if axes.quorums.is_empty() {
+        vec![None]
+    } else {
+        axes.quorums.iter().copied().map(Some).collect()
+    };
 
     let mut cells = Vec::new();
     for &rule in &rules {
@@ -304,26 +316,42 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
             for &n in &ns {
                 for &f in &fs {
                     for &seed in &seeds {
-                        let name = cell_name(&base.name, rule, attack, n, f, seed);
-                        let cluster = match ClusterSpec::new(n, f) {
-                            Ok(c) => c,
-                            Err(e) => {
-                                cells.push(SweepCell::Invalid(name, e.to_string()));
-                                continue;
+                        for &quorum in &quorums {
+                            let name = cell_name(&base.name, rule, attack, n, f, seed, quorum);
+                            let cluster = match ClusterSpec::new(n, f) {
+                                Ok(c) => c,
+                                Err(e) => {
+                                    cells.push(SweepCell::Invalid(name, e.to_string()));
+                                    continue;
+                                }
+                            };
+                            let mut spec = base.clone();
+                            spec.name = name.clone();
+                            spec.cluster = cluster;
+                            spec.rule = rule;
+                            spec.attack = attack;
+                            spec.seed = seed;
+                            if let Some(q) = quorum {
+                                match &mut spec.execution {
+                                    ExecutionSpec::AsyncQuorum { quorum, .. } => *quorum = q,
+                                    _ => {
+                                        cells.push(SweepCell::Invalid(
+                                            name,
+                                            "--quorum requires an async-quorum execution in \
+                                             the base scenario"
+                                                .to_string(),
+                                        ));
+                                        continue;
+                                    }
+                                }
                             }
-                        };
-                        let mut spec = base.clone();
-                        spec.name = name.clone();
-                        spec.cluster = cluster;
-                        spec.rule = rule;
-                        spec.attack = attack;
-                        spec.seed = seed;
-                        if let Some(rounds) = axes.rounds {
-                            spec.rounds = rounds;
-                        }
-                        match spec.validate() {
-                            Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
-                            Err(e) => cells.push(SweepCell::Invalid(name, e.to_string())),
+                            if let Some(rounds) = axes.rounds {
+                                spec.rounds = rounds;
+                            }
+                            match spec.validate() {
+                                Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
+                                Err(e) => cells.push(SweepCell::Invalid(name, e.to_string())),
+                            }
                         }
                     }
                 }
@@ -341,10 +369,12 @@ fn cell_name(
     n: usize,
     f: usize,
     seed: u64,
+    quorum: Option<usize>,
 ) -> String {
     let sanitize = |s: String| s.replace([':', '=', ',', '.'], "-");
+    let quorum_tag = quorum.map(|q| format!("_q{q}")).unwrap_or_default();
     format!(
-        "{base}_{}_{}_n{n}_f{f}_s{seed}",
+        "{base}_{}_{}_n{n}_f{f}_s{seed}{quorum_tag}",
         sanitize(rule.to_string()),
         sanitize(attack.to_string())
     )
@@ -696,6 +726,62 @@ mod tests {
         assert!(invalid[0].0.contains("krum"));
         // Names are file-name safe.
         assert!(specs.iter().all(|s| !s.name.contains(':')));
+    }
+
+    #[test]
+    fn quorum_axis_requires_an_async_base_and_sweeps_quorum_sizes() {
+        // On a barrier base scenario every --quorum cell is invalid.
+        let base = template_spec();
+        let axes = SweepAxes {
+            quorums: vec![12, 13],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| matches!(
+            c,
+            SweepCell::Invalid(_, reason) if reason.contains("async-quorum")
+        )));
+
+        // On an async base the quorum is overridden per cell (and infeasible
+        // quorums are reported, not run).
+        let mut base = template_spec();
+        base.execution = ExecutionSpec::AsyncQuorum {
+            quorum: 15,
+            max_staleness: 2,
+            network: krum_dist::NetworkModel {
+                latency: krum_dist::LatencyModel::Constant { nanos: 1_000 },
+                nanos_per_byte: 0.0,
+            },
+        };
+        let axes = SweepAxes {
+            quorums: vec![10, 12, 15],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 3);
+        // n = 15, f = 4: quorum 10 is below n - f = 11 → invalid; 12 and 15
+        // are valid and carry the quorum in their cell name.
+        let valid: Vec<&ScenarioSpec> = cells
+            .iter()
+            .filter_map(|c| match c {
+                SweepCell::Spec(s) => Some(s.as_ref()),
+                SweepCell::Invalid(..) => None,
+            })
+            .collect();
+        assert_eq!(valid.len(), 2);
+        assert!(valid.iter().any(|s| s.name.ends_with("_q12")));
+        assert!(valid
+            .iter()
+            .all(|s| matches!(s.execution, ExecutionSpec::AsyncQuorum { .. })));
+        // Parsing: --quorum takes lists and ranges like the other axes.
+        let cmd = parse(&args(&["sweep", "base.json", "--quorum", "12..14"])).unwrap();
+        match cmd {
+            Command::Sweep { axes, .. } => assert_eq!(axes.quorums, vec![12, 13, 14]),
+            other => panic!("expected sweep, got {other:?}"),
+        }
     }
 
     #[test]

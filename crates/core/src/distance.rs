@@ -68,11 +68,14 @@ impl Aggregator for ClosestToBarycenter {
         crate::kernel::row_sums_into(&ctx.distances, n, &mut ctx.scores);
         // NaN-safe argmin shared with Krum. Note the protection is weaker
         // for this rule than for Krum: the criterion sums distances to ALL
-        // proposals, so one NaN proposal poisons every score and the argmin
-        // falls back to index 0 deterministically (Krum's neighbour sums
+        // proposals, so one NaN proposal poisons every score and the whole
+        // round degenerates into a structured error (Krum's neighbour sums
         // keep honest scores finite, so there the NaN worker truly never
-        // wins).
-        let best = crate::kernel::argmin(&ctx.scores);
+        // wins and honest rounds survive a poisoned minority).
+        let best =
+            crate::kernel::argmin(&ctx.scores).ok_or(AggregationError::AllScoresNonFinite {
+                rule: "closest-to-barycenter",
+            })?;
         ctx.output.value.assign(proposals[best].as_slice());
         ctx.output.set_selection(&[best], &ctx.scores);
         Ok(())
@@ -305,27 +308,30 @@ mod tests {
     /// Satellite regression test for the shared NaN-safe argmin. Unlike
     /// Krum (which only sums the closest neighbours, so honest scores stay
     /// finite), this rule sums distances to **all** proposals: one NaN
-    /// proposal poisons every score. The hardened argmin must then fall back
-    /// deterministically instead of comparing NaN (the old inline argmin's
-    /// `s < best` loop silently depended on NaN comparison semantics), and
-    /// partially-poisoned score vectors must resolve to the best finite
-    /// score.
+    /// proposal poisons every score. The poisoned round must come back as a
+    /// structured error — the old behaviour fell back to index 0, silently
+    /// selecting a proposal with no basis (possibly the Byzantine one).
     #[test]
-    fn nan_scores_resolve_deterministically() {
+    fn nan_scores_become_a_structured_error() {
         let proposals = vec![
             Vector::from(vec![f64::NAN, 0.0]),
             Vector::from(vec![1.0, 0.0]),
             Vector::from(vec![0.0, 1.0]),
             Vector::from(vec![0.4, 0.4]),
         ];
-        let result = ClosestToBarycenter.aggregate_detailed(&proposals).unwrap();
-        // Every score is NaN (each sums a distance to the NaN proposal)…
-        assert!(result.scores.iter().all(|s| s.is_nan()));
-        // …and the selection falls back to index 0 rather than panicking or
-        // depending on NaN comparison order.
-        assert_eq!(result.selected_index(), Some(0));
+        // Every score is NaN (each sums a distance to the NaN proposal), so
+        // the rule refuses to select rather than picking arbitrarily.
+        assert!(matches!(
+            ClosestToBarycenter.aggregate_detailed(&proposals),
+            Err(AggregationError::AllScoresNonFinite {
+                rule: "closest-to-barycenter"
+            })
+        ));
         // The shared argmin picks the best finite score when one exists.
-        assert_eq!(crate::kernel::argmin(&[f64::NAN, 7.0, 3.0, f64::NAN]), 2);
+        assert_eq!(
+            crate::kernel::argmin(&[f64::NAN, 7.0, 3.0, f64::NAN]),
+            Some(2)
+        );
     }
 
     #[test]

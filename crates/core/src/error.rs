@@ -34,6 +34,17 @@ pub enum AggregationError {
         /// Explanation of the rejection.
         message: String,
     },
+    /// Every candidate score was non-finite — a fully poisoned round. The
+    /// rule has no basis to select any proposal (the old behaviour silently
+    /// fell back to proposal 0, which may be Byzantine).
+    #[error(
+        "rule `{rule}`: every candidate score is non-finite (fully poisoned round); \
+         refusing to select a proposal"
+    )]
+    AllScoresNonFinite {
+        /// Rule that observed the poisoned round.
+        rule: &'static str,
+    },
 }
 
 impl AggregationError {

@@ -219,9 +219,12 @@ pub(crate) fn row_sums_into(distances: &[f64], n: usize, out: &mut Vec<f64>) {
 }
 
 /// Index of the smallest score; ties break towards the smallest index and
-/// NaN scores never win (a NaN-poisoned proposal must not be selected). When
-/// every score is NaN, index 0 is returned.
-pub(crate) fn argmin(scores: &[f64]) -> usize {
+/// NaN scores never win (a NaN-poisoned proposal must not be selected).
+/// Returns `None` when every score is NaN (a fully poisoned round) — the
+/// old `unwrap_or(0)` fallback silently handed the round to proposal 0,
+/// which may itself be Byzantine, so callers must surface the degenerate
+/// case as a structured error instead.
+pub(crate) fn argmin(scores: &[f64]) -> Option<usize> {
     let mut best: Option<usize> = None;
     for (i, &s) in scores.iter().enumerate() {
         if s.is_nan() {
@@ -232,7 +235,7 @@ pub(crate) fn argmin(scores: &[f64]) -> usize {
             _ => best = Some(i),
         }
     }
-    best.unwrap_or(0)
+    best
 }
 
 /// The `m` best-scored indices, ordered by `(score, index)` — Krum's
@@ -300,10 +303,12 @@ pub mod naive {
 
     /// The full naive Krum choice: naive distances, sorted rows, linear
     /// argmin — the exact pre-optimization algorithm, for benchmarking.
+    /// (The oracle runs on finite inputs; an all-NaN score vector falls back
+    /// to 0 here because the optimized path errors out before comparing.)
     pub fn krum_choose(proposals: &[Vector], f: usize) -> usize {
         let n = proposals.len();
         let scores = krum_scores(proposals, n - f - 2);
-        super::argmin(&scores)
+        super::argmin(&scores).unwrap_or(0)
     }
 }
 
@@ -411,11 +416,12 @@ mod tests {
 
     #[test]
     fn argmin_skips_nan_and_breaks_ties_low() {
-        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), 1);
-        assert_eq!(argmin(&[f64::NAN, 2.0, 1.0]), 2);
-        assert_eq!(argmin(&[f64::NAN, f64::NAN]), 0);
-        assert_eq!(argmin(&[f64::NAN, 5.0, f64::NAN, 5.0]), 1);
-        assert_eq!(argmin(&[]), 0);
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[f64::NAN, 2.0, 1.0]), Some(2));
+        assert_eq!(argmin(&[f64::NAN, 5.0, f64::NAN, 5.0]), Some(1));
+        // A fully poisoned score vector has no winner at all.
+        assert_eq!(argmin(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(argmin(&[]), None);
     }
 
     #[test]

@@ -120,7 +120,8 @@ impl Aggregator for Krum {
             &mut ctx.scratch,
             &mut ctx.scores,
         );
-        let best = kernel::argmin(&ctx.scores);
+        let best = kernel::argmin(&ctx.scores)
+            .ok_or(AggregationError::AllScoresNonFinite { rule: "krum" })?;
         ctx.output.value.assign(proposals[best].as_slice());
         ctx.output.set_selection(&[best], &ctx.scores);
         Ok(())
@@ -224,7 +225,13 @@ impl Aggregator for MultiKrum {
             &mut ctx.scores,
         );
         // The m best worker indices by (score, index) — the same tie-breaking
-        // rule as Krum, extended to a set — found by partial selection.
+        // rule as Krum, extended to a set — found by partial selection. A
+        // fully NaN score vector has no usable ordering at all: refuse to
+        // average poisoned proposals (total_cmp would otherwise pick the
+        // first m indices regardless of their content).
+        if ctx.scores.iter().all(|s| s.is_nan()) {
+            return Err(AggregationError::AllScoresNonFinite { rule: "multi-krum" });
+        }
         kernel::smallest_indices_into(&ctx.scores, self.m, &mut ctx.order);
         // Average the selected proposals in place, without cloning them.
         let value = ctx.output.reset_value(dim);
@@ -532,6 +539,27 @@ mod tests {
         let mk = MultiKrum::new(7, 2, 4).unwrap();
         let selected = mk.aggregate_detailed(&proposals).unwrap().selected;
         assert!(!selected.contains(&0));
+    }
+
+    /// Satellite regression test: a fully NaN-poisoned round used to make
+    /// `argmin` fall back to index 0, silently handing the round to proposal
+    /// 0 (which may be Byzantine). It must now come back as a structured
+    /// error from both Krum and Multi-Krum.
+    #[test]
+    fn fully_poisoned_round_is_a_structured_error_not_proposal_zero() {
+        let proposals = vec![Vector::filled(2, f64::NAN); 7];
+        let krum = Krum::new(7, 2).unwrap();
+        assert!(matches!(
+            krum.aggregate_detailed(&proposals),
+            Err(AggregationError::AllScoresNonFinite { rule: "krum" })
+        ));
+        let mut ctx = AggregationContext::new();
+        assert!(krum.aggregate_in(&mut ctx, &proposals).is_err());
+        let mk = MultiKrum::new(7, 2, 3).unwrap();
+        assert!(matches!(
+            mk.aggregate_detailed(&proposals),
+            Err(AggregationError::AllScoresNonFinite { rule: "multi-krum" })
+        ));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The shared round engine — one implementation of the paper's synchronous
-//! protocol behind every trainer.
+//! The shared round engine — one implementation of the paper's protocol
+//! behind every trainer.
 //!
 //! Each round is one pass through the pipeline
 //!
@@ -14,23 +14,34 @@
 //!   `f` Byzantine proposals;
 //! * **aggregate** — the server applies the choice function `F` through a
 //!   reused [`AggregationContext`] (zero steady-state heap allocations on
-//!   the aggregation path);
-//! * **step** — `x_{t+1} = x_t − γ_t · F(V_1, …, V_n)`;
+//!   the aggregation path for the barrier strategies);
+//! * **step** — `x_{t+1} = x_t − γ_t · F(…)`;
 //! * **record** — per-phase wall-clock timings and convergence metrics go
 //!   into a [`RoundRecord`].
 //!
-//! The pipeline is parameterized by an [`ExecutionStrategy`]: sequential
-//! (the reference engine) or threaded (honest gradients fan out over the
-//! `rayon` pool and a simulated [`NetworkModel`] charges communication time
-//! to the metrics). Because every random stream derives from the master
-//! seed, **both strategies follow bit-identical parameter trajectories** —
-//! the strategy changes only wall-clock columns. New scenarios (stragglers,
-//! partial participation, async staleness) should be added here as strategy
-//! variants rather than as new trainer copies.
+//! The pipeline is parameterized by an [`ExecutionStrategy`]:
+//!
+//! * [`ExecutionStrategy::Sequential`] — the reference barrier engine;
+//! * [`ExecutionStrategy::Threaded`] — honest gradients fan out over the
+//!   `rayon` pool and a simulated [`NetworkModel`] charges the synchronous
+//!   barrier (slowest worker) to the metrics;
+//! * [`ExecutionStrategy::AsyncQuorum`] — the asynchronous-leaning server of
+//!   the paper's Byzantine model: each round aggregates the fastest
+//!   `quorum ≥ n − f` arrivals under the simulated network, carries the
+//!   stragglers into later rounds up to a staleness bound, and honours the
+//!   adversary's [`AttackTiming`] (straggle, respond-last). The aggregation
+//!   rule must be built for `quorum` proposals — Krum's `2f + 2 < n`
+//!   precondition is re-validated against the quorum size, not `n`.
+//!
+//! Because every random stream derives from the master seed, every strategy
+//! is **bit-reproducible**, and the two barrier strategies follow identical
+//! parameter trajectories. `AsyncQuorum` with `quorum = n` selects every
+//! proposal every round, so it reproduces the Sequential trajectory exactly
+//! (for any latency model — the network then only changes timing columns).
 
 use std::time::Instant;
 
-use krum_attacks::{Attack, AttackContext};
+use krum_attacks::{Attack, AttackContext, AttackTiming};
 use krum_core::{AggregationContext, Aggregator, ExecutionPolicy};
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
@@ -58,9 +69,12 @@ pub(crate) const NETWORK_STREAM: u64 = u64::MAX - 2;
 
 /// How the round pipeline executes one round.
 ///
-/// The strategy affects wall-clock behaviour only; the parameter trajectory
-/// is a deterministic function of [`TrainingConfig::seed`] under every
-/// strategy.
+/// The barrier strategies (`Sequential`, `Threaded`) affect wall-clock
+/// behaviour only and share one parameter trajectory per seed.
+/// `AsyncQuorum` changes *which proposals each round aggregates* — its
+/// trajectory is still a deterministic function of
+/// [`TrainingConfig::seed`], and coincides with the barrier trajectory when
+/// `quorum = n`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecutionStrategy {
     /// Honest workers run one after the other on the server thread — the
@@ -72,6 +86,33 @@ pub enum ExecutionStrategy {
     /// [`ThreadedTrainer`](crate::ThreadedTrainer).
     Threaded {
         /// The simulated network charged to each round's timings.
+        network: NetworkModel,
+    },
+    /// Partial-quorum rounds: the server aggregates the fastest `quorum`
+    /// proposals under the simulated network and carries the stragglers
+    /// into later rounds with a staleness bound. Timing-aware adversaries
+    /// ([`AttackTiming`]) straggle deliberately or wait to observe the
+    /// closing quorum before responding.
+    ///
+    /// Arrived-but-unaggregated proposals are consumed oldest-first, with at
+    /// most **one proposal per worker per quorum** (the paper's model: each
+    /// worker contributes one vector per aggregation — this is what caps
+    /// the Byzantine share of a quorum at `f`). With every worker proposing
+    /// each round and only `quorum < n` consumed, the surplus forms a stale
+    /// backlog bounded by `max_staleness` — the steady-state cost of a
+    /// partial quorum is *staleness*, and the
+    /// `stale_in_quorum`/`dropped_stale` columns of
+    /// [`RoundRecord`](krum_metrics::RoundRecord) make it visible.
+    AsyncQuorum {
+        /// How many proposals close a round (`n − f ≤ quorum ≤ n`). The
+        /// aggregation rule must be configured for this many proposals.
+        quorum: usize,
+        /// Maximum age (in rounds) a straggler proposal may reach and still
+        /// be aggregated; older in-flight proposals are dropped. `0` drops
+        /// every straggler at the end of its round.
+        max_staleness: usize,
+        /// The simulated network deciding per-worker arrival order and the
+        /// quorum's network charge.
         network: NetworkModel,
     },
 }
@@ -86,7 +127,7 @@ impl ExecutionStrategy {
     pub(crate) fn network(&self) -> Option<NetworkModel> {
         match *self {
             Self::Sequential => None,
-            Self::Threaded { network } => Some(network),
+            Self::Threaded { network } | Self::AsyncQuorum { network, .. } => Some(network),
         }
     }
 }
@@ -96,13 +137,105 @@ impl std::fmt::Display for ExecutionStrategy {
         match self {
             Self::Sequential => out.write_str("sequential"),
             Self::Threaded { network } => write!(out, "threaded({network})"),
+            Self::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+            } => write!(
+                out,
+                "async-quorum(q={quorum}, staleness<={max_staleness}, {network})"
+            ),
         }
     }
 }
 
-/// The shared synchronous-round engine behind
-/// [`SyncTrainer`](crate::SyncTrainer) and
-/// [`ThreadedTrainer`](crate::ThreadedTrainer).
+/// An in-flight proposal the async-quorum strategy carries across rounds.
+/// Everything in the pending pool has already reached the server (it arrived
+/// after the previous round's quorum closed), so it is available — and ages —
+/// from the next round on.
+#[derive(Debug, Clone)]
+struct PendingProposal {
+    /// Worker that issued the proposal (`≥ n − f` means Byzantine).
+    worker: usize,
+    /// Round the proposal's gradient was computed at.
+    issued_round: usize,
+    /// The proposed vector.
+    vector: Vector,
+}
+
+/// One proposal competing for a slot in this round's quorum.
+struct Candidate {
+    /// Sort tier: 0 = already arrived (carried straggler), 1 = fresh racing
+    /// arrival, 2 = deliberately late (straggling Byzantine worker).
+    tier: u8,
+    /// Simulated arrival nanos within the round (tier 1 only).
+    arrival: u128,
+    /// Round the proposal was issued at.
+    issued_round: usize,
+    /// Issuing worker.
+    worker: usize,
+    /// The proposed vector.
+    vector: Vector,
+}
+
+impl Candidate {
+    fn sort_key(&self) -> (u8, u128, usize, usize) {
+        (self.tier, self.arrival, self.issued_round, self.worker)
+    }
+}
+
+/// Forges the Byzantine proposals and enforces the attack contract (count
+/// and dimensions). `observed` is what the adversary has seen this round —
+/// every fresh honest proposal for barrier strategies and racing/straggling
+/// adversaries, or the quorum-closing set for a last-to-respond adversary.
+#[allow(clippy::too_many_arguments)]
+fn forge_proposals(
+    attack: &dyn Attack,
+    attack_name: &str,
+    rng: &mut ChaCha8Rng,
+    observed: &[Vector],
+    params: &Vector,
+    true_gradient: Option<&Vector>,
+    byzantine: usize,
+    total_workers: usize,
+    round: usize,
+    aggregator_name: &str,
+    dim: usize,
+) -> Result<Vec<Vector>, TrainError> {
+    let ctx = AttackContext {
+        honest_proposals: observed,
+        current_params: params,
+        true_gradient,
+        byzantine_count: byzantine,
+        total_workers,
+        round,
+        aggregator_name,
+    };
+    let forged = attack.forge(&ctx, rng)?;
+    if forged.len() != byzantine {
+        return Err(TrainError::AttackContract {
+            attack: attack_name.to_string(),
+            message: format!("returned {} proposals, expected {byzantine}", forged.len()),
+        });
+    }
+    for proposal in &forged {
+        if proposal.dim() != dim {
+            return Err(TrainError::AttackContract {
+                attack: attack_name.to_string(),
+                message: format!(
+                    "returned a proposal of dimension {}, expected {}",
+                    proposal.dim(),
+                    dim
+                ),
+            });
+        }
+    }
+    Ok(forged)
+}
+
+/// The shared round engine behind [`SyncTrainer`](crate::SyncTrainer) and
+/// [`ThreadedTrainer`](crate::ThreadedTrainer), and the only implementation
+/// of the async partial-quorum protocol.
 ///
 /// Holds the cluster state (aggregator, attack, worker estimators, RNG
 /// streams) and executes one round at a time through the
@@ -110,7 +243,7 @@ impl std::fmt::Display for ExecutionStrategy {
 /// perf-first: the proposal buffer and the [`AggregationContext`] are
 /// allocated once and reused across rounds, and worker RNGs are independent
 /// streams derived from the master seed so every execution strategy follows
-/// the same trajectory.
+/// a reproducible trajectory.
 pub struct RoundEngine {
     cluster: ClusterSpec,
     aggregator: Box<dyn Aggregator>,
@@ -132,8 +265,18 @@ pub struct RoundEngine {
     network_rng: ChaCha8Rng,
     /// Per-round proposal scratch (`n` slots), reused across rounds.
     proposals: Vec<Vector>,
+    /// In-flight straggler proposals carried across rounds (async quorum
+    /// strategy only; always empty for the barrier strategies).
+    pending: Vec<PendingProposal>,
+    /// The vectors aggregated this round under the async strategy, in
+    /// `(issued_round, worker)` order.
+    quorum_vectors: Vec<Vector>,
+    /// `(worker, issued_round)` per entry of `quorum_vectors`, to attribute
+    /// selections back to workers.
+    quorum_meta: Vec<(usize, usize)>,
     /// Reusable aggregation workspace — the server's hot path performs zero
-    /// steady-state heap allocations through it.
+    /// steady-state heap allocations through it under the barrier
+    /// strategies.
     ctx: AggregationContext,
 }
 
@@ -145,10 +288,18 @@ impl RoundEngine {
     /// (loss, true gradient) so the worker estimators stay exclusive to the
     /// propose phase (otherwise `estimators[0]` is shared).
     ///
+    /// Under [`ExecutionStrategy::AsyncQuorum`] the aggregator must be
+    /// configured for `quorum` proposals (not `n`): the engine feeds it
+    /// exactly `quorum` vectors per round, and rules with a worker-count
+    /// precondition (Krum's `2f + 2 < n`) must hold it against the quorum
+    /// size. The scenario layer does this automatically.
+    ///
     /// # Errors
     ///
     /// Returns [`TrainError::InvalidConfig`] when the configuration is
-    /// invalid or the estimator count/dimensions are inconsistent.
+    /// invalid, the estimator count/dimensions are inconsistent, the quorum
+    /// bounds `n − f ≤ quorum ≤ n` are violated, or the network model is
+    /// invalid.
     pub fn new(
         cluster: ClusterSpec,
         aggregator: Box<dyn Aggregator>,
@@ -159,6 +310,24 @@ impl RoundEngine {
         strategy: ExecutionStrategy,
     ) -> Result<Self, TrainError> {
         config.validate()?;
+        match &strategy {
+            ExecutionStrategy::Sequential => {}
+            ExecutionStrategy::Threaded { network } => network.validate()?,
+            ExecutionStrategy::AsyncQuorum {
+                quorum, network, ..
+            } => {
+                network.validate()?;
+                let n = cluster.workers();
+                let min = cluster.honest();
+                if *quorum < min || *quorum > n {
+                    return Err(TrainError::config(format!(
+                        "async quorum must satisfy n - f <= quorum <= n, got quorum = {quorum} \
+                         with n = {n}, f = {}",
+                        cluster.byzantine()
+                    )));
+                }
+            }
+        }
         if estimators.len() != cluster.honest() {
             return Err(TrainError::config(format!(
                 "expected one estimator per honest worker ({}), got {}",
@@ -212,6 +381,9 @@ impl RoundEngine {
             dim,
             worker_rngs,
             proposals,
+            pending: Vec::new(),
+            quorum_vectors: Vec::new(),
+            quorum_meta: Vec::new(),
             ctx: AggregationContext::new(),
         })
     }
@@ -255,12 +427,15 @@ impl RoundEngine {
     }
 
     /// Runs the configured number of rounds from `start`, returning the
-    /// final parameters and the per-round history.
+    /// final parameters and the per-round history. The last round is always
+    /// an evaluation round (see [`TrainingConfig::eval_every`]), so the
+    /// final recorded loss/accuracy always describes the returned model.
     ///
     /// # Errors
     ///
     /// Returns [`TrainError`] when a worker, the attack or the aggregator
-    /// fails mid-run.
+    /// fails mid-run, or when a poisoned round produces a NaN update
+    /// ([`TrainError::PoisonedRound`]).
     pub fn run(&mut self, start: Vector) -> Result<(Vector, TrainingHistory), TrainError> {
         let mut params = start;
         let mut history = self.new_history();
@@ -289,13 +464,29 @@ impl RoundEngine {
 
     /// Executes one pass of the round pipeline, applying the update to
     /// `params` in place. Returns the round's metrics record with per-phase
-    /// timings.
+    /// timings (and, under the async strategy, the quorum/staleness stats).
     ///
     /// # Errors
     ///
     /// Returns [`TrainError`] when a worker, the attack or the aggregator
-    /// fails.
+    /// fails, or when the aggregate update is NaN (a poisoned round).
     pub fn step(&mut self, params: &mut Vector, round: usize) -> Result<RoundRecord, TrainError> {
+        match self.strategy {
+            ExecutionStrategy::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+            } => self.step_async(params, round, quorum, max_staleness, network),
+            _ => self.step_barrier(params, round),
+        }
+    }
+
+    /// One full-barrier round (sequential or threaded).
+    fn step_barrier(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+    ) -> Result<RoundRecord, TrainError> {
         let round_start = Instant::now();
         let honest = self.cluster.honest();
         let byzantine = self.cluster.byzantine();
@@ -329,35 +520,20 @@ impl RoundEngine {
         // including the true gradient when the workload exposes one.
         let attack_start = Instant::now();
         let true_gradient = self.probe_estimator().true_gradient(params);
-        let forged = {
-            let ctx = AttackContext {
-                honest_proposals: &self.proposals[..honest],
-                current_params: params,
-                true_gradient: true_gradient.as_ref(),
-                byzantine_count: byzantine,
-                total_workers: self.cluster.workers(),
-                round,
-                aggregator_name: &self.aggregator_name,
-            };
-            self.attack.forge(&ctx, &mut self.attack_rng)?
-        };
-        if forged.len() != byzantine {
-            return Err(TrainError::AttackContract {
-                attack: self.attack_name.clone(),
-                message: format!("returned {} proposals, expected {byzantine}", forged.len()),
-            });
-        }
+        let forged = forge_proposals(
+            &*self.attack,
+            &self.attack_name,
+            &mut self.attack_rng,
+            &self.proposals[..honest],
+            params,
+            true_gradient.as_ref(),
+            byzantine,
+            self.cluster.workers(),
+            round,
+            &self.aggregator_name,
+            self.dim,
+        )?;
         for (slot, proposal) in self.proposals[honest..].iter_mut().zip(forged) {
-            if proposal.dim() != self.dim {
-                return Err(TrainError::AttackContract {
-                    attack: self.attack_name.clone(),
-                    message: format!(
-                        "returned a proposal of dimension {}, expected {}",
-                        proposal.dim(),
-                        self.dim
-                    ),
-                });
-            }
             *slot = proposal;
         }
         let attack_nanos = attack_start.elapsed().as_nanos();
@@ -368,7 +544,350 @@ impl RoundEngine {
         self.aggregator
             .aggregate_in(&mut self.ctx, &self.proposals)?;
         let aggregation_nanos = aggregation_start.elapsed().as_nanos();
+
+        // Phases 5+6: step + record.
+        let mut record = self.apply_update_and_record(
+            params,
+            round,
+            true_gradient,
+            propose_nanos,
+            attack_nanos,
+            aggregation_nanos,
+            round_start,
+        )?;
+
+        // The simulated network (threaded strategy) charges the synchronous
+        // barrier's communication time on top of the measured wall clock.
+        if let ExecutionStrategy::Threaded { network } = self.strategy {
+            let simulated =
+                network.round_nanos(self.cluster.workers(), self.dim, &mut self.network_rng);
+            record.network_nanos = simulated;
+            record.round_nanos += simulated;
+        }
+        Ok(record)
+    }
+
+    /// One partial-quorum round: aggregate the fastest `quorum` arrivals,
+    /// carry the stragglers forward (bounded by `max_staleness`), honour the
+    /// adversary's timing.
+    fn step_async(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+        quorum: usize,
+        max_staleness: usize,
+        network: NetworkModel,
+    ) -> Result<RoundRecord, TrainError> {
+        let round_start = Instant::now();
+        let honest = self.cluster.honest();
+        let byzantine = self.cluster.byzantine();
+
+        // Phase 1+2: broadcast + propose — every honest worker estimates at
+        // `x_t`, consuming the same per-worker RNG streams (in the same
+        // order) as the barrier strategies, so `quorum = n` reproduces the
+        // Sequential trajectory bit-for-bit.
+        let propose_start = Instant::now();
+        for w in 0..honest {
+            self.proposals[w] = self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
+        }
+        let propose_nanos = propose_start.elapsed().as_nanos();
+
+        // Carried stragglers are available immediately: they arrived after
+        // the previous round's quorum closed. (The carry step already
+        // enforced the staleness bound, so everything pending is usable.)
+        let mut candidates: Vec<Candidate> = self
+            .pending
+            .drain(..)
+            .map(|entry| Candidate {
+                tier: 0,
+                arrival: 0,
+                issued_round: entry.issued_round,
+                worker: entry.worker,
+                vector: entry.vector,
+            })
+            .collect();
+
+        // Phase 3: attack — timing-aware. Racing and straggling adversaries
+        // forge now (observing every fresh honest proposal, as in the
+        // barrier engines); a last-to-respond adversary forges after the
+        // quorum-closing set is known.
+        let attack_start = Instant::now();
+        let true_gradient = self.probe_estimator().true_gradient(params);
+        let timing = self.attack.timing();
+        let early_forged = match timing {
+            AttackTiming::Honest | AttackTiming::Straggle => Some(forge_proposals(
+                &*self.attack,
+                &self.attack_name,
+                &mut self.attack_rng,
+                &self.proposals[..honest],
+                params,
+                true_gradient.as_ref(),
+                byzantine,
+                self.cluster.workers(),
+                round,
+                &self.aggregator_name,
+                self.dim,
+            )?),
+            AttackTiming::LastToRespond => None,
+        };
+
+        // Fresh honest arrivals race under the simulated network. The
+        // proposal vectors are moved out of the scratch buffer (it is
+        // refilled at the top of the next round), so the async path avoids
+        // cloning the fresh gradients.
+        let mut max_fresh_arrival: u128 = 0;
+        for w in 0..honest {
+            let arrival = network.worker_round_trip_nanos(self.dim, &mut self.network_rng);
+            max_fresh_arrival = max_fresh_arrival.max(arrival);
+            candidates.push(Candidate {
+                tier: 1,
+                arrival,
+                issued_round: round,
+                worker: w,
+                vector: std::mem::replace(&mut self.proposals[w], Vector::zeros(0)),
+            });
+        }
+        if let Some(forged) = early_forged {
+            for (b, vector) in forged.into_iter().enumerate() {
+                let (tier, arrival) = if timing == AttackTiming::Straggle {
+                    // Deliberately after every honest proposal: out of the
+                    // quorum unless the server cannot close without
+                    // Byzantine slots (quorum > available others).
+                    (2, u128::MAX)
+                } else {
+                    (
+                        1,
+                        network.worker_round_trip_nanos(self.dim, &mut self.network_rng),
+                    )
+                };
+                candidates.push(Candidate {
+                    tier,
+                    arrival,
+                    issued_round: round,
+                    worker: honest + b,
+                    vector,
+                });
+            }
+        }
+
+        candidates.sort_by_key(Candidate::sort_key);
+
+        // Quorum selection. At most **one proposal per worker** enters a
+        // quorum — the paper's model has each worker contribute one vector
+        // per aggregation, and this is what caps the Byzantine share of a
+        // quorum at `f` (otherwise a Byzantine worker's carried straggler
+        // plus its fresh proposal could both land in one round and defeat a
+        // rule validated for `f` of `quorum`). The earliest arrival per
+        // worker wins; a worker's newer proposal stays in flight and
+        // competes again next round (or ages out).
+        let mut taken = vec![false; self.cluster.workers()];
+        let mut selected: Vec<Candidate> = Vec::with_capacity(quorum);
+        let want = match timing {
+            // The adversary watches the wire and slips its proposals in just
+            // before the quorum would close: only `quorum − f` legitimate
+            // arrivals are observed before the Byzantine workers respond.
+            AttackTiming::LastToRespond => quorum.saturating_sub(byzantine),
+            _ => quorum,
+        };
+        let mut rest: Vec<Candidate> = Vec::with_capacity(candidates.len());
+        for c in candidates.drain(..) {
+            if selected.len() < want && !taken[c.worker] {
+                taken[c.worker] = true;
+                selected.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        candidates = rest;
+
+        // The arrival that closes the quorum so far (carried proposals cost
+        // nothing; a straggling Byzantine worker pulled in to fill the
+        // quorum arrives right after the slowest honest proposal).
+        let effective_arrival = |c: &Candidate| -> u128 {
+            match c.tier {
+                0 => 0,
+                2 => max_fresh_arrival,
+                _ => c.arrival,
+            }
+        };
+        let mut cutoff_nanos = selected.iter().map(&effective_arrival).max().unwrap_or(0);
+
+        // Move the selection into the reusable quorum buffers (no vector
+        // clones on this path).
+        self.quorum_vectors.clear();
+        self.quorum_meta.clear();
+        for c in selected {
+            self.quorum_meta.push((c.worker, c.issued_round));
+            self.quorum_vectors.push(c.vector);
+        }
+
+        if timing == AttackTiming::LastToRespond {
+            // The Byzantine workers respond with full knowledge of exactly
+            // the set about to be aggregated, timed at its closing arrival —
+            // the server never waits for them, so the quorum's network
+            // charge stays the observed cutoff, not the barrier's slowest
+            // worker.
+            let forged = forge_proposals(
+                &*self.attack,
+                &self.attack_name,
+                &mut self.attack_rng,
+                &self.quorum_vectors,
+                params,
+                true_gradient.as_ref(),
+                byzantine,
+                self.cluster.workers(),
+                round,
+                &self.aggregator_name,
+                self.dim,
+            )?;
+            for (b, vector) in forged.into_iter().enumerate() {
+                if self.quorum_vectors.len() >= quorum {
+                    break;
+                }
+                let worker = honest + b;
+                // A Byzantine worker already in the quorum (via a carried
+                // straggler) does not get a second proposal in.
+                if taken[worker] {
+                    continue;
+                }
+                taken[worker] = true;
+                self.quorum_meta.push((worker, round));
+                self.quorum_vectors.push(vector);
+            }
+            // If skipped duplicates left slots open, the quorum closes on
+            // the next legitimate arrivals instead (extending the cutoff).
+            if self.quorum_vectors.len() < quorum {
+                let mut rest: Vec<Candidate> = Vec::with_capacity(candidates.len());
+                for c in candidates.drain(..) {
+                    if self.quorum_vectors.len() < quorum && !taken[c.worker] {
+                        taken[c.worker] = true;
+                        cutoff_nanos = cutoff_nanos.max(effective_arrival(&c));
+                        self.quorum_meta.push((c.worker, c.issued_round));
+                        self.quorum_vectors.push(c.vector);
+                    } else {
+                        rest.push(c);
+                    }
+                }
+                candidates = rest;
+            }
+        }
+        let attack_nanos = attack_start.elapsed().as_nanos();
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.cluster.workers()];
+                self.quorum_meta
+                    .iter()
+                    .all(|&(w, _)| !std::mem::replace(&mut seen[w], true))
+            },
+            "a quorum must hold at most one proposal per worker (Byzantine share <= f)"
+        );
+
+        // Quorum/staleness stats.
+        let quorum_size = self.quorum_meta.len();
+        let stale_in_quorum = self
+            .quorum_meta
+            .iter()
+            .filter(|&&(_, issued)| issued < round)
+            .count();
+        let max_staleness_in_quorum = self
+            .quorum_meta
+            .iter()
+            .map(|&(_, issued)| round - issued)
+            .max()
+            .unwrap_or(0);
+
+        // Aggregation input order: (issued_round, worker) — with a full
+        // fresh quorum this is plain worker order, matching the barrier
+        // engines' proposal layout.
+        let mut ordered: Vec<((usize, usize), Vector)> = self
+            .quorum_meta
+            .drain(..)
+            .zip(self.quorum_vectors.drain(..))
+            .collect();
+        ordered.sort_by_key(|&((worker, issued), _)| (issued, worker));
+        for (meta, vector) in ordered {
+            self.quorum_meta.push(meta);
+            self.quorum_vectors.push(vector);
+        }
+
+        // Unselected arrivals carry into the next round — unless carrying
+        // them would exceed the staleness bound, in which case the server
+        // drops them on the floor (and the metrics say so).
+        let mut dropped_stale = 0usize;
+        for c in candidates {
+            let staleness_next = round + 1 - c.issued_round;
+            if staleness_next > max_staleness {
+                dropped_stale += 1;
+            } else {
+                self.pending.push(PendingProposal {
+                    worker: c.worker,
+                    issued_round: c.issued_round,
+                    vector: c.vector,
+                });
+            }
+        }
+        let pending_carryover = self.pending.len();
+
+        // Phase 4: aggregate over the partial set. The rule was built for
+        // `quorum` proposals, so its preconditions (Krum's `2f + 2 < n`)
+        // hold against the quorum size.
+        let aggregation_start = Instant::now();
+        self.aggregator
+            .aggregate_in(&mut self.ctx, &self.quorum_vectors)?;
+        let aggregation_nanos = aggregation_start.elapsed().as_nanos();
+
+        // Phases 5+6: step + record (selection attribution is remapped
+        // through the quorum below).
+        let mut record = self.apply_update_and_record(
+            params,
+            round,
+            true_gradient,
+            propose_nanos,
+            attack_nanos,
+            aggregation_nanos,
+            round_start,
+        )?;
+        record.selected_worker = record.selected_worker.map(|slot| self.quorum_meta[slot].0);
+        record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
+        record.quorum_size = Some(quorum_size);
+        record.stale_in_quorum = Some(stale_in_quorum);
+        record.max_staleness_in_quorum = Some(max_staleness_in_quorum);
+        record.dropped_stale = Some(dropped_stale);
+        record.pending_carryover = Some(pending_carryover);
+        record.network_nanos = cutoff_nanos;
+        record.round_nanos += cutoff_nanos;
+        Ok(record)
+    }
+
+    /// Phases 5+6 shared by both step paths: check the aggregate for NaN
+    /// poisoning, apply the SGD update, and fill the round record (with
+    /// selection attributed by raw aggregation index — the async path remaps
+    /// it through the quorum afterwards).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_update_and_record(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+        true_gradient: Option<Vector>,
+        propose_nanos: u128,
+        attack_nanos: u128,
+        aggregation_nanos: u128,
+        round_start: Instant,
+    ) -> Result<RoundRecord, TrainError> {
         let aggregation = self.ctx.output();
+
+        // A NaN aggregate means the round was poisoned beyond what the rule
+        // could filter (e.g. averaging over a NaN proposal). Stepping on it
+        // would silently corrupt every later round — fail structurally
+        // instead. (±∞ is left to the divergence reporting in
+        // `ConvergenceSummary`: overflowing runs are a legitimate
+        // experimental outcome, garbage is not.)
+        if aggregation.value.iter().any(|x| x.is_nan()) {
+            return Err(TrainError::PoisonedRound {
+                round,
+                aggregator: self.aggregator_name.clone(),
+            });
+        }
 
         // Phase 5: step — apply the SGD update.
         let learning_rate = self.config.schedule.rate(round);
@@ -380,7 +899,7 @@ impl RoundEngine {
         record.attack_nanos = attack_nanos;
         record.aggregation_nanos = aggregation_nanos;
         record.selected_worker = aggregation.selected_index();
-        record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
+        record.selected_byzantine = record.selected_worker.map(|w| w >= self.cluster.honest());
         if let Some(gradient) = &true_gradient {
             record.true_gradient_norm = Some(gradient.norm());
             record.alignment = aggregation.value.cosine_similarity(gradient);
@@ -395,15 +914,6 @@ impl RoundEngine {
             }
         }
         record.round_nanos = round_start.elapsed().as_nanos();
-
-        // The simulated network (threaded strategy) charges the synchronous
-        // barrier's communication time on top of the measured wall clock.
-        if let ExecutionStrategy::Threaded { network } = self.strategy {
-            let simulated =
-                network.round_nanos(self.cluster.workers(), self.dim, &mut self.network_rng);
-            record.network_nanos = simulated;
-            record.round_nanos += simulated;
-        }
         Ok(record)
     }
 

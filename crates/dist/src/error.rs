@@ -29,6 +29,19 @@ pub enum TrainError {
         /// What went wrong.
         message: String,
     },
+    /// The aggregation produced a NaN update: the round was poisoned beyond
+    /// what the rule could filter, and stepping on it would silently corrupt
+    /// the whole trajectory.
+    #[error(
+        "round {round}: aggregation by `{aggregator}` produced a non-finite (NaN) update — \
+         poisoned round; refusing to step"
+    )]
+    PoisonedRound {
+        /// Round index at which the poisoned aggregate appeared.
+        round: usize,
+        /// Name of the aggregation rule.
+        aggregator: String,
+    },
 }
 
 impl TrainError {

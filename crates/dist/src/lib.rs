@@ -322,6 +322,451 @@ mod tests {
         assert!(trainer.engine_mut().strategy().network().is_some());
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn async_engine(
+        n: usize,
+        f: usize,
+        dim: usize,
+        sigma: f64,
+        rounds: usize,
+        quorum: usize,
+        max_staleness: usize,
+        network: NetworkModel,
+        attack: Box<dyn krum_attacks::Attack>,
+    ) -> RoundEngine {
+        // The rule is built for the quorum size, not n — Krum's 2f + 2 < n
+        // precondition is re-validated against what actually gets aggregated.
+        RoundEngine::new(
+            ClusterSpec::new(n, f).unwrap(),
+            Box::new(Krum::new(quorum, f).unwrap()),
+            attack,
+            estimators(n - f, dim, sigma),
+            None,
+            config(rounds, dim),
+            ExecutionStrategy::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+            },
+        )
+        .unwrap()
+    }
+
+    fn zero_latency() -> NetworkModel {
+        NetworkModel {
+            latency: LatencyModel::Constant { nanos: 0 },
+            nanos_per_byte: 0.0,
+        }
+    }
+
+    /// Acceptance: `AsyncQuorum` with `quorum = n` and zero latency
+    /// reproduces the Sequential trajectory exactly, record for record.
+    #[test]
+    fn async_full_quorum_zero_latency_matches_sequential_exactly() {
+        let (n, f, dim, rounds) = (7, 2, 6, 30);
+        let start = Vector::filled(dim, 1.5);
+        let mut sequential = RoundEngine::new(
+            ClusterSpec::new(n, f).unwrap(),
+            Box::new(Krum::new(n, f).unwrap()),
+            Box::new(SignFlip::new(3.0).unwrap()),
+            estimators(n - f, dim, 0.3),
+            None,
+            config(rounds, dim),
+            ExecutionStrategy::Sequential,
+        )
+        .unwrap();
+        let mut quorum = async_engine(
+            n,
+            f,
+            dim,
+            0.3,
+            rounds,
+            n,
+            2,
+            zero_latency(),
+            Box::new(SignFlip::new(3.0).unwrap()),
+        );
+        let (seq, seq_history) = sequential.run(start.clone()).unwrap();
+        let (qrm, qrm_history) = quorum.run(start).unwrap();
+        assert_eq!(seq, qrm, "full-quorum async must equal the barrier");
+        for (a, b) in seq_history.rounds.iter().zip(&qrm_history.rounds) {
+            assert_eq!(a.aggregate_norm, b.aggregate_norm);
+            assert_eq!(a.selected_worker, b.selected_worker);
+            assert_eq!(a.distance_to_optimum, b.distance_to_optimum);
+        }
+        // A full quorum never carries or drops anything.
+        assert!((qrm_history.mean_quorum_size() - n as f64).abs() < 1e-12);
+        assert_eq!(qrm_history.total_dropped_stale(), 0);
+        assert_eq!(qrm_history.mean_stale_in_quorum(), 0.0);
+    }
+
+    /// Acceptance: async-quorum trajectories are bit-identical across
+    /// repeated runs of the same seed, including under a heavy-tailed
+    /// network and a partial quorum.
+    #[test]
+    fn async_quorum_trajectories_are_reproducible() {
+        let network = NetworkModel {
+            latency: LatencyModel::Pareto {
+                min_nanos: 10_000,
+                alpha: 1.1,
+            },
+            nanos_per_byte: 0.05,
+        };
+        let run = || {
+            let mut engine = async_engine(
+                9,
+                2,
+                5,
+                0.3,
+                25,
+                7,
+                2,
+                network,
+                Box::new(SignFlip::new(2.0).unwrap()),
+            );
+            engine.run(Vector::filled(5, 1.0)).unwrap()
+        };
+        let (a, ha) = run();
+        let (b, hb) = run();
+        assert_eq!(a, b);
+        // Every deterministic column matches bit-for-bit (the measured
+        // wall-clock nanos are the only fields allowed to differ).
+        for (x, y) in ha.rounds.iter().zip(&hb.rounds) {
+            assert_eq!(x.aggregate_norm, y.aggregate_norm);
+            assert_eq!(x.selected_worker, y.selected_worker);
+            assert_eq!(x.distance_to_optimum, y.distance_to_optimum);
+            assert_eq!(x.network_nanos, y.network_nanos, "simulated charge");
+            assert_eq!(x.quorum_size, y.quorum_size);
+            assert_eq!(x.stale_in_quorum, y.stale_in_quorum);
+            assert_eq!(x.max_staleness_in_quorum, y.max_staleness_in_quorum);
+            assert_eq!(x.dropped_stale, y.dropped_stale);
+            assert_eq!(x.pending_carryover, y.pending_carryover);
+        }
+    }
+
+    /// A partial quorum under latency dispersion actually carries
+    /// stragglers: the staleness stats are populated and stale proposals
+    /// re-enter later quorums.
+    #[test]
+    fn partial_quorum_carries_stragglers_and_reports_staleness() {
+        let network = NetworkModel {
+            latency: LatencyModel::Uniform {
+                min_nanos: 1_000,
+                max_nanos: 1_000_000,
+            },
+            nanos_per_byte: 0.0,
+        };
+        let mut engine = async_engine(9, 2, 5, 0.3, 40, 7, 3, network, Box::new(NoAttack::new()));
+        let (params, history) = engine.run(Vector::filled(5, 1.0)).unwrap();
+        assert!(params.is_finite());
+        assert!((history.mean_quorum_size() - 7.0).abs() < 1e-12);
+        // With 9 proposals racing for 7 slots every round, carry-over is the
+        // steady state and stale proposals make it into later quorums.
+        assert!(history.mean_stale_in_quorum() > 0.0);
+        let carried: usize = history
+            .rounds
+            .iter()
+            .filter_map(|r| r.pending_carryover)
+            .sum();
+        assert!(carried > 0);
+        // The network charge is the quorum cutoff, not the slowest worker:
+        // strictly positive under this latency model.
+        assert!(history.mean_network_nanos() > 0.0);
+    }
+
+    /// The straggling adversary misses every quorum that can close without
+    /// it: with `max_staleness = 0` its proposals are dropped every round
+    /// and the aggregation never sees a Byzantine vector.
+    #[test]
+    fn straggling_adversary_is_dropped_by_a_tight_staleness_bound() {
+        let mut engine = async_engine(
+            9,
+            2,
+            5,
+            0.3,
+            30,
+            7,
+            0,
+            zero_latency(),
+            Box::new(krum_attacks::Straggler::new(4.0).unwrap()),
+        );
+        let (params, history) = engine.run(Vector::filled(5, 1.0)).unwrap();
+        assert!(params.is_finite());
+        // The 2 Byzantine proposals straggle past the bound every round.
+        assert_eq!(history.total_dropped_stale(), 2 * 30);
+        let stats = history.selection_stats();
+        assert_eq!(stats.byzantine_selected(), 0);
+        // With staleness allowed, the poisoned stragglers do land in later
+        // quorums (as stale carry-overs competing for slots).
+        let mut engine = async_engine(
+            9,
+            2,
+            5,
+            0.3,
+            30,
+            7,
+            2,
+            zero_latency(),
+            Box::new(krum_attacks::Straggler::new(4.0).unwrap()),
+        );
+        let (_, lax_history) = engine.run(Vector::filled(5, 1.0)).unwrap();
+        assert!(lax_history.mean_stale_in_quorum() > 0.0);
+        assert!(lax_history.total_dropped_stale() < 2 * 30);
+    }
+
+    /// Fixed far-away Byzantine proposals: every round (and hence every
+    /// carried straggler) is the same vector, so `k` Byzantine entries in a
+    /// quorum form a 0-diameter cluster of size `k`.
+    struct ConstantByz;
+
+    impl krum_attacks::Attack for ConstantByz {
+        fn forge(
+            &self,
+            ctx: &krum_attacks::AttackContext<'_>,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Result<Vec<Vector>, krum_attacks::AttackError> {
+            Ok(vec![Vector::filled(ctx.dim(), -50.0); ctx.byzantine_count])
+        }
+
+        fn name(&self) -> String {
+            "constant-byz".into()
+        }
+    }
+
+    /// Regression: a quorum admits at most one proposal per worker (the
+    /// paper's model — one vector per worker per aggregation), so the
+    /// Byzantine share of a quorum is structurally capped at `f` and Krum's
+    /// re-validated `2f + 2 < quorum` precondition actually holds. The
+    /// per-worker uniqueness is enforced by a `debug_assert` inside
+    /// `step_async` (active in this test build); behaviourally, `ConstantByz`
+    /// forms a 0-diameter Byzantine cluster across rounds, so any quorum
+    /// that ever held 2f = 4 of its vectors would hand Krum(7, 2) a 0-score
+    /// cluster (neighbours = 3) that wins the argmin outright.
+    #[test]
+    fn quorum_never_aggregates_more_than_f_byzantine_proposals() {
+        let network = NetworkModel {
+            latency: LatencyModel::Pareto {
+                min_nanos: 10_000,
+                alpha: 1.05,
+            },
+            nanos_per_byte: 0.0,
+        };
+        let rounds = 500;
+        let mut engine = async_engine(9, 2, 5, 0.3, rounds, 7, 3, network, Box::new(ConstantByz));
+        let (params, history) = engine.run(Vector::filled(5, 1.0)).unwrap();
+        assert!(params.is_finite());
+        let stats = history.selection_stats();
+        assert_eq!(stats.total(), rounds);
+        assert_eq!(
+            stats.byzantine_selected(),
+            0,
+            "an over-represented Byzantine cluster must never win the quorum"
+        );
+    }
+
+    /// An adversary that changes timing between rounds (the trait allows
+    /// it): straggle one round, respond-last the next, so its carried
+    /// stragglers are already in the quorum a respond-last round wants to
+    /// fill.
+    struct FlipFlopTiming {
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl krum_attacks::Attack for FlipFlopTiming {
+        fn forge(
+            &self,
+            ctx: &krum_attacks::AttackContext<'_>,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Result<Vec<Vector>, krum_attacks::AttackError> {
+            let mean = ctx
+                .honest_mean()
+                .unwrap_or_else(|| Vector::zeros(ctx.dim()));
+            Ok(vec![mean.scaled(-2.0); ctx.byzantine_count])
+        }
+
+        fn name(&self) -> String {
+            "flip-flop".into()
+        }
+
+        fn timing(&self) -> krum_attacks::AttackTiming {
+            let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if call.is_multiple_of(2) {
+                krum_attacks::AttackTiming::Straggle
+            } else {
+                krum_attacks::AttackTiming::LastToRespond
+            }
+        }
+    }
+
+    /// Regression: when a respond-last round wants to fill the quorum but a
+    /// carried Byzantine straggler from the previous round already holds
+    /// that worker's slot, the fill must skip it (per-worker cap — enforced
+    /// by the engine's debug_assert, active in this build) and close the
+    /// quorum on the next legitimate arrivals instead.
+    #[test]
+    fn respond_last_fill_respects_the_per_worker_cap_for_carried_stragglers() {
+        let mut engine = async_engine(
+            9,
+            2,
+            5,
+            0.3,
+            40,
+            7,
+            2,
+            zero_latency(),
+            Box::new(FlipFlopTiming {
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }),
+        );
+        let (params, history) = engine.run(Vector::filled(5, 1.0)).unwrap();
+        assert!(params.is_finite());
+        assert_eq!(history.len(), 40);
+        // Straggle rounds push Byzantine proposals into the carry pool; the
+        // respond-last rounds aggregate them as stale entries.
+        assert!(history.mean_stale_in_quorum() > 0.0);
+        assert!((history.mean_quorum_size() - 7.0).abs() < 1e-12);
+    }
+
+    /// The last-to-respond adversary always lands in the quorum, yet Krum
+    /// (validated against the quorum size) keeps selecting honest proposals
+    /// and the trajectory still converges.
+    #[test]
+    fn last_to_respond_adversary_is_survived_by_quorum_krum() {
+        let mut engine = async_engine(
+            11,
+            2,
+            6,
+            0.2,
+            120,
+            9,
+            1,
+            zero_latency(),
+            Box::new(krum_attacks::LastToRespond::new(3.0).unwrap()),
+        );
+        let (params, history) = engine.run(Vector::filled(6, 2.0)).unwrap();
+        assert!(params.is_finite());
+        assert!(params.norm() < 0.7, "‖x‖ = {}", params.norm());
+        // The adversary is in every quorum but loses the selection far more
+        // often than it wins it.
+        let stats = history.selection_stats();
+        assert!(stats.total() > 0);
+        assert!(stats.byzantine_rate() < 0.2);
+    }
+
+    /// Satellite: the engine validates the quorum bounds up front.
+    #[test]
+    fn async_quorum_bounds_are_validated() {
+        let make = |quorum: usize| {
+            RoundEngine::new(
+                ClusterSpec::new(9, 2).unwrap(),
+                Box::new(Average::new()),
+                Box::new(NoAttack::new()),
+                estimators(7, 4, 0.1),
+                None,
+                config(5, 4),
+                ExecutionStrategy::AsyncQuorum {
+                    quorum,
+                    max_staleness: 1,
+                    network: zero_latency(),
+                },
+            )
+        };
+        assert!(make(6).is_err(), "quorum < n - f must be rejected");
+        assert!(make(10).is_err(), "quorum > n must be rejected");
+        assert!(make(7).is_ok());
+        assert!(make(9).is_ok());
+        // Pareto latency validation is enforced at engine construction too.
+        let bad_network = RoundEngine::new(
+            ClusterSpec::new(9, 2).unwrap(),
+            Box::new(Average::new()),
+            Box::new(NoAttack::new()),
+            estimators(7, 4, 0.1),
+            None,
+            config(5, 4),
+            ExecutionStrategy::AsyncQuorum {
+                quorum: 8,
+                max_staleness: 1,
+                network: NetworkModel {
+                    latency: LatencyModel::Pareto {
+                        min_nanos: 10,
+                        alpha: 0.0,
+                    },
+                    nanos_per_byte: 0.0,
+                },
+            },
+        );
+        assert!(bad_network.is_err());
+    }
+
+    /// Satellite regression: a fully poisoned round (NaN aggregate) is a
+    /// structured `PoisonedRound` error from the engine — never a silent
+    /// step onto garbage parameters.
+    #[test]
+    fn poisoned_round_is_a_structured_engine_error() {
+        let dim = 4;
+        let mut trainer = SyncTrainer::new(
+            ClusterSpec::new(6, 2).unwrap(),
+            Box::new(Average::new()),
+            Box::new(krum_attacks::NonFinite::new()),
+            estimators(4, dim, 0.1),
+            config(10, dim),
+        )
+        .unwrap();
+        let err = trainer.run(Vector::filled(dim, 1.0)).unwrap_err();
+        assert!(
+            matches!(err, TrainError::PoisonedRound { round: 0, .. }),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("poisoned round"));
+        // Krum filters the same poison and completes finitely.
+        let mut trainer = SyncTrainer::new(
+            ClusterSpec::new(7, 2).unwrap(),
+            Box::new(Krum::new(7, 2).unwrap()),
+            Box::new(krum_attacks::NonFinite::new()),
+            estimators(5, dim, 0.1),
+            config(10, dim),
+        )
+        .unwrap();
+        let (params, history) = trainer.run(Vector::filled(dim, 1.0)).unwrap();
+        assert!(params.is_finite());
+        assert!(!history.summary().diverged);
+    }
+
+    /// Satellite: when `rounds % eval_every != 0`, the final round still
+    /// evaluates, so the last recorded loss describes the returned model.
+    #[test]
+    fn final_round_always_evaluates_even_off_cadence() {
+        let dim = 4;
+        let mut engine = RoundEngine::new(
+            ClusterSpec::new(5, 1).unwrap(),
+            Box::new(Krum::new(5, 1).unwrap()),
+            Box::new(NoAttack::new()),
+            estimators(4, dim, 0.1),
+            None,
+            TrainingConfig {
+                rounds: 7,
+                eval_every: 2,
+                ..config(7, dim)
+            },
+            ExecutionStrategy::Sequential,
+        )
+        .unwrap();
+        let (_, history) = engine.run(Vector::filled(dim, 1.0)).unwrap();
+        assert_eq!(history.len(), 7);
+        // Cadence rounds 0, 2, 4, 6 — and 6 is also the final round.
+        let evaluated: Vec<usize> = history
+            .rounds
+            .iter()
+            .filter(|r| r.loss.is_some())
+            .map(|r| r.round)
+            .collect();
+        assert_eq!(evaluated, vec![0, 2, 4, 6]);
+        assert!(
+            history.last().unwrap().loss.is_some(),
+            "the last round must always evaluate"
+        );
+    }
+
     #[test]
     fn latency_models_sample_within_bounds() {
         let mut rng = crate::engine::stream_rng(3, 0);

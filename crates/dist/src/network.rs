@@ -1,11 +1,14 @@
-//! The simulated network charged to round metrics by the threaded engine.
+//! The simulated network charged to round metrics by the threaded and
+//! async-quorum engines.
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::error::TrainError;
+
 /// One-way message latency model for the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum LatencyModel {
     /// Fixed latency.
     Constant {
@@ -18,6 +21,17 @@ pub enum LatencyModel {
         min_nanos: u64,
         /// Maximum one-way latency in nanoseconds.
         max_nanos: u64,
+    },
+    /// Heavy-tailed (Pareto) latency: most messages arrive near `min_nanos`,
+    /// but the tail produces stragglers orders of magnitude slower — the
+    /// regime where a synchronous barrier stalls on the slowest worker and a
+    /// partial quorum keeps making progress. Smaller `alpha` means a heavier
+    /// tail (`alpha ≤ 1` has no finite mean).
+    Pareto {
+        /// Scale (minimum) one-way latency in nanoseconds.
+        min_nanos: u64,
+        /// Tail index `α > 0` of the Pareto distribution.
+        alpha: f64,
     },
 }
 
@@ -36,6 +50,37 @@ impl LatencyModel {
                     rng.gen_range(min_nanos..=max_nanos)
                 }
             }
+            Self::Pareto { min_nanos, alpha } => {
+                // Inverse-CDF sampling: min / U^(1/α) with U uniform in (0, 1].
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                let draw = min_nanos as f64 / u.powf(1.0 / alpha.max(f64::MIN_POSITIVE));
+                if draw.is_finite() {
+                    draw.min(u64::MAX as f64) as u64
+                } else {
+                    u64::MAX
+                }
+            }
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] for a non-positive or
+    /// non-finite Pareto tail index.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        match *self {
+            Self::Constant { .. } | Self::Uniform { .. } => Ok(()),
+            Self::Pareto { alpha, .. } => {
+                if alpha > 0.0 && alpha.is_finite() {
+                    Ok(())
+                } else {
+                    Err(TrainError::config(
+                        "pareto latency needs a positive, finite alpha",
+                    ))
+                }
+            }
         }
     }
 }
@@ -48,14 +93,18 @@ impl std::fmt::Display for LatencyModel {
                 min_nanos,
                 max_nanos,
             } => write!(out, "uniform({min_nanos}..{max_nanos}ns)"),
+            Self::Pareto { min_nanos, alpha } => {
+                write!(out, "pareto(min={min_nanos}ns, alpha={alpha})")
+            }
         }
     }
 }
 
 /// Simulated network: per-message latency plus byte-proportional transfer
 /// time. One round charges, per worker, a parameter broadcast down and a
-/// gradient push up (both `8·d` bytes), and the synchronous barrier waits
-/// for the slowest worker.
+/// gradient push up (both `8·d` bytes); the synchronous barrier waits for
+/// the slowest worker, while the async-quorum engine waits only for the
+/// quorum-closing arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkModel {
     /// Per-message one-way latency.
@@ -75,16 +124,101 @@ impl std::fmt::Display for NetworkModel {
 }
 
 impl NetworkModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] for a negative or non-finite
+    /// byte cost, or an invalid latency model.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        if !(self.nanos_per_byte.is_finite() && self.nanos_per_byte >= 0.0) {
+            return Err(TrainError::config(
+                "network nanos_per_byte must be finite and >= 0",
+            ));
+        }
+        self.latency.validate()
+    }
+
+    /// Simulated nanoseconds until **one** worker's proposal reaches the
+    /// server: broadcast down, compute (free), gradient push up, with the
+    /// `8·d`-byte payload charged in both directions.
+    pub(crate) fn worker_round_trip_nanos(&self, dim: usize, rng: &mut ChaCha8Rng) -> u128 {
+        let payload = (dim as f64 * 8.0 * self.nanos_per_byte).max(0.0) as u128;
+        let down = self.latency.sample(rng) as u128;
+        let up = self.latency.sample(rng) as u128;
+        down + up + 2 * payload
+    }
+
     /// Simulated nanoseconds the synchronous barrier spends on the network
     /// for one round: the slowest worker's round trip.
     pub(crate) fn round_nanos(&self, workers: usize, dim: usize, rng: &mut ChaCha8Rng) -> u128 {
-        let payload = (dim as f64 * 8.0 * self.nanos_per_byte).max(0.0) as u128;
         let mut slowest: u128 = 0;
         for _ in 0..workers {
-            let down = self.latency.sample(rng) as u128;
-            let up = self.latency.sample(rng) as u128;
-            slowest = slowest.max(down + up + 2 * payload);
+            slowest = slowest.max(self.worker_round_trip_nanos(dim, rng));
         }
         slowest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_latency_is_heavy_tailed_and_bounded_below() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let pareto = LatencyModel::Pareto {
+            min_nanos: 1_000,
+            alpha: 1.1,
+        };
+        let draws: Vec<u64> = (0..4_000).map(|_| pareto.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&d| d >= 1_000));
+        // The tail must produce genuine stragglers (an order of magnitude
+        // above the scale) while the bulk stays near it.
+        let slow = draws.iter().filter(|&&d| d > 10_000).count();
+        let fast = draws.iter().filter(|&&d| d < 2_000).count();
+        assert!(slow > 10, "expected a heavy tail, got {slow} slow draws");
+        assert!(fast > draws.len() / 2, "bulk should sit near the scale");
+    }
+
+    #[test]
+    fn pareto_validation_rejects_bad_alpha() {
+        assert!(LatencyModel::Pareto {
+            min_nanos: 10,
+            alpha: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyModel::Pareto {
+            min_nanos: 10,
+            alpha: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyModel::Pareto {
+            min_nanos: 10,
+            alpha: 1.5
+        }
+        .validate()
+        .is_ok());
+        assert!(LatencyModel::Constant { nanos: 5 }.validate().is_ok());
+        let network = NetworkModel {
+            latency: LatencyModel::Constant { nanos: 5 },
+            nanos_per_byte: f64::INFINITY,
+        };
+        assert!(network.validate().is_err());
+    }
+
+    #[test]
+    fn latency_models_display_readably() {
+        assert_eq!(
+            LatencyModel::Pareto {
+                min_nanos: 100,
+                alpha: 1.5
+            }
+            .to_string(),
+            "pareto(min=100ns, alpha=1.5)"
+        );
     }
 }

@@ -165,6 +165,32 @@ impl TrainingHistory {
         self.mean_nanos(|r| r.round_nanos)
     }
 
+    fn mean_over_quorum_rounds(&self, pick: impl Fn(&RoundRecord) -> Option<usize>) -> f64 {
+        let values: Vec<usize> = self.rounds.iter().filter_map(&pick).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+    }
+
+    /// Mean quorum size over the rounds that recorded one (async-quorum
+    /// execution); 0 when the run never recorded a quorum.
+    pub fn mean_quorum_size(&self) -> f64 {
+        self.mean_over_quorum_rounds(|r| r.quorum_size)
+    }
+
+    /// Mean number of stale carry-over proposals aggregated per
+    /// quorum-recording round; 0 when the run never recorded a quorum.
+    pub fn mean_stale_in_quorum(&self) -> f64 {
+        self.mean_over_quorum_rounds(|r| r.stale_in_quorum)
+    }
+
+    /// Total in-flight proposals dropped for exceeding the staleness bound
+    /// over the whole run.
+    pub fn total_dropped_stale(&self) -> usize {
+        self.rounds.iter().filter_map(|r| r.dropped_stale).sum()
+    }
+
     /// Builds a [`ConvergenceSummary`] over the recorded rounds.
     pub fn summary(&self) -> ConvergenceSummary {
         let losses: Vec<f64> = self.rounds.iter().filter_map(|r| r.loss).collect();
@@ -306,6 +332,26 @@ mod tests {
         let empty = TrainingHistory::new("e", "krum", "none", 4, 0);
         assert_eq!(empty.mean_propose_nanos(), 0.0);
         assert_eq!(empty.mean_network_nanos(), 0.0);
+    }
+
+    #[test]
+    fn quorum_statistics_aggregate_over_async_rounds() {
+        let mut h = TrainingHistory::new("q", "krum", "straggler", 10, 2);
+        // Two async rounds and one barrier round (no quorum columns).
+        for (i, (q, stale, dropped)) in [(8, 0, 1), (8, 2, 0)].iter().enumerate() {
+            let mut r = RoundRecord::new(i, 1.0, 0.1);
+            r.quorum_size = Some(*q);
+            r.stale_in_quorum = Some(*stale);
+            r.dropped_stale = Some(*dropped);
+            h.push(r);
+        }
+        h.push(RoundRecord::new(2, 1.0, 0.1));
+        assert!((h.mean_quorum_size() - 8.0).abs() < 1e-12);
+        assert!((h.mean_stale_in_quorum() - 1.0).abs() < 1e-12);
+        assert_eq!(h.total_dropped_stale(), 1);
+        let empty = TrainingHistory::new("e", "krum", "none", 4, 0);
+        assert_eq!(empty.mean_quorum_size(), 0.0);
+        assert_eq!(empty.total_dropped_stale(), 0);
     }
 
     #[test]

@@ -46,6 +46,18 @@ pub struct RoundRecord {
     /// Wall-clock duration of the full round (including any simulated
     /// network charge), in nanoseconds.
     pub round_nanos: u128,
+    /// Number of proposals aggregated this round (`None` for barrier
+    /// strategies, where it is always `n`; `Some(q)` under async quorum).
+    pub quorum_size: Option<usize>,
+    /// How many quorum members were stale carry-overs from earlier rounds.
+    pub stale_in_quorum: Option<usize>,
+    /// Largest staleness (in rounds) among this round's quorum members.
+    pub max_staleness_in_quorum: Option<usize>,
+    /// In-flight proposals dropped this round for exceeding the staleness
+    /// bound.
+    pub dropped_stale: Option<usize>,
+    /// In-flight proposals carried into the next round.
+    pub pending_carryover: Option<usize>,
 }
 
 impl RoundRecord {
@@ -68,15 +80,24 @@ impl RoundRecord {
             aggregation_nanos: 0,
             network_nanos: 0,
             round_nanos: 0,
+            quorum_size: None,
+            stale_in_quorum: None,
+            max_staleness_in_quorum: None,
+            dropped_stale: None,
+            pending_carryover: None,
         }
     }
 
     /// CSV header matching [`RoundRecord::to_csv_row`]. The timing columns
-    /// follow the round pipeline: propose → attack → aggregate → network.
+    /// follow the round pipeline: propose → attack → aggregate → network;
+    /// the trailing quorum/staleness columns are filled under async-quorum
+    /// execution and empty for barrier rounds.
     pub fn csv_header() -> &'static str {
         "round,loss,accuracy,true_gradient_norm,aggregate_norm,alignment,\
          distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
-         propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos"
+         propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos,\
+         quorum_size,stale_in_quorum,max_staleness_in_quorum,dropped_stale,\
+         pending_carryover"
     }
 
     /// Serialises the record as one CSV row (empty cells for `None`).
@@ -85,7 +106,7 @@ impl RoundRecord {
             v.as_ref().map(ToString::to_string).unwrap_or_default()
         }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             opt(&self.loss),
             opt(&self.accuracy),
@@ -101,6 +122,11 @@ impl RoundRecord {
             self.aggregation_nanos,
             self.network_nanos,
             self.round_nanos,
+            opt(&self.quorum_size),
+            opt(&self.stale_in_quorum),
+            opt(&self.max_staleness_in_quorum),
+            opt(&self.dropped_stale),
+            opt(&self.pending_carryover),
         )
     }
 }
@@ -139,7 +165,33 @@ mod tests {
         r.aggregation_nanos = 33;
         r.network_nanos = 44;
         r.round_nanos = 110;
-        assert!(r.to_csv_row().ends_with("11,22,33,44,110"));
+        // The trailing quorum/staleness cells are empty for barrier rounds.
+        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,"));
+    }
+
+    #[test]
+    fn quorum_columns_trail_the_header_and_serialise() {
+        let header = RoundRecord::csv_header();
+        let round_nanos = header.find("round_nanos").unwrap();
+        for column in [
+            "quorum_size",
+            "stale_in_quorum",
+            "max_staleness_in_quorum",
+            "dropped_stale",
+            "pending_carryover",
+        ] {
+            let at = header
+                .find(column)
+                .unwrap_or_else(|| panic!("column {column} missing from the CSV header"));
+            assert!(at > round_nanos, "{column} must trail the timing columns");
+        }
+        let mut r = RoundRecord::new(3, 1.0, 0.1);
+        r.quorum_size = Some(8);
+        r.stale_in_quorum = Some(2);
+        r.max_staleness_in_quorum = Some(1);
+        r.dropped_stale = Some(0);
+        r.pending_carryover = Some(3);
+        assert!(r.to_csv_row().ends_with("8,2,1,0,3"));
     }
 
     #[test]

@@ -128,6 +128,26 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Runs async partial-quorum rounds: each round aggregates the fastest
+    /// `quorum` proposals under `network` and carries stragglers up to
+    /// `max_staleness` rounds. The aggregation rule is built for `quorum`
+    /// proposals (its preconditions are validated against the quorum size at
+    /// [`ScenarioBuilder::build`] time).
+    #[must_use]
+    pub fn async_quorum(
+        mut self,
+        quorum: usize,
+        max_staleness: usize,
+        network: NetworkModel,
+    ) -> Self {
+        self.execution = ExecutionSpec::AsyncQuorum {
+            quorum,
+            max_staleness,
+            network,
+        };
+        self
+    }
+
     /// Sets the number of synchronous rounds.
     #[must_use]
     pub fn rounds(mut self, rounds: usize) -> Self {

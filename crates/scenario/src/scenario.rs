@@ -44,7 +44,11 @@ impl Scenario {
         spec.validate()?;
         let cluster = spec.cluster;
         let workload = spec.estimator.build(cluster.honest(), spec.seed)?;
-        let aggregator = spec.rule.build(cluster.workers(), cluster.byzantine())?;
+        // Under async-quorum execution the rule aggregates `quorum`
+        // proposals per round, so it is built for that arity (validate()
+        // already re-checked its preconditions against it).
+        let arity = spec.execution.aggregation_arity(cluster.workers());
+        let aggregator = spec.rule.build(arity, cluster.byzantine())?;
         let attack = spec.attack.build(workload.dim)?;
         let config = krum_dist::TrainingConfig {
             rounds: spec.rounds,
@@ -262,5 +266,61 @@ mod tests {
         bad.cluster = ClusterSpec::new(5, 2).unwrap(); // Krum needs 2f+2 < n
         assert!(Scenario::from_spec(bad).is_err());
         assert!(Scenario::from_json("{\"name\": 1}").is_err());
+    }
+
+    /// Acceptance: an async-quorum scenario with `quorum = n` and zero
+    /// latency reproduces the Sequential trajectory exactly, through the
+    /// declarative API.
+    #[test]
+    fn async_full_quorum_scenario_matches_sequential() {
+        let sequential = Scenario::from_spec(spec()).unwrap().run().unwrap();
+        let mut async_spec = spec();
+        async_spec.execution = ExecutionSpec::AsyncQuorum {
+            quorum: 9,
+            max_staleness: 2,
+            network: NetworkModel {
+                latency: LatencyModel::Constant { nanos: 0 },
+                nanos_per_byte: 0.0,
+            },
+        };
+        let report = Scenario::from_spec(async_spec).unwrap().run().unwrap();
+        assert_eq!(report.final_params, sequential.final_params);
+        for (a, b) in report.history.rounds.iter().zip(&sequential.history.rounds) {
+            assert_eq!(a.aggregate_norm, b.aggregate_norm);
+            assert_eq!(a.selected_worker, b.selected_worker);
+        }
+        assert!((report.history.mean_quorum_size() - 9.0).abs() < 1e-12);
+    }
+
+    /// A partial quorum with a straggling adversary runs end-to-end through
+    /// the declarative API and populates the staleness stats.
+    #[test]
+    fn async_partial_quorum_scenario_reports_staleness() {
+        let mut s = spec();
+        s.attack = AttackSpec::Straggler { scale: 3.0 };
+        s.execution = ExecutionSpec::AsyncQuorum {
+            quorum: 7,
+            max_staleness: 2,
+            network: NetworkModel {
+                latency: LatencyModel::Pareto {
+                    min_nanos: 10_000,
+                    alpha: 1.1,
+                },
+                nanos_per_byte: 0.05,
+            },
+        };
+        let report = Scenario::from_spec(s.clone()).unwrap().run().unwrap();
+        assert!(report.final_params.is_finite());
+        assert!((report.history.mean_quorum_size() - 7.0).abs() < 1e-12);
+        let record = &report.history.rounds[0];
+        assert_eq!(record.quorum_size, Some(7));
+        assert!(record.dropped_stale.is_some());
+        // The CSV export carries the staleness columns for every round.
+        let csv = report.to_csv();
+        assert!(csv.contains("quorum_size"));
+        assert!(csv.contains("pending_carryover"));
+        // Deterministic: a second run of the same spec is bit-identical.
+        let again = Scenario::from_spec(s).unwrap().run().unwrap();
+        assert_eq!(again.final_params, report.final_params);
     }
 }

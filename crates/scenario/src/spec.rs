@@ -21,6 +21,20 @@ pub enum ExecutionSpec {
         /// The simulated network model.
         network: NetworkModel,
     },
+    /// Async partial-quorum rounds: each round aggregates the fastest
+    /// `quorum ≥ n − f` arrivals under the simulated network and carries
+    /// stragglers into later rounds up to `max_staleness`. The aggregation
+    /// rule is built for `quorum` proposals (Krum's `2f + 2 < n` is
+    /// re-validated against the quorum size).
+    AsyncQuorum {
+        /// How many proposals close a round (`n − f ≤ quorum ≤ n`).
+        quorum: usize,
+        /// Maximum age (in rounds) an in-flight proposal may reach and still
+        /// be aggregated.
+        max_staleness: usize,
+        /// The simulated network deciding arrival order and charge.
+        network: NetworkModel,
+    },
 }
 
 impl ExecutionSpec {
@@ -29,6 +43,34 @@ impl ExecutionSpec {
         match *self {
             Self::Sequential => ExecutionStrategy::Sequential,
             Self::Threaded { network } => ExecutionStrategy::Threaded { network },
+            Self::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+            } => ExecutionStrategy::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+            },
+        }
+    }
+
+    /// How many proposals the aggregation rule sees per round under this
+    /// execution: the quorum size for async execution, the full cluster
+    /// otherwise. The rule registry is driven with this value so rule
+    /// preconditions hold against what is actually aggregated.
+    pub fn aggregation_arity(&self, n: usize) -> usize {
+        match *self {
+            Self::AsyncQuorum { quorum, .. } => quorum,
+            _ => n,
+        }
+    }
+
+    /// The simulated network, when this execution carries one.
+    pub fn network(&self) -> Option<NetworkModel> {
+        match *self {
+            Self::Sequential => None,
+            Self::Threaded { network } | Self::AsyncQuorum { network, .. } => Some(network),
         }
     }
 }
@@ -153,10 +195,24 @@ impl ScenarioSpec {
         let cluster = ClusterSpec::new(self.cluster.workers(), self.cluster.byzantine())?;
         self.estimator.validate()?;
         let dim = self.estimator.dim()?;
+        // Async execution narrows what the rule aggregates: its
+        // preconditions must hold against the quorum size, not n.
+        if let ExecutionSpec::AsyncQuorum { quorum, .. } = self.execution {
+            if quorum < cluster.honest() || quorum > cluster.workers() {
+                return Err(ScenarioError::invalid(format!(
+                    "async quorum must satisfy n - f <= quorum <= n, got quorum = {quorum} \
+                     with n = {}, f = {}",
+                    cluster.workers(),
+                    cluster.byzantine()
+                )));
+            }
+        }
         // Building the rule and the attack runs their own cross-checks
-        // against (n, f) and d; the built values are discarded.
-        self.rule.build(cluster.workers(), cluster.byzantine())?;
+        // against (arity, f) and d; the built values are discarded.
+        let arity = self.execution.aggregation_arity(cluster.workers());
+        self.rule.build(arity, cluster.byzantine())?;
         self.attack.build(dim)?;
+        self.attack.validate_for_cluster(cluster.byzantine())?;
         if self.rounds == 0 {
             return Err(ScenarioError::invalid("rounds must be >= 1"));
         }
@@ -166,12 +222,8 @@ impl ScenarioSpec {
             ));
         }
         self.schedule.validate()?;
-        if let ExecutionSpec::Threaded { network } = &self.execution {
-            if !(network.nanos_per_byte.is_finite() && network.nanos_per_byte >= 0.0) {
-                return Err(ScenarioError::invalid(
-                    "network nanos_per_byte must be finite and >= 0",
-                ));
-            }
+        if let Some(network) = self.execution.network() {
+            network.validate()?;
         }
         match self.init {
             InitSpec::Zeros => {}
@@ -321,5 +373,102 @@ mod tests {
         assert!(text.starts_with("threaded("));
         assert!(text.contains("constant(500ns)"));
         assert!(text.contains("0.5ns/byte"));
+        let quorum = ExecutionSpec::AsyncQuorum {
+            quorum: 7,
+            max_staleness: 2,
+            network: NetworkModel {
+                latency: LatencyModel::Pareto {
+                    min_nanos: 1_000,
+                    alpha: 1.1,
+                },
+                nanos_per_byte: 0.1,
+            },
+        };
+        let text = quorum.to_string();
+        assert!(text.starts_with("async-quorum(q=7, staleness<=2"));
+        assert!(text.contains("pareto"));
+    }
+
+    fn async_execution(quorum: usize) -> ExecutionSpec {
+        ExecutionSpec::AsyncQuorum {
+            quorum,
+            max_staleness: 2,
+            network: NetworkModel {
+                latency: LatencyModel::Uniform {
+                    min_nanos: 1_000,
+                    max_nanos: 100_000,
+                },
+                nanos_per_byte: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn async_quorum_specs_round_trip_and_cross_validate() {
+        // n = 9, f = 2: quorum must sit in [7, 9] and satisfy the rule's
+        // precondition against the quorum size.
+        let mut s = spec();
+        s.execution = async_execution(7);
+        s.validate().unwrap();
+        assert_eq!(s.execution.aggregation_arity(9), 7);
+        let json = s.to_json().unwrap();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, s);
+
+        let mut bad = spec();
+        bad.execution = async_execution(6); // < n - f
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.execution = async_execution(10); // > n
+        assert!(bad.validate().is_err());
+
+        // Krum needs 2f + 2 < quorum: f = 3 at n = 10 is fine for the
+        // barrier (2·3 + 2 < 10) but not for a quorum of 7 (2·3 + 2 >= 7).
+        let mut bad = spec();
+        bad.cluster = ClusterSpec::new(10, 3).unwrap();
+        bad.execution = async_execution(7);
+        assert!(
+            matches!(bad.validate(), Err(ScenarioError::Rule(_))),
+            "Krum's precondition must be held against the quorum size"
+        );
+        let mut ok = spec();
+        ok.cluster = ClusterSpec::new(10, 3).unwrap();
+        ok.execution = async_execution(9);
+        ok.validate().unwrap();
+
+        // The Pareto tail index is validated through the spec too.
+        let mut bad = spec();
+        bad.execution = ExecutionSpec::AsyncQuorum {
+            quorum: 7,
+            max_staleness: 2,
+            network: NetworkModel {
+                latency: LatencyModel::Pareto {
+                    min_nanos: 10,
+                    alpha: f64::NAN,
+                },
+                nanos_per_byte: 0.0,
+            },
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    /// Satellite: the Figure-2 collusion with f = 1 degenerates to zero
+    /// decoys; scenario cross-validation rejects it with a clear error.
+    #[test]
+    fn collusion_with_f1_is_rejected_by_scenario_validation() {
+        let mut bad = spec();
+        bad.cluster = ClusterSpec::new(9, 1).unwrap();
+        bad.attack = AttackSpec::Collusion { magnitude: 100.0 };
+        let err = bad.validate().unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Attack(_)),
+            "expected an attack cross-validation error, got: {err}"
+        );
+        assert!(err.to_string().contains("f >= 2"), "got: {err}");
+        // f = 2 runs the real construction.
+        let mut ok = spec();
+        ok.cluster = ClusterSpec::new(9, 2).unwrap();
+        ok.attack = AttackSpec::Collusion { magnitude: 100.0 };
+        ok.validate().unwrap();
     }
 }

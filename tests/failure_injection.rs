@@ -82,9 +82,11 @@ impl GradientEstimator for PoisonedEstimator {
 }
 
 #[test]
-fn nan_gradients_are_detected_as_divergence_not_panics() {
-    // One honest worker starts emitting NaN after 5 rounds. Nothing panics;
-    // the history's divergence flag fires so the operator can see it.
+fn nan_gradients_become_structured_errors_not_silent_garbage() {
+    // One honest worker starts emitting NaN after 5 rounds. Averaging would
+    // propagate the NaN into the parameters and silently corrupt every later
+    // round; the engine must refuse to step instead, naming the round and
+    // the rule (and nothing panics).
     let dim = 6;
     let cluster = ClusterSpec::new(5, 0).unwrap();
     let mut estimators = quadratic_estimators(4, dim, 0.1);
@@ -97,9 +99,12 @@ fn nan_gradients_are_detected_as_divergence_not_panics() {
         config(20, dim),
     )
     .unwrap();
-    let (params, history) = trainer.run(Vector::filled(dim, 2.0)).unwrap();
-    assert!(!params.is_finite(), "averaging propagates the NaN");
-    assert!(history.summary().diverged, "divergence must be reported");
+    let err = trainer.run(Vector::filled(dim, 2.0)).unwrap_err();
+    assert!(
+        matches!(err, krum::dist::TrainError::PoisonedRound { round: 5, .. }),
+        "expected a PoisonedRound error at round 5, got: {err}"
+    );
+    assert!(err.to_string().contains("average"));
 }
 
 #[test]

@@ -1,0 +1,83 @@
+//! End-to-end NaN-poisoning coverage (satellite of the async-quorum PR):
+//! a registered attack emitting non-finite proposals, run through
+//! `Scenario::run()` for **every** registered rule, must yield either a
+//! structured error or a fully finite trajectory — never a panic and never
+//! a silently bogus (NaN-filled) history.
+
+use krum::aggregation::{RuleSpec, RULE_NAMES};
+use krum::attacks::AttackSpec;
+use krum::models::EstimatorSpec;
+use krum::scenario::{ScenarioBuilder, ScenarioError};
+
+fn poisoned_run(rule: RuleSpec) -> Result<krum::scenario::ScenarioReport, ScenarioError> {
+    ScenarioBuilder::new(9, 2)
+        .rule(rule)
+        .attack(AttackSpec::NonFinite)
+        .estimator(EstimatorSpec::GaussianQuadratic { dim: 5, sigma: 0.2 })
+        .rounds(12)
+        .eval_every(3)
+        .seed(11)
+        .init_fill(1.0)
+        .run()
+}
+
+#[test]
+fn every_registered_rule_survives_or_errors_structurally_under_nan_poisoning() {
+    let mut errored = Vec::new();
+    let mut survived = Vec::new();
+    for spec in RuleSpec::all() {
+        match poisoned_run(spec) {
+            Err(e) => {
+                // A structured error naming what went wrong — never a panic.
+                assert!(!e.to_string().is_empty());
+                errored.push(spec.name());
+            }
+            Ok(report) => {
+                // A rule that filters the poison must deliver a *fully*
+                // finite trajectory: params, aggregates and losses.
+                assert!(
+                    report.final_params.is_finite(),
+                    "rule {spec} returned non-finite parameters without erroring"
+                );
+                for r in &report.history.rounds {
+                    assert!(
+                        r.aggregate_norm.is_finite(),
+                        "rule {spec}: non-finite aggregate at round {}",
+                        r.round
+                    );
+                    if let Some(loss) = r.loss {
+                        assert!(loss.is_finite(), "rule {spec}: non-finite loss");
+                    }
+                }
+                assert!(!report.summary().diverged, "rule {spec}");
+                survived.push(spec.name());
+            }
+        }
+    }
+    assert_eq!(errored.len() + survived.len(), RULE_NAMES.len());
+    // The robust selection/trimming rules filter a 2-of-9 NaN minority…
+    for expected in ["krum", "multi-krum", "median", "trimmed-mean"] {
+        assert!(
+            survived.contains(&expected),
+            "{expected} should survive NaN poisoning, but errored ({survived:?})"
+        );
+    }
+    // …while the linear rules cannot, and must fail structurally rather
+    // than silently stepping on NaN.
+    assert!(
+        errored.contains(&"average"),
+        "average must report the poisoned round ({errored:?})"
+    );
+}
+
+#[test]
+fn krum_trajectory_under_nan_poisoning_never_selects_a_byzantine_worker() {
+    let report = poisoned_run(RuleSpec::Krum).expect("krum filters the poison");
+    let stats = report.history.selection_stats();
+    assert_eq!(stats.total(), 12, "every round attributes a selection");
+    assert_eq!(
+        stats.byzantine_selected(),
+        0,
+        "a NaN proposal must never win Krum's minimisation"
+    );
+}

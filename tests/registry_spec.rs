@@ -54,7 +54,7 @@ fn rule_spec(seed: usize, param: usize) -> RuleSpec {
 
 /// A generator covering every [`AttackSpec`] variant.
 fn attack_spec(seed: usize, param: f64) -> AttackSpec {
-    match seed % 9 {
+    match seed % 12 {
         0 => AttackSpec::None,
         1 => AttackSpec::ConstantTarget { fill: param },
         2 => AttackSpec::Collusion { magnitude: param },
@@ -65,9 +65,12 @@ fn attack_spec(seed: usize, param: f64) -> AttackSpec {
         7 => AttackSpec::Mimic {
             victim: param.abs() as usize,
         },
-        _ => AttackSpec::KrumAware {
+        8 => AttackSpec::KrumAware {
             aggressiveness: param,
         },
+        9 => AttackSpec::Straggler { scale: param },
+        10 => AttackSpec::LastToRespond { scale: param },
+        _ => AttackSpec::NonFinite,
     }
 }
 
@@ -112,7 +115,7 @@ proptest! {
     /// including non-round float parameters (f64 `Display` is exact).
     #[test]
     fn attack_specs_round_trip_display_fromstr(
-        seed in 0usize..9,
+        seed in 0usize..12,
         param in 1e-6f64..1e9,
     ) {
         let spec = attack_spec(seed, param);
@@ -130,7 +133,7 @@ proptest! {
     /// dimension never panics either.
     #[test]
     fn arbitrary_attack_specs_never_panic(
-        name_idx in 0usize..12,
+        name_idx in 0usize..15,
         key_idx in 0usize..6,
         value in -1e3f64..1e3,
         decoration in 0usize..6,
@@ -146,6 +149,9 @@ proptest! {
             "little-is-enough",
             "mimic",
             "krum-aware",
+            "straggler",
+            "last-to-respond",
+            "non-finite",
             "zeno",
             "",
             "sign-flip ",
