@@ -23,8 +23,12 @@ use std::path::{Path, PathBuf};
 
 use krum_attacks::{AttackSpec, ATTACK_NAMES};
 use krum_core::{RuleSpec, RULE_NAMES};
-use krum_dist::ClusterSpec;
-use krum_scenario::{ExecutionSpec, Scenario, ScenarioError, ScenarioReport, ScenarioSpec};
+use krum_dist::{ClusterSpec, LATENCY_MODEL_NAMES};
+use krum_scenario::{
+    ExecutionSpec, Scenario, ScenarioError, ScenarioReport, ScenarioSpec, EXECUTION_NAMES,
+};
+use krum_server::{run_loopback_jobs, run_worker, Server, ServerError};
+use krum_wire::{FRAME_NAMES, PROTOCOL_VERSION};
 use thiserror::Error;
 
 /// Errors raised by the command line.
@@ -36,6 +40,9 @@ pub enum CliError {
     /// A scenario failed to parse, validate, build or run.
     #[error("scenario error: {0}")]
     Scenario(#[from] ScenarioError),
+    /// The aggregation server, a worker session or a loopback run failed.
+    #[error("server error: {0}")]
+    Server(#[from] ServerError),
     /// A file could not be read or written.
     #[error("io error on `{path}`: {source}")]
     Io {
@@ -68,8 +75,27 @@ commands:
         --seed LIST|A..B   master seeds
         --quorum LIST|A..B quorum sizes (base must use AsyncQuorum execution)
         --rounds K         override the round count
+  serve <spec.json> [--listen ADDR] [--jobs K] [--out DIR] [--quiet]
+      Host the scenario as a networked aggregation service: workers connect
+      over TCP (krum-wire framing), rounds close on real arrival order, and
+      K jobs run concurrently (job k uses name#k and seed+k). Default
+      --listen 127.0.0.1:7878, --jobs 1. With --out, each finished job's
+      metrics are written to DIR/<name>.csv.
+
+  worker [--connect ADDR]
+      Join a serving aggregation server as one worker connection (honest
+      estimator or the adversary — the server assigns the role). Default
+      --connect 127.0.0.1:7878.
+
+  loopback <spec.json> [--jobs K] [--csv PATH] [--json PATH] [--quiet]
+      Serve the scenario and its workers inside one process over localhost
+      sockets (CI-friendly). With barrier rounds the trajectory is
+      bit-identical to `krum run` for the same spec; --csv / --json export
+      job 0's metrics, including the wire_bytes/arrival_nanos columns.
+
   list
-      Print every rule, attack and workload kind the registries know.
+      Print every rule, attack, workload kind, execution strategy and
+      latency model the registries know, and the wire-protocol version.
 
   template
       Print an example scenario JSON to adapt.
@@ -102,6 +128,37 @@ pub enum Command {
         /// Suppress per-cell summary rows.
         quiet: bool,
     },
+    /// `krum serve`.
+    Serve {
+        /// Path of the scenario JSON file.
+        spec_path: String,
+        /// Listen address (`host:port`).
+        listen: String,
+        /// Number of concurrent jobs.
+        jobs: usize,
+        /// Directory receiving one CSV per finished job.
+        out: Option<String>,
+        /// Suppress progress output.
+        quiet: bool,
+    },
+    /// `krum worker`.
+    Worker {
+        /// Server address to connect to.
+        connect: String,
+    },
+    /// `krum loopback`.
+    Loopback {
+        /// Path of the scenario JSON file.
+        spec_path: String,
+        /// Number of concurrent jobs.
+        jobs: usize,
+        /// Optional CSV export path (job 0).
+        csv: Option<String>,
+        /// Optional JSON export path (job 0).
+        json: Option<String>,
+        /// Suppress the summary (exports still happen).
+        quiet: bool,
+    },
     /// `krum list`.
     List,
     /// `krum template`.
@@ -109,6 +166,9 @@ pub enum Command {
     /// `krum help`.
     Help,
 }
+
+/// Default address for `krum serve --listen` / `krum worker --connect`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 /// The axes of a cartesian sweep; empty axes keep the base spec's value.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -163,6 +223,74 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 spec_path.ok_or_else(|| usage("`run` needs a scenario file".to_string()))?;
             Ok(Command::Run {
                 spec_path,
+                csv,
+                json,
+                quiet,
+            })
+        }
+        Some("serve") => {
+            let mut spec_path = None;
+            let mut listen = DEFAULT_ADDR.to_string();
+            let mut jobs = 1usize;
+            let mut out = None;
+            let mut quiet = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--listen" => listen = expect_value(&mut it, "--listen")?,
+                    "--jobs" => jobs = parse_count(&expect_value(&mut it, "--jobs")?, "--jobs")?,
+                    "--out" => out = Some(expect_value(&mut it, "--out")?),
+                    "--quiet" => quiet = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(usage(format!("unknown `serve` option `{flag}`")))
+                    }
+                    path if spec_path.is_none() => spec_path = Some(path.to_string()),
+                    extra => return Err(usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let spec_path =
+                spec_path.ok_or_else(|| usage("`serve` needs a scenario file".to_string()))?;
+            Ok(Command::Serve {
+                spec_path,
+                listen,
+                jobs,
+                out,
+                quiet,
+            })
+        }
+        Some("worker") => {
+            let mut connect = DEFAULT_ADDR.to_string();
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--connect" => connect = expect_value(&mut it, "--connect")?,
+                    extra => return Err(usage(format!("unknown `worker` option `{extra}`"))),
+                }
+            }
+            Ok(Command::Worker { connect })
+        }
+        Some("loopback") => {
+            let mut spec_path = None;
+            let mut jobs = 1usize;
+            let mut csv = None;
+            let mut json = None;
+            let mut quiet = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--jobs" => jobs = parse_count(&expect_value(&mut it, "--jobs")?, "--jobs")?,
+                    "--csv" => csv = Some(expect_value(&mut it, "--csv")?),
+                    "--json" => json = Some(expect_value(&mut it, "--json")?),
+                    "--quiet" => quiet = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(usage(format!("unknown `loopback` option `{flag}`")))
+                    }
+                    path if spec_path.is_none() => spec_path = Some(path.to_string()),
+                    extra => return Err(usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let spec_path =
+                spec_path.ok_or_else(|| usage("`loopback` needs a scenario file".to_string()))?;
+            Ok(Command::Loopback {
+                spec_path,
+                jobs,
                 csv,
                 json,
                 quiet,
@@ -233,6 +361,16 @@ fn expect_value<'a>(
     it.next()
         .map(str::to_string)
         .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// Parses a strictly positive count (e.g. `--jobs`).
+fn parse_count(raw: &str, flag: &str) -> Result<usize, CliError> {
+    let malformed = || CliError::Usage(format!("{flag} expects a positive integer, got `{raw}`"));
+    let value: usize = raw.trim().parse().map_err(|_| malformed())?;
+    if value == 0 {
+        return Err(malformed());
+    }
+    Ok(value)
 }
 
 fn split_list(raw: &str) -> impl Iterator<Item = &str> {
@@ -499,6 +637,25 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                  Softmax | Mlp\n    data: LinearRegression | LogisticRegression | SyntheticDigits"
             )
             .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            writeln!(
+                out,
+                "\nexecution strategies (\"execution\" field):\n  {}",
+                EXECUTION_NAMES.join("\n  ")
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            writeln!(
+                out,
+                "\nlatency models (simulated \"network.latency\" field):\n  {}",
+                LATENCY_MODEL_NAMES.join("\n  ")
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            writeln!(
+                out,
+                "\nwire protocol (krum serve / worker / loopback): v{PROTOCOL_VERSION}\n  \
+                 frames: {}",
+                FRAME_NAMES.join(", ")
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
         }
         Command::Template => {
             let json = template_spec().to_json()?;
@@ -523,6 +680,110 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                     .map_err(|e| io_err(Path::new("<stdout>"), e))?;
                 writeln!(out, "{}", summary_line(&report))
                     .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                for path in csv.iter().chain(json.iter()) {
+                    writeln!(out, "wrote {path}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                }
+            }
+        }
+        Command::Serve {
+            spec_path,
+            listen,
+            jobs,
+            out: out_dir,
+            quiet,
+        } => {
+            let spec = ScenarioSpec::from_json(&read_file(&spec_path)?)?;
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).map_err(|e| io_err(Path::new(dir), e))?;
+            }
+            let server = Server::bind(&listen, spec, jobs)?;
+            let addr = server.local_addr()?;
+            let per_job = server.connections_per_job();
+            if !quiet {
+                writeln!(
+                    out,
+                    "serving on {addr}: {jobs} job(s), {per_job} worker connection(s) each \
+                     (start them with `krum worker --connect {addr}`)"
+                )
+                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
+            let outcomes = server.run()?;
+            let mut failed = 0usize;
+            for outcome in outcomes {
+                match outcome.result {
+                    Err(e) => {
+                        failed += 1;
+                        if !quiet {
+                            writeln!(out, "job {} ({}): FAILED ({e})", outcome.job, outcome.name)
+                                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                        }
+                    }
+                    Ok(report) => {
+                        if let Some(dir) = &out_dir {
+                            let path: PathBuf =
+                                Path::new(dir).join(format!("{}.csv", report.spec.name));
+                            report.write_csv(&path).map_err(|e| export_err(&path, e))?;
+                        }
+                        if !quiet {
+                            writeln!(out, "{}", summary_line(&report))
+                                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                        }
+                    }
+                }
+            }
+            if failed > 0 {
+                return Err(CliError::Server(ServerError::Protocol(format!(
+                    "{failed} job(s) failed"
+                ))));
+            }
+        }
+        Command::Worker { connect } => {
+            let summary = run_worker(&*connect)?;
+            writeln!(
+                out,
+                "worker {} of job {} ({}): {} round(s), {} wire bytes, shutdown: {}",
+                summary.worker,
+                summary.job,
+                if summary.adversary {
+                    "adversary"
+                } else {
+                    "honest"
+                },
+                summary.rounds,
+                summary.wire_bytes,
+                summary.shutdown_reason
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+        }
+        Command::Loopback {
+            spec_path,
+            jobs,
+            csv,
+            json,
+            quiet,
+        } => {
+            let spec = ScenarioSpec::from_json(&read_file(&spec_path)?)?;
+            let reports = run_loopback_jobs(spec, jobs)?;
+            if let Some(path) = &csv {
+                reports[0]
+                    .write_csv(path)
+                    .map_err(|e| export_err(path, e))?;
+            }
+            if let Some(path) = &json {
+                reports[0]
+                    .write_json(path)
+                    .map_err(|e| export_err(path, e))?;
+            }
+            if !quiet {
+                for report in &reports {
+                    writeln!(
+                        out,
+                        "{} [loopback: {:.1} KiB/round on the wire]",
+                        summary_line(report),
+                        report.history.mean_wire_bytes() / 1024.0
+                    )
+                    .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+                }
                 for path in csv.iter().chain(json.iter()) {
                     writeln!(out, "wrote {path}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
                 }
@@ -683,6 +944,116 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_worker_and_loopback() {
+        let cmd = parse(&args(&[
+            "serve",
+            "spec.json",
+            "--listen",
+            "0.0.0.0:9000",
+            "--jobs",
+            "4",
+            "--out",
+            "reports",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                spec_path: "spec.json".into(),
+                listen: "0.0.0.0:9000".into(),
+                jobs: 4,
+                out: Some("reports".into()),
+                quiet: true,
+            }
+        );
+        // Defaults.
+        assert_eq!(
+            parse(&args(&["serve", "spec.json"])).unwrap(),
+            Command::Serve {
+                spec_path: "spec.json".into(),
+                listen: DEFAULT_ADDR.into(),
+                jobs: 1,
+                out: None,
+                quiet: false,
+            }
+        );
+        assert!(parse(&args(&["serve"])).is_err());
+        assert!(parse(&args(&["serve", "s.json", "--jobs", "0"])).is_err());
+        assert!(parse(&args(&["serve", "s.json", "--jobs", "many"])).is_err());
+        assert!(parse(&args(&["serve", "s.json", "--nope"])).is_err());
+
+        assert_eq!(
+            parse(&args(&["worker", "--connect", "10.0.0.1:7878"])).unwrap(),
+            Command::Worker {
+                connect: "10.0.0.1:7878".into(),
+            }
+        );
+        assert_eq!(
+            parse(&args(&["worker"])).unwrap(),
+            Command::Worker {
+                connect: DEFAULT_ADDR.into(),
+            }
+        );
+        assert!(parse(&args(&["worker", "extra"])).is_err());
+
+        let cmd = parse(&args(&[
+            "loopback",
+            "spec.json",
+            "--jobs",
+            "2",
+            "--csv",
+            "out.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Loopback {
+                spec_path: "spec.json".into(),
+                jobs: 2,
+                csv: Some("out.csv".into()),
+                json: None,
+                quiet: false,
+            }
+        );
+        assert!(parse(&args(&["loopback"])).is_err());
+        assert!(parse(&args(&["loopback", "a.json", "b.json"])).is_err());
+    }
+
+    /// Satellite: `krum loopback` drives the full server + workers in one
+    /// process and its exported CSV carries the wire columns.
+    #[test]
+    fn execute_loopback_runs_and_exports() {
+        let dir = std::env::temp_dir().join(format!("krum-cli-loopback-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = template_spec();
+        spec.rounds = 5;
+        spec.eval_every = 5;
+        let spec_path = dir.join("spec.json");
+        std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
+        let csv_path = dir.join("loopback.csv");
+        let mut out = Vec::new();
+        execute(
+            Command::Loopback {
+                spec_path: spec_path.display().to_string(),
+                jobs: 1,
+                csv: Some(csv_path.display().to_string()),
+                json: None,
+                quiet: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("loopback:"), "got: {text}");
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.contains("wire_bytes"));
+        assert!(csv.contains("# execution: sequential"));
+        assert_eq!(csv.lines().filter(|l| !l.starts_with('#')).count(), 1 + 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn axis_parsing_accepts_lists_and_ranges() {
         assert_eq!(parse_axis("2..6", "--f").unwrap(), vec![2, 3, 4, 5, 6]);
         assert_eq!(parse_axis("7", "--f").unwrap(), vec![7]);
@@ -792,6 +1163,19 @@ mod tests {
         assert!(text.contains("krum"));
         assert!(text.contains("sign-flip"));
         assert!(text.contains("GaussianQuadratic"));
+        // Satellite: the discoverability gap left by PR 3/4 is closed —
+        // execution strategies, latency models and the wire protocol all
+        // print.
+        for name in EXECUTION_NAMES {
+            assert!(text.contains(name), "missing execution strategy {name}");
+        }
+        for name in LATENCY_MODEL_NAMES {
+            assert!(text.contains(name), "missing latency model {name}");
+        }
+        assert!(text.contains(&format!(
+            "wire protocol (krum serve / worker / loopback): v{PROTOCOL_VERSION}"
+        )));
+        assert!(text.contains("round-closed"));
 
         let mut out = Vec::new();
         execute(Command::Template, &mut out).unwrap();

@@ -42,7 +42,7 @@
 use std::time::Instant;
 
 use krum_attacks::{Attack, AttackContext, AttackTiming};
-use krum_core::{AggregationContext, Aggregator, ExecutionPolicy};
+use krum_core::{Aggregator, ExecutionPolicy};
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
 use krum_tensor::Vector;
@@ -53,17 +53,22 @@ use rayon::prelude::*;
 use crate::config::{ClusterSpec, TrainingConfig};
 use crate::error::TrainError;
 use crate::network::NetworkModel;
-
-/// Callback measuring held-out accuracy of a parameter vector.
-pub(crate) type AccuracyProbe = Box<dyn Fn(&Vector) -> Option<f64> + Send + Sync>;
+use crate::round_core::{AccuracyProbe, RoundCore};
 
 /// Derives an independent RNG stream from the master seed.
-pub(crate) fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
+///
+/// Every source of randomness in a run — each honest worker, the adversary,
+/// the simulated network — is one stream of this family, so in-process and
+/// networked executions of the same scenario can consume identical draws:
+/// worker `w` uses `stream_rng(seed, w)`, the adversary uses
+/// [`ATTACK_STREAM`]. Public so `krum-server`'s remote workers reproduce the
+/// in-process trajectories exactly.
+pub fn stream_rng(seed: u64, stream: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed ^ stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// RNG stream index reserved for the adversary.
-pub(crate) const ATTACK_STREAM: u64 = u64::MAX - 1;
+/// RNG stream index reserved for the adversary (see [`stream_rng`]).
+pub const ATTACK_STREAM: u64 = u64::MAX - 1;
 /// RNG stream index reserved for the simulated network.
 pub(crate) const NETWORK_STREAM: u64 = u64::MAX - 2;
 
@@ -246,8 +251,9 @@ fn forge_proposals(
 /// a reproducible trajectory.
 pub struct RoundEngine {
     cluster: ClusterSpec,
-    aggregator: Box<dyn Aggregator>,
-    aggregator_name: String,
+    /// The server half of the pipeline (aggregate → step → record), shared
+    /// with the networked execution world (`krum-server`).
+    core: RoundCore,
     attack: Box<dyn Attack>,
     attack_name: String,
     /// One estimator per honest worker.
@@ -255,8 +261,6 @@ pub struct RoundEngine {
     /// Dedicated metrics/adversary probe; when absent, `estimators[0]`
     /// serves the probe queries.
     probe: Option<Box<dyn GradientEstimator>>,
-    config: TrainingConfig,
-    accuracy_probe: Option<AccuracyProbe>,
     strategy: ExecutionStrategy,
     dim: usize,
     /// One independent RNG per honest worker.
@@ -274,10 +278,6 @@ pub struct RoundEngine {
     /// `(worker, issued_round)` per entry of `quorum_vectors`, to attribute
     /// selections back to workers.
     quorum_meta: Vec<(usize, usize)>,
-    /// Reusable aggregation workspace — the server's hot path performs zero
-    /// steady-state heap allocations through it under the barrier
-    /// strategies.
-    ctx: AggregationContext,
 }
 
 impl RoundEngine {
@@ -361,22 +361,20 @@ impl RoundEngine {
                 )));
             }
         }
+        let seed = config.seed;
         let worker_rngs = (0..cluster.honest())
-            .map(|w| stream_rng(config.seed, w as u64))
+            .map(|w| stream_rng(seed, w as u64))
             .collect();
         let proposals = vec![Vector::zeros(dim); cluster.workers()];
         Ok(Self {
             cluster,
-            aggregator_name: aggregator.name(),
-            aggregator,
+            core: RoundCore::new(cluster, aggregator, config, dim)?,
             attack_name: attack.name(),
             attack,
             estimators,
             probe,
-            attack_rng: stream_rng(config.seed, ATTACK_STREAM),
-            network_rng: stream_rng(config.seed, NETWORK_STREAM),
-            config,
-            accuracy_probe: None,
+            attack_rng: stream_rng(seed, ATTACK_STREAM),
+            network_rng: stream_rng(seed, NETWORK_STREAM),
             strategy,
             dim,
             worker_rngs,
@@ -384,20 +382,19 @@ impl RoundEngine {
             pending: Vec::new(),
             quorum_vectors: Vec::new(),
             quorum_meta: Vec::new(),
-            ctx: AggregationContext::new(),
         })
     }
 
     /// Attaches a held-out accuracy probe, called on evaluation rounds with
     /// the current parameters.
     pub fn set_accuracy_probe(&mut self, probe: AccuracyProbe) {
-        self.accuracy_probe = Some(probe);
+        self.core.set_accuracy_probe(probe);
     }
 
     /// Overrides the aggregation workspace's execution policy (e.g. force
     /// [`ExecutionPolicy::Sequential`] for allocation-free profiling).
     pub fn set_aggregation_policy(&mut self, policy: ExecutionPolicy) {
-        self.ctx.set_policy(policy);
+        self.core.set_aggregation_policy(policy);
     }
 
     /// The cluster this engine drives.
@@ -417,7 +414,7 @@ impl RoundEngine {
 
     /// The training configuration.
     pub fn config(&self) -> &TrainingConfig {
-        &self.config
+        self.core.config()
     }
 
     fn probe_estimator(&self) -> &dyn GradientEstimator {
@@ -439,7 +436,8 @@ impl RoundEngine {
     pub fn run(&mut self, start: Vector) -> Result<(Vector, TrainingHistory), TrainError> {
         let mut params = start;
         let mut history = self.new_history();
-        for round in 0..self.config.rounds {
+        let rounds = self.core.config().rounds;
+        for round in 0..rounds {
             let record = self.step(&mut params, round)?;
             history.push(record);
         }
@@ -530,7 +528,7 @@ impl RoundEngine {
             byzantine,
             self.cluster.workers(),
             round,
-            &self.aggregator_name,
+            self.core.aggregator_name(),
             self.dim,
         )?;
         for (slot, proposal) in self.proposals[honest..].iter_mut().zip(forged) {
@@ -538,23 +536,16 @@ impl RoundEngine {
         }
         let attack_nanos = attack_start.elapsed().as_nanos();
 
-        // Phase 4: aggregate — the paper's O(n²·d) server-side hot path,
-        // through the reused workspace (no steady-state allocations).
-        let aggregation_start = Instant::now();
-        self.aggregator
-            .aggregate_in(&mut self.ctx, &self.proposals)?;
-        let aggregation_nanos = aggregation_start.elapsed().as_nanos();
-
-        // Phases 5+6: step + record.
-        let mut record = self.apply_update_and_record(
-            params,
-            round,
-            true_gradient,
-            propose_nanos,
-            attack_nanos,
-            aggregation_nanos,
-            round_start,
-        )?;
+        // Phases 4–6: aggregate → step → record through the shared core —
+        // the paper's O(n²·d) server-side hot path, through the reused
+        // workspace (no steady-state allocations).
+        let probe = self.probe.as_deref().unwrap_or(&*self.estimators[0]);
+        let mut record =
+            self.core
+                .close_round(params, round, &self.proposals, true_gradient, Some(probe))?;
+        record.propose_nanos = propose_nanos;
+        record.attack_nanos = attack_nanos;
+        record.round_nanos = round_start.elapsed().as_nanos();
 
         // The simulated network (threaded strategy) charges the synchronous
         // barrier's communication time on top of the measured wall clock.
@@ -625,7 +616,7 @@ impl RoundEngine {
                 byzantine,
                 self.cluster.workers(),
                 round,
-                &self.aggregator_name,
+                self.core.aggregator_name(),
                 self.dim,
             )?),
             AttackTiming::LastToRespond => None,
@@ -737,7 +728,7 @@ impl RoundEngine {
                 byzantine,
                 self.cluster.workers(),
                 round,
-                &self.aggregator_name,
+                self.core.aggregator_name(),
                 self.dim,
             )?;
             for (b, vector) in forged.into_iter().enumerate() {
@@ -828,25 +819,22 @@ impl RoundEngine {
         }
         let pending_carryover = self.pending.len();
 
-        // Phase 4: aggregate over the partial set. The rule was built for
-        // `quorum` proposals, so its preconditions (Krum's `2f + 2 < n`)
-        // hold against the quorum size.
-        let aggregation_start = Instant::now();
-        self.aggregator
-            .aggregate_in(&mut self.ctx, &self.quorum_vectors)?;
-        let aggregation_nanos = aggregation_start.elapsed().as_nanos();
-
-        // Phases 5+6: step + record (selection attribution is remapped
-        // through the quorum below).
-        let mut record = self.apply_update_and_record(
+        // Phases 4–6: aggregate → step → record over the partial set,
+        // through the shared core. The rule was built for `quorum`
+        // proposals, so its preconditions (Krum's `2f + 2 < n`) hold
+        // against the quorum size; selection attribution is remapped
+        // through the quorum below.
+        let probe = self.probe.as_deref().unwrap_or(&*self.estimators[0]);
+        let mut record = self.core.close_round(
             params,
             round,
+            &self.quorum_vectors,
             true_gradient,
-            propose_nanos,
-            attack_nanos,
-            aggregation_nanos,
-            round_start,
+            Some(probe),
         )?;
+        record.propose_nanos = propose_nanos;
+        record.attack_nanos = attack_nanos;
+        record.round_nanos = round_start.elapsed().as_nanos();
         record.selected_worker = record.selected_worker.map(|slot| self.quorum_meta[slot].0);
         record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
         record.quorum_size = Some(quorum_size);
@@ -859,76 +847,18 @@ impl RoundEngine {
         Ok(record)
     }
 
-    /// Phases 5+6 shared by both step paths: check the aggregate for NaN
-    /// poisoning, apply the SGD update, and fill the round record (with
-    /// selection attributed by raw aggregation index — the async path remaps
-    /// it through the quorum afterwards).
-    #[allow(clippy::too_many_arguments)]
-    fn apply_update_and_record(
-        &mut self,
-        params: &mut Vector,
-        round: usize,
-        true_gradient: Option<Vector>,
-        propose_nanos: u128,
-        attack_nanos: u128,
-        aggregation_nanos: u128,
-        round_start: Instant,
-    ) -> Result<RoundRecord, TrainError> {
-        let aggregation = self.ctx.output();
-
-        // A NaN aggregate means the round was poisoned beyond what the rule
-        // could filter (e.g. averaging over a NaN proposal). Stepping on it
-        // would silently corrupt every later round — fail structurally
-        // instead. (±∞ is left to the divergence reporting in
-        // `ConvergenceSummary`: overflowing runs are a legitimate
-        // experimental outcome, garbage is not.)
-        if aggregation.value.iter().any(|x| x.is_nan()) {
-            return Err(TrainError::PoisonedRound {
-                round,
-                aggregator: self.aggregator_name.clone(),
-            });
-        }
-
-        // Phase 5: step — apply the SGD update.
-        let learning_rate = self.config.schedule.rate(round);
-        params.axpy(-learning_rate, &aggregation.value);
-
-        // Phase 6: record.
-        let mut record = RoundRecord::new(round, aggregation.value.norm(), learning_rate);
-        record.propose_nanos = propose_nanos;
-        record.attack_nanos = attack_nanos;
-        record.aggregation_nanos = aggregation_nanos;
-        record.selected_worker = aggregation.selected_index();
-        record.selected_byzantine = record.selected_worker.map(|w| w >= self.cluster.honest());
-        if let Some(gradient) = &true_gradient {
-            record.true_gradient_norm = Some(gradient.norm());
-            record.alignment = aggregation.value.cosine_similarity(gradient);
-        }
-        if let Some(optimum) = &self.config.known_optimum {
-            record.distance_to_optimum = Some(params.distance(optimum));
-        }
-        if self.config.eval_due(round) {
-            record.loss = self.probe_estimator().loss(params);
-            if let Some(probe) = &self.accuracy_probe {
-                record.accuracy = probe(params);
-            }
-        }
-        record.round_nanos = round_start.elapsed().as_nanos();
-        Ok(record)
-    }
-
     /// Metadata-filled empty history for a run of this engine.
     pub fn new_history(&self) -> TrainingHistory {
         TrainingHistory::new(
             format!(
                 "{} vs {} (n={}, f={}, d={})",
-                self.aggregator_name,
+                self.core.aggregator_name(),
                 self.attack_name,
                 self.cluster.workers(),
                 self.cluster.byzantine(),
                 self.dim
             ),
-            self.aggregator_name.clone(),
+            self.core.aggregator_name().to_string(),
             self.attack_name.clone(),
             self.cluster.workers(),
             self.cluster.byzantine(),

@@ -38,13 +38,15 @@ mod config;
 mod engine;
 mod error;
 mod network;
+mod round_core;
 mod sync;
 mod threaded;
 
 pub use config::{ClusterSpec, LearningRateSchedule, TrainingConfig};
-pub use engine::{ExecutionStrategy, RoundEngine};
+pub use engine::{stream_rng, ExecutionStrategy, RoundEngine, ATTACK_STREAM};
 pub use error::TrainError;
-pub use network::{LatencyModel, NetworkModel};
+pub use network::{LatencyModel, NetworkModel, LATENCY_MODEL_NAMES};
+pub use round_core::{AccuracyProbe, RoundCore};
 pub use sync::SyncTrainer;
 pub use threaded::ThreadedTrainer;
 

@@ -7,6 +7,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::TrainError;
 
+/// Canonical lowercase names of every [`LatencyModel`] variant (shown by
+/// `krum list`).
+pub const LATENCY_MODEL_NAMES: &[&str] = &["constant", "uniform", "pareto"];
+
 /// One-way message latency model for the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum LatencyModel {

@@ -1,0 +1,271 @@
+//! The server half of the round pipeline, exposed as a reusable hook.
+//!
+//! [`RoundCore`] owns what the parameter *server* owns — the aggregation
+//! rule, the reusable [`AggregationContext`], the training configuration and
+//! the metrics probes — and exposes one operation:
+//! [`close_round`](RoundCore::close_round) takes the proposals of a round
+//! (however they were collected: computed in-process by [`RoundEngine`]
+//! (crate::RoundEngine), or arrived as bytes on sockets in `krum-server`)
+//! and runs the tail of the pipeline: **aggregate → step → record**.
+//!
+//! Before this type existed the tail lived as a private closure of the
+//! in-process engine, so a networked server would have had to duplicate the
+//! NaN-poisoning check, the learning-rate schedule and the record layout.
+//! Now both execution worlds share one implementation, which is what makes
+//! the loopback server reproduce in-process trajectories bit-for-bit.
+
+use std::time::Instant;
+
+use krum_core::{AggregationContext, Aggregator, ExecutionPolicy};
+use krum_metrics::RoundRecord;
+use krum_models::GradientEstimator;
+use krum_tensor::Vector;
+
+use crate::config::{ClusterSpec, TrainingConfig};
+use crate::error::TrainError;
+
+/// Callback measuring held-out accuracy of a parameter vector.
+pub type AccuracyProbe = Box<dyn Fn(&Vector) -> Option<f64> + Send + Sync>;
+
+/// The server-side round state shared by every execution world: the
+/// aggregation rule behind its zero-allocation workspace, the SGD schedule,
+/// and the metrics probes. See the module docs for the design rationale.
+pub struct RoundCore {
+    cluster: ClusterSpec,
+    aggregator: Box<dyn Aggregator>,
+    aggregator_name: String,
+    config: TrainingConfig,
+    dim: usize,
+    /// Reusable aggregation workspace — zero steady-state heap allocations
+    /// on the aggregation path.
+    ctx: AggregationContext,
+    accuracy_probe: Option<AccuracyProbe>,
+}
+
+impl RoundCore {
+    /// Builds the core, validating the configuration against the model
+    /// dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when the training configuration
+    /// is invalid, `dim` is zero, or the known optimum has the wrong
+    /// dimension.
+    pub fn new(
+        cluster: ClusterSpec,
+        aggregator: Box<dyn Aggregator>,
+        config: TrainingConfig,
+        dim: usize,
+    ) -> Result<Self, TrainError> {
+        config.validate()?;
+        if dim == 0 {
+            return Err(TrainError::config("model dimension must be >= 1"));
+        }
+        if let Some(optimum) = &config.known_optimum {
+            if optimum.dim() != dim {
+                return Err(TrainError::config(format!(
+                    "known optimum has dimension {}, expected {dim}",
+                    optimum.dim()
+                )));
+            }
+        }
+        Ok(Self {
+            cluster,
+            aggregator_name: aggregator.name(),
+            aggregator,
+            config,
+            dim,
+            ctx: AggregationContext::new(),
+            accuracy_probe: None,
+        })
+    }
+
+    /// The cluster this core serves.
+    pub fn cluster(&self) -> ClusterSpec {
+        self.cluster
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Display name of the aggregation rule.
+    pub fn aggregator_name(&self) -> &str {
+        &self.aggregator_name
+    }
+
+    /// Attaches a held-out accuracy probe, called on evaluation rounds with
+    /// the post-update parameters.
+    pub fn set_accuracy_probe(&mut self, probe: AccuracyProbe) {
+        self.accuracy_probe = Some(probe);
+    }
+
+    /// Overrides the aggregation workspace's execution policy (e.g. force
+    /// [`ExecutionPolicy::Sequential`] for allocation-free profiling).
+    pub fn set_aggregation_policy(&mut self, policy: ExecutionPolicy) {
+        self.ctx.set_policy(policy);
+    }
+
+    /// Whether `round` is an evaluation round under the configured cadence
+    /// (the final round always is).
+    pub fn eval_due(&self, round: usize) -> bool {
+        self.config.eval_due(round)
+    }
+
+    /// Closes one round over externally collected `proposals`: aggregates
+    /// them through the reused workspace, rejects a NaN-poisoned aggregate,
+    /// applies the SGD step `x ← x − γ_t · F(…)` to `params` in place, and
+    /// returns the round's record.
+    ///
+    /// `true_gradient` (when the workload exposes one) fills the
+    /// alignment/gradient-norm metrics; `probe` serves the loss measurement
+    /// on evaluation rounds. The record's `selected_worker` is the raw
+    /// aggregation index — when the proposal slice is not in worker order
+    /// (partial quorums), the caller remaps it.
+    ///
+    /// Timing fields beyond `aggregation_nanos` (propose/attack/network/
+    /// round wall-clock, wire bytes) are the caller's to fill: only the
+    /// caller knows how the proposals travelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the aggregation rule fails, or
+    /// [`TrainError::PoisonedRound`] when the aggregate contains NaN —
+    /// stepping on it would silently corrupt every later round. (±∞ is left
+    /// to the divergence reporting: overflowing runs are a legitimate
+    /// experimental outcome, garbage is not.)
+    pub fn close_round(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+        proposals: &[Vector],
+        true_gradient: Option<Vector>,
+        probe: Option<&dyn GradientEstimator>,
+    ) -> Result<RoundRecord, TrainError> {
+        let aggregation_start = Instant::now();
+        self.aggregator.aggregate_in(&mut self.ctx, proposals)?;
+        let aggregation_nanos = aggregation_start.elapsed().as_nanos();
+        let aggregation = self.ctx.output();
+
+        // A NaN aggregate means the round was poisoned beyond what the rule
+        // could filter (e.g. averaging over a NaN proposal) — fail
+        // structurally instead of stepping onto garbage.
+        if aggregation.value.iter().any(|x| x.is_nan()) {
+            return Err(TrainError::PoisonedRound {
+                round,
+                aggregator: self.aggregator_name.clone(),
+            });
+        }
+
+        // Step: apply the SGD update.
+        let learning_rate = self.config.schedule.rate(round);
+        params.axpy(-learning_rate, &aggregation.value);
+
+        // Record.
+        let mut record = RoundRecord::new(round, aggregation.value.norm(), learning_rate);
+        record.aggregation_nanos = aggregation_nanos;
+        record.selected_worker = aggregation.selected_index();
+        record.selected_byzantine = record.selected_worker.map(|w| w >= self.cluster.honest());
+        if let Some(gradient) = &true_gradient {
+            record.true_gradient_norm = Some(gradient.norm());
+            record.alignment = aggregation.value.cosine_similarity(gradient);
+        }
+        if let Some(optimum) = &self.config.known_optimum {
+            record.distance_to_optimum = Some(params.distance(optimum));
+        }
+        if self.config.eval_due(round) {
+            if let Some(probe) = probe {
+                record.loss = probe.loss(params);
+            }
+            if let Some(accuracy) = &self.accuracy_probe {
+                record.accuracy = accuracy(params);
+            }
+        }
+        Ok(record)
+    }
+}
+
+impl std::fmt::Debug for RoundCore {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("RoundCore")
+            .field("cluster", &self.cluster)
+            .field("aggregator", &self.aggregator_name)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LearningRateSchedule;
+    use krum_core::{Average, Krum};
+
+    fn config(rounds: usize, dim: usize) -> TrainingConfig {
+        TrainingConfig {
+            rounds,
+            schedule: LearningRateSchedule::Constant { gamma: 0.5 },
+            seed: 1,
+            eval_every: 2,
+            known_optimum: Some(Vector::zeros(dim)),
+        }
+    }
+
+    #[test]
+    fn close_round_aggregates_steps_and_records() {
+        let cluster = ClusterSpec::new(5, 1).unwrap();
+        let mut core =
+            RoundCore::new(cluster, Box::new(Krum::new(5, 1).unwrap()), config(4, 3), 3).unwrap();
+        assert_eq!(core.dim(), 3);
+        assert_eq!(core.cluster().workers(), 5);
+        assert!(core.aggregator_name().contains("krum"));
+        assert!(core.eval_due(0) && !core.eval_due(1) && core.eval_due(3));
+
+        let proposals = vec![Vector::filled(3, 1.0); 5];
+        let mut params = Vector::filled(3, 2.0);
+        let record = core
+            .close_round(&mut params, 0, &proposals, None, None)
+            .unwrap();
+        // x ← x − 0.5 · (1, 1, 1).
+        assert!(params.distance(&Vector::filled(3, 1.5)) < 1e-12);
+        assert_eq!(record.round, 0);
+        assert_eq!(record.aggregate_norm, Vector::filled(3, 1.0).norm());
+        assert_eq!(record.selected_byzantine, Some(false));
+        assert!(record.distance_to_optimum.is_some());
+        assert!(record.aggregation_nanos > 0);
+        // Timing fields the caller owns stay zero.
+        assert_eq!(record.propose_nanos, 0);
+        assert_eq!(record.round_nanos, 0);
+    }
+
+    #[test]
+    fn close_round_rejects_nan_aggregates() {
+        let cluster = ClusterSpec::new(4, 1).unwrap();
+        let mut core = RoundCore::new(cluster, Box::new(Average::new()), config(2, 2), 2).unwrap();
+        let mut proposals = vec![Vector::filled(2, 1.0); 4];
+        proposals[3] = Vector::from(vec![f64::NAN, 0.0]);
+        let mut params = Vector::filled(2, 1.0);
+        let before = params.clone();
+        let err = core
+            .close_round(&mut params, 1, &proposals, None, None)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::PoisonedRound { round: 1, .. }));
+        // The poisoned step was not applied.
+        assert_eq!(params, before);
+    }
+
+    #[test]
+    fn construction_validates_dimension_and_optimum() {
+        let cluster = ClusterSpec::new(4, 1).unwrap();
+        assert!(RoundCore::new(cluster, Box::new(Average::new()), config(2, 2), 0).is_err());
+        let mut bad = config(2, 2);
+        bad.known_optimum = Some(Vector::zeros(5));
+        assert!(RoundCore::new(cluster, Box::new(Average::new()), bad, 2).is_err());
+    }
+}

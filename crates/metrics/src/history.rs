@@ -191,6 +191,32 @@ impl TrainingHistory {
         self.rounds.iter().filter_map(|r| r.dropped_stale).sum()
     }
 
+    /// Mean wire traffic per round in bytes, over the rounds that ran on a
+    /// real transport (`krum-server`); 0 when the run was in-process.
+    pub fn mean_wire_bytes(&self) -> f64 {
+        let values: Vec<u64> = self.rounds.iter().filter_map(|r| r.wire_bytes).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+    }
+
+    /// Total wire traffic of the run in bytes (0 when in-process).
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.rounds.iter().filter_map(|r| r.wire_bytes).sum()
+    }
+
+    /// Mean broadcast-to-quorum-close arrival latency per round in
+    /// nanoseconds, over the rounds that ran on a real transport; 0 when
+    /// the run was in-process.
+    pub fn mean_arrival_nanos(&self) -> f64 {
+        let values: Vec<u128> = self.rounds.iter().filter_map(|r| r.arrival_nanos).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+    }
+
     /// Builds a [`ConvergenceSummary`] over the recorded rounds.
     pub fn summary(&self) -> ConvergenceSummary {
         let losses: Vec<f64> = self.rounds.iter().filter_map(|r| r.loss).collect();
@@ -352,6 +378,27 @@ mod tests {
         let empty = TrainingHistory::new("e", "krum", "none", 4, 0);
         assert_eq!(empty.mean_quorum_size(), 0.0);
         assert_eq!(empty.total_dropped_stale(), 0);
+    }
+
+    /// Satellite: the wire statistics aggregate only over networked rounds
+    /// and report zero for in-process histories.
+    #[test]
+    fn wire_statistics_aggregate_over_networked_rounds() {
+        let mut h = TrainingHistory::new("w", "krum", "sign-flip", 9, 2);
+        for (i, (bytes, arrival)) in [(1_000u64, 500u128), (3_000, 1_500)].iter().enumerate() {
+            let mut r = RoundRecord::new(i, 1.0, 0.1);
+            r.wire_bytes = Some(*bytes);
+            r.arrival_nanos = Some(*arrival);
+            h.push(r);
+        }
+        h.push(RoundRecord::new(2, 1.0, 0.1)); // in-process round
+        assert!((h.mean_wire_bytes() - 2_000.0).abs() < 1e-12);
+        assert_eq!(h.total_wire_bytes(), 4_000);
+        assert!((h.mean_arrival_nanos() - 1_000.0).abs() < 1e-12);
+        let empty = TrainingHistory::new("e", "krum", "none", 4, 0);
+        assert_eq!(empty.mean_wire_bytes(), 0.0);
+        assert_eq!(empty.total_wire_bytes(), 0);
+        assert_eq!(empty.mean_arrival_nanos(), 0.0);
     }
 
     #[test]

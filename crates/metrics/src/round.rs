@@ -58,6 +58,15 @@ pub struct RoundRecord {
     pub dropped_stale: Option<usize>,
     /// In-flight proposals carried into the next round.
     pub pending_carryover: Option<usize>,
+    /// Bytes exchanged on the wire for this round (frames sent plus frames
+    /// received), when the round ran over a real transport (`krum-server`);
+    /// `None` for in-process execution.
+    pub wire_bytes: Option<u64>,
+    /// Wall-clock nanoseconds from the round's broadcast to the arrival
+    /// that closed its quorum, measured on a real transport; `None` for
+    /// in-process execution (where `network_nanos` carries the *simulated*
+    /// charge instead).
+    pub arrival_nanos: Option<u128>,
 }
 
 impl RoundRecord {
@@ -85,19 +94,22 @@ impl RoundRecord {
             max_staleness_in_quorum: None,
             dropped_stale: None,
             pending_carryover: None,
+            wire_bytes: None,
+            arrival_nanos: None,
         }
     }
 
     /// CSV header matching [`RoundRecord::to_csv_row`]. The timing columns
     /// follow the round pipeline: propose → attack → aggregate → network;
-    /// the trailing quorum/staleness columns are filled under async-quorum
-    /// execution and empty for barrier rounds.
+    /// the quorum/staleness columns are filled under async-quorum execution
+    /// and empty for barrier rounds; the trailing wire columns are filled
+    /// when the round ran over a real transport (`krum-server`).
     pub fn csv_header() -> &'static str {
         "round,loss,accuracy,true_gradient_norm,aggregate_norm,alignment,\
          distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
          propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos,\
          quorum_size,stale_in_quorum,max_staleness_in_quorum,dropped_stale,\
-         pending_carryover"
+         pending_carryover,wire_bytes,arrival_nanos"
     }
 
     /// Serialises the record as one CSV row (empty cells for `None`).
@@ -106,7 +118,7 @@ impl RoundRecord {
             v.as_ref().map(ToString::to_string).unwrap_or_default()
         }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             opt(&self.loss),
             opt(&self.accuracy),
@@ -127,6 +139,8 @@ impl RoundRecord {
             opt(&self.max_staleness_in_quorum),
             opt(&self.dropped_stale),
             opt(&self.pending_carryover),
+            opt(&self.wire_bytes),
+            opt(&self.arrival_nanos),
         )
     }
 }
@@ -165,8 +179,9 @@ mod tests {
         r.aggregation_nanos = 33;
         r.network_nanos = 44;
         r.round_nanos = 110;
-        // The trailing quorum/staleness cells are empty for barrier rounds.
-        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,"));
+        // The trailing quorum/staleness and wire cells are empty for
+        // in-process barrier rounds.
+        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,"));
     }
 
     #[test]
@@ -191,7 +206,22 @@ mod tests {
         r.max_staleness_in_quorum = Some(1);
         r.dropped_stale = Some(0);
         r.pending_carryover = Some(3);
-        assert!(r.to_csv_row().ends_with("8,2,1,0,3"));
+        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,"));
+    }
+
+    /// Satellite: the wire columns trail everything (they only apply to
+    /// networked rounds) and serialise as plain integers.
+    #[test]
+    fn wire_columns_trail_the_header_and_serialise() {
+        let header = RoundRecord::csv_header();
+        let carryover = header.find("pending_carryover").unwrap();
+        let wire = header.find("wire_bytes").unwrap();
+        let arrival = header.find("arrival_nanos").unwrap();
+        assert!(carryover < wire && wire < arrival);
+        let mut r = RoundRecord::new(2, 1.0, 0.1);
+        r.wire_bytes = Some(81_920);
+        r.arrival_nanos = Some(1_500_000);
+        assert!(r.to_csv_row().ends_with(",81920,1500000"));
     }
 
     #[test]

@@ -53,9 +53,9 @@ mod spec;
 
 pub use builder::ScenarioBuilder;
 pub use error::ScenarioError;
-pub use report::ScenarioReport;
+pub use report::{escape_metadata, ScenarioReport};
 pub use scenario::Scenario;
-pub use spec::{ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec};
+pub use spec::{ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec, EXECUTION_NAMES};
 
 /// Convenience prelude for the scenario crate.
 pub mod prelude {

@@ -9,6 +9,24 @@ use serde::{Deserialize, Serialize};
 use crate::error::ScenarioError;
 use crate::spec::ScenarioSpec;
 
+/// Escapes one metadata value for the CSV `#` comment header: backslashes,
+/// line breaks and commas are backslash-escaped (`\\`, `\n`, `\r`, `\,`) so
+/// every `# key: value` entry stays exactly one machine-parseable line no
+/// matter what the scenario name or a display string contains.
+pub fn escape_metadata(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            ',' => out.push_str("\\,"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Everything one [`Scenario::run`](crate::Scenario::run) produced: the spec
 /// it ran, the final parameters, the full per-round history (with per-phase
 /// timings) and the wall-clock total.
@@ -59,10 +77,21 @@ impl ScenarioReport {
         ]
     }
 
-    /// The metadata block as `# key: value` comment lines.
+    /// The metadata block as `# key: value` comment lines. Free-form and
+    /// display-derived values (scenario name, rule/attack/schedule/execution
+    /// displays) are escaped (see [`escape_metadata`]) so embedded newlines
+    /// or commas can never break the one-line-per-key comment structure or
+    /// a comma-splitting consumer. The `cluster` value keeps its structural
+    /// `n=…, f=…` comma, and the numeric fields cannot contain either.
     pub fn header(&self) -> String {
         let mut out = String::new();
         for (key, value) in self.metadata() {
+            let value = match key {
+                "scenario" | "rule" | "attack" | "schedule" | "execution" => {
+                    escape_metadata(&value)
+                }
+                _ => value,
+            };
             out.push_str(&format!("# {key}: {value}\n"));
         }
         out
@@ -160,6 +189,37 @@ mod tests {
         let cells = RoundRecord::csv_header().split(',').count();
         for row in &lines[header_idx + 1..] {
             assert_eq!(row.split(',').count(), cells, "well-formed row: {row}");
+        }
+    }
+
+    /// Satellite: a free-form scenario name (or any display-derived value)
+    /// containing commas, newlines or backslashes cannot break the
+    /// one-line-per-key `#` metadata structure.
+    #[test]
+    fn metadata_header_escapes_newlines_and_commas() {
+        assert_eq!(escape_metadata("plain"), "plain");
+        assert_eq!(escape_metadata("a,b"), "a\\,b");
+        assert_eq!(escape_metadata("a\nb\r"), "a\\nb\\r");
+        assert_eq!(escape_metadata("a\\n"), "a\\\\n");
+
+        let mut r = report();
+        r.spec.name = "evil,name\nsecond line\\".into();
+        let header = r.header();
+        assert_eq!(
+            header.lines().count(),
+            r.metadata().len(),
+            "one comment line per metadata key, no matter the name"
+        );
+        assert!(header.lines().all(|l| l.starts_with("# ")));
+        assert!(header.contains("# scenario: evil\\,name\\nsecond line\\\\"));
+        // The cluster value keeps its structural comma.
+        assert!(header.contains("# cluster: n=9, f=2"));
+        // The full CSV stays machine-parseable: comment lines then
+        // constant-arity rows.
+        let csv = r.to_csv();
+        let cells = RoundRecord::csv_header().split(',').count();
+        for line in csv.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(',').count(), cells, "row: {line}");
         }
     }
 

@@ -42,6 +42,14 @@ impl Scenario {
     /// [`ScenarioSpec::validate`]) or a component rejects its configuration.
     pub fn from_spec(spec: ScenarioSpec) -> Result<Self, ScenarioError> {
         spec.validate()?;
+        // Remote execution has no in-process strategy: the spec is valid,
+        // but only the server subsystem can run it.
+        let strategy = spec.execution.strategy().ok_or_else(|| {
+            ScenarioError::invalid(
+                "remote execution cannot run in-process: serve the scenario with \
+                 `krum serve` or `krum loopback` (krum-server)",
+            )
+        })?;
         let cluster = spec.cluster;
         let workload = spec.estimator.build(cluster.honest(), spec.seed)?;
         // Under async-quorum execution the rule aggregates `quorum`
@@ -68,7 +76,7 @@ impl Scenario {
             workload.estimators,
             workload.probe,
             config,
-            spec.execution.strategy(),
+            strategy,
         )?;
         if spec.probes.accuracy {
             if let Some(probe) = workload.accuracy {
@@ -258,6 +266,20 @@ mod tests {
         };
         let report = Scenario::from_spec(s).unwrap().run().unwrap();
         assert!(report.history.rounds[0].distance_to_optimum.is_none());
+    }
+
+    /// A `Remote` spec is valid data but not in-process-runnable: building
+    /// a `Scenario` from it fails with guidance towards the server.
+    #[test]
+    fn remote_execution_is_rejected_in_process_with_guidance() {
+        let mut s = spec();
+        s.execution = ExecutionSpec::Remote {
+            quorum: None,
+            max_staleness: 0,
+        };
+        s.validate().unwrap();
+        let err = Scenario::from_spec(s).unwrap_err();
+        assert!(err.to_string().contains("krum serve"), "got: {err}");
     }
 
     #[test]

@@ -35,41 +35,78 @@ pub enum ExecutionSpec {
         /// The simulated network deciding arrival order and charge.
         network: NetworkModel,
     },
+    /// Proposals arrive as bytes on real sockets and rounds close on real
+    /// arrival order — the `krum-server` subsystem (`krum serve` /
+    /// `krum loopback`). There is no simulated network: latencies are
+    /// whatever the transport delivers, recorded in the `arrival_nanos`
+    /// and `wire_bytes` columns. Not runnable by the in-process
+    /// [`Scenario::run`](crate::Scenario::run).
+    ///
+    /// Note on timing: over a real wire the omniscient adversary can only
+    /// respond *after* observing the honest proposals, so its vectors reach
+    /// a partial quorum as carried stragglers — exactly the in-process
+    /// `straggler` timing. With `quorum = n − f` and `max_staleness = 0`
+    /// the server never waits for them and every Byzantine proposal ages
+    /// out: the attack is structurally dropped (visible in the
+    /// `dropped_stale` column), which says something about staleness
+    /// bounds as a defence, not about the rule under test. Raise
+    /// `max_staleness` (or the quorum) to let the adversary compete.
+    Remote {
+        /// Proposals closing a round: `Some(q)` closes at the `q`-th
+        /// arrival (`n − f ≤ q ≤ n`) with PR-4 staleness/carry-over
+        /// semantics; `None` waits for the full barrier of `n`.
+        quorum: Option<usize>,
+        /// Maximum age (in rounds) an in-flight proposal may reach and
+        /// still be aggregated (only meaningful with a partial quorum).
+        max_staleness: usize,
+    },
 }
 
+/// Canonical lowercase names of every execution strategy the spec registry
+/// knows (shown by `krum list`).
+pub const EXECUTION_NAMES: &[&str] = &["sequential", "threaded", "async-quorum", "remote"];
+
 impl ExecutionSpec {
-    /// The engine strategy this spec selects.
-    pub fn strategy(&self) -> ExecutionStrategy {
+    /// The in-process engine strategy this spec selects, or `None` for
+    /// [`ExecutionSpec::Remote`] (which only the `krum-server` subsystem
+    /// can execute).
+    pub fn strategy(&self) -> Option<ExecutionStrategy> {
         match *self {
-            Self::Sequential => ExecutionStrategy::Sequential,
-            Self::Threaded { network } => ExecutionStrategy::Threaded { network },
+            Self::Sequential => Some(ExecutionStrategy::Sequential),
+            Self::Threaded { network } => Some(ExecutionStrategy::Threaded { network }),
             Self::AsyncQuorum {
                 quorum,
                 max_staleness,
                 network,
-            } => ExecutionStrategy::AsyncQuorum {
+            } => Some(ExecutionStrategy::AsyncQuorum {
                 quorum,
                 max_staleness,
                 network,
-            },
+            }),
+            Self::Remote { .. } => None,
         }
     }
 
     /// How many proposals the aggregation rule sees per round under this
-    /// execution: the quorum size for async execution, the full cluster
-    /// otherwise. The rule registry is driven with this value so rule
-    /// preconditions hold against what is actually aggregated.
+    /// execution: the quorum size for async/remote-quorum execution, the
+    /// full cluster otherwise. The rule registry is driven with this value
+    /// so rule preconditions hold against what is actually aggregated.
     pub fn aggregation_arity(&self, n: usize) -> usize {
         match *self {
-            Self::AsyncQuorum { quorum, .. } => quorum,
+            Self::AsyncQuorum { quorum, .. }
+            | Self::Remote {
+                quorum: Some(quorum),
+                ..
+            } => quorum,
             _ => n,
         }
     }
 
-    /// The simulated network, when this execution carries one.
+    /// The simulated network, when this execution carries one (remote
+    /// execution runs on the real one).
     pub fn network(&self) -> Option<NetworkModel> {
         match *self {
-            Self::Sequential => None,
+            Self::Sequential | Self::Remote { .. } => None,
             Self::Threaded { network } | Self::AsyncQuorum { network, .. } => Some(network),
         }
     }
@@ -77,7 +114,20 @@ impl ExecutionSpec {
 
 impl std::fmt::Display for ExecutionSpec {
     fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.strategy().fmt(out)
+        match self {
+            Self::Remote {
+                quorum: None,
+                max_staleness: _,
+            } => out.write_str("remote(barrier)"),
+            Self::Remote {
+                quorum: Some(q),
+                max_staleness,
+            } => write!(out, "remote(q={q}, staleness<={max_staleness})"),
+            other => other
+                .strategy()
+                .expect("non-remote specs have a strategy")
+                .fmt(out),
+        }
     }
 }
 
@@ -195,12 +245,20 @@ impl ScenarioSpec {
         let cluster = ClusterSpec::new(self.cluster.workers(), self.cluster.byzantine())?;
         self.estimator.validate()?;
         let dim = self.estimator.dim()?;
-        // Async execution narrows what the rule aggregates: its
+        // Async/remote execution narrows what the rule aggregates: its
         // preconditions must hold against the quorum size, not n.
-        if let ExecutionSpec::AsyncQuorum { quorum, .. } = self.execution {
+        let narrowed_quorum = match self.execution {
+            ExecutionSpec::AsyncQuorum { quorum, .. }
+            | ExecutionSpec::Remote {
+                quorum: Some(quorum),
+                ..
+            } => Some(quorum),
+            _ => None,
+        };
+        if let Some(quorum) = narrowed_quorum {
             if quorum < cluster.honest() || quorum > cluster.workers() {
                 return Err(ScenarioError::invalid(format!(
-                    "async quorum must satisfy n - f <= quorum <= n, got quorum = {quorum} \
+                    "quorum must satisfy n - f <= quorum <= n, got quorum = {quorum} \
                      with n = {}, f = {}",
                     cluster.workers(),
                     cluster.byzantine()
@@ -450,6 +508,59 @@ mod tests {
             },
         };
         assert!(bad.validate().is_err());
+    }
+
+    /// Tentpole: `Remote` execution round-trips, validates its quorum
+    /// bounds against the cluster, holds the rule precondition against the
+    /// remote arity, and deliberately has no in-process strategy.
+    #[test]
+    fn remote_specs_validate_display_and_round_trip() {
+        let mut s = spec();
+        s.execution = ExecutionSpec::Remote {
+            quorum: None,
+            max_staleness: 0,
+        };
+        s.validate().unwrap();
+        assert_eq!(s.execution.aggregation_arity(9), 9);
+        assert!(s.execution.network().is_none());
+        assert!(s.execution.strategy().is_none());
+        assert_eq!(s.execution.to_string(), "remote(barrier)");
+        let json = s.to_json().unwrap();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), s);
+
+        let mut q = spec();
+        q.execution = ExecutionSpec::Remote {
+            quorum: Some(7),
+            max_staleness: 2,
+        };
+        q.validate().unwrap();
+        assert_eq!(q.execution.aggregation_arity(9), 7);
+        assert_eq!(q.execution.to_string(), "remote(q=7, staleness<=2)");
+
+        for bad_quorum in [6, 10] {
+            let mut bad = spec();
+            bad.execution = ExecutionSpec::Remote {
+                quorum: Some(bad_quorum),
+                max_staleness: 2,
+            };
+            assert!(
+                bad.validate().is_err(),
+                "remote quorum {bad_quorum} must violate n - f <= q <= n at n = 9, f = 2"
+            );
+        }
+
+        // Krum's 2f + 2 < n precondition is held against the remote arity:
+        // f = 3 at n = 10 passes the barrier but not a quorum of 7.
+        let mut bad = spec();
+        bad.cluster = ClusterSpec::new(10, 3).unwrap();
+        bad.execution = ExecutionSpec::Remote {
+            quorum: Some(7),
+            max_staleness: 1,
+        };
+        assert!(matches!(bad.validate(), Err(ScenarioError::Rule(_))));
+
+        assert!(EXECUTION_NAMES.contains(&"remote"));
+        assert_eq!(EXECUTION_NAMES.len(), 4);
     }
 
     /// Satellite: the Figure-2 collusion with f = 1 degenerates to zero

@@ -1,0 +1,98 @@
+//! Error type of the aggregation server.
+
+use krum_attacks::AttackError;
+use krum_core::AggregationError;
+use krum_dist::TrainError;
+use krum_models::ModelError;
+use krum_scenario::ScenarioError;
+use krum_wire::WireError;
+use thiserror::Error;
+
+/// Errors raised by the server, the worker client or the loopback harness.
+#[derive(Debug, Error)]
+pub enum ServerError {
+    /// A frame failed to encode, decode or cross the transport.
+    #[error("wire: {0}")]
+    Wire(#[from] WireError),
+    /// A socket or listener operation failed.
+    #[error("io: {0}")]
+    Io(#[from] std::io::Error),
+    /// The scenario failed to parse, validate or build.
+    #[error("scenario: {0}")]
+    Scenario(#[from] ScenarioError),
+    /// The aggregation/step pipeline failed (including NaN-poisoned rounds).
+    #[error("training: {0}")]
+    Train(#[from] TrainError),
+    /// A peer violated the protocol (out-of-order frame, foreign worker
+    /// index, duplicate proposal, wrong dimension, …).
+    #[error("protocol violation: {0}")]
+    Protocol(String),
+    /// A worker connection died while its job was still running.
+    #[error("lost worker {worker} during round {round}: {message}")]
+    WorkerLost {
+        /// Worker slot whose connection died.
+        worker: u32,
+        /// Round in flight when it died.
+        round: u64,
+        /// Transport-level detail.
+        message: String,
+    },
+    /// The server refused the connection at handshake.
+    #[error("rejected by the server: {reason}")]
+    Rejected {
+        /// The server's stated reason.
+        reason: String,
+    },
+    /// The server gave up waiting (a worker hung without disconnecting).
+    #[error("timed out after {seconds}s waiting for {what}")]
+    Timeout {
+        /// Seconds waited.
+        seconds: u64,
+        /// What never arrived.
+        what: String,
+    },
+}
+
+impl ServerError {
+    /// Convenience constructor for [`ServerError::Protocol`].
+    pub fn protocol(message: impl Into<String>) -> Self {
+        Self::Protocol(message.into())
+    }
+}
+
+impl From<ModelError> for ServerError {
+    fn from(e: ModelError) -> Self {
+        Self::Scenario(ScenarioError::Model(e))
+    }
+}
+
+impl From<AttackError> for ServerError {
+    fn from(e: AttackError) -> Self {
+        Self::Scenario(ScenarioError::Attack(e))
+    }
+}
+
+impl From<AggregationError> for ServerError {
+    fn from(e: AggregationError) -> Self {
+        Self::Scenario(ScenarioError::Rule(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<ServerError>();
+        let e = ServerError::protocol("propose for a foreign job");
+        assert!(e.to_string().contains("protocol violation"));
+        let e: ServerError = WireError::UnknownTag(9).into();
+        assert!(matches!(e, ServerError::Wire(_)));
+        let e: ServerError = TrainError::config("nope").into();
+        assert!(e.to_string().contains("nope"));
+        let e: ServerError = ModelError::BadConfig("bad".into()).into();
+        assert!(matches!(e, ServerError::Scenario(ScenarioError::Model(_))));
+    }
+}

@@ -1,0 +1,546 @@
+//! The per-job round state machine: real arrivals in, rounds out.
+//!
+//! One job is one scenario served over sockets. The job thread owns the
+//! write halves of its worker connections and a channel fed by the
+//! per-connection reader threads; each round it
+//!
+//! 1. **broadcasts** `x_t` to every honest worker,
+//! 2. **collects** proposals in *real arrival order*, seeding the round
+//!    with the carried stragglers of earlier rounds (they are already at
+//!    the server, so they outrank every fresh arrival — exactly the
+//!    in-process async engine's tier-0 semantics),
+//! 3. **relays** the honest proposals to the adversary connection once they
+//!    have all arrived (the paper's omniscient adversary, made explicit as
+//!    bytes on the wire),
+//! 4. **closes the quorum** at the `quorum`-th distinct-worker arrival
+//!    (at most one proposal per worker per quorum — the Byzantine share
+//!    stays capped at `f`), carries the leftovers forward under the
+//!    `max_staleness` bound, and
+//! 5. hands the quorum to the shared [`RoundCore`] for
+//!    aggregate → step → record — the same code path the in-process
+//!    engines run, which is why a loopback barrier run reproduces
+//!    [`Scenario::run`](krum_scenario::Scenario) bit-for-bit.
+//!
+//! The quorum's composition is ordered by real arrivals, but the
+//! *aggregation input* is sorted by `(issued_round, worker)` like the
+//! in-process async engine, so the rule sees a deterministic layout.
+
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+use krum_dist::{RoundCore, TrainingConfig};
+use krum_metrics::{RoundRecord, TrainingHistory};
+use krum_models::GradientEstimator;
+use krum_scenario::{ExecutionSpec, InitSpec, ScenarioReport, ScenarioSpec};
+use krum_tensor::Vector;
+use krum_wire::{write_frame, Frame, WireError};
+
+use crate::error::ServerError;
+
+/// How long the job thread waits for the next frame before declaring the
+/// round hung. Generous: a round only needs each worker to push one
+/// gradient.
+pub(crate) const ROUND_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One event from a connection's reader thread.
+#[derive(Debug)]
+pub(crate) enum ConnEvent {
+    /// A frame arrived from the given worker slot (`bytes` as framed).
+    Frame {
+        /// Worker slot of the sending connection.
+        worker: u32,
+        /// The decoded frame.
+        frame: Frame,
+        /// Size of the frame on the wire.
+        bytes: usize,
+    },
+    /// The connection died (cleanly when `error` is `None`).
+    Closed {
+        /// Worker slot of the dead connection.
+        worker: u32,
+        /// The transport error, if the close was not clean.
+        error: Option<WireError>,
+    },
+}
+
+/// Write half of one worker connection. A job's connections are indexed by
+/// worker slot (0..honest are honest, `honest` is the adversary).
+pub(crate) struct JobConnection {
+    /// Write half of the socket (reads happen on the reader thread).
+    pub stream: TcpStream,
+}
+
+/// How rounds close for a given execution spec: quorum size, staleness
+/// bound, and whether the quorum/staleness columns should be recorded.
+fn close_policy(execution: &ExecutionSpec, n: usize) -> (usize, usize, bool) {
+    match *execution {
+        ExecutionSpec::Sequential | ExecutionSpec::Threaded { .. } => (n, 0, false),
+        ExecutionSpec::AsyncQuorum {
+            quorum,
+            max_staleness,
+            ..
+        } => (quorum, max_staleness, true),
+        ExecutionSpec::Remote {
+            quorum,
+            max_staleness,
+        } => match quorum {
+            Some(q) => (q, max_staleness, true),
+            None => (n, max_staleness, false),
+        },
+    }
+}
+
+/// A proposal that arrived but did not make its round's quorum, carried
+/// forward as a stale candidate.
+struct Pending {
+    worker: usize,
+    issued_round: usize,
+    vector: Vector,
+}
+
+/// One selected quorum member.
+struct Selected {
+    worker: usize,
+    issued_round: usize,
+    vector: Vector,
+}
+
+/// Runs one job to completion: `rounds` server rounds over the given
+/// connections, returning the scenario report. On failure the workers are
+/// sent a `Shutdown` naming the error before it propagates.
+pub(crate) fn run_job(
+    id: u64,
+    spec: ScenarioSpec,
+    mut conns: Vec<JobConnection>,
+    events: Receiver<ConnEvent>,
+) -> Result<ScenarioReport, ServerError> {
+    let result = drive_job(id, &spec, &mut conns, &events);
+    match result {
+        Ok(report) => {
+            shutdown_all(id, &mut conns, "job complete");
+            Ok(report)
+        }
+        Err(e) => {
+            shutdown_all(id, &mut conns, &format!("job failed: {e}"));
+            Err(e)
+        }
+    }
+}
+
+/// Best-effort `Shutdown` to every connection (failures are moot: the
+/// session is over either way).
+fn shutdown_all(id: u64, conns: &mut [JobConnection], reason: &str) {
+    for conn in conns.iter_mut() {
+        let _ = write_frame(
+            &mut conn.stream,
+            &Frame::Shutdown {
+                job: id,
+                reason: reason.to_string(),
+            },
+        );
+    }
+}
+
+fn drive_job(
+    id: u64,
+    spec: &ScenarioSpec,
+    conns: &mut [JobConnection],
+    events: &Receiver<ConnEvent>,
+) -> Result<ScenarioReport, ServerError> {
+    let cluster = spec.cluster;
+    let n = cluster.workers();
+    let honest = cluster.honest();
+    let f = cluster.byzantine();
+    let expected_conns = honest + usize::from(f > 0);
+    if conns.len() != expected_conns {
+        return Err(ServerError::protocol(format!(
+            "job {id} needs {expected_conns} connections ({honest} honest + \
+             {} adversary), got {}",
+            usize::from(f > 0),
+            conns.len()
+        )));
+    }
+
+    // Server-side wiring: the workload is built only for its metrics hooks
+    // (probe, optimum, accuracy) — the per-worker estimators run on the
+    // other end of the sockets.
+    let workload = spec.estimator.build(honest, spec.seed)?;
+    let dim = workload.dim;
+    let arity = spec.execution.aggregation_arity(n);
+    let aggregator = spec.rule.build(arity, f)?;
+    let config = TrainingConfig {
+        rounds: spec.rounds,
+        schedule: spec.schedule,
+        seed: spec.seed,
+        eval_every: spec.eval_every,
+        known_optimum: if spec.probes.track_optimum {
+            workload.optimum
+        } else {
+            None
+        },
+    };
+    let mut core = RoundCore::new(cluster, aggregator, config, dim)?;
+    if spec.probes.accuracy {
+        if let Some(accuracy) = workload.accuracy {
+            core.set_accuracy_probe(accuracy);
+        }
+    }
+    // Same probe fallback as the in-process engine: the dedicated probe
+    // when the workload has one, otherwise worker 0's estimator (which
+    // only answers loss/true-gradient queries here — its RNG stream is
+    // consumed by the remote worker it mirrors).
+    let mut estimators = workload.estimators;
+    let probe: Box<dyn GradientEstimator> = match workload.probe {
+        Some(p) => p,
+        None => estimators.swap_remove(0),
+    };
+    drop(estimators);
+
+    let (quorum, max_staleness, record_quorum) = close_policy(&spec.execution, n);
+    let mut params = match spec.init {
+        InitSpec::Zeros => Vector::zeros(dim),
+        InitSpec::Fill { value } => Vector::filled(dim, value),
+        InitSpec::Sample { strategy, seed } => spec.estimator.init_params(strategy, seed)?,
+    };
+
+    let mut history = TrainingHistory::new(
+        format!(
+            "{} vs {} (n={n}, f={f}, d={dim}, served)",
+            core.aggregator_name(),
+            spec.attack
+        ),
+        core.aggregator_name().to_string(),
+        spec.attack.to_string(),
+        n,
+        f,
+    );
+
+    let wall_start = Instant::now();
+    let mut pending: Vec<Pending> = Vec::new();
+    for round in 0..spec.rounds {
+        let record = serve_round(
+            id,
+            round,
+            spec,
+            conns,
+            events,
+            &mut core,
+            &*probe,
+            &mut params,
+            &mut pending,
+            quorum,
+            max_staleness,
+            record_quorum,
+        )?;
+        history.push(record);
+    }
+    let wall_nanos = wall_start.elapsed().as_nanos();
+
+    // Final frames: the trained model, then the goodbye (sent by the
+    // caller's shutdown pass).
+    for conn in conns.iter_mut() {
+        write_frame(
+            &mut conn.stream,
+            &Frame::Aggregate {
+                job: id,
+                round: spec.rounds as u64,
+                params: params.as_slice().to_vec(),
+            },
+        )?;
+    }
+
+    Ok(ScenarioReport {
+        spec: spec.clone(),
+        final_params: params,
+        history,
+        wall_nanos,
+    })
+}
+
+/// Serves one round; see the module docs for the protocol.
+#[allow(clippy::too_many_arguments)]
+fn serve_round(
+    id: u64,
+    round: usize,
+    spec: &ScenarioSpec,
+    conns: &mut [JobConnection],
+    events: &Receiver<ConnEvent>,
+    core: &mut RoundCore,
+    probe: &dyn GradientEstimator,
+    params: &mut Vector,
+    pending: &mut Vec<Pending>,
+    quorum: usize,
+    max_staleness: usize,
+    record_quorum: bool,
+) -> Result<RoundRecord, ServerError> {
+    let cluster = spec.cluster;
+    let n = cluster.workers();
+    let honest = cluster.honest();
+    let f = cluster.byzantine();
+    let dim = core.dim();
+    let round_open = Instant::now();
+    let mut wire_bytes: u64 = 0;
+
+    // Broadcast x_t to the honest workers (the adversary hears later, with
+    // its observations).
+    let broadcast = Frame::Broadcast {
+        job: id,
+        round: round as u64,
+        params: params.as_slice().to_vec(),
+        observed: Vec::new(),
+    };
+    for conn in conns.iter_mut().take(honest) {
+        wire_bytes += write_frame(&mut conn.stream, &broadcast)? as u64;
+    }
+
+    // Quorum selection state. Carried stragglers are already at the server:
+    // they outrank every fresh arrival, consumed oldest-first with at most
+    // one proposal per worker per quorum.
+    pending.sort_by_key(|p| (p.issued_round, p.worker));
+    let mut taken = vec![false; n];
+    let mut selected: Vec<Selected> = Vec::with_capacity(quorum);
+    let mut leftover: Vec<Pending> = Vec::new();
+    let mut arrival_nanos: Option<u128> = None;
+    let offer = |entry: Pending,
+                 selected: &mut Vec<Selected>,
+                 leftover: &mut Vec<Pending>,
+                 taken: &mut [bool],
+                 arrival_nanos: &mut Option<u128>,
+                 now: &Instant| {
+        if selected.len() < quorum && !taken[entry.worker] {
+            taken[entry.worker] = true;
+            selected.push(Selected {
+                worker: entry.worker,
+                issued_round: entry.issued_round,
+                vector: entry.vector,
+            });
+            if selected.len() == quorum {
+                *arrival_nanos = Some(now.elapsed().as_nanos());
+            }
+        } else {
+            leftover.push(entry);
+        }
+    };
+    for entry in pending.drain(..) {
+        offer(
+            entry,
+            &mut selected,
+            &mut leftover,
+            &mut taken,
+            &mut arrival_nanos,
+            &round_open,
+        );
+    }
+
+    // Collect this round's fresh proposals in real arrival order. The loop
+    // drains *every* proposal of the round (the quorum may close earlier —
+    // `arrival_nanos` pins that moment — but stragglers are bookkept into
+    // the carry pool before the next round opens, matching the in-process
+    // async engine's accounting).
+    let mut honest_seen = vec![false; honest];
+    let mut byzantine_seen = vec![false; f];
+    // Clones of the honest proposals for the adversary relay, worker order.
+    let mut observed: Vec<Option<Vec<f64>>> = if f > 0 {
+        vec![None; honest]
+    } else {
+        Vec::new()
+    };
+    let mut honest_arrived = 0usize;
+    let mut byzantine_arrived = 0usize;
+    let mut relay_sent = f == 0;
+    let mut relay_at: Option<Instant> = None;
+    let mut propose_nanos: u128 = 0;
+    let mut attack_nanos: u128 = 0;
+    while honest_arrived < honest || byzantine_arrived < f {
+        let event = events.recv_timeout(ROUND_TIMEOUT).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServerError::Timeout {
+                seconds: ROUND_TIMEOUT.as_secs(),
+                what: format!(
+                    "round {round} proposals of job {id} \
+                     ({honest_arrived}/{honest} honest, {byzantine_arrived}/{f} byzantine)"
+                ),
+            },
+            RecvTimeoutError::Disconnected => {
+                ServerError::protocol("every reader thread hung up mid-job")
+            }
+        })?;
+        let (conn_worker, frame, bytes) = match event {
+            ConnEvent::Closed { worker, error } => {
+                return Err(ServerError::WorkerLost {
+                    worker,
+                    round: round as u64,
+                    message: error
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "connection closed".into()),
+                })
+            }
+            ConnEvent::Frame {
+                worker,
+                frame,
+                bytes,
+            } => (worker, frame, bytes),
+        };
+        wire_bytes += bytes as u64;
+        let (job, propose_round, worker, proposal) = match frame {
+            Frame::Propose {
+                job,
+                round,
+                worker,
+                proposal,
+            } => (job, round, worker as usize, proposal),
+            other => {
+                return Err(ServerError::protocol(format!(
+                    "unexpected {} frame from worker {conn_worker} during round {round}",
+                    other.name()
+                )))
+            }
+        };
+        if job != id {
+            return Err(ServerError::protocol(format!(
+                "worker {conn_worker} proposed for foreign job {job} (serving job {id})"
+            )));
+        }
+        if propose_round != round as u64 {
+            return Err(ServerError::protocol(format!(
+                "worker {conn_worker} proposed for round {propose_round} during round {round}"
+            )));
+        }
+        if proposal.len() != dim {
+            return Err(ServerError::protocol(format!(
+                "worker {conn_worker} proposed dimension {}, expected {dim}",
+                proposal.len()
+            )));
+        }
+        // Authority: honest connections propose exactly their own slot, the
+        // adversary connection proposes exactly the Byzantine slots.
+        let from_adversary = conn_worker as usize == honest;
+        if from_adversary {
+            if worker < honest || worker >= n {
+                return Err(ServerError::protocol(format!(
+                    "the adversary proposed for honest slot {worker}"
+                )));
+            }
+            if std::mem::replace(&mut byzantine_seen[worker - honest], true) {
+                return Err(ServerError::protocol(format!(
+                    "duplicate Byzantine proposal for slot {worker} in round {round}"
+                )));
+            }
+            byzantine_arrived += 1;
+            if let Some(at) = relay_at {
+                attack_nanos = at.elapsed().as_nanos();
+            }
+        } else {
+            if worker != conn_worker as usize {
+                return Err(ServerError::protocol(format!(
+                    "worker {conn_worker} proposed for slot {worker}"
+                )));
+            }
+            if std::mem::replace(&mut honest_seen[worker], true) {
+                return Err(ServerError::protocol(format!(
+                    "duplicate proposal from worker {worker} in round {round}"
+                )));
+            }
+            honest_arrived += 1;
+            propose_nanos = round_open.elapsed().as_nanos();
+            if f > 0 {
+                observed[worker] = Some(proposal.clone());
+            }
+        }
+        offer(
+            Pending {
+                worker,
+                issued_round: round,
+                vector: Vector::from(proposal),
+            },
+            &mut selected,
+            &mut leftover,
+            &mut taken,
+            &mut arrival_nanos,
+            &round_open,
+        );
+
+        // Omniscient-adversary relay: once every honest proposal of the
+        // round is in, the adversary observes them (worker order — the
+        // same order the in-process engines hand to `Attack::forge`) and
+        // answers with the `f` Byzantine proposals.
+        if !relay_sent && honest_arrived == honest {
+            let relay = Frame::Broadcast {
+                job: id,
+                round: round as u64,
+                params: params.as_slice().to_vec(),
+                observed: observed
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("every honest proposal arrived"))
+                    .collect(),
+            };
+            wire_bytes += write_frame(&mut conns[honest].stream, &relay)? as u64;
+            relay_sent = true;
+            relay_at = Some(Instant::now());
+        }
+    }
+    debug_assert_eq!(
+        selected.len(),
+        quorum,
+        "all n workers proposed, so the quorum must have filled"
+    );
+    let arrival_nanos = arrival_nanos.unwrap_or_else(|| round_open.elapsed().as_nanos());
+
+    // Carry the unselected proposals forward under the staleness bound.
+    let mut dropped_stale = 0usize;
+    for entry in leftover {
+        if round + 1 - entry.issued_round > max_staleness {
+            dropped_stale += 1;
+        } else {
+            pending.push(entry);
+        }
+    }
+    let pending_carryover = pending.len();
+
+    // Quorum/staleness stats, then the deterministic aggregation layout:
+    // (issued_round, worker) order, exactly like the in-process async
+    // engine (plain worker order when the quorum is all-fresh).
+    let quorum_size = selected.len();
+    let stale_in_quorum = selected.iter().filter(|s| s.issued_round < round).count();
+    let max_staleness_in_quorum = selected
+        .iter()
+        .map(|s| round - s.issued_round)
+        .max()
+        .unwrap_or(0);
+    selected.sort_by_key(|s| (s.issued_round, s.worker));
+    let meta: Vec<(usize, usize)> = selected
+        .iter()
+        .map(|s| (s.worker, s.issued_round))
+        .collect();
+    let vectors: Vec<Vector> = selected.into_iter().map(|s| s.vector).collect();
+
+    // Aggregate → step → record through the shared core.
+    let true_gradient = probe.true_gradient(params);
+    let mut record = core.close_round(params, round, &vectors, true_gradient, Some(probe))?;
+    record.selected_worker = record.selected_worker.map(|slot| meta[slot].0);
+    record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
+    record.propose_nanos = propose_nanos;
+    record.attack_nanos = attack_nanos;
+    if record_quorum {
+        record.quorum_size = Some(quorum_size);
+        record.stale_in_quorum = Some(stale_in_quorum);
+        record.max_staleness_in_quorum = Some(max_staleness_in_quorum);
+        record.dropped_stale = Some(dropped_stale);
+        record.pending_carryover = Some(pending_carryover);
+    }
+    record.arrival_nanos = Some(arrival_nanos);
+
+    // Close the round towards the workers.
+    let closed = Frame::RoundClosed {
+        job: id,
+        round: round as u64,
+        quorum: quorum_size as u32,
+        aggregate_norm: record.aggregate_norm,
+    };
+    for conn in conns.iter_mut() {
+        wire_bytes += write_frame(&mut conn.stream, &closed)? as u64;
+    }
+    record.wire_bytes = Some(wire_bytes);
+    record.round_nanos = round_open.elapsed().as_nanos();
+    Ok(record)
+}

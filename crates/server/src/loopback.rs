@@ -1,0 +1,78 @@
+//! One-process loopback: server + workers over real sockets.
+//!
+//! `krum loopback spec.json` is the CI-friendly face of the subsystem: it
+//! binds the server on an ephemeral localhost port, spawns one thread per
+//! worker connection running the real [`WorkerClient`](crate::WorkerClient),
+//! and runs the jobs to completion. Every byte still crosses a TCP socket
+//! and every round still closes on real arrival order — only the process
+//! boundary is gone. With a full barrier (or `quorum = n`) the resulting
+//! trajectory is **bit-identical** to the in-process
+//! [`Scenario::run`](krum_scenario::Scenario) for the same spec and seed
+//! (pinned by `tests/loopback_determinism.rs`).
+
+use std::thread;
+
+use krum_scenario::{ScenarioReport, ScenarioSpec};
+
+use crate::error::ServerError;
+use crate::server::Server;
+use crate::worker::run_worker;
+
+/// Runs one job over loopback sockets and returns its report.
+///
+/// # Errors
+///
+/// Returns the job's error (worker lost, poisoned round, …) or any
+/// transport/handshake failure.
+pub fn run_loopback(spec: ScenarioSpec) -> Result<ScenarioReport, ServerError> {
+    let mut reports = run_loopback_jobs(spec, 1)?;
+    Ok(reports.pop().expect("one job produces one report"))
+}
+
+/// Runs `jobs` concurrent jobs over loopback sockets (job `k > 0` uses
+/// `name#k` and `seed + k`, as under `krum serve --jobs K`) and returns
+/// their reports in job order.
+///
+/// # Errors
+///
+/// Returns the first failing job's error, or any transport/handshake
+/// failure — including a worker-side error that the server did not
+/// observe.
+pub fn run_loopback_jobs(
+    spec: ScenarioSpec,
+    jobs: usize,
+) -> Result<Vec<ScenarioReport>, ServerError> {
+    let server = Server::bind("127.0.0.1:0", spec, jobs)?;
+    let addr = server.local_addr()?;
+    let connections = server.connections_per_job() * jobs;
+    let workers: Vec<_> = (0..connections)
+        .map(|i| {
+            thread::Builder::new()
+                .name(format!("krum-loopback-worker-{i}"))
+                .spawn(move || run_worker(addr))
+                .map_err(ServerError::from)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let outcomes = server.run();
+    let worker_results: Vec<Result<_, ServerError>> = workers
+        .into_iter()
+        .map(|handle| {
+            handle
+                .join()
+                .unwrap_or_else(|_| Err(ServerError::protocol("worker thread panicked")))
+        })
+        .collect();
+
+    // Server-level failures (bind/accept) first, then per-job failures,
+    // then worker-side failures the server never saw.
+    let outcomes = outcomes?;
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        reports.push(outcome.result?);
+    }
+    for result in worker_results {
+        result?;
+    }
+    Ok(reports)
+}

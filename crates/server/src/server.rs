@@ -1,0 +1,297 @@
+//! The listening server: accepts workers, staffs jobs, runs them.
+//!
+//! `krum serve spec.json --listen ADDR --jobs K` binds one [`Server`]
+//! hosting `K` concurrent jobs derived from the spec (job `k` keeps the
+//! base name and seed for `k = 0` and uses `name#k` / `seed + k` after
+//! that, so a multi-job serve is a seed sweep over live traffic). Each
+//! accepted connection is handshaked (`Hello` → version check →
+//! `JobAssign`), pinned to the first job with a free worker slot, and given
+//! a dedicated reader thread that feeds the job's event channel; a job's
+//! round state machine (see [`crate::job`]) starts the moment its roster is
+//! complete, so jobs run concurrently as workers trickle in.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use krum_scenario::{ScenarioReport, ScenarioSpec};
+use krum_wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+
+use crate::error::ServerError;
+use crate::job::{run_job, ConnEvent, JobConnection};
+
+/// How long a freshly accepted socket gets to complete the `Hello`
+/// handshake before the server drops it. Handshakes run serially on the
+/// accept thread — simple and race-free for the lab/loopback deployments
+/// this subsystem targets, at the cost that one stalled client can delay
+/// further staffing by up to this timeout (an internet-facing deployment
+/// would move the handshake onto the per-connection thread).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The outcome of one served job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Job identifier (index into the serve batch).
+    pub job: u64,
+    /// The job's scenario name.
+    pub name: String,
+    /// The job's report, or why it failed.
+    pub result: Result<ScenarioReport, ServerError>,
+}
+
+/// One job waiting for (or holding) its workers.
+struct JobSlot {
+    id: u64,
+    spec: ScenarioSpec,
+    conns: Vec<JobConnection>,
+    sender: Sender<ConnEvent>,
+    events: Option<mpsc::Receiver<ConnEvent>>,
+    handle: Option<JoinHandle<Result<ScenarioReport, ServerError>>>,
+}
+
+/// A bound aggregation server hosting one or more jobs.
+pub struct Server {
+    listener: TcpListener,
+    jobs: Vec<JobSlot>,
+}
+
+impl Server {
+    /// Binds to `addr` and prepares `jobs` concurrent jobs derived from
+    /// `spec` (validated first). Use `"127.0.0.1:0"` to let the OS pick a
+    /// port (see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Scenario`] for an invalid spec,
+    /// [`ServerError::Protocol`] for a zero job count, or
+    /// [`ServerError::Io`] when the bind fails.
+    pub fn bind(addr: &str, spec: ScenarioSpec, jobs: usize) -> Result<Self, ServerError> {
+        spec.validate()?;
+        if jobs == 0 {
+            return Err(ServerError::protocol("a server needs at least one job"));
+        }
+        // The largest frame a job ever produces is the omniscient-adversary
+        // relay (params plus every honest proposal). Reject a spec whose
+        // relay cannot fit one frame up front, with a clear error, instead
+        // of dying mid-round with a confusing lost-worker report when the
+        // receiver rejects it.
+        let dim = spec.dim()?;
+        let per_vector = 4 + 8 * dim;
+        let relay_payload = 1 + 8 + 8 + per_vector + 4 + spec.cluster.honest() * per_vector;
+        if relay_payload > MAX_FRAME_BYTES {
+            return Err(ServerError::protocol(format!(
+                "model dimension {dim} with {} honest workers is too large for the wire                  protocol: the observation-relay frame would need {relay_payload} bytes                  (limit {MAX_FRAME_BYTES}); shrink d or the cluster",
+                spec.cluster.honest()
+            )));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let jobs = (0..jobs as u64)
+            .map(|k| {
+                let mut job_spec = spec.clone();
+                if k > 0 {
+                    job_spec.name = format!("{}#{k}", spec.name);
+                    job_spec.seed = spec.seed.wrapping_add(k);
+                }
+                let (sender, events) = mpsc::channel();
+                JobSlot {
+                    id: k,
+                    spec: job_spec,
+                    conns: Vec::new(),
+                    sender,
+                    events: Some(events),
+                    handle: None,
+                }
+            })
+            .collect();
+        Ok(Self { listener, jobs })
+    }
+
+    /// The address the server actually listens on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServerError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Connections each job needs before it starts: one per honest worker
+    /// plus one adversary connection when `f > 0` (the paper's single
+    /// omniscient adversary controls all `f` Byzantine workers).
+    pub fn connections_per_job(&self) -> usize {
+        let cluster = self.jobs[0].spec.cluster;
+        cluster.honest() + usize::from(cluster.byzantine() > 0)
+    }
+
+    /// The per-job scenario specs this server will run, in job order.
+    pub fn job_specs(&self) -> Vec<ScenarioSpec> {
+        self.jobs.iter().map(|j| j.spec.clone()).collect()
+    }
+
+    /// Accepts workers until every job is staffed, runs the jobs to
+    /// completion, and returns one outcome per job (in job order). Jobs run
+    /// concurrently: each starts as soon as its roster fills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when accepting fails outright. Per-job
+    /// failures (a lost worker, a poisoned round) land in their
+    /// [`JobOutcome::result`] instead, so one bad job cannot take down its
+    /// siblings.
+    pub fn run(mut self) -> Result<Vec<JobOutcome>, ServerError> {
+        let per_job = self.connections_per_job();
+        let mut staffed = 0usize;
+        let total = per_job * self.jobs.len();
+        while staffed < total {
+            let (stream, _) = self.listener.accept()?;
+            match self.admit(stream, per_job) {
+                Ok(true) => staffed += 1,
+                Ok(false) => {}
+                Err(_) => {
+                    // A broken handshake only costs that socket.
+                }
+            }
+        }
+        // Roster complete everywhere: collect the job results.
+        let outcomes = self
+            .jobs
+            .drain(..)
+            .map(|slot| {
+                let result = match slot.handle {
+                    Some(handle) => handle
+                        .join()
+                        .unwrap_or_else(|_| Err(ServerError::protocol("job thread panicked"))),
+                    None => Err(ServerError::protocol("job was never staffed")),
+                };
+                JobOutcome {
+                    job: slot.id,
+                    name: slot.spec.name.clone(),
+                    result,
+                }
+            })
+            .collect();
+        Ok(outcomes)
+    }
+
+    /// Handshakes one socket and pins it to a job. Returns `Ok(true)` when
+    /// a worker slot was filled, `Ok(false)` when the socket was rejected
+    /// (version mismatch, no free slot).
+    fn admit(&mut self, mut stream: TcpStream, per_job: usize) -> Result<bool, ServerError> {
+        // Rounds are a latency-bound request/response ping-pong of small-ish
+        // frames: Nagle's algorithm would add tens of milliseconds per
+        // round, so turn it off.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        let (frame, _) = read_frame(&mut stream)?;
+        let version = match frame {
+            Frame::Hello { version, .. } => version,
+            other => {
+                return Err(ServerError::protocol(format!(
+                    "expected Hello, got {}",
+                    other.name()
+                )))
+            }
+        };
+        if version != PROTOCOL_VERSION {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Shutdown {
+                    job: 0,
+                    reason: format!(
+                        "protocol version mismatch: you speak v{version}, \
+                         this server speaks v{PROTOCOL_VERSION}"
+                    ),
+                },
+            );
+            return Ok(false);
+        }
+        // A started job's `conns` was moved into its thread, so "free
+        // slot" means: not yet started and roster still short.
+        let Some(slot) = self
+            .jobs
+            .iter_mut()
+            .find(|j| j.handle.is_none() && j.conns.len() < per_job)
+        else {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Shutdown {
+                    job: 0,
+                    reason: "every job is fully staffed".into(),
+                },
+            );
+            return Ok(false);
+        };
+        let worker = slot.conns.len() as u32;
+        write_frame(
+            &mut stream,
+            &Frame::JobAssign {
+                job: slot.id,
+                worker,
+                seed: slot.spec.seed,
+                spec_json: slot.spec.to_json()?,
+            },
+        )?;
+        stream.set_read_timeout(None)?;
+        let write_half = stream.try_clone()?;
+        let sender = slot.sender.clone();
+        // Detached on purpose: the reader exits when its socket closes (or
+        // when the job drops its receiver), so a hung foreign client can
+        // never wedge the serve loop on a join.
+        std::thread::spawn(move || reader_loop(stream, worker, sender));
+        slot.conns.push(JobConnection { stream: write_half });
+        if slot.conns.len() == per_job {
+            let id = slot.id;
+            let spec = slot.spec.clone();
+            let conns = std::mem::take(&mut slot.conns);
+            let events = slot.events.take().expect("roster fills exactly once");
+            slot.handle = Some(std::thread::spawn(move || run_job(id, spec, conns, events)));
+        }
+        Ok(true)
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("jobs", &self.jobs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reads frames off one worker socket into the job's event channel until
+/// the socket dies or the job hangs up its receiver.
+fn reader_loop(mut stream: TcpStream, worker: u32, sender: Sender<ConnEvent>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok((frame, bytes)) => {
+                if sender
+                    .send(ConnEvent::Frame {
+                        worker,
+                        frame,
+                        bytes,
+                    })
+                    .is_err()
+                {
+                    // The job finished and dropped its receiver.
+                    break;
+                }
+            }
+            Err(WireError::Closed) => {
+                let _ = sender.send(ConnEvent::Closed {
+                    worker,
+                    error: None,
+                });
+                break;
+            }
+            Err(e) => {
+                let _ = sender.send(ConnEvent::Closed {
+                    worker,
+                    error: Some(e),
+                });
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The worker side of the wire: honest estimators and the adversary.
+//!
+//! A [`WorkerClient`] connects, handshakes, and serves whatever role the
+//! server assigns:
+//!
+//! * **honest worker `w < n − f`** — rebuilds the scenario's workload from
+//!   the spec JSON and seed in the `JobAssign` frame, keeps worker `w`'s
+//!   estimator, and answers every `Broadcast` with one gradient estimate
+//!   drawn from the same RNG stream (`stream_rng(seed, w)`) the in-process
+//!   engines use — which is why loopback trajectories are bit-identical to
+//!   in-process ones;
+//! * **adversary (`w = n − f`, present when `f > 0`)** — one connection
+//!   controls all `f` Byzantine workers, mirroring the paper's single
+//!   omniscient adversary. Its `Broadcast` frames carry the honest
+//!   proposals of the round (the observation relay); it rebuilds the
+//!   registered [`AttackSpec`](krum_attacks::AttackSpec) from the scenario,
+//!   forges with the in-process adversary's RNG stream
+//!   (`stream_rng(seed, ATTACK_STREAM)`), and proposes for every Byzantine
+//!   slot.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use krum_attacks::{Attack, AttackContext};
+use krum_dist::{stream_rng, ATTACK_STREAM};
+use krum_models::GradientEstimator;
+use krum_scenario::ScenarioSpec;
+use krum_tensor::Vector;
+use krum_wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use rand_chacha::ChaCha8Rng;
+
+use crate::error::ServerError;
+
+/// What a finished worker session did, for logs and tests.
+#[derive(Debug)]
+pub struct WorkerSummary {
+    /// Job the worker served.
+    pub job: u64,
+    /// Assigned worker slot.
+    pub worker: u32,
+    /// `true` when the slot was the adversary connection.
+    pub adversary: bool,
+    /// Rounds the worker proposed in.
+    pub rounds: u64,
+    /// Total bytes sent + received on the wire.
+    pub wire_bytes: u64,
+    /// The final model, when the server published one before shutdown.
+    pub final_params: Option<Vector>,
+    /// The server's shutdown reason.
+    pub shutdown_reason: String,
+}
+
+/// The worker's assigned role.
+enum Role {
+    Honest {
+        estimator: Box<dyn GradientEstimator>,
+        rng: ChaCha8Rng,
+    },
+    Adversary {
+        attack: Box<dyn Attack>,
+        rng: ChaCha8Rng,
+        /// Full-knowledge probe for the true gradient (the omniscient
+        /// adversary of the paper knows `∇Q`).
+        probe: Box<dyn GradientEstimator>,
+        rule_name: String,
+        byzantine: usize,
+        total_workers: usize,
+    },
+}
+
+/// A connected worker session.
+pub struct WorkerClient {
+    stream: TcpStream,
+    agent: String,
+}
+
+impl WorkerClient {
+    /// Connects to a serving `krum-server`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        // Latency-bound ping-pong traffic: disable Nagle's algorithm.
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            agent: "krum-worker".into(),
+        })
+    }
+
+    /// Sets the free-form agent label sent in the handshake.
+    pub fn with_agent(mut self, agent: impl Into<String>) -> Self {
+        self.agent = agent.into();
+        self
+    }
+
+    /// Handshakes, serves the assigned role until the server shuts the
+    /// session down, and returns a summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rejected`] when the server refuses the
+    /// connection, [`ServerError::Wire`]/[`ServerError::Io`] on transport
+    /// failures, and [`ServerError::Protocol`] when the server violates the
+    /// protocol.
+    pub fn run(mut self) -> Result<WorkerSummary, ServerError> {
+        let mut wire_bytes: u64 = 0;
+        wire_bytes += write_frame(
+            &mut self.stream,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                agent: self.agent.clone(),
+            },
+        )? as u64;
+
+        let (frame, bytes) = read_frame(&mut self.stream)?;
+        wire_bytes += bytes as u64;
+        let (job, worker, seed, spec_json) = match frame {
+            Frame::JobAssign {
+                job,
+                worker,
+                seed,
+                spec_json,
+            } => (job, worker, seed, spec_json),
+            Frame::Shutdown { reason, .. } => return Err(ServerError::Rejected { reason }),
+            other => {
+                return Err(ServerError::protocol(format!(
+                    "expected JobAssign, got {}",
+                    other.name()
+                )))
+            }
+        };
+
+        let spec = ScenarioSpec::from_json(&spec_json)?;
+        let cluster = spec.cluster;
+        let n = cluster.workers();
+        let honest = cluster.honest();
+        let f = cluster.byzantine();
+        let dim = spec.dim()?;
+        let slot = worker as usize;
+
+        // Rebuild this worker's piece of the scenario. The whole workload
+        // is a deterministic function of (spec, seed), so each worker can
+        // derive exactly its own estimator — or, for the adversary, the
+        // probe — without any further coordination. Each worker builds the
+        // *full* cluster and keeps one slot: dataset generation/sharding
+        // consumes one RNG stream front to back, so a build-one-slot
+        // shortcut would have to replay the same draws anyway; the thrown
+        // away estimators are thin wrappers over shards, and determinism
+        // is what buys the bit-identical loopback trajectories.
+        let mut role = if slot < honest {
+            let workload = spec.estimator.build(honest, seed)?;
+            let estimator = workload.estimators.into_iter().nth(slot).ok_or_else(|| {
+                ServerError::protocol(format!("workload has no estimator for slot {slot}"))
+            })?;
+            Role::Honest {
+                estimator,
+                rng: stream_rng(seed, u64::from(worker)),
+            }
+        } else if slot == honest && f > 0 {
+            let workload = spec.estimator.build(honest, seed)?;
+            let mut estimators = workload.estimators;
+            let probe = match workload.probe {
+                Some(p) => p,
+                None => estimators.swap_remove(0),
+            };
+            let arity = spec.execution.aggregation_arity(n);
+            Role::Adversary {
+                attack: spec.attack.build(dim)?,
+                rng: stream_rng(seed, ATTACK_STREAM),
+                probe,
+                rule_name: spec.rule.build(arity, f)?.name(),
+                byzantine: f,
+                total_workers: n,
+            }
+        } else {
+            return Err(ServerError::protocol(format!(
+                "assigned slot {slot} does not exist for n = {n}, f = {f}"
+            )));
+        };
+
+        let mut rounds = 0u64;
+        let mut final_params: Option<Vector> = None;
+        let shutdown_reason;
+        loop {
+            let (frame, bytes) = read_frame(&mut self.stream)?;
+            wire_bytes += bytes as u64;
+            match frame {
+                Frame::Broadcast {
+                    job: j,
+                    round,
+                    params,
+                    observed,
+                } => {
+                    if j != job {
+                        return Err(ServerError::protocol(format!(
+                            "broadcast for foreign job {j} (serving job {job})"
+                        )));
+                    }
+                    if params.len() != dim {
+                        return Err(ServerError::protocol(format!(
+                            "broadcast of dimension {}, expected {dim}",
+                            params.len()
+                        )));
+                    }
+                    wire_bytes += self.propose(&mut role, job, worker, round, params, observed)?;
+                    rounds += 1;
+                }
+                Frame::RoundClosed { .. } => {}
+                Frame::Aggregate { params, .. } => {
+                    final_params = Some(Vector::from(params));
+                }
+                Frame::Shutdown { reason, .. } => {
+                    shutdown_reason = reason;
+                    break;
+                }
+                other => {
+                    return Err(ServerError::protocol(format!(
+                        "unexpected {} frame from the server",
+                        other.name()
+                    )))
+                }
+            }
+        }
+
+        Ok(WorkerSummary {
+            job,
+            worker,
+            adversary: matches!(role, Role::Adversary { .. }),
+            rounds,
+            wire_bytes,
+            final_params,
+            shutdown_reason,
+        })
+    }
+
+    /// Answers one `Broadcast` with this role's proposals; returns the
+    /// bytes written.
+    fn propose(
+        &mut self,
+        role: &mut Role,
+        job: u64,
+        worker: u32,
+        round: u64,
+        params: Vec<f64>,
+        observed: Vec<Vec<f64>>,
+    ) -> Result<u64, ServerError> {
+        let params = Vector::from(params);
+        let mut bytes = 0u64;
+        match role {
+            Role::Honest { estimator, rng } => {
+                let proposal = estimator.estimate(&params, rng)?;
+                bytes += write_frame(
+                    &mut self.stream,
+                    &Frame::Propose {
+                        job,
+                        round,
+                        worker,
+                        proposal: proposal.into_inner(),
+                    },
+                )? as u64;
+            }
+            Role::Adversary {
+                attack,
+                rng,
+                probe,
+                rule_name,
+                byzantine,
+                total_workers,
+            } => {
+                let honest = *total_workers - *byzantine;
+                if observed.len() != honest {
+                    return Err(ServerError::protocol(format!(
+                        "observation relay carried {} proposals, expected {honest}",
+                        observed.len()
+                    )));
+                }
+                let observed: Vec<Vector> = observed.into_iter().map(Vector::from).collect();
+                let true_gradient = probe.true_gradient(&params);
+                let ctx = AttackContext {
+                    honest_proposals: &observed,
+                    current_params: &params,
+                    true_gradient: true_gradient.as_ref(),
+                    byzantine_count: *byzantine,
+                    total_workers: *total_workers,
+                    round: round as usize,
+                    aggregator_name: rule_name,
+                };
+                let forged = attack.forge(&ctx, rng)?;
+                if forged.len() != *byzantine {
+                    return Err(ServerError::protocol(format!(
+                        "the attack forged {} proposals, expected {byzantine}",
+                        forged.len()
+                    )));
+                }
+                for (b, proposal) in forged.into_iter().enumerate() {
+                    bytes += write_frame(
+                        &mut self.stream,
+                        &Frame::Propose {
+                            job,
+                            round,
+                            worker: (honest + b) as u32,
+                            proposal: proposal.into_inner(),
+                        },
+                    )? as u64;
+                }
+            }
+        }
+        Ok(bytes)
+    }
+}
+
+impl std::fmt::Debug for WorkerClient {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("WorkerClient")
+            .field("agent", &self.agent)
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Connects to `addr` and serves one full worker session — the body of
+/// `krum worker --connect ADDR`.
+///
+/// # Errors
+///
+/// See [`WorkerClient::run`].
+pub fn run_worker(addr: impl ToSocketAddrs) -> Result<WorkerSummary, ServerError> {
+    WorkerClient::connect(addr)?.run()
+}

@@ -1,0 +1,143 @@
+//! Handshake and protocol-violation behaviour of the serving loop, driven
+//! through raw sockets: version mismatches are rejected with a structured
+//! `Shutdown`, garbage handshakes only cost their own socket, and the
+//! server keeps serving its legitimate workers throughout.
+
+use std::net::TcpStream;
+
+use krum_attacks::AttackSpec;
+use krum_core::RuleSpec;
+use krum_dist::{ClusterSpec, LearningRateSchedule};
+use krum_models::EstimatorSpec;
+use krum_scenario::{ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec};
+use krum_server::{run_worker, Server};
+use krum_wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "wire-protocol".into(),
+        cluster: ClusterSpec::new(5, 0).unwrap(),
+        rule: RuleSpec::Average,
+        attack: AttackSpec::None,
+        estimator: EstimatorSpec::GaussianQuadratic { dim: 4, sigma: 0.1 },
+        schedule: LearningRateSchedule::Constant { gamma: 0.2 },
+        execution: ExecutionSpec::Remote {
+            quorum: None,
+            max_staleness: 0,
+        },
+        rounds: 3,
+        eval_every: 3,
+        seed: 11,
+        init: InitSpec::Fill { value: 1.0 },
+        probes: ProbeSpec::default(),
+    }
+}
+
+/// A peer speaking the wrong protocol version gets a structured `Shutdown`
+/// naming both versions, and the server then serves its real workers to
+/// completion.
+#[test]
+fn version_mismatch_is_rejected_with_a_structured_shutdown() {
+    let server = Server::bind("127.0.0.1:0", spec(), 1).unwrap();
+    let addr = server.local_addr().unwrap();
+    let needed = server.connections_per_job();
+    assert_eq!(needed, 5, "f = 0 needs no adversary connection");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Wrong version: rejected without consuming a worker slot.
+    let mut bad = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut bad,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION + 1,
+            agent: "time-traveller".into(),
+        },
+    )
+    .unwrap();
+    let (frame, _) = read_frame(&mut bad).unwrap();
+    match frame {
+        Frame::Shutdown { reason, .. } => {
+            assert!(reason.contains("version mismatch"), "got: {reason}");
+            assert!(reason.contains(&format!("v{PROTOCOL_VERSION}")));
+        }
+        other => panic!("expected Shutdown, got {other:?}"),
+    }
+    drop(bad);
+
+    // A non-Hello opener costs only its own socket.
+    let mut rude = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut rude,
+        &Frame::Propose {
+            job: 0,
+            round: 0,
+            worker: 0,
+            proposal: vec![1.0; 4],
+        },
+    )
+    .unwrap();
+    drop(rude);
+
+    // The legitimate workers still staff and finish the job.
+    let workers: Vec<_> = (0..needed)
+        .map(|_| std::thread::spawn(move || run_worker(addr)))
+        .collect();
+    let outcomes = server_thread.join().unwrap().unwrap();
+    assert_eq!(outcomes.len(), 1);
+    let report = outcomes.into_iter().next().unwrap().result.unwrap();
+    assert_eq!(report.history.len(), 3);
+    for worker in workers {
+        let summary = worker.join().unwrap().unwrap();
+        assert_eq!(summary.rounds, 3);
+        assert!(!summary.adversary);
+        assert_eq!(summary.shutdown_reason, "job complete");
+        assert_eq!(
+            summary.final_params.as_ref().map(|p| p.dim()),
+            Some(4),
+            "every worker receives the final model"
+        );
+        assert!(summary.wire_bytes > 0);
+    }
+}
+
+/// Binding rejects invalid configurations up front: a spec that fails
+/// cross-validation and a zero job count.
+#[test]
+fn bind_validates_spec_and_job_count() {
+    let mut bad = spec();
+    bad.rounds = 0;
+    assert!(Server::bind("127.0.0.1:0", bad, 1).is_err());
+    assert!(Server::bind("127.0.0.1:0", spec(), 0).is_err());
+    // Remote quorum bounds are enforced through the same validation.
+    let mut bad = spec();
+    bad.execution = ExecutionSpec::Remote {
+        quorum: Some(2), // < n - f = 5
+        max_staleness: 1,
+    };
+    assert!(Server::bind("127.0.0.1:0", bad, 1).is_err());
+    // A model too large for the observation relay frame is rejected at
+    // bind time with a clear message, not mid-round at the receiver.
+    let mut huge = spec();
+    huge.estimator = EstimatorSpec::GaussianQuadratic {
+        dim: 10_000_000,
+        sigma: 0.1,
+    };
+    let err = Server::bind("127.0.0.1:0", huge, 1).unwrap_err();
+    assert!(
+        err.to_string().contains("wire"),
+        "expected a wire-size error, got: {err}"
+    );
+}
+
+/// `job_specs` exposes the derived per-job scenarios (`name#k`,
+/// `seed + k`) so operators can see exactly what a `--jobs K` serve runs.
+#[test]
+fn job_specs_expose_the_seed_derivation() {
+    let server = Server::bind("127.0.0.1:0", spec(), 3).unwrap();
+    let specs = server.job_specs();
+    assert_eq!(specs.len(), 3);
+    assert_eq!(specs[0].name, "wire-protocol");
+    assert_eq!(specs[0].seed, 11);
+    assert_eq!(specs[2].name, "wire-protocol#2");
+    assert_eq!(specs[2].seed, 13);
+}

@@ -1,0 +1,801 @@
+//! # krum-wire
+//!
+//! The wire protocol of the krum aggregation server: a versioned,
+//! length-framed binary codec over any `Read`/`Write` transport (in
+//! production a `TcpStream`), hand-rolled on `std` only — the build
+//! environment vendors no serialisation or networking crate, and the frame
+//! layout is simple enough that a schema compiler would be overkill.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! ┌──────────────┬─────────┬──────────────┬───────────────┐
+//! │ u32 LE       │ u8      │ body bytes   │ u32 LE        │
+//! │ payload len  │ tag     │ (per frame)  │ CRC-32 of     │
+//! │ (tag + body) │         │              │ tag + body    │
+//! └──────────────┴─────────┴──────────────┴───────────────┘
+//! ```
+//!
+//! * the length prefix is validated against [`MAX_FRAME_BYTES`] **before**
+//!   any allocation, so a corrupt or hostile peer cannot make the server
+//!   allocate gigabytes;
+//! * the trailing CRC-32 (IEEE) covers the tag and body, so bit flips and
+//!   framing slips surface as [`WireError::ChecksumMismatch`] instead of
+//!   garbage vectors;
+//! * all integers are little-endian; `f64` coordinates travel as their IEEE
+//!   bit pattern (`to_le_bytes`), so a proposal crosses the wire
+//!   **bit-exactly** — the loopback server reproduces in-process
+//!   trajectories to the last ulp.
+//!
+//! Decoding never panics: every malformed input — truncated buffer, unknown
+//! tag, oversized declared length, trailing bytes, invalid UTF-8 — returns a
+//! structured [`WireError`] (property-tested in
+//! `tests/frame_roundtrip.rs`).
+//!
+//! The protocol itself (who sends what when) lives in `krum-server`; this
+//! crate only defines the vocabulary: [`Frame`] and its codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{Read, Write};
+
+use thiserror::Error;
+
+/// Version of the wire protocol spoken by this build. A [`Frame::Hello`]
+/// carries the client's version; the server rejects mismatches with
+/// [`WireError::VersionMismatch`] rather than guessing at frame layouts.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload (tag + body), 64 MiB — roughly 80
+/// `d = 100_000` vectors, so an observation relay fits for any cluster this
+/// workspace benches. Small enough that a corrupt length prefix cannot
+/// drive an allocation bomb; the sender enforces it too ([`write_frame`]),
+/// so an oversized scenario fails with a structured error at the producer,
+/// not as a confusing mid-run rejection at the consumer.
+pub const MAX_FRAME_BYTES: usize = 1 << 26;
+
+/// Canonical lowercase names of every frame kind, in tag order (shown by
+/// `krum list`).
+pub const FRAME_NAMES: &[&str] = &[
+    "hello",
+    "job-assign",
+    "broadcast",
+    "propose",
+    "round-closed",
+    "aggregate",
+    "shutdown",
+];
+
+/// Errors raised while encoding, decoding or transporting frames.
+#[derive(Debug, Error)]
+pub enum WireError {
+    /// The underlying transport failed.
+    #[error("transport: {0}")]
+    Io(#[from] std::io::Error),
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    #[error("connection closed by peer")]
+    Closed,
+    /// A declared frame length exceeds [`MAX_FRAME_BYTES`].
+    #[error("frame of {len} bytes exceeds the {max}-byte limit")]
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The enforced limit ([`MAX_FRAME_BYTES`]).
+        max: usize,
+    },
+    /// The payload checksum did not match the frame contents.
+    #[error(
+        "checksum mismatch: frame carries {carried:#010x}, payload hashes to {computed:#010x}"
+    )]
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        carried: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// The frame tag byte does not name a known frame kind.
+    #[error("unknown frame tag {0:#04x}")]
+    UnknownTag(u8),
+    /// The payload ended before the frame's fields were complete.
+    #[error("truncated frame: needed {needed} more byte(s) at offset {offset}")]
+    Truncated {
+        /// How many further bytes the decoder needed.
+        needed: usize,
+        /// Payload offset at which the shortfall was found.
+        offset: usize,
+    },
+    /// The payload had bytes left over after the frame's fields.
+    #[error("malformed frame: {extra} trailing byte(s) after the last field")]
+    TrailingBytes {
+        /// Number of undecoded trailing bytes.
+        extra: usize,
+    },
+    /// A string field was not valid UTF-8.
+    #[error("string field is not valid UTF-8")]
+    BadUtf8,
+    /// The peer speaks a different protocol version.
+    #[error("protocol version mismatch: peer speaks v{got}, this build speaks v{expected}")]
+    VersionMismatch {
+        /// Version announced by the peer.
+        got: u16,
+        /// Version of this build ([`PROTOCOL_VERSION`]).
+        expected: u16,
+    },
+}
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum carried by every frame.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One message of the aggregation protocol.
+///
+/// Directions (worker ⇄ server):
+///
+/// | Frame | Direction | Purpose |
+/// |-------|-----------|---------|
+/// | [`Hello`](Frame::Hello) | worker → server | announce protocol version |
+/// | [`JobAssign`](Frame::JobAssign) | server → worker | job id, worker slot, seed and scenario |
+/// | [`Broadcast`](Frame::Broadcast) | server → worker | round parameters `x_t` (plus the observation relay for the adversary) |
+/// | [`Propose`](Frame::Propose) | worker → server | one gradient proposal |
+/// | [`RoundClosed`](Frame::RoundClosed) | server → worker | the round's quorum closed |
+/// | [`Aggregate`](Frame::Aggregate) | server → worker | final parameters of a finished job |
+/// | [`Shutdown`](Frame::Shutdown) | server → worker | end of session, with a reason |
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client handshake: protocol version and a free-form agent label.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Free-form client label (shown in server logs).
+        agent: String,
+    },
+    /// Server handshake reply: which job and worker slot the connection now
+    /// serves, the job's master seed, and the full scenario as JSON (the
+    /// worker derives its estimator or attack, and its RNG stream, from
+    /// these).
+    JobAssign {
+        /// Job identifier, unique within the server.
+        job: u64,
+        /// Worker slot: `0..n-f` are honest workers, `n-f` is the
+        /// adversary connection controlling all `f` Byzantine workers.
+        worker: u32,
+        /// The job's master seed (worker streams derive from it).
+        seed: u64,
+        /// The job's `ScenarioSpec` as JSON.
+        spec_json: String,
+    },
+    /// The server publishes the round's parameter vector. For the adversary
+    /// connection, `observed` relays the honest proposals of the round in
+    /// worker order — the omniscient-adversary model of the paper, made
+    /// explicit as bytes.
+    Broadcast {
+        /// Job identifier.
+        job: u64,
+        /// Round index `t`.
+        round: u64,
+        /// The parameter vector `x_t`.
+        params: Vec<f64>,
+        /// Observation relay for the adversary (empty for honest workers).
+        observed: Vec<Vec<f64>>,
+    },
+    /// One proposal from one worker slot for one round.
+    Propose {
+        /// Job identifier.
+        job: u64,
+        /// Round the proposal answers.
+        round: u64,
+        /// Proposing worker slot (the adversary proposes for slots
+        /// `n-f..n`).
+        worker: u32,
+        /// The proposed vector.
+        proposal: Vec<f64>,
+    },
+    /// The round's quorum closed; stats for the worker's bookkeeping.
+    RoundClosed {
+        /// Job identifier.
+        job: u64,
+        /// The closed round.
+        round: u64,
+        /// How many proposals the closing quorum held.
+        quorum: u32,
+        /// Norm of the aggregated update.
+        aggregate_norm: f64,
+    },
+    /// Final parameters of a completed job.
+    Aggregate {
+        /// Job identifier.
+        job: u64,
+        /// Number of rounds the job ran.
+        round: u64,
+        /// The final parameter vector `x_T`.
+        params: Vec<f64>,
+    },
+    /// The server ends the session (job complete, job failed, or the
+    /// connection was rejected).
+    Shutdown {
+        /// Job identifier (0 when no job was assigned).
+        job: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Frame {
+    /// The frame's tag byte (first payload byte on the wire).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Self::Hello { .. } => 1,
+            Self::JobAssign { .. } => 2,
+            Self::Broadcast { .. } => 3,
+            Self::Propose { .. } => 4,
+            Self::RoundClosed { .. } => 5,
+            Self::Aggregate { .. } => 6,
+            Self::Shutdown { .. } => 7,
+        }
+    }
+
+    /// Canonical lowercase name of the frame kind.
+    pub fn name(&self) -> &'static str {
+        FRAME_NAMES[(self.tag() - 1) as usize]
+    }
+
+    /// Encodes the payload (tag + body, without length prefix or checksum)
+    /// into `out`.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            Self::Hello { version, agent } => {
+                put_u16(out, *version);
+                put_str(out, agent);
+            }
+            Self::JobAssign {
+                job,
+                worker,
+                seed,
+                spec_json,
+            } => {
+                put_u64(out, *job);
+                put_u32(out, *worker);
+                put_u64(out, *seed);
+                put_str(out, spec_json);
+            }
+            Self::Broadcast {
+                job,
+                round,
+                params,
+                observed,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_vec(out, params);
+                put_u32(out, observed.len() as u32);
+                for vector in observed {
+                    put_vec(out, vector);
+                }
+            }
+            Self::Propose {
+                job,
+                round,
+                worker,
+                proposal,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_u32(out, *worker);
+                put_vec(out, proposal);
+            }
+            Self::RoundClosed {
+                job,
+                round,
+                quorum,
+                aggregate_norm,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_u32(out, *quorum);
+                put_f64(out, *aggregate_norm);
+            }
+            Self::Aggregate { job, round, params } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_vec(out, params);
+            }
+            Self::Shutdown { job, reason } => {
+                put_u64(out, *job);
+                put_str(out, reason);
+            }
+        }
+    }
+
+    /// Encodes the full frame (length prefix, payload, checksum) and returns
+    /// the bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64);
+        self.encode_payload(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        put_u32(&mut out, checksum(&payload));
+        out
+    }
+
+    /// Total bytes this frame occupies on the wire.
+    pub fn encoded_len(&self) -> usize {
+        // length prefix + payload + checksum; payload size is cheap to
+        // recompute structurally, but encoding is simpler and exact.
+        self.encode().len()
+    }
+
+    /// Decodes one payload (tag + body, as framed between the length prefix
+    /// and the checksum).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`WireError`] for every malformed input; never
+    /// panics.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let tag = r.u8()?;
+        let frame = match tag {
+            1 => Self::Hello {
+                version: r.u16()?,
+                agent: r.string()?,
+            },
+            2 => Self::JobAssign {
+                job: r.u64()?,
+                worker: r.u32()?,
+                seed: r.u64()?,
+                spec_json: r.string()?,
+            },
+            3 => {
+                let job = r.u64()?;
+                let round = r.u64()?;
+                let params = r.vec_f64()?;
+                let count = r.u32()? as usize;
+                let mut observed = Vec::new();
+                for _ in 0..count {
+                    // Reserve only what the remaining bytes can justify —
+                    // the count itself is attacker-controlled.
+                    observed.push(r.vec_f64()?);
+                }
+                Self::Broadcast {
+                    job,
+                    round,
+                    params,
+                    observed,
+                }
+            }
+            4 => Self::Propose {
+                job: r.u64()?,
+                round: r.u64()?,
+                worker: r.u32()?,
+                proposal: r.vec_f64()?,
+            },
+            5 => Self::RoundClosed {
+                job: r.u64()?,
+                round: r.u64()?,
+                quorum: r.u32()?,
+                aggregate_norm: r.f64()?,
+            },
+            6 => Self::Aggregate {
+                job: r.u64()?,
+                round: r.u64()?,
+                params: r.vec_f64()?,
+            },
+            7 => Self::Shutdown {
+                job: r.u64()?,
+                reason: r.string()?,
+            },
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to the transport, returning the bytes written.
+///
+/// # Errors
+///
+/// Returns [`WireError::FrameTooLarge`] when the frame's payload exceeds
+/// [`MAX_FRAME_BYTES`] (nothing is written — the peer would only reject
+/// it), or [`WireError::Io`] when the transport fails.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError> {
+    let bytes = frame.encode();
+    let payload_len = bytes.len() - 8;
+    if payload_len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            len: payload_len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one frame from the transport, returning it with the bytes
+/// consumed. An EOF at a frame boundary is [`WireError::Closed`] (the peer
+/// hung up cleanly); an EOF mid-frame is an I/O error.
+///
+/// # Errors
+///
+/// Returns a structured [`WireError`] for transport failures, oversized
+/// frames, checksum mismatches and malformed payloads; never panics.
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "peer closed between frames" from "frame cut short".
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Err(WireError::Closed);
+            }
+            return Err(WireError::Truncated {
+                needed: len_buf.len() - filled,
+                offset: filled,
+            });
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(WireError::Truncated {
+            needed: 1,
+            offset: 4,
+        });
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    let carried = u32::from_le_bytes(crc_buf);
+    let computed = checksum(&payload);
+    if carried != computed {
+        return Err(WireError::ChecksumMismatch { carried, computed });
+    }
+    let frame = Frame::decode(&payload)?;
+    Ok((frame, 8 + len))
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec(out: &mut Vec<u8>, v: &[f64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(WireError::Truncated {
+                needed: n - available,
+                offset: self.pos,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn vec_f64(&mut self) -> Result<Vec<f64>, WireError> {
+        let count = self.u32()? as usize;
+        // The count is attacker-controlled: verify the bytes exist before
+        // allocating for them, without `count * 8` (which could wrap on a
+        // 32-bit target and break the never-panic contract).
+        let available = (self.buf.len() - self.pos) / 8;
+        if count > available {
+            return Err(WireError::Truncated {
+                needed: (count - available).saturating_mul(8),
+                offset: self.pos,
+            });
+        }
+        let bytes = self.take(count * 8)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(8) {
+            out.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                agent: "unit-test".into(),
+            },
+            Frame::JobAssign {
+                job: 3,
+                worker: 7,
+                seed: 42,
+                spec_json: "{\"name\":\"x\"}".into(),
+            },
+            Frame::Broadcast {
+                job: 3,
+                round: 9,
+                params: vec![1.5, -2.25, f64::MIN_POSITIVE],
+                observed: vec![vec![0.0, -0.0], vec![f64::INFINITY]],
+            },
+            Frame::Propose {
+                job: 3,
+                round: 9,
+                worker: 2,
+                proposal: vec![f64::NAN, 1.0],
+            },
+            Frame::RoundClosed {
+                job: 3,
+                round: 9,
+                quorum: 7,
+                aggregate_norm: 0.125,
+            },
+            Frame::Aggregate {
+                job: 3,
+                round: 20,
+                params: vec![],
+            },
+            Frame::Shutdown {
+                job: 0,
+                reason: "complete".into(),
+            },
+        ]
+    }
+
+    /// NaN-tolerant structural equality (the codec must carry NaN payloads
+    /// bit-exactly; `PartialEq` on `f64` would reject them).
+    fn bits_equal(a: &Frame, b: &Frame) -> bool {
+        let (ea, eb) = (a.encode(), b.encode());
+        ea == eb
+    }
+
+    #[test]
+    fn every_frame_round_trips_through_a_byte_stream() {
+        for frame in frames() {
+            let encoded = frame.encode();
+            assert_eq!(encoded.len(), frame.encoded_len());
+            let mut cursor = std::io::Cursor::new(encoded.clone());
+            let (back, consumed) = read_frame(&mut cursor).unwrap();
+            assert_eq!(consumed, encoded.len());
+            assert!(
+                bits_equal(&frame, &back),
+                "{} did not round-trip bit-exactly",
+                frame.name()
+            );
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let all = frames();
+        let mut stream = Vec::new();
+        for frame in &all {
+            write_frame(&mut stream, frame).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for frame in &all {
+            let (back, _) = read_frame(&mut cursor).unwrap();
+            assert!(bits_equal(frame, &back));
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_the_checksum() {
+        let frame = Frame::Propose {
+            job: 1,
+            round: 2,
+            worker: 3,
+            proposal: vec![1.0, 2.0, 3.0],
+        };
+        let mut bytes = frame.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, (MAX_FRAME_BYTES + 1) as u32);
+        bytes.extend_from_slice(&[0; 16]);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_streams_are_structured_errors() {
+        let frame = Frame::Aggregate {
+            job: 1,
+            round: 5,
+            params: vec![1.0; 16],
+        };
+        let bytes = frame.encode();
+        // Cut at every prefix length: never a panic, always an error.
+        for cut in 0..bytes.len() - 1 {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            let result = read_frame(&mut cursor);
+            if cut == 0 {
+                assert!(matches!(result, Err(WireError::Closed)));
+            } else {
+                assert!(result.is_err(), "prefix of {cut} bytes must not decode");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        assert!(matches!(
+            Frame::decode(&[99]),
+            Err(WireError::UnknownTag(99))
+        ));
+        let mut payload = Vec::new();
+        payload.push(7u8); // Shutdown
+        put_u64(&mut payload, 0);
+        put_str(&mut payload, "bye");
+        payload.push(0xAB);
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+        // Invalid UTF-8 in a string field.
+        let mut payload = Vec::new();
+        payload.push(7u8);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 2);
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(Frame::decode(&payload), Err(WireError::BadUtf8)));
+    }
+
+    /// The producer refuses oversized frames instead of shipping bytes the
+    /// consumer would reject.
+    #[test]
+    fn write_frame_rejects_oversized_payloads() {
+        let frame = Frame::Propose {
+            job: 1,
+            round: 0,
+            worker: 0,
+            proposal: vec![0.0; MAX_FRAME_BYTES / 8 + 1],
+        };
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &frame),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn checksum_matches_known_vectors() {
+        // CRC-32 (IEEE) of "123456789" is the classic check value.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn names_cover_every_tag() {
+        for frame in frames() {
+            assert_eq!(FRAME_NAMES[(frame.tag() - 1) as usize], frame.name());
+        }
+        assert_eq!(FRAME_NAMES.len(), 7);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the wire codec: every frame kind round-trips
+//! bit-exactly through the byte stream, and every corrupted or truncated
+//! input comes back as a structured [`WireError`] — never a panic.
+
+use krum_wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+/// Deterministic f64 payload covering the ugly corners of the value space:
+/// specials (NaN, ±∞, ±0, subnormal) interleaved with ordinary magnitudes.
+fn payload(len: usize, salt: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| match (i as u64).wrapping_add(salt) % 9 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            4 => f64::MIN_POSITIVE / 2.0, // subnormal
+            5 => f64::MAX,
+            6 => -1.0e-300,
+            7 => (i as f64) * 1.25e6,
+            _ => -(i as f64) / 3.0,
+        })
+        .collect()
+}
+
+/// Deterministic string with embedded separators and multi-byte UTF-8.
+fn label(salt: u64, len: usize) -> String {
+    let alphabet = ["a", ",", "\n", "é", "{", "\"", "0", "→"];
+    (0..len)
+        .map(|i| alphabet[((i as u64).wrapping_mul(7).wrapping_add(salt) % 8) as usize])
+        .collect()
+}
+
+/// One frame of each kind, sized and salted by the inputs — covers every
+/// variant across the proptest cases.
+fn frame(kind: usize, len: usize, salt: u64) -> Frame {
+    match kind % 7 {
+        0 => Frame::Hello {
+            version: (salt % u64::from(u16::MAX)) as u16,
+            agent: label(salt, len % 32),
+        },
+        1 => Frame::JobAssign {
+            job: salt,
+            worker: (salt % 1000) as u32,
+            seed: salt.wrapping_mul(31),
+            spec_json: label(salt, len % 256),
+        },
+        2 => Frame::Broadcast {
+            job: salt,
+            round: salt % 10_000,
+            params: payload(len, salt),
+            observed: (0..(salt % 5) as usize)
+                .map(|i| payload(len % 97, salt.wrapping_add(i as u64)))
+                .collect(),
+        },
+        3 => Frame::Propose {
+            job: salt,
+            round: salt % 10_000,
+            worker: (salt % 64) as u32,
+            proposal: payload(len, salt),
+        },
+        4 => Frame::RoundClosed {
+            job: salt,
+            round: salt % 10_000,
+            quorum: (salt % 64) as u32,
+            aggregate_norm: f64::from_bits(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        },
+        5 => Frame::Aggregate {
+            job: salt,
+            round: salt % 10_000,
+            params: payload(len, salt),
+        },
+        _ => Frame::Shutdown {
+            job: salt,
+            reason: label(salt, len % 64),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary payloads of every frame kind round-trip bit-exactly
+    /// (encoded-bytes equality tolerates NaN, which `PartialEq` would not).
+    #[test]
+    fn frames_round_trip_bit_exactly(kind in 0usize..7, len in 0usize..2048, salt in 0u64..u64::MAX) {
+        let original = frame(kind, len, salt);
+        let bytes = original.encode();
+        prop_assert!(bytes.len() <= MAX_FRAME_BYTES + 8);
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let (back, consumed) = read_frame(&mut cursor).unwrap_or_else(|e| {
+            panic!("{} of {len} coords failed to round-trip: {e}", original.name())
+        });
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Any single flipped byte is a structured error, never a panic and
+    /// never a silently different frame.
+    #[test]
+    fn corrupt_frames_are_structured_errors(kind in 0usize..7, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
+        let original = frame(kind, len, salt);
+        let mut bytes = original.encode();
+        let at = flip % bytes.len();
+        bytes[at] ^= 1 << (flip % 8);
+        let mut cursor = std::io::Cursor::new(bytes);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Every strict prefix of a frame is a structured error, never a panic.
+    #[test]
+    fn truncated_frames_are_structured_errors(kind in 0usize..7, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
+        let original = frame(kind, len, salt);
+        let bytes = original.encode();
+        let at = cut % bytes.len();
+        let mut cursor = std::io::Cursor::new(bytes[..at].to_vec());
+        let result = read_frame(&mut cursor);
+        match result {
+            Err(WireError::Closed) => prop_assert_eq!(at, 0),
+            Err(_) => {}
+            Ok(_) => panic!("a strict prefix of {} decoded", original.name()),
+        }
+    }
+}
+
+/// A payload near the megabyte scale (a d = 100_000 proposal) stays well
+/// under the frame limit and round-trips; a declared length over the limit
+/// is rejected before any allocation.
+#[test]
+fn large_proposals_fit_and_oversize_lengths_are_rejected() {
+    let big = Frame::Propose {
+        job: 1,
+        round: 1,
+        worker: 0,
+        proposal: payload(100_000, 3),
+    };
+    let bytes = big.encode();
+    assert!(bytes.len() < MAX_FRAME_BYTES);
+    let mut cursor = std::io::Cursor::new(bytes.clone());
+    let (back, _) = read_frame(&mut cursor).unwrap();
+    assert_eq!(back.encode(), bytes);
+
+    let mut oversize = Vec::new();
+    oversize.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+    oversize.extend_from_slice(&[0u8; 64]);
+    let mut cursor = std::io::Cursor::new(oversize);
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+}
+
+/// The handshake pins the protocol version: a well-formed `Hello` carries
+/// it, and the version constant is what `krum list` reports.
+#[test]
+fn hello_carries_the_protocol_version() {
+    let hello = Frame::Hello {
+        version: PROTOCOL_VERSION,
+        agent: "worker".into(),
+    };
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &hello).unwrap();
+    let (back, _) = read_frame(&mut std::io::Cursor::new(stream)).unwrap();
+    match back {
+        Frame::Hello { version, agent } => {
+            assert_eq!(version, PROTOCOL_VERSION);
+            assert_eq!(agent, "worker");
+        }
+        other => panic!("expected Hello, got {other:?}"),
+    }
+}

@@ -18,6 +18,8 @@
 //! | [`dist`] | `krum-dist` | synchronous parameter-server simulator |
 //! | [`metrics`] | `krum-metrics` | round records, histories, exporters |
 //! | [`scenario`] | `krum-scenario` | declarative experiment specs, builder and runner |
+//! | [`wire`] | `krum-wire` | length-framed binary wire protocol |
+//! | [`server`] | `krum-server` | networked aggregation service, worker client, loopback |
 //!
 //! ## Quickstart
 //!
@@ -85,6 +87,17 @@ pub mod metrics {
 /// `krum-scenario`).
 pub mod scenario {
     pub use krum_scenario::*;
+}
+
+/// The length-framed binary wire protocol (re-export of `krum-wire`).
+pub mod wire {
+    pub use krum_wire::*;
+}
+
+/// The networked aggregation service: server, worker client and the
+/// one-process loopback harness (re-export of `krum-server`).
+pub mod server {
+    pub use krum_server::*;
 }
 
 /// Commonly used items across the whole reproduction.
