@@ -25,9 +25,11 @@ use krum_attacks::{AttackSpec, ATTACK_NAMES};
 use krum_core::{RuleSpec, RULE_NAMES};
 use krum_dist::{ClusterSpec, LATENCY_MODEL_NAMES};
 use krum_scenario::{
-    ExecutionSpec, Scenario, ScenarioError, ScenarioReport, ScenarioSpec, EXECUTION_NAMES,
+    ExecutionSpec, Scenario, ScenarioError, ScenarioReport, ScenarioSpec,
+    DEFAULT_HANDSHAKE_TIMEOUT_SECS, DEFAULT_HEARTBEAT_SECS, DEFAULT_ROUND_TIMEOUT_SECS,
+    DEFAULT_STAFFING_TIMEOUT_SECS, EXECUTION_NAMES,
 };
-use krum_server::{run_loopback_jobs, run_worker, Server, ServerError};
+use krum_server::{run_chaos, run_loopback_jobs, ChaosOptions, Server, ServerError, WorkerClient};
 use krum_wire::{FRAME_NAMES, PROTOCOL_VERSION};
 use thiserror::Error;
 
@@ -76,16 +78,29 @@ commands:
         --quorum LIST|A..B quorum sizes (base must use AsyncQuorum execution)
         --rounds K         override the round count
   serve <spec.json> [--listen ADDR] [--jobs K] [--out DIR] [--quiet]
+        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume DIR]
       Host the scenario as a networked aggregation service: workers connect
       over TCP (krum-wire framing), rounds close on real arrival order, and
       K jobs run concurrently (job k uses name#k and seed+k). Default
       --listen 127.0.0.1:7878, --jobs 1. With --out, each finished job's
-      metrics are written to DIR/<name>.csv.
+      metrics are written to DIR/<name>.csv. With --checkpoint-dir, every
+      N-th round (default every round) writes DIR/job-<k>.ckpt; --resume DIR
+      rebuilds the jobs from those checkpoints instead of a spec file and
+      continues bit-identically once the workers rejoin.
 
-  worker [--connect ADDR]
+  worker [--connect ADDR] [--retries N]
       Join a serving aggregation server as one worker connection (honest
       estimator or the adversary — the server assigns the role). Default
-      --connect 127.0.0.1:7878.
+      --connect 127.0.0.1:7878. With --retries, a dropped connection is
+      retried up to N times under deterministic jittered backoff (Rejoin
+      handshake); default 0 = fail fast.
+
+  chaos <spec.json> [--csv PATH] [--quiet]
+      Run the scenario's fault_plan through the deterministic chaos
+      harness: server + workers in one process behind a fault-injecting
+      proxy (drop/delay/blackhole/truncate/corrupt frames, kill and resume
+      the server). Prints recovery accounting; exits non-zero if the run
+      does not survive the plan.
 
   loopback <spec.json> [--jobs K] [--csv PATH] [--json PATH] [--quiet]
       Serve the scenario and its workers inside one process over localhost
@@ -130,7 +145,7 @@ pub enum Command {
     },
     /// `krum serve`.
     Serve {
-        /// Path of the scenario JSON file.
+        /// Path of the scenario JSON file (empty when `--resume` is used).
         spec_path: String,
         /// Listen address (`host:port`).
         listen: String,
@@ -140,11 +155,29 @@ pub enum Command {
         out: Option<String>,
         /// Suppress progress output.
         quiet: bool,
+        /// Directory receiving periodic job checkpoints.
+        checkpoint_dir: Option<String>,
+        /// Checkpoint cadence in rounds (only meaningful with a directory).
+        checkpoint_every: u64,
+        /// Resume the jobs found in this checkpoint directory instead of
+        /// starting from a spec file.
+        resume: Option<String>,
     },
     /// `krum worker`.
     Worker {
         /// Server address to connect to.
         connect: String,
+        /// Rejoin attempts after a dropped connection (0 = fail fast).
+        retries: u32,
+    },
+    /// `krum chaos`.
+    Chaos {
+        /// Path of the scenario JSON file (must carry a `fault_plan`).
+        spec_path: String,
+        /// Optional CSV export path for the surviving trajectory.
+        csv: Option<String>,
+        /// Suppress the recovery accounting summary.
+        quiet: bool,
     },
     /// `krum loopback`.
     Loopback {
@@ -234,12 +267,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut jobs = 1usize;
             let mut out = None;
             let mut quiet = false;
+            let mut checkpoint_dir = None;
+            let mut checkpoint_every = 1u64;
+            let mut resume = None;
             while let Some(arg) = it.next() {
                 match arg {
                     "--listen" => listen = expect_value(&mut it, "--listen")?,
                     "--jobs" => jobs = parse_count(&expect_value(&mut it, "--jobs")?, "--jobs")?,
                     "--out" => out = Some(expect_value(&mut it, "--out")?),
                     "--quiet" => quiet = true,
+                    "--checkpoint-dir" => {
+                        checkpoint_dir = Some(expect_value(&mut it, "--checkpoint-dir")?);
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = parse_count(
+                            &expect_value(&mut it, "--checkpoint-every")?,
+                            "--checkpoint-every",
+                        )? as u64;
+                    }
+                    "--resume" => resume = Some(expect_value(&mut it, "--resume")?),
                     flag if flag.starts_with('-') => {
                         return Err(usage(format!("unknown `serve` option `{flag}`")))
                     }
@@ -247,25 +293,69 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     extra => return Err(usage(format!("unexpected argument `{extra}`"))),
                 }
             }
-            let spec_path =
-                spec_path.ok_or_else(|| usage("`serve` needs a scenario file".to_string()))?;
+            let spec_path = match (&spec_path, &resume) {
+                (Some(_), Some(_)) => {
+                    return Err(usage(
+                        "`serve` takes a scenario file or --resume DIR, not both".to_string(),
+                    ))
+                }
+                (None, None) => {
+                    return Err(usage(
+                        "`serve` needs a scenario file (or --resume DIR)".to_string(),
+                    ))
+                }
+                _ => spec_path.unwrap_or_default(),
+            };
             Ok(Command::Serve {
                 spec_path,
                 listen,
                 jobs,
                 out,
                 quiet,
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
             })
         }
         Some("worker") => {
             let mut connect = DEFAULT_ADDR.to_string();
+            let mut retries = 0u32;
             while let Some(arg) = it.next() {
                 match arg {
                     "--connect" => connect = expect_value(&mut it, "--connect")?,
+                    "--retries" => {
+                        let raw = expect_value(&mut it, "--retries")?;
+                        retries = raw.trim().parse().map_err(|_| {
+                            usage(format!("--retries expects an integer, got `{raw}`"))
+                        })?;
+                    }
                     extra => return Err(usage(format!("unknown `worker` option `{extra}`"))),
                 }
             }
-            Ok(Command::Worker { connect })
+            Ok(Command::Worker { connect, retries })
+        }
+        Some("chaos") => {
+            let mut spec_path = None;
+            let mut csv = None;
+            let mut quiet = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--csv" => csv = Some(expect_value(&mut it, "--csv")?),
+                    "--quiet" => quiet = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(usage(format!("unknown `chaos` option `{flag}`")))
+                    }
+                    path if spec_path.is_none() => spec_path = Some(path.to_string()),
+                    extra => return Err(usage(format!("unexpected argument `{extra}`"))),
+                }
+            }
+            let spec_path =
+                spec_path.ok_or_else(|| usage("`chaos` needs a scenario file".to_string()))?;
+            Ok(Command::Chaos {
+                spec_path,
+                csv,
+                quiet,
+            })
         }
         Some("loopback") => {
             let mut spec_path = None;
@@ -597,6 +687,7 @@ pub fn template_spec() -> ScenarioSpec {
         seed: 42,
         init: InitSpec::Fill { value: 3.0 },
         probes: ProbeSpec::default(),
+        fault_plan: None,
     }
 }
 
@@ -641,6 +732,16 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                 out,
                 "\nexecution strategies (\"execution\" field):\n  {}",
                 EXECUTION_NAMES.join("\n  ")
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            writeln!(
+                out,
+                "\nremote execution timeouts (\"execution\": {{\"Remote\": …}} fields, with \
+                 defaults):\n  round_timeout_secs: {DEFAULT_ROUND_TIMEOUT_SECS}\n  \
+                 handshake_timeout_secs: {DEFAULT_HANDSHAKE_TIMEOUT_SECS}\n  \
+                 staffing_timeout_secs: {DEFAULT_STAFFING_TIMEOUT_SECS}\n  \
+                 heartbeat_secs: {DEFAULT_HEARTBEAT_SECS}\n  on_crash: WaitForRejoin | \
+                 ProceedAtQuorum"
             )
             .map_err(|e| io_err(Path::new("<stdout>"), e))?;
             writeln!(
@@ -691,18 +792,38 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
             jobs,
             out: out_dir,
             quiet,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
         } => {
-            let spec = ScenarioSpec::from_json(&read_file(&spec_path)?)?;
             if let Some(dir) = &out_dir {
                 std::fs::create_dir_all(dir).map_err(|e| io_err(Path::new(dir), e))?;
             }
-            let server = Server::bind(&listen, spec, jobs)?;
+            let mut server = match &resume {
+                Some(dir) => Server::resume(&listen, Path::new(dir))?,
+                None => {
+                    let spec = ScenarioSpec::from_json(&read_file(&spec_path)?)?;
+                    Server::bind(&listen, spec, jobs)?
+                }
+            };
+            // --resume keeps checkpointing into its own directory unless a
+            // fresh --checkpoint-dir overrides it.
+            if let Some(dir) = checkpoint_dir.as_ref().or(resume.as_ref()) {
+                std::fs::create_dir_all(dir).map_err(|e| io_err(Path::new(dir), e))?;
+                server = server.with_checkpoints(PathBuf::from(dir), checkpoint_every);
+            }
             let addr = server.local_addr()?;
+            let jobs = server.job_specs().len();
             let per_job = server.connections_per_job();
             if !quiet {
+                let mode = if resume.is_some() {
+                    " (resumed from checkpoints)"
+                } else {
+                    ""
+                };
                 writeln!(
                     out,
-                    "serving on {addr}: {jobs} job(s), {per_job} worker connection(s) each \
+                    "serving on {addr}: {jobs} job(s), {per_job} worker connection(s) each{mode} \
                      (start them with `krum worker --connect {addr}`)"
                 )
                 .map_err(|e| io_err(Path::new("<stdout>"), e))?;
@@ -737,11 +858,14 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                 ))));
             }
         }
-        Command::Worker { connect } => {
-            let summary = run_worker(&*connect)?;
+        Command::Worker { connect, retries } => {
+            let summary = WorkerClient::connect(&*connect)?
+                .with_retries(retries)
+                .run()?;
             writeln!(
                 out,
-                "worker {} of job {} ({}): {} round(s), {} wire bytes, shutdown: {}",
+                "worker {} of job {} ({}): {} round(s), {} reconnect(s), {} wire bytes, \
+                 shutdown: {}",
                 summary.worker,
                 summary.job,
                 if summary.adversary {
@@ -750,10 +874,47 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                     "honest"
                 },
                 summary.rounds,
+                summary.reconnects,
                 summary.wire_bytes,
                 summary.shutdown_reason
             )
             .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+        }
+        Command::Chaos {
+            spec_path,
+            csv,
+            quiet,
+        } => {
+            let spec = ScenarioSpec::from_json(&read_file(&spec_path)?)?;
+            let headline = spec
+                .fault_plan
+                .as_ref()
+                .map(krum_scenario::FaultPlan::headline)
+                .unwrap_or_else(|| "no fault plan (clean run)".to_string());
+            if !quiet {
+                writeln!(out, "chaos: {headline}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
+            let outcome = run_chaos(spec, ChaosOptions::default())?;
+            if let Some(path) = &csv {
+                outcome
+                    .report
+                    .write_csv(path)
+                    .map_err(|e| export_err(path, e))?;
+            }
+            if !quiet {
+                let history = &outcome.report.history;
+                writeln!(
+                    out,
+                    "{}\nchaos survived: {} worker reconnect(s), {} degraded round(s), \
+                     server resumed: {}, worker failures: {}",
+                    summary_line(&outcome.report),
+                    outcome.worker_reconnects,
+                    history.total_degraded_rounds(),
+                    outcome.server_resumed,
+                    outcome.worker_failures,
+                )
+                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
         }
         Command::Loopback {
             spec_path,
@@ -965,6 +1126,9 @@ mod tests {
                 jobs: 4,
                 out: Some("reports".into()),
                 quiet: true,
+                checkpoint_dir: None,
+                checkpoint_every: 1,
+                resume: None,
             }
         );
         // Defaults.
@@ -976,6 +1140,9 @@ mod tests {
                 jobs: 1,
                 out: None,
                 quiet: false,
+                checkpoint_dir: None,
+                checkpoint_every: 1,
+                resume: None,
             }
         );
         assert!(parse(&args(&["serve"])).is_err());
@@ -987,15 +1154,18 @@ mod tests {
             parse(&args(&["worker", "--connect", "10.0.0.1:7878"])).unwrap(),
             Command::Worker {
                 connect: "10.0.0.1:7878".into(),
+                retries: 0,
             }
         );
         assert_eq!(
-            parse(&args(&["worker"])).unwrap(),
+            parse(&args(&["worker", "--retries", "8"])).unwrap(),
             Command::Worker {
                 connect: DEFAULT_ADDR.into(),
+                retries: 8,
             }
         );
         assert!(parse(&args(&["worker", "extra"])).is_err());
+        assert!(parse(&args(&["worker", "--retries", "lots"])).is_err());
 
         let cmd = parse(&args(&[
             "loopback",
@@ -1018,6 +1188,61 @@ mod tests {
         );
         assert!(parse(&args(&["loopback"])).is_err());
         assert!(parse(&args(&["loopback", "a.json", "b.json"])).is_err());
+    }
+
+    /// Satellite: the fault-tolerance flags — checkpointing, resume and the
+    /// chaos command — parse with their documented defaults and reject the
+    /// contradictory spellings.
+    #[test]
+    fn parses_checkpoint_resume_and_chaos() {
+        let cmd = parse(&args(&[
+            "serve",
+            "spec.json",
+            "--checkpoint-dir",
+            "ckpts",
+            "--checkpoint-every",
+            "3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir.as_deref(), Some("ckpts"));
+                assert_eq!(checkpoint_every, 3);
+                assert_eq!(resume, None);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+
+        let cmd = parse(&args(&["serve", "--resume", "ckpts"])).unwrap();
+        match cmd {
+            Command::Serve {
+                spec_path, resume, ..
+            } => {
+                assert_eq!(spec_path, "");
+                assert_eq!(resume.as_deref(), Some("ckpts"));
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        // A spec file and --resume contradict each other; a checkpoint
+        // cadence of zero is meaningless.
+        assert!(parse(&args(&["serve", "spec.json", "--resume", "d"])).is_err());
+        assert!(parse(&args(&["serve", "s.json", "--checkpoint-every", "0"])).is_err());
+
+        assert_eq!(
+            parse(&args(&["chaos", "plan.json", "--csv", "c.csv", "--quiet"])).unwrap(),
+            Command::Chaos {
+                spec_path: "plan.json".into(),
+                csv: Some("c.csv".into()),
+                quiet: true,
+            }
+        );
+        assert!(parse(&args(&["chaos"])).is_err());
+        assert!(parse(&args(&["chaos", "a.json", "--nope"])).is_err());
     }
 
     /// Satellite: `krum loopback` drives the full server + workers in one

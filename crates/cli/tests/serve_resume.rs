@@ -1,0 +1,254 @@
+//! Process-level crash/recovery pin for `krum serve`: a server killed with
+//! SIGKILL mid-job is restarted with `--resume`, the worker *processes*
+//! rejoin it through their deterministic backoff loop, and the finished
+//! trajectory is **bit-identical** to an uninterrupted run of the same
+//! spec — the checkpoint/rejoin machinery is invisible in the metrics.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use krum_attacks::AttackSpec;
+use krum_core::RuleSpec;
+use krum_dist::{ClusterSpec, LearningRateSchedule};
+use krum_models::EstimatorSpec;
+use krum_scenario::{CrashPolicy, ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec};
+
+/// The columns that must be bit-identical between the interrupted and the
+/// uninterrupted run (timing and wire columns legitimately differ).
+const DETERMINISTIC_COLUMNS: &[&str] = &[
+    "round",
+    "loss",
+    "accuracy",
+    "true_gradient_norm",
+    "aggregate_norm",
+    "alignment",
+    "distance_to_optimum",
+    "selected_worker",
+    "selected_byzantine",
+    "learning_rate",
+];
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "serve-resume".into(),
+        cluster: ClusterSpec::new(3, 0).unwrap(),
+        rule: RuleSpec::Average,
+        attack: AttackSpec::None,
+        estimator: EstimatorSpec::GaussianQuadratic { dim: 4, sigma: 0.2 },
+        schedule: LearningRateSchedule::Constant { gamma: 0.1 },
+        execution: ExecutionSpec::Remote {
+            quorum: None,
+            max_staleness: 0,
+            round_timeout_secs: 60,
+            handshake_timeout_secs: 10,
+            staffing_timeout_secs: 60,
+            heartbeat_secs: 1,
+            on_crash: CrashPolicy::WaitForRejoin,
+        },
+        // Enough rounds that hundreds remain when the kill lands (the
+        // per-round checkpointing of phase one keeps rounds slow).
+        rounds: 1200,
+        eval_every: 300,
+        seed: 33,
+        init: InitSpec::Fill { value: 1.0 },
+        probes: ProbeSpec::default(),
+        fault_plan: None,
+    }
+}
+
+fn temp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("krum-serve-resume-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Picks a port the OS considers free right now; both serve processes must
+/// listen on the *same* address because the workers rejoin the peer they
+/// first connected to.
+fn free_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    addr.to_string()
+}
+
+/// Spawns `krum <args…>` with piped stdout and waits for the serve banner so
+/// workers are only started against a live listener.
+fn spawn_serve(args: &[&str]) -> (Child, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_krum"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("krum binary spawns");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    reader.read_line(&mut banner).unwrap();
+    assert!(
+        banner.contains("serving on"),
+        "expected the serve banner, got: {banner}"
+    );
+    (child, reader)
+}
+
+/// Strips the CSV down to its deterministic columns, one string per row.
+fn deterministic_rows(csv: &str) -> Vec<String> {
+    let mut lines = csv.lines().filter(|l| !l.starts_with('#'));
+    let header = lines.next().expect("csv has a header row");
+    let names: Vec<&str> = header.split(',').collect();
+    let picks: Vec<usize> = DETERMINISTIC_COLUMNS
+        .iter()
+        .map(|want| {
+            names
+                .iter()
+                .position(|n| n == want)
+                .unwrap_or_else(|| panic!("column `{want}` missing from: {header}"))
+        })
+        .collect();
+    lines
+        .map(|line| {
+            let cells: Vec<&str> = line.split(',').collect();
+            picks
+                .iter()
+                .map(|&i| cells[i])
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect()
+}
+
+#[test]
+fn sigkilled_serve_resumes_bit_identically_through_real_processes() {
+    let dir = temp_dir("kill9");
+    let ckpt_dir = dir.join("ckpts");
+    let out_dir = dir.join("out");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, spec().to_json().unwrap()).unwrap();
+    let addr = free_addr();
+
+    // Serve with per-round checkpoints, then staff it with three real
+    // worker processes that are allowed to rejoin. The stdout reader must
+    // outlive the child: dropping it closes the pipe and turns the
+    // server's own summary lines into EPIPE failures.
+    let (mut serve, _serve_out) = spawn_serve(&[
+        "serve",
+        spec_path.to_str().unwrap(),
+        "--listen",
+        &addr,
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "1",
+    ]);
+    let workers: Vec<Child> = (0..3)
+        .map(|_| {
+            Command::new(env!("CARGO_BIN_EXE_krum"))
+                .args(["worker", "--connect", &addr, "--retries", "60"])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+
+    // Kill -9 the server once the job has demonstrably checkpointed.
+    let ckpt = ckpt_dir.join("job-0.ckpt");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared in 30s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        serve.try_wait().unwrap().is_none(),
+        "the job finished before the kill; raise `rounds` in the spec"
+    );
+    serve.kill().unwrap(); // SIGKILL on unix
+    serve.wait().unwrap();
+
+    // Resume from the checkpoints on the same address; the orphaned worker
+    // processes are mid-backoff and rejoin it on their own. Checkpoint
+    // less often on the way out — re-serialising the whole history every
+    // round is the slow part, not the rounds.
+    let (mut resumed, mut resumed_out) = spawn_serve(&[
+        "serve",
+        "--resume",
+        ckpt_dir.to_str().unwrap(),
+        "--listen",
+        &addr,
+        "--checkpoint-every",
+        "100",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    let status = resumed.wait().unwrap();
+    let mut resumed_stdout = String::new();
+    resumed_out.read_to_string(&mut resumed_stdout).unwrap();
+    let mut resumed_stderr = String::new();
+    resumed
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut resumed_stderr)
+        .unwrap();
+    assert!(
+        status.success(),
+        "resumed serve must finish cleanly; stdout: {resumed_stdout} stderr: {resumed_stderr}"
+    );
+
+    // Every worker process survived the server's death, reports at least
+    // one reconnect, and saw the job through to completion.
+    for worker in workers {
+        let output = worker.wait_with_output().unwrap();
+        let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+        assert!(
+            output.status.success(),
+            "worker failed: {stdout} / {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(stdout.contains("shutdown: job complete"), "got: {stdout}");
+        let reconnects: u64 = stdout
+            .split(" reconnect(s)")
+            .next()
+            .and_then(|s| s.rsplit(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no reconnect count in: {stdout}"));
+        assert!(reconnects >= 1, "worker never rejoined: {stdout}");
+    }
+
+    // The stitched trajectory is bit-identical to an uninterrupted run of
+    // the same spec (loopback serves the same Remote spec in one process).
+    let control_csv = dir.join("control.csv");
+    let control = Command::new(env!("CARGO_BIN_EXE_krum"))
+        .args([
+            "loopback",
+            spec_path.to_str().unwrap(),
+            "--csv",
+            control_csv.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("control loopback runs");
+    assert!(
+        control.status.success(),
+        "control run failed: {}",
+        String::from_utf8_lossy(&control.stderr)
+    );
+    let resumed_csv = std::fs::read_to_string(out_dir.join("serve-resume.csv")).unwrap();
+    let control_csv = std::fs::read_to_string(&control_csv).unwrap();
+    let resumed_rows = deterministic_rows(&resumed_csv);
+    let control_rows = deterministic_rows(&control_csv);
+    assert_eq!(resumed_rows.len(), 1200, "all rounds must be present");
+    assert_eq!(
+        resumed_rows, control_rows,
+        "a SIGKILL + resume must be invisible in the deterministic columns"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

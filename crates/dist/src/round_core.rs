@@ -148,8 +148,53 @@ impl RoundCore {
         true_gradient: Option<Vector>,
         probe: Option<&dyn GradientEstimator>,
     ) -> Result<RoundRecord, TrainError> {
+        self.close_round_inner(params, round, proposals, true_gradient, probe, None)
+    }
+
+    /// [`close_round`](RoundCore::close_round) with a caller-supplied
+    /// aggregation rule replacing the configured one for this round only.
+    ///
+    /// This serves crash-degraded rounds: when workers crash mid-round and
+    /// the crash policy proceeds at quorum, the round closes over fewer
+    /// proposals than the rule was built for, so the caller rebuilds the
+    /// same rule at the smaller arity and closes through it. The core's own
+    /// rule, workspace and schedule state are untouched; only the aggregate
+    /// comes from `aggregator`.
+    ///
+    /// # Errors
+    ///
+    /// As [`close_round`](RoundCore::close_round).
+    pub fn close_round_with(
+        &mut self,
+        aggregator: &dyn Aggregator,
+        params: &mut Vector,
+        round: usize,
+        proposals: &[Vector],
+        true_gradient: Option<Vector>,
+        probe: Option<&dyn GradientEstimator>,
+    ) -> Result<RoundRecord, TrainError> {
+        self.close_round_inner(
+            params,
+            round,
+            proposals,
+            true_gradient,
+            probe,
+            Some(aggregator),
+        )
+    }
+
+    fn close_round_inner(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+        proposals: &[Vector],
+        true_gradient: Option<Vector>,
+        probe: Option<&dyn GradientEstimator>,
+        override_rule: Option<&dyn Aggregator>,
+    ) -> Result<RoundRecord, TrainError> {
+        let aggregator = override_rule.unwrap_or(&*self.aggregator);
         let aggregation_start = Instant::now();
-        self.aggregator.aggregate_in(&mut self.ctx, proposals)?;
+        aggregator.aggregate_in(&mut self.ctx, proposals)?;
         let aggregation_nanos = aggregation_start.elapsed().as_nanos();
         let aggregation = self.ctx.output();
 
@@ -242,6 +287,32 @@ mod tests {
         // Timing fields the caller owns stay zero.
         assert_eq!(record.propose_nanos, 0);
         assert_eq!(record.round_nanos, 0);
+    }
+
+    #[test]
+    fn close_round_with_drives_a_degraded_arity_rule() {
+        let cluster = ClusterSpec::new(6, 1).unwrap();
+        let mut core =
+            RoundCore::new(cluster, Box::new(Krum::new(6, 1).unwrap()), config(4, 3), 3).unwrap();
+        // Only 5 of 6 proposals survived a crash: the configured rule was
+        // built for n=6 and rejects the arity…
+        let proposals = vec![Vector::filled(3, 1.0); 5];
+        let mut params = Vector::filled(3, 2.0);
+        assert!(core
+            .close_round(&mut params, 0, &proposals, None, None)
+            .is_err());
+        // …but the same rule rebuilt at the surviving arity closes the
+        // round through the shared workspace, schedule and record path.
+        let degraded = Krum::new(5, 1).unwrap();
+        let record = core
+            .close_round_with(&degraded, &mut params, 0, &proposals, None, None)
+            .unwrap();
+        assert!(params.distance(&Vector::filled(3, 1.5)) < 1e-12);
+        assert_eq!(record.round, 0);
+        assert_eq!(record.selected_byzantine, Some(false));
+        // The configured rule is untouched for the next full-strength round.
+        let full = vec![Vector::filled(3, 1.0); 6];
+        assert!(core.close_round(&mut params, 1, &full, None, None).is_ok());
     }
 
     #[test]

@@ -217,6 +217,39 @@ impl TrainingHistory {
         values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
     }
 
+    /// Total worker reconnections absorbed over the run (0 when in-process
+    /// or churn-free).
+    pub fn total_reconnects(&self) -> u64 {
+        self.rounds.iter().filter_map(|r| r.reconnects).sum()
+    }
+
+    /// Total rounds that closed degraded — an honest crash fault absorbed
+    /// by the quorum path instead of a full barrier (0 when in-process).
+    pub fn total_degraded_rounds(&self) -> u64 {
+        self.rounds.iter().filter_map(|r| r.degraded_rounds).sum()
+    }
+
+    /// Total checkpoint bytes persisted over the run (0 when checkpointing
+    /// is off or the run was in-process).
+    pub fn total_checkpoint_bytes(&self) -> u64 {
+        self.rounds.iter().filter_map(|r| r.checkpoint_bytes).sum()
+    }
+
+    /// Mean checkpoint bytes per checkpoint-recording round (0 when the
+    /// run never checkpointed).
+    pub fn mean_checkpoint_bytes(&self) -> f64 {
+        let values: Vec<u64> = self
+            .rounds
+            .iter()
+            .filter_map(|r| r.checkpoint_bytes)
+            .filter(|&b| b > 0)
+            .collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+    }
+
     /// Builds a [`ConvergenceSummary`] over the recorded rounds.
     pub fn summary(&self) -> ConvergenceSummary {
         let losses: Vec<f64> = self.rounds.iter().filter_map(|r| r.loss).collect();
@@ -417,5 +450,29 @@ mod tests {
         let json = serde_json::to_string(&h).unwrap();
         let back: TrainingHistory = serde_json::from_str(&json).unwrap();
         assert_eq!(h, back);
+    }
+
+    /// Satellite: churn totals sum only the rounds that recorded the
+    /// transport-side counters, and the checkpoint mean skips
+    /// checkpoint-free rounds.
+    #[test]
+    fn churn_totals_and_checkpoint_mean() {
+        let mut h = TrainingHistory::new("churn", "krum", "none", 9, 2);
+        assert_eq!(h.total_reconnects(), 0);
+        assert_eq!(h.total_degraded_rounds(), 0);
+        assert_eq!(h.total_checkpoint_bytes(), 0);
+        assert_eq!(h.mean_checkpoint_bytes(), 0.0);
+        for i in 0..4 {
+            let mut r = RoundRecord::new(i, 1.0, 0.1);
+            r.reconnects = Some(u64::from(i == 2));
+            r.degraded_rounds = Some(u64::from(i == 2));
+            r.checkpoint_bytes = Some(if i % 2 == 1 { 1_000 } else { 0 });
+            h.push(r);
+        }
+        h.push(RoundRecord::new(4, 1.0, 0.1)); // in-process round: all None
+        assert_eq!(h.total_reconnects(), 1);
+        assert_eq!(h.total_degraded_rounds(), 1);
+        assert_eq!(h.total_checkpoint_bytes(), 2_000);
+        assert_eq!(h.mean_checkpoint_bytes(), 1_000.0);
     }
 }

@@ -67,6 +67,17 @@ pub struct RoundRecord {
     /// in-process execution (where `network_nanos` carries the *simulated*
     /// charge instead).
     pub arrival_nanos: Option<u128>,
+    /// Worker reconnections (`Rejoin` handshakes re-staffed into their old
+    /// slot) absorbed during this round; `None` for in-process execution.
+    pub reconnects: Option<u64>,
+    /// 1 when this round closed degraded — an honest crash fault absorbed
+    /// by the quorum path instead of a full barrier — else 0; `None` for
+    /// in-process execution.
+    pub degraded_rounds: Option<u64>,
+    /// Bytes of checkpoint state persisted at the end of this round (0 on
+    /// rounds without a checkpoint); `None` when checkpointing is off or
+    /// the round ran in-process.
+    pub checkpoint_bytes: Option<u64>,
 }
 
 impl RoundRecord {
@@ -96,6 +107,9 @@ impl RoundRecord {
             pending_carryover: None,
             wire_bytes: None,
             arrival_nanos: None,
+            reconnects: None,
+            degraded_rounds: None,
+            checkpoint_bytes: None,
         }
     }
 
@@ -103,13 +117,16 @@ impl RoundRecord {
     /// follow the round pipeline: propose → attack → aggregate → network;
     /// the quorum/staleness columns are filled under async-quorum execution
     /// and empty for barrier rounds; the trailing wire columns are filled
-    /// when the round ran over a real transport (`krum-server`).
+    /// when the round ran over a real transport (`krum-server`); the
+    /// churn columns (`reconnects`, `degraded_rounds`, `checkpoint_bytes`)
+    /// close the row and are likewise transport-only.
     pub fn csv_header() -> &'static str {
         "round,loss,accuracy,true_gradient_norm,aggregate_norm,alignment,\
          distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
          propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos,\
          quorum_size,stale_in_quorum,max_staleness_in_quorum,dropped_stale,\
-         pending_carryover,wire_bytes,arrival_nanos"
+         pending_carryover,wire_bytes,arrival_nanos,reconnects,degraded_rounds,\
+         checkpoint_bytes"
     }
 
     /// Serialises the record as one CSV row (empty cells for `None`).
@@ -118,7 +135,7 @@ impl RoundRecord {
             v.as_ref().map(ToString::to_string).unwrap_or_default()
         }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             opt(&self.loss),
             opt(&self.accuracy),
@@ -141,6 +158,9 @@ impl RoundRecord {
             opt(&self.pending_carryover),
             opt(&self.wire_bytes),
             opt(&self.arrival_nanos),
+            opt(&self.reconnects),
+            opt(&self.degraded_rounds),
+            opt(&self.checkpoint_bytes),
         )
     }
 }
@@ -181,7 +201,7 @@ mod tests {
         r.round_nanos = 110;
         // The trailing quorum/staleness and wire cells are empty for
         // in-process barrier rounds.
-        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,"));
+        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,,,,"));
     }
 
     #[test]
@@ -206,7 +226,7 @@ mod tests {
         r.max_staleness_in_quorum = Some(1);
         r.dropped_stale = Some(0);
         r.pending_carryover = Some(3);
-        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,"));
+        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,,,,"));
     }
 
     /// Satellite: the wire columns trail everything (they only apply to
@@ -221,7 +241,26 @@ mod tests {
         let mut r = RoundRecord::new(2, 1.0, 0.1);
         r.wire_bytes = Some(81_920);
         r.arrival_nanos = Some(1_500_000);
-        assert!(r.to_csv_row().ends_with(",81920,1500000"));
+        assert!(r.to_csv_row().ends_with(",81920,1500000,,,"));
+    }
+
+    /// Satellite: the churn columns close the row, in
+    /// reconnects → degraded → checkpoint order, and serialise as plain
+    /// integers on networked rounds.
+    #[test]
+    fn churn_columns_close_the_header_and_serialise() {
+        let header = RoundRecord::csv_header();
+        let arrival = header.find("arrival_nanos").unwrap();
+        let reconnects = header.find("reconnects").unwrap();
+        let degraded = header.find("degraded_rounds").unwrap();
+        let checkpoint = header.find("checkpoint_bytes").unwrap();
+        assert!(arrival < reconnects && reconnects < degraded && degraded < checkpoint);
+        assert!(header.ends_with("checkpoint_bytes"));
+        let mut r = RoundRecord::new(4, 1.0, 0.1);
+        r.reconnects = Some(1);
+        r.degraded_rounds = Some(1);
+        r.checkpoint_bytes = Some(4_096);
+        assert!(r.to_csv_row().ends_with(",1,1,4096"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use krum_models::EstimatorSpec;
 use krum_tensor::InitStrategy;
 
 use crate::error::ScenarioError;
+use crate::faults::FaultPlan;
 use crate::report::ScenarioReport;
 use crate::scenario::Scenario;
 use crate::spec::{ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec};
@@ -53,6 +54,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     init: InitSpec,
     probes: ProbeSpec,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -75,6 +77,7 @@ impl ScenarioBuilder {
             seed: 0,
             init: InitSpec::Zeros,
             probes: ProbeSpec::default(),
+            fault_plan: None,
         }
     }
 
@@ -205,6 +208,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a declarative fault plan (executed only by the chaos
+    /// harness; inert everywhere else).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// The spec this builder currently describes (e.g. to serialise it to a
     /// scenario file). Not yet validated — see [`ScenarioSpec::validate`].
     pub fn spec(&self) -> Result<ScenarioSpec, ScenarioError> {
@@ -233,6 +244,7 @@ impl ScenarioBuilder {
             seed: self.seed,
             init: self.init,
             probes: self.probes,
+            fault_plan: self.fault_plan.clone(),
         })
     }
 

@@ -1,0 +1,232 @@
+//! Declarative fault injection: the `FaultPlan` a chaos harness executes.
+//!
+//! A [`FaultPlan`] is data, not code: it names the connection-level faults
+//! to inject into a served scenario (drop/delay/blackhole/truncate/corrupt
+//! a frame, kill and restart the server) so that churn experiments are as
+//! reproducible as the training runs they disturb. The plan lives on the
+//! [`ScenarioSpec`](crate::ScenarioSpec) (optional `fault_plan` field) and
+//! is executed by `krum-server`'s chaos proxy (`krum chaos spec.json`);
+//! in-process and plain loopback execution ignore it, which is what makes
+//! "the same spec, minus the faults" the uninterrupted control run.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::error::ScenarioError;
+
+/// Upper bound on an injected delay: a delay is a perturbation, not a hang
+/// (hangs are what [`FaultAction::Blackhole`] is for).
+pub const MAX_FAULT_DELAY_MILLIS: u64 = 60_000;
+
+/// One scripted fault suite for a served scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Free-form description, exported as (escaped) CSV metadata.
+    pub description: String,
+    /// Connection-level faults, executed by the chaos proxy.
+    pub faults: Vec<FaultSpec>,
+    /// Kill the server after it completes this round (0-based) and restart
+    /// it from its latest checkpoint — the scripted `kill -9` + `--resume`
+    /// scenario. Requires checkpointing to be enabled by the harness.
+    pub kill_server_after_round: Option<u64>,
+}
+
+/// One connection-level fault: *what* happens to *which* frame of *which*
+/// connection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Proxy connection index, in accept order. The chaos harness connects
+    /// workers sequentially, so connection `i` is worker slot `i`.
+    pub conn: u32,
+    /// Which client→server frame triggers the fault, 0-based. Frame 0 is
+    /// the handshake (`Hello`/`Rejoin`); an honest worker's proposal for
+    /// round `r` is frame `r + 1`. Heartbeat `Pong`s are *not* counted —
+    /// their timing is nondeterministic and would make scripts flaky.
+    pub at_frame: u64,
+    /// What the proxy does to that frame.
+    pub action: FaultAction,
+}
+
+/// What the chaos proxy does to the targeted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Sever the connection before the frame is forwarded (a worker
+    /// crash, from the server's point of view).
+    Drop,
+    /// Hold the frame for this many milliseconds, then forward it intact
+    /// (a straggler).
+    Delay {
+        /// Delay before forwarding, in milliseconds (1..=60_000).
+        millis: u64,
+    },
+    /// Silently discard this and every later client→server frame while
+    /// keeping the connection open (a hung worker: the server's heartbeats
+    /// go unanswered until the liveness timeout declares it crashed).
+    Blackhole,
+    /// Forward only the first `bytes` bytes of the frame, then sever the
+    /// connection (a crash mid-write; the server sees a truncated frame).
+    Truncate {
+        /// Bytes of the frame to forward before cutting (≥ 1).
+        bytes: u64,
+    },
+    /// Flip one bit in the frame body before forwarding (the server's CRC
+    /// rejects it and the connection is torn down as faulty).
+    Corrupt,
+}
+
+impl FaultPlan {
+    /// Checks the plan's own invariants (the spec's `validate` calls this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidSpec`] naming the first violation.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        for (i, fault) in self.faults.iter().enumerate() {
+            match fault.action {
+                FaultAction::Delay { millis } => {
+                    if millis == 0 || millis > MAX_FAULT_DELAY_MILLIS {
+                        return Err(ScenarioError::invalid(format!(
+                            "fault {i}: delay must be 1..={MAX_FAULT_DELAY_MILLIS} ms, \
+                             got {millis} (use blackhole to simulate a hang)"
+                        )));
+                    }
+                }
+                FaultAction::Truncate { bytes } => {
+                    if bytes == 0 {
+                        return Err(ScenarioError::invalid(format!(
+                            "fault {i}: truncate must keep >= 1 byte (use drop to \
+                             sever before the frame)"
+                        )));
+                    }
+                }
+                FaultAction::Drop | FaultAction::Blackhole | FaultAction::Corrupt => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A one-line summary (`description` when set, otherwise a count).
+    pub fn headline(&self) -> String {
+        if self.description.is_empty() {
+            format!(
+                "{} fault(s){}",
+                self.faults.len(),
+                if self.kill_server_after_round.is_some() {
+                    " + server kill/resume"
+                } else {
+                    ""
+                }
+            )
+        } else {
+            self.description.clone()
+        }
+    }
+}
+
+// Hand-written: every field is optional in the JSON (an empty object is an
+// empty plan), which the derive's required-field semantics cannot express.
+impl Deserialize for FaultPlan {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let pairs = match v {
+            Value::Object(pairs) => pairs,
+            other => return Err(DeError::invalid_type("object", other.kind())),
+        };
+        let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        Ok(Self {
+            description: match get("description") {
+                Some(v) => Deserialize::deserialize(v)?,
+                None => String::new(),
+            },
+            faults: match get("faults") {
+                Some(v) => Deserialize::deserialize(v)?,
+                None => Vec::new(),
+            },
+            kill_server_after_round: match get("kill_server_after_round") {
+                Some(v) => Deserialize::deserialize(v)?,
+                None => None,
+            },
+        })
+    }
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Drop => out.write_str("drop"),
+            Self::Delay { millis } => write!(out, "delay({millis}ms)"),
+            Self::Blackhole => out.write_str("blackhole"),
+            Self::Truncate { bytes } => write!(out, "truncate({bytes}B)"),
+            Self::Corrupt => out.write_str("corrupt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            description: "drop worker 2 at round 3, then kill the server".into(),
+            faults: vec![
+                FaultSpec {
+                    conn: 2,
+                    at_frame: 4,
+                    action: FaultAction::Drop,
+                },
+                FaultSpec {
+                    conn: 0,
+                    at_frame: 1,
+                    action: FaultAction::Delay { millis: 50 },
+                },
+            ],
+            kill_server_after_round: Some(6),
+        }
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let p = plan();
+        p.validate().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        assert!(p.headline().contains("drop worker 2"));
+    }
+
+    #[test]
+    fn missing_fields_default_to_an_empty_plan() {
+        let p: FaultPlan = serde_json::from_str("{}").unwrap();
+        assert!(p.description.is_empty());
+        assert!(p.faults.is_empty());
+        assert!(p.kill_server_after_round.is_none());
+        p.validate().unwrap();
+        assert_eq!(p.headline(), "0 fault(s)");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_faults() {
+        let mut bad = plan();
+        bad.faults[1].action = FaultAction::Delay { millis: 0 };
+        assert!(bad.validate().is_err());
+        let mut bad = plan();
+        bad.faults[1].action = FaultAction::Delay {
+            millis: MAX_FAULT_DELAY_MILLIS + 1,
+        };
+        assert!(bad.validate().is_err());
+        let mut bad = plan();
+        bad.faults[0].action = FaultAction::Truncate { bytes: 0 };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn actions_display_compactly() {
+        assert_eq!(FaultAction::Drop.to_string(), "drop");
+        assert_eq!(FaultAction::Delay { millis: 9 }.to_string(), "delay(9ms)");
+        assert_eq!(FaultAction::Blackhole.to_string(), "blackhole");
+        assert_eq!(
+            FaultAction::Truncate { bytes: 7 }.to_string(),
+            "truncate(7B)"
+        );
+        assert_eq!(FaultAction::Corrupt.to_string(), "corrupt");
+    }
+}

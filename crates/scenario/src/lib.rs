@@ -47,20 +47,26 @@
 
 mod builder;
 mod error;
+mod faults;
 mod report;
 mod scenario;
 mod spec;
 
 pub use builder::ScenarioBuilder;
 pub use error::ScenarioError;
+pub use faults::{FaultAction, FaultPlan, FaultSpec, MAX_FAULT_DELAY_MILLIS};
 pub use report::{escape_metadata, ScenarioReport};
 pub use scenario::Scenario;
-pub use spec::{ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec, EXECUTION_NAMES};
+pub use spec::{
+    CrashPolicy, ExecutionSpec, InitSpec, ProbeSpec, RemoteTimeouts, ScenarioSpec,
+    DEFAULT_HANDSHAKE_TIMEOUT_SECS, DEFAULT_HEARTBEAT_SECS, DEFAULT_ROUND_TIMEOUT_SECS,
+    DEFAULT_STAFFING_TIMEOUT_SECS, EXECUTION_NAMES,
+};
 
 /// Convenience prelude for the scenario crate.
 pub mod prelude {
     pub use crate::{
-        ExecutionSpec, InitSpec, ProbeSpec, Scenario, ScenarioBuilder, ScenarioError,
-        ScenarioReport, ScenarioSpec,
+        CrashPolicy, ExecutionSpec, FaultAction, FaultPlan, FaultSpec, InitSpec, ProbeSpec,
+        RemoteTimeouts, Scenario, ScenarioBuilder, ScenarioError, ScenarioReport, ScenarioSpec,
     };
 }

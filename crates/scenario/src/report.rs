@@ -55,7 +55,7 @@ impl ScenarioReport {
     /// execution strategy.
     pub fn metadata(&self) -> Vec<(&'static str, String)> {
         let spec = &self.spec;
-        vec![
+        let mut entries = vec![
             ("scenario", spec.name.clone()),
             ("rule", spec.rule.to_string()),
             ("attack", spec.attack.to_string()),
@@ -74,7 +74,11 @@ impl ScenarioReport {
             ("eval_every", spec.eval_every.to_string()),
             ("seed", spec.seed.to_string()),
             ("wall_ms", format!("{:.3}", self.wall_nanos as f64 / 1e6)),
-        ]
+        ];
+        if let Some(plan) = &spec.fault_plan {
+            entries.push(("fault_plan", plan.headline()));
+        }
+        entries
     }
 
     /// The metadata block as `# key: value` comment lines. Free-form and
@@ -87,7 +91,7 @@ impl ScenarioReport {
         let mut out = String::new();
         for (key, value) in self.metadata() {
             let value = match key {
-                "scenario" | "rule" | "attack" | "schedule" | "execution" => {
+                "scenario" | "rule" | "attack" | "schedule" | "execution" | "fault_plan" => {
                     escape_metadata(&value)
                 }
                 _ => value,
@@ -164,6 +168,7 @@ mod tests {
             seed: 1,
             init: InitSpec::Fill { value: 1.0 },
             probes: ProbeSpec::default(),
+            fault_plan: None,
         };
         Scenario::from_spec(spec).unwrap().run().unwrap()
     }
@@ -221,6 +226,34 @@ mod tests {
         for line in csv.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split(',').count(), cells, "row: {line}");
         }
+    }
+
+    /// Satellite: the free-form fault-plan description rides the same
+    /// escaping path, so a scripted-chaos CSV stays one line per key.
+    #[test]
+    fn fault_plan_description_is_escaped_in_metadata() {
+        let mut r = report();
+        assert!(
+            !r.header().contains("fault_plan"),
+            "plans absent from un-chaotic headers"
+        );
+        r.spec.fault_plan = Some(crate::FaultPlan {
+            description: "drop conn 2,\nthen kill\\resume".into(),
+            faults: Vec::new(),
+            kill_server_after_round: Some(1),
+        });
+        let header = r.header();
+        assert_eq!(
+            header.lines().count(),
+            r.metadata().len(),
+            "one comment line per metadata key, plan included"
+        );
+        assert!(header.contains("# fault_plan: drop conn 2\\,\\nthen kill\\\\resume"));
+        // An empty description falls back to the structured headline.
+        r.spec.fault_plan.as_mut().unwrap().description.clear();
+        assert!(r
+            .header()
+            .contains("# fault_plan: 0 fault(s) + server kill/resume"));
     }
 
     #[test]

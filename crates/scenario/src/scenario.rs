@@ -170,6 +170,7 @@ mod tests {
             seed: 7,
             init: InitSpec::Fill { value: 1.5 },
             probes: ProbeSpec::default(),
+            fault_plan: None,
         }
     }
 
@@ -246,6 +247,7 @@ mod tests {
             seed: 3,
             init: InitSpec::Zeros,
             probes: ProbeSpec::default(),
+            fault_plan: None,
         };
         let report = Scenario::from_spec(spec).unwrap().run().unwrap();
         let summary = report.summary();
@@ -273,10 +275,7 @@ mod tests {
     #[test]
     fn remote_execution_is_rejected_in_process_with_guidance() {
         let mut s = spec();
-        s.execution = ExecutionSpec::Remote {
-            quorum: None,
-            max_staleness: 0,
-        };
+        s.execution = ExecutionSpec::remote(None, 0);
         s.validate().unwrap();
         let err = Scenario::from_spec(s).unwrap_err();
         assert!(err.to_string().contains("krum serve"), "got: {err}");

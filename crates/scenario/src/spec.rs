@@ -5,13 +5,51 @@ use krum_core::RuleSpec;
 use krum_dist::{ClusterSpec, ExecutionStrategy, LearningRateSchedule, NetworkModel};
 use krum_models::EstimatorSpec;
 use krum_tensor::InitStrategy;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::error::ScenarioError;
+use crate::faults::FaultPlan;
+
+/// Default round timeout of remote execution, in seconds: how long a job
+/// waits for the next event before declaring the round hung.
+pub const DEFAULT_ROUND_TIMEOUT_SECS: u64 = 120;
+/// Default handshake timeout, in seconds: how long a freshly accepted
+/// socket gets to complete its `Hello`/`Rejoin`.
+pub const DEFAULT_HANDSHAKE_TIMEOUT_SECS: u64 = 10;
+/// Default staffing timeout, in seconds: how long the server waits for a
+/// job's roster to fill before giving up on it.
+pub const DEFAULT_STAFFING_TIMEOUT_SECS: u64 = 60;
+/// Default heartbeat interval, in seconds: how often the server pings
+/// silent workers mid-round.
+pub const DEFAULT_HEARTBEAT_SECS: u64 = 5;
+
+/// What a remote job does when an honest worker's connection dies (or its
+/// heartbeats go unanswered) mid-round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPolicy {
+    /// Stall the round (bounded by the round timeout) until the worker
+    /// rejoins its slot — the bit-identity-preserving default: a crash
+    /// plus rejoin reproduces the uninterrupted trajectory exactly.
+    WaitForRejoin,
+    /// Close the round at the live arrivals, as long as at least `n − f`
+    /// distinct workers made the quorum — the crash is absorbed like one
+    /// more Byzantine fault, the round is marked degraded, and the
+    /// aggregation rule is rebuilt for the smaller arity.
+    ProceedAtQuorum,
+}
+
+impl std::fmt::Display for CrashPolicy {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WaitForRejoin => out.write_str("wait-for-rejoin"),
+            Self::ProceedAtQuorum => out.write_str("proceed-at-quorum"),
+        }
+    }
+}
 
 /// How the round pipeline executes — the serialisable face of
 /// [`ExecutionStrategy`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecutionSpec {
     /// Honest workers run sequentially on the server thread.
     Sequential,
@@ -59,6 +97,24 @@ pub enum ExecutionSpec {
         /// Maximum age (in rounds) an in-flight proposal may reach and
         /// still be aggregated (only meaningful with a partial quorum).
         max_staleness: usize,
+        /// How long the job waits for the next worker event before
+        /// declaring the round hung, in seconds (JSON default:
+        /// [`DEFAULT_ROUND_TIMEOUT_SECS`]).
+        round_timeout_secs: u64,
+        /// How long a freshly accepted socket gets to complete its
+        /// handshake, in seconds (JSON default:
+        /// [`DEFAULT_HANDSHAKE_TIMEOUT_SECS`]).
+        handshake_timeout_secs: u64,
+        /// How long the server waits for a job's roster to fill, in
+        /// seconds (JSON default: [`DEFAULT_STAFFING_TIMEOUT_SECS`]).
+        staffing_timeout_secs: u64,
+        /// Heartbeat interval for silent workers, in seconds; must be
+        /// strictly less than the round timeout (JSON default:
+        /// [`DEFAULT_HEARTBEAT_SECS`]).
+        heartbeat_secs: u64,
+        /// What the job does when an honest worker crashes mid-round
+        /// (JSON default: [`CrashPolicy::WaitForRejoin`]).
+        on_crash: CrashPolicy,
     },
 }
 
@@ -66,7 +122,74 @@ pub enum ExecutionSpec {
 /// knows (shown by `krum list`).
 pub const EXECUTION_NAMES: &[&str] = &["sequential", "threaded", "async-quorum", "remote"];
 
+/// The resolved timing/policy knobs of remote execution (defaults for
+/// every other execution model, which the loopback server may still
+/// serve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteTimeouts {
+    /// Round timeout, in seconds.
+    pub round_secs: u64,
+    /// Handshake timeout, in seconds.
+    pub handshake_secs: u64,
+    /// Staffing timeout, in seconds.
+    pub staffing_secs: u64,
+    /// Heartbeat interval, in seconds.
+    pub heartbeat_secs: u64,
+    /// Crash policy for honest workers lost mid-round.
+    pub on_crash: CrashPolicy,
+}
+
+impl Default for RemoteTimeouts {
+    fn default() -> Self {
+        Self {
+            round_secs: DEFAULT_ROUND_TIMEOUT_SECS,
+            handshake_secs: DEFAULT_HANDSHAKE_TIMEOUT_SECS,
+            staffing_secs: DEFAULT_STAFFING_TIMEOUT_SECS,
+            heartbeat_secs: DEFAULT_HEARTBEAT_SECS,
+            on_crash: CrashPolicy::WaitForRejoin,
+        }
+    }
+}
+
 impl ExecutionSpec {
+    /// A `Remote` spec with the given quorum/staleness and every
+    /// timeout/policy knob at its default.
+    pub fn remote(quorum: Option<usize>, max_staleness: usize) -> Self {
+        let defaults = RemoteTimeouts::default();
+        Self::Remote {
+            quorum,
+            max_staleness,
+            round_timeout_secs: defaults.round_secs,
+            handshake_timeout_secs: defaults.handshake_secs,
+            staffing_timeout_secs: defaults.staffing_secs,
+            heartbeat_secs: defaults.heartbeat_secs,
+            on_crash: defaults.on_crash,
+        }
+    }
+
+    /// The timing/policy knobs the serving layer should run this spec
+    /// with: the `Remote` fields when this is remote execution, the
+    /// defaults otherwise (a loopback serve of a non-remote spec).
+    pub fn remote_timeouts(&self) -> RemoteTimeouts {
+        match *self {
+            Self::Remote {
+                round_timeout_secs,
+                handshake_timeout_secs,
+                staffing_timeout_secs,
+                heartbeat_secs,
+                on_crash,
+                ..
+            } => RemoteTimeouts {
+                round_secs: round_timeout_secs,
+                handshake_secs: handshake_timeout_secs,
+                staffing_secs: staffing_timeout_secs,
+                heartbeat_secs,
+                on_crash,
+            },
+            _ => RemoteTimeouts::default(),
+        }
+    }
+
     /// The in-process engine strategy this spec selects, or `None` for
     /// [`ExecutionSpec::Remote`] (which only the `krum-server` subsystem
     /// can execute).
@@ -112,16 +235,145 @@ impl ExecutionSpec {
     }
 }
 
+// Hand-written, mirroring the derive's externally-tagged layout exactly:
+// the `Remote` timeout/policy fields need serde *defaults* (existing
+// scenario JSONs predate them), which the vendored derive's required-field
+// semantics cannot express.
+impl Serialize for ExecutionSpec {
+    fn serialize(&self) -> Value {
+        let obj = |name: &str, fields: Vec<(String, Value)>| {
+            Value::Object(vec![(name.to_string(), Value::Object(fields))])
+        };
+        match self {
+            Self::Sequential => Value::Str("Sequential".into()),
+            Self::Threaded { network } => obj(
+                "Threaded",
+                vec![("network".into(), Serialize::serialize(network))],
+            ),
+            Self::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+            } => obj(
+                "AsyncQuorum",
+                vec![
+                    ("quorum".into(), Serialize::serialize(quorum)),
+                    ("max_staleness".into(), Serialize::serialize(max_staleness)),
+                    ("network".into(), Serialize::serialize(network)),
+                ],
+            ),
+            Self::Remote {
+                quorum,
+                max_staleness,
+                round_timeout_secs,
+                handshake_timeout_secs,
+                staffing_timeout_secs,
+                heartbeat_secs,
+                on_crash,
+            } => obj(
+                "Remote",
+                vec![
+                    ("quorum".into(), Serialize::serialize(quorum)),
+                    ("max_staleness".into(), Serialize::serialize(max_staleness)),
+                    (
+                        "round_timeout_secs".into(),
+                        Serialize::serialize(round_timeout_secs),
+                    ),
+                    (
+                        "handshake_timeout_secs".into(),
+                        Serialize::serialize(handshake_timeout_secs),
+                    ),
+                    (
+                        "staffing_timeout_secs".into(),
+                        Serialize::serialize(staffing_timeout_secs),
+                    ),
+                    (
+                        "heartbeat_secs".into(),
+                        Serialize::serialize(heartbeat_secs),
+                    ),
+                    ("on_crash".into(), Serialize::serialize(on_crash)),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for ExecutionSpec {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let field = |inner: &Value, name: &str| serde::__private::field(inner, name).cloned();
+        match v {
+            Value::Str(s) if s == "Sequential" => Ok(Self::Sequential),
+            Value::Str(other) => Err(DeError::unknown_variant("ExecutionSpec", other)),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                let (key, inner) = &pairs[0];
+                match key.as_str() {
+                    "Threaded" => Ok(Self::Threaded {
+                        network: Deserialize::deserialize(&field(inner, "network")?)?,
+                    }),
+                    "AsyncQuorum" => Ok(Self::AsyncQuorum {
+                        quorum: Deserialize::deserialize(&field(inner, "quorum")?)?,
+                        max_staleness: Deserialize::deserialize(&field(inner, "max_staleness")?)?,
+                        network: Deserialize::deserialize(&field(inner, "network")?)?,
+                    }),
+                    "Remote" => {
+                        let defaults = RemoteTimeouts::default();
+                        let u64_or = |name: &str, default: u64| -> Result<u64, DeError> {
+                            match optional_field(inner, name) {
+                                Some(v) => Deserialize::deserialize(v),
+                                None => Ok(default),
+                            }
+                        };
+                        Ok(Self::Remote {
+                            quorum: Deserialize::deserialize(&field(inner, "quorum")?)?,
+                            max_staleness: Deserialize::deserialize(&field(
+                                inner,
+                                "max_staleness",
+                            )?)?,
+                            round_timeout_secs: u64_or("round_timeout_secs", defaults.round_secs)?,
+                            handshake_timeout_secs: u64_or(
+                                "handshake_timeout_secs",
+                                defaults.handshake_secs,
+                            )?,
+                            staffing_timeout_secs: u64_or(
+                                "staffing_timeout_secs",
+                                defaults.staffing_secs,
+                            )?,
+                            heartbeat_secs: u64_or("heartbeat_secs", defaults.heartbeat_secs)?,
+                            on_crash: match optional_field(inner, "on_crash") {
+                                Some(v) => Deserialize::deserialize(v)?,
+                                None => defaults.on_crash,
+                            },
+                        })
+                    }
+                    other => Err(DeError::unknown_variant("ExecutionSpec", other)),
+                }
+            }
+            other => Err(DeError::invalid_type("ExecutionSpec variant", other.kind())),
+        }
+    }
+}
+
+/// Looks up an optional key in a JSON object (absent keys are distinct
+/// from explicit `null`: both fall back to the default here).
+fn optional_field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .filter(|v| !matches!(v, Value::Null)),
+        _ => None,
+    }
+}
+
 impl std::fmt::Display for ExecutionSpec {
     fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Remote {
-                quorum: None,
-                max_staleness: _,
-            } => out.write_str("remote(barrier)"),
+            Self::Remote { quorum: None, .. } => out.write_str("remote(barrier)"),
             Self::Remote {
                 quorum: Some(q),
                 max_staleness,
+                ..
             } => write!(out, "remote(q={q}, staleness<={max_staleness})"),
             other => other
                 .strategy()
@@ -178,7 +430,7 @@ impl Default for ProbeSpec {
 /// [`ScenarioBuilder`](crate::ScenarioBuilder), or be constructed literally;
 /// all three produce bit-identical parameter trajectories for the same
 /// field values because every random stream derives from `seed`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScenarioSpec {
     /// Free-form scenario label used in reports and file names.
     pub name: String,
@@ -204,6 +456,35 @@ pub struct ScenarioSpec {
     pub init: InitSpec,
     /// Optional measurements.
     pub probes: ProbeSpec,
+    /// Scripted faults for chaos runs (`None`, the JSON default, injects
+    /// nothing; ignored entirely outside the chaos harness).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+// Hand-written so `fault_plan` may be absent from the JSON (every spec
+// file written before fault injection existed stays valid).
+impl Deserialize for ScenarioSpec {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| serde::__private::field(v, name);
+        Ok(Self {
+            name: Deserialize::deserialize(field("name")?)?,
+            cluster: Deserialize::deserialize(field("cluster")?)?,
+            rule: Deserialize::deserialize(field("rule")?)?,
+            attack: Deserialize::deserialize(field("attack")?)?,
+            estimator: Deserialize::deserialize(field("estimator")?)?,
+            schedule: Deserialize::deserialize(field("schedule")?)?,
+            execution: Deserialize::deserialize(field("execution")?)?,
+            rounds: Deserialize::deserialize(field("rounds")?)?,
+            eval_every: Deserialize::deserialize(field("eval_every")?)?,
+            seed: Deserialize::deserialize(field("seed")?)?,
+            init: Deserialize::deserialize(field("init")?)?,
+            probes: Deserialize::deserialize(field("probes")?)?,
+            fault_plan: match optional_field(v, "fault_plan") {
+                Some(fv) => Some(Deserialize::deserialize(fv)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl ScenarioSpec {
@@ -271,6 +552,37 @@ impl ScenarioSpec {
         self.rule.build(arity, cluster.byzantine())?;
         self.attack.build(dim)?;
         self.attack.validate_for_cluster(cluster.byzantine())?;
+        if let ExecutionSpec::Remote {
+            round_timeout_secs,
+            handshake_timeout_secs,
+            staffing_timeout_secs,
+            heartbeat_secs,
+            ..
+        } = self.execution
+        {
+            for (name, value) in [
+                ("round_timeout_secs", round_timeout_secs),
+                ("handshake_timeout_secs", handshake_timeout_secs),
+                ("staffing_timeout_secs", staffing_timeout_secs),
+                ("heartbeat_secs", heartbeat_secs),
+            ] {
+                if value == 0 {
+                    return Err(ScenarioError::invalid(format!(
+                        "remote {name} must be >= 1 second"
+                    )));
+                }
+            }
+            if heartbeat_secs >= round_timeout_secs {
+                return Err(ScenarioError::invalid(format!(
+                    "remote heartbeat_secs ({heartbeat_secs}) must be strictly less than \
+                     round_timeout_secs ({round_timeout_secs}): a worker needs at least one \
+                     unanswered heartbeat before the round can time out"
+                )));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
         if self.rounds == 0 {
             return Err(ScenarioError::invalid("rounds must be >= 1"));
         }
@@ -349,6 +661,7 @@ mod tests {
             seed: 7,
             init: InitSpec::Fill { value: 1.5 },
             probes: ProbeSpec::default(),
+            fault_plan: None,
         }
     }
 
@@ -516,10 +829,7 @@ mod tests {
     #[test]
     fn remote_specs_validate_display_and_round_trip() {
         let mut s = spec();
-        s.execution = ExecutionSpec::Remote {
-            quorum: None,
-            max_staleness: 0,
-        };
+        s.execution = ExecutionSpec::remote(None, 0);
         s.validate().unwrap();
         assert_eq!(s.execution.aggregation_arity(9), 9);
         assert!(s.execution.network().is_none());
@@ -529,20 +839,14 @@ mod tests {
         assert_eq!(ScenarioSpec::from_json(&json).unwrap(), s);
 
         let mut q = spec();
-        q.execution = ExecutionSpec::Remote {
-            quorum: Some(7),
-            max_staleness: 2,
-        };
+        q.execution = ExecutionSpec::remote(Some(7), 2);
         q.validate().unwrap();
         assert_eq!(q.execution.aggregation_arity(9), 7);
         assert_eq!(q.execution.to_string(), "remote(q=7, staleness<=2)");
 
         for bad_quorum in [6, 10] {
             let mut bad = spec();
-            bad.execution = ExecutionSpec::Remote {
-                quorum: Some(bad_quorum),
-                max_staleness: 2,
-            };
+            bad.execution = ExecutionSpec::remote(Some(bad_quorum), 2);
             assert!(
                 bad.validate().is_err(),
                 "remote quorum {bad_quorum} must violate n - f <= q <= n at n = 9, f = 2"
@@ -553,14 +857,134 @@ mod tests {
         // f = 3 at n = 10 passes the barrier but not a quorum of 7.
         let mut bad = spec();
         bad.cluster = ClusterSpec::new(10, 3).unwrap();
-        bad.execution = ExecutionSpec::Remote {
-            quorum: Some(7),
-            max_staleness: 1,
-        };
+        bad.execution = ExecutionSpec::remote(Some(7), 1);
         assert!(matches!(bad.validate(), Err(ScenarioError::Rule(_))));
 
         assert!(EXECUTION_NAMES.contains(&"remote"));
         assert_eq!(EXECUTION_NAMES.len(), 4);
+    }
+
+    /// Satellite: the remote timeout knobs default when absent from the
+    /// JSON (a PR-5-era spec file parses unchanged) and validate as
+    /// nonzero with `heartbeat < round timeout`.
+    #[test]
+    fn remote_timeouts_default_validate_and_round_trip() {
+        // A remote spec serialised before the knobs existed: only quorum
+        // and max_staleness present.
+        let mut s = spec();
+        s.execution = ExecutionSpec::remote(Some(7), 1);
+        let json = s
+            .to_json()
+            .unwrap()
+            .replace("\"round_timeout_secs\": 120,\n", "")
+            .replace("\"handshake_timeout_secs\": 10,\n", "")
+            .replace("\"staffing_timeout_secs\": 60,\n", "")
+            .replace("\"heartbeat_secs\": 5,\n", "")
+            .replace("\"on_crash\": \"WaitForRejoin\"", "\"max_staleness\": 1");
+        assert!(
+            !json.contains("round_timeout_secs"),
+            "fixture must exercise the missing-field path: {json}"
+        );
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, s, "absent knobs must resolve to the defaults");
+        let knobs = back.execution.remote_timeouts();
+        assert_eq!(knobs.round_secs, DEFAULT_ROUND_TIMEOUT_SECS);
+        assert_eq!(knobs.handshake_secs, DEFAULT_HANDSHAKE_TIMEOUT_SECS);
+        assert_eq!(knobs.staffing_secs, DEFAULT_STAFFING_TIMEOUT_SECS);
+        assert_eq!(knobs.heartbeat_secs, DEFAULT_HEARTBEAT_SECS);
+        assert_eq!(knobs.on_crash, CrashPolicy::WaitForRejoin);
+
+        // Explicit knobs round-trip.
+        let mut tuned = spec();
+        tuned.execution = ExecutionSpec::Remote {
+            quorum: Some(7),
+            max_staleness: 1,
+            round_timeout_secs: 30,
+            handshake_timeout_secs: 3,
+            staffing_timeout_secs: 15,
+            heartbeat_secs: 2,
+            on_crash: CrashPolicy::ProceedAtQuorum,
+        };
+        tuned.validate().unwrap();
+        let json = tuned.to_json().unwrap();
+        assert!(json.contains("\"on_crash\": \"ProceedAtQuorum\""));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), tuned);
+
+        // Zero timeouts are rejected, one knob at a time.
+        for knob in 0..4 {
+            let mut bad = spec();
+            bad.execution = ExecutionSpec::Remote {
+                quorum: None,
+                max_staleness: 0,
+                round_timeout_secs: if knob == 0 { 0 } else { 120 },
+                handshake_timeout_secs: if knob == 1 { 0 } else { 10 },
+                staffing_timeout_secs: if knob == 2 { 0 } else { 60 },
+                heartbeat_secs: if knob == 3 { 0 } else { 5 },
+                on_crash: CrashPolicy::WaitForRejoin,
+            };
+            let err = bad.validate().unwrap_err();
+            assert!(
+                err.to_string().contains(">= 1 second"),
+                "knob {knob}: {err}"
+            );
+        }
+
+        // The heartbeat must fit under the round timeout.
+        let mut bad = spec();
+        bad.execution = ExecutionSpec::Remote {
+            quorum: None,
+            max_staleness: 0,
+            round_timeout_secs: 5,
+            handshake_timeout_secs: 10,
+            staffing_timeout_secs: 60,
+            heartbeat_secs: 5,
+            on_crash: CrashPolicy::WaitForRejoin,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("strictly less"), "got: {err}");
+
+        assert_eq!(CrashPolicy::WaitForRejoin.to_string(), "wait-for-rejoin");
+        assert_eq!(
+            CrashPolicy::ProceedAtQuorum.to_string(),
+            "proceed-at-quorum"
+        );
+    }
+
+    /// Satellite: a fault plan rides on the spec (optional — absent in old
+    /// files), round-trips through JSON, and is validated with the spec.
+    #[test]
+    fn fault_plans_ride_on_specs_optionally() {
+        // No plan serialises as an explicit null and reads back as `None`…
+        let plain = spec();
+        let json = plain.to_json().unwrap();
+        assert!(json.contains("\"fault_plan\": null"));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap().fault_plan, None);
+        // …and a pre-PR-6 spec file with no `fault_plan` key at all parses.
+        let old_style = json.replace(",\n  \"fault_plan\": null", "");
+        assert!(!old_style.contains("fault_plan"), "got: {old_style}");
+        let reparsed = ScenarioSpec::from_json(&old_style)
+            .expect("spec files predating fault plans must keep parsing");
+        assert_eq!(reparsed, plain);
+
+        let mut chaotic = spec();
+        chaotic.fault_plan = Some(crate::FaultPlan {
+            description: "drop conn 2 mid-round".into(),
+            faults: vec![crate::FaultSpec {
+                conn: 2,
+                at_frame: 4,
+                action: crate::FaultAction::Drop,
+            }],
+            kill_server_after_round: Some(3),
+        });
+        chaotic.validate().unwrap();
+        let json = chaotic.to_json().unwrap();
+        assert!(json.contains("drop conn 2 mid-round"));
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), chaotic);
+
+        // Plan validation is spec validation.
+        let mut bad = chaotic.clone();
+        bad.fault_plan.as_mut().unwrap().faults[0].action = crate::FaultAction::Delay { millis: 0 };
+        assert!(bad.validate().is_err());
     }
 
     /// Satellite: the Figure-2 collusion with f = 1 degenerates to zero

@@ -1,0 +1,378 @@
+//! Deterministic fault injection: an in-process chaos proxy and harness.
+//!
+//! [`ChaosProxy`] sits between workers and the server as a TCP
+//! man-in-the-middle and executes the connection-level faults of a
+//! [`FaultPlan`](krum_scenario::FaultPlan): it parses the client→server
+//! byte stream into wire frames (without decoding them) and, at the
+//! scripted frame index, drops/delays/blackholes/truncates/corrupts —
+//! exactly once, on exactly the scripted connection. Because the faults
+//! are data and the trigger is a frame *count* (not a timer), a chaos run
+//! is reproducible: the same spec and plan disturb the same bytes.
+//!
+//! [`run_chaos`] is the full harness: server + proxy + workers in one
+//! process, every worker configured to rejoin through the proxy, plus the
+//! scripted `kill -9` — when the plan sets `kill_server_after_round`, the
+//! server halts after checkpointing that round (sockets severed, no
+//! goodbye, like a real crash), a fresh [`Server::resume`] picks the jobs
+//! back up from disk, the proxy's upstream swings to the new port, and the
+//! surviving workers rejoin mid-flight. The stitched run must be
+//! bit-identical to an uninterrupted one — `tests/churn_recovery.rs` pins
+//! exactly that.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use krum_scenario::{FaultAction, FaultPlan, FaultSpec, ScenarioReport, ScenarioSpec};
+use krum_wire::{Frame, MAX_FRAME_BYTES};
+
+use crate::error::ServerError;
+use crate::server::Server;
+use crate::worker::WorkerClient;
+
+/// How often the proxy's accept loop polls for new connections.
+const PROXY_POLL: Duration = Duration::from_millis(2);
+
+/// A fault-injecting TCP proxy for one chaos run.
+///
+/// Lives until dropped; new connections (including worker rejoins) are
+/// accepted throughout. Connections are numbered in accept order and only
+/// the faults naming a connection's index apply to it — rejoin connections
+/// get fresh (fault-free) indices, so a scripted fault fires exactly once.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    upstream: Arc<Mutex<SocketAddr>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ChaosProxy {
+    /// Binds the proxy on an ephemeral localhost port in front of
+    /// `upstream`, executing `faults` (one per scripted connection/frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Io`] when the bind fails.
+    pub fn start(upstream: SocketAddr, faults: Vec<FaultSpec>) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let upstream = Arc::new(Mutex::new(upstream));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_upstream = Arc::clone(&upstream);
+        let accept_stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut conn_index: u32 = 0;
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let conn_faults: Vec<FaultSpec> = faults
+                            .iter()
+                            .copied()
+                            .filter(|f| f.conn == conn_index)
+                            .collect();
+                        conn_index += 1;
+                        let target = *accept_upstream.lock().expect("upstream lock");
+                        pipe_connection(client, target, conn_faults);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(PROXY_POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            upstream,
+            stop,
+        })
+    }
+
+    /// The address workers should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swings the upstream — new connections (rejoins included) go to
+    /// `addr`. Existing pipes keep their old upstream until they die.
+    pub fn set_upstream(&self, addr: SocketAddr) {
+        *self.upstream.lock().expect("upstream lock") = addr;
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .field("upstream", &self.upstream.lock().ok().map(|a| *a))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Wires one accepted client to the upstream: a frame-aware client→server
+/// pump (where the faults fire) and a raw server→client pump.
+fn pipe_connection(client: TcpStream, upstream: SocketAddr, faults: Vec<FaultSpec>) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        // No upstream (e.g. the scripted kill window): refuse the
+        // connection so the worker retries with backoff.
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client_read), Ok(server_read)) = (client.try_clone(), server.try_clone()) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    std::thread::spawn(move || pump_frames(client_read, server, faults));
+    std::thread::spawn(move || pump_raw(server_read, client));
+}
+
+/// Copies client→server traffic frame by frame, firing the scripted fault
+/// when its frame index comes up. Heartbeat `Pong`s are not counted (their
+/// timing is nondeterministic); the frame index is over everything else:
+/// frame 0 is the handshake, an honest round-`r` proposal is frame `r + 1`.
+fn pump_frames(mut from: TcpStream, mut to: TcpStream, faults: Vec<FaultSpec>) {
+    let pong_tag = Frame::Pong { job: 0, nonce: 0 }.tag();
+    let mut counted: u64 = 0;
+    let mut blackholed = false;
+    loop {
+        let mut header = [0u8; 4];
+        if from.read_exact(&mut header).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 || len > MAX_FRAME_BYTES {
+            break;
+        }
+        let mut frame = vec![0u8; 4 + len + 4];
+        frame[..4].copy_from_slice(&header);
+        if from.read_exact(&mut frame[4..]).is_err() {
+            break;
+        }
+        let tag = frame[4];
+        let fault = if tag == pong_tag {
+            None
+        } else {
+            let index = counted;
+            counted += 1;
+            faults
+                .iter()
+                .find(|f| f.at_frame == index)
+                .map(|f| f.action)
+        };
+        match fault {
+            None => {
+                if blackholed {
+                    continue;
+                }
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(FaultAction::Drop) => break,
+            Some(FaultAction::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(FaultAction::Blackhole) => {
+                // Keep draining so the client never blocks on a full send
+                // buffer, but forward nothing from here on.
+                blackholed = true;
+            }
+            Some(FaultAction::Truncate { bytes }) => {
+                let keep = (bytes as usize).min(frame.len());
+                let _ = to.write_all(&frame[..keep]);
+                break;
+            }
+            Some(FaultAction::Corrupt) => {
+                // Flip one bit mid-payload; the CRC trailer now lies.
+                let byte = 4 + len / 2;
+                frame[byte] ^= 0x20;
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Copies server→client traffic verbatim until either side dies.
+fn pump_raw(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Knobs for [`run_chaos`] beyond what the spec's fault plan scripts.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Checkpoint directory. Defaults to a per-process temp directory;
+    /// required (and auto-created) when the plan kills the server.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in rounds (default every round, so a scripted
+    /// kill can always resume from the round it halted after).
+    pub checkpoint_every: u64,
+    /// Rejoin attempts per worker (default 40 — with the bounded backoff
+    /// that is well over a minute of patience, enough to ride out a
+    /// server kill/resume window).
+    pub worker_retries: u32,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            worker_retries: 40,
+        }
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The stitched scenario report (identical to an undisturbed run's
+    /// when every worker recovered).
+    pub report: ScenarioReport,
+    /// Total successful rejoins across all workers.
+    pub worker_reconnects: u64,
+    /// `true` when the plan killed the server and a resume finished the
+    /// job.
+    pub server_resumed: bool,
+    /// Workers whose sessions ended in an error (0 when every fault was
+    /// healed by a rejoin).
+    pub worker_failures: u64,
+}
+
+/// Runs `spec` through the full chaos harness: server behind a
+/// [`ChaosProxy`] executing the spec's fault plan, workers staffed
+/// sequentially through the proxy (so connection `i` is worker slot `i`)
+/// with rejoin retries, checkpointing on, and the scripted server
+/// kill/resume when the plan asks for one.
+///
+/// # Errors
+///
+/// Returns the spec/plan validation error, any bind failure, the job's
+/// structured error when the run could not be completed, or a worker-side
+/// handshake failure.
+pub fn run_chaos(spec: ScenarioSpec, opts: ChaosOptions) -> Result<ChaosOutcome, ServerError> {
+    spec.validate()?;
+    let plan = spec.fault_plan.clone().unwrap_or(FaultPlan {
+        description: String::new(),
+        faults: Vec::new(),
+        kill_server_after_round: None,
+    });
+    let kill_after = plan.kill_server_after_round;
+    if let Some(kill) = kill_after {
+        if kill + 1 >= spec.rounds as u64 {
+            return Err(ServerError::protocol(format!(
+                "kill_server_after_round = {kill} leaves nothing to resume \
+                 (the scenario has {} rounds)",
+                spec.rounds
+            )));
+        }
+    }
+    let checkpoint_dir = opts
+        .checkpoint_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("krum-chaos-{}", std::process::id())));
+    std::fs::create_dir_all(&checkpoint_dir)?;
+    let every = opts.checkpoint_every.max(1);
+
+    let mut server =
+        Server::bind("127.0.0.1:0", spec, 1)?.with_checkpoints(checkpoint_dir.clone(), every);
+    if let Some(kill) = kill_after {
+        server = server.with_halt_after_round(kill);
+    }
+    let server_addr = server.local_addr()?;
+    let connections = server.connections_per_job();
+    let proxy = ChaosProxy::start(server_addr, plan.faults.clone())?;
+    let proxy_addr = proxy.addr();
+
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Staff sequentially so proxy connection `i` is worker slot `i` — the
+    // contract `FaultSpec::conn` is scripted against. The handshake is a
+    // full round trip, so slot assignment cannot race.
+    let mut workers = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let session = WorkerClient::connect(proxy_addr)?
+            .with_agent(format!("krum-chaos-worker-{i}"))
+            .with_retries(opts.worker_retries)
+            .handshake()?;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("krum-chaos-worker-{i}"))
+                .spawn(move || session.serve())?,
+        );
+    }
+
+    let mut outcomes = server_thread
+        .join()
+        .unwrap_or(Err(ServerError::protocol("the server thread panicked")))?;
+    let first = outcomes
+        .pop()
+        .ok_or_else(|| ServerError::protocol("the server produced no job outcome"))?;
+
+    let mut server_resumed = false;
+    let report = match first.result {
+        Err(ServerError::Halted { .. }) if kill_after.is_some() => {
+            // The scripted kill -9: bring up a fresh server from the
+            // checkpoints, swing the proxy, and let the workers (already
+            // in their rejoin loops) find it.
+            let resumed = Server::resume("127.0.0.1:0", &checkpoint_dir)?
+                .with_checkpoints(checkpoint_dir.clone(), every);
+            proxy.set_upstream(resumed.local_addr()?);
+            server_resumed = true;
+            let mut outcomes = resumed.run()?;
+            let outcome = outcomes
+                .pop()
+                .ok_or_else(|| ServerError::protocol("the resumed server produced no outcome"))?;
+            outcome.result?
+        }
+        other => other?,
+    };
+
+    let mut worker_reconnects = 0u64;
+    let mut worker_failures = 0u64;
+    for handle in workers {
+        match handle.join() {
+            Ok(Ok(summary)) => worker_reconnects += summary.reconnects,
+            // A worker whose session the chaos permanently severed; the
+            // job itself already succeeded, so record rather than fail.
+            Ok(Err(_)) | Err(_) => worker_failures += 1,
+        }
+    }
+
+    Ok(ChaosOutcome {
+        report,
+        worker_reconnects,
+        server_resumed,
+        worker_failures,
+    })
+}

@@ -51,6 +51,42 @@ pub enum ServerError {
         /// What never arrived.
         what: String,
     },
+    /// A job thread panicked (a bug, not a fault the policy can absorb);
+    /// the panic is contained to the job and surfaced structurally.
+    #[error("job {job}: the job thread panicked")]
+    JobPanicked {
+        /// The job whose thread died.
+        job: u64,
+    },
+    /// More workers crashed than the crash policy can absorb: the round
+    /// cannot close even degraded (fewer than `n − f` live proposals).
+    #[error(
+        "job {job} round {round}: only {live} live proposals, need at least \
+         {needed} (n - f) to close even degraded"
+    )]
+    TooManyFaults {
+        /// The job that lost its quorum.
+        job: u64,
+        /// The round that could not close.
+        round: u64,
+        /// Live proposals available when the round gave up.
+        live: usize,
+        /// Minimum proposals (`n − f`) any close requires.
+        needed: usize,
+    },
+    /// The server was halted by a scripted fault plan after checkpointing
+    /// (the in-process face of `kill -9`); resume from the checkpoint
+    /// directory to continue.
+    #[error("job {job} halted by the fault plan after round {round} (checkpoint written)")]
+    Halted {
+        /// The halted job.
+        job: u64,
+        /// Last completed (and checkpointed) round.
+        round: u64,
+    },
+    /// A checkpoint file failed to parse or disagrees with the server.
+    #[error("checkpoint: {0}")]
+    Checkpoint(String),
 }
 
 impl ServerError {

@@ -4,14 +4,14 @@
 //! write halves of its worker connections and a channel fed by the
 //! per-connection reader threads; each round it
 //!
-//! 1. **broadcasts** `x_t` to every honest worker,
+//! 1. **broadcasts** `x_t` to every live honest worker,
 //! 2. **collects** proposals in *real arrival order*, seeding the round
 //!    with the carried stragglers of earlier rounds (they are already at
 //!    the server, so they outrank every fresh arrival — exactly the
 //!    in-process async engine's tier-0 semantics),
-//! 3. **relays** the honest proposals to the adversary connection once they
-//!    have all arrived (the paper's omniscient adversary, made explicit as
-//!    bytes on the wire),
+//! 3. **relays** the honest proposals to the adversary connection once
+//!    every honest proposal the round can still produce is in (the paper's
+//!    omniscient adversary, made explicit as bytes on the wire),
 //! 4. **closes the quorum** at the `quorum`-th distinct-worker arrival
 //!    (at most one proposal per worker per quorum — the Byzantine share
 //!    stays capped at `f`), carries the leftovers forward under the
@@ -24,26 +24,63 @@
 //! The quorum's composition is ordered by real arrivals, but the
 //! *aggregation input* is sorted by `(issued_round, worker)` like the
 //! in-process async engine, so the rule sees a deterministic layout.
+//!
+//! # Churn: crash faults, heartbeats, rejoin, degraded rounds
+//!
+//! A connection that dies (or goes silent past the heartbeat grace) is a
+//! **crash fault**. What happens next is the spec's crash policy:
+//!
+//! * **fail fast** (non-`Remote` execution) — the job aborts with a
+//!   structured [`ServerError::WorkerLost`], exactly as before;
+//! * **wait-for-rejoin** — the slot is marked dead and the round keeps
+//!   waiting (bounded by the round timeout) for the worker to come back
+//!   through the [`Frame::Rejoin`] handshake. A rejoiner is re-staffed
+//!   into its old slot and hears the current round again; because workers
+//!   replay cached answers (or fast-forward their deterministic RNG
+//!   streams), the recovered round is *bit-identical* to an uninterrupted
+//!   one;
+//! * **proceed-at-quorum** — the round stops waiting for dead slots and
+//!   closes over the live proposals. When that leaves fewer than the
+//!   configured quorum, the round closes **degraded**: the same rule is
+//!   rebuilt at the surviving arity (Krum's guarantee holds while
+//!   `2f + 2 < live`), and the record's `degraded_rounds` column says so.
+//!   Fewer than `n − f` live proposals is unrecoverable —
+//!   [`ServerError::TooManyFaults`].
+//!
+//! Silence is probed with [`Frame::Ping`]/[`Frame::Pong`] heartbeats; a
+//! connection that misses [`MISSED_HEARTBEATS`] consecutive intervals is
+//! declared hung — a crash fault, same as a dropped socket.
+//!
+//! The job can also **checkpoint** (snapshot `x_t`, the carry-over queue
+//! and the history after every cadence-th round, see [`crate::checkpoint`])
+//! and **halt** after a scripted round (the in-process face of `kill -9`,
+//! driven by the chaos harness) — a resumed job continues bit-identically.
 
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
 
 use krum_dist::{RoundCore, TrainingConfig};
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
-use krum_scenario::{ExecutionSpec, InitSpec, ScenarioReport, ScenarioSpec};
+use krum_scenario::{
+    CrashPolicy, ExecutionSpec, InitSpec, RemoteTimeouts, ScenarioReport, ScenarioSpec,
+};
 use krum_tensor::Vector;
-use krum_wire::{write_frame, Frame, WireError};
+use krum_wire::{write_frame, CarryOver, Frame, WireError};
 
+use crate::checkpoint::{self, CheckpointConfig, ResumeState};
 use crate::error::ServerError;
 
-/// How long the job thread waits for the next frame before declaring the
-/// round hung. Generous: a round only needs each worker to push one
-/// gradient.
-pub(crate) const ROUND_TIMEOUT: Duration = Duration::from_secs(120);
+/// Consecutive silent heartbeat intervals after which a live-but-mute
+/// connection is declared hung (a crash fault). The worker's read loop
+/// answers pings between rounds of real work, so the grace only has to
+/// cover one estimate — heartbeats are configured per spec
+/// (`heartbeat_secs`), this multiplier is the protocol's patience.
+pub(crate) const MISSED_HEARTBEATS: u32 = 3;
 
-/// One event from a connection's reader thread.
+/// One event from a connection's reader thread (or the accept loop, for
+/// rejoins).
 #[derive(Debug)]
 pub(crate) enum ConnEvent {
     /// A frame arrived from the given worker slot (`bytes` as framed).
@@ -62,6 +99,15 @@ pub(crate) enum ConnEvent {
         /// The transport error, if the close was not clean.
         error: Option<WireError>,
     },
+    /// A worker re-staffed its old slot through the `Rejoin` handshake;
+    /// `stream` is the fresh write half (a new reader thread already feeds
+    /// this channel).
+    Rejoined {
+        /// Worker slot being re-staffed.
+        worker: u32,
+        /// Write half of the replacement socket.
+        stream: TcpStream,
+    },
 }
 
 /// Write half of one worker connection. A job's connections are indexed by
@@ -69,6 +115,43 @@ pub(crate) enum ConnEvent {
 pub(crate) struct JobConnection {
     /// Write half of the socket (reads happen on the reader thread).
     pub stream: TcpStream,
+}
+
+/// Everything the serving layer decided about *how* to run a job, as
+/// opposed to *what* the job computes (the spec): timeouts, crash policy,
+/// checkpointing, scripted halts and resume state.
+pub(crate) struct JobRuntime {
+    /// Round/handshake/staffing/heartbeat timing knobs.
+    pub timeouts: RemoteTimeouts,
+    /// `Some` for `Remote` execution (crash faults absorbed per policy);
+    /// `None` for every other execution strategy (fail fast, as before).
+    pub on_crash: Option<CrashPolicy>,
+    /// Periodic snapshots, when enabled.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Scripted `kill -9`: halt (after checkpointing) once this round
+    /// completes.
+    pub halt_after_round: Option<u64>,
+    /// Continue from this snapshot instead of round 0.
+    pub resume: Option<ResumeState>,
+}
+
+impl JobRuntime {
+    /// The runtime a bare spec implies: its timeouts, its crash policy,
+    /// no checkpointing, no scripted faults.
+    pub fn for_spec(spec: &ScenarioSpec) -> Self {
+        let timeouts = spec.execution.remote_timeouts();
+        let on_crash = match spec.execution {
+            ExecutionSpec::Remote { .. } => Some(timeouts.on_crash),
+            _ => None,
+        };
+        Self {
+            timeouts,
+            on_crash,
+            checkpoint: None,
+            halt_after_round: None,
+            resume: None,
+        }
+    }
 }
 
 /// How rounds close for a given execution spec: quorum size, staleness
@@ -84,11 +167,21 @@ fn close_policy(execution: &ExecutionSpec, n: usize) -> (usize, usize, bool) {
         ExecutionSpec::Remote {
             quorum,
             max_staleness,
+            ..
         } => match quorum {
             Some(q) => (q, max_staleness, true),
             None => (n, max_staleness, false),
         },
     }
+}
+
+/// The per-round closing rules of one job, bundled once in `drive_job`.
+struct ClosePolicy {
+    quorum: usize,
+    max_staleness: usize,
+    record_quorum: bool,
+    timeouts: RemoteTimeouts,
+    on_crash: Option<CrashPolicy>,
 }
 
 /// A proposal that arrived but did not make its round's quorum, carried
@@ -108,18 +201,29 @@ struct Selected {
 
 /// Runs one job to completion: `rounds` server rounds over the given
 /// connections, returning the scenario report. On failure the workers are
-/// sent a `Shutdown` naming the error before it propagates.
+/// sent a `Shutdown` naming the error before it propagates — except for a
+/// scripted halt, which mimics `kill -9`: the sockets just die.
 pub(crate) fn run_job(
     id: u64,
     spec: ScenarioSpec,
     mut conns: Vec<JobConnection>,
     events: Receiver<ConnEvent>,
+    runtime: JobRuntime,
 ) -> Result<ScenarioReport, ServerError> {
-    let result = drive_job(id, &spec, &mut conns, &events);
+    let result = drive_job(id, &spec, &mut conns, &events, &runtime);
     match result {
         Ok(report) => {
             shutdown_all(id, &mut conns, "job complete");
             Ok(report)
+        }
+        Err(e @ ServerError::Halted { .. }) => {
+            // Scripted kill: no goodbye. The workers discover the death as
+            // a dropped connection and retry their rejoin handshake against
+            // whatever comes back up (the resumed server).
+            for conn in conns.iter_mut() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            Err(e)
         }
         Err(e) => {
             shutdown_all(id, &mut conns, &format!("job failed: {e}"));
@@ -142,11 +246,55 @@ fn shutdown_all(id: u64, conns: &mut [JobConnection], reason: &str) {
     }
 }
 
+/// Declares a crash fault on connection `worker`: fatal under fail-fast,
+/// absorbed (slot marked dead, socket closed so the peer notices and can
+/// rejoin) under a crash policy. A second obituary for an already-dead
+/// slot is a no-op.
+fn crash(
+    on_crash: Option<CrashPolicy>,
+    alive: &mut [bool],
+    conns: &mut [JobConnection],
+    worker: u32,
+    round: usize,
+    message: &str,
+) -> Result<(), ServerError> {
+    let w = worker as usize;
+    if w >= alive.len() || !alive[w] {
+        return Ok(());
+    }
+    if on_crash.is_none() {
+        return Err(ServerError::WorkerLost {
+            worker,
+            round: round as u64,
+            message: message.into(),
+        });
+    }
+    alive[w] = false;
+    // Close our half too: a peer alive behind a one-way fault sees EOF and
+    // starts its rejoin loop instead of waiting forever.
+    let _ = conns[w].stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// The observation relay: every honest proposal of the round that exists
+/// so far, in worker order. A barrier round relays all `n − f`; a
+/// crash-degraded round relays what the live workers produced (the relay
+/// is withheld until at least one exists, so it is never empty).
+fn relay_frame(id: u64, round: usize, params: &Vector, observed: &[Option<Vec<f64>>]) -> Frame {
+    Frame::Broadcast {
+        job: id,
+        round: round as u64,
+        params: params.as_slice().to_vec(),
+        observed: observed.iter().filter_map(Clone::clone).collect(),
+    }
+}
+
 fn drive_job(
     id: u64,
     spec: &ScenarioSpec,
     conns: &mut [JobConnection],
     events: &Receiver<ConnEvent>,
+    runtime: &JobRuntime,
 ) -> Result<ScenarioReport, ServerError> {
     let cluster = spec.cluster;
     let n = cluster.workers();
@@ -198,56 +346,135 @@ fn drive_job(
     drop(estimators);
 
     let (quorum, max_staleness, record_quorum) = close_policy(&spec.execution, n);
-    let mut params = match spec.init {
-        InitSpec::Zeros => Vector::zeros(dim),
-        InitSpec::Fill { value } => Vector::filled(dim, value),
-        InitSpec::Sample { strategy, seed } => spec.estimator.init_params(strategy, seed)?,
+    let policy = ClosePolicy {
+        quorum,
+        max_staleness,
+        record_quorum,
+        timeouts: runtime.timeouts,
+        on_crash: runtime.on_crash,
     };
 
-    let mut history = TrainingHistory::new(
-        format!(
-            "{} vs {} (n={n}, f={f}, d={dim}, served)",
-            core.aggregator_name(),
-            spec.attack
-        ),
-        core.aggregator_name().to_string(),
-        spec.attack.to_string(),
-        n,
-        f,
-    );
+    // Fresh start, or continue where the checkpoint left off. The snapshot
+    // restores the server-side state; the workers restore theirs by
+    // fast-forwarding their deterministic RNG streams (or by simply still
+    // being alive, for an in-process kill/resume).
+    let (start_round, mut params, mut pending, mut history, wall_before) = match &runtime.resume {
+        Some(resume) => {
+            if resume.params.dim() != dim {
+                return Err(ServerError::Checkpoint(format!(
+                    "snapshot params have dimension {}, the job needs {dim}",
+                    resume.params.dim()
+                )));
+            }
+            let pending: Vec<Pending> = resume
+                .pending
+                .iter()
+                .map(|c| Pending {
+                    worker: c.worker as usize,
+                    issued_round: c.issued_round as usize,
+                    vector: Vector::from(c.proposal.clone()),
+                })
+                .collect();
+            (
+                resume.start_round as usize,
+                resume.params.clone(),
+                pending,
+                resume.history.clone(),
+                resume.wall_nanos,
+            )
+        }
+        None => {
+            let params = match spec.init {
+                InitSpec::Zeros => Vector::zeros(dim),
+                InitSpec::Fill { value } => Vector::filled(dim, value),
+                InitSpec::Sample { strategy, seed } => {
+                    spec.estimator.init_params(strategy, seed)?
+                }
+            };
+            let history = TrainingHistory::new(
+                format!(
+                    "{} vs {} (n={n}, f={f}, d={dim}, served)",
+                    core.aggregator_name(),
+                    spec.attack
+                ),
+                core.aggregator_name().to_string(),
+                spec.attack.to_string(),
+                n,
+                f,
+            );
+            (0, params, Vec::new(), history, 0)
+        }
+    };
 
+    let mut alive = vec![true; conns.len()];
     let wall_start = Instant::now();
-    let mut pending: Vec<Pending> = Vec::new();
-    for round in 0..spec.rounds {
+    for round in start_round..spec.rounds {
         let record = serve_round(
             id,
             round,
             spec,
             conns,
+            &mut alive,
             events,
             &mut core,
             &*probe,
             &mut params,
             &mut pending,
-            quorum,
-            max_staleness,
-            record_quorum,
+            &policy,
         )?;
         history.push(record);
+        let halting = runtime.halt_after_round == Some(round as u64);
+        if let Some(config) = &runtime.checkpoint {
+            if (round as u64 + 1).is_multiple_of(config.every) || halting {
+                let carry: Vec<CarryOver> = pending
+                    .iter()
+                    .map(|p| CarryOver {
+                        worker: p.worker as u32,
+                        issued_round: p.issued_round as u64,
+                        proposal: p.vector.as_slice().to_vec(),
+                    })
+                    .collect();
+                let bytes = checkpoint::write_checkpoint(
+                    config,
+                    id,
+                    round as u64 + 1,
+                    &params,
+                    &carry,
+                    spec,
+                    &history,
+                    wall_before + wall_start.elapsed().as_nanos(),
+                )?;
+                if let Some(last) = history.rounds.last_mut() {
+                    last.checkpoint_bytes = Some(bytes);
+                }
+            }
+        }
+        if halting {
+            return Err(ServerError::Halted {
+                job: id,
+                round: round as u64,
+            });
+        }
     }
-    let wall_nanos = wall_start.elapsed().as_nanos();
+    let wall_nanos = wall_before + wall_start.elapsed().as_nanos();
 
     // Final frames: the trained model, then the goodbye (sent by the
-    // caller's shutdown pass).
-    for conn in conns.iter_mut() {
-        write_frame(
-            &mut conn.stream,
-            &Frame::Aggregate {
-                job: id,
-                round: spec.rounds as u64,
-                params: params.as_slice().to_vec(),
-            },
-        )?;
+    // caller's shutdown pass). A slot dead under a crash policy hears
+    // neither — if it rejoins now, the server tells it the job is over.
+    for c in 0..conns.len() {
+        if !alive[c] {
+            continue;
+        }
+        let aggregate = Frame::Aggregate {
+            job: id,
+            round: spec.rounds as u64,
+            params: params.as_slice().to_vec(),
+        };
+        match write_frame(&mut conns[c].stream, &aggregate) {
+            Ok(_) => {}
+            Err(_) if policy.on_crash.is_some() => {}
+            Err(e) => return Err(e.into()),
+        }
     }
 
     Ok(ScenarioReport {
@@ -265,39 +492,60 @@ fn serve_round(
     round: usize,
     spec: &ScenarioSpec,
     conns: &mut [JobConnection],
+    alive: &mut [bool],
     events: &Receiver<ConnEvent>,
     core: &mut RoundCore,
     probe: &dyn GradientEstimator,
     params: &mut Vector,
     pending: &mut Vec<Pending>,
-    quorum: usize,
-    max_staleness: usize,
-    record_quorum: bool,
+    policy: &ClosePolicy,
 ) -> Result<RoundRecord, ServerError> {
     let cluster = spec.cluster;
     let n = cluster.workers();
     let honest = cluster.honest();
     let f = cluster.byzantine();
+    let adversary = honest; // connection index (meaningful when f > 0)
     let dim = core.dim();
+    let on_crash = policy.on_crash;
+    // Fail-fast and wait-for-rejoin both hold the round for every slot
+    // (dead ones are expected back); proceed-at-quorum stops waiting.
+    let wait_for_dead = !matches!(on_crash, Some(CrashPolicy::ProceedAtQuorum));
     let round_open = Instant::now();
+    let heartbeat = Duration::from_secs(policy.timeouts.heartbeat_secs);
+    let deadline = round_open + Duration::from_secs(policy.timeouts.round_secs);
     let mut wire_bytes: u64 = 0;
+    let mut reconnects: u64 = 0;
 
-    // Broadcast x_t to the honest workers (the adversary hears later, with
-    // its observations).
+    // Broadcast x_t to the live honest workers (the adversary hears later,
+    // with its observations; a dead slot hears the round when it rejoins).
     let broadcast = Frame::Broadcast {
         job: id,
         round: round as u64,
         params: params.as_slice().to_vec(),
         observed: Vec::new(),
     };
-    for conn in conns.iter_mut().take(honest) {
-        wire_bytes += write_frame(&mut conn.stream, &broadcast)? as u64;
+    for w in 0..honest {
+        if !alive[w] {
+            continue;
+        }
+        match write_frame(&mut conns[w].stream, &broadcast) {
+            Ok(b) => wire_bytes += b as u64,
+            Err(e) => crash(
+                on_crash,
+                alive,
+                conns,
+                w as u32,
+                round,
+                &format!("broadcast failed: {e}"),
+            )?,
+        }
     }
 
     // Quorum selection state. Carried stragglers are already at the server:
     // they outrank every fresh arrival, consumed oldest-first with at most
     // one proposal per worker per quorum.
     pending.sort_by_key(|p| (p.issued_round, p.worker));
+    let quorum = policy.quorum;
     let mut taken = vec![false; n];
     let mut selected: Vec<Selected> = Vec::with_capacity(quorum);
     let mut leftover: Vec<Pending> = Vec::new();
@@ -333,8 +581,9 @@ fn serve_round(
         );
     }
 
-    // Collect this round's fresh proposals in real arrival order. The loop
-    // drains *every* proposal of the round (the quorum may close earlier —
+    // Collect this round's fresh proposals in real arrival order, weaving
+    // in heartbeats, crash obituaries and rejoins. The loop drains every
+    // proposal the round can still produce (the quorum may close earlier —
     // `arrival_nanos` pins that moment — but stragglers are bookkept into
     // the carry pool before the next round opens, matching the in-process
     // async engine's accounting).
@@ -350,146 +599,300 @@ fn serve_round(
     let mut byzantine_arrived = 0usize;
     let mut relay_sent = f == 0;
     let mut relay_at: Option<Instant> = None;
+    let mut adv_replayed = false;
     let mut propose_nanos: u128 = 0;
     let mut attack_nanos: u128 = 0;
-    while honest_arrived < honest || byzantine_arrived < f {
-        let event = events.recv_timeout(ROUND_TIMEOUT).map_err(|e| match e {
-            RecvTimeoutError::Timeout => ServerError::Timeout {
-                seconds: ROUND_TIMEOUT.as_secs(),
+    let mut last_heard: Vec<Instant> = vec![round_open; conns.len()];
+    let mut next_tick = round_open + heartbeat;
+    let mut ping_nonce: u64 = (round as u64) << 32;
+    loop {
+        // What the round still waits for, given who is alive and the
+        // policy. A relay that can never fire (no honest proposal exists
+        // and none is coming) stops the wait for Byzantine proposals — the
+        // close path below turns that into a structured error if the
+        // survivors cannot carry the round.
+        let outstanding_honest =
+            (0..honest).any(|w| !honest_seen[w] && (alive[w] || wait_for_dead));
+        let relay_stalled = !relay_sent && honest_arrived == 0 && !outstanding_honest;
+        let outstanding_byz =
+            f > 0 && byzantine_arrived < f && (alive[adversary] || wait_for_dead) && !relay_stalled;
+        if !outstanding_honest && !outstanding_byz {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ServerError::Timeout {
+                seconds: policy.timeouts.round_secs,
                 what: format!(
-                    "round {round} proposals of job {id} \
-                     ({honest_arrived}/{honest} honest, {byzantine_arrived}/{f} byzantine)"
+                    "round {round} proposals of job {id} ({honest_arrived}/{honest} honest, \
+                     {byzantine_arrived}/{f} byzantine, {} live connections)",
+                    alive.iter().filter(|a| **a).count()
                 ),
-            },
-            RecvTimeoutError::Disconnected => {
-                ServerError::protocol("every reader thread hung up mid-job")
+            });
+        }
+        let wait = next_tick
+            .min(deadline)
+            .saturating_duration_since(now)
+            .max(Duration::from_millis(1));
+        let event = match events.recv_timeout(wait) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ServerError::protocol("every reader thread hung up mid-job"))
             }
-        })?;
-        let (conn_worker, frame, bytes) = match event {
+            Err(RecvTimeoutError::Timeout) => {
+                if Instant::now() >= next_tick {
+                    next_tick += heartbeat;
+                    // Ping the live connections the round still waits on; a
+                    // connection silent for MISSED_HEARTBEATS intervals is
+                    // hung — a crash fault, same as a dropped socket.
+                    for c in 0..conns.len() {
+                        if !alive[c] {
+                            continue;
+                        }
+                        let waited_on = if c < honest {
+                            !honest_seen[c]
+                        } else {
+                            f > 0 && byzantine_arrived < f
+                        };
+                        if !waited_on {
+                            continue;
+                        }
+                        if last_heard[c].elapsed() >= heartbeat * MISSED_HEARTBEATS {
+                            crash(
+                                on_crash,
+                                alive,
+                                conns,
+                                c as u32,
+                                round,
+                                "no heartbeat: connection is hung",
+                            )?;
+                            continue;
+                        }
+                        ping_nonce += 1;
+                        let ping = Frame::Ping {
+                            job: id,
+                            nonce: ping_nonce,
+                        };
+                        match write_frame(&mut conns[c].stream, &ping) {
+                            Ok(b) => wire_bytes += b as u64,
+                            Err(e) => crash(
+                                on_crash,
+                                alive,
+                                conns,
+                                c as u32,
+                                round,
+                                &format!("ping failed: {e}"),
+                            )?,
+                        }
+                    }
+                }
+                continue;
+            }
+        };
+        match event {
             ConnEvent::Closed { worker, error } => {
-                return Err(ServerError::WorkerLost {
-                    worker,
-                    round: round as u64,
-                    message: error
-                        .map(|e| e.to_string())
-                        .unwrap_or_else(|| "connection closed".into()),
-                })
+                let message = error
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "connection closed".into());
+                crash(on_crash, alive, conns, worker, round, &message)?;
+            }
+            ConnEvent::Rejoined { worker, stream } => {
+                let w = worker as usize;
+                if w >= conns.len() {
+                    continue; // admit() validates; belt and braces
+                }
+                conns[w].stream = stream;
+                alive[w] = true;
+                last_heard[w] = Instant::now();
+                reconnects += 1;
+                if w < honest {
+                    if !honest_seen[w] {
+                        // Re-open the round for the rejoiner: it either
+                        // replays its cached answer (it had already proposed
+                        // into the void) or fast-forwards its RNG stream and
+                        // computes it — both bit-identical to the
+                        // uninterrupted proposal.
+                        match write_frame(&mut conns[w].stream, &broadcast) {
+                            Ok(b) => wire_bytes += b as u64,
+                            Err(e) => crash(
+                                on_crash,
+                                alive,
+                                conns,
+                                worker,
+                                round,
+                                &format!("rejoin broadcast failed: {e}"),
+                            )?,
+                        }
+                    }
+                } else if f > 0 && relay_sent && byzantine_arrived < f {
+                    // The adversary died with the relay in flight: replay
+                    // it. The worker caches (or deterministically
+                    // re-forges) its answer, so slots that did land are
+                    // resent bit-identical — tolerated as duplicates below.
+                    adv_replayed = true;
+                    let relay = relay_frame(id, round, params, &observed);
+                    match write_frame(&mut conns[adversary].stream, &relay) {
+                        Ok(b) => {
+                            wire_bytes += b as u64;
+                            relay_at = Some(Instant::now());
+                        }
+                        Err(e) => crash(
+                            on_crash,
+                            alive,
+                            conns,
+                            worker,
+                            round,
+                            &format!("relay replay failed: {e}"),
+                        )?,
+                    }
+                }
             }
             ConnEvent::Frame {
-                worker,
+                worker: conn_worker,
                 frame,
                 bytes,
-            } => (worker, frame, bytes),
-        };
-        wire_bytes += bytes as u64;
-        let (job, propose_round, worker, proposal) = match frame {
-            Frame::Propose {
-                job,
-                round,
-                worker,
-                proposal,
-            } => (job, round, worker as usize, proposal),
-            other => {
-                return Err(ServerError::protocol(format!(
-                    "unexpected {} frame from worker {conn_worker} during round {round}",
-                    other.name()
-                )))
+            } => {
+                wire_bytes += bytes as u64;
+                if (conn_worker as usize) < last_heard.len() {
+                    last_heard[conn_worker as usize] = Instant::now();
+                }
+                let (job, propose_round, worker, proposal) = match frame {
+                    Frame::Pong { .. } => continue, // liveness, noted above
+                    Frame::Propose {
+                        job,
+                        round,
+                        worker,
+                        proposal,
+                    } => (job, round, worker as usize, proposal),
+                    other => {
+                        return Err(ServerError::protocol(format!(
+                            "unexpected {} frame from worker {conn_worker} during round {round}",
+                            other.name()
+                        )))
+                    }
+                };
+                if job != id {
+                    return Err(ServerError::protocol(format!(
+                        "worker {conn_worker} proposed for foreign job {job} (serving job {id})"
+                    )));
+                }
+                if propose_round != round as u64 {
+                    // Crash rounds can leave a straggler from an
+                    // already-closed round in flight; under a crash policy
+                    // it is dropped (that round closed without it), under
+                    // fail-fast it is the violation it always was.
+                    if on_crash.is_some() && propose_round < round as u64 {
+                        continue;
+                    }
+                    return Err(ServerError::protocol(format!(
+                        "worker {conn_worker} proposed for round {propose_round} \
+                         during round {round}"
+                    )));
+                }
+                if proposal.len() != dim {
+                    return Err(ServerError::protocol(format!(
+                        "worker {conn_worker} proposed dimension {}, expected {dim}",
+                        proposal.len()
+                    )));
+                }
+                // Authority: honest connections propose exactly their own
+                // slot, the adversary connection proposes exactly the
+                // Byzantine slots.
+                let from_adversary = conn_worker as usize == adversary && f > 0;
+                if from_adversary {
+                    if worker < honest || worker >= n {
+                        return Err(ServerError::protocol(format!(
+                            "the adversary proposed for honest slot {worker}"
+                        )));
+                    }
+                    if byzantine_seen[worker - honest] {
+                        if adv_replayed {
+                            // A replayed relay re-forges bit-identical
+                            // proposals; the copies that already landed are
+                            // dropped, not a violation.
+                            continue;
+                        }
+                        return Err(ServerError::protocol(format!(
+                            "duplicate Byzantine proposal for slot {worker} in round {round}"
+                        )));
+                    }
+                    byzantine_seen[worker - honest] = true;
+                    byzantine_arrived += 1;
+                    if let Some(at) = relay_at {
+                        attack_nanos = at.elapsed().as_nanos();
+                    }
+                } else {
+                    if worker != conn_worker as usize {
+                        return Err(ServerError::protocol(format!(
+                            "worker {conn_worker} proposed for slot {worker}"
+                        )));
+                    }
+                    if honest_seen[worker] {
+                        if on_crash.is_some() {
+                            // A cached rejoin replay raced its original copy
+                            // through the old socket; the bits are
+                            // identical, drop the echo.
+                            continue;
+                        }
+                        return Err(ServerError::protocol(format!(
+                            "duplicate proposal from worker {worker} in round {round}"
+                        )));
+                    }
+                    honest_seen[worker] = true;
+                    honest_arrived += 1;
+                    propose_nanos = round_open.elapsed().as_nanos();
+                    if f > 0 {
+                        observed[worker] = Some(proposal.clone());
+                    }
+                }
+                offer(
+                    Pending {
+                        worker,
+                        issued_round: round,
+                        vector: Vector::from(proposal),
+                    },
+                    &mut selected,
+                    &mut leftover,
+                    &mut taken,
+                    &mut arrival_nanos,
+                    &round_open,
+                );
             }
-        };
-        if job != id {
-            return Err(ServerError::protocol(format!(
-                "worker {conn_worker} proposed for foreign job {job} (serving job {id})"
-            )));
         }
-        if propose_round != round as u64 {
-            return Err(ServerError::protocol(format!(
-                "worker {conn_worker} proposed for round {propose_round} during round {round}"
-            )));
-        }
-        if proposal.len() != dim {
-            return Err(ServerError::protocol(format!(
-                "worker {conn_worker} proposed dimension {}, expected {dim}",
-                proposal.len()
-            )));
-        }
-        // Authority: honest connections propose exactly their own slot, the
-        // adversary connection proposes exactly the Byzantine slots.
-        let from_adversary = conn_worker as usize == honest;
-        if from_adversary {
-            if worker < honest || worker >= n {
-                return Err(ServerError::protocol(format!(
-                    "the adversary proposed for honest slot {worker}"
-                )));
-            }
-            if std::mem::replace(&mut byzantine_seen[worker - honest], true) {
-                return Err(ServerError::protocol(format!(
-                    "duplicate Byzantine proposal for slot {worker} in round {round}"
-                )));
-            }
-            byzantine_arrived += 1;
-            if let Some(at) = relay_at {
-                attack_nanos = at.elapsed().as_nanos();
-            }
-        } else {
-            if worker != conn_worker as usize {
-                return Err(ServerError::protocol(format!(
-                    "worker {conn_worker} proposed for slot {worker}"
-                )));
-            }
-            if std::mem::replace(&mut honest_seen[worker], true) {
-                return Err(ServerError::protocol(format!(
-                    "duplicate proposal from worker {worker} in round {round}"
-                )));
-            }
-            honest_arrived += 1;
-            propose_nanos = round_open.elapsed().as_nanos();
-            if f > 0 {
-                observed[worker] = Some(proposal.clone());
-            }
-        }
-        offer(
-            Pending {
-                worker,
-                issued_round: round,
-                vector: Vector::from(proposal),
-            },
-            &mut selected,
-            &mut leftover,
-            &mut taken,
-            &mut arrival_nanos,
-            &round_open,
-        );
 
-        // Omniscient-adversary relay: once every honest proposal of the
-        // round is in, the adversary observes them (worker order — the
-        // same order the in-process engines hand to `Attack::forge`) and
-        // answers with the `f` Byzantine proposals.
-        if !relay_sent && honest_arrived == honest {
-            let relay = Frame::Broadcast {
-                job: id,
-                round: round as u64,
-                params: params.as_slice().to_vec(),
-                observed: observed
-                    .iter_mut()
-                    .map(|slot| slot.take().expect("every honest proposal arrived"))
-                    .collect(),
-            };
-            wire_bytes += write_frame(&mut conns[honest].stream, &relay)? as u64;
-            relay_sent = true;
-            relay_at = Some(Instant::now());
+        // Omniscient-adversary relay: fires once every honest proposal the
+        // round can still produce is in (all of them under barrier
+        // semantics — worker order, the same order the in-process engines
+        // hand to `Attack::forge`). Re-checked after crashes too: a death
+        // can be what completes the live set.
+        if f > 0 && !relay_sent && honest_arrived > 0 && alive[adversary] {
+            let all_in = (0..honest).all(|w| honest_seen[w] || (!alive[w] && !wait_for_dead));
+            if all_in {
+                let relay = relay_frame(id, round, params, &observed);
+                match write_frame(&mut conns[adversary].stream, &relay) {
+                    Ok(b) => {
+                        wire_bytes += b as u64;
+                        relay_sent = true;
+                        relay_at = Some(Instant::now());
+                    }
+                    Err(e) => crash(
+                        on_crash,
+                        alive,
+                        conns,
+                        adversary as u32,
+                        round,
+                        &format!("relay failed: {e}"),
+                    )?,
+                }
+            }
         }
     }
-    debug_assert_eq!(
-        selected.len(),
-        quorum,
-        "all n workers proposed, so the quorum must have filled"
-    );
     let arrival_nanos = arrival_nanos.unwrap_or_else(|| round_open.elapsed().as_nanos());
 
     // Carry the unselected proposals forward under the staleness bound.
     let mut dropped_stale = 0usize;
     for entry in leftover {
-        if round + 1 - entry.issued_round > max_staleness {
+        if round + 1 - entry.issued_round > policy.max_staleness {
             dropped_stale += 1;
         } else {
             pending.push(entry);
@@ -501,6 +904,17 @@ fn serve_round(
     // (issued_round, worker) order, exactly like the in-process async
     // engine (plain worker order when the quorum is all-fresh).
     let quorum_size = selected.len();
+    let degraded = quorum_size < quorum;
+    if degraded && quorum_size < honest {
+        // Below n − f live proposals no close is sound: more workers
+        // crashed than the fault bound absorbs.
+        return Err(ServerError::TooManyFaults {
+            job: id,
+            round: round as u64,
+            live: quorum_size,
+            needed: honest,
+        });
+    }
     let stale_in_quorum = selected.iter().filter(|s| s.issued_round < round).count();
     let max_staleness_in_quorum = selected
         .iter()
@@ -514,14 +928,22 @@ fn serve_round(
         .collect();
     let vectors: Vec<Vector> = selected.into_iter().map(|s| s.vector).collect();
 
-    // Aggregate → step → record through the shared core.
+    // Aggregate → step → record through the shared core. A crash-degraded
+    // round closes through the same rule rebuilt at the surviving arity
+    // (Krum's guarantee holds while 2f + 2 < live — the rebuild enforces
+    // its own bound structurally).
     let true_gradient = probe.true_gradient(params);
-    let mut record = core.close_round(params, round, &vectors, true_gradient, Some(probe))?;
+    let mut record = if degraded {
+        let rule = spec.rule.build(quorum_size, f)?;
+        core.close_round_with(&*rule, params, round, &vectors, true_gradient, Some(probe))?
+    } else {
+        core.close_round(params, round, &vectors, true_gradient, Some(probe))?
+    };
     record.selected_worker = record.selected_worker.map(|slot| meta[slot].0);
     record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
     record.propose_nanos = propose_nanos;
     record.attack_nanos = attack_nanos;
-    if record_quorum {
+    if policy.record_quorum {
         record.quorum_size = Some(quorum_size);
         record.stale_in_quorum = Some(stale_in_quorum);
         record.max_staleness_in_quorum = Some(max_staleness_in_quorum);
@@ -529,16 +951,32 @@ fn serve_round(
         record.pending_carryover = Some(pending_carryover);
     }
     record.arrival_nanos = Some(arrival_nanos);
+    record.reconnects = Some(reconnects);
+    record.degraded_rounds = Some(u64::from(degraded));
 
-    // Close the round towards the workers.
+    // Close the round towards the live workers (a dead one hears the next
+    // broadcast after it rejoins).
     let closed = Frame::RoundClosed {
         job: id,
         round: round as u64,
         quorum: quorum_size as u32,
         aggregate_norm: record.aggregate_norm,
     };
-    for conn in conns.iter_mut() {
-        wire_bytes += write_frame(&mut conn.stream, &closed)? as u64;
+    for c in 0..conns.len() {
+        if !alive[c] {
+            continue;
+        }
+        match write_frame(&mut conns[c].stream, &closed) {
+            Ok(b) => wire_bytes += b as u64,
+            Err(e) => crash(
+                on_crash,
+                alive,
+                conns,
+                c as u32,
+                round,
+                &format!("round-close failed: {e}"),
+            )?,
+        }
     }
     record.wire_bytes = Some(wire_bytes);
     record.round_nanos = round_open.elapsed().as_nanos();

@@ -49,21 +49,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
+mod checkpoint;
 mod error;
 mod job;
 mod loopback;
 mod server;
 mod worker;
 
+pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome, ChaosProxy};
+pub use checkpoint::CheckpointConfig;
 pub use error::ServerError;
 pub use loopback::{run_loopback, run_loopback_jobs};
 pub use server::{JobOutcome, Server};
-pub use worker::{run_worker, WorkerClient, WorkerSummary};
+pub use worker::{run_worker, WorkerClient, WorkerSession, WorkerSummary};
 
 /// Convenience prelude for the server crate.
 pub mod prelude {
     pub use crate::{
-        run_loopback, run_loopback_jobs, run_worker, JobOutcome, Server, ServerError, WorkerClient,
+        run_chaos, run_loopback, run_loopback_jobs, run_worker, ChaosOptions, ChaosOutcome,
+        ChaosProxy, CheckpointConfig, JobOutcome, Server, ServerError, WorkerClient, WorkerSession,
         WorkerSummary,
     };
 }

@@ -9,25 +9,34 @@
 //! a dedicated reader thread that feeds the job's event channel; a job's
 //! round state machine (see [`crate::job`]) starts the moment its roster is
 //! complete, so jobs run concurrently as workers trickle in.
+//!
+//! The accept loop keeps listening *after* staffing completes: a worker
+//! whose connection died mid-job comes back with a [`Frame::Rejoin`]
+//! handshake and is re-staffed into its old slot (the job thread hears a
+//! [`ConnEvent::Rejoined`]). Staffing itself is bounded by the spec's
+//! staffing timeout — a roster that never fills becomes a structured
+//! [`ServerError::Timeout`] outcome instead of a hung process.
+//!
+//! [`Server::resume`] rebuilds jobs from `job-<id>.ckpt` snapshots (see
+//! [`crate::checkpoint`]): resumed jobs staff like fresh ones — restarted
+//! workers `Hello` in, surviving workers `Rejoin` their old slots — and
+//! continue from the checkpointed round bit-identically.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, Sender};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use krum_scenario::{ScenarioReport, ScenarioSpec};
 use krum_wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
 
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::error::ServerError;
-use crate::job::{run_job, ConnEvent, JobConnection};
+use crate::job::{run_job, ConnEvent, JobConnection, JobRuntime};
 
-/// How long a freshly accepted socket gets to complete the `Hello`
-/// handshake before the server drops it. Handshakes run serially on the
-/// accept thread — simple and race-free for the lab/loopback deployments
-/// this subsystem targets, at the cost that one stalled client can delay
-/// further staffing by up to this timeout (an internet-facing deployment
-/// would move the handshake onto the per-connection thread).
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// How often the accept loop polls for new sockets and finished jobs.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 /// The outcome of one served job.
 #[derive(Debug)]
@@ -40,20 +49,77 @@ pub struct JobOutcome {
     pub result: Result<ScenarioReport, ServerError>,
 }
 
-/// One job waiting for (or holding) its workers.
+/// One job waiting for (or holding) its workers. Connections are
+/// slot-addressed so a resumed job can be staffed out of order (`Rejoin`
+/// names its slot; `Hello` takes the first free one).
 struct JobSlot {
     id: u64,
     spec: ScenarioSpec,
-    conns: Vec<JobConnection>,
+    conns: Vec<Option<JobConnection>>,
     sender: Sender<ConnEvent>,
     events: Option<mpsc::Receiver<ConnEvent>>,
+    runtime: Option<JobRuntime>,
     handle: Option<JoinHandle<Result<ScenarioReport, ServerError>>>,
+}
+
+impl JobSlot {
+    fn new(id: u64, spec: ScenarioSpec, per_job: usize, runtime: JobRuntime) -> Self {
+        let (sender, events) = mpsc::channel();
+        Self {
+            id,
+            spec,
+            conns: (0..per_job).map(|_| None).collect(),
+            sender,
+            events: Some(events),
+            runtime: Some(runtime),
+            handle: None,
+        }
+    }
+
+    /// Starts the job thread once the roster is full.
+    fn start_if_staffed(&mut self) {
+        if self.handle.is_some() || self.conns.iter().any(Option::is_none) {
+            return;
+        }
+        let id = self.id;
+        let spec = self.spec.clone();
+        let conns: Vec<JobConnection> = self
+            .conns
+            .iter_mut()
+            .map(|c| c.take().expect("roster is full"))
+            .collect();
+        let events = self.events.take().expect("a job starts exactly once");
+        let runtime = self.runtime.take().expect("a job starts exactly once");
+        self.handle = Some(std::thread::spawn(move || {
+            run_job(id, spec, conns, events, runtime)
+        }));
+    }
 }
 
 /// A bound aggregation server hosting one or more jobs.
 pub struct Server {
     listener: TcpListener,
     jobs: Vec<JobSlot>,
+    handshake_secs: u64,
+    staffing_secs: u64,
+}
+
+/// Rejects a spec whose omniscient-adversary relay (params plus every
+/// honest proposal) cannot fit one frame, with a clear error up front
+/// instead of a confusing lost-worker report mid-round.
+fn validate_relay_size(spec: &ScenarioSpec) -> Result<(), ServerError> {
+    let dim = spec.dim()?;
+    let per_vector = 4 + 8 * dim;
+    let relay_payload = 1 + 8 + 8 + per_vector + 4 + spec.cluster.honest() * per_vector;
+    if relay_payload > MAX_FRAME_BYTES {
+        return Err(ServerError::protocol(format!(
+            "model dimension {dim} with {} honest workers is too large for the wire \
+             protocol: the observation-relay frame would need {relay_payload} bytes \
+             (limit {MAX_FRAME_BYTES}); shrink d or the cluster",
+            spec.cluster.honest()
+        )));
+    }
+    Ok(())
 }
 
 impl Server {
@@ -64,27 +130,17 @@ impl Server {
     /// # Errors
     ///
     /// Returns [`ServerError::Scenario`] for an invalid spec,
-    /// [`ServerError::Protocol`] for a zero job count, or
-    /// [`ServerError::Io`] when the bind fails.
+    /// [`ServerError::Protocol`] for a zero job count or an oversized
+    /// relay, or [`ServerError::Io`] when the bind fails.
     pub fn bind(addr: &str, spec: ScenarioSpec, jobs: usize) -> Result<Self, ServerError> {
         spec.validate()?;
         if jobs == 0 {
             return Err(ServerError::protocol("a server needs at least one job"));
         }
-        // The largest frame a job ever produces is the omniscient-adversary
-        // relay (params plus every honest proposal). Reject a spec whose
-        // relay cannot fit one frame up front, with a clear error, instead
-        // of dying mid-round with a confusing lost-worker report when the
-        // receiver rejects it.
-        let dim = spec.dim()?;
-        let per_vector = 4 + 8 * dim;
-        let relay_payload = 1 + 8 + 8 + per_vector + 4 + spec.cluster.honest() * per_vector;
-        if relay_payload > MAX_FRAME_BYTES {
-            return Err(ServerError::protocol(format!(
-                "model dimension {dim} with {} honest workers is too large for the wire                  protocol: the observation-relay frame would need {relay_payload} bytes                  (limit {MAX_FRAME_BYTES}); shrink d or the cluster",
-                spec.cluster.honest()
-            )));
-        }
+        validate_relay_size(&spec)?;
+        let timeouts = spec.execution.remote_timeouts();
+        let cluster = spec.cluster;
+        let per_job = cluster.honest() + usize::from(cluster.byzantine() > 0);
         let listener = TcpListener::bind(addr)?;
         let jobs = (0..jobs as u64)
             .map(|k| {
@@ -93,18 +149,92 @@ impl Server {
                     job_spec.name = format!("{}#{k}", spec.name);
                     job_spec.seed = spec.seed.wrapping_add(k);
                 }
-                let (sender, events) = mpsc::channel();
-                JobSlot {
-                    id: k,
-                    spec: job_spec,
-                    conns: Vec::new(),
-                    sender,
-                    events: Some(events),
-                    handle: None,
-                }
+                let runtime = JobRuntime::for_spec(&job_spec);
+                JobSlot::new(k, job_spec, per_job, runtime)
             })
             .collect();
-        Ok(Self { listener, jobs })
+        Ok(Self {
+            listener,
+            jobs,
+            handshake_secs: timeouts.handshake_secs,
+            staffing_secs: timeouts.staffing_secs,
+        })
+    }
+
+    /// Binds to `addr` and rebuilds every `job-<id>.ckpt` snapshot under
+    /// `dir` as a resumable job (specs, seeds and completed rounds come
+    /// from the snapshots). Resumed jobs staff like fresh ones: restarted
+    /// workers `Hello` in and fast-forward their RNG streams, surviving
+    /// workers `Rejoin` their old slots.
+    ///
+    /// Checkpointing does not continue automatically — chain
+    /// [`Server::with_checkpoints`] to keep snapshotting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Checkpoint`] when `dir` holds no usable
+    /// snapshots (or inconsistent ones) and [`ServerError::Io`]/
+    /// [`ServerError::Wire`] for unreadable or corrupt files.
+    pub fn resume(addr: &str, dir: &Path) -> Result<Self, ServerError> {
+        let found = checkpoint::list_checkpoints(dir)?;
+        let mut jobs = Vec::new();
+        let mut handshake_secs = 0;
+        let mut staffing_secs = 0;
+        for (id, path) in found {
+            let resume = checkpoint::read_checkpoint(&path)?;
+            if resume.id != id {
+                return Err(ServerError::Checkpoint(format!(
+                    "{} says it belongs to job {}, not job {id}",
+                    path.display(),
+                    resume.id
+                )));
+            }
+            let spec = resume.spec.clone();
+            validate_relay_size(&spec)?;
+            let timeouts = spec.execution.remote_timeouts();
+            handshake_secs = handshake_secs.max(timeouts.handshake_secs);
+            staffing_secs = staffing_secs.max(timeouts.staffing_secs);
+            let cluster = spec.cluster;
+            let per_job = cluster.honest() + usize::from(cluster.byzantine() > 0);
+            let mut runtime = JobRuntime::for_spec(&spec);
+            runtime.resume = Some(resume);
+            jobs.push(JobSlot::new(id, spec, per_job, runtime));
+        }
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            jobs,
+            handshake_secs,
+            staffing_secs,
+        })
+    }
+
+    /// Enables periodic checkpointing: every job snapshots to
+    /// `dir/job-<id>.ckpt` after each `every`-th completed round.
+    #[must_use]
+    pub fn with_checkpoints(mut self, dir: PathBuf, every: u64) -> Self {
+        for slot in &mut self.jobs {
+            if let Some(runtime) = &mut slot.runtime {
+                runtime.checkpoint = Some(CheckpointConfig {
+                    dir: dir.clone(),
+                    every: every.max(1),
+                });
+            }
+        }
+        self
+    }
+
+    /// Scripted `kill -9`: every job halts (after checkpointing) once
+    /// `round` completes, reporting [`ServerError::Halted`]. Driven by the
+    /// chaos harness; resume from the checkpoint directory to continue.
+    #[must_use]
+    pub fn with_halt_after_round(mut self, round: u64) -> Self {
+        for slot in &mut self.jobs {
+            if let Some(runtime) = &mut slot.runtime {
+                runtime.halt_after_round = Some(round);
+            }
+        }
+        self
     }
 
     /// The address the server actually listens on.
@@ -120,8 +250,7 @@ impl Server {
     /// plus one adversary connection when `f > 0` (the paper's single
     /// omniscient adversary controls all `f` Byzantine workers).
     pub fn connections_per_job(&self) -> usize {
-        let cluster = self.jobs[0].spec.cluster;
-        cluster.honest() + usize::from(cluster.byzantine() > 0)
+        self.jobs[0].conns.len()
     }
 
     /// The per-job scenario specs this server will run, in job order.
@@ -131,29 +260,60 @@ impl Server {
 
     /// Accepts workers until every job is staffed, runs the jobs to
     /// completion, and returns one outcome per job (in job order). Jobs run
-    /// concurrently: each starts as soon as its roster fills.
+    /// concurrently: each starts as soon as its roster fills. The accept
+    /// loop stays open throughout so crashed workers can `Rejoin`; a roster
+    /// that does not fill within the staffing timeout becomes a structured
+    /// [`ServerError::Timeout`] outcome for that job.
     ///
     /// # Errors
     ///
     /// Returns [`ServerError::Io`] when accepting fails outright. Per-job
-    /// failures (a lost worker, a poisoned round) land in their
-    /// [`JobOutcome::result`] instead, so one bad job cannot take down its
-    /// siblings.
+    /// failures (a lost worker, a poisoned round, a panicked job thread)
+    /// land in their [`JobOutcome::result`] instead, so one bad job cannot
+    /// take down its siblings.
     pub fn run(mut self) -> Result<Vec<JobOutcome>, ServerError> {
-        let per_job = self.connections_per_job();
-        let mut staffed = 0usize;
-        let total = per_job * self.jobs.len();
-        while staffed < total {
-            let (stream, _) = self.listener.accept()?;
-            match self.admit(stream, per_job) {
-                Ok(true) => staffed += 1,
-                Ok(false) => {}
-                Err(_) => {
-                    // A broken handshake only costs that socket.
+        self.listener.set_nonblocking(true)?;
+        let staffing_deadline = Instant::now() + Duration::from_secs(self.staffing_secs);
+        let mut staffing_expired = false;
+        loop {
+            // Drain everything the backlog holds: fresh workers and
+            // rejoiners alike. A broken handshake only costs that socket.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = self.admit(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e.into()),
                 }
             }
+            if !staffing_expired && Instant::now() >= staffing_deadline {
+                staffing_expired = true;
+                for slot in self.jobs.iter_mut().filter(|j| j.handle.is_none()) {
+                    for conn in slot.conns.iter_mut().flatten() {
+                        let _ = write_frame(
+                            &mut conn.stream,
+                            &Frame::Shutdown {
+                                job: slot.id,
+                                reason: "staffing timed out: the roster never filled".into(),
+                            },
+                        );
+                    }
+                    slot.conns.iter_mut().for_each(|c| *c = None);
+                }
+            }
+            let busy = self.jobs.iter().any(|j| match &j.handle {
+                Some(handle) => !handle.is_finished(),
+                None => !staffing_expired,
+            });
+            if !busy {
+                break;
+            }
+            std::thread::sleep(ACCEPT_POLL);
         }
-        // Roster complete everywhere: collect the job results.
+        // Collect the job results; a panicked job thread is contained to a
+        // structured per-job error.
+        let staffing_secs = self.staffing_secs;
         let outcomes = self
             .jobs
             .drain(..)
@@ -161,8 +321,11 @@ impl Server {
                 let result = match slot.handle {
                     Some(handle) => handle
                         .join()
-                        .unwrap_or_else(|_| Err(ServerError::protocol("job thread panicked"))),
-                    None => Err(ServerError::protocol("job was never staffed")),
+                        .unwrap_or(Err(ServerError::JobPanicked { job: slot.id })),
+                    None => Err(ServerError::Timeout {
+                        seconds: staffing_secs,
+                        what: format!("staffing job {} (the roster never filled)", slot.id),
+                    }),
                 };
                 JobOutcome {
                     job: slot.id,
@@ -174,44 +337,41 @@ impl Server {
         Ok(outcomes)
     }
 
-    /// Handshakes one socket and pins it to a job. Returns `Ok(true)` when
-    /// a worker slot was filled, `Ok(false)` when the socket was rejected
-    /// (version mismatch, no free slot).
-    fn admit(&mut self, mut stream: TcpStream, per_job: usize) -> Result<bool, ServerError> {
-        // Rounds are a latency-bound request/response ping-pong of small-ish
-        // frames: Nagle's algorithm would add tens of milliseconds per
-        // round, so turn it off.
+    /// Handshakes one socket: `Hello` staffs the first free slot, `Rejoin`
+    /// re-staffs a named slot of a running (or resumed) job.
+    fn admit(&mut self, mut stream: TcpStream) -> Result<(), ServerError> {
+        // Accepted from a nonblocking listener: make the handshake blocking
+        // and bounded. Rounds are a latency-bound request/response
+        // ping-pong of small-ish frames, so Nagle's algorithm goes too.
+        stream.set_nonblocking(false)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        stream.set_read_timeout(Some(Duration::from_secs(self.handshake_secs)))?;
         let (frame, _) = read_frame(&mut stream)?;
-        let version = match frame {
-            Frame::Hello { version, .. } => version,
-            other => {
-                return Err(ServerError::protocol(format!(
-                    "expected Hello, got {}",
-                    other.name()
-                )))
-            }
-        };
-        if version != PROTOCOL_VERSION {
-            let _ = write_frame(
-                &mut stream,
-                &Frame::Shutdown {
-                    job: 0,
-                    reason: format!(
-                        "protocol version mismatch: you speak v{version}, \
-                         this server speaks v{PROTOCOL_VERSION}"
-                    ),
-                },
-            );
-            return Ok(false);
+        match frame {
+            Frame::Hello { version, .. } => self.admit_hello(stream, version),
+            Frame::Rejoin {
+                version,
+                job,
+                worker,
+            } => self.admit_rejoin(stream, version, job, worker),
+            other => Err(ServerError::protocol(format!(
+                "expected Hello or Rejoin, got {}",
+                other.name()
+            ))),
         }
-        // A started job's `conns` was moved into its thread, so "free
+    }
+
+    fn admit_hello(&mut self, mut stream: TcpStream, version: u16) -> Result<(), ServerError> {
+        if version != PROTOCOL_VERSION {
+            let _ = write_frame(&mut stream, &reject_frame(0, version));
+            return Ok(());
+        }
+        // A started job's `conns` were moved into its thread, so "free
         // slot" means: not yet started and roster still short.
         let Some(slot) = self
             .jobs
             .iter_mut()
-            .find(|j| j.handle.is_none() && j.conns.len() < per_job)
+            .find(|j| j.handle.is_none() && j.conns.iter().any(Option::is_none))
         else {
             let _ = write_frame(
                 &mut stream,
@@ -220,9 +380,13 @@ impl Server {
                     reason: "every job is fully staffed".into(),
                 },
             );
-            return Ok(false);
+            return Ok(());
         };
-        let worker = slot.conns.len() as u32;
+        let worker = slot
+            .conns
+            .iter()
+            .position(Option::is_none)
+            .expect("find() guaranteed a free slot") as u32;
         write_frame(
             &mut stream,
             &Frame::JobAssign {
@@ -239,15 +403,87 @@ impl Server {
         // when the job drops its receiver), so a hung foreign client can
         // never wedge the serve loop on a join.
         std::thread::spawn(move || reader_loop(stream, worker, sender));
-        slot.conns.push(JobConnection { stream: write_half });
-        if slot.conns.len() == per_job {
-            let id = slot.id;
-            let spec = slot.spec.clone();
-            let conns = std::mem::take(&mut slot.conns);
-            let events = slot.events.take().expect("roster fills exactly once");
-            slot.handle = Some(std::thread::spawn(move || run_job(id, spec, conns, events)));
+        slot.conns[worker as usize] = Some(JobConnection { stream: write_half });
+        slot.start_if_staffed();
+        Ok(())
+    }
+
+    fn admit_rejoin(
+        &mut self,
+        mut stream: TcpStream,
+        version: u16,
+        job: u64,
+        worker: u32,
+    ) -> Result<(), ServerError> {
+        if version != PROTOCOL_VERSION {
+            let _ = write_frame(&mut stream, &reject_frame(job, version));
+            return Ok(());
         }
-        Ok(true)
+        let reject = |mut stream: TcpStream, reason: String| {
+            let _ = write_frame(&mut stream, &Frame::Shutdown { job, reason });
+            Ok(())
+        };
+        let Some(slot) = self.jobs.iter_mut().find(|j| j.id == job) else {
+            return reject(stream, format!("no job {job} on this server"));
+        };
+        let w = worker as usize;
+        if w >= slot.conns.len() {
+            return reject(stream, format!("job {job} has no worker slot {worker}"));
+        }
+        if slot.handle.as_ref().is_some_and(JoinHandle::is_finished) {
+            return reject(stream, format!("job {job} already finished"));
+        }
+        if slot.handle.is_none() && slot.conns[w].is_some() {
+            return reject(
+                stream,
+                format!("slot {worker} of job {job} is already connected"),
+            );
+        }
+        // Same assignment a fresh staffing would get: same slot, same
+        // seed, same spec — the worker's determinism does the rest.
+        write_frame(
+            &mut stream,
+            &Frame::JobAssign {
+                job: slot.id,
+                worker,
+                seed: slot.spec.seed,
+                spec_json: slot.spec.to_json()?,
+            },
+        )?;
+        stream.set_read_timeout(None)?;
+        let write_half = stream.try_clone()?;
+        let sender = slot.sender.clone();
+        std::thread::spawn(move || reader_loop(stream, worker, sender));
+        let conn = JobConnection { stream: write_half };
+        if slot.handle.is_some() {
+            // Running job: hand the fresh write half to the round machine.
+            if slot
+                .sender
+                .send(ConnEvent::Rejoined {
+                    worker,
+                    stream: conn.stream,
+                })
+                .is_err()
+            {
+                // The job finished between the check and the send.
+            }
+        } else {
+            // Resumed-but-unstarted job: staff the old slot directly.
+            slot.conns[w] = Some(conn);
+            slot.start_if_staffed();
+        }
+        Ok(())
+    }
+}
+
+/// The version-mismatch goodbye.
+fn reject_frame(job: u64, version: u16) -> Frame {
+    Frame::Shutdown {
+        job,
+        reason: format!(
+            "protocol version mismatch: you speak v{version}, \
+             this server speaks v{PROTOCOL_VERSION}"
+        ),
     }
 }
 

@@ -17,8 +17,26 @@
 //!   forges with the in-process adversary's RNG stream
 //!   (`stream_rng(seed, ATTACK_STREAM)`), and proposes for every Byzantine
 //!   slot.
+//!
+//! ## Crash resilience
+//!
+//! Workers built with [`WorkerClient::with_retries`] survive a severed
+//! connection: the session sleeps a bounded, seed-jittered exponential
+//! backoff, reconnects, and handshakes with a [`Frame::Rejoin`] naming its
+//! old job and slot. Determinism survives the churn two ways:
+//!
+//! * **answered-frame cache** — the frames answering the latest broadcast
+//!   are cached before the first write, so a re-broadcast after a rejoin
+//!   resends bit-identical answers (the RNG is *not* re-consumed);
+//! * **fast-forward** — a worker that skipped rounds (the server proceeded
+//!   at quorum while it was gone, or it restarted from scratch) replays the
+//!   missed estimator/attack calls against dummy inputs before answering.
+//!   Estimator and attack RNG consumption is input-independent, so the
+//!   replay restores the exact RNG cursor an uninterrupted worker would
+//!   have.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use krum_attacks::{Attack, AttackContext};
 use krum_dist::{stream_rng, ATTACK_STREAM};
@@ -30,6 +48,12 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::error::ServerError;
 
+/// Backoff before rejoin attempt `k`: `min(50 · 2^k, 1600)` ms plus up to
+/// 25 ms of deterministic per-worker jitter (see [`backoff_millis`]).
+const BACKOFF_BASE_MILLIS: u64 = 50;
+const BACKOFF_CAP_MILLIS: u64 = 1600;
+const BACKOFF_JITTER_MILLIS: u64 = 25;
+
 /// What a finished worker session did, for logs and tests.
 #[derive(Debug)]
 pub struct WorkerSummary {
@@ -39,8 +63,10 @@ pub struct WorkerSummary {
     pub worker: u32,
     /// `true` when the slot was the adversary connection.
     pub adversary: bool,
-    /// Rounds the worker proposed in.
+    /// Rounds the worker proposed in (fresh answers, not cache replays).
     pub rounds: u64,
+    /// Times the worker lost its connection and successfully rejoined.
+    pub reconnects: u64,
     /// Total bytes sent + received on the wire.
     pub wire_bytes: u64,
     /// The final model, when the server published one before shutdown.
@@ -67,10 +93,11 @@ enum Role {
     },
 }
 
-/// A connected worker session.
+/// A connected (but not yet handshaked) worker.
 pub struct WorkerClient {
     stream: TcpStream,
     agent: String,
+    retries: u32,
 }
 
 impl WorkerClient {
@@ -86,26 +113,38 @@ impl WorkerClient {
         Ok(Self {
             stream,
             agent: "krum-worker".into(),
+            retries: 0,
         })
     }
 
     /// Sets the free-form agent label sent in the handshake.
+    #[must_use]
     pub fn with_agent(mut self, agent: impl Into<String>) -> Self {
         self.agent = agent.into();
         self
     }
 
-    /// Handshakes, serves the assigned role until the server shuts the
-    /// session down, and returns a summary.
+    /// Sets how many times a severed session tries to rejoin before giving
+    /// up (default `0`: fail fast, the pre-churn behaviour).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Handshakes (`Hello` → `JobAssign`) and returns the assigned session
+    /// without serving it — useful when the caller wants to pin connection
+    /// order or inspect the assignment first.
     ///
     /// # Errors
     ///
     /// Returns [`ServerError::Rejected`] when the server refuses the
     /// connection, [`ServerError::Wire`]/[`ServerError::Io`] on transport
-    /// failures, and [`ServerError::Protocol`] when the server violates the
-    /// protocol.
-    pub fn run(mut self) -> Result<WorkerSummary, ServerError> {
+    /// failures, and [`ServerError::Protocol`] when the server violates
+    /// the protocol.
+    pub fn handshake(mut self) -> Result<WorkerSession, ServerError> {
         let mut wire_bytes: u64 = 0;
+        let peer = self.stream.peer_addr()?;
         wire_bytes += write_frame(
             &mut self.stream,
             &Frame::Hello {
@@ -149,7 +188,7 @@ impl WorkerClient {
         // shortcut would have to replay the same draws anyway; the thrown
         // away estimators are thin wrappers over shards, and determinism
         // is what buys the bit-identical loopback trajectories.
-        let mut role = if slot < honest {
+        let role = if slot < honest {
             let workload = spec.estimator.build(honest, seed)?;
             let estimator = workload.estimators.into_iter().nth(slot).ok_or_else(|| {
                 ServerError::protocol(format!("workload has no estimator for slot {slot}"))
@@ -180,12 +219,96 @@ impl WorkerClient {
             )));
         };
 
-        let mut rounds = 0u64;
+        Ok(WorkerSession {
+            stream: self.stream,
+            peer,
+            retries: self.retries,
+            job,
+            worker,
+            seed,
+            dim,
+            role,
+            calls_made: 0,
+            answered: None,
+            rounds: 0,
+            reconnects: 0,
+            wire_bytes,
+        })
+    }
+
+    /// Handshakes, serves the assigned role until the server shuts the
+    /// session down, and returns a summary.
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkerClient::handshake`] and [`WorkerSession::serve`].
+    pub fn run(self) -> Result<WorkerSummary, ServerError> {
+        self.handshake()?.serve()
+    }
+}
+
+/// Whether a rejoin attempt resumed the session or ended it gracefully.
+enum RejoinOutcome {
+    Resumed,
+    Ended(String),
+}
+
+/// A handshaked worker session, ready to serve rounds.
+pub struct WorkerSession {
+    stream: TcpStream,
+    peer: SocketAddr,
+    retries: u32,
+    job: u64,
+    worker: u32,
+    seed: u64,
+    dim: usize,
+    role: Role,
+    /// Estimator/attack calls made so far — the RNG cursor in rounds.
+    calls_made: u64,
+    /// The frames answering the latest broadcast, cached *before* the
+    /// first write so a post-rejoin re-broadcast resends identical bits.
+    answered: Option<(u64, Vec<Frame>)>,
+    rounds: u64,
+    reconnects: u64,
+    wire_bytes: u64,
+}
+
+impl WorkerSession {
+    /// The worker slot the server assigned.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// The job the session is pinned to.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// Serves the assigned role until the server shuts the session down
+    /// (or the connection dies and every rejoin attempt fails).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Wire`]/[`ServerError::Io`] when the
+    /// connection dies with no retries left, and [`ServerError::Protocol`]
+    /// when the server violates the protocol.
+    pub fn serve(mut self) -> Result<WorkerSummary, ServerError> {
         let mut final_params: Option<Vector> = None;
         let shutdown_reason;
         loop {
-            let (frame, bytes) = read_frame(&mut self.stream)?;
-            wire_bytes += bytes as u64;
+            let frame = match read_frame(&mut self.stream) {
+                Ok((frame, bytes)) => {
+                    self.wire_bytes += bytes as u64;
+                    frame
+                }
+                Err(e) => match self.rejoin(e.into())? {
+                    RejoinOutcome::Resumed => continue,
+                    RejoinOutcome::Ended(reason) => {
+                        shutdown_reason = reason;
+                        break;
+                    }
+                },
+            };
             match frame {
                 Frame::Broadcast {
                     job: j,
@@ -193,19 +316,46 @@ impl WorkerClient {
                     params,
                     observed,
                 } => {
-                    if j != job {
+                    if j != self.job {
                         return Err(ServerError::protocol(format!(
-                            "broadcast for foreign job {j} (serving job {job})"
+                            "broadcast for foreign job {j} (serving job {})",
+                            self.job
                         )));
                     }
-                    if params.len() != dim {
+                    if params.len() != self.dim {
                         return Err(ServerError::protocol(format!(
-                            "broadcast of dimension {}, expected {dim}",
-                            params.len()
+                            "broadcast of dimension {}, expected {}",
+                            params.len(),
+                            self.dim
                         )));
                     }
-                    wire_bytes += self.propose(&mut role, job, worker, round, params, observed)?;
-                    rounds += 1;
+                    match self.answer_broadcast(round, params, observed) {
+                        Ok(()) => {}
+                        Err(e) if is_transport(&e) => match self.rejoin(e)? {
+                            RejoinOutcome::Resumed => {}
+                            RejoinOutcome::Ended(reason) => {
+                                shutdown_reason = reason;
+                                break;
+                            }
+                        },
+                        Err(e) => return Err(e),
+                    }
+                }
+                Frame::Ping { job: _, nonce } => {
+                    let pong = Frame::Pong {
+                        job: self.job,
+                        nonce,
+                    };
+                    match write_frame(&mut self.stream, &pong) {
+                        Ok(bytes) => self.wire_bytes += bytes as u64,
+                        Err(e) => match self.rejoin(e.into())? {
+                            RejoinOutcome::Resumed => {}
+                            RejoinOutcome::Ended(reason) => {
+                                shutdown_reason = reason;
+                                break;
+                            }
+                        },
+                    }
                 }
                 Frame::RoundClosed { .. } => {}
                 Frame::Aggregate { params, .. } => {
@@ -225,41 +375,66 @@ impl WorkerClient {
         }
 
         Ok(WorkerSummary {
-            job,
-            worker,
-            adversary: matches!(role, Role::Adversary { .. }),
-            rounds,
-            wire_bytes,
+            job: self.job,
+            worker: self.worker,
+            adversary: matches!(self.role, Role::Adversary { .. }),
+            rounds: self.rounds,
+            reconnects: self.reconnects,
+            wire_bytes: self.wire_bytes,
             final_params,
             shutdown_reason,
         })
     }
 
-    /// Answers one `Broadcast` with this role's proposals; returns the
-    /// bytes written.
-    fn propose(
+    /// Answers one `Broadcast`: replays the cached answer bit-identically
+    /// for a re-broadcast, fast-forwards skipped rounds, or computes (and
+    /// caches) a fresh answer.
+    fn answer_broadcast(
         &mut self,
-        role: &mut Role,
-        job: u64,
-        worker: u32,
         round: u64,
         params: Vec<f64>,
         observed: Vec<Vec<f64>>,
-    ) -> Result<u64, ServerError> {
+    ) -> Result<(), ServerError> {
+        if let Some((answered_round, frames)) = &self.answered {
+            if *answered_round == round {
+                let frames = frames.clone();
+                for frame in &frames {
+                    self.wire_bytes += write_frame(&mut self.stream, frame)? as u64;
+                }
+                return Ok(());
+            }
+        }
         let params = Vector::from(params);
-        let mut bytes = 0u64;
-        match role {
+        // The server proceeded without us (or we restarted from round 0):
+        // replay the missed calls so the RNG cursor matches an
+        // uninterrupted worker's. Consumption is input-independent, so
+        // dummy inputs restore it exactly.
+        while self.calls_made < round {
+            self.dummy_call(&params)?;
+            self.calls_made += 1;
+        }
+        if self.calls_made > round {
+            return Err(ServerError::protocol(format!(
+                "re-broadcast of round {round} but the cached answer is gone \
+                 (RNG cursor already at round {})",
+                self.calls_made
+            )));
+        }
+        let frames = self.compute_frames(round, &params, observed)?;
+        self.answered = Some((round, frames.clone()));
+        self.calls_made += 1;
+        self.rounds += 1;
+        for frame in &frames {
+            self.wire_bytes += write_frame(&mut self.stream, frame)? as u64;
+        }
+        Ok(())
+    }
+
+    /// One discarded estimator/attack call, purely to advance the RNG.
+    fn dummy_call(&mut self, params: &Vector) -> Result<(), ServerError> {
+        match &mut self.role {
             Role::Honest { estimator, rng } => {
-                let proposal = estimator.estimate(&params, rng)?;
-                bytes += write_frame(
-                    &mut self.stream,
-                    &Frame::Propose {
-                        job,
-                        round,
-                        worker,
-                        proposal: proposal.into_inner(),
-                    },
-                )? as u64;
+                let _ = estimator.estimate(params, rng)?;
             }
             Role::Adversary {
                 attack,
@@ -270,17 +445,64 @@ impl WorkerClient {
                 total_workers,
             } => {
                 let honest = *total_workers - *byzantine;
-                if observed.len() != honest {
+                let dummies = vec![Vector::zeros(self.dim); honest];
+                let true_gradient = probe.true_gradient(params);
+                let ctx = AttackContext {
+                    honest_proposals: &dummies,
+                    current_params: params,
+                    true_gradient: true_gradient.as_ref(),
+                    byzantine_count: *byzantine,
+                    total_workers: *total_workers,
+                    round: self.calls_made as usize,
+                    aggregator_name: rule_name,
+                };
+                let _ = attack.forge(&ctx, rng)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the `Propose` frames answering one fresh broadcast.
+    fn compute_frames(
+        &mut self,
+        round: u64,
+        params: &Vector,
+        observed: Vec<Vec<f64>>,
+    ) -> Result<Vec<Frame>, ServerError> {
+        let job = self.job;
+        match &mut self.role {
+            Role::Honest { estimator, rng } => {
+                let proposal = estimator.estimate(params, rng)?;
+                Ok(vec![Frame::Propose {
+                    job,
+                    round,
+                    worker: self.worker,
+                    proposal: proposal.into_inner(),
+                }])
+            }
+            Role::Adversary {
+                attack,
+                rng,
+                probe,
+                rule_name,
+                byzantine,
+                total_workers,
+            } => {
+                let honest = *total_workers - *byzantine;
+                // A degraded round relays fewer than `honest` proposals
+                // (crashed workers are missing); an empty or oversized
+                // relay is still a protocol violation.
+                if observed.is_empty() || observed.len() > honest {
                     return Err(ServerError::protocol(format!(
-                        "observation relay carried {} proposals, expected {honest}",
+                        "observation relay carried {} proposals, expected 1..={honest}",
                         observed.len()
                     )));
                 }
                 let observed: Vec<Vector> = observed.into_iter().map(Vector::from).collect();
-                let true_gradient = probe.true_gradient(&params);
+                let true_gradient = probe.true_gradient(params);
                 let ctx = AttackContext {
                     honest_proposals: &observed,
-                    current_params: &params,
+                    current_params: params,
                     true_gradient: true_gradient.as_ref(),
                     byzantine_count: *byzantine,
                     total_workers: *total_workers,
@@ -294,21 +516,114 @@ impl WorkerClient {
                         forged.len()
                     )));
                 }
-                for (b, proposal) in forged.into_iter().enumerate() {
-                    bytes += write_frame(
-                        &mut self.stream,
-                        &Frame::Propose {
-                            job,
-                            round,
-                            worker: (honest + b) as u32,
-                            proposal: proposal.into_inner(),
-                        },
-                    )? as u64;
-                }
+                Ok(forged
+                    .into_iter()
+                    .enumerate()
+                    .map(|(b, proposal)| Frame::Propose {
+                        job,
+                        round,
+                        worker: (honest + b) as u32,
+                        proposal: proposal.into_inner(),
+                    })
+                    .collect())
             }
         }
-        Ok(bytes)
     }
+
+    /// Reconnects and re-handshakes with `Rejoin`, sleeping a bounded
+    /// seed-jittered exponential backoff between attempts. Returns the
+    /// original error when no retries are configured or all fail.
+    fn rejoin(&mut self, original: ServerError) -> Result<RejoinOutcome, ServerError> {
+        if self.retries == 0 {
+            return Err(original);
+        }
+        let mut last = original;
+        for attempt in 1..=self.retries {
+            std::thread::sleep(Duration::from_millis(backoff_millis(
+                self.seed,
+                self.worker,
+                attempt,
+            )));
+            match self.try_rejoin() {
+                Ok(outcome) => {
+                    if matches!(outcome, RejoinOutcome::Resumed) {
+                        self.reconnects += 1;
+                    }
+                    return Ok(outcome);
+                }
+                Err(e) if is_transport(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// One rejoin attempt: connect, `Rejoin`, expect our old assignment.
+    fn try_rejoin(&mut self) -> Result<RejoinOutcome, ServerError> {
+        let mut stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true)?;
+        self.wire_bytes += write_frame(
+            &mut stream,
+            &Frame::Rejoin {
+                version: PROTOCOL_VERSION,
+                job: self.job,
+                worker: self.worker,
+            },
+        )? as u64;
+        let (frame, bytes) = read_frame(&mut stream)?;
+        self.wire_bytes += bytes as u64;
+        match frame {
+            Frame::JobAssign { job, worker, .. } => {
+                if job != self.job || worker != self.worker {
+                    return Err(ServerError::protocol(format!(
+                        "rejoined as job {job} worker {worker}, \
+                         expected job {} worker {}",
+                        self.job, self.worker
+                    )));
+                }
+                self.stream = stream;
+                Ok(RejoinOutcome::Resumed)
+            }
+            Frame::Shutdown { reason, .. } => Ok(RejoinOutcome::Ended(reason)),
+            other => Err(ServerError::protocol(format!(
+                "expected JobAssign or Shutdown on rejoin, got {}",
+                other.name()
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerSession {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.debug_struct("WorkerSession")
+            .field("job", &self.job)
+            .field("worker", &self.worker)
+            .field("peer", &self.peer)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `true` for errors a rejoin can heal (the transport died), `false` for
+/// protocol violations and local failures.
+fn is_transport(e: &ServerError) -> bool {
+    matches!(e, ServerError::Wire(_) | ServerError::Io(_))
+}
+
+/// Deterministic backoff for attempt `k` (1-based): bounded exponential
+/// plus a per-worker jitter hash so a crashed fleet does not thunder back
+/// in lockstep.
+fn backoff_millis(seed: u64, worker: u32, attempt: u32) -> u64 {
+    let base = (BACKOFF_BASE_MILLIS << attempt.min(5)).min(BACKOFF_CAP_MILLIS);
+    let jitter = splitmix(seed ^ (u64::from(worker) << 32) ^ u64::from(attempt));
+    base + jitter % BACKOFF_JITTER_MILLIS
+}
+
+/// SplitMix64 finalizer — a tiny, dependency-free bit mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl std::fmt::Debug for WorkerClient {
@@ -328,4 +643,28 @@ impl std::fmt::Debug for WorkerClient {
 /// See [`WorkerClient::run`].
 pub fn run_worker(addr: impl ToSocketAddrs) -> Result<WorkerSummary, ServerError> {
     WorkerClient::connect(addr)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential_with_deterministic_jitter() {
+        let a = backoff_millis(7, 2, 1);
+        assert_eq!(a, backoff_millis(7, 2, 1), "jitter must be deterministic");
+        assert!((100..125).contains(&a), "attempt 1 ≈ 100 ms, got {a}");
+        for attempt in 1..200 {
+            let ms = backoff_millis(42, 0, attempt);
+            assert!(
+                ms < BACKOFF_CAP_MILLIS + BACKOFF_JITTER_MILLIS,
+                "backoff must stay bounded, got {ms}"
+            );
+        }
+        assert_ne!(
+            backoff_millis(7, 0, 1) % BACKOFF_JITTER_MILLIS,
+            backoff_millis(7, 1, 1) % BACKOFF_JITTER_MILLIS,
+            "workers should not thunder back in lockstep (for this seed)"
+        );
+    }
 }

@@ -26,6 +26,7 @@ fn spec() -> ScenarioSpec {
         seed: 7,
         init: InitSpec::Fill { value: 1.5 },
         probes: ProbeSpec::default(),
+        fault_plan: None,
     }
 }
 
@@ -113,10 +114,7 @@ fn loopback_full_quorum_matches_in_process_async_engine() {
 #[test]
 fn remote_barrier_spec_reproduces_the_sequential_trajectory() {
     let mut remote = spec();
-    remote.execution = ExecutionSpec::Remote {
-        quorum: None,
-        max_staleness: 0,
-    };
+    remote.execution = ExecutionSpec::remote(None, 0);
     assert!(matches!(
         Scenario::from_spec(remote.clone()),
         Err(krum_scenario::ScenarioError::InvalidSpec(_))
@@ -137,10 +135,7 @@ fn remote_barrier_spec_reproduces_the_sequential_trajectory() {
 #[test]
 fn remote_partial_quorum_serves_with_staleness_accounting() {
     let mut remote = spec();
-    remote.execution = ExecutionSpec::Remote {
-        quorum: Some(7),
-        max_staleness: 2,
-    };
+    remote.execution = ExecutionSpec::remote(Some(7), 2);
     let served = run_loopback(remote).unwrap();
     assert!(served.final_params.is_finite());
     assert!((served.history.mean_quorum_size() - 7.0).abs() < 1e-12);

@@ -21,15 +21,13 @@ fn spec() -> ScenarioSpec {
         attack: AttackSpec::None,
         estimator: EstimatorSpec::GaussianQuadratic { dim: 4, sigma: 0.1 },
         schedule: LearningRateSchedule::Constant { gamma: 0.2 },
-        execution: ExecutionSpec::Remote {
-            quorum: None,
-            max_staleness: 0,
-        },
+        execution: ExecutionSpec::remote(None, 0),
         rounds: 3,
         eval_every: 3,
         seed: 11,
         init: InitSpec::Fill { value: 1.0 },
         probes: ProbeSpec::default(),
+        fault_plan: None,
     }
 }
 
@@ -110,10 +108,7 @@ fn bind_validates_spec_and_job_count() {
     assert!(Server::bind("127.0.0.1:0", spec(), 0).is_err());
     // Remote quorum bounds are enforced through the same validation.
     let mut bad = spec();
-    bad.execution = ExecutionSpec::Remote {
-        quorum: Some(2), // < n - f = 5
-        max_staleness: 1,
-    };
+    bad.execution = ExecutionSpec::remote(Some(2), 1); // quorum < n - f = 5
     assert!(Server::bind("127.0.0.1:0", bad, 1).is_err());
     // A model too large for the observation relay frame is rejected at
     // bind time with a clear message, not mid-round at the receiver.

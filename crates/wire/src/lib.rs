@@ -65,6 +65,10 @@ pub const FRAME_NAMES: &[&str] = &[
     "round-closed",
     "aggregate",
     "shutdown",
+    "ping",
+    "pong",
+    "rejoin",
+    "checkpoint",
 ];
 
 /// Errors raised while encoding, decoding or transporting frames.
@@ -167,6 +171,10 @@ pub fn checksum(bytes: &[u8]) -> u32 {
 /// | [`RoundClosed`](Frame::RoundClosed) | server → worker | the round's quorum closed |
 /// | [`Aggregate`](Frame::Aggregate) | server → worker | final parameters of a finished job |
 /// | [`Shutdown`](Frame::Shutdown) | server → worker | end of session, with a reason |
+/// | [`Ping`](Frame::Ping) | server → worker | liveness probe for a silent worker |
+/// | [`Pong`](Frame::Pong) | worker → server | liveness reply, echoing the nonce |
+/// | [`Rejoin`](Frame::Rejoin) | worker → server | re-staff a crashed worker into its old slot |
+/// | [`Checkpoint`](Frame::Checkpoint) | server → disk | serialized job snapshot (also the on-disk checkpoint format) |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client handshake: protocol version and a free-form agent label.
@@ -245,6 +253,69 @@ pub enum Frame {
         /// Human-readable reason.
         reason: String,
     },
+    /// Liveness probe: the server pings a worker that has gone silent
+    /// mid-round. A live worker answers with a [`Frame::Pong`] echoing the
+    /// nonce; a hung one stays silent and is eventually declared a crash
+    /// fault.
+    Ping {
+        /// Job identifier.
+        job: u64,
+        /// Opaque nonce echoed by the matching `Pong`.
+        nonce: u64,
+    },
+    /// Liveness reply to a [`Frame::Ping`].
+    Pong {
+        /// Job identifier.
+        job: u64,
+        /// The nonce of the `Ping` being answered.
+        nonce: u64,
+    },
+    /// Reconnection handshake: sent *instead of* [`Frame::Hello`] as the
+    /// first frame by a worker whose connection died mid-job. The server
+    /// re-staffs the worker into its old slot (answering with the same
+    /// [`Frame::JobAssign`] a fresh staffing would get) and the round
+    /// machine resumes feeding it.
+    Rejoin {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// The job the worker was serving.
+        job: u64,
+        /// The worker slot it held.
+        worker: u32,
+    },
+    /// A serialized job snapshot: everything the server needs to continue
+    /// the job bit-identically after a restart. Written (framed, with the
+    /// CRC) as the on-disk checkpoint file by `krum serve
+    /// --checkpoint-dir`, read back by `krum serve --resume`. Vectors
+    /// travel as raw `f64` bit patterns (NaN-safe); bookkeeping that is
+    /// plain finite data (spec, history) rides in `state_json`.
+    Checkpoint {
+        /// Job identifier.
+        job: u64,
+        /// Rounds completed when the snapshot was taken (the resumed job
+        /// starts at this round).
+        round: u64,
+        /// The parameter vector `x_round`.
+        params: Vec<f64>,
+        /// The carry-over queue of in-flight stale proposals.
+        pending: Vec<CarryOver>,
+        /// Spec and history as JSON (see `krum-server`'s checkpoint
+        /// module for the exact layout).
+        state_json: String,
+    },
+}
+
+/// One carried-over proposal inside a [`Frame::Checkpoint`]: a straggler
+/// that arrived in an earlier round and is still eligible for a future
+/// quorum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarryOver {
+    /// Proposing worker slot.
+    pub worker: u32,
+    /// Round the proposal was issued for.
+    pub issued_round: u64,
+    /// The proposed vector.
+    pub proposal: Vec<f64>,
 }
 
 impl Frame {
@@ -258,6 +329,10 @@ impl Frame {
             Self::RoundClosed { .. } => 5,
             Self::Aggregate { .. } => 6,
             Self::Shutdown { .. } => 7,
+            Self::Ping { .. } => 8,
+            Self::Pong { .. } => 9,
+            Self::Rejoin { .. } => 10,
+            Self::Checkpoint { .. } => 11,
         }
     }
 
@@ -330,6 +405,37 @@ impl Frame {
             Self::Shutdown { job, reason } => {
                 put_u64(out, *job);
                 put_str(out, reason);
+            }
+            Self::Ping { job, nonce } | Self::Pong { job, nonce } => {
+                put_u64(out, *job);
+                put_u64(out, *nonce);
+            }
+            Self::Rejoin {
+                version,
+                job,
+                worker,
+            } => {
+                put_u16(out, *version);
+                put_u64(out, *job);
+                put_u32(out, *worker);
+            }
+            Self::Checkpoint {
+                job,
+                round,
+                params,
+                pending,
+                state_json,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_vec(out, params);
+                put_u32(out, pending.len() as u32);
+                for entry in pending {
+                    put_u32(out, entry.worker);
+                    put_u64(out, entry.issued_round);
+                    put_vec(out, &entry.proposal);
+                }
+                put_str(out, state_json);
             }
         }
     }
@@ -413,6 +519,50 @@ impl Frame {
                 job: r.u64()?,
                 reason: r.string()?,
             },
+            8 => Self::Ping {
+                job: r.u64()?,
+                nonce: r.u64()?,
+            },
+            9 => Self::Pong {
+                job: r.u64()?,
+                nonce: r.u64()?,
+            },
+            10 => Self::Rejoin {
+                version: r.u16()?,
+                job: r.u64()?,
+                worker: r.u32()?,
+            },
+            11 => {
+                let job = r.u64()?;
+                let round = r.u64()?;
+                let params = r.vec_f64()?;
+                let count = r.u32()? as usize;
+                // Each entry needs at least its fixed-width fields; an
+                // attacker-controlled count cannot force an allocation the
+                // remaining bytes cannot justify.
+                let available = (r.remaining()) / (4 + 8 + 4);
+                if count > available {
+                    return Err(WireError::Truncated {
+                        needed: (count - available).saturating_mul(16),
+                        offset: r.position(),
+                    });
+                }
+                let mut pending = Vec::with_capacity(count);
+                for _ in 0..count {
+                    pending.push(CarryOver {
+                        worker: r.u32()?,
+                        issued_round: r.u64()?,
+                        proposal: r.vec_f64()?,
+                    });
+                }
+                Self::Checkpoint {
+                    job,
+                    round,
+                    params,
+                    pending,
+                    state_json: r.string()?,
+                }
+            }
             other => return Err(WireError::UnknownTag(other)),
         };
         r.finish()?;
@@ -544,6 +694,14 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
@@ -650,6 +808,34 @@ mod tests {
             Frame::Shutdown {
                 job: 0,
                 reason: "complete".into(),
+            },
+            Frame::Ping { job: 3, nonce: 17 },
+            Frame::Pong {
+                job: 3,
+                nonce: u64::MAX,
+            },
+            Frame::Rejoin {
+                version: PROTOCOL_VERSION,
+                job: 3,
+                worker: 4,
+            },
+            Frame::Checkpoint {
+                job: 3,
+                round: 12,
+                params: vec![1.0, f64::NAN, -0.0],
+                pending: vec![
+                    CarryOver {
+                        worker: 2,
+                        issued_round: 11,
+                        proposal: vec![f64::NEG_INFINITY, 4.5],
+                    },
+                    CarryOver {
+                        worker: 6,
+                        issued_round: 12,
+                        proposal: vec![],
+                    },
+                ],
+                state_json: "{\"spec\":{},\"history\":{}}".into(),
             },
         ]
     }
@@ -796,6 +982,22 @@ mod tests {
         for frame in frames() {
             assert_eq!(FRAME_NAMES[(frame.tag() - 1) as usize], frame.name());
         }
-        assert_eq!(FRAME_NAMES.len(), 7);
+        assert_eq!(FRAME_NAMES.len(), 11);
+    }
+
+    /// A checkpoint whose pending count promises more entries than the
+    /// payload holds is rejected before any allocation.
+    #[test]
+    fn checkpoint_with_lying_pending_count_is_truncation_not_allocation() {
+        let mut payload = Vec::new();
+        payload.push(11u8); // Checkpoint
+        put_u64(&mut payload, 1); // job
+        put_u64(&mut payload, 2); // round
+        put_vec(&mut payload, &[1.0]); // params
+        put_u32(&mut payload, u32::MAX); // pending count: a lie
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -2,7 +2,9 @@
 //! bit-exactly through the byte stream, and every corrupted or truncated
 //! input comes back as a structured [`WireError`] — never a panic.
 
-use krum_wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+use krum_wire::{
+    read_frame, write_frame, CarryOver, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
 use proptest::prelude::*;
 
 /// Deterministic f64 payload covering the ugly corners of the value space:
@@ -34,7 +36,7 @@ fn label(salt: u64, len: usize) -> String {
 /// One frame of each kind, sized and salted by the inputs — covers every
 /// variant across the proptest cases.
 fn frame(kind: usize, len: usize, salt: u64) -> Frame {
-    match kind % 7 {
+    match kind % 11 {
         0 => Frame::Hello {
             version: (salt % u64::from(u16::MAX)) as u16,
             agent: label(salt, len % 32),
@@ -70,9 +72,35 @@ fn frame(kind: usize, len: usize, salt: u64) -> Frame {
             round: salt % 10_000,
             params: payload(len, salt),
         },
-        _ => Frame::Shutdown {
+        6 => Frame::Shutdown {
             job: salt,
             reason: label(salt, len % 64),
+        },
+        7 => Frame::Ping {
+            job: salt,
+            nonce: salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        },
+        8 => Frame::Pong {
+            job: salt,
+            nonce: salt.rotate_left(17),
+        },
+        9 => Frame::Rejoin {
+            version: (salt % u64::from(u16::MAX)) as u16,
+            job: salt,
+            worker: (salt % 1000) as u32,
+        },
+        _ => Frame::Checkpoint {
+            job: salt,
+            round: salt % 10_000,
+            params: payload(len, salt),
+            pending: (0..(salt % 4) as usize)
+                .map(|i| CarryOver {
+                    worker: (salt.wrapping_add(i as u64) % 64) as u32,
+                    issued_round: salt % 10_000,
+                    proposal: payload(len % 61, salt.wrapping_add(i as u64)),
+                })
+                .collect(),
+            state_json: label(salt, len % 128),
         },
     }
 }
@@ -83,7 +111,7 @@ proptest! {
     /// Arbitrary payloads of every frame kind round-trip bit-exactly
     /// (encoded-bytes equality tolerates NaN, which `PartialEq` would not).
     #[test]
-    fn frames_round_trip_bit_exactly(kind in 0usize..7, len in 0usize..2048, salt in 0u64..u64::MAX) {
+    fn frames_round_trip_bit_exactly(kind in 0usize..11, len in 0usize..2048, salt in 0u64..u64::MAX) {
         let original = frame(kind, len, salt);
         let bytes = original.encode();
         prop_assert!(bytes.len() <= MAX_FRAME_BYTES + 8);
@@ -98,7 +126,7 @@ proptest! {
     /// Any single flipped byte is a structured error, never a panic and
     /// never a silently different frame.
     #[test]
-    fn corrupt_frames_are_structured_errors(kind in 0usize..7, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
+    fn corrupt_frames_are_structured_errors(kind in 0usize..11, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
         let original = frame(kind, len, salt);
         let mut bytes = original.encode();
         let at = flip % bytes.len();
@@ -109,7 +137,7 @@ proptest! {
 
     /// Every strict prefix of a frame is a structured error, never a panic.
     #[test]
-    fn truncated_frames_are_structured_errors(kind in 0usize..7, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
+    fn truncated_frames_are_structured_errors(kind in 0usize..11, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
         let original = frame(kind, len, salt);
         let bytes = original.encode();
         let at = cut % bytes.len();
@@ -148,6 +176,57 @@ fn large_proposals_fit_and_oversize_lengths_are_rejected() {
         read_frame(&mut cursor),
         Err(WireError::FrameTooLarge { .. })
     ));
+}
+
+/// Satellite: `MAX_FRAME_BYTES` is enforced for checkpoint payloads on
+/// both ends — the sender refuses to write an oversized `Checkpoint`
+/// (nothing reaches the sink), and the receiver rejects an oversized
+/// declared length before allocating (the same guard a checkpoint *file*
+/// goes through, since checkpoints are stored framed).
+#[test]
+fn checkpoint_frame_limit_is_enforced_on_sender_and_receiver() {
+    let oversized = Frame::Checkpoint {
+        job: 0,
+        round: 0,
+        params: vec![0.0; MAX_FRAME_BYTES / 8 + 1],
+        pending: Vec::new(),
+        state_json: String::new(),
+    };
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &oversized),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+    assert!(sink.is_empty(), "nothing may reach the wire or the disk");
+
+    // Receiver side: a checkpoint-tagged stream whose length prefix lies
+    // over the limit is rejected before allocation.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+    bytes.push(11); // Checkpoint tag
+    bytes.extend_from_slice(&[0u8; 32]);
+    assert!(matches!(
+        read_frame(&mut std::io::Cursor::new(bytes)),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+
+    // A realistically sized checkpoint (d = 100_000 params plus carried
+    // proposals) round-trips bit-exactly.
+    let realistic = Frame::Checkpoint {
+        job: 2,
+        round: 40,
+        params: payload(100_000, 11),
+        pending: vec![CarryOver {
+            worker: 3,
+            issued_round: 39,
+            proposal: payload(100_000, 12),
+        }],
+        state_json: label(13, 512),
+    };
+    let bytes = realistic.encode();
+    assert!(bytes.len() < MAX_FRAME_BYTES);
+    let (back, _) = read_frame(&mut std::io::Cursor::new(bytes.clone())).unwrap();
+    assert_eq!(back.encode(), bytes);
 }
 
 /// The handshake pins the protocol version: a well-formed `Hello` carries
