@@ -1,0 +1,226 @@
+//! Collates every checked-in `BENCH_*.json` into one trajectory table.
+//!
+//! Each experiment driver (E3, E8–E12, the criterion scaling sweep, …)
+//! leaves a machine-readable `BENCH_<name>.json` at the repo root. This
+//! tool is the single place that reads them all back: one row per file,
+//! with the headline speedup/ratio figures pulled out of wherever the
+//! individual benchmark nested them, so the performance trajectory of the
+//! whole PR sequence is visible at a glance (and greppable in CI).
+//!
+//! ```text
+//! cargo run --release -p krum-bench --bin bench_summary [DIR]
+//! ```
+//!
+//! `DIR` defaults to the current directory. Exits non-zero when a
+//! `BENCH_*.json` exists but cannot be parsed — a benchmark that wrote
+//! garbage should fail loudly, not vanish from the table.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use krum_bench::Table;
+use serde::Value;
+
+/// One numeric leaf of a benchmark JSON: its dotted path and value.
+struct Leaf {
+    path: String,
+    value: f64,
+}
+
+/// Depth-first collection of every numeric scalar, with dotted paths
+/// (`incremental_gram.speedup`, `scaling.1.speedup`, …). Insertion order
+/// is document order, which the vendored `Value` preserves.
+fn collect_leaves(value: &Value, prefix: &str, out: &mut Vec<Leaf>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match value {
+        Value::UInt(v) => out.push(Leaf {
+            path: prefix.to_string(),
+            value: *v as f64,
+        }),
+        Value::Int(v) => out.push(Leaf {
+            path: prefix.to_string(),
+            value: *v as f64,
+        }),
+        Value::Float(v) => out.push(Leaf {
+            path: prefix.to_string(),
+            value: *v,
+        }),
+        Value::Array(items) => {
+            for (index, item) in items.iter().enumerate() {
+                collect_leaves(item, &join(&index.to_string()), out);
+            }
+        }
+        Value::Object(fields) => {
+            for (key, item) in fields {
+                collect_leaves(item, &join(key), out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Formats a leaf value compactly: integers without a fraction, floats
+/// with up to three decimals and trailing zeros trimmed.
+fn format_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        return format!("{}", value as i64);
+    }
+    let mut text = format!("{value:.3}");
+    while text.ends_with('0') {
+        text.pop();
+    }
+    if text.ends_with('.') {
+        text.pop();
+    }
+    text
+}
+
+/// Picks the headline figures for one benchmark: every leaf whose final
+/// path segment mentions `speedup` or `ratio` (capped at three, shallowest
+/// first so a top-level claim beats a per-cell breakdown), falling back to
+/// the first numeric leaf when a benchmark publishes no speedup at all.
+fn headline(leaves: &[Leaf]) -> String {
+    let mut picks: Vec<&Leaf> = leaves
+        .iter()
+        .filter(|leaf| {
+            let last = leaf.path.rsplit('.').next().unwrap_or(&leaf.path);
+            last.contains("speedup") || last.contains("ratio")
+        })
+        .collect();
+    picks.sort_by_key(|leaf| leaf.path.matches('.').count());
+    picks.truncate(3);
+    if picks.is_empty() {
+        picks.extend(leaves.first());
+    }
+    if picks.is_empty() {
+        return "-".to_string();
+    }
+    picks
+        .iter()
+        .map(|leaf| format!("{}={}", leaf.path, format_value(leaf.value)))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Top-level string field, or `None`.
+fn string_field<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v str> {
+    fields.iter().find_map(|(name, value)| match value {
+        Value::Str(text) if name == key => Some(text.as_str()),
+        _ => None,
+    })
+}
+
+fn summarize(dir: &Path) -> Result<Table, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json under {}", dir.display()));
+    }
+
+    let mut table = Table::new(["file", "benchmark", "date", "metrics", "headline"]);
+    for path in &paths {
+        let file = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let value = serde_json::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        let Value::Object(fields) = &value else {
+            return Err(format!("{file}: top level is not an object"));
+        };
+        // "e12_hier_scaling (crates/bench/src/bin/e12_hier_scaling.rs)" →
+        // keep just the short name; the file column already locates it.
+        let benchmark = string_field(fields, "benchmark")
+            .map(|name| name.split(" (").next().unwrap_or(name).to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let date = string_field(fields, "date").unwrap_or("-").to_string();
+        let mut leaves = Vec::new();
+        collect_leaves(&value, "", &mut leaves);
+        table.row([
+            file,
+            benchmark,
+            date,
+            leaves.len().to_string(),
+            headline(&leaves),
+        ]);
+    }
+    Ok(table)
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match summarize(Path::new(&dir)) {
+        Ok(table) => {
+            println!("# benchmark trajectory ({} files)", table.len());
+            print!("{table}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bench_summary: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves_of(json: &str) -> Vec<Leaf> {
+        let mut leaves = Vec::new();
+        collect_leaves(&serde_json::parse(json).unwrap(), "", &mut leaves);
+        leaves
+    }
+
+    #[test]
+    fn collects_numeric_leaves_with_dotted_paths_in_document_order() {
+        let leaves = leaves_of(
+            r#"{"a": 1, "b": {"speedup": 2.5, "deep": [{"x": 3}]}, "s": "skip", "ok": true}"#,
+        );
+        let paths: Vec<&str> = leaves.iter().map(|l| l.path.as_str()).collect();
+        assert_eq!(paths, ["a", "b.speedup", "b.deep.0.x"]);
+        assert_eq!(leaves[1].value, 2.5);
+    }
+
+    #[test]
+    fn headline_prefers_shallow_speedups_and_falls_back_to_first_leaf() {
+        let leaves = leaves_of(
+            r#"{"cells": [{"speedup": 9.0}, {"speedup": 8.0}],
+                "top_speedup": 40.27, "io_ratio": 4.29, "n": 2000}"#,
+        );
+        let line = headline(&leaves);
+        assert!(line.starts_with("top_speedup=40.27"), "{line}");
+        assert!(line.contains("io_ratio=4.29"), "{line}");
+        // Cap of three: two shallow picks + one per-cell breakdown.
+        assert!(line.contains("cells.0.speedup=9"), "{line}");
+        assert!(!line.contains("cells.1.speedup"), "{line}");
+
+        let none = leaves_of(r#"{"rounds": 20, "note": "text"}"#);
+        assert_eq!(headline(&none), "rounds=20");
+        assert_eq!(headline(&[]), "-");
+    }
+
+    #[test]
+    fn format_value_trims_trailing_zeros() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(2.82), "2.82");
+        assert_eq!(format_value(112.56), "112.56");
+        assert_eq!(format_value(0.977), "0.977");
+    }
+}

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use krum_attacks::{AttackSpec, ATTACK_NAMES};
-use krum_core::{RuleSpec, RULE_NAMES};
+use krum_core::{RuleSpec, StageRule, RULE_NAMES};
 use krum_dist::{ClusterSpec, LATENCY_MODEL_NAMES};
 use krum_scenario::{
     ExecutionSpec, Scenario, ScenarioError, ScenarioReport, ScenarioSpec,
@@ -76,6 +76,9 @@ commands:
         --f LIST|A..B      byzantine counts (e.g. 2..6)
         --seed LIST|A..B   master seeds
         --quorum LIST|A..B quorum sizes (base must use AsyncQuorum execution)
+        --groups LIST|A..B hierarchical group counts (krum base becomes
+                           hierarchical:groups=g; a hierarchical base keeps
+                           its stages and sweeps its group count)
         --rounds K         override the round count
   serve <spec.json> [--listen ADDR] [--jobs K] [--out DIR] [--quiet]
         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume DIR]
@@ -219,6 +222,9 @@ pub struct SweepAxes {
     /// Quorum sizes to sweep (empty → base execution unchanged; requires an
     /// `AsyncQuorum` base execution).
     pub quorums: Vec<usize>,
+    /// Hierarchical group counts to sweep (empty → rule unchanged; requires
+    /// a `krum` or `hierarchical` rule in each cell).
+    pub groups: Vec<usize>,
     /// Round-count override.
     pub rounds: Option<usize>,
 }
@@ -410,6 +416,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--quorum" => {
                         axes.quorums = parse_axis(&expect_value(&mut it, "--quorum")?, "--quorum")?;
                     }
+                    "--groups" => {
+                        axes.groups = parse_axis(&expect_value(&mut it, "--groups")?, "--groups")?;
+                    }
                     "--seed" => {
                         axes.seeds = parse_axis(&expect_value(&mut it, "--seed")?, "--seed")?
                             .into_iter()
@@ -537,6 +546,11 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
     } else {
         axes.quorums.iter().copied().map(Some).collect()
     };
+    let groups_axis: Vec<Option<usize>> = if axes.groups.is_empty() {
+        vec![None]
+    } else {
+        axes.groups.iter().copied().map(Some).collect()
+    };
 
     let mut cells = Vec::new();
     for &rule in &rules {
@@ -545,40 +559,73 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
                 for &f in &fs {
                     for &seed in &seeds {
                         for &quorum in &quorums {
-                            let name = cell_name(&base.name, rule, attack, n, f, seed, quorum);
-                            let cluster = match ClusterSpec::new(n, f) {
-                                Ok(c) => c,
-                                Err(e) => {
-                                    cells.push(SweepCell::Invalid(name, e.to_string()));
-                                    continue;
-                                }
-                            };
-                            let mut spec = base.clone();
-                            spec.name = name.clone();
-                            spec.cluster = cluster;
-                            spec.rule = rule;
-                            spec.attack = attack;
-                            spec.seed = seed;
-                            if let Some(q) = quorum {
-                                match &mut spec.execution {
-                                    ExecutionSpec::AsyncQuorum { quorum, .. } => *quorum = q,
-                                    _ => {
-                                        cells.push(SweepCell::Invalid(
-                                            name,
-                                            "--quorum requires an async-quorum execution in \
-                                             the base scenario"
-                                                .to_string(),
-                                        ));
+                            for &groups in &groups_axis {
+                                let name =
+                                    cell_name(&base.name, rule, attack, n, f, seed, quorum, groups);
+                                let cluster = match ClusterSpec::new(n, f) {
+                                    Ok(c) => c,
+                                    Err(e) => {
+                                        cells.push(SweepCell::Invalid(name, e.to_string()));
                                         continue;
                                     }
+                                };
+                                let mut spec = base.clone();
+                                spec.name = name.clone();
+                                spec.cluster = cluster;
+                                spec.rule = rule;
+                                spec.attack = attack;
+                                spec.seed = seed;
+                                if let Some(g) = groups {
+                                    spec.rule = match rule {
+                                        // A flat krum base shards into g groups of
+                                        // krum-over-krum.
+                                        RuleSpec::Krum => RuleSpec::Hierarchical {
+                                            groups: g,
+                                            inner: StageRule::Krum,
+                                            outer: StageRule::Krum,
+                                        },
+                                        // A hierarchical base keeps its stages and
+                                        // sweeps the group count.
+                                        RuleSpec::Hierarchical { inner, outer, .. } => {
+                                            RuleSpec::Hierarchical {
+                                                groups: g,
+                                                inner,
+                                                outer,
+                                            }
+                                        }
+                                        other => {
+                                            cells.push(SweepCell::Invalid(
+                                                name,
+                                                format!(
+                                                    "--groups requires a krum or hierarchical \
+                                                     rule, got `{other}`"
+                                                ),
+                                            ));
+                                            continue;
+                                        }
+                                    };
                                 }
-                            }
-                            if let Some(rounds) = axes.rounds {
-                                spec.rounds = rounds;
-                            }
-                            match spec.validate() {
-                                Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
-                                Err(e) => cells.push(SweepCell::Invalid(name, e.to_string())),
+                                if let Some(q) = quorum {
+                                    match &mut spec.execution {
+                                        ExecutionSpec::AsyncQuorum { quorum, .. } => *quorum = q,
+                                        _ => {
+                                            cells.push(SweepCell::Invalid(
+                                                name,
+                                                "--quorum requires an async-quorum execution in \
+                                                 the base scenario"
+                                                    .to_string(),
+                                            ));
+                                            continue;
+                                        }
+                                    }
+                                }
+                                if let Some(rounds) = axes.rounds {
+                                    spec.rounds = rounds;
+                                }
+                                match spec.validate() {
+                                    Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
+                                    Err(e) => cells.push(SweepCell::Invalid(name, e.to_string())),
+                                }
                             }
                         }
                     }
@@ -590,6 +637,7 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
 }
 
 /// A file-name-safe label for one sweep cell.
+#[allow(clippy::too_many_arguments)]
 fn cell_name(
     base: &str,
     rule: RuleSpec,
@@ -598,11 +646,13 @@ fn cell_name(
     f: usize,
     seed: u64,
     quorum: Option<usize>,
+    groups: Option<usize>,
 ) -> String {
     let sanitize = |s: String| s.replace([':', '=', ',', '.'], "-");
     let quorum_tag = quorum.map(|q| format!("_q{q}")).unwrap_or_default();
+    let groups_tag = groups.map(|g| format!("_g{g}")).unwrap_or_default();
     format!(
-        "{base}_{}_{}_n{n}_f{f}_s{seed}{quorum_tag}",
+        "{base}_{}_{}_n{n}_f{f}_s{seed}{quorum_tag}{groups_tag}",
         sanitize(rule.to_string()),
         sanitize(attack.to_string())
     )
@@ -618,6 +668,12 @@ pub fn summary_line(report: &ScenarioReport) -> String {
         report.spec.name,
         summary.rounds,
         report.wall_nanos as f64 / 1e6
+    );
+    let _ = write!(
+        line,
+        " agg_mean={:.1}us agg_p99={:.1}us",
+        summary.mean_aggregate_nanos / 1e3,
+        summary.p99_aggregate_nanos / 1e3
     );
     if let Some(loss) = summary.final_loss {
         let _ = write!(line, " final_loss={loss:.6}");
@@ -1346,6 +1402,7 @@ mod tests {
         base.execution = ExecutionSpec::AsyncQuorum {
             quorum: 15,
             max_staleness: 2,
+            reuse_stale: false,
             network: krum_dist::NetworkModel {
                 latency: krum_dist::LatencyModel::Constant { nanos: 1_000 },
                 nanos_per_byte: 0.0,
@@ -1376,6 +1433,85 @@ mod tests {
         let cmd = parse(&args(&["sweep", "base.json", "--quorum", "12..14"])).unwrap();
         match cmd {
             Command::Sweep { axes, .. } => assert_eq!(axes.quorums, vec![12, 13, 14]),
+            other => panic!("expected sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groups_axis_shards_krum_bases_and_sweeps_hierarchical_group_counts() {
+        // A krum base becomes hierarchical:groups=g per cell; group counts
+        // whose per-group bound fails are reported, not run. The template
+        // is n = 15, f = 4: g = 3 gives groups of 5 with ceil(4/3) = 2
+        // Byzantine each (2·2 + 2 >= 5 → invalid); a 30-worker cell with
+        // f = 2 and g = 3 gives groups of 10 with 1 Byzantine (valid).
+        let base = template_spec();
+        let axes = SweepAxes {
+            ns: vec![30],
+            fs: vec![2],
+            groups: vec![3, 14],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 2);
+        let valid: Vec<&ScenarioSpec> = cells
+            .iter()
+            .filter_map(|c| match c {
+                SweepCell::Spec(s) => Some(s.as_ref()),
+                SweepCell::Invalid(..) => None,
+            })
+            .collect();
+        // g = 3 over n = 30 is feasible; g = 14 leaves groups of 2 — not.
+        assert_eq!(valid.len(), 1);
+        assert!(valid[0].name.ends_with("_g3"));
+        assert!(matches!(
+            valid[0].rule,
+            RuleSpec::Hierarchical { groups: 3, .. }
+        ));
+
+        // A hierarchical base keeps its stages and sweeps the group count.
+        let mut base = template_spec();
+        base.cluster = ClusterSpec::new(30, 2).unwrap();
+        base.rule = RuleSpec::Hierarchical {
+            groups: 2,
+            inner: StageRule::Median,
+            outer: StageRule::Median,
+        };
+        let axes = SweepAxes {
+            groups: vec![5],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        match &cells[0] {
+            SweepCell::Spec(s) => assert!(matches!(
+                s.rule,
+                RuleSpec::Hierarchical {
+                    groups: 5,
+                    inner: StageRule::Median,
+                    outer: StageRule::Median,
+                }
+            )),
+            other => panic!("expected a valid cell, got {other:?}"),
+        }
+
+        // Non-krum, non-hierarchical rules reject the axis cell-by-cell.
+        let mut base = template_spec();
+        base.rule = RuleSpec::Median;
+        let axes = SweepAxes {
+            groups: vec![3],
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert!(matches!(
+            &cells[0],
+            SweepCell::Invalid(_, reason) if reason.contains("--groups")
+        ));
+
+        // Parsing: --groups takes lists and ranges like the other axes.
+        let cmd = parse(&args(&["sweep", "base.json", "--groups", "4,8,16"])).unwrap();
+        match cmd {
+            Command::Sweep { axes, .. } => assert_eq!(axes.groups, vec![4, 8, 16]),
             other => panic!("expected sweep, got {other:?}"),
         }
     }

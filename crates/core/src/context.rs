@@ -23,6 +23,8 @@
 use krum_tensor::Vector;
 
 use crate::aggregator::Aggregation;
+use crate::hierarchical::HierWorkspace;
+use crate::kernel;
 
 /// How a rule may spread its work across the `rayon` pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +99,25 @@ pub struct AggregationContext {
     /// [`AggregationContext::output`]; `pub(crate)` so rules can borrow it
     /// disjointly from the scratch buffers).
     pub(crate) output: Aggregation,
+    /// Per-slot generation counters the cached Gram matrix was computed for
+    /// (empty when no cache is live).
+    gram_generations: Vec<u64>,
+    /// Shape `(n, dim)` the cached Gram matrix is valid for.
+    gram_shape: (usize, usize),
+    /// Whether `distances`/`norms` hold a matrix consistent with
+    /// `gram_generations` (cleared whenever a pairwise pass runs without
+    /// generation bookkeeping).
+    gram_valid: bool,
+    /// One-shot generations for the *next* pairwise pass (see
+    /// [`AggregationContext::set_generations`]).
+    pending_generations: Vec<u64>,
+    /// Whether `pending_generations` was armed since the last pairwise pass.
+    pending_armed: bool,
+    /// Change-flag scratch for the incremental path (length `n`).
+    gram_changed: Vec<bool>,
+    /// Lazily created workspace for the hierarchical rule (boxed: most
+    /// contexts never aggregate hierarchically).
+    pub(crate) hier: Option<Box<HierWorkspace>>,
 }
 
 impl Default for AggregationContext {
@@ -125,6 +146,13 @@ impl AggregationContext {
             columns: Vec::new(),
             coords: Vec::new(),
             output: Aggregation::mixed(Vector::zeros(0)),
+            gram_generations: Vec::new(),
+            gram_shape: (0, 0),
+            gram_valid: false,
+            pending_generations: Vec::new(),
+            pending_armed: false,
+            gram_changed: Vec::new(),
+            hier: None,
         }
     }
 
@@ -167,6 +195,77 @@ impl AggregationContext {
         self.output.selected.clear();
         self.output.scores.clear();
         self.output.reset_value(dim)
+    }
+
+    /// Arms the generation-keyed Gram cache for the *next* aggregation:
+    /// `generations[i]` is a counter the caller bumps whenever proposal `i`
+    /// changes. When the next pairwise-distance pass sees the same shape and
+    /// a matching generation vector length, it recomputes only the norms and
+    /// distance rows of slots whose generation moved — bit-identical to a
+    /// full recomputation (pinned by the kernel property tests). The arming
+    /// is one-shot: a pass without a preceding `set_generations` call falls
+    /// back to the full kernel and invalidates the cache, so interleaving
+    /// cached and uncached callers is always correct, merely slower.
+    ///
+    /// The very first armed pass (or any pass after a shape change) computes
+    /// the full matrix and records the generations; steady-state AsyncQuorum
+    /// rounds, where only the fresh quorum arrivals moved, then pay
+    /// `O(q·n·d)` instead of `O(n²·d)`.
+    pub fn set_generations(&mut self, generations: &[u64]) {
+        self.pending_generations.clear();
+        self.pending_generations.extend_from_slice(generations);
+        self.pending_armed = true;
+    }
+
+    /// Drops any cached Gram state (the next pairwise pass recomputes fully).
+    pub fn invalidate_gram_cache(&mut self) {
+        self.gram_valid = false;
+        self.pending_armed = false;
+        self.gram_generations.clear();
+    }
+
+    /// Cached-norm pairwise distances into the context's own
+    /// `norms`/`distances` buffers, honouring the generation cache armed via
+    /// [`AggregationContext::set_generations`]. This is the single pairwise
+    /// entry every Gram-based rule goes through.
+    pub(crate) fn pairwise_distances_cached(&mut self, proposals: &[Vector], parallel: bool) {
+        let n = proposals.len();
+        let dim = proposals.first().map_or(0, Vector::dim);
+        let armed = std::mem::take(&mut self.pending_armed);
+        let reusable = armed
+            && self.gram_valid
+            && self.gram_shape == (n, dim)
+            && self.pending_generations.len() == n
+            && self.gram_generations.len() == n;
+        if reusable {
+            self.gram_changed.clear();
+            self.gram_changed.extend(
+                self.gram_generations
+                    .iter()
+                    .zip(&self.pending_generations)
+                    .map(|(old, new)| old != new),
+            );
+            kernel::pairwise_squared_distances_update(
+                proposals,
+                &mut self.norms,
+                &mut self.distances,
+                &self.gram_changed,
+            );
+        } else {
+            kernel::pairwise_squared_distances_into(
+                proposals,
+                &mut self.norms,
+                &mut self.distances,
+                parallel,
+            );
+        }
+        if armed {
+            self.gram_shape = (n, dim);
+            self.gram_valid = true;
+            std::mem::swap(&mut self.gram_generations, &mut self.pending_generations);
+        } else {
+            self.gram_valid = false;
+        }
     }
 }
 

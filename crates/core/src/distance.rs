@@ -59,12 +59,7 @@ impl Aggregator for ClosestToBarycenter {
         validate_proposals(proposals)?;
         let n = proposals.len();
         let parallel = ctx.policy().use_parallel(n);
-        crate::kernel::pairwise_squared_distances_into(
-            proposals,
-            &mut ctx.norms,
-            &mut ctx.distances,
-            parallel,
-        );
+        ctx.pairwise_distances_cached(proposals, parallel);
         crate::kernel::row_sums_into(&ctx.distances, n, &mut ctx.scores);
         // NaN-safe argmin shared with Krum. Note the protection is weaker
         // for this rule than for Krum: the criterion sums distances to ALL

@@ -38,8 +38,12 @@ use rayon::prelude::*;
 /// to hide the 4-cycle FMA latency instead of serialising on it. On
 /// narrower ISAs (AVX2/SSE2) the same code yields more, shorter chains and
 /// still saturates the FP units.
+///
+/// Exposed as `krum_core::ilp_dot` so benchmarks can compare it against
+/// explicit SIMD-style chunking on the build target. Panics in debug builds
+/// when the slices differ in length (release builds read the shorter).
 #[inline]
-pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     const LANES: usize = 32;
     debug_assert_eq!(a.len(), b.len());
     let main = a.len() - a.len() % LANES;
@@ -117,6 +121,55 @@ pub(crate) fn pairwise_squared_distances_into(
             let ni = norms[i];
             let vi = proposals[i].as_slice();
             for j in (i + 1)..n {
+                let d = clamp_distance(ni + norms[j] - 2.0 * dot(vi, proposals[j].as_slice()));
+                out[i * n + j] = d;
+                out[j * n + i] = d;
+            }
+        }
+    }
+}
+
+/// Incremental cached-norm update: recomputes only the norms and distance
+/// entries touched by changed proposals, leaving every other entry of the
+/// previously computed matrix byte-for-byte untouched.
+///
+/// `norms` and `out` must hold a valid distance matrix for the *same*
+/// proposal set except at the indices flagged in `changed` (the
+/// generation-keyed cache in [`AggregationContext`] enforces this and falls
+/// back to [`pairwise_squared_distances_into`] on any shape change).
+///
+/// Bit-identity with the full recomputation holds because `f64` addition and
+/// multiplication are commutative at the bit level and [`dot`] accumulates
+/// index-by-index, so `d(i, j)` evaluates to the same bits regardless of
+/// which side triggered the recompute; unchanged pairs are simply not
+/// rewritten. With `q` changed slots out of `n` the cost is
+/// `q·n − q·(q+1)/2` dot products instead of `n·(n−1)/2` — the incremental
+/// path is serial (the touched set is small by construction) and performs
+/// zero heap allocations.
+///
+/// [`AggregationContext`]: crate::AggregationContext
+pub(crate) fn pairwise_squared_distances_update(
+    proposals: &[Vector],
+    norms: &mut [f64],
+    out: &mut [f64],
+    changed: &[bool],
+) {
+    let n = proposals.len();
+    debug_assert_eq!(norms.len(), n);
+    debug_assert_eq!(out.len(), n * n);
+    debug_assert_eq!(changed.len(), n);
+    for i in 0..n {
+        if changed[i] {
+            let vi = proposals[i].as_slice();
+            norms[i] = dot(vi, vi);
+        }
+    }
+    for i in 0..n {
+        let ni = norms[i];
+        let vi = proposals[i].as_slice();
+        let ci = changed[i];
+        for j in (i + 1)..n {
+            if ci || changed[j] {
                 let d = clamp_distance(ni + norms[j] - 2.0 * dot(vi, proposals[j].as_slice()));
                 out[i * n + j] = d;
                 out[j * n + i] = d;
@@ -358,6 +411,47 @@ mod tests {
                     "seed {seed}, entry {k}: gram {f} vs naive {s}"
                 );
             }
+        }
+    }
+
+    /// Tentpole property test: recomputing only the changed rows yields the
+    /// same bits as recomputing the whole matrix, for arbitrary change sets
+    /// (including none and all).
+    #[test]
+    fn incremental_update_is_bit_identical_to_full_recompute() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for trial in 0..30usize {
+            let n = 4 + trial % 10;
+            let dim = 1 + (trial * 11) % 130;
+            let mut proposals = random_proposals(n, dim, 1.0, 500 + trial as u64);
+            let mut norms = Vec::new();
+            let mut out = Vec::new();
+            pairwise_squared_distances_into(&proposals, &mut norms, &mut out, false);
+            // Replace a deterministic subset (varying density across trials,
+            // including the empty and the full set).
+            let changed: Vec<bool> = (0..n).map(|i| (i + trial) % (1 + trial % 4) == 0).collect();
+            for (i, v) in proposals.iter_mut().enumerate() {
+                if changed[i] {
+                    *v = Vector::gaussian(dim, -0.5, 2.0, &mut rng);
+                }
+            }
+            pairwise_squared_distances_update(&proposals, &mut norms, &mut out, &changed);
+            let mut full_norms = Vec::new();
+            let mut full_out = Vec::new();
+            pairwise_squared_distances_into(&proposals, &mut full_norms, &mut full_out, false);
+            assert!(
+                norms
+                    .iter()
+                    .zip(&full_norms)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "trial {trial}: norms diverged"
+            );
+            assert!(
+                out.iter()
+                    .zip(&full_out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "trial {trial}: distances diverged"
+            );
         }
     }
 

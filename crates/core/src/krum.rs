@@ -107,12 +107,7 @@ impl Aggregator for Krum {
     ) -> Result<(), AggregationError> {
         self.check(proposals)?;
         let parallel = ctx.policy().use_parallel(self.n);
-        kernel::pairwise_squared_distances_into(
-            proposals,
-            &mut ctx.norms,
-            &mut ctx.distances,
-            parallel,
-        );
+        ctx.pairwise_distances_cached(proposals, parallel);
         kernel::scores_from_distances_into(
             &ctx.distances,
             self.n,
@@ -211,12 +206,7 @@ impl Aggregator for MultiKrum {
             });
         }
         let parallel = ctx.policy().use_parallel(self.n);
-        kernel::pairwise_squared_distances_into(
-            proposals,
-            &mut ctx.norms,
-            &mut ctx.distances,
-            parallel,
-        );
+        ctx.pairwise_distances_cached(proposals, parallel);
         kernel::scores_from_distances_into(
             &ctx.distances,
             self.n,

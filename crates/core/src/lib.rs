@@ -60,6 +60,7 @@ mod average;
 mod context;
 mod distance;
 mod error;
+mod hierarchical;
 mod kernel;
 mod krum;
 mod median;
@@ -80,17 +81,22 @@ pub use average::{Average, WeightedAverage};
 pub use context::{AggregationContext, ExecutionPolicy};
 pub use distance::{ClosestToBarycenter, GeometricMedian};
 pub use error::AggregationError;
+pub use hierarchical::{Hierarchical, StageRule};
+pub use kernel::dot as ilp_dot;
 pub use krum::{Krum, MultiKrum};
 pub use median::{CoordinateWiseMedian, TrimmedMean};
 pub use registry::{build_aggregator, RuleSpec, RULE_NAMES};
-pub use resilience::{eta, krum_sin_alpha, ResilienceCheck, ResilienceEstimator};
+pub use resilience::{
+    eta, hierarchical_bounds, krum_sin_alpha, HierarchicalBounds, ResilienceCheck,
+    ResilienceEstimator,
+};
 pub use subset::MinimumDiameterSubset;
 
 /// Convenience prelude for the aggregation crate.
 pub mod prelude {
     pub use crate::{
         Aggregation, AggregationContext, AggregationError, Aggregator, Average,
-        ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy, GeometricMedian, Krum,
-        MinimumDiameterSubset, MultiKrum, RuleSpec, TrimmedMean, WeightedAverage,
+        ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy, GeometricMedian, Hierarchical,
+        Krum, MinimumDiameterSubset, MultiKrum, RuleSpec, StageRule, TrimmedMean, WeightedAverage,
     };
 }

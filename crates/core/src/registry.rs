@@ -16,6 +16,7 @@ use crate::aggregator::Aggregator;
 use crate::average::{Average, WeightedAverage};
 use crate::distance::{ClosestToBarycenter, GeometricMedian};
 use crate::error::AggregationError;
+use crate::hierarchical::{Hierarchical, StageRule};
 use crate::krum::{Krum, MultiKrum};
 use crate::median::{CoordinateWiseMedian, TrimmedMean};
 use crate::subset::MinimumDiameterSubset;
@@ -30,6 +31,7 @@ pub const RULE_NAMES: &[&str] = &[
     "geometric-median",
     "closest-to-barycenter",
     "min-diameter-subset",
+    "hierarchical",
 ];
 
 /// A typed, serialisable specification of an aggregation rule.
@@ -69,6 +71,17 @@ pub enum RuleSpec {
     ClosestToBarycenter,
     /// The exponential minimum-diameter-subset rule of the introduction.
     MinDiameterSubset,
+    /// Two-level group-sharded aggregation: an inner rule per round-robin
+    /// group, an outer rule over the group winners (the `O(n²)` escape
+    /// hatch — see [`Hierarchical`]).
+    Hierarchical {
+        /// Number of round-robin groups `g`.
+        groups: usize,
+        /// Rule run inside each group (default Krum).
+        inner: StageRule,
+        /// Rule run over the `g` group winners (default Krum).
+        outer: StageRule,
+    },
 }
 
 impl RuleSpec {
@@ -105,6 +118,11 @@ impl RuleSpec {
             Self::GeometricMedian => Ok(Box::new(GeometricMedian::new())),
             Self::ClosestToBarycenter => Ok(Box::new(ClosestToBarycenter::new())),
             Self::MinDiameterSubset => Ok(Box::new(MinimumDiameterSubset::new(n, f)?)),
+            Self::Hierarchical {
+                groups,
+                inner,
+                outer,
+            } => Ok(Box::new(Hierarchical::new(n, f, groups, inner, outer)?)),
         }
     }
 
@@ -120,6 +138,7 @@ impl RuleSpec {
             Self::GeometricMedian => "geometric-median",
             Self::ClosestToBarycenter => "closest-to-barycenter",
             Self::MinDiameterSubset => "min-diameter-subset",
+            Self::Hierarchical { .. } => "hierarchical",
         }
     }
 
@@ -135,6 +154,13 @@ impl RuleSpec {
             Self::GeometricMedian,
             Self::ClosestToBarycenter,
             Self::MinDiameterSubset,
+            // Median stages so the default-parameter build succeeds on the
+            // small clusters the registry tests use.
+            Self::Hierarchical {
+                groups: 2,
+                inner: StageRule::Median,
+                outer: StageRule::Median,
+            },
         ]
     }
 }
@@ -144,6 +170,20 @@ impl fmt::Display for RuleSpec {
         match *self {
             Self::MultiKrum { m: Some(m) } => write!(out, "multi-krum:m={m}"),
             Self::TrimmedMean { trim: Some(trim) } => write!(out, "trimmed-mean:trim={trim}"),
+            Self::Hierarchical {
+                groups,
+                inner,
+                outer,
+            } => {
+                write!(out, "hierarchical:groups={groups}")?;
+                if inner != StageRule::Krum {
+                    write!(out, ",inner={inner}")?;
+                }
+                if outer != StageRule::Krum {
+                    write!(out, ",outer={outer}")?;
+                }
+                Ok(())
+            }
             _ => out.write_str(self.name()),
         }
     }
@@ -155,7 +195,13 @@ impl FromStr for RuleSpec {
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
         let mut parts = spec.splitn(2, ':');
         let name = parts.next().unwrap_or_default().trim();
-        let params = parse_params(parts.next().unwrap_or(""), name)?;
+        let raw_params = parts.next().unwrap_or("");
+        // Hierarchical parameters carry rule names as values, so they cannot
+        // go through the integer-valued `parse_params`.
+        if name == "hierarchical" {
+            return parse_hierarchical(raw_params);
+        }
+        let params = parse_params(raw_params, name)?;
         let get =
             |key: &str| -> Option<usize> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
         let reject_unknown = |allowed: &[&str]| -> Result<(), AggregationError> {
@@ -278,6 +324,54 @@ pub fn build_aggregator(
     spec.parse::<RuleSpec>()?.build(n, f)
 }
 
+/// Parses the parameter list of a `hierarchical:...` spec. Keys: `groups`
+/// (default 4), `inner` and `outer` (rule specs, default `krum`). Splitting
+/// on `,` first is safe because stage rules carry at most one parameter and
+/// therefore never contain a comma themselves.
+fn parse_hierarchical(raw: &str) -> Result<RuleSpec, AggregationError> {
+    let mut groups = 4usize;
+    let mut inner = StageRule::Krum;
+    let mut outer = StageRule::Krum;
+    for piece in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let mut kv = piece.splitn(2, '=');
+        let key = kv.next().unwrap_or_default().trim();
+        let value = kv
+            .next()
+            .ok_or_else(|| {
+                AggregationError::config(
+                    "registry",
+                    format!(
+                        "parameter `{piece}` for rule `hierarchical` is not of the form key=value"
+                    ),
+                )
+            })?
+            .trim();
+        match key {
+            "groups" | "g" => {
+                groups = value.parse().map_err(|_| {
+                    AggregationError::config(
+                        "registry",
+                        "parameter `groups` of rule `hierarchical` must be a non-negative integer",
+                    )
+                })?;
+            }
+            "inner" => inner = value.parse()?,
+            "outer" => outer = value.parse()?,
+            other => {
+                return Err(AggregationError::config(
+                    "registry",
+                    format!("unknown parameter `{other}` for rule `hierarchical`"),
+                ));
+            }
+        }
+    }
+    Ok(RuleSpec::Hierarchical {
+        groups,
+        inner,
+        outer,
+    })
+}
+
 /// Parses `key=value,key=value` parameter lists with `usize` values.
 fn parse_params(raw: &str, rule: &str) -> Result<Vec<(String, usize)>, AggregationError> {
     let mut out = Vec::new();
@@ -309,9 +403,16 @@ mod tests {
     #[test]
     fn builds_every_canonical_rule() {
         for &name in RULE_NAMES {
-            let rule = build_aggregator(name, 9, 2)
+            // Bare hierarchical defaults to 4 Krum-in-Krum groups, which
+            // needs a larger cluster than the (9, 2) the flat rules use.
+            let (n, f) = if name == "hierarchical" {
+                (24, 3)
+            } else {
+                (9, 2)
+            };
+            let rule = build_aggregator(name, n, f)
                 .unwrap_or_else(|e| panic!("rule {name} failed to build: {e}"));
-            let proposals = vec![Vector::zeros(3); 9];
+            let proposals = vec![Vector::zeros(3); n];
             assert_eq!(rule.aggregate(&proposals).unwrap().dim(), 3, "rule {name}");
         }
     }
@@ -387,6 +488,21 @@ mod tests {
             RuleSpec::GeometricMedian,
             RuleSpec::ClosestToBarycenter,
             RuleSpec::MinDiameterSubset,
+            RuleSpec::Hierarchical {
+                groups: 4,
+                inner: StageRule::Krum,
+                outer: StageRule::Krum,
+            },
+            RuleSpec::Hierarchical {
+                groups: 16,
+                inner: StageRule::MultiKrum { m: Some(4) },
+                outer: StageRule::Median,
+            },
+            RuleSpec::Hierarchical {
+                groups: 8,
+                inner: StageRule::Median,
+                outer: StageRule::TrimmedMean { trim: Some(1) },
+            },
         ];
         for spec in specs {
             let parsed: RuleSpec = spec.to_string().parse().unwrap();
@@ -395,6 +511,50 @@ mod tests {
             let back: RuleSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(back, spec, "serde must round-trip");
         }
+    }
+
+    #[test]
+    fn hierarchical_spec_parsing() {
+        // Bare form defaults to 4 Krum-in-Krum groups.
+        assert_eq!(
+            "hierarchical".parse::<RuleSpec>().unwrap(),
+            RuleSpec::Hierarchical {
+                groups: 4,
+                inner: StageRule::Krum,
+                outer: StageRule::Krum,
+            }
+        );
+        // Display round-trips and only prints non-default stages.
+        let spec = RuleSpec::Hierarchical {
+            groups: 16,
+            inner: StageRule::Krum,
+            outer: StageRule::MultiKrum { m: Some(4) },
+        };
+        assert_eq!(
+            spec.to_string(),
+            "hierarchical:groups=16,outer=multi-krum:m=4"
+        );
+        // `g` is accepted as shorthand for `groups`.
+        assert_eq!(
+            "hierarchical:g=8,inner=median".parse::<RuleSpec>().unwrap(),
+            RuleSpec::Hierarchical {
+                groups: 8,
+                inner: StageRule::Median,
+                outer: StageRule::Krum,
+            }
+        );
+        // Rejections: nesting, unknown keys, malformed pieces.
+        assert!("hierarchical:inner=hierarchical"
+            .parse::<RuleSpec>()
+            .is_err());
+        assert!("hierarchical:depth=2".parse::<RuleSpec>().is_err());
+        assert!("hierarchical:groups".parse::<RuleSpec>().is_err());
+        assert!("hierarchical:groups=two".parse::<RuleSpec>().is_err());
+        assert!("hierarchical:inner=zeno".parse::<RuleSpec>().is_err());
+        // Build feasibility flows through from the stage rules.
+        assert!(build_aggregator("hierarchical:groups=4", 24, 3).is_ok());
+        assert!(build_aggregator("hierarchical:groups=4", 9, 2).is_err());
+        assert!(build_aggregator("hierarchical:groups=2,inner=median,outer=median", 9, 2).is_ok());
     }
 
     #[test]

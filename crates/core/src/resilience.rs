@@ -89,6 +89,112 @@ pub fn krum_sin_alpha(
     Ok(eta(n, f)? * (d as f64).sqrt() * sigma / grad_norm)
 }
 
+/// Byzantine accounting for one level of hierarchical (group-sharded)
+/// aggregation, as computed by [`hierarchical_bounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchicalBounds {
+    /// Number of round-robin groups `g`.
+    pub groups: usize,
+    /// Smallest group size `⌊n/g⌋`.
+    pub group_size_min: usize,
+    /// Largest group size `⌈n/g⌉`.
+    pub group_size_max: usize,
+    /// Worst-case Byzantine members per group, `f_g = ⌈f/g⌉`.
+    pub group_byzantine: usize,
+    /// Byzantine budget for the outer stage over the `g` winners,
+    /// `f_outer = ⌊g·f/n⌋`.
+    pub outer_byzantine: usize,
+}
+
+impl HierarchicalBounds {
+    /// Size of group `k` of `n` workers under round-robin sharding:
+    /// `⌈(n − k)/g⌉`, i.e. `⌊n/g⌋ + 1` for the first `n mod g` groups.
+    pub fn group_size(&self, k: usize, n: usize) -> usize {
+        n / self.groups + usize::from(k < n % self.groups)
+    }
+
+    /// Whether Krum's precondition `2·f_g + 2 < n_g` holds in the *smallest*
+    /// group — i.e. whether a Krum-family inner stage is feasible.
+    pub fn krum_feasible(&self) -> bool {
+        2 * self.group_byzantine + 2 < self.group_size_min
+    }
+}
+
+/// Derives the per-group Byzantine bound for hierarchical aggregation.
+///
+/// # Derivation
+///
+/// Shard the `n` workers round-robin: worker `w` joins group `w mod g`, so
+/// group `k` has `n_g(k) = ⌈(n − k)/g⌉ ∈ {⌊n/g⌋, ⌈n/g⌉}` members.
+///
+/// **Inner stage.** The threat model (and the engine) place the `f`
+/// Byzantine workers on the contiguous top id block `{n−f, …, n−1}`. Any
+/// `f` consecutive ids hit each residue class modulo `g` at most
+/// `⌈f/g⌉` times, so every group faces at most
+///
+/// ```text
+///     f_g = ⌈f/g⌉
+/// ```
+///
+/// Byzantine members. A Krum-family inner rule therefore needs
+/// `2·f_g + 2 < n_g` in the *smallest* group, i.e.
+/// `2·⌈f/g⌉ + 2 < ⌊n/g⌋` — roughly the flat precondition `2f + 2 < n`
+/// scaled down by `g`, which keeps the honest supermajority intact inside
+/// every shard. (This function checks only the structural requirements
+/// `2 ≤ g ≤ n` and `f < n`; the rule-level inequality is enforced when the
+/// per-group rules are built for `(n_g, f_g)`, so non-Krum inner stages
+/// such as the median are not over-constrained.)
+///
+/// **Outer stage.** A group's winner is only attacker-controlled if the
+/// attacker overwhelms that group's inner rule. With the budget `f` spread
+/// as evenly as the adversary likes, at most `⌊f / (n_g·…)⌋`-style counting
+/// applies; the conservative budget used here charges the outer stage one
+/// corrupted winner per fully-Byzantine group's worth of workers:
+///
+/// ```text
+///     f_outer = ⌊g·f / n⌋
+/// ```
+///
+/// (the number of groups the attacker could fill *completely* if it
+/// concentrated its budget, since filling a group takes ≈ `n/g` workers).
+/// The outer rule over the `g` winners is built for `(g, f_outer)`.
+///
+/// # Errors
+///
+/// Returns [`AggregationError::InvalidConfig`] when `groups < 2`,
+/// `groups > n`, or `f ≥ n`.
+pub fn hierarchical_bounds(
+    n: usize,
+    f: usize,
+    groups: usize,
+) -> Result<HierarchicalBounds, AggregationError> {
+    if groups < 2 {
+        return Err(AggregationError::config(
+            "hierarchical",
+            format!("need at least 2 groups, got {groups}"),
+        ));
+    }
+    if groups > n {
+        return Err(AggregationError::config(
+            "hierarchical",
+            format!("cannot shard {n} workers into {groups} groups"),
+        ));
+    }
+    if f >= n {
+        return Err(AggregationError::config(
+            "hierarchical",
+            format!("need f < n, got n = {n}, f = {f}"),
+        ));
+    }
+    Ok(HierarchicalBounds {
+        groups,
+        group_size_min: n / groups,
+        group_size_max: n.div_ceil(groups),
+        group_byzantine: f.div_ceil(groups),
+        outer_byzantine: groups * f / n,
+    })
+}
+
 /// Monte-Carlo estimator of the Definition-3.2 conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResilienceEstimator {
@@ -298,6 +404,37 @@ mod tests {
         assert!((b / a - 2.0).abs() < 1e-9, "sin alpha is linear in sigma");
         let c = krum_sin_alpha(25, 5, 100, 0.01, 20.0).unwrap();
         assert!((a / c - 2.0).abs() < 1e-9, "sin alpha is inverse in ‖g‖");
+    }
+
+    #[test]
+    fn hierarchical_bounds_match_hand_calculations() {
+        // n = 1024, g = 16, f = 64: groups of 64 with ⌈64/16⌉ = 4 byzantine
+        // each (2·4 + 2 = 10 < 64 ✓), outer budget ⌊16·64/1024⌋ = 1.
+        let b = hierarchical_bounds(1024, 64, 16).unwrap();
+        assert_eq!(b.group_size_min, 64);
+        assert_eq!(b.group_size_max, 64);
+        assert_eq!(b.group_byzantine, 4);
+        assert_eq!(b.outer_byzantine, 1);
+        assert!(b.krum_feasible());
+        // n = 2000, g = 40, f = 100: groups of 50, f_g = ⌈100/40⌉ = 3,
+        // f_outer = ⌊40·100/2000⌋ = 2.
+        let b = hierarchical_bounds(2000, 100, 40).unwrap();
+        assert_eq!((b.group_size_min, b.group_size_max), (50, 50));
+        assert_eq!(b.group_byzantine, 3);
+        assert_eq!(b.outer_byzantine, 2);
+        // Ragged split: n = 23, g = 4 → sizes 6,6,6,5.
+        let b = hierarchical_bounds(23, 3, 4).unwrap();
+        assert_eq!((b.group_size_min, b.group_size_max), (5, 6));
+        let sizes: Vec<usize> = (0..4).map(|k| b.group_size(k, 23)).collect();
+        assert_eq!(sizes, [6, 6, 6, 5]);
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        // Structural rejections.
+        assert!(hierarchical_bounds(10, 1, 1).is_err());
+        assert!(hierarchical_bounds(10, 1, 11).is_err());
+        assert!(hierarchical_bounds(10, 10, 2).is_err());
+        // Krum infeasible when groups get too small for their byzantine load.
+        let b = hierarchical_bounds(16, 4, 4).unwrap();
+        assert!(!b.krum_feasible());
     }
 
     #[test]

@@ -119,6 +119,16 @@ pub enum ExecutionStrategy {
         /// The simulated network deciding per-worker arrival order and the
         /// quorum's network charge.
         network: NetworkModel,
+        /// Stale-gradient mode: the server keeps the **latest** proposal of
+        /// every worker and aggregates all `n` of them each round; `quorum`
+        /// becomes the number of *fresh refreshes* per round (`1 ≤ quorum ≤
+        /// n`, no `n − f` floor) and `max_staleness` the forced-refresh
+        /// bound (a table entry older than it must be refreshed before the
+        /// round closes). The aggregation rule is built for `n`, and
+        /// because only `quorum` of the `n` rows change per round, the
+        /// incremental Gram cache recomputes only those rows — the
+        /// steady-state cost drops from `n(n−1)/2` to `≈ q·n` dot products.
+        reuse_stale: bool,
     },
 }
 
@@ -146,10 +156,17 @@ impl std::fmt::Display for ExecutionStrategy {
                 quorum,
                 max_staleness,
                 network,
-            } => write!(
-                out,
-                "async-quorum(q={quorum}, staleness<={max_staleness}, {network})"
-            ),
+                reuse_stale,
+            } => {
+                write!(
+                    out,
+                    "async-quorum(q={quorum}, staleness<={max_staleness}, {network}"
+                )?;
+                if *reuse_stale {
+                    out.write_str(", reuse")?;
+                }
+                out.write_str(")")
+            }
         }
     }
 }
@@ -278,6 +295,18 @@ pub struct RoundEngine {
     /// `(worker, issued_round)` per entry of `quorum_vectors`, to attribute
     /// selections back to workers.
     quorum_meta: Vec<(usize, usize)>,
+    /// Latest-proposal table for the reuse-stale async mode: one slot per
+    /// worker, refreshed in place (`assign`), aggregated at arity `n` every
+    /// round. Empty until the first reuse round.
+    latest: Vec<Vector>,
+    /// Round each `latest` entry was issued at.
+    latest_issued: Vec<usize>,
+    /// Per-worker refresh counters, handed to the aggregation workspace so
+    /// the incremental Gram cache knows which rows changed.
+    generations: Vec<u64>,
+    /// Whether reuse-stale rounds arm the incremental Gram cache (on by
+    /// default; benches disable it to measure the full-recompute baseline).
+    gram_cache: bool,
 }
 
 impl RoundEngine {
@@ -314,17 +343,32 @@ impl RoundEngine {
             ExecutionStrategy::Sequential => {}
             ExecutionStrategy::Threaded { network } => network.validate()?,
             ExecutionStrategy::AsyncQuorum {
-                quorum, network, ..
+                quorum,
+                network,
+                reuse_stale,
+                ..
             } => {
                 network.validate()?;
                 let n = cluster.workers();
-                let min = cluster.honest();
-                if *quorum < min || *quorum > n {
-                    return Err(TrainError::config(format!(
-                        "async quorum must satisfy n - f <= quorum <= n, got quorum = {quorum} \
-                         with n = {n}, f = {}",
-                        cluster.byzantine()
-                    )));
+                if *reuse_stale {
+                    // Reuse mode aggregates the full latest-proposal table
+                    // every round; `quorum` only paces refreshes, so any
+                    // positive rate up to full refresh is meaningful.
+                    if *quorum < 1 || *quorum > n {
+                        return Err(TrainError::config(format!(
+                            "reuse-stale quorum must satisfy 1 <= quorum <= n, got quorum = \
+                             {quorum} with n = {n}"
+                        )));
+                    }
+                } else {
+                    let min = cluster.honest();
+                    if *quorum < min || *quorum > n {
+                        return Err(TrainError::config(format!(
+                            "async quorum must satisfy n - f <= quorum <= n, got quorum = \
+                             {quorum} with n = {n}, f = {}",
+                            cluster.byzantine()
+                        )));
+                    }
                 }
             }
         }
@@ -382,6 +426,10 @@ impl RoundEngine {
             pending: Vec::new(),
             quorum_vectors: Vec::new(),
             quorum_meta: Vec::new(),
+            latest: Vec::new(),
+            latest_issued: Vec::new(),
+            generations: Vec::new(),
+            gram_cache: true,
         })
     }
 
@@ -395,6 +443,17 @@ impl RoundEngine {
     /// [`ExecutionPolicy::Sequential`] for allocation-free profiling).
     pub fn set_aggregation_policy(&mut self, policy: ExecutionPolicy) {
         self.core.set_aggregation_policy(policy);
+    }
+
+    /// Enables or disables the incremental Gram cache for reuse-stale async
+    /// rounds (on by default). Trajectories are bit-identical either way —
+    /// the cache only changes how much of the pairwise-distance matrix is
+    /// recomputed per round.
+    pub fn set_gram_cache(&mut self, enabled: bool) {
+        self.gram_cache = enabled;
+        if !enabled {
+            self.core.invalidate_gram_cache();
+        }
     }
 
     /// The cluster this engine drives.
@@ -474,7 +533,14 @@ impl RoundEngine {
                 quorum,
                 max_staleness,
                 network,
-            } => self.step_async(params, round, quorum, max_staleness, network),
+                reuse_stale,
+            } => {
+                if reuse_stale {
+                    self.step_reuse(params, round, quorum, max_staleness, network)
+                } else {
+                    self.step_async(params, round, quorum, max_staleness, network)
+                }
+            }
             _ => self.step_barrier(params, round),
         }
     }
@@ -842,6 +908,224 @@ impl RoundEngine {
         record.max_staleness_in_quorum = Some(max_staleness_in_quorum);
         record.dropped_stale = Some(dropped_stale);
         record.pending_carryover = Some(pending_carryover);
+        record.network_nanos = cutoff_nanos;
+        record.round_nanos += cutoff_nanos;
+        Ok(record)
+    }
+
+    /// One reuse-stale round: the server aggregates the full latest-proposal
+    /// table (arity `n`) after refreshing `quorum` entries — the
+    /// stale-gradient parameter-server model, where workers overwrite their
+    /// slot whenever they finish and the server never waits for more than
+    /// the refresh pace plus the staleness bound.
+    ///
+    /// Refresh selection per round:
+    ///
+    /// 1. every entry whose age reached `max_staleness` **must** refresh
+    ///    (round 0 forces the whole table — there is nothing to reuse);
+    /// 2. remaining capacity up to `quorum` goes to the earliest fresh
+    ///    arrivals under the simulated network, honouring the adversary's
+    ///    timing: straggling Byzantine workers only land when forced (at
+    ///    the slowest honest arrival), last-to-respond ones always land,
+    ///    forging after observing the honest refreshes.
+    ///
+    /// Fresh proposals that do not land are discarded (the worker will
+    /// recompute at a newer `x_t` anyway) and show up in `dropped_stale`;
+    /// `pending_carryover` is always 0 — staleness lives in the table
+    /// itself, visible through `stale_in_quorum`.
+    fn step_reuse(
+        &mut self,
+        params: &mut Vector,
+        round: usize,
+        quorum: usize,
+        max_staleness: usize,
+        network: NetworkModel,
+    ) -> Result<RoundRecord, TrainError> {
+        let round_start = Instant::now();
+        let honest = self.cluster.honest();
+        let byzantine = self.cluster.byzantine();
+        let n = self.cluster.workers();
+
+        // Phase 1+2: broadcast + propose — same per-worker RNG streams in
+        // the same order as every other strategy.
+        let propose_start = Instant::now();
+        for w in 0..honest {
+            self.proposals[w] = self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
+        }
+        let propose_nanos = propose_start.elapsed().as_nanos();
+
+        // First reuse round: size the table (the only allocating round).
+        let cold_start = self.latest.len() != n;
+        if cold_start {
+            self.latest = vec![Vector::zeros(self.dim); n];
+            self.latest_issued = vec![0; n];
+            self.generations = vec![0; n];
+        }
+        let forced = |w: usize| cold_start || round - self.latest_issued[w] >= max_staleness;
+
+        // Phase 3: attack — timing-aware, as in `step_async`.
+        let attack_start = Instant::now();
+        let true_gradient = self.probe_estimator().true_gradient(params);
+        let timing = self.attack.timing();
+        let early_forged = match timing {
+            AttackTiming::Honest | AttackTiming::Straggle => Some(forge_proposals(
+                &*self.attack,
+                &self.attack_name,
+                &mut self.attack_rng,
+                &self.proposals[..honest],
+                params,
+                true_gradient.as_ref(),
+                byzantine,
+                n,
+                round,
+                self.core.aggregator_name(),
+                self.dim,
+            )?),
+            AttackTiming::LastToRespond => None,
+        };
+
+        // Arrival race. Honest workers always draw (keeping the network
+        // stream aligned across timings); Byzantine arrivals depend on the
+        // adversary's timing.
+        let mut arrival = vec![u128::MAX; n];
+        let mut max_honest_arrival: u128 = 0;
+        for slot in arrival.iter_mut().take(honest) {
+            *slot = network.worker_round_trip_nanos(self.dim, &mut self.network_rng);
+            max_honest_arrival = max_honest_arrival.max(*slot);
+        }
+        match timing {
+            AttackTiming::Honest => {
+                for slot in arrival.iter_mut().skip(honest) {
+                    *slot = network.worker_round_trip_nanos(self.dim, &mut self.network_rng);
+                }
+            }
+            // Deliberately after every honest proposal; `u128::MAX` keeps
+            // them out of the race, `effective` charges the honest cutoff
+            // when the staleness bound forces them in.
+            AttackTiming::Straggle | AttackTiming::LastToRespond => {}
+        }
+
+        // Refresh selection: forced entries first, then earliest arrivals
+        // up to `quorum`. A last-to-respond adversary always refreshes (it
+        // is never the bottleneck), so its slots are pre-charged.
+        let mut refresh = vec![false; n];
+        let mut refreshed = 0usize;
+        for (w, slot) in refresh.iter_mut().enumerate() {
+            let always = timing == AttackTiming::LastToRespond && w >= honest;
+            if forced(w) || always {
+                *slot = true;
+                refreshed += 1;
+            }
+        }
+        if refreshed < quorum {
+            let mut race: Vec<(u128, usize)> = (0..n)
+                .filter(|&w| !refresh[w])
+                .filter(|&w| timing != AttackTiming::LastToRespond || w < honest)
+                .map(|w| (arrival[w], w))
+                .collect();
+            race.sort_unstable();
+            for &(_, w) in race.iter().take(quorum - refreshed) {
+                refresh[w] = true;
+                refreshed += 1;
+            }
+        }
+
+        // Land the honest refreshes (moving out of the scratch buffer) and
+        // compute the round's network charge: the slowest landed arrival,
+        // with straggling Byzantine workers pulled in at the honest cutoff.
+        let mut cutoff_nanos: u128 = 0;
+        let mut dropped_stale = 0usize;
+        for w in 0..honest {
+            if refresh[w] {
+                self.latest[w].assign(self.proposals[w].as_slice());
+                self.latest_issued[w] = round;
+                self.generations[w] = self.generations[w].wrapping_add(1);
+                cutoff_nanos = cutoff_nanos.max(arrival[w]);
+            } else {
+                // The fresh gradient goes unused: by the next round the
+                // worker re-estimates at the new parameters.
+                dropped_stale += 1;
+            }
+        }
+        if let Some(forged) = early_forged {
+            for (b, vector) in forged.into_iter().enumerate() {
+                let w = honest + b;
+                if refresh[w] {
+                    self.latest[w].assign(vector.as_slice());
+                    self.latest_issued[w] = round;
+                    self.generations[w] = self.generations[w].wrapping_add(1);
+                    cutoff_nanos = cutoff_nanos.max(match timing {
+                        AttackTiming::Straggle => max_honest_arrival,
+                        _ => arrival[w],
+                    });
+                } else {
+                    dropped_stale += 1;
+                }
+            }
+        } else {
+            // Last-to-respond: forge now, observing exactly the honest
+            // entries that landed this round, timed at the closing arrival.
+            let observed: Vec<Vector> = (0..honest)
+                .filter(|&w| refresh[w])
+                .map(|w| self.latest[w].clone())
+                .collect();
+            let forged = forge_proposals(
+                &*self.attack,
+                &self.attack_name,
+                &mut self.attack_rng,
+                &observed,
+                params,
+                true_gradient.as_ref(),
+                byzantine,
+                n,
+                round,
+                self.core.aggregator_name(),
+                self.dim,
+            )?;
+            for (b, vector) in forged.into_iter().enumerate() {
+                let w = honest + b;
+                if refresh[w] {
+                    self.latest[w].assign(vector.as_slice());
+                    self.latest_issued[w] = round;
+                    self.generations[w] = self.generations[w].wrapping_add(1);
+                }
+            }
+        }
+        let attack_nanos = attack_start.elapsed().as_nanos();
+
+        // Table staleness stats (the table *is* the quorum here).
+        let stale_in_quorum = self
+            .latest_issued
+            .iter()
+            .filter(|&&issued| issued < round)
+            .count();
+        let max_staleness_in_quorum = self
+            .latest_issued
+            .iter()
+            .map(|&issued| round - issued)
+            .max()
+            .unwrap_or(0);
+
+        // Phases 4–6: aggregate the full table at arity `n`. Arming the
+        // per-worker generations lets the workspace recompute only the
+        // refreshed Gram rows — bit-identical to a full recompute.
+        if self.gram_cache {
+            self.core.set_generations(&self.generations);
+        }
+        let probe = self.probe.as_deref().unwrap_or(&*self.estimators[0]);
+        let mut record =
+            self.core
+                .close_round(params, round, &self.latest, true_gradient, Some(probe))?;
+        record.propose_nanos = propose_nanos;
+        record.attack_nanos = attack_nanos;
+        record.round_nanos = round_start.elapsed().as_nanos();
+        // The table is in worker order, so the selection index is already a
+        // worker id and `close_round` attributed Byzantine selection right.
+        record.quorum_size = Some(refreshed);
+        record.stale_in_quorum = Some(stale_in_quorum);
+        record.max_staleness_in_quorum = Some(max_staleness_in_quorum);
+        record.dropped_stale = Some(dropped_stale);
+        record.pending_carryover = Some(0);
         record.network_nanos = cutoff_nanos;
         record.round_nanos += cutoff_nanos;
         Ok(record)

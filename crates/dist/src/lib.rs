@@ -349,9 +349,181 @@ mod tests {
                 quorum,
                 max_staleness,
                 network,
+                reuse_stale: false,
             },
         )
         .unwrap()
+    }
+
+    /// A reuse-stale engine: the rule is built for `n` (the full latest
+    /// table is aggregated every round), `quorum` is the refresh pace.
+    #[allow(clippy::too_many_arguments)]
+    fn reuse_engine(
+        n: usize,
+        f: usize,
+        dim: usize,
+        sigma: f64,
+        rounds: usize,
+        quorum: usize,
+        max_staleness: usize,
+        network: NetworkModel,
+        attack: Box<dyn krum_attacks::Attack>,
+        gram_cache: bool,
+    ) -> RoundEngine {
+        let mut engine = RoundEngine::new(
+            ClusterSpec::new(n, f).unwrap(),
+            Box::new(Krum::new(n, f).unwrap()),
+            attack,
+            estimators(n - f, dim, sigma),
+            None,
+            config(rounds, dim),
+            ExecutionStrategy::AsyncQuorum {
+                quorum,
+                max_staleness,
+                network,
+                reuse_stale: true,
+            },
+        )
+        .unwrap();
+        engine.set_gram_cache(gram_cache);
+        engine
+    }
+
+    /// Reuse mode with a full refresh every round collapses to the barrier
+    /// protocol: same proposals, same order, same trajectory as Sequential.
+    #[test]
+    fn reuse_full_refresh_matches_sequential_exactly() {
+        let (n, f, dim, rounds) = (9, 2, 5, 20);
+        let start = Vector::filled(dim, 1.2);
+        let mut sequential = RoundEngine::new(
+            ClusterSpec::new(n, f).unwrap(),
+            Box::new(Krum::new(n, f).unwrap()),
+            Box::new(SignFlip::new(2.0).unwrap()),
+            estimators(n - f, dim, 0.3),
+            None,
+            config(rounds, dim),
+            ExecutionStrategy::Sequential,
+        )
+        .unwrap();
+        let mut reuse = reuse_engine(
+            n,
+            f,
+            dim,
+            0.3,
+            rounds,
+            n,
+            0,
+            zero_latency(),
+            Box::new(SignFlip::new(2.0).unwrap()),
+            true,
+        );
+        let (a, ha) = sequential.run(start.clone()).unwrap();
+        let (b, hb) = reuse.run(start).unwrap();
+        assert_eq!(a, b, "full-refresh reuse must reproduce the barrier");
+        for (ra, rb) in ha.rounds.iter().zip(hb.rounds.iter()) {
+            assert_eq!(ra.aggregate_norm.to_bits(), rb.aggregate_norm.to_bits());
+            assert_eq!(ra.selected_worker, rb.selected_worker);
+        }
+        // Every round refreshed everything: no staleness anywhere.
+        assert!(hb
+            .rounds
+            .iter()
+            .all(|r| r.stale_in_quorum == Some(0) && r.quorum_size == Some(n)));
+    }
+
+    /// The incremental Gram cache is a pure optimisation: trajectories with
+    /// it on and off are bit-identical under every adversary timing and a
+    /// heavy-tailed network.
+    #[test]
+    fn reuse_gram_cache_on_and_off_are_bit_identical() {
+        let network = NetworkModel {
+            latency: LatencyModel::Pareto {
+                min_nanos: 1_000,
+                alpha: 1.4,
+            },
+            nanos_per_byte: 0.05,
+        };
+        let attacks: Vec<fn() -> Box<dyn krum_attacks::Attack>> = vec![
+            || Box::new(SignFlip::new(2.0).unwrap()),
+            || Box::new(krum_attacks::Straggler::new(3.0).unwrap()),
+            || Box::new(krum_attacks::LastToRespond::new(2.5).unwrap()),
+        ];
+        for make_attack in attacks {
+            let (n, f, dim, rounds) = (12, 2, 6, 25);
+            // A quarter of the table refreshes per round, stale entries
+            // tolerated up to 4 rounds.
+            let mut cached =
+                reuse_engine(n, f, dim, 0.4, rounds, 3, 4, network, make_attack(), true);
+            let mut uncached =
+                reuse_engine(n, f, dim, 0.4, rounds, 3, 4, network, make_attack(), false);
+            let start = Vector::filled(dim, 1.0);
+            let (a, ha) = cached.run(start.clone()).unwrap();
+            let (b, hb) = uncached.run(start).unwrap();
+            let name = cached.new_history().attack;
+            assert_eq!(a, b, "cache must not change the trajectory ({name})");
+            for (ra, rb) in ha.rounds.iter().zip(hb.rounds.iter()) {
+                assert_eq!(
+                    ra.aggregate_norm.to_bits(),
+                    rb.aggregate_norm.to_bits(),
+                    "round {} diverged under {name}",
+                    ra.round
+                );
+                assert_eq!(ra.selected_worker, rb.selected_worker);
+                assert_eq!(ra.stale_in_quorum, rb.stale_in_quorum);
+            }
+            // The partial refresh actually exercised staleness.
+            assert!(ha.rounds.iter().any(|r| r.stale_in_quorum > Some(0)));
+        }
+    }
+
+    /// The staleness bound is enforced by forced refreshes, and reuse mode
+    /// accepts refresh paces below the `n − f` quorum floor.
+    #[test]
+    fn reuse_staleness_bound_forces_refreshes() {
+        let (n, f, dim, rounds) = (10, 2, 4, 30);
+        let mut engine = reuse_engine(
+            n,
+            f,
+            dim,
+            0.2,
+            rounds,
+            1, // far below n − f: legal in reuse mode
+            3,
+            zero_latency(),
+            Box::new(SignFlip::new(1.5).unwrap()),
+            true,
+        );
+        let (_, history) = engine.run(Vector::filled(dim, 1.0)).unwrap();
+        for record in history.rounds.iter() {
+            // No table entry ever exceeds the staleness bound.
+            assert!(record.max_staleness_in_quorum <= Some(3));
+            // Staleness lives in the table, not a carry pool.
+            assert_eq!(record.pending_carryover, Some(0));
+            assert_eq!(record.quorum_size.map(|q| q >= 1), Some(true));
+        }
+        assert!(history.rounds.iter().any(|r| r.stale_in_quorum > Some(0)));
+
+        // Bounds: zero pace is rejected, any positive pace up to n is fine.
+        let make = |quorum: usize| {
+            RoundEngine::new(
+                ClusterSpec::new(9, 2).unwrap(),
+                Box::new(Average::new()),
+                Box::new(NoAttack::new()),
+                estimators(7, 4, 0.1),
+                None,
+                config(5, 4),
+                ExecutionStrategy::AsyncQuorum {
+                    quorum,
+                    max_staleness: 1,
+                    network: zero_latency(),
+                    reuse_stale: true,
+                },
+            )
+        };
+        assert!(make(0).is_err(), "a zero refresh pace can never progress");
+        assert!(make(1).is_ok(), "reuse mode has no n - f floor");
+        assert!(make(9).is_ok());
+        assert!(make(10).is_err(), "pace beyond n is meaningless");
     }
 
     fn zero_latency() -> NetworkModel {
@@ -670,6 +842,7 @@ mod tests {
                     quorum,
                     max_staleness: 1,
                     network: zero_latency(),
+                    reuse_stale: false,
                 },
             )
         };
@@ -688,6 +861,7 @@ mod tests {
             ExecutionStrategy::AsyncQuorum {
                 quorum: 8,
                 max_staleness: 1,
+                reuse_stale: false,
                 network: NetworkModel {
                     latency: LatencyModel::Pareto {
                         min_nanos: 10,

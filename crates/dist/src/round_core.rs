@@ -112,6 +112,21 @@ impl RoundCore {
         self.ctx.set_policy(policy);
     }
 
+    /// Arms the workspace's incremental Gram cache for the next aggregation:
+    /// `generations[w]` is a counter bumped whenever worker `w`'s proposal
+    /// changes, so an unchanged counter lets the kernel skip recomputing that
+    /// worker's distance rows. One-shot — the next `close_round` consumes it.
+    /// Results are bit-identical whether or not this is called.
+    pub fn set_generations(&mut self, generations: &[u64]) {
+        self.ctx.set_generations(generations);
+    }
+
+    /// Drops any cached Gram state (e.g. after the proposal table was
+    /// rebuilt out-of-band); the next aggregation recomputes from scratch.
+    pub fn invalidate_gram_cache(&mut self) {
+        self.ctx.invalidate_gram_cache();
+    }
+
     /// Whether `round` is an evaluation round under the configured cadence
     /// (the final round always is).
     pub fn eval_due(&self, round: usize) -> bool {

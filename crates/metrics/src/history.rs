@@ -35,6 +35,11 @@ pub struct ConvergenceSummary {
     pub final_accuracy: Option<f64>,
     /// Smallest recorded true-gradient norm, when available.
     pub min_gradient_norm: Option<f64>,
+    /// Mean aggregation time per round in nanoseconds (0 when empty).
+    pub mean_aggregate_nanos: f64,
+    /// 99th-percentile (nearest-rank) aggregation time per round in
+    /// nanoseconds (0 when empty) — the tail the scaling benchmarks watch.
+    pub p99_aggregate_nanos: f64,
     /// Number of recorded rounds.
     pub rounds: usize,
     /// Whether any recorded quantity became non-finite (a diverged run).
@@ -141,6 +146,17 @@ impl TrainingHistory {
     /// Mean aggregation time per round in nanoseconds (0 when empty).
     pub fn mean_aggregation_nanos(&self) -> f64 {
         self.mean_nanos(|r| r.aggregation_nanos)
+    }
+
+    /// 99th-percentile aggregation time per round in nanoseconds
+    /// (nearest-rank over the recorded rounds; 0 when empty).
+    pub fn p99_aggregation_nanos(&self) -> f64 {
+        let mut times: Vec<u128> = self.rounds.iter().map(|r| r.aggregation_nanos).collect();
+        if times.is_empty() {
+            return 0.0;
+        }
+        times.sort_unstable();
+        times[(99 * times.len()).div_ceil(100) - 1] as f64
     }
 
     /// Mean propose-phase (worker gradient) time per round in nanoseconds
@@ -270,6 +286,8 @@ impl TrainingHistory {
             best_loss: losses.iter().copied().reduce(f64::min),
             final_accuracy: accuracy,
             min_gradient_norm: grad_norms.iter().copied().reduce(f64::min),
+            mean_aggregate_nanos: self.mean_aggregation_nanos(),
+            p99_aggregate_nanos: self.p99_aggregation_nanos(),
             rounds: self.rounds.len(),
             diverged,
         }
@@ -354,6 +372,9 @@ mod tests {
         assert_eq!(s.rounds, 0);
         assert!(!s.diverged);
         assert_eq!(h.mean_aggregation_nanos(), 0.0);
+        assert_eq!(h.p99_aggregation_nanos(), 0.0);
+        assert_eq!(s.mean_aggregate_nanos, 0.0);
+        assert_eq!(s.p99_aggregate_nanos, 0.0);
         assert_eq!(h.mean_round_nanos(), 0.0);
     }
 
@@ -384,6 +405,12 @@ mod tests {
             h.push(r);
         }
         assert!((h.mean_aggregation_nanos() - 200.0).abs() < 1e-9);
+        // Nearest-rank p99 over {100, 200, 300} is the max, and the
+        // summary carries both aggregate-time statistics.
+        assert!((h.p99_aggregation_nanos() - 300.0).abs() < 1e-9);
+        let s = h.summary();
+        assert!((s.mean_aggregate_nanos - 200.0).abs() < 1e-9);
+        assert!((s.p99_aggregate_nanos - 300.0).abs() < 1e-9);
         assert!((h.mean_round_nanos() - 1000.0).abs() < 1e-9);
         assert!((h.mean_propose_nanos() - 50.0).abs() < 1e-9);
         assert!((h.mean_attack_nanos() - 20.0).abs() < 1e-9);

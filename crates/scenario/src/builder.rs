@@ -147,6 +147,29 @@ impl ScenarioBuilder {
             quorum,
             max_staleness,
             network,
+            reuse_stale: false,
+        };
+        self
+    }
+
+    /// Runs async rounds in stale-gradient (reuse) mode: the engine keeps
+    /// every worker's latest proposal and aggregates all `n` of them each
+    /// round, refreshing `quorum` entries per round (`1 ≤ quorum ≤ n`) and
+    /// forcing a refresh once an entry is `max_staleness` rounds old. The
+    /// aggregation rule is built for the full table (`n` proposals), and
+    /// the incremental Gram cache recomputes only refreshed rows.
+    #[must_use]
+    pub fn async_reuse(
+        mut self,
+        quorum: usize,
+        max_staleness: usize,
+        network: NetworkModel,
+    ) -> Self {
+        self.execution = ExecutionSpec::AsyncQuorum {
+            quorum,
+            max_staleness,
+            network,
+            reuse_stale: true,
         };
         self
     }

@@ -74,6 +74,14 @@ impl ScenarioReport {
             ("eval_every", spec.eval_every.to_string()),
             ("seed", spec.seed.to_string()),
             ("wall_ms", format!("{:.3}", self.wall_nanos as f64 / 1e6)),
+            (
+                "aggregate_ns_mean",
+                format!("{:.0}", self.history.mean_aggregation_nanos()),
+            ),
+            (
+                "aggregate_ns_p99",
+                format!("{:.0}", self.history.p99_aggregation_nanos()),
+            ),
         ];
         if let Some(plan) = &spec.fault_plan {
             entries.push(("fault_plan", plan.headline()));
@@ -185,6 +193,9 @@ mod tests {
         assert!(csv.contains("# schedule: constant(gamma=0.2)"));
         assert!(csv.contains("# execution: sequential"));
         assert!(csv.contains("# cluster: n=9, f=2"));
+        // Satellite: the aggregate-time statistics ride every CSV header.
+        assert!(csv.contains("# aggregate_ns_mean: "));
+        assert!(csv.contains("# aggregate_ns_p99: "));
         // Then the standard header and one row per round.
         let header_idx = lines
             .iter()

@@ -299,6 +299,7 @@ mod tests {
         async_spec.execution = ExecutionSpec::AsyncQuorum {
             quorum: 9,
             max_staleness: 2,
+            reuse_stale: false,
             network: NetworkModel {
                 latency: LatencyModel::Constant { nanos: 0 },
                 nanos_per_byte: 0.0,
@@ -322,6 +323,7 @@ mod tests {
         s.execution = ExecutionSpec::AsyncQuorum {
             quorum: 7,
             max_staleness: 2,
+            reuse_stale: false,
             network: NetworkModel {
                 latency: LatencyModel::Pareto {
                     min_nanos: 10_000,
@@ -341,6 +343,97 @@ mod tests {
         assert!(csv.contains("quorum_size"));
         assert!(csv.contains("pending_carryover"));
         // Deterministic: a second run of the same spec is bit-identical.
+        let again = Scenario::from_spec(s).unwrap().run().unwrap();
+        assert_eq!(again.final_params, report.final_params);
+    }
+
+    /// Reuse mode through the declarative API: a full-refresh reuse run
+    /// (quorum = n, zero staleness, zero latency) reproduces Sequential
+    /// bit-for-bit, and a slow refresh pace (quorum < n - f, illegal for
+    /// the barrier mode) runs end-to-end aggregating the full table.
+    #[test]
+    fn reuse_stale_scenario_matches_sequential_and_accepts_slow_refresh() {
+        let sequential = Scenario::from_spec(spec()).unwrap().run().unwrap();
+        let mut full = spec();
+        full.execution = ExecutionSpec::AsyncQuorum {
+            quorum: 9,
+            max_staleness: 0,
+            network: NetworkModel {
+                latency: LatencyModel::Constant { nanos: 0 },
+                nanos_per_byte: 0.0,
+            },
+            reuse_stale: true,
+        };
+        let report = Scenario::from_spec(full).unwrap().run().unwrap();
+        assert_eq!(report.final_params, sequential.final_params);
+        for (a, b) in report.history.rounds.iter().zip(&sequential.history.rounds) {
+            assert_eq!(a.aggregate_norm, b.aggregate_norm);
+            assert_eq!(a.selected_worker, b.selected_worker);
+        }
+
+        // Refreshing 3 of 9 per round: stale table entries enter the
+        // aggregation, bounded by max_staleness.
+        let mut slow = spec();
+        slow.attack = AttackSpec::Straggler { scale: 3.0 };
+        slow.execution = ExecutionSpec::AsyncQuorum {
+            quorum: 3,
+            max_staleness: 4,
+            network: NetworkModel {
+                latency: LatencyModel::Pareto {
+                    min_nanos: 10_000,
+                    alpha: 1.1,
+                },
+                nanos_per_byte: 0.05,
+            },
+            reuse_stale: true,
+        };
+        let report = Scenario::from_spec(slow.clone()).unwrap().run().unwrap();
+        assert!(report.final_params.is_finite());
+        // Round 0 cold-starts the table (everyone refreshes); afterwards
+        // at least the configured pace refreshes, plus staleness-forced
+        // entries — so the mean sits between the pace and n.
+        assert_eq!(report.history.rounds[0].quorum_size, Some(9));
+        assert!(report
+            .history
+            .rounds
+            .iter()
+            .all(|r| r.quorum_size.unwrap_or(0) >= 3));
+        assert!(report.history.mean_quorum_size() < 9.0);
+        assert!(report
+            .history
+            .rounds
+            .iter()
+            .skip(1)
+            .any(|r| r.stale_in_quorum.unwrap_or(0) > 0));
+        let again = Scenario::from_spec(slow).unwrap().run().unwrap();
+        assert_eq!(again.final_params, report.final_params);
+    }
+
+    /// A hierarchical rule runs through the declarative API under attack
+    /// and converges like flat Krum does, deterministically per seed.
+    #[test]
+    fn hierarchical_scenario_runs_deterministically() {
+        let mut s = spec();
+        s.cluster = krum_dist::ClusterSpec::new(24, 3).unwrap();
+        s.rule = RuleSpec::Hierarchical {
+            groups: 4,
+            inner: krum_core::StageRule::Krum,
+            outer: krum_core::StageRule::Krum,
+        };
+        let report = Scenario::from_spec(s.clone()).unwrap().run().unwrap();
+        assert!(report.final_params.is_finite());
+        let summary = report.history.summary();
+        assert!(
+            summary.final_loss < summary.initial_loss,
+            "hierarchical Krum must make progress: {summary:?}"
+        );
+        // Selection metadata survives the two-stage composition: every
+        // round records which worker the outer stage picked.
+        assert!(report
+            .history
+            .rounds
+            .iter()
+            .all(|r| r.selected_worker.is_some()));
         let again = Scenario::from_spec(s).unwrap().run().unwrap();
         assert_eq!(again.final_params, report.final_params);
     }

@@ -65,13 +65,21 @@ pub enum ExecutionSpec {
     /// rule is built for `quorum` proposals (Krum's `2f + 2 < n` is
     /// re-validated against the quorum size).
     AsyncQuorum {
-        /// How many proposals close a round (`n − f ≤ quorum ≤ n`).
+        /// How many proposals close a round (`n − f ≤ quorum ≤ n`), or —
+        /// in reuse mode — how many table entries refresh per round
+        /// (`1 ≤ quorum ≤ n`).
         quorum: usize,
         /// Maximum age (in rounds) an in-flight proposal may reach and still
-        /// be aggregated.
+        /// be aggregated (reuse mode: the forced-refresh bound on table
+        /// entries).
         max_staleness: usize,
         /// The simulated network deciding arrival order and charge.
         network: NetworkModel,
+        /// Stale-gradient mode: keep every worker's latest proposal and
+        /// aggregate all `n` each round; `quorum` paces refreshes and the
+        /// incremental Gram cache recomputes only refreshed rows. JSON
+        /// default: `false` (pre-existing spec files are unchanged).
+        reuse_stale: bool,
     },
     /// Proposals arrive as bytes on real sockets and rounds close on real
     /// arrival order — the `krum-server` subsystem (`krum serve` /
@@ -201,10 +209,12 @@ impl ExecutionSpec {
                 quorum,
                 max_staleness,
                 network,
+                reuse_stale,
             } => Some(ExecutionStrategy::AsyncQuorum {
                 quorum,
                 max_staleness,
                 network,
+                reuse_stale,
             }),
             Self::Remote { .. } => None,
         }
@@ -216,6 +226,10 @@ impl ExecutionSpec {
     /// so rule preconditions hold against what is actually aggregated.
     pub fn aggregation_arity(&self, n: usize) -> usize {
         match *self {
+            // Reuse mode aggregates the full latest-proposal table.
+            Self::AsyncQuorum {
+                reuse_stale: true, ..
+            } => n,
             Self::AsyncQuorum { quorum, .. }
             | Self::Remote {
                 quorum: Some(quorum),
@@ -254,12 +268,14 @@ impl Serialize for ExecutionSpec {
                 quorum,
                 max_staleness,
                 network,
+                reuse_stale,
             } => obj(
                 "AsyncQuorum",
                 vec![
                     ("quorum".into(), Serialize::serialize(quorum)),
                     ("max_staleness".into(), Serialize::serialize(max_staleness)),
                     ("network".into(), Serialize::serialize(network)),
+                    ("reuse_stale".into(), Serialize::serialize(reuse_stale)),
                 ],
             ),
             Self::Remote {
@@ -314,6 +330,11 @@ impl Deserialize for ExecutionSpec {
                         quorum: Deserialize::deserialize(&field(inner, "quorum")?)?,
                         max_staleness: Deserialize::deserialize(&field(inner, "max_staleness")?)?,
                         network: Deserialize::deserialize(&field(inner, "network")?)?,
+                        // Spec files predating reuse mode stay valid.
+                        reuse_stale: match optional_field(inner, "reuse_stale") {
+                            Some(v) => Deserialize::deserialize(v)?,
+                            None => false,
+                        },
                     }),
                     "Remote" => {
                         let defaults = RemoteTimeouts::default();
@@ -529,6 +550,21 @@ impl ScenarioSpec {
         // Async/remote execution narrows what the rule aggregates: its
         // preconditions must hold against the quorum size, not n.
         let narrowed_quorum = match self.execution {
+            // Reuse mode aggregates all n; its quorum is a refresh pace.
+            ExecutionSpec::AsyncQuorum {
+                quorum,
+                reuse_stale: true,
+                ..
+            } => {
+                if quorum < 1 || quorum > cluster.workers() {
+                    return Err(ScenarioError::invalid(format!(
+                        "reuse-stale quorum must satisfy 1 <= quorum <= n, got quorum = \
+                         {quorum} with n = {}",
+                        cluster.workers()
+                    )));
+                }
+                None
+            }
             ExecutionSpec::AsyncQuorum { quorum, .. }
             | ExecutionSpec::Remote {
                 quorum: Some(quorum),
@@ -645,6 +681,7 @@ impl ScenarioSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use krum_core::StageRule;
     use krum_dist::LatencyModel;
 
     pub(crate) fn spec() -> ScenarioSpec {
@@ -747,6 +784,7 @@ mod tests {
         let quorum = ExecutionSpec::AsyncQuorum {
             quorum: 7,
             max_staleness: 2,
+            reuse_stale: false,
             network: NetworkModel {
                 latency: LatencyModel::Pareto {
                     min_nanos: 1_000,
@@ -764,6 +802,7 @@ mod tests {
         ExecutionSpec::AsyncQuorum {
             quorum,
             max_staleness: 2,
+            reuse_stale: false,
             network: NetworkModel {
                 latency: LatencyModel::Uniform {
                     min_nanos: 1_000,
@@ -812,6 +851,7 @@ mod tests {
         bad.execution = ExecutionSpec::AsyncQuorum {
             quorum: 7,
             max_staleness: 2,
+            reuse_stale: false,
             network: NetworkModel {
                 latency: LatencyModel::Pareto {
                     min_nanos: 10,
@@ -1005,5 +1045,104 @@ mod tests {
         ok.cluster = ClusterSpec::new(9, 2).unwrap();
         ok.attack = AttackSpec::Collusion { magnitude: 100.0 };
         ok.validate().unwrap();
+    }
+
+    fn reuse_execution(quorum: usize) -> ExecutionSpec {
+        ExecutionSpec::AsyncQuorum {
+            quorum,
+            max_staleness: 4,
+            network: NetworkModel {
+                latency: LatencyModel::Constant { nanos: 1_000 },
+                nanos_per_byte: 0.0,
+            },
+            reuse_stale: true,
+        }
+    }
+
+    /// Removes `key` from every object in a serialized [`serde::Value`]
+    /// tree — simulating a spec file written before the field existed.
+    fn strip_key(value: &mut serde::Value, key: &str) {
+        match value {
+            serde::Value::Object(fields) => {
+                fields.retain(|(name, _)| name != key);
+                for (_, v) in fields.iter_mut() {
+                    strip_key(v, key);
+                }
+            }
+            serde::Value::Array(items) => {
+                for v in items.iter_mut() {
+                    strip_key(v, key);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn reuse_stale_specs_validate_round_trip_and_default_to_false() {
+        // n = 9, f = 2: a refresh pace far below n - f is legal in reuse
+        // mode because the rule aggregates the full latest-proposal table.
+        let mut s = spec();
+        s.execution = reuse_execution(2);
+        s.validate().unwrap();
+        assert_eq!(s.execution.aggregation_arity(9), 9);
+        assert!(s.execution.to_string().contains("reuse"));
+        let json = s.to_json().unwrap();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, s);
+
+        // The refresh pace is bounded by 1 <= quorum <= n.
+        let mut bad = spec();
+        bad.execution = reuse_execution(0);
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.execution = reuse_execution(10);
+        assert!(bad.validate().is_err());
+
+        // Spec files written before reuse mode carry no `reuse_stale`
+        // field and must keep parsing as the barrier-quorum mode.
+        let barrier = async_execution(7);
+        let mut value = Serialize::serialize(&barrier);
+        strip_key(&mut value, "reuse_stale");
+        let legacy = <ExecutionSpec as Deserialize>::deserialize(&value).unwrap();
+        assert_eq!(legacy, barrier);
+    }
+
+    /// Hierarchical rules flow through the spec: string/typed forms
+    /// round-trip, and validation enforces the per-group Byzantine bound
+    /// against the cluster — not just the flat `2f + 2 < n` condition.
+    #[test]
+    fn hierarchical_specs_round_trip_and_validate_per_group_bounds() {
+        // n = 24, f = 3, g = 4: groups of 6 with at most ceil(3/4) = 1
+        // Byzantine each — Krum is feasible in every group.
+        let mut s = spec();
+        s.cluster = ClusterSpec::new(24, 3).unwrap();
+        s.rule = RuleSpec::Hierarchical {
+            groups: 4,
+            inner: StageRule::Krum,
+            outer: StageRule::Krum,
+        };
+        s.validate().unwrap();
+        let json = s.to_json().unwrap();
+        assert!(json.contains("hierarchical:groups=4"));
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, s);
+
+        // n = 16, f = 4, g = 4: groups of 4 with 1 Byzantine each violate
+        // Krum's 2f_g + 2 < n_g inside every group, even though the flat
+        // bound 2f + 2 < n holds. Validation must reject it structurally.
+        let mut bad = spec();
+        bad.cluster = ClusterSpec::new(16, 4).unwrap();
+        bad.rule = RuleSpec::Hierarchical {
+            groups: 4,
+            inner: StageRule::Krum,
+            outer: StageRule::Krum,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Rule(_)),
+            "expected a rule cross-validation error, got: {err}"
+        );
+        assert!(err.to_string().contains("group"), "got: {err}");
     }
 }

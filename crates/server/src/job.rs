@@ -296,6 +296,21 @@ fn drive_job(
     events: &Receiver<ConnEvent>,
     runtime: &JobRuntime,
 ) -> Result<ScenarioReport, ServerError> {
+    // Reuse-stale execution keeps an engine-side latest-proposal table the
+    // wire protocol has no frames for; serving it would silently change its
+    // semantics, so refuse it structurally instead.
+    if matches!(
+        spec.execution,
+        ExecutionSpec::AsyncQuorum {
+            reuse_stale: true,
+            ..
+        }
+    ) {
+        return Err(ServerError::protocol(format!(
+            "job {id}: reuse-stale async execution is not servable over the \
+             wire; run it in-process"
+        )));
+    }
     let cluster = spec.cluster;
     let n = cluster.workers();
     let honest = cluster.honest();

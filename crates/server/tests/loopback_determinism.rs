@@ -89,6 +89,7 @@ fn loopback_full_quorum_matches_in_process_async_engine() {
     async_spec.execution = ExecutionSpec::AsyncQuorum {
         quorum: 9,
         max_staleness: 2,
+        reuse_stale: false,
         network: NetworkModel {
             latency: LatencyModel::Constant { nanos: 0 },
             nanos_per_byte: 0.0,
@@ -256,4 +257,47 @@ fn clean_clusters_serve_without_an_adversary_connection() {
     let served = run_loopback(clean.clone()).unwrap();
     let in_process = Scenario::from_spec(clean).unwrap().run().unwrap();
     assert_trajectories_identical(&served, &in_process);
+}
+
+/// Tentpole: a hierarchical rule serves over real sockets unchanged — the
+/// spec travels as its string form (`hierarchical:groups=4`), the server
+/// builds the two-stage rule, and the served trajectory is bit-identical
+/// to the in-process run.
+#[test]
+fn loopback_hierarchical_rule_matches_in_process() {
+    let mut hier = spec();
+    hier.cluster = ClusterSpec::new(24, 3).unwrap();
+    hier.rule = RuleSpec::Hierarchical {
+        groups: 4,
+        inner: krum_core::StageRule::Krum,
+        outer: krum_core::StageRule::Krum,
+    };
+    hier.rounds = 10;
+    let served = run_loopback(hier.clone()).unwrap();
+    let in_process = Scenario::from_spec(hier).unwrap().run().unwrap();
+    assert_trajectories_identical(&served, &in_process);
+}
+
+/// Reuse-stale execution needs an engine-side latest-proposal table the
+/// wire protocol cannot express; the server refuses it with a structured
+/// error instead of silently running different semantics.
+#[test]
+fn loopback_rejects_reuse_stale_execution() {
+    let mut reuse = spec();
+    reuse.execution = ExecutionSpec::AsyncQuorum {
+        quorum: 3,
+        max_staleness: 4,
+        network: NetworkModel {
+            latency: LatencyModel::Constant { nanos: 0 },
+            nanos_per_byte: 0.0,
+        },
+        reuse_stale: true,
+    };
+    let err = run_loopback(reuse).unwrap_err();
+    match err {
+        ServerError::Protocol(message) => {
+            assert!(message.contains("reuse-stale"), "got: {message}")
+        }
+        other => panic!("expected a structured protocol error, got: {other}"),
+    }
 }

@@ -17,7 +17,7 @@ use std::cell::Cell;
 
 use krum::aggregation::{
     AggregationContext, Aggregator, ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy,
-    Krum, MultiKrum, TrimmedMean,
+    Hierarchical, Krum, MultiKrum, StageRule, TrimmedMean,
 };
 use krum::tensor::Vector;
 
@@ -144,4 +144,84 @@ fn aggregation_path_is_allocation_free_after_warmup() {
         allocations() > before,
         "counting allocator failed to observe the allocating path"
     );
+}
+
+/// Satellite: the warm-workspace contract must survive **arity churn** — a
+/// server closing degraded rounds (or an async engine aggregating a
+/// partial quorum) reuses one context across rules rebuilt at `q < n`,
+/// then grows back to `n` when the stragglers return. Once every shape
+/// has been seen, shrinking and growing between them must not reallocate.
+#[test]
+fn aggregation_path_survives_arity_churn_without_reallocating() {
+    let n = 24;
+    let f = 5;
+    let dim = 257;
+    let ps = proposals(n, dim);
+    // Quorum sizes a degraded/async round would actually visit (all keep
+    // Krum's 2f + 2 < q precondition at f = 5).
+    let arities = [n, 17, 20, n, 13, n];
+
+    let rules: Vec<Box<dyn Aggregator>> = arities
+        .iter()
+        .map(|&q| Box::new(Krum::new(q, f).unwrap()) as Box<dyn Aggregator>)
+        .collect();
+
+    let mut ctx = AggregationContext::with_policy(ExecutionPolicy::Sequential);
+    // Warm-up: visit every shape once (high-water mark is (n, dim)).
+    for (rule, &q) in rules.iter().zip(&arities) {
+        rule.aggregate_in(&mut ctx, &ps[..q]).unwrap();
+    }
+
+    let before = allocations();
+    for _ in 0..5 {
+        for (rule, &q) in rules.iter().zip(&arities) {
+            rule.aggregate_in(&mut ctx, &ps[..q]).unwrap();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "arity churn allocated {} times across warm shrink/grow cycles",
+        after - before
+    );
+
+    // Churn keeps answers identical to the allocating path at each arity.
+    for (rule, &q) in rules.iter().zip(&arities) {
+        let expected = rule.aggregate_detailed(&ps[..q]).unwrap();
+        rule.aggregate_in(&mut ctx, &ps[..q]).unwrap();
+        assert_eq!(ctx.output(), &expected, "arity {q} diverged when warm");
+    }
+}
+
+/// Satellite: the hierarchical rule's two-stage workspace obeys the same
+/// contract — after one round warms the group slots, the winner table and
+/// the outer context, steady-state rounds are allocation-free under the
+/// sequential policy.
+#[test]
+fn hierarchical_aggregation_is_allocation_free_after_warmup() {
+    let n = 24;
+    let f = 3;
+    let dim = 257;
+    let ps = proposals(n, dim);
+    let rule = Hierarchical::new(n, f, 4, StageRule::Krum, StageRule::Krum).unwrap();
+
+    let mut ctx = AggregationContext::with_policy(ExecutionPolicy::Sequential);
+    for _ in 0..2 {
+        rule.aggregate_in(&mut ctx, &ps).unwrap();
+    }
+    let expected = rule.aggregate_detailed(&ps).unwrap();
+
+    let before = allocations();
+    for _ in 0..10 {
+        rule.aggregate_in(&mut ctx, &ps).unwrap();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "hierarchical allocated {} times in 10 warm aggregate_in calls",
+        after - before
+    );
+    assert_eq!(ctx.output(), &expected);
 }

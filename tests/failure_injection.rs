@@ -171,9 +171,15 @@ fn attacks_returning_the_wrong_count_are_rejected_not_trusted() {
 fn registry_driven_training_sweep_runs_every_rule() {
     // Every rule the registry knows can drive a short training run end-to-end.
     let dim = 8;
-    let n = 9;
-    let f = 2;
     for &spec in RULE_NAMES {
+        // Bare `hierarchical` defaults to 4 Krum-in-Krum groups, so it
+        // needs a cluster big enough for `2·⌈f/g⌉ + 2 < ⌊n/g⌋` to hold
+        // inside every group.
+        let (n, f) = if spec == "hierarchical" {
+            (24, 3)
+        } else {
+            (9, 2)
+        };
         let rule = build_aggregator(spec, n, f).unwrap();
         let cluster = ClusterSpec::new(n, f).unwrap();
         let mut trainer = SyncTrainer::new(

@@ -1,0 +1,178 @@
+//! Property pin for the incremental Gram cache (tentpole of the scaling
+//! PR): over randomized arrival patterns — fresh, stale and carried
+//! proposal mixes produced by reuse-mode `AsyncQuorum` rounds under
+//! timing-aware adversaries and heavy-tailed networks — the trajectory
+//! with the generation-keyed incremental Gram update is **byte-identical**
+//! to the trajectory that recomputes every pairwise distance from scratch.
+//!
+//! The incremental path only ever rewrites Gram rows whose generation
+//! counter moved; unchanged entries keep their exact bit patterns and
+//! changed entries are recomputed with the same accumulation order as the
+//! full kernel, so no tolerance is needed anywhere below: every assert is
+//! on `f64::to_bits`.
+
+use krum::attacks::{Attack, AttackSpec};
+use krum::dist::{
+    ClusterSpec, ExecutionStrategy, LatencyModel, LearningRateSchedule, NetworkModel, RoundEngine,
+    TrainingConfig,
+};
+use krum::models::{GaussianEstimator, GradientEstimator, QuadraticCost};
+use krum::tensor::Vector;
+
+/// Deterministic config generator (an LCG, so the "random" cases are the
+/// same on every run — a failing case is immediately reproducible).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+}
+
+struct Case {
+    n: usize,
+    f: usize,
+    dim: usize,
+    rounds: usize,
+    quorum: usize,
+    max_staleness: usize,
+    network: NetworkModel,
+    attack: AttackSpec,
+    seed: u64,
+}
+
+fn draw_case(rng: &mut Lcg) -> Case {
+    let n = rng.range(7, 20);
+    // Keep Krum feasible at the full table arity: 2f + 2 < n.
+    let f = rng.range(1, (n - 3) / 2);
+    let quorum = rng.range(1, n);
+    let max_staleness = rng.range(0, 6);
+    let network = match rng.range(0, 2) {
+        0 => NetworkModel {
+            latency: LatencyModel::Constant {
+                nanos: rng.range(0, 50_000) as u64,
+            },
+            nanos_per_byte: 0.0,
+        },
+        1 => NetworkModel {
+            latency: LatencyModel::Uniform {
+                min_nanos: 1_000,
+                max_nanos: 200_000,
+            },
+            nanos_per_byte: 0.05,
+        },
+        _ => NetworkModel {
+            latency: LatencyModel::Pareto {
+                min_nanos: 10_000,
+                alpha: 1.1 + rng.range(0, 10) as f64 / 10.0,
+            },
+            nanos_per_byte: 0.02,
+        },
+    };
+    let attack = match rng.range(0, 3) {
+        0 => AttackSpec::SignFlip { scale: 3.0 },
+        1 => AttackSpec::Straggler { scale: 2.5 },
+        2 => AttackSpec::LastToRespond { scale: 2.0 },
+        _ => AttackSpec::GaussianNoise { std: 20.0 },
+    };
+    Case {
+        n,
+        f,
+        dim: rng.range(3, 24),
+        rounds: rng.range(8, 30),
+        quorum,
+        max_staleness,
+        network,
+        attack,
+        seed: rng.next(),
+    }
+}
+
+/// One round's observable fingerprint: aggregate-norm bits, selected
+/// worker, and how many quorum slots were stale carry-overs.
+type RoundFingerprint = (u64, Option<usize>, Option<usize>);
+
+fn run(case: &Case, gram_cache: bool) -> (Vector, Vec<RoundFingerprint>) {
+    let estimators: Vec<Box<dyn GradientEstimator>> = (0..case.n - case.f)
+        .map(|_| {
+            Box::new(
+                GaussianEstimator::new(QuadraticCost::isotropic(Vector::zeros(case.dim), 0.0), 0.3)
+                    .unwrap(),
+            ) as Box<dyn GradientEstimator>
+        })
+        .collect();
+    let attack: Box<dyn Attack> = case.attack.build(case.dim).unwrap();
+    let mut engine = RoundEngine::new(
+        ClusterSpec::new(case.n, case.f).unwrap(),
+        Box::new(krum::aggregation::Krum::new(case.n, case.f).unwrap()),
+        attack,
+        estimators,
+        None,
+        TrainingConfig {
+            rounds: case.rounds,
+            schedule: LearningRateSchedule::Constant { gamma: 0.15 },
+            seed: case.seed,
+            eval_every: 5,
+            known_optimum: Some(Vector::zeros(case.dim)),
+        },
+        ExecutionStrategy::AsyncQuorum {
+            quorum: case.quorum,
+            max_staleness: case.max_staleness,
+            network: case.network,
+            reuse_stale: true,
+        },
+    )
+    .unwrap();
+    engine.set_gram_cache(gram_cache);
+    let (params, history) = engine.run(Vector::filled(case.dim, 1.5)).unwrap();
+    let trace = history
+        .rounds
+        .iter()
+        .map(|r| {
+            (
+                r.aggregate_norm.to_bits(),
+                r.selected_worker,
+                r.stale_in_quorum,
+            )
+        })
+        .collect();
+    (params, trace)
+}
+
+#[test]
+fn incremental_gram_is_bit_identical_to_full_recomputation_over_random_arrivals() {
+    let mut rng = Lcg(0x5eed_cafe);
+    let mut saw_stale = false;
+    let mut saw_partial_refresh = false;
+    for case_index in 0..24 {
+        let case = draw_case(&mut rng);
+        let (cached_params, cached_trace) = run(&case, true);
+        let (full_params, full_trace) = run(&case, false);
+
+        let label = format!(
+            "case {case_index}: n={} f={} q={} staleness={} dim={} rounds={} attack={}",
+            case.n, case.f, case.quorum, case.max_staleness, case.dim, case.rounds, case.attack
+        );
+        assert_eq!(cached_params.dim(), full_params.dim(), "{label}");
+        for (a, b) in cached_params.as_slice().iter().zip(full_params.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}");
+        }
+        assert_eq!(cached_trace, full_trace, "{label}");
+
+        saw_stale |= cached_trace.iter().any(|(_, _, s)| s.unwrap_or(0) > 0);
+        saw_partial_refresh |= case.quorum < case.n;
+    }
+    // The sweep must actually exercise the interesting regime: rounds that
+    // aggregate carried (stale) table entries next to fresh ones.
+    assert!(saw_stale, "no sampled case aggregated stale proposals");
+    assert!(saw_partial_refresh, "no sampled case refreshed partially");
+}

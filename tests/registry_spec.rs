@@ -19,7 +19,15 @@ use proptest::prelude::*;
 #[test]
 fn canonical_names_round_trip() {
     for &name in RULE_NAMES {
-        let rule = build_aggregator(name, 9, 2)
+        // Bare `hierarchical` defaults to 4 Krum-in-Krum groups, so the
+        // per-group Krum precondition needs a larger valid shape than the
+        // flat rules do.
+        let (n, f) = if name == "hierarchical" {
+            (24, 3)
+        } else {
+            (9, 2)
+        };
+        let rule = build_aggregator(name, n, f)
             .unwrap_or_else(|e| panic!("canonical rule `{name}` failed to build: {e}"));
         let display = rule.name();
         let base = display.split('(').next().unwrap();
@@ -28,9 +36,9 @@ fn canonical_names_round_trip() {
             "rule `{name}` reports unrelated display name `{display}`"
         );
         // Rebuilding from the canonical name is stable.
-        let again = build_aggregator(name, 9, 2).unwrap();
+        let again = build_aggregator(name, n, f).unwrap();
         assert_eq!(display, again.name());
-        let proposals = vec![Vector::zeros(3); 9];
+        let proposals = vec![Vector::zeros(3); n];
         assert_eq!(rule.aggregate(&proposals).unwrap().dim(), 3);
     }
 }
