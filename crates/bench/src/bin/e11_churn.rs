@@ -61,6 +61,7 @@ fn spec(fault_plan: Option<FaultPlan>) -> ScenarioSpec {
         init: InitSpec::Fill { value: 1.0 },
         probes: ProbeSpec::default(),
         fault_plan,
+        compression: None,
     }
 }
 

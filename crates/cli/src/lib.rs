@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use krum_attacks::{AttackSpec, ATTACK_NAMES};
+use krum_compress::CODEC_GRAMMAR;
 use krum_core::{RuleSpec, StageRule, RULE_NAMES};
 use krum_dist::{ClusterSpec, LATENCY_MODEL_NAMES};
 use krum_scenario::{
@@ -91,12 +92,14 @@ commands:
       rebuilds the jobs from those checkpoints instead of a spec file and
       continues bit-identically once the workers rejoin.
 
-  worker [--connect ADDR] [--retries N]
+  worker [--connect ADDR] [--retries N] [--protocol V]
       Join a serving aggregation server as one worker connection (honest
       estimator or the adversary — the server assigns the role). Default
       --connect 127.0.0.1:7878. With --retries, a dropped connection is
       retried up to N times under deterministic jittered backoff (Rejoin
-      handshake); default 0 = fail fast.
+      handshake); default 0 = fail fast. --protocol pins the announced
+      wire-protocol version (e.g. 1 to force uncompressed frames against
+      a v2 server); default the current version.
 
   chaos <spec.json> [--csv PATH] [--quiet]
       Run the scenario's fault_plan through the deterministic chaos
@@ -172,6 +175,9 @@ pub enum Command {
         connect: String,
         /// Rejoin attempts after a dropped connection (0 = fail fast).
         retries: u32,
+        /// Wire-protocol version to announce in the handshake (a v1
+        /// session never negotiates compressed frames).
+        protocol: u16,
     },
     /// `krum chaos`.
     Chaos {
@@ -326,6 +332,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some("worker") => {
             let mut connect = DEFAULT_ADDR.to_string();
             let mut retries = 0u32;
+            let mut protocol = PROTOCOL_VERSION;
             while let Some(arg) = it.next() {
                 match arg {
                     "--connect" => connect = expect_value(&mut it, "--connect")?,
@@ -335,10 +342,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             usage(format!("--retries expects an integer, got `{raw}`"))
                         })?;
                     }
+                    "--protocol" => {
+                        let raw = expect_value(&mut it, "--protocol")?;
+                        protocol = raw.trim().parse().map_err(|_| {
+                            usage(format!("--protocol expects a version number, got `{raw}`"))
+                        })?;
+                    }
                     extra => return Err(usage(format!("unknown `worker` option `{extra}`"))),
                 }
             }
-            Ok(Command::Worker { connect, retries })
+            Ok(Command::Worker {
+                connect,
+                retries,
+                protocol,
+            })
         }
         Some("chaos") => {
             let mut spec_path = None;
@@ -744,6 +761,7 @@ pub fn template_spec() -> ScenarioSpec {
         init: InitSpec::Fill { value: 3.0 },
         probes: ProbeSpec::default(),
         fault_plan: None,
+        compression: None,
     }
 }
 
@@ -813,6 +831,15 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                 FRAME_NAMES.join(", ")
             )
             .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            writeln!(
+                out,
+                "\ngradient codecs (\"compression\" field, quantize-before-aggregate):"
+            )
+            .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            for (pattern, description) in CODEC_GRAMMAR {
+                writeln!(out, "  {pattern}\n    {description}")
+                    .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
         }
         Command::Template => {
             let json = template_spec().to_json()?;
@@ -914,9 +941,14 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                 ))));
             }
         }
-        Command::Worker { connect, retries } => {
+        Command::Worker {
+            connect,
+            retries,
+            protocol,
+        } => {
             let summary = WorkerClient::connect(&*connect)?
                 .with_retries(retries)
+                .with_protocol_version(protocol)
                 .run()?;
             writeln!(
                 out,
@@ -1211,17 +1243,20 @@ mod tests {
             Command::Worker {
                 connect: "10.0.0.1:7878".into(),
                 retries: 0,
+                protocol: PROTOCOL_VERSION,
             }
         );
         assert_eq!(
-            parse(&args(&["worker", "--retries", "8"])).unwrap(),
+            parse(&args(&["worker", "--retries", "8", "--protocol", "1"])).unwrap(),
             Command::Worker {
                 connect: DEFAULT_ADDR.into(),
                 retries: 8,
+                protocol: 1,
             }
         );
         assert!(parse(&args(&["worker", "extra"])).is_err());
         assert!(parse(&args(&["worker", "--retries", "lots"])).is_err());
+        assert!(parse(&args(&["worker", "--protocol", "two"])).is_err());
 
         let cmd = parse(&args(&[
             "loopback",
@@ -1537,6 +1572,12 @@ mod tests {
             "wire protocol (krum serve / worker / loopback): v{PROTOCOL_VERSION}"
         )));
         assert!(text.contains("round-closed"));
+        // Satellite: the codec spec grammar prints, one pattern per codec.
+        assert!(text.contains("gradient codecs"));
+        for (pattern, _) in CODEC_GRAMMAR {
+            assert!(text.contains(pattern), "missing codec grammar {pattern}");
+        }
+        assert!(text.contains("bfp:block=<1..4096>"));
 
         let mut out = Vec::new();
         execute(Command::Template, &mut out).unwrap();

@@ -1,0 +1,182 @@
+//! Bounds-checked little-endian byte and bit readers/writers shared by the
+//! codecs. Everything is explicit-width LE, matching the krum-wire
+//! conventions, and every read validates against the remaining bytes
+//! before touching them — a corrupt payload is a [`CodecError`], never a
+//! panic or an unbounded allocation.
+
+use crate::CodecError;
+
+/// Little-endian byte writer.
+pub(crate) struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            out: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Bounds-checked little-endian byte reader.
+pub(crate) struct Reader<'b> {
+    bytes: &'b [u8],
+    offset: usize,
+}
+
+impl<'b> Reader<'b> {
+    pub fn new(bytes: &'b [u8]) -> Self {
+        Self { bytes, offset: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.offset
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'b [u8], CodecError> {
+        if self.remaining() < len {
+            return Err(CodecError::Truncated {
+                needed: len - self.remaining(),
+                offset: self.offset,
+            });
+        }
+        let slice = &self.bytes[self.offset..self.offset + len];
+        self.offset += len;
+        Ok(slice)
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        let b = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])))
+    }
+
+    pub fn raw(&mut self, len: usize) -> Result<&'b [u8], CodecError> {
+        self.take(len)
+    }
+
+    /// Rejects trailing bytes — a canonical payload is consumed exactly.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() > 0 {
+            return Err(CodecError::malformed(format!(
+                "{} trailing byte(s) after the payload content",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Little-endian bit-stream writer for packed mantissas: values are
+/// appended least-significant-bit first, flushed byte by byte.
+pub(crate) struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            out: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Appends the low `bits` bits of `value` (`bits <= 32`).
+    pub fn push(&mut self, value: u32, bits: u32) {
+        debug_assert!(bits <= 32 && (bits == 32 || u64::from(value) < (1u64 << bits)));
+        self.acc |= u64::from(value) << self.nbits;
+        self.nbits += bits;
+        while self.nbits >= 8 {
+            self.out.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Flushes the partial trailing byte (zero-padded) and returns the
+    /// packed buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push(self.acc as u8);
+        }
+        self.out
+    }
+}
+
+/// Little-endian bit-stream reader over a fixed byte slice.
+pub(crate) struct BitReader<'b> {
+    bytes: &'b [u8],
+    byte: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'b> BitReader<'b> {
+    pub fn new(bytes: &'b [u8]) -> Self {
+        Self {
+            bytes,
+            byte: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Reads `bits` bits (`bits <= 32`); the caller sized the slice, so
+    /// running dry is a malformed-payload error.
+    pub fn pull(&mut self, bits: u32) -> Result<u32, CodecError> {
+        while self.nbits < bits {
+            let Some(&b) = self.bytes.get(self.byte) else {
+                return Err(CodecError::malformed(
+                    "bit-packed mantissa block ran out of bytes",
+                ));
+            };
+            self.acc |= u64::from(b) << self.nbits;
+            self.nbits += 8;
+            self.byte += 1;
+        }
+        let value = (self.acc & ((1u64 << bits) - 1)) as u32;
+        self.acc >>= bits;
+        self.nbits -= bits;
+        Ok(value)
+    }
+}
+
+/// The number of bytes `count` packed `bits`-wide values occupy.
+pub(crate) fn packed_len(count: usize, bits: u32) -> usize {
+    (count * bits as usize).div_ceil(8)
+}

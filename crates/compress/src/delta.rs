@@ -1,0 +1,141 @@
+//! Delta coding against the round's broadcast parameters: proposals are
+//! encoded as `x − reference` through an inner codec, and reconstructed
+//! as `reference + decode(bytes)`. Late in training a proposal sits close
+//! to the broadcast params, so the residual has small magnitude and the
+//! inner codec spends its bits where the signal is.
+//!
+//! An empty reference slice means "no reference is available" (e.g. the
+//! parameter broadcast itself); the codec then degrades to its inner
+//! codec applied to the plain vector. Parameter handling delegates to the
+//! inner codec, inheriting its policy (BFP quantizes, top-k rides raw).
+//!
+//! Idempotence holds because the reconstruction is in the *coset*
+//! `reference + Q` where `Q` is the inner codec's fixed point set:
+//! re-encoding subtracts the same reference back out, leaving an
+//! already-quantized residual the inner codec passes through unchanged.
+//! The subtraction `(reference + d) − reference` is not exact in general
+//! floating point, but both paths — engine transform and wire decode —
+//! perform the identical operation order, so the trajectories still agree
+//! bit for bit, and the pinned idempotence tests hold for the codecs this
+//! crate ships (power-of-two BFP scales and exact top-k values).
+
+use crate::{CodecError, GradientCodec};
+
+/// Delta-vs-broadcast composition wrapping an inner codec (see the
+/// module docs).
+#[derive(Debug)]
+pub struct DeltaVsBroadcast {
+    inner: Box<dyn GradientCodec>,
+}
+
+impl DeltaVsBroadcast {
+    /// Wraps `inner`; the composed codec is named `delta+<inner name>`.
+    pub fn new(inner: Box<dyn GradientCodec>) -> Self {
+        Self { inner }
+    }
+}
+
+impl GradientCodec for DeltaVsBroadcast {
+    fn name(&self) -> String {
+        format!("delta+{}", self.inner.name())
+    }
+
+    fn encode(&self, x: &[f64], reference: &[f64]) -> Vec<u8> {
+        if reference.is_empty() {
+            return self.inner.encode(x, &[]);
+        }
+        debug_assert_eq!(reference.len(), x.len());
+        let residual: Vec<f64> = x.iter().zip(reference).map(|(v, r)| v - r).collect();
+        self.inner.encode(&residual, &[])
+    }
+
+    fn decode(&self, bytes: &[u8], reference: &[f64], dim: usize) -> Result<Vec<f64>, CodecError> {
+        let mut out = self.inner.decode(bytes, &[], dim)?;
+        if !reference.is_empty() {
+            if reference.len() != dim {
+                return Err(CodecError::DimensionMismatch {
+                    got: reference.len(),
+                    expected: dim,
+                });
+            }
+            for (v, r) in out.iter_mut().zip(reference) {
+                *v += r;
+            }
+        }
+        Ok(out)
+    }
+
+    fn encode_params(&self, x: &[f64]) -> Vec<u8> {
+        self.inner.encode_params(x)
+    }
+
+    fn decode_params(&self, bytes: &[u8], dim: usize) -> Result<Vec<f64>, CodecError> {
+        self.inner.decode_params(bytes, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bfp, TopK};
+
+    #[test]
+    fn residuals_reconstruct_against_the_reference() {
+        let codec = DeltaVsBroadcast::new(Box::new(Bfp::new(16, 12)));
+        let reference: Vec<f64> = (0..50).map(|i| (i as f64) * 0.1).collect();
+        // Proposals near the reference: residuals are tiny, so the
+        // reconstruction error is far below the raw-value quantization
+        // error.
+        let x: Vec<f64> = reference.iter().map(|r| r + 1.0e-6).collect();
+        let decoded = codec
+            .decode(&codec.encode(&x, &reference), &reference, 50)
+            .unwrap();
+        for (v, d) in x.iter().zip(&decoded) {
+            assert!(
+                (v - d).abs() < 1.0e-8,
+                "residual reconstruction |{v} - {d}|"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_reference_degrades_to_the_inner_codec() {
+        let delta = DeltaVsBroadcast::new(Box::new(TopK::new(3)));
+        let plain = TopK::new(3);
+        let x = vec![5.0, -1.0, 0.25, 9.0, -9.5, 0.0];
+        assert_eq!(delta.encode(&x, &[]), plain.encode(&x, &[]));
+        assert_eq!(delta.name(), "delta+topk:k=3");
+    }
+
+    #[test]
+    fn reference_dimension_is_cross_checked() {
+        let codec = DeltaVsBroadcast::new(Box::new(Bfp::new(8, 8)));
+        let x = vec![1.0; 8];
+        let bytes = codec.encode(&x, &[]);
+        assert!(matches!(
+            codec.decode(&bytes, &[0.0; 5], 8),
+            Err(CodecError::DimensionMismatch {
+                got: 5,
+                expected: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn params_delegate_to_the_inner_policy() {
+        let x = vec![0.5, -0.25, 3.0];
+        // delta+topk: params ride raw (identity transform).
+        let sparse = DeltaVsBroadcast::new(Box::new(TopK::new(1)));
+        let mut p = x.clone();
+        sparse.transform_params(&mut p);
+        assert_eq!(p, x);
+        // delta+bfp: params are quantized exactly like plain bfp's.
+        let dense = DeltaVsBroadcast::new(Box::new(Bfp::new(2, 6)));
+        let plain = Bfp::new(2, 6);
+        let mut a = x.clone();
+        let mut b = x.clone();
+        dense.transform_params(&mut a);
+        plain.transform_params(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,367 @@
+//! Codec specification strings: the grammar scenarios, the CLI, and the
+//! wire negotiation all share. A spec is a codec name optionally followed
+//! by `:key=value` parameters:
+//!
+//! * `bfp:block=64,bits=12` — block floating point;
+//! * `topk:k=100` — top-k sparsification;
+//! * `delta+bfp:block=64,bits=12` / `delta+topk:k=100` — delta against
+//!   the round's broadcast params, composed with an inner codec.
+//!
+//! `Display` and `FromStr` round-trip, the serde impls carry the string
+//! form (so scenario JSON reads `"compression": "bfp:block=64,bits=12"`),
+//! and [`CompressionSpec::build`] produces the boxed
+//! [`GradientCodec`](crate::GradientCodec).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Bfp, CodecError, DeltaVsBroadcast, GradientCodec, TopK};
+
+/// The canonical codec names, in the order `krum list` prints them.
+pub const CODEC_NAMES: &[&str] = &["bfp", "topk", "delta+bfp", "delta+topk"];
+
+/// One grammar line per codec for `krum list` and error messages.
+pub const CODEC_GRAMMAR: &[(&str, &str)] = &[
+    (
+        "bfp:block=<1..4096>,bits=<2..15>",
+        "block floating point: shared exponent per block, bit-packed mantissas",
+    ),
+    (
+        "topk:k=<count>",
+        "keep the k largest-magnitude coordinates (params ride uncompressed)",
+    ),
+    (
+        "delta+bfp:block=<1..4096>,bits=<2..15>",
+        "bfp over the residual vs the round's broadcast params",
+    ),
+    (
+        "delta+topk:k=<count>",
+        "top-k over the residual vs the round's broadcast params",
+    ),
+];
+
+/// Parsed, validated form of a codec spec string (see the module docs for
+/// the grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionSpec {
+    /// `bfp:block=B,bits=W`.
+    Bfp {
+        /// Coordinates per shared-exponent block (`1..=4096`).
+        block: usize,
+        /// Mantissa width in bits (`2..=15`).
+        bits: u32,
+    },
+    /// `topk:k=K`.
+    TopK {
+        /// Coordinates kept per vector (`>= 1`, and `<= dim` once a
+        /// scenario binds the dimension).
+        k: usize,
+    },
+    /// `delta+bfp:block=B,bits=W`.
+    DeltaBfp {
+        /// Coordinates per shared-exponent block (`1..=4096`).
+        block: usize,
+        /// Mantissa width in bits (`2..=15`).
+        bits: u32,
+    },
+    /// `delta+topk:k=K`.
+    DeltaTopK {
+        /// Coordinates kept per vector.
+        k: usize,
+    },
+}
+
+impl CompressionSpec {
+    /// The canonical codec name (the `Display` form without parameters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Bfp { .. } => "bfp",
+            Self::TopK { .. } => "topk",
+            Self::DeltaBfp { .. } => "delta+bfp",
+            Self::DeltaTopK { .. } => "delta+topk",
+        }
+    }
+
+    /// One spec per codec with the reference parameters, in
+    /// [`CODEC_NAMES`] order.
+    pub fn all() -> Vec<CompressionSpec> {
+        vec![
+            Self::Bfp {
+                block: 64,
+                bits: 12,
+            },
+            Self::TopK { k: 100 },
+            Self::DeltaBfp {
+                block: 64,
+                bits: 12,
+            },
+            Self::DeltaTopK { k: 100 },
+        ]
+    }
+
+    /// Checks parameter ranges; `dim` is the scenario's model dimension
+    /// when known (`None` defers the `k <= dim` check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidSpec`] naming the offending
+    /// parameter.
+    pub fn validate(&self, dim: Option<usize>) -> Result<(), CodecError> {
+        match *self {
+            Self::Bfp { block, bits } | Self::DeltaBfp { block, bits } => {
+                if !(1..=4096).contains(&block) {
+                    return Err(CodecError::invalid(format!(
+                        "{}: block must be in 1..=4096, got {block}",
+                        self.name()
+                    )));
+                }
+                if !(2..=15).contains(&bits) {
+                    return Err(CodecError::invalid(format!(
+                        "{}: bits must be in 2..=15, got {bits}",
+                        self.name()
+                    )));
+                }
+            }
+            Self::TopK { k } | Self::DeltaTopK { k } => {
+                if k == 0 {
+                    return Err(CodecError::invalid(format!(
+                        "{}: k must be at least 1",
+                        self.name()
+                    )));
+                }
+                if let Some(dim) = dim {
+                    if k > dim {
+                        return Err(CodecError::invalid(format!(
+                            "{}: k = {k} exceeds the model dimension {dim}",
+                            self.name()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the boxed codec. The spec should be [`validate`]d first;
+    /// `build` itself never fails.
+    ///
+    /// [`validate`]: CompressionSpec::validate
+    pub fn build(&self) -> Box<dyn GradientCodec> {
+        match *self {
+            Self::Bfp { block, bits } => Box::new(Bfp::new(block, bits)),
+            Self::TopK { k } => Box::new(TopK::new(k)),
+            Self::DeltaBfp { block, bits } => {
+                Box::new(DeltaVsBroadcast::new(Box::new(Bfp::new(block, bits))))
+            }
+            Self::DeltaTopK { k } => Box::new(DeltaVsBroadcast::new(Box::new(TopK::new(k)))),
+        }
+    }
+}
+
+impl fmt::Display for CompressionSpec {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::Bfp { block, bits } => write!(out, "bfp:block={block},bits={bits}"),
+            Self::TopK { k } => write!(out, "topk:k={k}"),
+            Self::DeltaBfp { block, bits } => write!(out, "delta+bfp:block={block},bits={bits}"),
+            Self::DeltaTopK { k } => write!(out, "delta+topk:k={k}"),
+        }
+    }
+}
+
+impl FromStr for CompressionSpec {
+    type Err = CodecError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut parts = spec.splitn(2, ':');
+        let name = parts.next().unwrap_or_default().trim();
+        let raw_params = parts.next().unwrap_or("");
+        let params = parse_params(raw_params, name)?;
+        let get = |key: &str| -> Result<usize, CodecError> {
+            params
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| {
+                    CodecError::invalid(format!("codec `{name}` requires parameter `{key}`"))
+                })
+        };
+        let reject_unknown = |allowed: &[&str]| -> Result<(), CodecError> {
+            if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
+                return Err(CodecError::invalid(format!(
+                    "unknown parameter `{key}` for codec `{name}`"
+                )));
+            }
+            Ok(())
+        };
+        let spec = match name {
+            "bfp" => {
+                reject_unknown(&["block", "bits"])?;
+                Self::Bfp {
+                    block: get("block")?,
+                    bits: get("bits")? as u32,
+                }
+            }
+            "topk" => {
+                reject_unknown(&["k"])?;
+                Self::TopK { k: get("k")? }
+            }
+            "delta+bfp" => {
+                reject_unknown(&["block", "bits"])?;
+                Self::DeltaBfp {
+                    block: get("block")?,
+                    bits: get("bits")? as u32,
+                }
+            }
+            "delta+topk" => {
+                reject_unknown(&["k"])?;
+                Self::DeltaTopK { k: get("k")? }
+            }
+            other => {
+                return Err(CodecError::invalid(format!(
+                    "unknown codec `{other}`; known codecs: {}",
+                    CODEC_NAMES.join(", ")
+                )))
+            }
+        };
+        spec.validate(None)?;
+        Ok(spec)
+    }
+}
+
+/// Parses `key=value,key=value` with integer values.
+fn parse_params(raw: &str, name: &str) -> Result<Vec<(String, usize)>, CodecError> {
+    let mut params = Vec::new();
+    for pair in raw.split(',').filter(|p| !p.trim().is_empty()) {
+        let mut kv = pair.splitn(2, '=');
+        let key = kv.next().unwrap_or_default().trim();
+        let value = kv.next().ok_or_else(|| {
+            CodecError::invalid(format!(
+                "codec `{name}`: parameter `{pair}` is not of the form key=value"
+            ))
+        })?;
+        let value: usize = value.trim().parse().map_err(|_| {
+            CodecError::invalid(format!(
+                "codec `{name}`: parameter `{key}` must be a non-negative integer, got `{}`",
+                value.trim()
+            ))
+        })?;
+        params.push((key.to_string(), value));
+    }
+    Ok(params)
+}
+
+impl serde::Serialize for CompressionSpec {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for CompressionSpec {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|e: CodecError| serde::DeError::custom(e.to_string())),
+            other => Err(serde::DeError::invalid_type(
+                "compression spec string",
+                other.kind(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for spec in CompressionSpec::all() {
+            let rendered = spec.to_string();
+            let reparsed: CompressionSpec = rendered.parse().unwrap();
+            assert_eq!(reparsed, spec, "round-trip of `{rendered}`");
+            assert_eq!(spec.build().name(), rendered, "codec name matches spec");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        assert_eq!(
+            "bfp:block=64,bits=12".parse::<CompressionSpec>().unwrap(),
+            CompressionSpec::Bfp {
+                block: 64,
+                bits: 12
+            }
+        );
+        assert_eq!(
+            "topk:k=100".parse::<CompressionSpec>().unwrap(),
+            CompressionSpec::TopK { k: 100 }
+        );
+        assert_eq!(
+            "delta+bfp:block=16,bits=4"
+                .parse::<CompressionSpec>()
+                .unwrap(),
+            CompressionSpec::DeltaBfp { block: 16, bits: 4 }
+        );
+        assert_eq!(
+            "delta+topk:k=5".parse::<CompressionSpec>().unwrap(),
+            CompressionSpec::DeltaTopK { k: 5 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs_with_structured_errors() {
+        for bad in [
+            "gzip",
+            "bfp",
+            "bfp:block=64",
+            "bfp:block=0,bits=12",
+            "bfp:block=64,bits=1",
+            "bfp:block=64,bits=16",
+            "bfp:block=9999,bits=12",
+            "bfp:block=64,bits=12,extra=1",
+            "topk",
+            "topk:k=0",
+            "topk:k=abc",
+            "delta+topk:block=4",
+            "delta",
+            "",
+        ] {
+            assert!(
+                matches!(
+                    bad.parse::<CompressionSpec>(),
+                    Err(CodecError::InvalidSpec(_))
+                ),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn k_vs_dimension_is_checked_when_the_dimension_is_known() {
+        let spec = CompressionSpec::TopK { k: 100 };
+        assert!(spec.validate(None).is_ok());
+        assert!(spec.validate(Some(1000)).is_ok());
+        assert!(matches!(
+            spec.validate(Some(50)),
+            Err(CodecError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn serde_carries_the_string_form() {
+        for spec in CompressionSpec::all() {
+            let value = serde::Serialize::serialize(&spec);
+            assert_eq!(value, serde::Value::Str(spec.to_string()));
+            let back: CompressionSpec = serde::Deserialize::deserialize(&value).unwrap();
+            assert_eq!(back, spec);
+        }
+        let err: Result<CompressionSpec, _> =
+            serde::Deserialize::deserialize(&serde::Value::Str("gzip".into()));
+        assert!(err.is_err());
+        let err: Result<CompressionSpec, _> =
+            serde::Deserialize::deserialize(&serde::Value::Float(3.0));
+        assert!(err.is_err());
+    }
+}

@@ -39,9 +39,11 @@
 //! proposal every round, so it reproduces the Sequential trajectory exactly
 //! (for any latency model — the network then only changes timing columns).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use krum_attacks::{Attack, AttackContext, AttackTiming};
+use krum_compress::GradientCodec;
 use krum_core::{Aggregator, ExecutionPolicy};
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
@@ -255,6 +257,17 @@ fn forge_proposals(
     Ok(forged)
 }
 
+/// Applies the codec's canonical quantize → dequantize transform to each
+/// vector in place (`reference` is the round's broadcast params, used by
+/// delta codecs). This is the in-process twin of an encode on one socket
+/// and a decode on the other: the engine aggregates exactly the vectors a
+/// remote server would reconstruct off the wire.
+fn transform_vectors(codec: &dyn GradientCodec, vectors: &mut [Vector], reference: &[f64]) {
+    for vector in vectors {
+        codec.transform(vector.as_mut_slice(), reference);
+    }
+}
+
 /// The shared round engine behind [`SyncTrainer`](crate::SyncTrainer) and
 /// [`ThreadedTrainer`](crate::ThreadedTrainer), and the only implementation
 /// of the async partial-quorum protocol.
@@ -439,6 +452,20 @@ impl RoundEngine {
         self.core.set_accuracy_probe(probe);
     }
 
+    /// Attaches a gradient codec: every proposal is passed through the
+    /// codec's canonical quantize → dequantize transform **before** the
+    /// adversary observes it and before aggregation, and the parameter
+    /// vector is re-projected after every step — the same pipeline a
+    /// compressed wire imposes, so an in-process run of a compressed
+    /// scenario is bit-identical to serving it over sockets.
+    ///
+    /// The caller owns transforming the *initial* parameters once (the
+    /// scenario layer does this), mirroring the first broadcast's
+    /// encode/decode.
+    pub fn set_compression(&mut self, codec: Arc<dyn GradientCodec>) {
+        self.core.set_compression(codec);
+    }
+
     /// Overrides the aggregation workspace's execution policy (e.g. force
     /// [`ExecutionPolicy::Sequential`] for allocation-free profiling).
     pub fn set_aggregation_policy(&mut self, policy: ExecutionPolicy) {
@@ -578,6 +605,12 @@ impl RoundEngine {
                     self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
             }
         }
+        // Quantize-before-aggregate: under a codec the adversary observes
+        // (and the server aggregates) the dequantized proposals, exactly
+        // as a remote worker's encode → server decode would produce.
+        if let Some(codec) = self.core.compression() {
+            transform_vectors(&**codec, &mut self.proposals[..honest], params.as_slice());
+        }
         let propose_nanos = propose_start.elapsed().as_nanos();
 
         // Phase 3: attack. The omniscient adversary observes everything,
@@ -599,6 +632,12 @@ impl RoundEngine {
         )?;
         for (slot, proposal) in self.proposals[honest..].iter_mut().zip(forged) {
             *slot = proposal;
+        }
+        // Byzantine proposals cross the same wire as honest ones: quantize
+        // them too (NaN/∞ payloads survive — the codecs escape non-finite
+        // blocks — so poisoning attacks stay faithful).
+        if let Some(codec) = self.core.compression() {
+            transform_vectors(&**codec, &mut self.proposals[honest..], params.as_slice());
         }
         let attack_nanos = attack_start.elapsed().as_nanos();
 
@@ -647,6 +686,12 @@ impl RoundEngine {
         for w in 0..honest {
             self.proposals[w] = self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
         }
+        // Quantize-before-aggregate, against this round's params (carried
+        // stragglers were transformed at their issue round and ride as-is,
+        // matching a server that decodes proposals at arrival).
+        if let Some(codec) = self.core.compression() {
+            transform_vectors(&**codec, &mut self.proposals[..honest], params.as_slice());
+        }
         let propose_nanos = propose_start.elapsed().as_nanos();
 
         // Carried stragglers are available immediately: they arrived after
@@ -672,19 +717,25 @@ impl RoundEngine {
         let true_gradient = self.probe_estimator().true_gradient(params);
         let timing = self.attack.timing();
         let early_forged = match timing {
-            AttackTiming::Honest | AttackTiming::Straggle => Some(forge_proposals(
-                &*self.attack,
-                &self.attack_name,
-                &mut self.attack_rng,
-                &self.proposals[..honest],
-                params,
-                true_gradient.as_ref(),
-                byzantine,
-                self.cluster.workers(),
-                round,
-                self.core.aggregator_name(),
-                self.dim,
-            )?),
+            AttackTiming::Honest | AttackTiming::Straggle => {
+                let mut forged = forge_proposals(
+                    &*self.attack,
+                    &self.attack_name,
+                    &mut self.attack_rng,
+                    &self.proposals[..honest],
+                    params,
+                    true_gradient.as_ref(),
+                    byzantine,
+                    self.cluster.workers(),
+                    round,
+                    self.core.aggregator_name(),
+                    self.dim,
+                )?;
+                if let Some(codec) = self.core.compression() {
+                    transform_vectors(&**codec, &mut forged, params.as_slice());
+                }
+                Some(forged)
+            }
             AttackTiming::LastToRespond => None,
         };
 
@@ -784,7 +835,7 @@ impl RoundEngine {
             // the server never waits for them, so the quorum's network
             // charge stays the observed cutoff, not the barrier's slowest
             // worker.
-            let forged = forge_proposals(
+            let mut forged = forge_proposals(
                 &*self.attack,
                 &self.attack_name,
                 &mut self.attack_rng,
@@ -797,6 +848,9 @@ impl RoundEngine {
                 self.core.aggregator_name(),
                 self.dim,
             )?;
+            if let Some(codec) = self.core.compression() {
+                transform_vectors(&**codec, &mut forged, params.as_slice());
+            }
             for (b, vector) in forged.into_iter().enumerate() {
                 if self.quorum_vectors.len() >= quorum {
                     break;
@@ -952,6 +1006,11 @@ impl RoundEngine {
         for w in 0..honest {
             self.proposals[w] = self.estimators[w].estimate(params, &mut self.worker_rngs[w])?;
         }
+        // Quantize-before-aggregate: table entries hold dequantized
+        // vectors, refreshed against the params of their refresh round.
+        if let Some(codec) = self.core.compression() {
+            transform_vectors(&**codec, &mut self.proposals[..honest], params.as_slice());
+        }
         let propose_nanos = propose_start.elapsed().as_nanos();
 
         // First reuse round: size the table (the only allocating round).
@@ -968,19 +1027,25 @@ impl RoundEngine {
         let true_gradient = self.probe_estimator().true_gradient(params);
         let timing = self.attack.timing();
         let early_forged = match timing {
-            AttackTiming::Honest | AttackTiming::Straggle => Some(forge_proposals(
-                &*self.attack,
-                &self.attack_name,
-                &mut self.attack_rng,
-                &self.proposals[..honest],
-                params,
-                true_gradient.as_ref(),
-                byzantine,
-                n,
-                round,
-                self.core.aggregator_name(),
-                self.dim,
-            )?),
+            AttackTiming::Honest | AttackTiming::Straggle => {
+                let mut forged = forge_proposals(
+                    &*self.attack,
+                    &self.attack_name,
+                    &mut self.attack_rng,
+                    &self.proposals[..honest],
+                    params,
+                    true_gradient.as_ref(),
+                    byzantine,
+                    n,
+                    round,
+                    self.core.aggregator_name(),
+                    self.dim,
+                )?;
+                if let Some(codec) = self.core.compression() {
+                    transform_vectors(&**codec, &mut forged, params.as_slice());
+                }
+                Some(forged)
+            }
             AttackTiming::LastToRespond => None,
         };
 
@@ -1069,7 +1134,7 @@ impl RoundEngine {
                 .filter(|&w| refresh[w])
                 .map(|w| self.latest[w].clone())
                 .collect();
-            let forged = forge_proposals(
+            let mut forged = forge_proposals(
                 &*self.attack,
                 &self.attack_name,
                 &mut self.attack_rng,
@@ -1082,6 +1147,9 @@ impl RoundEngine {
                 self.core.aggregator_name(),
                 self.dim,
             )?;
+            if let Some(codec) = self.core.compression() {
+                transform_vectors(&**codec, &mut forged, params.as_slice());
+            }
             for (b, vector) in forged.into_iter().enumerate() {
                 let w = honest + b;
                 if refresh[w] {

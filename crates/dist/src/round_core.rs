@@ -14,8 +14,10 @@
 //! Now both execution worlds share one implementation, which is what makes
 //! the loopback server reproduce in-process trajectories bit-for-bit.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use krum_compress::GradientCodec;
 use krum_core::{AggregationContext, Aggregator, ExecutionPolicy};
 use krum_metrics::RoundRecord;
 use krum_models::GradientEstimator;
@@ -40,6 +42,7 @@ pub struct RoundCore {
     /// on the aggregation path.
     ctx: AggregationContext,
     accuracy_probe: Option<AccuracyProbe>,
+    compression: Option<Arc<dyn GradientCodec>>,
 }
 
 impl RoundCore {
@@ -77,6 +80,7 @@ impl RoundCore {
             dim,
             ctx: AggregationContext::new(),
             accuracy_probe: None,
+            compression: None,
         })
     }
 
@@ -104,6 +108,21 @@ impl RoundCore {
     /// the post-update parameters.
     pub fn set_accuracy_probe(&mut self, probe: AccuracyProbe) {
         self.accuracy_probe = Some(probe);
+    }
+
+    /// Attaches a gradient codec: after every SGD step the parameter
+    /// vector is passed through the codec's canonical quantize →
+    /// dequantize params transform, so the trajectory lives in the
+    /// codec's representable set on every execution world (the broadcast
+    /// a remote worker decodes *is* the vector an in-process engine
+    /// computes). Idempotent transforms make checkpoint/resume safe.
+    pub fn set_compression(&mut self, codec: Arc<dyn GradientCodec>) {
+        self.compression = Some(codec);
+    }
+
+    /// The attached gradient codec, if any.
+    pub fn compression(&self) -> Option<&Arc<dyn GradientCodec>> {
+        self.compression.as_ref()
     }
 
     /// Overrides the aggregation workspace's execution policy (e.g. force
@@ -223,9 +242,14 @@ impl RoundCore {
             });
         }
 
-        // Step: apply the SGD update.
+        // Step: apply the SGD update, then re-project onto the codec's
+        // representable set so the next round's broadcast (raw in memory,
+        // encoded on the wire) is the same vector everywhere.
         let learning_rate = self.config.schedule.rate(round);
         params.axpy(-learning_rate, &aggregation.value);
+        if let Some(codec) = &self.compression {
+            codec.transform_params(params.as_mut_slice());
+        }
 
         // Record.
         let mut record = RoundRecord::new(round, aggregation.value.norm(), learning_rate);

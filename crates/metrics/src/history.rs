@@ -222,6 +222,24 @@ impl TrainingHistory {
         self.rounds.iter().filter_map(|r| r.wire_bytes).sum()
     }
 
+    /// Mean uncompressed-equivalent traffic per round in bytes, over the
+    /// rounds that ran on a real transport; 0 when the run was in-process.
+    /// Equal to [`TrainingHistory::mean_wire_bytes`] when no codec was
+    /// negotiated.
+    pub fn mean_raw_bytes(&self) -> f64 {
+        let values: Vec<u64> = self.rounds.iter().filter_map(|r| r.raw_bytes).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+    }
+
+    /// Total uncompressed-equivalent traffic of the run in bytes (0 when
+    /// in-process).
+    pub fn total_raw_bytes(&self) -> u64 {
+        self.rounds.iter().filter_map(|r| r.raw_bytes).sum()
+    }
+
     /// Mean broadcast-to-quorum-close arrival latency per round in
     /// nanoseconds, over the rounds that ran on a real transport; 0 when
     /// the run was in-process.
@@ -448,16 +466,21 @@ mod tests {
         for (i, (bytes, arrival)) in [(1_000u64, 500u128), (3_000, 1_500)].iter().enumerate() {
             let mut r = RoundRecord::new(i, 1.0, 0.1);
             r.wire_bytes = Some(*bytes);
+            r.raw_bytes = Some(*bytes * 4);
             r.arrival_nanos = Some(*arrival);
             h.push(r);
         }
         h.push(RoundRecord::new(2, 1.0, 0.1)); // in-process round
         assert!((h.mean_wire_bytes() - 2_000.0).abs() < 1e-12);
         assert_eq!(h.total_wire_bytes(), 4_000);
+        assert!((h.mean_raw_bytes() - 8_000.0).abs() < 1e-12);
+        assert_eq!(h.total_raw_bytes(), 16_000);
         assert!((h.mean_arrival_nanos() - 1_000.0).abs() < 1e-12);
         let empty = TrainingHistory::new("e", "krum", "none", 4, 0);
         assert_eq!(empty.mean_wire_bytes(), 0.0);
         assert_eq!(empty.total_wire_bytes(), 0);
+        assert_eq!(empty.mean_raw_bytes(), 0.0);
+        assert_eq!(empty.total_raw_bytes(), 0);
         assert_eq!(empty.mean_arrival_nanos(), 0.0);
     }
 

@@ -62,6 +62,12 @@ pub struct RoundRecord {
     /// received), when the round ran over a real transport (`krum-server`);
     /// `None` for in-process execution.
     pub wire_bytes: Option<u64>,
+    /// Bytes the same round would have cost uncompressed (every gradient
+    /// and parameter payload at its raw `8·dim` framing). Equal to
+    /// `wire_bytes` when no codec is negotiated; the `raw_bytes /
+    /// wire_bytes` ratio is the round's wire-compression factor. `None`
+    /// for in-process execution.
+    pub raw_bytes: Option<u64>,
     /// Wall-clock nanoseconds from the round's broadcast to the arrival
     /// that closed its quorum, measured on a real transport; `None` for
     /// in-process execution (where `network_nanos` carries the *simulated*
@@ -106,6 +112,7 @@ impl RoundRecord {
             dropped_stale: None,
             pending_carryover: None,
             wire_bytes: None,
+            raw_bytes: None,
             arrival_nanos: None,
             reconnects: None,
             degraded_rounds: None,
@@ -125,8 +132,8 @@ impl RoundRecord {
          distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
          propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos,\
          quorum_size,stale_in_quorum,max_staleness_in_quorum,dropped_stale,\
-         pending_carryover,wire_bytes,arrival_nanos,reconnects,degraded_rounds,\
-         checkpoint_bytes"
+         pending_carryover,wire_bytes,raw_bytes,arrival_nanos,reconnects,\
+         degraded_rounds,checkpoint_bytes"
     }
 
     /// Serialises the record as one CSV row (empty cells for `None`).
@@ -135,7 +142,7 @@ impl RoundRecord {
             v.as_ref().map(ToString::to_string).unwrap_or_default()
         }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             opt(&self.loss),
             opt(&self.accuracy),
@@ -157,6 +164,7 @@ impl RoundRecord {
             opt(&self.dropped_stale),
             opt(&self.pending_carryover),
             opt(&self.wire_bytes),
+            opt(&self.raw_bytes),
             opt(&self.arrival_nanos),
             opt(&self.reconnects),
             opt(&self.degraded_rounds),
@@ -201,7 +209,7 @@ mod tests {
         r.round_nanos = 110;
         // The trailing quorum/staleness and wire cells are empty for
         // in-process barrier rounds.
-        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,,,,"));
+        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,,,,,"));
     }
 
     #[test]
@@ -226,7 +234,7 @@ mod tests {
         r.max_staleness_in_quorum = Some(1);
         r.dropped_stale = Some(0);
         r.pending_carryover = Some(3);
-        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,,,,"));
+        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,,,,,"));
     }
 
     /// Satellite: the wire columns trail everything (they only apply to
@@ -236,12 +244,14 @@ mod tests {
         let header = RoundRecord::csv_header();
         let carryover = header.find("pending_carryover").unwrap();
         let wire = header.find("wire_bytes").unwrap();
+        let raw = header.find("raw_bytes").unwrap();
         let arrival = header.find("arrival_nanos").unwrap();
-        assert!(carryover < wire && wire < arrival);
+        assert!(carryover < wire && wire < raw && raw < arrival);
         let mut r = RoundRecord::new(2, 1.0, 0.1);
         r.wire_bytes = Some(81_920);
+        r.raw_bytes = Some(327_680);
         r.arrival_nanos = Some(1_500_000);
-        assert!(r.to_csv_row().ends_with(",81920,1500000,,,"));
+        assert!(r.to_csv_row().ends_with(",81920,327680,1500000,,,"));
     }
 
     /// Satellite: the churn columns close the row, in

@@ -1,6 +1,7 @@
 //! The fluent scenario builder.
 
 use krum_attacks::AttackSpec;
+use krum_compress::CompressionSpec;
 use krum_core::RuleSpec;
 use krum_dist::{ClusterSpec, LearningRateSchedule, NetworkModel};
 use krum_models::EstimatorSpec;
@@ -55,6 +56,7 @@ pub struct ScenarioBuilder {
     init: InitSpec,
     probes: ProbeSpec,
     fault_plan: Option<FaultPlan>,
+    compression: Option<CompressionSpec>,
 }
 
 impl ScenarioBuilder {
@@ -78,6 +80,7 @@ impl ScenarioBuilder {
             init: InitSpec::Zeros,
             probes: ProbeSpec::default(),
             fault_plan: None,
+            compression: None,
         }
     }
 
@@ -239,6 +242,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Quantizes every gradient (and the parameter trajectory, where the
+    /// codec is lossy on params) through `spec` before aggregation, so the
+    /// in-process run is bit-identical to a wire run negotiated with the
+    /// same codec.
+    #[must_use]
+    pub fn compression(mut self, spec: CompressionSpec) -> Self {
+        self.compression = Some(spec);
+        self
+    }
+
     /// The spec this builder currently describes (e.g. to serialise it to a
     /// scenario file). Not yet validated — see [`ScenarioSpec::validate`].
     pub fn spec(&self) -> Result<ScenarioSpec, ScenarioError> {
@@ -268,6 +281,7 @@ impl ScenarioBuilder {
             init: self.init,
             probes: self.probes,
             fault_plan: self.fault_plan.clone(),
+            compression: self.compression,
         })
     }
 

@@ -86,6 +86,9 @@ impl ScenarioReport {
         if let Some(plan) = &spec.fault_plan {
             entries.push(("fault_plan", plan.headline()));
         }
+        if let Some(compression) = &spec.compression {
+            entries.push(("compression", compression.to_string()));
+        }
         entries
     }
 
@@ -94,7 +97,10 @@ impl ScenarioReport {
     /// displays) are escaped (see [`escape_metadata`]) so embedded newlines
     /// or commas can never break the one-line-per-key comment structure or
     /// a comma-splitting consumer. The `cluster` value keeps its structural
-    /// `n=…, f=…` comma, and the numeric fields cannot contain either.
+    /// `n=…, f=…` comma, and `compression` keeps the structural commas of
+    /// its spec grammar (`bfp:block=64,bits=12`) so the value parses back
+    /// through `CompressionSpec::from_str`; the numeric fields cannot
+    /// contain either.
     pub fn header(&self) -> String {
         let mut out = String::new();
         for (key, value) in self.metadata() {
@@ -177,6 +183,7 @@ mod tests {
             init: InitSpec::Fill { value: 1.0 },
             probes: ProbeSpec::default(),
             fault_plan: None,
+            compression: None,
         };
         Scenario::from_spec(spec).unwrap().run().unwrap()
     }
@@ -265,6 +272,22 @@ mod tests {
         assert!(r
             .header()
             .contains("# fault_plan: 0 fault(s) + server kill/resume"));
+    }
+
+    /// The negotiated codec rides the CSV `#` metadata so a consumer can
+    /// tell a quantized run from a raw one without the spec JSON.
+    #[test]
+    fn compression_spec_rides_the_metadata_header() {
+        let mut r = report();
+        assert!(
+            !r.header().contains("compression"),
+            "codec absent from uncompressed headers"
+        );
+        r.spec.compression = Some(krum_compress::CompressionSpec::Bfp {
+            block: 64,
+            bits: 12,
+        });
+        assert!(r.header().contains("# compression: bfp:block=64,bits=12"));
     }
 
     #[test]

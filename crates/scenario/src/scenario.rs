@@ -83,11 +83,21 @@ impl Scenario {
                 engine.set_accuracy_probe(probe);
             }
         }
-        let start = match spec.init {
+        let mut start = match spec.init {
             InitSpec::Zeros => Vector::zeros(workload.dim),
             InitSpec::Fill { value } => Vector::filled(workload.dim, value),
             InitSpec::Sample { strategy, seed } => spec.estimator.init_params(strategy, seed)?,
         };
+        if let Some(compression) = &spec.compression {
+            let codec: std::sync::Arc<dyn krum_compress::GradientCodec> =
+                std::sync::Arc::from(compression.build());
+            // The initial params go through the params transform exactly
+            // once — the in-process twin of encoding the first broadcast —
+            // and the engine re-projects after every step, so the whole
+            // trajectory lives in the codec's representable set.
+            codec.transform_params(start.as_mut_slice());
+            engine.set_compression(codec);
+        }
         Ok(Self {
             spec,
             engine,
@@ -171,6 +181,7 @@ mod tests {
             init: InitSpec::Fill { value: 1.5 },
             probes: ProbeSpec::default(),
             fault_plan: None,
+            compression: None,
         }
     }
 
@@ -248,6 +259,7 @@ mod tests {
             init: InitSpec::Zeros,
             probes: ProbeSpec::default(),
             fault_plan: None,
+            compression: None,
         };
         let report = Scenario::from_spec(spec).unwrap().run().unwrap();
         let summary = report.summary();

@@ -1,6 +1,7 @@
 //! The serialisable scenario specification.
 
 use krum_attacks::AttackSpec;
+use krum_compress::CompressionSpec;
 use krum_core::RuleSpec;
 use krum_dist::{ClusterSpec, ExecutionStrategy, LearningRateSchedule, NetworkModel};
 use krum_models::EstimatorSpec;
@@ -480,10 +481,17 @@ pub struct ScenarioSpec {
     /// Scripted faults for chaos runs (`None`, the JSON default, injects
     /// nothing; ignored entirely outside the chaos harness).
     pub fault_plan: Option<FaultPlan>,
+    /// Gradient compression codec (`None` runs uncompressed). The codec's
+    /// quantize → dequantize transform applies **before aggregation on
+    /// every engine** — in-process runs quantize in memory, remote runs
+    /// quantize on the wire — so a compressed scenario has one canonical
+    /// trajectory per seed, not one per transport.
+    pub compression: Option<CompressionSpec>,
 }
 
-// Hand-written so `fault_plan` may be absent from the JSON (every spec
-// file written before fault injection existed stays valid).
+// Hand-written so `fault_plan` and `compression` may be absent from the
+// JSON (every spec file written before those features existed stays
+// valid).
 impl Deserialize for ScenarioSpec {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
         let field = |name: &str| serde::__private::field(v, name);
@@ -502,6 +510,10 @@ impl Deserialize for ScenarioSpec {
             probes: Deserialize::deserialize(field("probes")?)?,
             fault_plan: match optional_field(v, "fault_plan") {
                 Some(fv) => Some(Deserialize::deserialize(fv)?),
+                None => None,
+            },
+            compression: match optional_field(v, "compression") {
+                Some(cv) => Some(Deserialize::deserialize(cv)?),
                 None => None,
             },
         })
@@ -619,6 +631,11 @@ impl ScenarioSpec {
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
         }
+        if let Some(compression) = &self.compression {
+            compression
+                .validate(Some(dim))
+                .map_err(|e| ScenarioError::invalid(e.to_string()))?;
+        }
         if self.rounds == 0 {
             return Err(ScenarioError::invalid("rounds must be >= 1"));
         }
@@ -699,6 +716,7 @@ mod tests {
             init: InitSpec::Fill { value: 1.5 },
             probes: ProbeSpec::default(),
             fault_plan: None,
+            compression: None,
         }
     }
 

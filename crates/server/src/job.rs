@@ -58,8 +58,10 @@
 
 use std::net::{Shutdown, TcpStream};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use krum_compress::GradientCodec;
 use krum_dist::{RoundCore, TrainingConfig};
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
@@ -107,6 +109,9 @@ pub(crate) enum ConnEvent {
         worker: u32,
         /// Write half of the replacement socket.
         stream: TcpStream,
+        /// Protocol version the rejoiner negotiated (it may differ from
+        /// the slot's previous incarnation).
+        version: u16,
     },
 }
 
@@ -115,6 +120,11 @@ pub(crate) enum ConnEvent {
 pub(crate) struct JobConnection {
     /// Write half of the socket (reads happen on the reader thread).
     pub stream: TcpStream,
+    /// Protocol version the handshake negotiated for this connection. A
+    /// v1 peer on a codec-bearing job hears raw (already quantized)
+    /// frames — the version fallback — while v2 peers hear the
+    /// compressed framing.
+    pub version: u16,
 }
 
 /// Everything the serving layer decided about *how* to run a job, as
@@ -279,14 +289,48 @@ fn crash(
 /// The observation relay: every honest proposal of the round that exists
 /// so far, in worker order. A barrier round relays all `n − f`; a
 /// crash-degraded round relays what the live workers produced (the relay
-/// is withheld until at least one exists, so it is never empty).
-fn relay_frame(id: u64, round: usize, params: &Vector, observed: &[Option<Vec<f64>>]) -> Frame {
-    Frame::Broadcast {
-        job: id,
-        round: round as u64,
-        params: params.as_slice().to_vec(),
-        observed: observed.iter().filter_map(Clone::clone).collect(),
+/// is withheld until at least one exists, so it is never empty). With a
+/// negotiated codec and a v2 adversary, the relay rides the compressed
+/// framing (proposals encoded against this round's broadcast params); a
+/// v1 adversary hears the same quantized values raw.
+fn relay_frame(
+    id: u64,
+    round: usize,
+    params: &Vector,
+    observed: &[Option<Vec<f64>>],
+    codec: Option<&dyn GradientCodec>,
+    version: u16,
+) -> Frame {
+    match codec {
+        Some(codec) if version >= 2 => Frame::BroadcastC {
+            job: id,
+            round: round as u64,
+            params: codec.encode_params(params.as_slice()),
+            observed: observed
+                .iter()
+                .filter_map(|o| o.as_ref().map(|v| codec.encode(v, params.as_slice())))
+                .collect(),
+        },
+        _ => Frame::Broadcast {
+            job: id,
+            round: round as u64,
+            params: params.as_slice().to_vec(),
+            observed: observed.iter().filter_map(Clone::clone).collect(),
+        },
     }
+}
+
+/// Bytes a `Broadcast` frame carrying `observed` relayed proposals costs
+/// at the raw (uncompressed) framing: 9 bytes of frame overhead (length
+/// prefix, tag, checksum), the job/round header, and `4 + 8·dim` per
+/// vector.
+fn raw_broadcast_len(dim: usize, observed: usize) -> u64 {
+    (9 + 8 + 8 + (4 + 8 * dim) + 4 + observed * (4 + 8 * dim)) as u64
+}
+
+/// Bytes a `Propose` frame costs at the raw (uncompressed) framing.
+fn raw_propose_len(dim: usize) -> u64 {
+    (9 + 8 + 8 + 4 + (4 + 8 * dim)) as u64
 }
 
 fn drive_job(
@@ -344,6 +388,18 @@ fn drive_job(
         },
     };
     let mut core = RoundCore::new(cluster, aggregator, config, dim)?;
+    // The negotiated codec. The core re-quantizes the trajectory after
+    // every step and fresh starts quantize the initial params once — the
+    // exact transform the in-process engine applies, which is why a
+    // loopback run with a codec reproduces the in-process quantized run
+    // bit-for-bit.
+    let codec: Option<Arc<dyn GradientCodec>> = spec
+        .compression
+        .as_ref()
+        .map(|c| Arc::from(c.build()) as Arc<dyn GradientCodec>);
+    if let Some(codec) = &codec {
+        core.set_compression(Arc::clone(codec));
+    }
     if spec.probes.accuracy {
         if let Some(accuracy) = workload.accuracy {
             core.set_accuracy_probe(accuracy);
@@ -399,13 +455,18 @@ fn drive_job(
             )
         }
         None => {
-            let params = match spec.init {
+            let mut params = match spec.init {
                 InitSpec::Zeros => Vector::zeros(dim),
                 InitSpec::Fill { value } => Vector::filled(dim, value),
                 InitSpec::Sample { strategy, seed } => {
                     spec.estimator.init_params(strategy, seed)?
                 }
             };
+            // Round 0 broadcasts quantized params (a resumed snapshot is
+            // already on the quantized trajectory).
+            if let Some(codec) = &codec {
+                codec.transform_params(params.as_mut_slice());
+            }
             let history = TrainingHistory::new(
                 format!(
                     "{} vs {} (n={n}, f={f}, d={dim}, served)",
@@ -436,6 +497,7 @@ fn drive_job(
             &mut params,
             &mut pending,
             &policy,
+            codec.as_deref(),
         )?;
         history.push(record);
         let halting = runtime.halt_after_round == Some(round as u64);
@@ -514,6 +576,7 @@ fn serve_round(
     params: &mut Vector,
     pending: &mut Vec<Pending>,
     policy: &ClosePolicy,
+    codec: Option<&dyn GradientCodec>,
 ) -> Result<RoundRecord, ServerError> {
     let cluster = spec.cluster;
     let n = cluster.workers();
@@ -529,22 +592,41 @@ fn serve_round(
     let heartbeat = Duration::from_secs(policy.timeouts.heartbeat_secs);
     let deadline = round_open + Duration::from_secs(policy.timeouts.round_secs);
     let mut wire_bytes: u64 = 0;
+    // What the same traffic would have cost uncompressed: compressed
+    // frames are charged at their raw `8·dim` framing, everything else at
+    // its actual size — so `raw_bytes == wire_bytes` without a codec.
+    let mut raw_bytes: u64 = 0;
     let mut reconnects: u64 = 0;
 
     // Broadcast x_t to the live honest workers (the adversary hears later,
     // with its observations; a dead slot hears the round when it rejoins).
+    // With a codec, v2 connections hear the compressed framing; v1
+    // connections hear the same (already quantized) params raw.
     let broadcast = Frame::Broadcast {
         job: id,
         round: round as u64,
         params: params.as_slice().to_vec(),
         observed: Vec::new(),
     };
+    let broadcast_c = codec.map(|c| Frame::BroadcastC {
+        job: id,
+        round: round as u64,
+        params: c.encode_params(params.as_slice()),
+        observed: Vec::new(),
+    });
+    let broadcast_for = |version: u16| match &broadcast_c {
+        Some(frame) if version >= 2 => frame,
+        _ => &broadcast,
+    };
     for w in 0..honest {
         if !alive[w] {
             continue;
         }
-        match write_frame(&mut conns[w].stream, &broadcast) {
-            Ok(b) => wire_bytes += b as u64,
+        match write_frame(&mut conns[w].stream, broadcast_for(conns[w].version)) {
+            Ok(b) => {
+                wire_bytes += b as u64;
+                raw_bytes += raw_broadcast_len(dim, 0);
+            }
             Err(e) => crash(
                 on_crash,
                 alive,
@@ -689,7 +771,10 @@ fn serve_round(
                             nonce: ping_nonce,
                         };
                         match write_frame(&mut conns[c].stream, &ping) {
-                            Ok(b) => wire_bytes += b as u64,
+                            Ok(b) => {
+                                wire_bytes += b as u64;
+                                raw_bytes += b as u64;
+                            }
                             Err(e) => crash(
                                 on_crash,
                                 alive,
@@ -711,12 +796,17 @@ fn serve_round(
                     .unwrap_or_else(|| "connection closed".into());
                 crash(on_crash, alive, conns, worker, round, &message)?;
             }
-            ConnEvent::Rejoined { worker, stream } => {
+            ConnEvent::Rejoined {
+                worker,
+                stream,
+                version,
+            } => {
                 let w = worker as usize;
                 if w >= conns.len() {
                     continue; // admit() validates; belt and braces
                 }
                 conns[w].stream = stream;
+                conns[w].version = version;
                 alive[w] = true;
                 last_heard[w] = Instant::now();
                 reconnects += 1;
@@ -727,8 +817,11 @@ fn serve_round(
                         // into the void) or fast-forwards its RNG stream and
                         // computes it — both bit-identical to the
                         // uninterrupted proposal.
-                        match write_frame(&mut conns[w].stream, &broadcast) {
-                            Ok(b) => wire_bytes += b as u64,
+                        match write_frame(&mut conns[w].stream, broadcast_for(version)) {
+                            Ok(b) => {
+                                wire_bytes += b as u64;
+                                raw_bytes += raw_broadcast_len(dim, 0);
+                            }
                             Err(e) => crash(
                                 on_crash,
                                 alive,
@@ -745,10 +838,14 @@ fn serve_round(
                     // re-forges) its answer, so slots that did land are
                     // resent bit-identical — tolerated as duplicates below.
                     adv_replayed = true;
-                    let relay = relay_frame(id, round, params, &observed);
+                    let relay = relay_frame(id, round, params, &observed, codec, version);
                     match write_frame(&mut conns[adversary].stream, &relay) {
                         Ok(b) => {
                             wire_bytes += b as u64;
+                            raw_bytes += raw_broadcast_len(
+                                dim,
+                                observed.iter().filter(|o| o.is_some()).count(),
+                            );
                             relay_at = Some(Instant::now());
                         }
                         Err(e) => crash(
@@ -768,17 +865,47 @@ fn serve_round(
                 bytes,
             } => {
                 wire_bytes += bytes as u64;
+                raw_bytes += match &frame {
+                    Frame::ProposeC { .. } => raw_propose_len(dim),
+                    _ => bytes as u64,
+                };
                 if (conn_worker as usize) < last_heard.len() {
                     last_heard[conn_worker as usize] = Instant::now();
                 }
-                let (job, propose_round, worker, proposal) = match frame {
+                // A raw proposal on a codec-bearing job (a v1 peer) is
+                // quantized server-side below, so both framings feed the
+                // aggregator identical bits.
+                let (job, propose_round, worker, mut proposal, arrived_raw) = match frame {
                     Frame::Pong { .. } => continue, // liveness, noted above
                     Frame::Propose {
                         job,
                         round,
                         worker,
                         proposal,
-                    } => (job, round, worker as usize, proposal),
+                    } => (job, round, worker as usize, proposal, true),
+                    Frame::ProposeC {
+                        job,
+                        round: propose_round,
+                        worker,
+                        proposal,
+                    } => {
+                        let Some(codec) = codec else {
+                            return Err(ServerError::protocol(format!(
+                                "worker {conn_worker} sent a compressed proposal but \
+                                 the job negotiated no codec"
+                            )));
+                        };
+                        let decoded =
+                            codec
+                                .decode(&proposal, params.as_slice(), dim)
+                                .map_err(|e| {
+                                    ServerError::protocol(format!(
+                                        "worker {conn_worker} sent an undecodable proposal \
+                                         in round {round}: {e}"
+                                    ))
+                                })?;
+                        (job, propose_round, worker as usize, decoded, false)
+                    }
                     other => {
                         return Err(ServerError::protocol(format!(
                             "unexpected {} frame from worker {conn_worker} during round {round}",
@@ -809,6 +936,14 @@ fn serve_round(
                         "worker {conn_worker} proposed dimension {}, expected {dim}",
                         proposal.len()
                     )));
+                }
+                // Quantize-before-aggregate: a v1 peer's raw floats pass
+                // through the same decode(encode(·)) a v2 peer's encoding
+                // implies, so the codec never sees a framing difference.
+                if arrived_raw {
+                    if let Some(codec) = codec {
+                        codec.transform(&mut proposal, params.as_slice());
+                    }
                 }
                 // Authority: honest connections propose exactly their own
                 // slot, the adversary connection proposes exactly the
@@ -883,10 +1018,19 @@ fn serve_round(
         if f > 0 && !relay_sent && honest_arrived > 0 && alive[adversary] {
             let all_in = (0..honest).all(|w| honest_seen[w] || (!alive[w] && !wait_for_dead));
             if all_in {
-                let relay = relay_frame(id, round, params, &observed);
+                let relay = relay_frame(
+                    id,
+                    round,
+                    params,
+                    &observed,
+                    codec,
+                    conns[adversary].version,
+                );
                 match write_frame(&mut conns[adversary].stream, &relay) {
                     Ok(b) => {
                         wire_bytes += b as u64;
+                        raw_bytes +=
+                            raw_broadcast_len(dim, observed.iter().filter(|o| o.is_some()).count());
                         relay_sent = true;
                         relay_at = Some(Instant::now());
                     }
@@ -982,7 +1126,10 @@ fn serve_round(
             continue;
         }
         match write_frame(&mut conns[c].stream, &closed) {
-            Ok(b) => wire_bytes += b as u64,
+            Ok(b) => {
+                wire_bytes += b as u64;
+                raw_bytes += b as u64;
+            }
             Err(e) => crash(
                 on_crash,
                 alive,
@@ -994,6 +1141,37 @@ fn serve_round(
         }
     }
     record.wire_bytes = Some(wire_bytes);
+    record.raw_bytes = Some(raw_bytes);
     record.round_nanos = round_open.elapsed().as_nanos();
     Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The arithmetic raw-framing sizes must track the actual encoder —
+    /// the `raw_bytes` column is only honest if they agree.
+    #[test]
+    fn raw_frame_lengths_match_the_wire_encoding() {
+        for (dim, observed) in [(1, 0), (17, 5), (1000, 36)] {
+            let broadcast = Frame::Broadcast {
+                job: 3,
+                round: 9,
+                params: vec![1.5; dim],
+                observed: vec![vec![2.5; dim]; observed],
+            };
+            assert_eq!(
+                raw_broadcast_len(dim, observed),
+                broadcast.encoded_len() as u64
+            );
+            let propose = Frame::Propose {
+                job: 3,
+                round: 9,
+                worker: 4,
+                proposal: vec![0.5; dim],
+            };
+            assert_eq!(raw_propose_len(dim), propose.encoded_len() as u64);
+        }
+    }
 }

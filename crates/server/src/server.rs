@@ -29,7 +29,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use krum_scenario::{ScenarioReport, ScenarioSpec};
-use krum_wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+use krum_wire::{
+    read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 
 use crate::checkpoint::{self, CheckpointConfig};
 use crate::error::ServerError;
@@ -362,7 +365,7 @@ impl Server {
     }
 
     fn admit_hello(&mut self, mut stream: TcpStream, version: u16) -> Result<(), ServerError> {
-        if version != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             let _ = write_frame(&mut stream, &reject_frame(0, version));
             return Ok(());
         }
@@ -403,7 +406,10 @@ impl Server {
         // when the job drops its receiver), so a hung foreign client can
         // never wedge the serve loop on a join.
         std::thread::spawn(move || reader_loop(stream, worker, sender));
-        slot.conns[worker as usize] = Some(JobConnection { stream: write_half });
+        slot.conns[worker as usize] = Some(JobConnection {
+            stream: write_half,
+            version,
+        });
         slot.start_if_staffed();
         Ok(())
     }
@@ -415,7 +421,7 @@ impl Server {
         job: u64,
         worker: u32,
     ) -> Result<(), ServerError> {
-        if version != PROTOCOL_VERSION {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             let _ = write_frame(&mut stream, &reject_frame(job, version));
             return Ok(());
         }
@@ -454,7 +460,10 @@ impl Server {
         let write_half = stream.try_clone()?;
         let sender = slot.sender.clone();
         std::thread::spawn(move || reader_loop(stream, worker, sender));
-        let conn = JobConnection { stream: write_half };
+        let conn = JobConnection {
+            stream: write_half,
+            version,
+        };
         if slot.handle.is_some() {
             // Running job: hand the fresh write half to the round machine.
             if slot
@@ -462,6 +471,7 @@ impl Server {
                 .send(ConnEvent::Rejoined {
                     worker,
                     stream: conn.stream,
+                    version,
                 })
                 .is_err()
             {
@@ -482,7 +492,7 @@ fn reject_frame(job: u64, version: u16) -> Frame {
         job,
         reason: format!(
             "protocol version mismatch: you speak v{version}, \
-             this server speaks v{PROTOCOL_VERSION}"
+             this server speaks v{MIN_PROTOCOL_VERSION}..v{PROTOCOL_VERSION}"
         ),
     }
 }

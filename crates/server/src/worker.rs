@@ -39,6 +39,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use krum_attacks::{Attack, AttackContext};
+use krum_compress::GradientCodec;
 use krum_dist::{stream_rng, ATTACK_STREAM};
 use krum_models::GradientEstimator;
 use krum_scenario::ScenarioSpec;
@@ -98,6 +99,7 @@ pub struct WorkerClient {
     stream: TcpStream,
     agent: String,
     retries: u32,
+    version: u16,
 }
 
 impl WorkerClient {
@@ -114,6 +116,7 @@ impl WorkerClient {
             stream,
             agent: "krum-worker".into(),
             retries: 0,
+            version: PROTOCOL_VERSION,
         })
     }
 
@@ -129,6 +132,16 @@ impl WorkerClient {
     #[must_use]
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Overrides the protocol version announced in the handshake (default:
+    /// the crate's [`PROTOCOL_VERSION`]). A v1 session never negotiates a
+    /// codec — on a codec-bearing job it exchanges raw (already quantized)
+    /// frames, exercising the server's version fallback.
+    #[must_use]
+    pub fn with_protocol_version(mut self, version: u16) -> Self {
+        self.version = version;
         self
     }
 
@@ -148,7 +161,7 @@ impl WorkerClient {
         wire_bytes += write_frame(
             &mut self.stream,
             &Frame::Hello {
-                version: PROTOCOL_VERSION,
+                version: self.version,
                 agent: self.agent.clone(),
             },
         )? as u64;
@@ -219,15 +232,26 @@ impl WorkerClient {
             )));
         };
 
+        // A codec only exists when both the spec names one and this
+        // session negotiated a compression-capable protocol version; a v1
+        // session on a codec-bearing job exchanges raw quantized frames.
+        let codec: Option<Box<dyn GradientCodec>> = if self.version >= 2 {
+            spec.compression.as_ref().map(|c| c.build())
+        } else {
+            None
+        };
+
         Ok(WorkerSession {
             stream: self.stream,
             peer,
             retries: self.retries,
+            version: self.version,
             job,
             worker,
             seed,
             dim,
             role,
+            codec,
             calls_made: 0,
             answered: None,
             rounds: 0,
@@ -258,11 +282,16 @@ pub struct WorkerSession {
     stream: TcpStream,
     peer: SocketAddr,
     retries: u32,
+    version: u16,
     job: u64,
     worker: u32,
     seed: u64,
     dim: usize,
     role: Role,
+    /// The negotiated gradient codec (`None` for uncompressed jobs and v1
+    /// sessions): proposals go out through `encode`, broadcasts come in
+    /// through `decode`.
+    codec: Option<Box<dyn GradientCodec>>,
     /// Estimator/attack calls made so far — the RNG cursor in rounds.
     calls_made: u64,
     /// The frames answering the latest broadcast, cached *before* the
@@ -329,6 +358,46 @@ impl WorkerSession {
                             self.dim
                         )));
                     }
+                    match self.answer_broadcast(round, params, observed) {
+                        Ok(()) => {}
+                        Err(e) if is_transport(&e) => match self.rejoin(e)? {
+                            RejoinOutcome::Resumed => {}
+                            RejoinOutcome::Ended(reason) => {
+                                shutdown_reason = reason;
+                                break;
+                            }
+                        },
+                        Err(e) => return Err(e),
+                    }
+                }
+                Frame::BroadcastC {
+                    job: j,
+                    round,
+                    params,
+                    observed,
+                } => {
+                    if j != self.job {
+                        return Err(ServerError::protocol(format!(
+                            "broadcast for foreign job {j} (serving job {})",
+                            self.job
+                        )));
+                    }
+                    let Some(codec) = &self.codec else {
+                        return Err(ServerError::protocol(
+                            "compressed broadcast on a session that negotiated no codec"
+                                .to_string(),
+                        ));
+                    };
+                    let params = codec.decode_params(&params, self.dim).map_err(|e| {
+                        ServerError::protocol(format!("undecodable broadcast params: {e}"))
+                    })?;
+                    let observed = observed
+                        .iter()
+                        .map(|o| codec.decode(o, &params, self.dim))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| {
+                            ServerError::protocol(format!("undecodable observation relay: {e}"))
+                        })?;
                     match self.answer_broadcast(round, params, observed) {
                         Ok(()) => {}
                         Err(e) if is_transport(&e) => match self.rejoin(e)? {
@@ -462,7 +531,9 @@ impl WorkerSession {
         Ok(())
     }
 
-    /// Computes the `Propose` frames answering one fresh broadcast.
+    /// Computes the `Propose` frames answering one fresh broadcast
+    /// (`ProposeC`, encoded against this round's broadcast params, when a
+    /// codec was negotiated).
     fn compute_frames(
         &mut self,
         round: u64,
@@ -470,15 +541,14 @@ impl WorkerSession {
         observed: Vec<Vec<f64>>,
     ) -> Result<Vec<Frame>, ServerError> {
         let job = self.job;
+        let codec = self.codec.as_deref();
+        let worker = self.worker;
         match &mut self.role {
             Role::Honest { estimator, rng } => {
                 let proposal = estimator.estimate(params, rng)?;
-                Ok(vec![Frame::Propose {
-                    job,
-                    round,
-                    worker: self.worker,
-                    proposal: proposal.into_inner(),
-                }])
+                Ok(vec![propose_frame(
+                    codec, job, round, worker, proposal, params,
+                )])
             }
             Role::Adversary {
                 attack,
@@ -519,11 +589,8 @@ impl WorkerSession {
                 Ok(forged
                     .into_iter()
                     .enumerate()
-                    .map(|(b, proposal)| Frame::Propose {
-                        job,
-                        round,
-                        worker: (honest + b) as u32,
-                        proposal: proposal.into_inner(),
+                    .map(|(b, proposal)| {
+                        propose_frame(codec, job, round, (honest + b) as u32, proposal, params)
                     })
                     .collect())
             }
@@ -565,7 +632,7 @@ impl WorkerSession {
         self.wire_bytes += write_frame(
             &mut stream,
             &Frame::Rejoin {
-                version: PROTOCOL_VERSION,
+                version: self.version,
                 job: self.job,
                 worker: self.worker,
             },
@@ -607,6 +674,33 @@ impl std::fmt::Debug for WorkerSession {
 /// protocol violations and local failures.
 fn is_transport(e: &ServerError) -> bool {
     matches!(e, ServerError::Wire(_) | ServerError::Io(_))
+}
+
+/// Wraps one proposal in its negotiated framing: `ProposeC` (encoded
+/// against this round's broadcast params) under a codec, raw `Propose`
+/// otherwise.
+fn propose_frame(
+    codec: Option<&dyn GradientCodec>,
+    job: u64,
+    round: u64,
+    worker: u32,
+    proposal: Vector,
+    params: &Vector,
+) -> Frame {
+    match codec {
+        Some(codec) => Frame::ProposeC {
+            job,
+            round,
+            worker,
+            proposal: codec.encode(proposal.as_slice(), params.as_slice()),
+        },
+        None => Frame::Propose {
+            job,
+            round,
+            worker,
+            proposal: proposal.into_inner(),
+        },
+    }
 }
 
 /// Deterministic backoff for attempt `k` (1-based): bounded exponential

@@ -52,6 +52,7 @@ fn spec(on_crash: CrashPolicy) -> ScenarioSpec {
         init: InitSpec::Fill { value: 1.5 },
         probes: ProbeSpec::default(),
         fault_plan: None,
+        compression: None,
     }
 }
 

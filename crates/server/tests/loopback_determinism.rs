@@ -27,6 +27,7 @@ fn spec() -> ScenarioSpec {
         init: InitSpec::Fill { value: 1.5 },
         probes: ProbeSpec::default(),
         fault_plan: None,
+        compression: None,
     }
 }
 

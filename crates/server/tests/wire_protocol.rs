@@ -28,6 +28,7 @@ fn spec() -> ScenarioSpec {
         init: InitSpec::Fill { value: 1.0 },
         probes: ProbeSpec::default(),
         fault_plan: None,
+        compression: None,
     }
 }
 

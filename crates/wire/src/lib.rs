@@ -43,9 +43,23 @@ use std::io::{Read, Write};
 use thiserror::Error;
 
 /// Version of the wire protocol spoken by this build. A [`Frame::Hello`]
-/// carries the client's version; the server rejects mismatches with
-/// [`WireError::VersionMismatch`] rather than guessing at frame layouts.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// carries the client's version; the server accepts any version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and speaks the
+/// peer's dialect (a v1 peer never sees a v2-only frame), rejecting
+/// anything else with [`WireError::VersionMismatch`] rather than guessing
+/// at frame layouts.
+///
+/// * **v1** — the original uncompressed protocol: every vector travels as
+///   raw `f64` bit patterns.
+/// * **v2** — adds the compressed [`Frame::BroadcastC`] /
+///   [`Frame::ProposeC`] pair carrying codec-encoded payloads
+///   (`krum-compress`). v2 is a strict superset: a v2 job with no codec
+///   configured uses the v1 frames unchanged.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still serves (see
+/// [`PROTOCOL_VERSION`] for the dialect differences).
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Upper bound on one frame's payload (tag + body), 64 MiB — roughly 80
 /// `d = 100_000` vectors, so an observation relay fits for any cluster this
@@ -69,6 +83,8 @@ pub const FRAME_NAMES: &[&str] = &[
     "pong",
     "rejoin",
     "checkpoint",
+    "broadcast-compressed",
+    "propose-compressed",
 ];
 
 /// Errors raised while encoding, decoding or transporting frames.
@@ -175,6 +191,8 @@ pub fn checksum(bytes: &[u8]) -> u32 {
 /// | [`Pong`](Frame::Pong) | worker → server | liveness reply, echoing the nonce |
 /// | [`Rejoin`](Frame::Rejoin) | worker → server | re-staff a crashed worker into its old slot |
 /// | [`Checkpoint`](Frame::Checkpoint) | server → disk | serialized job snapshot (also the on-disk checkpoint format) |
+/// | [`BroadcastC`](Frame::BroadcastC) | server → worker | v2 only: codec-compressed round parameters and observation relay |
+/// | [`ProposeC`](Frame::ProposeC) | worker → server | v2 only: one codec-compressed gradient proposal |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client handshake: protocol version and a free-form agent label.
@@ -303,6 +321,37 @@ pub enum Frame {
         /// module for the exact layout).
         state_json: String,
     },
+    /// v2 only: the round's parameter vector and observation relay as
+    /// codec-encoded payloads. Which codec applies is negotiated out of
+    /// band — it travels in the scenario JSON of the job's
+    /// [`Frame::JobAssign`] — so the frame itself carries opaque,
+    /// length-validated blobs.
+    BroadcastC {
+        /// Job identifier.
+        job: u64,
+        /// Round index `t`.
+        round: u64,
+        /// Codec-encoded parameter vector `x_t`
+        /// (`GradientCodec::encode_params`).
+        params: Vec<u8>,
+        /// Codec-encoded observation relay for the adversary connection
+        /// (empty for honest workers); entries are encoded against the
+        /// round's params as reference.
+        observed: Vec<Vec<u8>>,
+    },
+    /// v2 only: one codec-compressed proposal, encoded against the
+    /// round's broadcast parameters as reference.
+    ProposeC {
+        /// Job identifier.
+        job: u64,
+        /// Round the proposal answers.
+        round: u64,
+        /// Proposing worker slot.
+        worker: u32,
+        /// Codec-encoded proposal (`GradientCodec::encode` with the
+        /// round's params as reference).
+        proposal: Vec<u8>,
+    },
 }
 
 /// One carried-over proposal inside a [`Frame::Checkpoint`]: a straggler
@@ -333,6 +382,8 @@ impl Frame {
             Self::Pong { .. } => 9,
             Self::Rejoin { .. } => 10,
             Self::Checkpoint { .. } => 11,
+            Self::BroadcastC { .. } => 12,
+            Self::ProposeC { .. } => 13,
         }
     }
 
@@ -436,6 +487,31 @@ impl Frame {
                     put_vec(out, &entry.proposal);
                 }
                 put_str(out, state_json);
+            }
+            Self::BroadcastC {
+                job,
+                round,
+                params,
+                observed,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_blob(out, params);
+                put_u32(out, observed.len() as u32);
+                for blob in observed {
+                    put_blob(out, blob);
+                }
+            }
+            Self::ProposeC {
+                job,
+                round,
+                worker,
+                proposal,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_u32(out, *worker);
+                put_blob(out, proposal);
             }
         }
     }
@@ -563,6 +639,31 @@ impl Frame {
                     state_json: r.string()?,
                 }
             }
+            12 => {
+                let job = r.u64()?;
+                let round = r.u64()?;
+                let params = r.blob()?;
+                let count = r.u32()? as usize;
+                let mut observed = Vec::new();
+                for _ in 0..count {
+                    // Each blob validates its own length against the
+                    // remaining bytes; the count never drives an
+                    // allocation on its own.
+                    observed.push(r.blob()?);
+                }
+                Self::BroadcastC {
+                    job,
+                    round,
+                    params,
+                    observed,
+                }
+            }
+            13 => Self::ProposeC {
+                job: r.u64()?,
+                round: r.u64()?,
+                worker: r.u32()?,
+                proposal: r.blob()?,
+            },
             other => return Err(WireError::UnknownTag(other)),
         };
         r.finish()?;
@@ -663,6 +764,11 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
 fn put_vec(out: &mut Vec<u8>, v: &[f64]) {
     put_u32(out, v.len() as u32);
     for &x in v {
@@ -734,6 +840,14 @@ impl<'a> Reader<'a> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// A length-prefixed opaque byte blob: the declared length is
+    /// validated against the remaining payload (by `take`) before any
+    /// allocation happens.
+    fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     fn vec_f64(&mut self) -> Result<Vec<f64>, WireError> {
@@ -836,6 +950,18 @@ mod tests {
                     },
                 ],
                 state_json: "{\"spec\":{},\"history\":{}}".into(),
+            },
+            Frame::BroadcastC {
+                job: 3,
+                round: 9,
+                params: vec![0x01, 0x02, 0xFF, 0x00],
+                observed: vec![vec![0xAA; 7], vec![], vec![0x55]],
+            },
+            Frame::ProposeC {
+                job: 3,
+                round: 9,
+                worker: 2,
+                proposal: vec![0xDE, 0xAD, 0xBE, 0xEF],
             },
         ]
     }
@@ -982,7 +1108,32 @@ mod tests {
         for frame in frames() {
             assert_eq!(FRAME_NAMES[(frame.tag() - 1) as usize], frame.name());
         }
-        assert_eq!(FRAME_NAMES.len(), 11);
+        assert_eq!(FRAME_NAMES.len(), 13);
+    }
+
+    /// A compressed broadcast whose blob length lies about the remaining
+    /// bytes is a structured truncation, never an allocation.
+    #[test]
+    fn compressed_frames_with_lying_blob_lengths_are_truncation() {
+        let mut payload = Vec::new();
+        payload.push(12u8); // BroadcastC
+        put_u64(&mut payload, 1); // job
+        put_u64(&mut payload, 2); // round
+        put_u32(&mut payload, u32::MAX); // params blob length: a lie
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut payload = Vec::new();
+        payload.push(13u8); // ProposeC
+        put_u64(&mut payload, 1);
+        put_u64(&mut payload, 2);
+        put_u32(&mut payload, 0); // worker
+        put_u32(&mut payload, 1 << 30); // proposal blob length: a lie
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     /// A checkpoint whose pending count promises more entries than the

@@ -33,10 +33,19 @@ fn label(salt: u64, len: usize) -> String {
         .collect()
 }
 
+/// Deterministic opaque blob for the v2 compressed frames: arbitrary
+/// bytes, since the wire treats codec output as length-validated opaque
+/// payload.
+fn blob(len: usize, salt: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(salt) as u8)
+        .collect()
+}
+
 /// One frame of each kind, sized and salted by the inputs — covers every
 /// variant across the proptest cases.
 fn frame(kind: usize, len: usize, salt: u64) -> Frame {
-    match kind % 11 {
+    match kind % 13 {
         0 => Frame::Hello {
             version: (salt % u64::from(u16::MAX)) as u16,
             agent: label(salt, len % 32),
@@ -89,6 +98,20 @@ fn frame(kind: usize, len: usize, salt: u64) -> Frame {
             job: salt,
             worker: (salt % 1000) as u32,
         },
+        11 => Frame::BroadcastC {
+            job: salt,
+            round: salt % 10_000,
+            params: blob(len, salt),
+            observed: (0..(salt % 5) as usize)
+                .map(|i| blob(len % 97, salt.wrapping_add(i as u64)))
+                .collect(),
+        },
+        12 => Frame::ProposeC {
+            job: salt,
+            round: salt % 10_000,
+            worker: (salt % 64) as u32,
+            proposal: blob(len, salt),
+        },
         _ => Frame::Checkpoint {
             job: salt,
             round: salt % 10_000,
@@ -111,7 +134,7 @@ proptest! {
     /// Arbitrary payloads of every frame kind round-trip bit-exactly
     /// (encoded-bytes equality tolerates NaN, which `PartialEq` would not).
     #[test]
-    fn frames_round_trip_bit_exactly(kind in 0usize..11, len in 0usize..2048, salt in 0u64..u64::MAX) {
+    fn frames_round_trip_bit_exactly(kind in 0usize..13, len in 0usize..2048, salt in 0u64..u64::MAX) {
         let original = frame(kind, len, salt);
         let bytes = original.encode();
         prop_assert!(bytes.len() <= MAX_FRAME_BYTES + 8);
@@ -126,7 +149,7 @@ proptest! {
     /// Any single flipped byte is a structured error, never a panic and
     /// never a silently different frame.
     #[test]
-    fn corrupt_frames_are_structured_errors(kind in 0usize..11, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
+    fn corrupt_frames_are_structured_errors(kind in 0usize..13, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
         let original = frame(kind, len, salt);
         let mut bytes = original.encode();
         let at = flip % bytes.len();
@@ -137,7 +160,7 @@ proptest! {
 
     /// Every strict prefix of a frame is a structured error, never a panic.
     #[test]
-    fn truncated_frames_are_structured_errors(kind in 0usize..11, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
+    fn truncated_frames_are_structured_errors(kind in 0usize..13, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
         let original = frame(kind, len, salt);
         let bytes = original.encode();
         let at = cut % bytes.len();
@@ -227,6 +250,99 @@ fn checkpoint_frame_limit_is_enforced_on_sender_and_receiver() {
     assert!(bytes.len() < MAX_FRAME_BYTES);
     let (back, _) = read_frame(&mut std::io::Cursor::new(bytes.clone())).unwrap();
     assert_eq!(back.encode(), bytes);
+}
+
+/// v2 satellite: real codec output — not just arbitrary blobs — crosses
+/// the wire intact for every codec the spec grammar can name. The frame
+/// carries the encoded bytes bit-exactly, and decoding on the far side
+/// reproduces exactly what the codec's canonical transform produces.
+#[test]
+fn codec_payloads_round_trip_through_v2_frames_for_every_codec() {
+    use krum_compress::CompressionSpec;
+
+    let dim = 33;
+    let proposal: Vec<f64> = (0..dim).map(|i| (i as f64 - 16.0) * 0.37).collect();
+    let reference: Vec<f64> = (0..dim).map(|i| (i as f64) * 0.11 - 1.0).collect();
+    let specs = [
+        CompressionSpec::Bfp { block: 8, bits: 11 },
+        CompressionSpec::TopK { k: 5 },
+        CompressionSpec::DeltaBfp { block: 8, bits: 11 },
+        CompressionSpec::DeltaTopK { k: 5 },
+    ];
+    for spec in specs {
+        let codec = spec.build();
+        let encoded = codec.encode(&proposal, &reference);
+        let frame = Frame::ProposeC {
+            job: 9,
+            round: 4,
+            worker: 2,
+            proposal: encoded.clone(),
+        };
+        let bytes = frame.encode();
+        let (back, _) = read_frame(&mut std::io::Cursor::new(bytes)).unwrap();
+        let Frame::ProposeC {
+            proposal: wired, ..
+        } = back
+        else {
+            panic!("{spec}: expected ProposeC back");
+        };
+        assert_eq!(wired, encoded, "{spec}: payload must cross bit-exactly");
+
+        let decoded = codec.decode(&wired, &reference, dim).unwrap();
+        let mut transformed = proposal.clone();
+        codec.transform(&mut transformed, &reference);
+        assert_eq!(
+            decoded, transformed,
+            "{spec}: far-side decode must equal the canonical transform"
+        );
+
+        // Params path (BroadcastC): encode_params/decode_params agree too.
+        let frame = Frame::BroadcastC {
+            job: 9,
+            round: 4,
+            params: codec.encode_params(&reference),
+            observed: vec![encoded],
+        };
+        let bytes = frame.encode();
+        let (back, _) = read_frame(&mut std::io::Cursor::new(bytes)).unwrap();
+        let Frame::BroadcastC {
+            params, observed, ..
+        } = back
+        else {
+            panic!("{spec}: expected BroadcastC back");
+        };
+        let params = codec.decode_params(&params, dim).unwrap();
+        let mut expected = reference.clone();
+        codec.transform_params(&mut expected);
+        assert_eq!(params, expected, "{spec}: params must survive the wire");
+        assert_eq!(observed.len(), 1);
+    }
+}
+
+/// v2 satellite: a compressed frame whose blob the codec cannot decode is
+/// a structured codec error on the consumer side — the *wire* layer
+/// accepts any length-valid blob (payloads are opaque), and the codec
+/// layer rejects garbage without panicking or reading out of bounds.
+#[test]
+fn garbage_codec_blobs_fail_closed_without_panicking() {
+    use krum_compress::CompressionSpec;
+
+    let dim = 33;
+    let reference = vec![0.5; dim];
+    for spec in [
+        CompressionSpec::Bfp { block: 8, bits: 11 },
+        CompressionSpec::TopK { k: 5 },
+        CompressionSpec::DeltaBfp { block: 8, bits: 11 },
+        CompressionSpec::DeltaTopK { k: 5 },
+    ] {
+        let codec = spec.build();
+        for garbage in [vec![], vec![0xFFu8; 3], blob(257, 99)] {
+            // Truncated, empty, and oversized blobs must all be Err —
+            // reaching here at all proves no panic and no OOB read.
+            let _ = codec.decode(&garbage, &reference, dim);
+            let _ = codec.decode_params(&garbage, dim);
+        }
+    }
 }
 
 /// The handshake pins the protocol version: a well-formed `Hello` carries
