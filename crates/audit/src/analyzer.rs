@@ -1,0 +1,488 @@
+//! The token-level lint engine.
+//!
+//! One pass of [`mini_parse::lex::tokenize`] per file, then each applicable
+//! lint walks the token stream. Working on tokens (not text) means string
+//! literals, comments and doc examples can mention `unwrap()` or `HashMap`
+//! freely without tripping anything — only real code fires.
+
+use mini_parse::lex::{tokenize, Token, TokenKind};
+use thiserror::Error;
+
+use crate::lints::Lint;
+use crate::report::Finding;
+
+/// A file that failed to lex — i.e. text `rustc` itself would reject.
+#[derive(Debug, Error)]
+#[error("{file}:{line}:{col}: {message}")]
+pub struct AnalyzeError {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What the lexer rejected.
+    pub message: String,
+}
+
+/// Entropy-seeded constructs flagged by DET002.
+const ENTROPY_IDENTS: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "`thread_rng()` seeds from OS entropy; derive a `ChaCha8Rng` from the master seed instead",
+    ),
+    (
+        "from_entropy",
+        "`from_entropy()` seeds from OS entropy; use `seed_from_u64`/`from_seed` on a \
+         seed derived from the master seed",
+    ),
+    (
+        "SystemTime",
+        "`SystemTime` feeds wall-clock state into the run; timing belongs in bench \
+         modules, seeds must come from the spec",
+    ),
+];
+
+/// Rayon entry points that start a parallel chain (DET003).
+const PAR_METHODS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_chunks_exact",
+    "par_windows",
+    "par_bridge",
+    "par_extend",
+];
+
+/// Order-sensitive reduction adapters (DET003): on floats their result
+/// depends on evaluation order, which rayon does not fix.
+const REDUCERS: &[&str] = &["sum", "reduce", "fold", "product"];
+
+/// Panicking macros flagged by PANIC001 (`assert!` family deliberately
+/// excluded: those are invariant checks, not input handling).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may legitimately precede a `[` without forming an index
+/// expression (slice patterns, array types after `let`, …).
+const NON_INDEX_PREFIX: &[&str] = &[
+    "let", "ref", "mut", "in", "match", "if", "while", "for", "return", "else", "move", "box",
+    "dyn", "impl", "as", "type", "const", "static", "use", "where", "break", "yield",
+];
+
+/// Runs every lint applicable to `path` over `src`, in token order.
+/// Suppressions are applied later, by the caller — this is the raw pass.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] when the file does not lex (the workspace
+/// self-test asserts this never happens on checked-in sources).
+pub fn analyze_source(path: &str, src: &str) -> Result<Vec<Finding>, AnalyzeError> {
+    let tokens = tokenize(src).map_err(|e| AnalyzeError {
+        file: path.to_string(),
+        line: e.line,
+        col: e.col,
+        message: e.message,
+    })?;
+    let lines: Vec<&str> = src.lines().collect();
+    let test_regions = cfg_test_regions(&tokens);
+    let in_test = |idx: usize| test_regions.iter().any(|&(lo, hi)| idx >= lo && idx <= hi);
+
+    let mut findings = Vec::new();
+    for lint in Lint::ALL {
+        if !lint.applies_to(path) {
+            continue;
+        }
+        let mut fire = |token: &Token<'_>, idx: usize, message: String| {
+            if !lint.scans_test_code() && in_test(idx) {
+                return;
+            }
+            findings.push(Finding {
+                lint: lint.code().to_string(),
+                file: path.to_string(),
+                line: token.line,
+                col: token.col,
+                message,
+                snippet: lines
+                    .get(token.line as usize - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        };
+        match lint {
+            Lint::Det001 => det001(&tokens, &mut fire),
+            Lint::Det002 => det002(&tokens, &mut fire),
+            Lint::Det003 => det003(&tokens, &mut fire),
+            Lint::Panic001 => panic001(&tokens, &mut fire),
+            Lint::Safe001 => safe001(&tokens, &mut fire),
+        }
+    }
+    // One pass per lint keeps each rule readable; re-sort so the report
+    // reads in source order, not registry order.
+    findings.sort_by(|a, b| (a.line, a.col, &a.lint).cmp(&(b.line, b.col, &b.lint)));
+    Ok(findings)
+}
+
+/// Token index ranges (inclusive) covered by `#[cfg(test)]` items.
+fn cfg_test_regions(tokens: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip this and any further attributes, then mark the item's
+            // brace-delimited body (if any) as a test region.
+            let mut j = i;
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+                while j < tokens.len() && tokens[j].is_comment() {
+                    j += 1;
+                }
+            }
+            // Scan to the item's opening brace; a `;` first means there is
+            // no inline body (e.g. `#[cfg(test)] mod tests;`).
+            let mut k = j;
+            while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                k += 1;
+            }
+            if k < tokens.len() && tokens[k].is_punct('{') {
+                let end = match_brace(tokens, k);
+                regions.push((i, end));
+                i = end + 1;
+                continue;
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Does an attribute starting at token `i` (`#`) spell `#[cfg(test)]`?
+fn is_cfg_test_attr(tokens: &[Token<'_>], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+        && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+        && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+        && tokens.get(i + 6).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Returns the index just past an attribute starting at `#` token `i`.
+fn skip_attr(tokens: &[Token<'_>], i: usize) -> usize {
+    let mut j = i + 1; // at `[` (or `!` for inner attributes)
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at token `open`.
+fn match_brace(tokens: &[Token<'_>], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct('{') {
+            depth += 1;
+        } else if tokens[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len() - 1
+}
+
+fn det001(tokens: &[Token<'_>], fire: &mut impl FnMut(&Token<'_>, usize, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            let ordered = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            fire(
+                t,
+                i,
+                format!(
+                    "`{}` in a trajectory-affecting crate: iteration order varies per \
+                     process, which breaks bit-identical trajectories — use `{}` or \
+                     collect-and-sort",
+                    t.text, ordered
+                ),
+            );
+        }
+    }
+}
+
+fn det002(tokens: &[Token<'_>], fire: &mut impl FnMut(&Token<'_>, usize, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((_, why)) = ENTROPY_IDENTS.iter().find(|(name, _)| t.is_ident(name)) {
+            fire(t, i, format!("entropy-seeded randomness: {why}"));
+        }
+    }
+}
+
+fn det003(tokens: &[Token<'_>], fire: &mut impl FnMut(&Token<'_>, usize, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !PAR_METHODS.contains(&t.text) {
+            continue;
+        }
+        // Walk the rest of the method chain at the same delimiter depth:
+        // a reducer *inside* an argument closure is sequential (fine); a
+        // reducer on the chain itself merges across threads in scheduling
+        // order (not fine for floats).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            let tok = &tokens[j];
+            if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    break; // the chain's enclosing expression closed
+                }
+            } else if depth == 0 && tok.is_punct(';') {
+                break;
+            } else if depth == 0
+                && tok.is_punct('.')
+                && tokens
+                    .get(j + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Ident && REDUCERS.contains(&n.text))
+            {
+                let reducer = &tokens[j + 1];
+                fire(
+                    reducer,
+                    j + 1,
+                    format!(
+                        "`.{}()` after `{}` reduces in thread-scheduling order; on \
+                         floats the result bits are nondeterministic — reduce \
+                         sequentially or into per-slot buffers",
+                        reducer.text, t.text
+                    ),
+                );
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+fn panic001(tokens: &[Token<'_>], fire: &mut impl FnMut(&Token<'_>, usize, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                // Only method calls: `.unwrap(` / `.expect(`.
+                let is_method = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if is_method {
+                    fire(
+                        t,
+                        i,
+                        format!(
+                            "`.{}()` on a never-panic path: propagate a structured \
+                             error instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokenKind::Ident
+                if PANIC_MACROS.contains(&t.text)
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                fire(
+                    t,
+                    i,
+                    format!(
+                        "`{}!` on a never-panic path: malformed input must \
+                         surface as a structured error",
+                        t.text
+                    ),
+                );
+            }
+            TokenKind::Punct if t.is_punct('[') => {
+                // Index expressions: `expr[...]` — the previous token ends a
+                // value (identifier, `)`, `]`, `?`). Slice patterns, array
+                // types and attribute syntax are excluded by the prefix check.
+                let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) else {
+                    continue;
+                };
+                let indexes_value = match prev.kind {
+                    TokenKind::Ident => !NON_INDEX_PREFIX.contains(&prev.text),
+                    TokenKind::Punct => {
+                        prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?')
+                    }
+                    _ => false,
+                };
+                if indexes_value {
+                    fire(
+                        t,
+                        i,
+                        "slice/array indexing can panic on out-of-range input: use \
+                         `.get(..)` and handle `None`"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn safe001(tokens: &[Token<'_>], fire: &mut impl FnMut(&Token<'_>, usize, String)) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // Walk backwards over the item prefix (visibility, attributes,
+        // signature fragments) looking for a `// SAFETY:` comment. The
+        // search stops at the previous statement/item boundary.
+        let mut documented = false;
+        for prev in tokens[..i].iter().rev() {
+            if prev.is_comment() {
+                if prev.text.contains("SAFETY:") {
+                    documented = true;
+                    break;
+                }
+            } else if prev.is_punct(';') || prev.is_punct('{') || prev.is_punct('}') {
+                break;
+            }
+        }
+        if !documented {
+            fire(
+                t,
+                i,
+                "`unsafe` without a `// SAFETY:` comment: state the invariant that \
+                 makes this sound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on(path: &str, src: &str) -> Vec<Finding> {
+        analyze_source(path, src).expect("fixture lexes")
+    }
+
+    #[test]
+    fn det001_fires_only_in_trajectory_crates() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) {}\n";
+        let hits = on("crates/core/src/x.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.lint == "DET001").count(), 2);
+        assert!(on("crates/metrics/src/x.rs", src)
+            .iter()
+            .all(|f| f.lint != "DET001"));
+    }
+
+    #[test]
+    fn det001_ignores_strings_comments_and_test_mods() {
+        let src = r#"
+// A HashMap would be wrong here.
+fn f() { let _ = "HashMap"; }
+#[cfg(test)]
+mod tests { use std::collections::HashMap; fn g(_m: HashMap<u8, u8>) {} }
+"#;
+        assert!(on("crates/core/src/x.rs", src)
+            .iter()
+            .all(|f| f.lint != "DET001"));
+    }
+
+    #[test]
+    fn det003_flags_chain_reducers_not_closure_internals() {
+        let hot = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * 2.0).sum() }";
+        let hits = on("crates/core/src/x.rs", hot);
+        assert_eq!(hits.iter().filter(|f| f.lint == "DET003").count(), 1);
+
+        let cold = "fn f(xs: &mut [Vec<f64>]) { xs.par_iter_mut().for_each(|row| { \
+                    let s: f64 = row.iter().sum(); row.push(s); }); }";
+        assert!(on("crates/core/src/x.rs", cold)
+            .iter()
+            .all(|f| f.lint != "DET003"));
+    }
+
+    #[test]
+    fn panic001_flags_the_documented_constructs() {
+        let src = r#"
+fn f(v: &[u8]) -> u8 {
+    let x = v.first().unwrap();
+    let y: u8 = v.try_into().expect("boom");
+    if v.is_empty() { panic!("empty"); }
+    v[0] + x + y
+}
+"#;
+        let hits = on("crates/wire/src/x.rs", src);
+        let codes: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(
+            hits.iter().filter(|f| f.lint == "PANIC001").count(),
+            4,
+            "{codes:?}"
+        );
+    }
+
+    #[test]
+    fn panic001_skips_unwrap_or_and_patterns_and_tests() {
+        let src = r#"
+fn f(v: Option<u8>, arr: &[u8]) -> u8 {
+    let [a, b] = [1u8, 2u8];
+    let c = v.unwrap_or(0);
+    let d = vec![1u8];
+    let e = arr.get(0).copied().unwrap_or_default();
+    a + b + c + d.len() as u8 + e
+}
+#[cfg(test)]
+mod tests { fn g() { Some(1).unwrap(); } }
+"#;
+        let hits = on("crates/wire/src/x.rs", src);
+        assert!(hits.iter().all(|f| f.lint != "PANIC001"), "{hits:?}");
+    }
+
+    #[test]
+    fn safe001_requires_a_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(on("crates/x/src/x.rs", bad).len(), 1);
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
+        assert!(on("crates/x/src/x.rs", good).is_empty());
+        // The comment does not leak across statement boundaries.
+        let two = "fn f(p: *const u8) -> (u8, u8) {\n    // SAFETY: p valid.\n    let a = unsafe { *p };\n    let b = unsafe { *p };\n    (a, b)\n}";
+        assert_eq!(on("crates/x/src/x.rs", two).len(), 1);
+    }
+
+    #[test]
+    fn det002_exempts_bench_paths() {
+        let src = "fn f() { let mut rng = thread_rng(); }";
+        assert_eq!(on("crates/server/src/x.rs", src).len(), 1);
+        assert!(on("crates/bench/src/bin/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! `audit.toml`: the checked-in suppression baseline.
+//!
+//! Every suppression is per-lint, per-path and **must carry a written
+//! justification** — a missing or empty `reason` is a configuration error,
+//! not a warning. The goal is a baseline that is explicit, reviewable in
+//! diffs and shrinkable over time; unused entries are reported so they can
+//! be deleted once the underlying code is fixed.
+//!
+//! The build environment vendors no TOML crate, so this module parses the
+//! exact subset the file needs (and rejects everything else, keeping the
+//! file honest):
+//!
+//! ```toml
+//! [[suppress]]
+//! lint = "PANIC001"
+//! path = "crates/server/src/chaos.rs"
+//! contains = ".expect("          # optional: only lines containing this
+//! reason = "why this is sound, in writing"
+//! ```
+
+use std::path::Path;
+
+use thiserror::Error;
+
+use crate::lints::Lint;
+use crate::report::Finding;
+use serde::{Deserialize, Serialize};
+
+/// One baseline entry: silences `lint` findings under `path`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Suppression {
+    /// Stable lint code (`DET001`, …).
+    pub lint: String,
+    /// Workspace-relative path prefix (a file or a directory).
+    pub path: String,
+    /// Optional refinement: only findings whose source line contains this
+    /// substring are suppressed, keeping the baseline tight.
+    pub contains: Option<String>,
+    /// The written justification. Required, non-empty.
+    pub reason: String,
+}
+
+impl Suppression {
+    /// Does this entry cover `finding`?
+    pub fn matches(&self, finding: &Finding) -> bool {
+        self.lint == finding.lint
+            && finding.file.starts_with(&self.path)
+            && self
+                .contains
+                .as_ref()
+                .is_none_or(|needle| finding.snippet.contains(needle))
+    }
+}
+
+/// The parsed `audit.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Baseline suppressions, in file order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// A malformed `audit.toml`.
+#[derive(Debug, Error)]
+pub enum ConfigError {
+    /// The file could not be read.
+    #[error("cannot read `{path}`: {source}")]
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A syntax or semantic error, with its line number.
+    #[error("audit.toml:{line}: {message}")]
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl AuditConfig {
+    /// Loads and parses `path`. A missing file is an error — pass
+    /// [`AuditConfig::default`] explicitly to run without a baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Io`] when unreadable, [`ConfigError::Parse`] when
+    /// malformed.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|source| ConfigError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Parses the `audit.toml` dialect described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Parse`] on unknown keys/sections, duplicate keys,
+    /// missing `lint`/`path`, unknown lint codes or an absent/empty
+    /// `reason`.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let err = |line: usize, message: String| ConfigError::Parse { line, message };
+        let mut suppressions = Vec::new();
+        // Fields of the entry currently being assembled, with the line the
+        // entry started on (for error attribution).
+        let mut entry: Option<(usize, PartialEntry)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[suppress]]" {
+                if let Some((start, partial)) = entry.take() {
+                    suppressions.push(partial.finish(start)?);
+                }
+                entry = Some((lineno, PartialEntry::default()));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err(
+                    lineno,
+                    format!("unknown section `{line}`: only `[[suppress]]` entries are allowed"),
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(
+                    lineno,
+                    format!("expected `key = \"value\"`, got `{line}`"),
+                ));
+            };
+            let Some((_, partial)) = entry.as_mut() else {
+                return Err(err(
+                    lineno,
+                    "keys must live inside a `[[suppress]]` entry".to_string(),
+                ));
+            };
+            let key = key.trim();
+            let value = parse_string(value.trim()).map_err(|m| err(lineno, m))?;
+            let slot = match key {
+                "lint" => &mut partial.lint,
+                "path" => &mut partial.path,
+                "contains" => &mut partial.contains,
+                "reason" => &mut partial.reason,
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown key `{other}` (expected lint, path, contains or reason)"),
+                    ))
+                }
+            };
+            if slot.is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+            *slot = Some(value);
+        }
+        if let Some((start, partial)) = entry.take() {
+            suppressions.push(partial.finish(start)?);
+        }
+        Ok(Self { suppressions })
+    }
+}
+
+#[derive(Default)]
+struct PartialEntry {
+    lint: Option<String>,
+    path: Option<String>,
+    contains: Option<String>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn finish(self, line: usize) -> Result<Suppression, ConfigError> {
+        let err = |message: String| ConfigError::Parse { line, message };
+        let lint = self
+            .lint
+            .ok_or_else(|| err("suppression is missing `lint`".to_string()))?;
+        if Lint::from_code(&lint).is_none() {
+            return Err(err(format!(
+                "unknown lint code `{lint}` (known: {})",
+                Lint::ALL.map(Lint::code).join(", ")
+            )));
+        }
+        let path = self
+            .path
+            .ok_or_else(|| err("suppression is missing `path`".to_string()))?;
+        let reason = self
+            .reason
+            .ok_or_else(|| err("suppression is missing its written `reason`".to_string()))?;
+        if reason.trim().is_empty() {
+            return Err(err(
+                "a suppression's `reason` must actually justify it (empty string given)"
+                    .to_string(),
+            ));
+        }
+        Ok(Suppression {
+            lint,
+            path,
+            contains: self.contains,
+            reason,
+        })
+    }
+}
+
+/// Removes a trailing `#` comment, respecting string quoting.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML basic string with the usual escapes.
+fn parse_string(raw: &str) -> Result<String, String> {
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got `{raw}`"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+            None => return Err("dangling escape at end of string".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_entry() {
+        let config = AuditConfig::parse(
+            r##"
+# The baseline.
+[[suppress]]
+lint = "PANIC001"   # frame path
+path = "crates/server/src/chaos.rs"
+contains = ".expect("
+reason = "lock poisoning implies a prior panic"
+"##,
+        )
+        .unwrap();
+        assert_eq!(config.suppressions.len(), 1);
+        let s = &config.suppressions[0];
+        assert_eq!(s.lint, "PANIC001");
+        assert_eq!(s.contains.as_deref(), Some(".expect("));
+    }
+
+    #[test]
+    fn reason_is_mandatory_and_nonempty() {
+        let missing = "[[suppress]]\nlint = \"DET001\"\npath = \"x\"\n";
+        assert!(AuditConfig::parse(missing).is_err());
+        let empty = "[[suppress]]\nlint = \"DET001\"\npath = \"x\"\nreason = \"  \"\n";
+        assert!(AuditConfig::parse(empty).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_lints_keys_and_sections() {
+        assert!(
+            AuditConfig::parse("[[suppress]]\nlint = \"NOPE1\"\npath = \"x\"\nreason = \"r\"")
+                .is_err()
+        );
+        assert!(AuditConfig::parse(
+            "[[suppress]]\nlint = \"DET001\"\npath = \"x\"\nreason = \"r\"\nseverity = \"low\""
+        )
+        .is_err());
+        assert!(AuditConfig::parse("[general]\nfoo = \"bar\"").is_err());
+        assert!(AuditConfig::parse("lint = \"DET001\"").is_err());
+    }
+
+    #[test]
+    fn matching_respects_path_prefix_and_contains() {
+        let s = Suppression {
+            lint: "PANIC001".into(),
+            path: "crates/server/src/".into(),
+            contains: Some(".expect(".into()),
+            reason: "r".into(),
+        };
+        let mut finding = Finding {
+            lint: "PANIC001".into(),
+            file: "crates/server/src/chaos.rs".into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            snippet: "lock().expect(\"poisoned\")".into(),
+        };
+        assert!(s.matches(&finding));
+        finding.snippet = "v[0]".into();
+        assert!(!s.matches(&finding));
+        finding.file = "crates/wire/src/lib.rs".into();
+        assert!(!s.matches(&finding));
+    }
+}

@@ -1,0 +1,118 @@
+//! # krum-audit
+//!
+//! A workspace static-analysis pass enforcing the two invariants every PR
+//! has so far re-promised by hand:
+//!
+//! 1. **Determinism** — trajectories are bit-identical per seed across
+//!    engines, strategies and the wire (the reproduction's core claim from
+//!    Blanchard et al., PODC 2017). One nondeterministic float reduction
+//!    or hash-iteration order silently voids every resilience result.
+//! 2. **Never-panic decode** — `krum-wire` parses attacker-controlled
+//!    bytes and `krum-server` handles them; a reachable panic is a remote
+//!    denial of service.
+//!
+//! The analyzer is token-level (built on [`mini_parse::lex`], the vendored
+//! lexer — no network deps, no rustc internals): string literals, comments
+//! and doc examples never trip a lint, and every finding carries stable
+//! `file:line:col` coordinates. Five lints are registered, with stable
+//! codes (see [`Lint`]):
+//!
+//! | code       | name                       | scope                          |
+//! |------------|----------------------------|--------------------------------|
+//! | `DET001`   | hash-iteration             | core/dist/scenario/attacks/compress src |
+//! | `DET002`   | entropy-rng                | workspace minus `crates/bench` |
+//! | `DET003`   | parallel-float-reduction   | core/dist src                  |
+//! | `PANIC001` | panic-path                 | wire/server src                |
+//! | `SAFE001`  | undocumented-unsafe        | whole workspace                |
+//!
+//! Suppressions live in a checked-in `audit.toml` ([`AuditConfig`]), one
+//! entry per lint × path, each requiring a written justification. The CLI
+//! front-end is `krum audit` (human or `--json` output, `--deny` exit
+//! status for CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod config;
+mod lints;
+mod report;
+mod walk;
+
+use std::path::Path;
+
+use thiserror::Error;
+
+pub use analyzer::{analyze_source, AnalyzeError};
+pub use config::{AuditConfig, ConfigError, Suppression};
+pub use lints::Lint;
+pub use report::{AuditReport, Finding, SuppressedFinding, JSON_SCHEMA_VERSION};
+pub use walk::{workspace_files, SCAN_ROOTS, SKIP_DIRS};
+
+/// A failed audit *run* (not failed lints — findings live in the report).
+#[derive(Debug, Error)]
+pub enum AuditError {
+    /// A source file could not be read.
+    #[error("cannot read `{path}`: {source}")]
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A source file did not lex as Rust.
+    #[error(transparent)]
+    Analyze(#[from] AnalyzeError),
+    /// The `audit.toml` baseline is malformed.
+    #[error(transparent)]
+    Config(#[from] ConfigError),
+}
+
+/// Runs the full pass over the workspace at `root`, applying `config`'s
+/// baseline, and returns the report (findings, suppressed findings and
+/// unused suppressions).
+///
+/// # Errors
+///
+/// [`AuditError`] on I/O or lex failures — never on findings.
+pub fn audit_workspace(root: &Path, config: &AuditConfig) -> Result<AuditReport, AuditError> {
+    let files = walk::workspace_files(root).map_err(|source| AuditError::Io {
+        path: root.display().to_string(),
+        source,
+    })?;
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; config.suppressions.len()];
+    for file in &files {
+        let source = std::fs::read_to_string(root.join(file)).map_err(|source| AuditError::Io {
+            path: file.clone(),
+            source,
+        })?;
+        for finding in analyzer::analyze_source(file, &source)? {
+            match config.suppressions.iter().position(|s| s.matches(&finding)) {
+                Some(idx) => {
+                    used[idx] = true;
+                    suppressed.push(SuppressedFinding {
+                        finding,
+                        reason: config.suppressions[idx].reason.clone(),
+                    });
+                }
+                None => findings.push(finding),
+            }
+        }
+    }
+    let unused_suppressions = config
+        .suppressions
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(s, _)| s.clone())
+        .collect();
+    Ok(AuditReport {
+        schema_version: JSON_SCHEMA_VERSION,
+        files_scanned: files.len(),
+        findings,
+        suppressed,
+        unused_suppressions,
+    })
+}

@@ -1,0 +1,135 @@
+//! Findings and the audit report: human rendering and the versioned JSON
+//! schema consumed by future tooling (bench_summary, dashboards).
+//!
+//! The JSON schema is stable and documented in the README ("Static
+//! analysis"). `schema_version` is bumped on any incompatible change; the
+//! round-trip test in `tests/json_schema.rs` pins the shape.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Suppression;
+
+/// Version tag carried by [`AuditReport::to_json`] output.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// One diagnostic: a lint firing at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Stable lint code (`DET001`, …).
+    pub lint: String,
+    /// Workspace-relative file path (`/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Why this construct is flagged, with the suggested fix.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: {} {}",
+            self.file, self.line, self.col, self.lint, self.message
+        )?;
+        write!(f, "        {}", self.snippet)
+    }
+}
+
+/// A finding silenced by an `audit.toml` entry, kept in the report so the
+/// baseline stays visible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuppressedFinding {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The entry's written justification.
+    pub reason: String,
+}
+
+/// The result of one full audit pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// JSON schema version ([`JSON_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Active findings, in (file, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by the baseline, same order.
+    pub suppressed: Vec<SuppressedFinding>,
+    /// Baseline entries that matched nothing — candidates for deletion.
+    pub unused_suppressions: Vec<Suppression>,
+}
+
+impl AuditReport {
+    /// `true` when no active finding survived suppression.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes the report to the versioned JSON schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (practically unreachable for this
+    /// tree of strings and integers).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from [`AuditReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Renders the human report: every finding with its snippet, the
+    /// suppressed tally per file, unused baseline entries, and a one-line
+    /// verdict.
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for finding in &self.findings {
+            let _ = writeln!(out, "{finding}");
+        }
+        if !self.suppressed.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} finding(s) suppressed by audit.toml:",
+                self.suppressed.len()
+            );
+            for s in &self.suppressed {
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: {} ({})",
+                    s.finding.file, s.finding.line, s.finding.lint, s.reason
+                );
+            }
+        }
+        for unused in &self.unused_suppressions {
+            let _ = writeln!(
+                out,
+                "warning: unused suppression ({} at `{}`): delete it from audit.toml",
+                unused.lint, unused.path
+            );
+        }
+        let verdict = if self.is_clean() { "clean" } else { "FAILED" };
+        let _ = write!(
+            out,
+            "audit {verdict}: {} finding(s), {} suppressed, {} unused suppression(s), \
+             {} file(s) scanned",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.unused_suppressions.len(),
+            self.files_scanned
+        );
+        out
+    }
+}

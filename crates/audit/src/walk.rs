@@ -1,0 +1,82 @@
+//! Workspace file discovery.
+//!
+//! The audit scans the workspace's own sources: `src/`, `crates/`,
+//! `tests/` and `examples/` under the given root. It deliberately skips:
+//!
+//! - `vendor/` — third-party substitutes are not held to the invariants;
+//! - `target/` — build output;
+//! - any directory named `fixtures/` — lint test vectors must keep their
+//!   positive cases *in the tree* without tripping the live gate.
+//!
+//! The returned paths are workspace-relative, `/`-separated and sorted, so
+//! a run's finding order is stable across machines.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory roots scanned, relative to the workspace root.
+pub const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Directory names skipped wherever they appear.
+pub const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures"];
+
+/// Collects every `.rs` file under the scan roots, as sorted
+/// workspace-relative `/`-separated paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory traversal.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            collect(&dir, scan, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, rel: &str, files: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let child_rel = format!("{rel}/{name}");
+        let path = entry.path();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(&path, &child_rel, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs against the real workspace this crate lives in.
+    fn repo_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn finds_the_workspace_and_skips_vendor_and_fixtures() {
+        let files = workspace_files(&repo_root()).unwrap();
+        assert!(files.iter().any(|f| f == "crates/core/src/krum.rs"));
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.contains("/fixtures/")));
+        assert!(files.iter().all(|f| f.ends_with(".rs")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "order must be deterministic");
+    }
+}

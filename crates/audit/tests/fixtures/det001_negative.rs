@@ -1,0 +1,31 @@
+//! DET001 negative twin: ordered collections; "HashMap" appears only in
+//! prose and strings, which the token-level pass must ignore.
+use std::collections::{BTreeMap, BTreeSet};
+
+// A HashMap would be wrong here: iteration order must be stable.
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn distinct(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}
+
+pub fn describe() -> &'static str {
+    "not a HashMap or HashSet in sight"
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only hash state never affects the trajectory.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch() {
+        let _scratch: HashMap<u8, u8> = HashMap::new();
+    }
+}

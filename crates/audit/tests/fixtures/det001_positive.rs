@@ -1,0 +1,14 @@
+//! DET001 positive: hash collections in a trajectory-affecting crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn distinct(xs: &[u32]) -> HashSet<u32> {
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,10 @@
+//! DET002 negative twin: all randomness derives from the master seed, and
+//! timing uses the monotonic clock ("thread_rng" appears only in prose).
+use std::time::Instant;
+
+// Never thread_rng() here: the run must replay bit-identically per seed.
+pub fn seed_derived(master_seed: u64) -> u64 {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(master_seed);
+    let started = Instant::now();
+    rng.gen::<u64>() ^ started.elapsed().as_nanos() as u64
+}

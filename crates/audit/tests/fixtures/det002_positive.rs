@@ -1,0 +1,9 @@
+//! DET002 positive: one of each entropy source outside a bench module.
+use std::time::SystemTime;
+
+pub fn entropy_seeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _fresh = rand_chacha::ChaCha8Rng::from_entropy();
+    let now = SystemTime::now();
+    rng.gen::<u64>() ^ now.elapsed().map_or(0, |d| d.as_nanos() as u64)
+}

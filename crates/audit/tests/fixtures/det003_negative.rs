@@ -1,0 +1,12 @@
+//! DET003 negative twin: the parallel loop writes disjoint per-slot
+//! outputs; the only `.sum()` is sequential, inside the closure.
+use rayon::prelude::*;
+
+pub fn row_norms(rows: &mut [Vec<f64>], out: &mut [f64]) {
+    out.par_iter_mut()
+        .zip(rows.par_iter())
+        .for_each(|(slot, row)| {
+            let s: f64 = row.iter().map(|x| x * x).sum();
+            *slot = s.sqrt();
+        });
+}

@@ -1,0 +1,6 @@
+//! DET003 positive: a float reduction on the parallel chain itself.
+use rayon::prelude::*;
+
+pub fn norm_squared(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum()
+}

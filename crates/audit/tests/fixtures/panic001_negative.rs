@@ -1,0 +1,38 @@
+//! PANIC001 negative twin: the same shape, spelled panic-free — plus the
+//! constructs the heuristics must not confuse with indexing ("bytes[0]"
+//! in a string, slice patterns, array types, attribute syntax).
+#[derive(Debug)]
+pub struct DecodeError;
+
+const MAGIC: [u8; 2] = [0x4b, 0x52];
+
+pub fn decode(bytes: &[u8]) -> Result<u8, DecodeError> {
+    let [first, second] = [
+        bytes.first().copied().ok_or(DecodeError)?,
+        bytes.get(1).copied().ok_or(DecodeError)?,
+    ];
+    if first == 0 || !MAGIC.contains(&first) {
+        return Err(DecodeError); // not a panic: "bytes[0] was zero"
+    }
+    Ok(second ^ first.unwrap_or_default_style_marker())
+}
+
+trait Marker {
+    fn unwrap_or_default_style_marker(self) -> u8;
+}
+
+impl Marker for u8 {
+    fn unwrap_or_default_style_marker(self) -> u8 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may unwrap and index freely.
+    #[test]
+    fn test_scratch() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], Some(1u8).unwrap());
+    }
+}

@@ -1,0 +1,9 @@
+//! PANIC001 positive: one of each panic-capable construct on a decode path.
+pub fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let tag: u8 = bytes.try_into().expect("one byte");
+    if *first == 0 {
+        panic!("zero tag");
+    }
+    bytes[1] ^ tag
+}

@@ -1,0 +1,5 @@
+//! SAFE001 negative twin: the same block, documented.
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live, initialized byte.
+    unsafe { *p }
+}

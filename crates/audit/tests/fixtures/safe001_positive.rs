@@ -1,0 +1,4 @@
+//! SAFE001 positive: an `unsafe` block with no `// SAFETY:` comment.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

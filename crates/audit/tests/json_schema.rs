@@ -1,0 +1,59 @@
+//! Pins the `krum audit --json` report schema (documented in the README's
+//! "Static analysis" section): field names, the version tag, and lossless
+//! round-tripping. Bump [`krum_audit::JSON_SCHEMA_VERSION`] on any
+//! incompatible change — this test is the tripwire.
+
+use krum_audit::{audit_workspace, AuditConfig, AuditReport, JSON_SCHEMA_VERSION};
+
+#[test]
+fn json_report_round_trips_and_keeps_its_documented_shape() {
+    let dir = std::env::temp_dir().join(format!("krum-audit-json-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace");
+    // One active finding (SAFE001) and one suppressed (a second unsafe
+    // block), so every report section is populated.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n\
+         pub fn g(p: *const u8) -> u8 {\n    unsafe { p.read() }\n}\n",
+    )
+    .expect("write fixture");
+    let config = AuditConfig::parse(
+        "[[suppress]]\nlint = \"SAFE001\"\npath = \"src/lib.rs\"\ncontains = \"p.read()\"\n\
+         reason = \"fixture\"\n\
+         [[suppress]]\nlint = \"DET001\"\npath = \"never/\"\nreason = \"stays unused\"\n",
+    )
+    .expect("baseline parses");
+
+    let report = audit_workspace(&dir, &config).expect("audit runs");
+    assert_eq!(report.schema_version, JSON_SCHEMA_VERSION);
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.unused_suppressions.len(), 1);
+
+    let json = report.to_json().expect("serializes");
+    // The documented field names, pinned literally.
+    for field in [
+        "\"schema_version\"",
+        "\"files_scanned\"",
+        "\"findings\"",
+        "\"suppressed\"",
+        "\"unused_suppressions\"",
+        "\"lint\"",
+        "\"file\"",
+        "\"line\"",
+        "\"col\"",
+        "\"message\"",
+        "\"snippet\"",
+        "\"finding\"",
+        "\"reason\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in:\n{json}");
+    }
+
+    let parsed = AuditReport::from_json(&json).expect("parses back");
+    assert_eq!(parsed, report, "round trip must be lossless");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

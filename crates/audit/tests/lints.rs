@@ -1,0 +1,118 @@
+//! Fixture tests: every lint fires on its positive fixture, stays silent
+//! on the negative twin, and honors `audit.toml` suppressions.
+//!
+//! The fixtures live in `tests/fixtures/` — a directory name the workspace
+//! walker skips ([`krum_audit::SKIP_DIRS`]), so the positive cases can sit
+//! in the tree without tripping the live `krum audit --deny` gate.
+
+use std::path::Path;
+
+use krum_audit::{analyze_source, audit_workspace, AuditConfig, Finding};
+
+/// Analyzes a fixture as if it lived at `path` inside the workspace.
+fn analyze_fixture(fixture: &str, path: &str) -> Vec<Finding> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(dir.join(fixture)).expect("fixture readable");
+    analyze_source(path, &src).expect("fixture lexes")
+}
+
+fn codes(findings: &[Finding], code: &str) -> usize {
+    findings.iter().filter(|f| f.lint == code).count()
+}
+
+#[test]
+fn det001_fires_on_positive_and_not_on_negative() {
+    let hits = analyze_fixture("det001_positive.rs", "crates/core/src/fixture.rs");
+    assert_eq!(codes(&hits, "DET001"), 5, "{hits:#?}");
+    let twin = analyze_fixture("det001_negative.rs", "crates/core/src/fixture.rs");
+    assert_eq!(codes(&twin, "DET001"), 0, "{twin:#?}");
+    // Scope: the same positive is fine outside trajectory-affecting crates.
+    let elsewhere = analyze_fixture("det001_positive.rs", "crates/metrics/src/fixture.rs");
+    assert_eq!(codes(&elsewhere, "DET001"), 0);
+}
+
+#[test]
+fn det002_fires_on_positive_and_not_on_negative() {
+    let hits = analyze_fixture("det002_positive.rs", "crates/scenario/src/fixture.rs");
+    assert_eq!(codes(&hits, "DET002"), 4, "{hits:#?}");
+    let twin = analyze_fixture("det002_negative.rs", "crates/scenario/src/fixture.rs");
+    assert_eq!(codes(&twin, "DET002"), 0, "{twin:#?}");
+    // Scope: bench modules are exempt — timing there is the whole point.
+    let bench = analyze_fixture("det002_positive.rs", "crates/bench/src/bin/fixture.rs");
+    assert_eq!(codes(&bench, "DET002"), 0);
+}
+
+#[test]
+fn det003_fires_on_positive_and_not_on_negative() {
+    let hits = analyze_fixture("det003_positive.rs", "crates/core/src/fixture.rs");
+    assert_eq!(codes(&hits, "DET003"), 1, "{hits:#?}");
+    let twin = analyze_fixture("det003_negative.rs", "crates/core/src/fixture.rs");
+    assert_eq!(codes(&twin, "DET003"), 0, "{twin:#?}");
+}
+
+#[test]
+fn panic001_fires_on_positive_and_not_on_negative() {
+    let hits = analyze_fixture("panic001_positive.rs", "crates/wire/src/fixture.rs");
+    // One each: `.unwrap()`, `.expect()`, `panic!`, `bytes[1]`.
+    assert_eq!(codes(&hits, "PANIC001"), 4, "{hits:#?}");
+    let twin = analyze_fixture("panic001_negative.rs", "crates/wire/src/fixture.rs");
+    assert_eq!(codes(&twin, "PANIC001"), 0, "{twin:#?}");
+    // Scope: the same constructs are fine outside wire/server.
+    let elsewhere = analyze_fixture("panic001_positive.rs", "crates/core/src/fixture.rs");
+    assert_eq!(codes(&elsewhere, "PANIC001"), 0);
+}
+
+#[test]
+fn safe001_fires_on_positive_and_not_on_negative() {
+    let hits = analyze_fixture("safe001_positive.rs", "crates/tensor/src/fixture.rs");
+    assert_eq!(codes(&hits, "SAFE001"), 1, "{hits:#?}");
+    let twin = analyze_fixture("safe001_negative.rs", "crates/tensor/src/fixture.rs");
+    assert_eq!(codes(&twin, "SAFE001"), 0, "{twin:#?}");
+}
+
+/// Findings carry exact coordinates and the offending line.
+#[test]
+fn findings_carry_file_line_col_and_snippet() {
+    let hits = analyze_fixture("safe001_positive.rs", "crates/tensor/src/fixture.rs");
+    let f = hits.first().expect("one finding");
+    assert_eq!(f.file, "crates/tensor/src/fixture.rs");
+    assert_eq!((f.line, f.col), (3, 5));
+    assert_eq!(f.snippet, "unsafe { *p }");
+}
+
+/// A matching `audit.toml` entry suppresses a finding; a non-matching
+/// `contains` leaves it active and is itself reported as unused.
+#[test]
+fn audit_toml_suppressions_are_respected_and_audited() {
+    let dir = std::env::temp_dir().join(format!("krum-audit-suppress-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace");
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::copy(fixtures.join("safe001_positive.rs"), src_dir.join("lib.rs"))
+        .expect("copy fixture");
+
+    let matching = AuditConfig::parse(
+        "[[suppress]]\nlint = \"SAFE001\"\npath = \"src/\"\ncontains = \"unsafe { *p }\"\n\
+         reason = \"fixture: raw read documented elsewhere\"\n",
+    )
+    .expect("baseline parses");
+    let report = audit_workspace(&dir, &matching).expect("audit runs");
+    assert!(report.is_clean(), "{}", report.render_human());
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(
+        report.suppressed[0].reason,
+        "fixture: raw read documented elsewhere"
+    );
+    assert!(report.unused_suppressions.is_empty());
+
+    let non_matching = AuditConfig::parse(
+        "[[suppress]]\nlint = \"SAFE001\"\npath = \"src/\"\ncontains = \"no such snippet\"\n\
+         reason = \"never matches\"\n",
+    )
+    .expect("baseline parses");
+    let report = audit_workspace(&dir, &non_matching).expect("audit runs");
+    assert!(!report.is_clean());
+    assert_eq!(report.unused_suppressions.len(), 1);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

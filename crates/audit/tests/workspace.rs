@@ -1,0 +1,51 @@
+//! Self-tests against the real workspace this crate lives in: the lexer
+//! must parse every checked-in `.rs` file, and the shipped `audit.toml`
+//! baseline must leave the tree clean — the same gate CI runs via
+//! `krum audit --deny`.
+
+use std::path::{Path, PathBuf};
+
+use krum_audit::{audit_workspace, workspace_files, AuditConfig};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every workspace source file lexes without error — i.e. the analyzer can
+/// never silently skip a file (a file the lexer rejects would also be a
+/// file `rustc` rejects).
+#[test]
+fn every_workspace_file_lexes() {
+    let root = repo_root();
+    let files = workspace_files(&root).expect("workspace walk");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks wrong: only {} files",
+        files.len()
+    );
+    for file in &files {
+        let src = std::fs::read_to_string(root.join(file)).expect("readable source");
+        if let Err(e) = krum_audit::analyze_source(file, &src) {
+            panic!("{file} failed to lex: {e}");
+        }
+    }
+}
+
+/// The live gate: the workspace at HEAD is clean under the checked-in
+/// baseline, and the baseline carries no dead entries.
+#[test]
+fn workspace_is_clean_under_the_checked_in_baseline() {
+    let root = repo_root();
+    let config = AuditConfig::load(&root.join("audit.toml")).expect("audit.toml parses");
+    let report = audit_workspace(&root, &config).expect("audit runs");
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed findings:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.unused_suppressions.is_empty(),
+        "audit.toml carries dead entries:\n{}",
+        report.render_human()
+    );
+}

@@ -54,6 +54,13 @@ pub enum CliError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// The static-analysis pass itself failed (I/O, lex, bad baseline).
+    #[error("audit error: {0}")]
+    Audit(#[from] krum_audit::AuditError),
+    /// `krum audit --deny` found unsuppressed findings (the report has
+    /// already been written to the output stream).
+    #[error("audit failed: {0} unsuppressed finding(s)")]
+    AuditFindings(usize),
 }
 
 /// The usage banner printed on argument errors and `krum help`.
@@ -114,9 +121,18 @@ commands:
       bit-identical to `krum run` for the same spec; --csv / --json export
       job 0's metrics, including the wire_bytes/arrival_nanos columns.
 
+  audit [--root DIR] [--config PATH] [--json] [--deny]
+      Run the workspace static-analysis pass (determinism + never-panic
+      lints: DET001-003, PANIC001, SAFE001) over DIR (default `.`).
+      Suppressions come from --config (default DIR/audit.toml; every entry
+      needs a written justification). --json emits the versioned report
+      schema instead of human diagnostics; --deny exits non-zero when any
+      unsuppressed finding remains (the CI gate).
+
   list
       Print every rule, attack, workload kind, execution strategy and
-      latency model the registries know, and the wire-protocol version.
+      latency model the registries know, the wire-protocol version, and
+      the audit lint codes.
 
   template
       Print an example scenario JSON to adapt.
@@ -200,6 +216,18 @@ pub enum Command {
         json: Option<String>,
         /// Suppress the summary (exports still happen).
         quiet: bool,
+    },
+    /// `krum audit`.
+    Audit {
+        /// Workspace root to scan.
+        root: String,
+        /// Suppression baseline path (`None` → `<root>/audit.toml`, which
+        /// may be absent — an absent default means no suppressions).
+        config: Option<String>,
+        /// Emit the versioned JSON report instead of human diagnostics.
+        json: bool,
+        /// Exit non-zero when unsuppressed findings remain.
+        deny: bool,
     },
     /// `krum list`.
     List,
@@ -327,6 +355,27 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 checkpoint_dir,
                 checkpoint_every,
                 resume,
+            })
+        }
+        Some("audit") => {
+            let mut root = ".".to_string();
+            let mut config = None;
+            let mut json = false;
+            let mut deny = false;
+            while let Some(arg) = it.next() {
+                match arg {
+                    "--root" => root = expect_value(&mut it, "--root")?,
+                    "--config" => config = Some(expect_value(&mut it, "--config")?),
+                    "--json" => json = true,
+                    "--deny" => deny = true,
+                    extra => return Err(usage(format!("unknown `audit` option `{extra}`"))),
+                }
+            }
+            Ok(Command::Audit {
+                root,
+                config,
+                json,
+                deny,
             })
         }
         Some("worker") => {
@@ -840,10 +889,59 @@ pub fn execute(command: Command, out: &mut dyn std::io::Write) -> Result<(), Cli
                 writeln!(out, "  {pattern}\n    {description}")
                     .map_err(|e| io_err(Path::new("<stdout>"), e))?;
             }
+            writeln!(out, "\nstatic-analysis lints (krum audit):")
+                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            for lint in krum_audit::Lint::ALL {
+                writeln!(
+                    out,
+                    "  {} ({}): {}",
+                    lint.code(),
+                    lint.name(),
+                    lint.summary()
+                )
+                .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
         }
         Command::Template => {
             let json = template_spec().to_json()?;
             writeln!(out, "{json}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+        }
+        Command::Audit {
+            root,
+            config,
+            json,
+            deny,
+        } => {
+            let root = PathBuf::from(root);
+            // An explicitly named baseline must exist; the default
+            // `<root>/audit.toml` is optional (absent → no suppressions).
+            let audit_config = match &config {
+                Some(path) => krum_audit::AuditConfig::load(Path::new(path))
+                    .map_err(krum_audit::AuditError::from)?,
+                None => {
+                    let default_path = root.join("audit.toml");
+                    if default_path.is_file() {
+                        krum_audit::AuditConfig::load(&default_path)
+                            .map_err(krum_audit::AuditError::from)?
+                    } else {
+                        krum_audit::AuditConfig::default()
+                    }
+                }
+            };
+            let report = krum_audit::audit_workspace(&root, &audit_config)?;
+            if json {
+                let rendered = report.to_json().map_err(|e| krum_audit::AuditError::Io {
+                    path: "<report>".to_string(),
+                    source: std::io::Error::other(e),
+                })?;
+                writeln!(out, "{rendered}").map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            } else {
+                writeln!(out, "{}", report.render_human())
+                    .map_err(|e| io_err(Path::new("<stdout>"), e))?;
+            }
+            if deny && !report.is_clean() {
+                return Err(CliError::AuditFindings(report.findings.len()));
+            }
         }
         Command::Run {
             spec_path,
@@ -1578,6 +1676,11 @@ mod tests {
             assert!(text.contains(pattern), "missing codec grammar {pattern}");
         }
         assert!(text.contains("bfp:block=<1..4096>"));
+        // Satellite: the audit lint registry prints, one code per lint.
+        assert!(text.contains("static-analysis lints"));
+        for lint in krum_audit::Lint::ALL {
+            assert!(text.contains(lint.code()), "missing lint {}", lint.code());
+        }
 
         let mut out = Vec::new();
         execute(Command::Template, &mut out).unwrap();
@@ -1588,6 +1691,102 @@ mod tests {
         let mut out = Vec::new();
         execute(Command::Help, &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("usage: krum"));
+    }
+
+    #[test]
+    fn parses_audit_and_flags() {
+        assert_eq!(
+            parse(&args(&["audit"])).unwrap(),
+            Command::Audit {
+                root: ".".into(),
+                config: None,
+                json: false,
+                deny: false,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "audit", "--root", "/ws", "--config", "b.toml", "--json", "--deny"
+            ]))
+            .unwrap(),
+            Command::Audit {
+                root: "/ws".into(),
+                config: Some("b.toml".into()),
+                json: true,
+                deny: true,
+            }
+        );
+        assert!(parse(&args(&["audit", "--nope"])).is_err());
+        assert!(parse(&args(&["audit", "--config"])).is_err());
+    }
+
+    #[test]
+    fn execute_audit_scans_denies_and_emits_json() {
+        let dir = std::env::temp_dir().join(format!("krum-cli-audit-{}", std::process::id()));
+        let src = dir.join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )
+        .unwrap();
+        let root = dir.display().to_string();
+
+        // Human output + --deny: the SAFE001 finding fails the gate.
+        let mut out = Vec::new();
+        let err = execute(
+            Command::Audit {
+                root: root.clone(),
+                config: None,
+                json: false,
+                deny: true,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::AuditFindings(1)), "{err}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("src/lib.rs:1:28: SAFE001"), "{text}");
+        assert!(text.contains("audit FAILED"), "{text}");
+
+        // Without --deny the same scan reports but succeeds.
+        let mut out = Vec::new();
+        execute(
+            Command::Audit {
+                root: root.clone(),
+                config: None,
+                json: false,
+                deny: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+
+        // --json emits the versioned schema; a baseline suppresses the
+        // finding and flips --deny back to success.
+        let baseline = dir.join("audit.toml");
+        std::fs::write(
+            &baseline,
+            "[[suppress]]\nlint = \"SAFE001\"\npath = \"src/lib.rs\"\nreason = \"fixture\"\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        execute(
+            Command::Audit {
+                root,
+                config: Some(baseline.display().to_string()),
+                json: true,
+                deny: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let report = krum_audit::AuditReport::from_json(&String::from_utf8(out).unwrap()).unwrap();
+        assert_eq!(report.schema_version, krum_audit::JSON_SCHEMA_VERSION);
+        assert!(report.is_clean());
+        assert_eq!(report.suppressed.len(), 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -128,6 +128,9 @@ pub trait GradientCodec: Send + Sync + std::fmt::Debug {
     /// no-op, so it is safe at every hop of a mixed v1/v2 fleet.
     fn transform(&self, x: &mut [f64], reference: &[f64]) {
         let bytes = self.encode(x, reference);
+        // Infallible by the trait contract — a codec decodes its own
+        // encoding; a violation is a codec bug worth crashing loudly on.
+        #[allow(clippy::expect_used)]
         let decoded = self
             .decode(&bytes, reference, x.len())
             .expect("a codec must decode its own encoding");
@@ -137,6 +140,8 @@ pub trait GradientCodec: Send + Sync + std::fmt::Debug {
     /// The canonical transform for the parameter vector, in place.
     fn transform_params(&self, x: &mut [f64]) {
         let bytes = self.encode_params(x);
+        // Infallible by the trait contract, as in `transform` above.
+        #[allow(clippy::expect_used)]
         let decoded = self
             .decode_params(&bytes, x.len())
             .expect("a codec must decode its own params encoding");

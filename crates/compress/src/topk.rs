@@ -97,10 +97,9 @@ impl GradientCodec for TopK {
                     "kept index {idx} out of bounds for dimension {dim}"
                 )));
             }
-            if previous.is_some_and(|p| idx <= p) {
+            if let Some(p) = previous.filter(|&p| idx <= p) {
                 return Err(CodecError::malformed(format!(
-                    "kept indices must be strictly increasing, saw {idx} after {}",
-                    previous.unwrap()
+                    "kept indices must be strictly increasing, saw {idx} after {p}"
                 )));
             }
             previous = Some(idx);

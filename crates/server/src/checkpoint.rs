@@ -128,7 +128,7 @@ pub(crate) fn write_checkpoint(
 /// well-formed snapshot.
 pub(crate) fn read_checkpoint(path: &Path) -> Result<ResumeState, ServerError> {
     let bytes = fs::read(path)?;
-    let mut cursor = &bytes[..];
+    let mut cursor = bytes.as_slice();
     let (frame, consumed) = read_frame(&mut cursor)?;
     if consumed != bytes.len() {
         return Err(ServerError::Checkpoint(format!(

@@ -26,7 +26,9 @@ use crate::worker::run_worker;
 /// transport/handshake failure.
 pub fn run_loopback(spec: ScenarioSpec) -> Result<ScenarioReport, ServerError> {
     let mut reports = run_loopback_jobs(spec, 1)?;
-    Ok(reports.pop().expect("one job produces one report"))
+    reports
+        .pop()
+        .ok_or_else(|| ServerError::protocol("loopback run produced no report"))
 }
 
 /// Runs `jobs` concurrent jobs over loopback sockets (job `k > 0` uses

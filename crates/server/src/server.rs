@@ -86,13 +86,14 @@ impl JobSlot {
         }
         let id = self.id;
         let spec = self.spec.clone();
-        let conns: Vec<JobConnection> = self
-            .conns
-            .iter_mut()
-            .map(|c| c.take().expect("roster is full"))
-            .collect();
-        let events = self.events.take().expect("a job starts exactly once");
-        let runtime = self.runtime.take().expect("a job starts exactly once");
+        // The roster-full guard above makes `filter_map` lossless, and
+        // `events`/`runtime` are still in place iff the job never started
+        // (`handle.is_none()`), so the let-else is unreachable in practice
+        // — but a second start now degrades to a no-op instead of a panic.
+        let conns: Vec<JobConnection> = self.conns.iter_mut().filter_map(Option::take).collect();
+        let (Some(events), Some(runtime)) = (self.events.take(), self.runtime.take()) else {
+            return;
+        };
         self.handle = Some(std::thread::spawn(move || {
             run_job(id, spec, conns, events, runtime)
         }));
@@ -253,7 +254,7 @@ impl Server {
     /// plus one adversary connection when `f > 0` (the paper's single
     /// omniscient adversary controls all `f` Byzantine workers).
     pub fn connections_per_job(&self) -> usize {
-        self.jobs[0].conns.len()
+        self.jobs.first().map_or(0, |j| j.conns.len())
     }
 
     /// The per-job scenario specs this server will run, in job order.
@@ -370,12 +371,16 @@ impl Server {
             return Ok(());
         }
         // A started job's `conns` were moved into its thread, so "free
-        // slot" means: not yet started and roster still short.
-        let Some(slot) = self
-            .jobs
-            .iter_mut()
-            .find(|j| j.handle.is_none() && j.conns.iter().any(Option::is_none))
-        else {
+        // slot" means: not yet started and roster still short. Finding
+        // the job and the slot index in one pass keeps a single source
+        // of truth — no second lookup that "can't fail".
+        let Some((slot, worker)) = self.jobs.iter_mut().find_map(|j| {
+            if j.handle.is_some() {
+                return None;
+            }
+            let w = j.conns.iter().position(Option::is_none)?;
+            Some((j, w as u32))
+        }) else {
             let _ = write_frame(
                 &mut stream,
                 &Frame::Shutdown {
@@ -385,11 +390,6 @@ impl Server {
             );
             return Ok(());
         };
-        let worker = slot
-            .conns
-            .iter()
-            .position(Option::is_none)
-            .expect("find() guaranteed a free slot") as u32;
         write_frame(
             &mut stream,
             &Frame::JobAssign {
@@ -406,10 +406,12 @@ impl Server {
         // when the job drops its receiver), so a hung foreign client can
         // never wedge the serve loop on a join.
         std::thread::spawn(move || reader_loop(stream, worker, sender));
-        slot.conns[worker as usize] = Some(JobConnection {
-            stream: write_half,
-            version,
-        });
+        if let Some(conn) = slot.conns.get_mut(worker as usize) {
+            *conn = Some(JobConnection {
+                stream: write_half,
+                version,
+            });
+        }
         slot.start_if_staffed();
         Ok(())
     }
@@ -439,7 +441,7 @@ impl Server {
         if slot.handle.as_ref().is_some_and(JoinHandle::is_finished) {
             return reject(stream, format!("job {job} already finished"));
         }
-        if slot.handle.is_none() && slot.conns[w].is_some() {
+        if slot.handle.is_none() && slot.conns.get(w).is_some_and(Option::is_some) {
             return reject(
                 stream,
                 format!("slot {worker} of job {job} is already connected"),
@@ -478,8 +480,11 @@ impl Server {
                 // The job finished between the check and the send.
             }
         } else {
-            // Resumed-but-unstarted job: staff the old slot directly.
-            slot.conns[w] = Some(conn);
+            // Resumed-but-unstarted job: staff the old slot directly (the
+            // bounds reject above proved `w` is a real slot).
+            if let Some(c) = slot.conns.get_mut(w) {
+                *c = Some(conn);
+            }
             slot.start_if_staffed();
         }
         Ok(())

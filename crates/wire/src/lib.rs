@@ -37,6 +37,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The never-panic decode invariant, enforced at compile time on top of the
+// `krum audit` PANIC001 pass: production code in this crate may not unwrap
+// or expect (tests may — see `allow-unwrap-in-tests` in clippy.toml).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::{Read, Write};
 
@@ -389,7 +393,12 @@ impl Frame {
 
     /// Canonical lowercase name of the frame kind.
     pub fn name(&self) -> &'static str {
-        FRAME_NAMES[(self.tag() - 1) as usize]
+        // Tags are 1-based and `FRAME_NAMES` is kept in tag order; the
+        // fallback is unreachable but keeps this path panic-free.
+        FRAME_NAMES
+            .get(usize::from(self.tag()).wrapping_sub(1))
+            .copied()
+            .unwrap_or("unknown")
     }
 
     /// Encodes the payload (tag + body, without length prefix or checksum)
@@ -703,19 +712,24 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, WireError
 pub fn read_frame(r: &mut impl Read) -> Result<(Frame, usize), WireError> {
     let mut len_buf = [0u8; 4];
     // Distinguish "peer closed between frames" from "frame cut short".
-    let mut filled = 0;
-    while filled < len_buf.len() {
-        let n = r.read(&mut len_buf[filled..])?;
+    // The unfilled tail is tracked as a shrinking slice so no index
+    // arithmetic can go out of range.
+    let mut rest: &mut [u8] = &mut len_buf;
+    while !rest.is_empty() {
+        let n = r.read(rest)?;
         if n == 0 {
-            if filled == 0 {
+            let missing = rest.len();
+            if missing == len_buf.len() {
                 return Err(WireError::Closed);
             }
             return Err(WireError::Truncated {
-                needed: len_buf.len() - filled,
-                offset: filled,
+                needed: missing,
+                offset: len_buf.len() - missing,
             });
         }
-        filled += n;
+        // `read` returns `n <= rest.len()`; a broken implementation that
+        // lies lands on the empty tail and simply ends the loop.
+        rest = std::mem::take(&mut rest).get_mut(n..).unwrap_or(&mut []);
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if len == 0 {
@@ -788,16 +802,30 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let available = self.buf.len() - self.pos;
-        if available < n {
-            return Err(WireError::Truncated {
-                needed: n - available,
+        // `get` carries the bounds proof: no indexing, no arithmetic that
+        // could overflow on attacker-controlled lengths.
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => Err(WireError::Truncated {
+                needed: n - self.remaining(),
                 offset: self.pos,
-            });
+            }),
         }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes into a fixed array. The zip copy cannot
+    /// miss: `take` has already proven the slice holds `N` bytes, and the
+    /// conversion has no panic-capable step (`PANIC001` keeps it that way).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, src) in out.iter_mut().zip(slice) {
+            *dst = *src;
+        }
+        Ok(out)
     }
 
     fn remaining(&self) -> usize {
@@ -809,31 +837,24 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     fn string(&mut self) -> Result<String, WireError> {
@@ -865,7 +886,13 @@ impl<'a> Reader<'a> {
         let bytes = self.take(count * 8)?;
         let mut out = Vec::with_capacity(count);
         for chunk in bytes.chunks_exact(8) {
-            out.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            // `chunks_exact(8)` only yields full chunks; the zip copy is
+            // the panic-free spelling of `try_into().expect(..)`.
+            let mut le = [0u8; 8];
+            for (dst, src) in le.iter_mut().zip(chunk) {
+                *dst = *src;
+            }
+            out.push(f64::from_le_bytes(le));
         }
         Ok(out)
     }

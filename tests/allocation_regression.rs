@@ -39,22 +39,32 @@ fn bump() {
     let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: a pure pass-through to `System`, which upholds the `GlobalAlloc`
+// contract; `bump` only touches an already-initialized thread-local `Cell`
+// and never allocates or unwinds, so every method inherits `System`'s
+// guarantees unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: the caller's `alloc` obligations are forwarded to `System` as-is.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
         System.alloc(layout)
     }
 
+    // SAFETY: the caller's `alloc_zeroed` obligations are forwarded to `System` as-is.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: the caller's `realloc` obligations (live ptr, matching layout)
+    // are forwarded to `System` as-is.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: the caller's `dealloc` obligations (live ptr, matching layout)
+    // are forwarded to `System` as-is.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

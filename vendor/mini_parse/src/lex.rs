@@ -1,0 +1,501 @@
+//! A span-tracking lexer for Rust source text.
+//!
+//! The item parser in the crate root serves the vendored derive macros and
+//! only sees stringified `struct`/`enum` items. The workspace's static
+//! analyzer (`krum-audit`) needs something different: a faithful token
+//! stream over *whole source files* — comments preserved, string/char
+//! literals delimited correctly so that identifiers inside them are never
+//! mistaken for code, and every token carrying its line/column so findings
+//! can point at the offending site.
+//!
+//! This lexer is deliberately small but honest about Rust's lexical
+//! grammar where it matters for scanning real files:
+//!
+//! - nested block comments, line comments (doc comments included);
+//! - string, raw-string (`r#"…"#`, any number of `#`s), byte-string and
+//!   char literals, with escapes;
+//! - the `'a` lifetime vs `'x'` char-literal ambiguity;
+//! - raw identifiers (`r#type`);
+//! - numeric literals including `1_000`, `0xFF`, `2.5e-3` and the
+//!   `1..=n` range edge case (the dot is only folded into a number when a
+//!   digit follows).
+//!
+//! It does **not** interpret the token stream (no keywords, no operator
+//! gluing): punctuation is emitted one byte at a time, which is exactly
+//! what a pattern-matching analyzer wants.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (the tick is part of the token text).
+    Lifetime,
+    /// A char literal `'x'` or byte literal `b'x'`, quotes included.
+    Char,
+    /// A string or byte-string literal, quotes included.
+    Str,
+    /// A raw (byte-)string literal `r#"…"#`, delimiters included.
+    RawStr,
+    /// A numeric literal, suffix included (`1_000u64`, `2.5e-3`).
+    Number,
+    /// A `//` comment, terminating newline excluded. Doc comments too.
+    LineComment,
+    /// A `/* … */` comment (possibly nested), delimiters included.
+    BlockComment,
+    /// A single punctuation byte (`.`, `!`, `[`, `{`, `#`, …).
+    Punct,
+}
+
+/// One token of source text with its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source slice, delimiters included.
+    pub text: &'a str,
+    /// Byte offset of the token start.
+    pub offset: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// 1-based byte column of the token start.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// `true` for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` when the token is the single punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first().copied() == Some(c as u8)
+    }
+
+    /// `true` when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// A lexical error: malformed or unterminated literal/comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending byte.
+    pub line: u32,
+    /// 1-based byte column of the offending byte.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// `true` for bytes that can continue an identifier. Non-ASCII bytes are
+/// treated as identifier material so UTF-8 identifiers (rare, but legal
+/// Rust) lex as single tokens instead of erroring.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, keeping line/column bookkeeping exact.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes the body of a `"`-delimited (byte-)string whose opening
+    /// quote was already consumed.
+    fn string_body(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'"') => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"…"##` starting at the first `#` or `"`
+    /// (the `r`/`br` prefix was already consumed).
+    fn raw_string_body(&mut self) -> Result<(), LexError> {
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.bump() != Some(b'"') {
+            return Err(self.error("malformed raw string literal"));
+        }
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.error("unterminated raw string literal")),
+            }
+        }
+    }
+
+    /// Consumes a char literal whose opening `'` was already consumed.
+    fn char_body(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'\'') => return Ok(()),
+                Some(b'\n') | None => return Err(self.error("unterminated char literal")),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a numeric literal starting at a digit (already peeked, not
+    /// consumed). Handles `0x`/`0o`/`0b` bases, `_` separators, a single
+    /// fractional dot (only when a digit follows, so `1..n` stays a range),
+    /// exponents and alphanumeric suffixes.
+    fn number_body(&mut self) {
+        self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump(); // the dot
+            self.take_while(|b| b.is_ascii_digit() || b == b'_');
+            // Exponent after the fraction (`2.5e-3`). An exponent directly
+            // on the integer part (`1e9`) was swallowed by the first
+            // alphanumeric run above.
+            if matches!(self.peek(), Some(b'e' | b'E'))
+                && (self.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+                    || (matches!(self.peek_at(1), Some(b'+' | b'-'))
+                        && self.peek_at(2).is_some_and(|b| b.is_ascii_digit())))
+            {
+                self.bump(); // e / E
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+            }
+        } else if matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(self.peek(), Some(b'+' | b'-'))
+            && self.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            // A signed exponent directly on the integer part (`1e-3`): the
+            // first alphanumeric run stopped at the sign. This is only ever
+            // reached from a digit start, so `e`/`E` here is an exponent
+            // marker, not an identifier tail.
+            self.bump(); // sign
+            self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+    }
+}
+
+/// Tokenizes `src`, returning the full token stream (comments included,
+/// whitespace dropped).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated string/char/comment constructs —
+/// i.e. on text that `rustc` itself would reject.
+pub fn tokenize(src: &str) -> Result<Vec<Token<'_>>, LexError> {
+    let mut lx = Lexer::new(src);
+    let mut tokens = Vec::new();
+    while let Some(b) = lx.peek() {
+        if b.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (offset, line, col) = (lx.pos, lx.line, lx.col);
+        let kind = match b {
+            b'/' if lx.peek_at(1) == Some(b'/') => {
+                lx.take_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek_at(1) == Some(b'*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(), lx.peek_at(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump();
+                            lx.bump();
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump();
+                            lx.bump();
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => return Err(lx.error("unterminated block comment")),
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.string_body()?;
+                TokenKind::Str
+            }
+            b'r' if lx.peek_at(1) == Some(b'#') && lx.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#type`.
+                lx.bump();
+                lx.bump();
+                lx.take_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            b'r' if matches!(lx.peek_at(1), Some(b'"' | b'#')) => {
+                lx.bump();
+                lx.raw_string_body()?;
+                TokenKind::RawStr
+            }
+            b'b' if lx.peek_at(1) == Some(b'"') => {
+                lx.bump();
+                lx.bump();
+                lx.string_body()?;
+                TokenKind::Str
+            }
+            b'b' if lx.peek_at(1) == Some(b'\'') => {
+                lx.bump();
+                lx.bump();
+                lx.char_body()?;
+                TokenKind::Char
+            }
+            b'b' if lx.peek_at(1) == Some(b'r') && matches!(lx.peek_at(2), Some(b'"' | b'#')) => {
+                lx.bump();
+                lx.bump();
+                lx.raw_string_body()?;
+                TokenKind::RawStr
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) or char literal (`'x'`,
+                // `'\n'`). A tick followed by an identifier run that is
+                // *not* closed by another tick is a lifetime.
+                let mut probe = lx.pos + 1;
+                let mut saw_ident = false;
+                while lx.bytes.get(probe).copied().is_some_and(is_ident_continue) {
+                    saw_ident = true;
+                    probe += 1;
+                }
+                if saw_ident && lx.bytes.get(probe) != Some(&b'\'') {
+                    lx.bump(); // the tick
+                    lx.take_while(is_ident_continue);
+                    TokenKind::Lifetime
+                } else {
+                    lx.bump();
+                    lx.char_body()?;
+                    TokenKind::Char
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                lx.number_body();
+                TokenKind::Number
+            }
+            _ if is_ident_start(b) => {
+                lx.take_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ => {
+                lx.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text: &lx.src[offset..lx.pos],
+            offset,
+            line,
+            col,
+        });
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let tokens = tokenize("let x = a.unwrap();").unwrap();
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[0].col, 1);
+        assert_eq!(tokens[5].col, 11); // `unwrap` starts at byte column 11
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let tokens = kinds(r#"call("an unwrap() inside a string")"#);
+        assert!(tokens
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(tokens.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let tokens = kinds(r###"let s = r#"quote " inside"# ;"###);
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("quote")));
+        let tokens = kinds("let b = br\"bytes\";");
+        assert!(tokens.iter().any(|(k, _)| *k == TokenKind::RawStr));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let tokens = kinds("let r#type = 1;");
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let tokens = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            tokens.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let tokens = kinds("// line\n/* block /* nested */ */ code");
+        assert_eq!(tokens[0].0, TokenKind::LineComment);
+        assert_eq!(tokens[1].0, TokenKind::BlockComment);
+        assert!(tokens[1].1.contains("nested"));
+        assert_eq!(tokens[2], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let tokens = kinds("for i in 1..=10 { x += 2.5e-3 + 0xFF + 1_000u64; }");
+        let numbers: Vec<&str> = tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(numbers, ["1", "10", "2.5e-3", "0xFF", "1_000u64"]);
+    }
+
+    #[test]
+    fn float_method_call_keeps_dot_out() {
+        let tokens = kinds("let y = 2.0.sqrt();");
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "2.0"));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "sqrt"));
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(tokenize("let s = \"open").is_err());
+        assert!(tokenize("/* never closed").is_err());
+        // A bare `'x` at end of input is lexically a lifetime, not an
+        // unterminated char — an opened escape is the unambiguous error.
+        assert!(tokenize("let c = '\\").is_err());
+        assert!(tokenize("let s = r#\"open\"").is_err());
+    }
+
+    #[test]
+    fn line_tracking_across_newlines() {
+        let tokens = tokenize("a\nb\n  c").unwrap();
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 1));
+        assert_eq!((tokens[2].line, tokens[2].col), (3, 3));
+    }
+}

@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod lex;
+
 /// An attribute `#[name]`, `#[name(...)]` or `#[name = ...]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attr {
