@@ -1,0 +1,705 @@
+//! Stateful multi-round adversaries.
+//!
+//! Every strategy in [`strategies`](crate::strategies) is per-round: it
+//! forges from the current [`AttackContext`] and forgets. The adversaries
+//! here instead evolve state across rounds through
+//! [`Attack::observe`], which the engine calls with a [`RoundFeedback`]
+//! after every closed round — the observe/forge loop:
+//!
+//! ```text
+//!        ┌──────────────────────────────────────────────┐
+//!        │                                              │
+//!        ▼                                              │
+//!   forge(&self, ctx)  ──►  server aggregates  ──►  observe(&mut self,
+//!   (pure, no RNG)          and applies F           RoundFeedback)
+//! ```
+//!
+//! `forge` stays `&self` and draws **no randomness**: the entire state
+//! evolution is a deterministic function of the per-seed trajectory, so
+//! repeat runs are bit-identical and the server-side worker can replay
+//! forge calls without an RNG cursor to fast-forward. The price of
+//! statefulness is that missed feedback cannot be reconstructed — workers
+//! refuse to rejoin a stateful adversary instead of silently diverging.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::attack::{Attack, AttackContext, AttackError, RoundFeedback};
+
+/// Which way [`InlierDrift`] steers the model, relative to the descent
+/// direction the honest workers are pushing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DriftTarget {
+    /// Steer against descent: inflate the loss (the adversarial default).
+    #[default]
+    Neg,
+    /// Steer along descent: accelerate convergence (a control direction for
+    /// experiments — drift without damage).
+    Pos,
+}
+
+impl DriftTarget {
+    /// The sign this target contributes to the forged shift.
+    fn sign(self) -> f64 {
+        match self {
+            Self::Neg => -1.0,
+            Self::Pos => 1.0,
+        }
+    }
+
+    /// Canonical spelling used in the spec grammar.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Neg => "neg",
+            Self::Pos => "pos",
+        }
+    }
+}
+
+impl std::fmt::Display for DriftTarget {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        out.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for DriftTarget {
+    type Err = AttackError;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw.trim() {
+            "neg" => Ok(Self::Neg),
+            "pos" => Ok(Self::Pos),
+            other => Err(AttackError::config(
+                "inlier-drift",
+                format!("unknown target `{other}` (expected `neg` or `pos`)"),
+            )),
+        }
+    }
+}
+
+/// Per-coordinate sign of the steering direction: `+1`, `-1`, or `0` for a
+/// flat coordinate (unlike `f64::signum`, which maps `+0.0` to `+1.0`).
+fn steer_sign(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// The QRES ADR-004 falsifier: colluding attackers that stay within a
+/// σ-band of the observed honest distribution while steering every
+/// coordinate toward a target direction. Each forged proposal is
+///
+/// ```text
+/// mean(honest) + target · band · sigma · std_c · sign(g_c)   per coordinate c
+/// ```
+///
+/// where `g` is the adversary's gradient estimate and `band ∈ (0, 1]` is the
+/// attack's state: it shrinks multiplicatively whenever selection feedback
+/// shows an honest worker was picked (the attacker was filtered — become
+/// more of an inlier) and recovers toward `1` while the attacker keeps being
+/// selected. Small per-round displacement, unbounded cumulative drift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InlierDrift {
+    sigma: f64,
+    target: DriftTarget,
+    /// Stateful fraction of the σ-band currently in use.
+    band: f64,
+}
+
+impl InlierDrift {
+    /// Multiplicative back-off applied to the band when the attacker's slot
+    /// is filtered out by a selection rule.
+    const BACKOFF: f64 = 0.8;
+    /// Multiplicative recovery applied while the attacker keeps winning.
+    const RECOVER: f64 = 1.05;
+    /// The band never collapses entirely — the attack keeps probing.
+    const MIN_BAND: f64 = 0.05;
+
+    /// Creates the drift attack with band width `sigma` (in per-coordinate
+    /// honest standard deviations) and a steering direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `sigma` is positive and
+    /// finite.
+    pub fn new(sigma: f64, target: DriftTarget) -> Result<Self, AttackError> {
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(AttackError::config(
+                "inlier-drift",
+                "sigma must be positive and finite",
+            ));
+        }
+        Ok(Self {
+            sigma,
+            target,
+            band: 1.0,
+        })
+    }
+
+    /// Band width in units of the per-coordinate honest std.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Steering direction.
+    pub fn target(&self) -> DriftTarget {
+        self.target
+    }
+
+    /// Current stateful fraction of the σ-band (starts at `1`).
+    pub fn band(&self) -> f64 {
+        self.band
+    }
+}
+
+impl Attack for InlierDrift {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let honest = ctx.honest_proposals;
+        let mean = ctx.honest_mean().ok_or_else(|| {
+            AttackError::context("inlier-drift", "no honest proposals to observe")
+        })?;
+        let gradient = ctx.gradient_estimate().ok_or_else(|| {
+            AttackError::context("inlier-drift", "no gradient information available")
+        })?;
+        let dim = ctx.dim();
+        // Per-coordinate standard deviation of the honest proposals (zero
+        // when only one honest worker reported — the forged vector then
+        // degenerates to the honest mean).
+        let mut std = Vector::zeros(dim);
+        if honest.len() > 1 {
+            for v in honest {
+                for c in 0..dim {
+                    let d = v[c] - mean[c];
+                    std[c] += d * d;
+                }
+            }
+            std.map_inplace(|s| (s / (honest.len() - 1) as f64).sqrt());
+        }
+        let shift = self.target.sign() * self.band * self.sigma;
+        let mut forged = mean;
+        for c in 0..dim {
+            forged[c] += shift * std[c] * steer_sign(gradient[c]);
+        }
+        Ok(vec![forged; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "inlier-drift".into()
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        match feedback.selected_byzantine {
+            // Filtered out: tighten the band, hide deeper in the cloud.
+            Some(false) => self.band = (self.band * Self::BACKOFF).max(Self::MIN_BAND),
+            // Still being selected: recover toward the full band.
+            Some(true) => self.band = (self.band * Self::RECOVER).min(1.0),
+            // Mixing rule — no selection signal to react to.
+            None => {}
+        }
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+}
+
+/// "A little is enough" (Baruch et al.) with the z-score derived from the
+/// cluster shape instead of hand-tuned: with `s = ⌊n/2⌋ + 1 − f` honest
+/// supporters needed for a majority, the attackers shift the honest mean by
+/// `z_max = Φ⁻¹((n − f − s)/(n − f))` per-coordinate standard deviations —
+/// the largest shift still covered by enough honest probability mass. A
+/// stateful `boost` multiplier then adapts the shift to the observed
+/// selection feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlieVariance {
+    scale: f64,
+    /// Stateful multiplier on top of the derived z-score.
+    boost: f64,
+}
+
+impl AlieVariance {
+    const BACKOFF: f64 = 0.9;
+    const RECOVER: f64 = 1.05;
+    const MIN_BOOST: f64 = 0.1;
+    const MAX_BOOST: f64 = 4.0;
+
+    /// Creates the attack with an extra multiplier `scale` on the derived
+    /// z-score (`1` is the canonical ALIE construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `scale` is positive and
+    /// finite.
+    pub fn new(scale: f64) -> Result<Self, AttackError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(AttackError::config(
+                "alie-variance",
+                "scale must be positive and finite",
+            ));
+        }
+        Ok(Self { scale, boost: 1.0 })
+    }
+
+    /// Multiplier applied on top of the derived z-score.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Current stateful boost (starts at `1`).
+    pub fn boost(&self) -> f64 {
+        self.boost
+    }
+
+    /// The ALIE z-score for a cluster of `n` workers with `f` Byzantine.
+    pub fn z_max(n: usize, f: usize) -> f64 {
+        if n <= f {
+            return 0.0;
+        }
+        let supporters = (n / 2 + 1).saturating_sub(f);
+        let phi = (n - f - supporters.min(n - f)) as f64 / (n - f) as f64;
+        normal_quantile(phi.clamp(1e-6, 1.0 - 1e-6))
+    }
+}
+
+impl Attack for AlieVariance {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let honest = ctx.honest_proposals;
+        let mean = ctx.honest_mean().ok_or_else(|| {
+            AttackError::context("alie-variance", "no honest proposals to observe")
+        })?;
+        let dim = ctx.dim();
+        let mut std = Vector::zeros(dim);
+        if honest.len() > 1 {
+            for v in honest {
+                for c in 0..dim {
+                    let d = v[c] - mean[c];
+                    std[c] += d * d;
+                }
+            }
+            std.map_inplace(|s| (s / (honest.len() - 1) as f64).sqrt());
+        }
+        let z = Self::z_max(ctx.total_workers, ctx.byzantine_count);
+        let mut forged = mean;
+        forged.axpy(-z * self.scale * self.boost, &std);
+        Ok(vec![forged; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "alie-variance".into()
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        match feedback.selected_byzantine {
+            Some(false) => self.boost = (self.boost * Self::BACKOFF).max(Self::MIN_BOOST),
+            Some(true) => self.boost = (self.boost * Self::RECOVER).min(Self::MAX_BOOST),
+            None => {}
+        }
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+}
+
+/// A probing adversary that reads the selection feedback directly: it
+/// proposes `mean(honest) − magnitude · g` (a step against the descent
+/// direction) and grows `magnitude` geometrically while its slot keeps
+/// being selected, backing off as soon as it stops — a binary search for
+/// the defense's filtering threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveProbe {
+    start: f64,
+    grow: f64,
+    backoff: f64,
+    /// Stateful magnitude of the probe.
+    magnitude: f64,
+}
+
+impl AdaptiveProbe {
+    const MIN_MAGNITUDE: f64 = 1e-6;
+    const MAX_MAGNITUDE: f64 = 1e6;
+
+    /// Creates the probe with initial magnitude `start`, growth factor
+    /// `grow` (applied while selected) and back-off factor `backoff`
+    /// (applied when filtered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] unless `start > 0`, `grow > 1`
+    /// and `0 < backoff < 1`, all finite.
+    pub fn new(start: f64, grow: f64, backoff: f64) -> Result<Self, AttackError> {
+        if !(start > 0.0 && start.is_finite()) {
+            return Err(AttackError::config(
+                "adaptive-probe",
+                "start must be positive and finite",
+            ));
+        }
+        if !(grow > 1.0 && grow.is_finite()) {
+            return Err(AttackError::config(
+                "adaptive-probe",
+                "grow must be > 1 and finite",
+            ));
+        }
+        if !(backoff > 0.0 && backoff < 1.0) {
+            return Err(AttackError::config(
+                "adaptive-probe",
+                "backoff must be strictly between 0 and 1",
+            ));
+        }
+        Ok(Self {
+            start,
+            grow,
+            backoff,
+            magnitude: start,
+        })
+    }
+
+    /// Initial probe magnitude.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Current stateful magnitude.
+    pub fn magnitude(&self) -> f64 {
+        self.magnitude
+    }
+}
+
+impl Attack for AdaptiveProbe {
+    fn forge(
+        &self,
+        ctx: &AttackContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<Vector>, AttackError> {
+        let mean = ctx.honest_mean().ok_or_else(|| {
+            AttackError::context("adaptive-probe", "no honest proposals to observe")
+        })?;
+        let gradient = ctx.gradient_estimate().ok_or_else(|| {
+            AttackError::context("adaptive-probe", "no gradient information available")
+        })?;
+        let mut forged = mean;
+        forged.axpy(-self.magnitude, &gradient);
+        Ok(vec![forged; ctx.byzantine_count])
+    }
+
+    fn name(&self) -> String {
+        "adaptive-probe".into()
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        match feedback.selected_byzantine {
+            Some(true) => self.magnitude = (self.magnitude * self.grow).min(Self::MAX_MAGNITUDE),
+            Some(false) => {
+                self.magnitude = (self.magnitude * self.backoff).max(Self::MIN_MAGNITUDE)
+            }
+            None => {}
+        }
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+}
+
+/// Standard normal quantile Φ⁻¹ via the Acklam rational approximation
+/// (relative error below 1.15e-9 over (0, 1)). Deterministic, allocation
+/// free, and accurate far beyond what the attacks need.
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn honest_cloud(count: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut v = Vector::filled(dim, 1.0);
+                v.axpy(1.0, &Vector::gaussian(dim, 0.0, 0.1, &mut rng));
+                v
+            })
+            .collect()
+    }
+
+    fn ctx<'a>(
+        honest: &'a [Vector],
+        params: &'a Vector,
+        grad: Option<&'a Vector>,
+        f: usize,
+    ) -> AttackContext<'a> {
+        AttackContext {
+            honest_proposals: honest,
+            current_params: params,
+            true_gradient: grad,
+            byzantine_count: f,
+            total_workers: honest.len() + f,
+            round: 0,
+            aggregator_name: "krum",
+        }
+    }
+
+    fn feedback(selected_byzantine: Option<bool>) -> RoundFeedback {
+        RoundFeedback {
+            round: 0,
+            aggregate: Vector::zeros(2),
+            learning_rate: 0.1,
+            selected_worker: selected_byzantine.map(|b| if b { 7 } else { 0 }),
+            selected_byzantine,
+            quorum_workers: vec![0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.8413447460685429) - 1.0).abs() < 1e-6);
+        // Extreme tails stay finite.
+        assert!(normal_quantile(1e-6).is_finite());
+        assert!(normal_quantile(1.0 - 1e-6).is_finite());
+    }
+
+    #[test]
+    fn inlier_drift_stays_in_the_sigma_band() {
+        let honest = honest_cloud(8, 5, 1);
+        let params = Vector::zeros(5);
+        let grad = Vector::filled(5, 1.0);
+        let attack = InlierDrift::new(1.5, DriftTarget::Neg).unwrap();
+        assert_eq!(attack.sigma(), 1.5);
+        assert_eq!(attack.target(), DriftTarget::Neg);
+        assert_eq!(attack.band(), 1.0);
+        assert!(attack.stateful());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = ctx(&honest, &params, Some(&grad), 2);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 2);
+        let mean = Vector::mean_of(&honest).unwrap();
+        // Every coordinate is displaced by at most sigma stds (~0.1 each).
+        for c in 0..5 {
+            let d = (forged[0][c] - mean[c]).abs();
+            assert!(d > 0.0 && d < 1.5 * 0.5, "coordinate {c} displaced by {d}");
+            // target=neg with a positive gradient pushes below the mean.
+            assert!(forged[0][c] < mean[c]);
+        }
+        // target=pos pushes the other way.
+        let pos = InlierDrift::new(1.5, DriftTarget::Pos).unwrap();
+        let forged_pos = pos.forge(&c, &mut rng).unwrap();
+        assert!(forged_pos[0][0] > mean[0]);
+    }
+
+    #[test]
+    fn inlier_drift_band_reacts_to_selection_feedback() {
+        let mut attack = InlierDrift::new(1.0, DriftTarget::Neg).unwrap();
+        attack.observe(&feedback(Some(false)));
+        let shrunk = attack.band();
+        assert!(shrunk < 1.0);
+        // Mixing-rule feedback leaves the band alone.
+        attack.observe(&feedback(None));
+        assert_eq!(attack.band(), shrunk);
+        // Being selected again recovers toward the full band, capped at 1.
+        for _ in 0..100 {
+            attack.observe(&feedback(Some(true)));
+        }
+        assert_eq!(attack.band(), 1.0);
+        // The band never collapses below the floor.
+        for _ in 0..1000 {
+            attack.observe(&feedback(Some(false)));
+        }
+        assert!(attack.band() >= 0.05);
+    }
+
+    #[test]
+    fn inlier_drift_degenerates_gracefully() {
+        assert!(InlierDrift::new(0.0, DriftTarget::Neg).is_err());
+        assert!(InlierDrift::new(f64::NAN, DriftTarget::Neg).is_err());
+        let attack = InlierDrift::new(1.0, DriftTarget::Neg).unwrap();
+        let params = Vector::zeros(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Zero honest variance: the forged vector is exactly the mean.
+        let identical = vec![Vector::filled(3, 2.0); 5];
+        let c = ctx(&identical, &params, None, 2);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged[0].as_slice(), &[2.0, 2.0, 2.0]);
+        // No honest proposals: context error.
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn alie_z_score_matches_the_construction() {
+        // n=40, f=4: s = 17, phi = (36-17)/36 ≈ 0.5278 → small positive z.
+        let z = AlieVariance::z_max(40, 4);
+        assert!(z > 0.0 && z < 0.2, "z = {z}");
+        // Degenerate shapes stay finite.
+        assert_eq!(AlieVariance::z_max(4, 4), 0.0);
+        assert!(AlieVariance::z_max(3, 1).is_finite());
+    }
+
+    #[test]
+    fn alie_variance_shifts_by_scaled_std() {
+        let honest = honest_cloud(20, 4, 4);
+        let params = Vector::zeros(4);
+        let attack = AlieVariance::new(1.0).unwrap();
+        assert_eq!(attack.scale(), 1.0);
+        assert_eq!(attack.boost(), 1.0);
+        assert!(attack.stateful());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let c = ctx(&honest, &params, None, 4);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        assert_eq!(forged.len(), 4);
+        let mean = Vector::mean_of(&honest).unwrap();
+        let dist = forged[0].distance(&mean);
+        assert!(dist > 0.0 && dist < 0.5, "dist = {dist}");
+        // Zero variance degenerates to the mean; no honest proposals errors.
+        let identical = vec![Vector::filled(4, 1.0); 5];
+        let c = ctx(&identical, &params, None, 2);
+        assert_eq!(
+            attack.forge(&c, &mut rng).unwrap()[0].as_slice(),
+            &[1.0, 1.0, 1.0, 1.0]
+        );
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+        assert!(AlieVariance::new(0.0).is_err());
+    }
+
+    #[test]
+    fn alie_boost_is_bounded() {
+        let mut attack = AlieVariance::new(1.0).unwrap();
+        for _ in 0..1000 {
+            attack.observe(&feedback(Some(true)));
+        }
+        assert!(attack.boost() <= 4.0);
+        for _ in 0..1000 {
+            attack.observe(&feedback(Some(false)));
+        }
+        assert!(attack.boost() >= 0.1);
+    }
+
+    #[test]
+    fn adaptive_probe_searches_the_filtering_threshold() {
+        assert!(AdaptiveProbe::new(0.0, 1.25, 0.5).is_err());
+        assert!(AdaptiveProbe::new(1.0, 1.0, 0.5).is_err());
+        assert!(AdaptiveProbe::new(1.0, 1.25, 1.0).is_err());
+        let mut attack = AdaptiveProbe::new(1.0, 2.0, 0.5).unwrap();
+        assert_eq!(attack.start(), 1.0);
+        assert_eq!(attack.magnitude(), 1.0);
+        assert!(attack.stateful());
+        // Selected → double; filtered → halve; mixing → hold.
+        attack.observe(&feedback(Some(true)));
+        assert_eq!(attack.magnitude(), 2.0);
+        attack.observe(&feedback(Some(false)));
+        assert_eq!(attack.magnitude(), 1.0);
+        attack.observe(&feedback(None));
+        assert_eq!(attack.magnitude(), 1.0);
+
+        let honest = honest_cloud(5, 3, 6);
+        let params = Vector::zeros(3);
+        let grad = Vector::from(vec![0.0, 1.0, 0.0]);
+        let c = ctx(&honest, &params, Some(&grad), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let forged = attack.forge(&c, &mut rng).unwrap();
+        let mean = Vector::mean_of(&honest).unwrap();
+        assert!((forged[0][1] - (mean[1] - 1.0)).abs() < 1e-12);
+        let empty: Vec<Vector> = vec![];
+        let c = ctx(&empty, &params, None, 1);
+        assert!(attack.forge(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forge_draws_no_randomness_and_state_evolution_is_deterministic() {
+        // Identical feedback sequences drive identical state, and forge
+        // leaves the RNG untouched — the invariants the worker-side replay
+        // and the determinism suite rely on.
+        use rand::RngCore;
+        let honest = honest_cloud(6, 4, 8);
+        let params = Vector::zeros(4);
+        let c = ctx(&honest, &params, None, 2);
+        let fbs = [Some(true), Some(false), None, Some(false), Some(true)];
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(InlierDrift::new(1.5, DriftTarget::Neg).unwrap()),
+            Box::new(AlieVariance::new(1.0).unwrap()),
+            Box::new(AdaptiveProbe::new(1.0, 1.25, 0.5).unwrap()),
+        ];
+        for mut attack in attacks {
+            let mut twin: Box<dyn Attack> = match attack.name().as_str() {
+                "inlier-drift" => Box::new(InlierDrift::new(1.5, DriftTarget::Neg).unwrap()),
+                "alie-variance" => Box::new(AlieVariance::new(1.0).unwrap()),
+                _ => Box::new(AdaptiveProbe::new(1.0, 1.25, 0.5).unwrap()),
+            };
+            for fb in fbs {
+                attack.observe(&feedback(fb));
+                twin.observe(&feedback(fb));
+            }
+            let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(9);
+            let a = attack.forge(&c, &mut rng_a).unwrap();
+            let b = twin.forge(&c, &mut rng_b).unwrap();
+            assert_eq!(a, b, "attack {}", attack.name());
+            // forge consumed no randomness.
+            assert_eq!(rng_a.next_u64(), ChaCha8Rng::seed_from_u64(9).next_u64());
+        }
+    }
+}

@@ -81,6 +81,34 @@ impl<'a> AttackContext<'a> {
     }
 }
 
+/// What the adversary learns about the round that just closed: the accepted
+/// aggregate, the selection outcome, and the quorum composition.
+///
+/// Stateful attacks receive one [`RoundFeedback`] per closed round via
+/// [`Attack::observe`]. In-process engines call `observe` directly after
+/// each step; over the wire the server relays the same fields on the
+/// existing adversary connection (`Frame::RoundFeedback`), so the state
+/// evolution — and therefore the trajectory — is bit-identical between
+/// loopback and in-process execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundFeedback {
+    /// The round that just closed.
+    pub round: usize,
+    /// The aggregate `F(V_1, …, V_n)` the server accepted this round.
+    pub aggregate: Vector,
+    /// Learning rate `γ_t` applied to the aggregate this round.
+    pub learning_rate: f64,
+    /// Worker whose proposal a selection rule picked (`None` for mixing
+    /// rules such as average, trimmed mean, or the stateful defenses).
+    pub selected_worker: Option<usize>,
+    /// Whether the selected worker was Byzantine (`None` when no single
+    /// worker was selected).
+    pub selected_byzantine: Option<bool>,
+    /// Workers whose proposals formed this round's quorum, in the order
+    /// their vectors were aggregated.
+    pub quorum_workers: Vec<usize>,
+}
+
 /// When the Byzantine proposals reach the server, relative to the honest
 /// ones — the timing half of the adversary model. Barrier strategies
 /// (sequential/threaded) wait for everyone, so timing only matters under
@@ -132,6 +160,21 @@ pub trait Attack: Send + Sync {
     fn timing(&self) -> AttackTiming {
         AttackTiming::Honest
     }
+
+    /// Digests the outcome of the round that just closed. Stateless attacks
+    /// (the default) ignore it; stateful adversaries evolve their internal
+    /// state here — and **only** here, since [`Attack::forge`] takes
+    /// `&self`. Engines call this exactly once per closed round, after the
+    /// aggregate is applied, and only when [`Attack::stateful`] is `true`.
+    fn observe(&mut self, _feedback: &RoundFeedback) {}
+
+    /// Whether this attack carries cross-round state that must be fed via
+    /// [`Attack::observe`]. Stateful attacks cannot be fast-forwarded by
+    /// replaying forge calls (the dummy-replay trick workers use after a
+    /// rejoin), so the server-side worker refuses to rejoin them.
+    fn stateful(&self) -> bool {
+        false
+    }
 }
 
 impl<A: Attack + ?Sized> Attack for &A {
@@ -150,6 +193,13 @@ impl<A: Attack + ?Sized> Attack for &A {
     fn timing(&self) -> AttackTiming {
         (**self).timing()
     }
+
+    // `observe` cannot be forwarded through a shared reference; a `&A` view
+    // keeps the no-op default. `stateful` still reports the truth so callers
+    // holding a shared view never mistake a stateful attack for a pure one.
+    fn stateful(&self) -> bool {
+        (**self).stateful()
+    }
 }
 
 impl<A: Attack + ?Sized> Attack for Box<A> {
@@ -167,6 +217,14 @@ impl<A: Attack + ?Sized> Attack for Box<A> {
 
     fn timing(&self) -> AttackTiming {
         (**self).timing()
+    }
+
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        (**self).observe(feedback);
+    }
+
+    fn stateful(&self) -> bool {
+        (**self).stateful()
     }
 }
 

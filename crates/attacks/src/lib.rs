@@ -35,11 +35,21 @@
 //! * [`LastToRespond`] — timing-aware: waits to observe the closing quorum,
 //!   then squeezes a negated gradient into its last slots;
 //! * [`NonFinite`] — fault injection: NaN-filled proposals probing
-//!   degenerate-input handling across the stack.
+//!   degenerate-input handling across the stack;
+//! * [`InlierDrift`] — **stateful**: colluders drifting inside a σ-band of
+//!   the honest distribution while steering toward a target direction;
+//! * [`AlieVariance`] — **stateful**: "a little is enough" collusion with
+//!   the z-score derived from the cluster shape;
+//! * [`AdaptiveProbe`] — **stateful**: probes the defense's filtering
+//!   threshold through per-round selection feedback.
 //!
 //! The adversary controls *timing* as well as values: every attack reports
 //! an [`AttackTiming`] (racing honestly, straggling, or responding last)
 //! that the partial-quorum engine honours and the barrier engines ignore.
+//! Stateful adversaries additionally receive a [`RoundFeedback`] after every
+//! closed round through [`Attack::observe`] and evolve across rounds — see
+//! the [`adaptive`](crate::InlierDrift) strategies for the observe/forge
+//! loop.
 //!
 //! Every non-composite strategy is also constructible from a typed, serde
 //! round-trippable [`AttackSpec`] (or its textual form such as
@@ -49,12 +59,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod attack;
 mod composite;
 mod spec;
 mod strategies;
 
-pub use attack::{Attack, AttackContext, AttackError, AttackTiming};
+pub use adaptive::{AdaptiveProbe, AlieVariance, DriftTarget, InlierDrift};
+pub use attack::{Attack, AttackContext, AttackError, AttackTiming, RoundFeedback};
 pub use composite::{Alternating, KrumAware};
 pub use spec::{build_attack, AttackSpec, ATTACK_NAMES};
 pub use strategies::{
@@ -65,8 +77,9 @@ pub use strategies::{
 /// Convenience prelude for the attacks crate.
 pub mod prelude {
     pub use crate::{
-        Alternating, Attack, AttackContext, AttackError, AttackSpec, AttackTiming, Collusion,
-        ConstantTarget, GaussianNoise, KrumAware, LastToRespond, LittleIsEnough, Mimic, NoAttack,
-        NonFinite, OmniscientNegative, SignFlip, Straggler,
+        AdaptiveProbe, AlieVariance, Alternating, Attack, AttackContext, AttackError, AttackSpec,
+        AttackTiming, Collusion, ConstantTarget, DriftTarget, GaussianNoise, InlierDrift,
+        KrumAware, LastToRespond, LittleIsEnough, Mimic, NoAttack, NonFinite, OmniscientNegative,
+        RoundFeedback, SignFlip, Straggler,
     };
 }

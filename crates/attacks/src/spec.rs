@@ -14,6 +14,7 @@ use std::str::FromStr;
 
 use krum_tensor::Vector;
 
+use crate::adaptive::{AdaptiveProbe, AlieVariance, DriftTarget, InlierDrift};
 use crate::attack::{Attack, AttackError};
 use crate::composite::KrumAware;
 use crate::strategies::{
@@ -35,6 +36,9 @@ pub const ATTACK_NAMES: &[&str] = &[
     "straggler",
     "last-to-respond",
     "non-finite",
+    "inlier-drift",
+    "alie-variance",
+    "adaptive-probe",
 ];
 
 /// A typed, serialisable specification of a Byzantine strategy.
@@ -106,6 +110,30 @@ pub enum AttackSpec {
     /// Fault injection: NaN-filled proposals probing degenerate-input
     /// handling ([`NonFinite`]).
     NonFinite,
+    /// Stateful: inlier collusion drifting inside a σ-band of the honest
+    /// distribution ([`InlierDrift`]).
+    InlierDrift {
+        /// Band width in per-coordinate honest stds (default `1.5`).
+        sigma: f64,
+        /// Steering direction relative to descent (default [`DriftTarget::Neg`]).
+        target: DriftTarget,
+    },
+    /// Stateful: ALIE collusion with the z-score derived from the cluster
+    /// shape ([`AlieVariance`]).
+    AlieVariance {
+        /// Extra multiplier on the derived z-score (default `1`).
+        scale: f64,
+    },
+    /// Stateful: probes the defense's filtering threshold via selection
+    /// feedback ([`AdaptiveProbe`]).
+    AdaptiveProbe {
+        /// Initial probe magnitude (default `1`).
+        start: f64,
+        /// Growth factor while selected (default `1.25`).
+        grow: f64,
+        /// Back-off factor when filtered (default `0.5`).
+        backoff: f64,
+    },
 }
 
 impl AttackSpec {
@@ -143,21 +171,43 @@ impl AttackSpec {
             Self::Straggler { scale } => Ok(Box::new(Straggler::new(scale)?)),
             Self::LastToRespond { scale } => Ok(Box::new(LastToRespond::new(scale)?)),
             Self::NonFinite => Ok(Box::new(NonFinite::new())),
+            Self::InlierDrift { sigma, target } => Ok(Box::new(InlierDrift::new(sigma, target)?)),
+            Self::AlieVariance { scale } => Ok(Box::new(AlieVariance::new(scale)?)),
+            Self::AdaptiveProbe {
+                start,
+                grow,
+                backoff,
+            } => Ok(Box::new(AdaptiveProbe::new(start, grow, backoff)?)),
         }
     }
 
-    /// Cross-validates the spec against the cluster shape. The Figure-2
-    /// collusion needs `f ≥ 2` (`f − 1` decoys plus one colluder): with a
-    /// single Byzantine worker it degenerates to proposing the honest mean
-    /// and stops being the paper's attack, so scenario validation rejects it
-    /// rather than running a misleading experiment. (`f = 0` is allowed —
-    /// every attack is a no-op then.)
+    /// Whether the built attack carries cross-round state (its
+    /// [`Attack::observe`] hook is live). Engines use this to decide whether
+    /// to assemble per-round feedback, and the server uses it to decide
+    /// whether to relay `Frame::RoundFeedback` to the adversary connection.
+    pub fn stateful(&self) -> bool {
+        matches!(
+            self,
+            Self::InlierDrift { .. } | Self::AlieVariance { .. } | Self::AdaptiveProbe { .. }
+        )
+    }
+
+    /// Cross-validates the spec against the cluster shape (`honest = n − f`
+    /// correct workers, `byzantine = f` attackers). The Figure-2 collusion
+    /// needs `f ≥ 2` (`f − 1` decoys plus one colluder): with a single
+    /// Byzantine worker it degenerates to proposing the honest mean and
+    /// stops being the paper's attack, so scenario validation rejects it
+    /// rather than running a misleading experiment. The σ-band attacks
+    /// (`inlier-drift`, `alie-variance`) scale their shift to the empirical
+    /// honest standard deviation, which is undefined for fewer than two
+    /// honest samples — they need `n − f ≥ 2`. (`f = 0` is allowed — every
+    /// attack is a no-op then.)
     ///
     /// # Errors
     ///
     /// Returns [`AttackError::BadConfig`] when the spec cannot express its
-    /// attack with `byzantine` workers.
-    pub fn validate_for_cluster(&self, byzantine: usize) -> Result<(), AttackError> {
+    /// attack with this cluster shape.
+    pub fn validate_for_cluster(&self, honest: usize, byzantine: usize) -> Result<(), AttackError> {
         match self {
             Self::Collusion { .. } if byzantine == 1 => Err(AttackError::config(
                 "collusion",
@@ -165,6 +215,16 @@ impl AttackSpec {
                  with f = 1 it degenerates to proposing the honest mean — use `none`, \
                  `mimic` or `sign-flip` instead",
             )),
+            Self::InlierDrift { .. } | Self::AlieVariance { .. } if byzantine > 0 && honest < 2 => {
+                Err(AttackError::config(
+                    self.name(),
+                    format!(
+                        "σ-band attacks need n - f >= 2 honest workers (the variance of \
+                         the honest sample is undefined otherwise); this cluster has \
+                         n - f = {honest}"
+                    ),
+                ))
+            }
             _ => Ok(()),
         }
     }
@@ -184,6 +244,9 @@ impl AttackSpec {
             Self::Straggler { .. } => "straggler",
             Self::LastToRespond { .. } => "last-to-respond",
             Self::NonFinite => "non-finite",
+            Self::InlierDrift { .. } => "inlier-drift",
+            Self::AlieVariance { .. } => "alie-variance",
+            Self::AdaptiveProbe { .. } => "adaptive-probe",
         }
     }
 
@@ -214,6 +277,18 @@ impl fmt::Display for AttackSpec {
             Self::Straggler { scale } => write!(out, "straggler:scale={scale}"),
             Self::LastToRespond { scale } => write!(out, "last-to-respond:scale={scale}"),
             Self::NonFinite => out.write_str("non-finite"),
+            Self::InlierDrift { sigma, target } => {
+                write!(out, "inlier-drift:sigma={sigma},target={target}")
+            }
+            Self::AlieVariance { scale } => write!(out, "alie-variance:scale={scale}"),
+            Self::AdaptiveProbe {
+                start,
+                grow,
+                backoff,
+            } => write!(
+                out,
+                "adaptive-probe:start={start},grow={grow},backoff={backoff}"
+            ),
         }
     }
 }
@@ -224,7 +299,13 @@ impl FromStr for AttackSpec {
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
         let mut parts = spec.splitn(2, ':');
         let name = parts.next().unwrap_or_default().trim();
-        let params = parse_params(parts.next().unwrap_or(""), name)?;
+        let raw_params = parts.next().unwrap_or("");
+        // `inlier-drift` mixes a numeric and a symbolic parameter
+        // (`target=neg`), which the f64-valued parser cannot express.
+        if name == "inlier-drift" {
+            return parse_inlier_drift(raw_params);
+        }
+        let params = parse_params(raw_params, name)?;
         let get =
             |key: &str| -> Option<f64> { params.iter().find(|(k, _)| k == key).map(|(_, v)| *v) };
         let reject_unknown = |allowed: &[&str]| -> Result<(), AttackError> {
@@ -313,6 +394,20 @@ impl FromStr for AttackSpec {
                 reject_unknown(&[])?;
                 Ok(Self::NonFinite)
             }
+            "alie-variance" => {
+                reject_unknown(&["scale"])?;
+                Ok(Self::AlieVariance {
+                    scale: get("scale").unwrap_or(1.0),
+                })
+            }
+            "adaptive-probe" => {
+                reject_unknown(&["start", "grow", "backoff"])?;
+                Ok(Self::AdaptiveProbe {
+                    start: get("start").unwrap_or(1.0),
+                    grow: get("grow").unwrap_or(1.25),
+                    backoff: get("backoff").unwrap_or(0.5),
+                })
+            }
             other => Err(AttackError::config(
                 "spec",
                 format!(
@@ -353,6 +448,46 @@ impl serde::Deserialize for AttackSpec {
 /// lists or out-of-range parameter values.
 pub fn build_attack(spec: &str, dim: usize) -> Result<Box<dyn Attack>, AttackError> {
     spec.parse::<AttackSpec>()?.build(dim)
+}
+
+/// Parses the `inlier-drift` parameter list, whose `target` value is
+/// symbolic (`neg`/`pos`) rather than numeric.
+fn parse_inlier_drift(raw: &str) -> Result<AttackSpec, AttackError> {
+    let mut sigma = 1.5;
+    let mut target = DriftTarget::Neg;
+    for piece in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let mut kv = piece.splitn(2, '=');
+        let key = kv.next().unwrap_or_default().trim();
+        let value = kv
+            .next()
+            .ok_or_else(|| {
+                AttackError::config(
+                    "spec",
+                    format!(
+                        "parameter `{piece}` for attack `inlier-drift` is not of the form key=value"
+                    ),
+                )
+            })?
+            .trim();
+        match key {
+            "sigma" => {
+                sigma = value.parse().map_err(|_| {
+                    AttackError::config(
+                        "spec",
+                        "parameter `sigma` of attack `inlier-drift` must be a number",
+                    )
+                })?;
+            }
+            "target" => target = value.parse()?,
+            other => {
+                return Err(AttackError::config(
+                    "spec",
+                    format!("unknown parameter `{other}` for attack `inlier-drift`"),
+                ))
+            }
+        }
+    }
+    Ok(AttackSpec::InlierDrift { sigma, target })
 }
 
 /// Parses `key=value,key=value` parameter lists with `f64` values.
@@ -430,6 +565,20 @@ mod tests {
             AttackSpec::Straggler { scale: 2.5 },
             AttackSpec::LastToRespond { scale: 4.0 },
             AttackSpec::NonFinite,
+            AttackSpec::InlierDrift {
+                sigma: 1.5,
+                target: crate::adaptive::DriftTarget::Neg,
+            },
+            AttackSpec::InlierDrift {
+                sigma: 0.75,
+                target: crate::adaptive::DriftTarget::Pos,
+            },
+            AttackSpec::AlieVariance { scale: 2.0 },
+            AttackSpec::AdaptiveProbe {
+                start: 0.5,
+                grow: 1.5,
+                backoff: 0.25,
+            },
         ];
         for spec in specs {
             let parsed: AttackSpec = spec.to_string().parse().unwrap();
@@ -506,16 +655,121 @@ mod tests {
     #[test]
     fn collusion_with_single_attacker_is_rejected_by_cross_validation() {
         let collusion = AttackSpec::Collusion { magnitude: 100.0 };
-        let err = collusion.validate_for_cluster(1).unwrap_err();
+        let err = collusion.validate_for_cluster(8, 1).unwrap_err();
         assert!(err.to_string().contains("f >= 2"), "got: {err}");
         // f = 0 (no-op) and f >= 2 (the real construction) stay valid.
-        assert!(collusion.validate_for_cluster(0).is_ok());
-        assert!(collusion.validate_for_cluster(2).is_ok());
-        // Other attacks have no cluster constraint.
+        assert!(collusion.validate_for_cluster(8, 0).is_ok());
+        assert!(collusion.validate_for_cluster(8, 2).is_ok());
+        // Other non-σ-band attacks have no cluster constraint.
         for spec in AttackSpec::all() {
-            if spec.name() != "collusion" {
-                assert!(spec.validate_for_cluster(1).is_ok(), "{spec}");
+            if spec.name() != "collusion"
+                && !matches!(
+                    spec,
+                    AttackSpec::InlierDrift { .. } | AttackSpec::AlieVariance { .. }
+                )
+            {
+                assert!(spec.validate_for_cluster(1, 1).is_ok(), "{spec}");
             }
         }
+    }
+
+    /// Satellite: σ-band attacks scale to the empirical honest std, which is
+    /// undefined for fewer than two honest workers — cross-validation must
+    /// reject such clusters with an error naming the bound.
+    #[test]
+    fn sigma_band_attacks_need_two_honest_workers() {
+        let drift = "inlier-drift".parse::<AttackSpec>().unwrap();
+        let alie = "alie-variance".parse::<AttackSpec>().unwrap();
+        for spec in [drift, alie] {
+            let err = spec.validate_for_cluster(1, 2).unwrap_err();
+            assert!(err.to_string().contains("n - f >= 2"), "got: {err}");
+            assert!(spec.validate_for_cluster(0, 3).is_err());
+            // Two honest workers (or a no-op f = 0 cluster) are fine.
+            assert!(spec.validate_for_cluster(2, 1).is_ok());
+            assert!(spec.validate_for_cluster(1, 0).is_ok());
+        }
+        // adaptive-probe needs no variance — a single honest worker is fine.
+        let probe = "adaptive-probe".parse::<AttackSpec>().unwrap();
+        assert!(probe.validate_for_cluster(1, 2).is_ok());
+    }
+
+    #[test]
+    fn stateful_grammar_round_trips_and_flags() {
+        let drift: AttackSpec = "inlier-drift:sigma=1.5,target=neg".parse().unwrap();
+        assert_eq!(
+            drift,
+            AttackSpec::InlierDrift {
+                sigma: 1.5,
+                target: crate::adaptive::DriftTarget::Neg,
+            }
+        );
+        assert!(drift.stateful());
+        assert_eq!(drift.to_string(), "inlier-drift:sigma=1.5,target=neg");
+        // Defaults and the pos target.
+        assert_eq!(
+            "inlier-drift".parse::<AttackSpec>().unwrap(),
+            AttackSpec::InlierDrift {
+                sigma: 1.5,
+                target: crate::adaptive::DriftTarget::Neg,
+            }
+        );
+        assert_eq!(
+            "inlier-drift:target=pos,sigma=2"
+                .parse::<AttackSpec>()
+                .unwrap(),
+            AttackSpec::InlierDrift {
+                sigma: 2.0,
+                target: crate::adaptive::DriftTarget::Pos,
+            }
+        );
+        assert!("inlier-drift:target=sideways"
+            .parse::<AttackSpec>()
+            .is_err());
+        assert!("inlier-drift:sigma=abc".parse::<AttackSpec>().is_err());
+        assert!("inlier-drift:z=1".parse::<AttackSpec>().is_err());
+        assert!("inlier-drift:sigma".parse::<AttackSpec>().is_err());
+
+        assert_eq!(
+            "alie-variance".parse::<AttackSpec>().unwrap(),
+            AttackSpec::AlieVariance { scale: 1.0 }
+        );
+        assert_eq!(
+            "adaptive-probe:grow=2".parse::<AttackSpec>().unwrap(),
+            AttackSpec::AdaptiveProbe {
+                start: 1.0,
+                grow: 2.0,
+                backoff: 0.5,
+            }
+        );
+        // Built attacks report their statefulness through the trait too.
+        for name in ["inlier-drift", "alie-variance", "adaptive-probe"] {
+            let spec: AttackSpec = name.parse().unwrap();
+            assert!(spec.stateful(), "{name}");
+            assert!(spec.build(4).unwrap().stateful(), "{name}");
+        }
+        // Stateless specs stay stateless.
+        assert!(!"sign-flip".parse::<AttackSpec>().unwrap().stateful());
+        assert!(!"none"
+            .parse::<AttackSpec>()
+            .unwrap()
+            .build(4)
+            .unwrap()
+            .stateful());
+        // Out-of-range parameters still surface at build time.
+        assert!("inlier-drift:sigma=-1"
+            .parse::<AttackSpec>()
+            .unwrap()
+            .build(4)
+            .is_err());
+        assert!("alie-variance:scale=0"
+            .parse::<AttackSpec>()
+            .unwrap()
+            .build(4)
+            .is_err());
+        assert!("adaptive-probe:backoff=2"
+            .parse::<AttackSpec>()
+            .unwrap()
+            .build(4)
+            .is_err());
     }
 }

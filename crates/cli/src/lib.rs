@@ -83,6 +83,11 @@ commands:
         --n LIST|A..B      worker counts (e.g. 10,20 or 10..14)
         --f LIST|A..B      byzantine counts (e.g. 2..6)
         --seed LIST|A..B   master seeds
+        --attack-sigma LIST|A..B
+                           inlier-drift sigma-band widths (floats, e.g.
+                           0.5,1,1.5; a range steps by 1.0). Cells whose
+                           attack is not inlier-drift are reported and
+                           skipped.
         --quorum LIST|A..B quorum sizes (base must use AsyncQuorum execution)
         --groups LIST|A..B hierarchical group counts (krum base becomes
                            hierarchical:groups=g; a hierarchical base keeps
@@ -253,6 +258,9 @@ pub struct SweepAxes {
     pub fs: Vec<usize>,
     /// Seeds to sweep (empty → base seed).
     pub seeds: Vec<u64>,
+    /// Inlier-drift sigma-band widths to sweep (empty → attack unchanged;
+    /// requires an `inlier-drift` attack in each cell).
+    pub attack_sigmas: Vec<f64>,
     /// Quorum sizes to sweep (empty → base execution unchanged; requires an
     /// `AsyncQuorum` base execution).
     pub quorums: Vec<usize>,
@@ -491,6 +499,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             .map(|s| s as u64)
                             .collect();
                     }
+                    "--attack-sigma" => {
+                        axes.attack_sigmas = parse_f64_axis(
+                            &expect_value(&mut it, "--attack-sigma")?,
+                            "--attack-sigma",
+                        )?;
+                    }
                     "--rounds" => {
                         let value = expect_value(&mut it, "--rounds")?;
                         axes.rounds = Some(value.parse().map_err(|_| {
@@ -568,6 +582,41 @@ pub fn parse_axis(raw: &str, flag: &str) -> Result<Vec<usize>, CliError> {
     }
 }
 
+/// Parses a float axis: either a comma list (`0.5,1,1.5`) or an inclusive
+/// range (`1..3`) stepping by 1.0. Values must be finite and positive.
+pub fn parse_f64_axis(raw: &str, flag: &str) -> Result<Vec<f64>, CliError> {
+    let malformed = || {
+        CliError::Usage(format!(
+            "{flag} expects a comma list of positive floats (`0.5,1,1.5`) or an inclusive \
+             range stepping by 1 (`1..3`), got `{raw}`"
+        ))
+    };
+    let parse_one = |s: &str| -> Result<f64, CliError> {
+        let value: f64 = s.trim().parse().map_err(|_| malformed())?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(malformed());
+        }
+        Ok(value)
+    };
+    if let Some((lo, hi)) = raw.split_once("..") {
+        let lo = parse_one(lo)?;
+        let hi = parse_one(hi)?;
+        if lo > hi {
+            return Err(malformed());
+        }
+        // Step from `lo` by whole units rather than accumulating `+= 1.0`,
+        // so the grid is exact for any representable endpoints.
+        let steps = (hi - lo).floor() as usize;
+        Ok((0..=steps).map(|i| lo + i as f64).collect())
+    } else {
+        let values: Vec<f64> = split_list(raw).map(parse_one).collect::<Result<_, _>>()?;
+        if values.is_empty() {
+            return Err(malformed());
+        }
+        Ok(values)
+    }
+}
+
 /// One cell of a sweep: either a runnable spec or the reason it was skipped.
 #[derive(Debug)]
 pub enum SweepCell {
@@ -617,6 +666,11 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
     } else {
         axes.groups.iter().copied().map(Some).collect()
     };
+    let sigmas: Vec<Option<f64>> = if axes.attack_sigmas.is_empty() {
+        vec![None]
+    } else {
+        axes.attack_sigmas.iter().copied().map(Some).collect()
+    };
 
     let mut cells = Vec::new();
     for &rule in &rules {
@@ -626,71 +680,95 @@ pub fn expand_sweep(base: &ScenarioSpec, axes: &SweepAxes) -> Vec<SweepCell> {
                     for &seed in &seeds {
                         for &quorum in &quorums {
                             for &groups in &groups_axis {
-                                let name =
-                                    cell_name(&base.name, rule, attack, n, f, seed, quorum, groups);
-                                let cluster = match ClusterSpec::new(n, f) {
-                                    Ok(c) => c,
-                                    Err(e) => {
-                                        cells.push(SweepCell::Invalid(name, e.to_string()));
-                                        continue;
-                                    }
-                                };
-                                let mut spec = base.clone();
-                                spec.name = name.clone();
-                                spec.cluster = cluster;
-                                spec.rule = rule;
-                                spec.attack = attack;
-                                spec.seed = seed;
-                                if let Some(g) = groups {
-                                    spec.rule = match rule {
-                                        // A flat krum base shards into g groups of
-                                        // krum-over-krum.
-                                        RuleSpec::Krum => RuleSpec::Hierarchical {
-                                            groups: g,
-                                            inner: StageRule::Krum,
-                                            outer: StageRule::Krum,
-                                        },
-                                        // A hierarchical base keeps its stages and
-                                        // sweeps the group count.
-                                        RuleSpec::Hierarchical { inner, outer, .. } => {
-                                            RuleSpec::Hierarchical {
-                                                groups: g,
-                                                inner,
-                                                outer,
-                                            }
-                                        }
-                                        other => {
-                                            cells.push(SweepCell::Invalid(
-                                                name,
-                                                format!(
-                                                    "--groups requires a krum or hierarchical \
-                                                     rule, got `{other}`"
-                                                ),
-                                            ));
+                                for &sigma in &sigmas {
+                                    let name = cell_name(
+                                        &base.name, rule, attack, n, f, seed, quorum, groups, sigma,
+                                    );
+                                    let cluster = match ClusterSpec::new(n, f) {
+                                        Ok(c) => c,
+                                        Err(e) => {
+                                            cells.push(SweepCell::Invalid(name, e.to_string()));
                                             continue;
                                         }
                                     };
-                                }
-                                if let Some(q) = quorum {
-                                    match &mut spec.execution {
-                                        ExecutionSpec::AsyncQuorum { quorum, .. } => *quorum = q,
-                                        _ => {
-                                            cells.push(SweepCell::Invalid(
+                                    let mut spec = base.clone();
+                                    spec.name = name.clone();
+                                    spec.cluster = cluster;
+                                    spec.rule = rule;
+                                    spec.attack = attack;
+                                    spec.seed = seed;
+                                    if let Some(s) = sigma {
+                                        spec.attack = match attack {
+                                            AttackSpec::InlierDrift { target, .. } => {
+                                                AttackSpec::InlierDrift { sigma: s, target }
+                                            }
+                                            other => {
+                                                cells.push(SweepCell::Invalid(
+                                                    name,
+                                                    format!(
+                                                        "--attack-sigma requires an inlier-drift \
+                                                     attack, got `{other}`"
+                                                    ),
+                                                ));
+                                                continue;
+                                            }
+                                        };
+                                    }
+                                    if let Some(g) = groups {
+                                        spec.rule = match rule {
+                                            // A flat krum base shards into g groups of
+                                            // krum-over-krum.
+                                            RuleSpec::Krum => RuleSpec::Hierarchical {
+                                                groups: g,
+                                                inner: StageRule::Krum,
+                                                outer: StageRule::Krum,
+                                            },
+                                            // A hierarchical base keeps its stages and
+                                            // sweeps the group count.
+                                            RuleSpec::Hierarchical { inner, outer, .. } => {
+                                                RuleSpec::Hierarchical {
+                                                    groups: g,
+                                                    inner,
+                                                    outer,
+                                                }
+                                            }
+                                            other => {
+                                                cells.push(SweepCell::Invalid(
+                                                    name,
+                                                    format!(
+                                                        "--groups requires a krum or hierarchical \
+                                                     rule, got `{other}`"
+                                                    ),
+                                                ));
+                                                continue;
+                                            }
+                                        };
+                                    }
+                                    if let Some(q) = quorum {
+                                        match &mut spec.execution {
+                                            ExecutionSpec::AsyncQuorum { quorum, .. } => {
+                                                *quorum = q
+                                            }
+                                            _ => {
+                                                cells.push(SweepCell::Invalid(
                                                 name,
                                                 "--quorum requires an async-quorum execution in \
                                                  the base scenario"
                                                     .to_string(),
                                             ));
-                                            continue;
+                                                continue;
+                                            }
                                         }
                                     }
-                                }
-                                if let Some(rounds) = axes.rounds {
-                                    spec.rounds = rounds;
-                                }
-                                match spec.validate() {
-                                    Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
-                                    Err(e) => cells.push(SweepCell::Invalid(name, e.to_string())),
+                                    if let Some(rounds) = axes.rounds {
+                                        spec.rounds = rounds;
+                                    }
+                                    match spec.validate() {
+                                        Ok(()) => cells.push(SweepCell::Spec(Box::new(spec))),
+                                        Err(e) => {
+                                            cells.push(SweepCell::Invalid(name, e.to_string()))
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -713,12 +791,16 @@ fn cell_name(
     seed: u64,
     quorum: Option<usize>,
     groups: Option<usize>,
+    sigma: Option<f64>,
 ) -> String {
     let sanitize = |s: String| s.replace([':', '=', ',', '.'], "-");
     let quorum_tag = quorum.map(|q| format!("_q{q}")).unwrap_or_default();
     let groups_tag = groups.map(|g| format!("_g{g}")).unwrap_or_default();
+    let sigma_tag = sigma
+        .map(|s| format!("_sig{}", sanitize(s.to_string())))
+        .unwrap_or_default();
     format!(
-        "{base}_{}_{}_n{n}_f{f}_s{seed}{quorum_tag}{groups_tag}",
+        "{base}_{}_{}_n{n}_f{f}_s{seed}{quorum_tag}{groups_tag}{sigma_tag}",
         sanitize(rule.to_string()),
         sanitize(attack.to_string())
     )
@@ -1474,6 +1556,114 @@ mod tests {
         assert_eq!(parse_axis(" 1, 3 ,5 ", "--f").unwrap(), vec![1, 3, 5]);
         assert!(parse_axis("", "--f").is_err());
         assert!(parse_axis("1..", "--f").is_err());
+    }
+
+    #[test]
+    fn float_axis_parsing_accepts_lists_and_unit_stepped_ranges() {
+        assert_eq!(
+            parse_f64_axis("0.5,1,1.5", "--attack-sigma").unwrap(),
+            vec![0.5, 1.0, 1.5]
+        );
+        assert_eq!(
+            parse_f64_axis("1..3", "--attack-sigma").unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        // A fractional lower bound steps by whole units up to the bound.
+        assert_eq!(
+            parse_f64_axis("0.5..2.7", "--attack-sigma").unwrap(),
+            vec![0.5, 1.5, 2.5]
+        );
+        assert_eq!(parse_f64_axis(" 2 ", "--attack-sigma").unwrap(), vec![2.0]);
+        assert!(parse_f64_axis("", "--attack-sigma").is_err());
+        assert!(parse_f64_axis("3..1", "--attack-sigma").is_err());
+        assert!(parse_f64_axis("0", "--attack-sigma").is_err());
+        assert!(parse_f64_axis("-1,2", "--attack-sigma").is_err());
+        assert!(parse_f64_axis("nan", "--attack-sigma").is_err());
+    }
+
+    #[test]
+    fn attack_sigma_axis_requires_inlier_drift_and_sweeps_sigma() {
+        // On an inlier-drift base the sigma is overridden per cell and
+        // tagged into the file-name-safe cell name.
+        let mut base = template_spec();
+        base.attack = "inlier-drift:sigma=1,target=neg".parse().unwrap();
+        let axes = SweepAxes {
+            attack_sigmas: vec![0.5, 1.5],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 2);
+        let sigmas: Vec<f64> = cells
+            .iter()
+            .map(|c| match c {
+                SweepCell::Spec(s) => match s.attack {
+                    AttackSpec::InlierDrift { sigma, .. } => sigma,
+                    other => panic!("expected inlier-drift, got {other}"),
+                },
+                other => panic!("expected a valid cell, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(sigmas, vec![0.5, 1.5]);
+        let names: Vec<&str> = cells
+            .iter()
+            .filter_map(|c| match c {
+                SweepCell::Spec(s) => Some(s.name.as_str()),
+                SweepCell::Invalid(..) => None,
+            })
+            .collect();
+        assert!(names[0].ends_with("_sig0-5"), "got: {}", names[0]);
+        assert!(names[1].ends_with("_sig1-5"), "got: {}", names[1]);
+        assert!(names.iter().all(|n| !n.contains(['.', ':', '='])));
+
+        // Any other attack rejects the axis cell-by-cell, with the reason
+        // naming the flag.
+        let base = template_spec(); // sign-flip
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| matches!(
+            c,
+            SweepCell::Invalid(_, reason) if reason.contains("--attack-sigma")
+        )));
+
+        // An --attack axis mixing inlier-drift with another attack sweeps
+        // the former and reports the latter.
+        let mut base = template_spec();
+        base.attack = "inlier-drift:sigma=1,target=neg".parse().unwrap();
+        let axes = SweepAxes {
+            attacks: vec![
+                "inlier-drift:sigma=2,target=pos".parse().unwrap(),
+                "sign-flip:scale=3".parse().unwrap(),
+            ],
+            attack_sigmas: vec![1.0],
+            rounds: Some(5),
+            ..SweepAxes::default()
+        };
+        let cells = expand_sweep(&base, &axes);
+        assert_eq!(cells.len(), 2);
+        let valid: Vec<&ScenarioSpec> = cells
+            .iter()
+            .filter_map(|c| match c {
+                SweepCell::Spec(s) => Some(s.as_ref()),
+                SweepCell::Invalid(..) => None,
+            })
+            .collect();
+        assert_eq!(valid.len(), 1);
+        // The sigma override wins; the axis attack's target is kept.
+        assert!(matches!(
+            valid[0].attack,
+            AttackSpec::InlierDrift {
+                sigma,
+                target: krum_attacks::DriftTarget::Pos,
+            } if sigma == 1.0
+        ));
+
+        // Parsing: --attack-sigma rides the sweep arm like the other axes.
+        let cmd = parse(&args(&["sweep", "base.json", "--attack-sigma", "0.5,1"])).unwrap();
+        match cmd {
+            Command::Sweep { axes, .. } => assert_eq!(axes.attack_sigmas, vec![0.5, 1.0]),
+            other => panic!("expected sweep, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! rejoin it through their deterministic backoff loop, and the finished
 //! trajectory is **bit-identical** to an uninterrupted run of the same
 //! spec — the checkpoint/rejoin machinery is invisible in the metrics.
+//!
+//! Two flavours: a clean averaging cluster (the original pin) and a
+//! Byzantine cluster under the *stateful* reputation-weighted defense,
+//! whose per-worker EWMA memory must survive the kill through the
+//! checkpoint's stateful-rule sidecar field.
 
 #![cfg(unix)]
 
@@ -19,7 +24,9 @@ use krum_models::EstimatorSpec;
 use krum_scenario::{CrashPolicy, ExecutionSpec, InitSpec, ProbeSpec, ScenarioSpec};
 
 /// The columns that must be bit-identical between the interrupted and the
-/// uninterrupted run (timing and wire columns legitimately differ).
+/// uninterrupted run (timing and wire columns legitimately differ). The
+/// drift and reputation columns are deterministic too: the tracker and the
+/// rule state both resume from the checkpoint.
 const DETERMINISTIC_COLUMNS: &[&str] = &[
     "round",
     "loss",
@@ -31,11 +38,14 @@ const DETERMINISTIC_COLUMNS: &[&str] = &[
     "selected_worker",
     "selected_byzantine",
     "learning_rate",
+    "dist_to_honest_mean",
+    "attacker_displacement",
+    "reputation_spread",
 ];
 
-fn spec() -> ScenarioSpec {
+fn base_spec(name: &str) -> ScenarioSpec {
     ScenarioSpec {
-        name: "serve-resume".into(),
+        name: name.into(),
         cluster: ClusterSpec::new(3, 0).unwrap(),
         rule: RuleSpec::Average,
         attack: AttackSpec::None,
@@ -123,20 +133,22 @@ fn deterministic_rows(csv: &str) -> Vec<String> {
         .collect()
 }
 
-#[test]
-fn sigkilled_serve_resumes_bit_identically_through_real_processes() {
-    let dir = temp_dir("kill9");
+/// The full kill -9 → resume → compare-to-control roundtrip for one spec.
+/// `connections` is the number of worker processes the job needs (honest
+/// workers plus one adversary connection when `f > 0`).
+fn kill9_roundtrip(tag: &str, spec: ScenarioSpec, connections: usize) -> Vec<String> {
+    let dir = temp_dir(tag);
     let ckpt_dir = dir.join("ckpts");
     let out_dir = dir.join("out");
     std::fs::create_dir_all(&ckpt_dir).unwrap();
     let spec_path = dir.join("spec.json");
-    std::fs::write(&spec_path, spec().to_json().unwrap()).unwrap();
+    std::fs::write(&spec_path, spec.to_json().unwrap()).unwrap();
     let addr = free_addr();
 
-    // Serve with per-round checkpoints, then staff it with three real
-    // worker processes that are allowed to rejoin. The stdout reader must
-    // outlive the child: dropping it closes the pipe and turns the
-    // server's own summary lines into EPIPE failures.
+    // Serve with per-round checkpoints, then staff it with real worker
+    // processes that are allowed to rejoin. The stdout reader must outlive
+    // the child: dropping it closes the pipe and turns the server's own
+    // summary lines into EPIPE failures.
     let (mut serve, _serve_out) = spawn_serve(&[
         "serve",
         spec_path.to_str().unwrap(),
@@ -147,7 +159,7 @@ fn sigkilled_serve_resumes_bit_identically_through_real_processes() {
         "--checkpoint-every",
         "1",
     ]);
-    let workers: Vec<Child> = (0..3)
+    let workers: Vec<Child> = (0..connections)
         .map(|_| {
             Command::new(env!("CARGO_BIN_EXE_krum"))
                 .args(["worker", "--connect", &addr, "--retries", "60"])
@@ -241,15 +253,56 @@ fn sigkilled_serve_resumes_bit_identically_through_real_processes() {
         "control run failed: {}",
         String::from_utf8_lossy(&control.stderr)
     );
-    let resumed_csv = std::fs::read_to_string(out_dir.join("serve-resume.csv")).unwrap();
+    let resumed_csv = std::fs::read_to_string(out_dir.join(format!("{}.csv", spec.name))).unwrap();
     let control_csv = std::fs::read_to_string(&control_csv).unwrap();
     let resumed_rows = deterministic_rows(&resumed_csv);
     let control_rows = deterministic_rows(&control_csv);
-    assert_eq!(resumed_rows.len(), 1200, "all rounds must be present");
+    assert_eq!(
+        resumed_rows.len(),
+        spec.rounds,
+        "all rounds must be present"
+    );
     assert_eq!(
         resumed_rows, control_rows,
         "a SIGKILL + resume must be invisible in the deterministic columns"
     );
 
     std::fs::remove_dir_all(&dir).unwrap();
+    resumed_rows
+}
+
+#[test]
+fn sigkilled_serve_resumes_bit_identically_through_real_processes() {
+    kill9_roundtrip("kill9", base_spec("serve-resume"), 3);
+}
+
+/// The stateful-defense flavour: a Byzantine cluster under
+/// reputation-weighted aggregation is SIGKILLed mid-job and resumed. The
+/// per-worker EWMA weights ride the checkpoint's `stateful_rule` field and
+/// the drift tracker restarts from the last recorded displacement, so the
+/// stitched CSV — including `reputation_spread` and
+/// `attacker_displacement` — is bit-identical to the uninterrupted control.
+#[test]
+fn sigkilled_reputation_weighted_serve_resumes_bit_identically() {
+    let mut spec = base_spec("serve-resume-rw");
+    spec.cluster = ClusterSpec::new(4, 1).unwrap();
+    spec.rule = RuleSpec::ReputationWeighted { eta: 0.2 };
+    spec.attack = AttackSpec::SignFlip { scale: 3.0 };
+    spec.seed = 41;
+    let rows = kill9_roundtrip("kill9-rw", spec, 4);
+    // The stateful columns are genuinely live in the stitched run: at
+    // least one row carries a finite reputation spread and displacement.
+    let live = rows.iter().any(|row| {
+        let cells: Vec<&str> = row.split(',').collect();
+        let spread = cells[DETERMINISTIC_COLUMNS
+            .iter()
+            .position(|c| *c == "reputation_spread")
+            .unwrap()];
+        let displacement = cells[DETERMINISTIC_COLUMNS
+            .iter()
+            .position(|c| *c == "attacker_displacement")
+            .unwrap()];
+        !spread.is_empty() && !displacement.is_empty()
+    });
+    assert!(live, "reputation/drift columns never filled in: {rows:?}");
 }

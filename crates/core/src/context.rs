@@ -25,6 +25,7 @@ use krum_tensor::Vector;
 use crate::aggregator::Aggregation;
 use crate::hierarchical::HierWorkspace;
 use crate::kernel;
+use crate::stateful::StatefulState;
 
 /// How a rule may spread its work across the `rayon` pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +119,14 @@ pub struct AggregationContext {
     /// Lazily created workspace for the hierarchical rule (boxed: most
     /// contexts never aggregate hierarchically).
     pub(crate) hier: Option<Box<HierWorkspace>>,
+    /// Cross-round memory of the stateful rules (boxed: most contexts never
+    /// run one). Installed lazily on first stateful aggregation; survives
+    /// rounds and is exportable for checkpointing.
+    pub(crate) stateful: Option<Box<StatefulState>>,
+    /// Worker id behind each proposal slot of the next aggregation, declared
+    /// by the engine via [`AggregationContext::set_slot_workers`]. Empty (or
+    /// arity-mismatched) means slot `i` *is* worker `i`.
+    pub(crate) slot_workers: Vec<usize>,
 }
 
 impl Default for AggregationContext {
@@ -153,6 +162,8 @@ impl AggregationContext {
             pending_armed: false,
             gram_changed: Vec::new(),
             hier: None,
+            stateful: None,
+            slot_workers: Vec::new(),
         }
     }
 
@@ -195,6 +206,31 @@ impl AggregationContext {
         self.output.selected.clear();
         self.output.scores.clear();
         self.output.reset_value(dim)
+    }
+
+    /// Cross-round state of the stateful rules, `None` until one has run in
+    /// this context (or until a state was installed via
+    /// [`AggregationContext::set_stateful_state`]).
+    pub fn stateful_state(&self) -> Option<&StatefulState> {
+        self.stateful.as_deref()
+    }
+
+    /// Installs (or clears, with `None`) the stateful-rule memory — the
+    /// checkpoint-resume path: exporting `stateful_state().cloned()` before a
+    /// crash and re-installing it here reproduces the trajectory
+    /// bit-identically.
+    pub fn set_stateful_state(&mut self, state: Option<StatefulState>) {
+        self.stateful = state.map(Box::new);
+    }
+
+    /// Declares the worker id behind each proposal slot of the *next*
+    /// aggregation, so per-worker state (reputation weights) follows workers
+    /// through changing quorum compositions. The map is consulted only when
+    /// its length matches the proposal count; engines whose slot order *is*
+    /// the worker order can skip this entirely.
+    pub fn set_slot_workers(&mut self, workers: &[usize]) {
+        self.slot_workers.clear();
+        self.slot_workers.extend_from_slice(workers);
     }
 
     /// Arms the generation-keyed Gram cache for the *next* aggregation:

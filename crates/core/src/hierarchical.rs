@@ -43,7 +43,7 @@ use crate::resilience::{hierarchical_bounds, HierarchicalBounds};
 ///
 /// Converts losslessly to and from the corresponding [`RuleSpec`] variants
 /// and parses from the same textual forms (`"krum"`, `"multi-krum:m=4"`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StageRule {
     /// Plain averaging.
     Average,
@@ -69,6 +69,22 @@ pub enum StageRule {
     ClosestToBarycenter,
     /// The exponential minimum-diameter-subset rule.
     MinDiameterSubset,
+    /// **Stateful**: per-worker EWMA reputation weighting. As a stage, the
+    /// cross-round state lives in the per-group workspace — usable
+    /// in-process, but not checkpointable (see
+    /// [`RuleSpec::hierarchical_stateful`]).
+    ReputationWeighted {
+        /// EWMA step size `η ∈ (0, 1]`.
+        eta: f64,
+    },
+    /// **Stateful**: momentum-anchored centered clipping (same
+    /// checkpointing caveat as [`StageRule::ReputationWeighted`]).
+    CenteredClip {
+        /// Clipping radius `τ > 0`.
+        tau: f64,
+        /// Anchor momentum `β ∈ [0, 1)`.
+        beta: f64,
+    },
 }
 
 impl StageRule {
@@ -84,7 +100,18 @@ impl StageRule {
             Self::GeometricMedian => RuleSpec::GeometricMedian,
             Self::ClosestToBarycenter => RuleSpec::ClosestToBarycenter,
             Self::MinDiameterSubset => RuleSpec::MinDiameterSubset,
+            Self::ReputationWeighted { eta } => RuleSpec::ReputationWeighted { eta },
+            Self::CenteredClip { tau, beta } => RuleSpec::CenteredClip { tau, beta },
         }
+    }
+
+    /// Whether this stage carries cross-round state (see
+    /// [`RuleSpec::stateful`]).
+    pub fn stateful(self) -> bool {
+        matches!(
+            self,
+            Self::ReputationWeighted { .. } | Self::CenteredClip { .. }
+        )
     }
 
     /// The stage form of a top-level spec; `None` when `rule` is itself
@@ -100,6 +127,8 @@ impl StageRule {
             RuleSpec::GeometricMedian => Some(Self::GeometricMedian),
             RuleSpec::ClosestToBarycenter => Some(Self::ClosestToBarycenter),
             RuleSpec::MinDiameterSubset => Some(Self::MinDiameterSubset),
+            RuleSpec::ReputationWeighted { eta } => Some(Self::ReputationWeighted { eta }),
+            RuleSpec::CenteredClip { tau, beta } => Some(Self::CenteredClip { tau, beta }),
             RuleSpec::Hierarchical { .. } => None,
         }
     }
@@ -613,6 +642,11 @@ mod tests {
             StageRule::GeometricMedian,
             StageRule::ClosestToBarycenter,
             StageRule::MinDiameterSubset,
+            StageRule::ReputationWeighted { eta: 0.25 },
+            StageRule::CenteredClip {
+                tau: 3.5,
+                beta: 0.5,
+            },
         ];
         for stage in stages {
             let parsed: StageRule = stage.to_string().parse().unwrap();

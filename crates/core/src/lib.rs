@@ -18,6 +18,11 @@
 //!   [`MinimumDiameterSubset`] (the exponential majority-based rule of the
 //!   introduction), plus the classical robust statistics
 //!   [`CoordinateWiseMedian`], [`TrimmedMean`] and [`GeometricMedian`];
+//! * **stateful defenses** against multi-round adaptive adversaries:
+//!   [`ReputationWeighted`] (per-worker EWMA reputation weights) and
+//!   [`CenteredClip`] (momentum-anchored clipping), whose cross-round
+//!   memory lives in the [`AggregationContext`] as a checkpointable
+//!   [`StatefulState`] (see the [`StatefulAggregator`] layer trait);
 //! * the [`resilience`] module — an empirical estimator of the
 //!   `(α, f)`-Byzantine-resilience condition of Definition 3.2 and the
 //!   `η(n, f)` constant of Proposition 4.2.
@@ -66,6 +71,7 @@ mod krum;
 mod median;
 mod registry;
 pub mod resilience;
+mod stateful;
 mod subset;
 
 /// The pre-optimization (per-pair, sort-based) Krum reference path, exposed
@@ -90,13 +96,15 @@ pub use resilience::{
     eta, hierarchical_bounds, krum_sin_alpha, HierarchicalBounds, ResilienceCheck,
     ResilienceEstimator,
 };
+pub use stateful::{CenteredClip, ReputationWeighted, StatefulAggregator, StatefulState};
 pub use subset::MinimumDiameterSubset;
 
 /// Convenience prelude for the aggregation crate.
 pub mod prelude {
     pub use crate::{
-        Aggregation, AggregationContext, AggregationError, Aggregator, Average,
+        Aggregation, AggregationContext, AggregationError, Aggregator, Average, CenteredClip,
         ClosestToBarycenter, CoordinateWiseMedian, ExecutionPolicy, GeometricMedian, Hierarchical,
-        Krum, MinimumDiameterSubset, MultiKrum, RuleSpec, StageRule, TrimmedMean, WeightedAverage,
+        Krum, MinimumDiameterSubset, MultiKrum, ReputationWeighted, RuleSpec, StageRule,
+        StatefulAggregator, StatefulState, TrimmedMean, WeightedAverage,
     };
 }

@@ -19,6 +19,7 @@ use crate::error::AggregationError;
 use crate::hierarchical::{Hierarchical, StageRule};
 use crate::krum::{Krum, MultiKrum};
 use crate::median::{CoordinateWiseMedian, TrimmedMean};
+use crate::stateful::{CenteredClip, ReputationWeighted};
 use crate::subset::MinimumDiameterSubset;
 
 /// Names of every rule the registry can build (canonical spellings).
@@ -32,7 +33,16 @@ pub const RULE_NAMES: &[&str] = &[
     "closest-to-barycenter",
     "min-diameter-subset",
     "hierarchical",
+    "reputation-weighted",
+    "centered-clip",
 ];
+
+/// Default EWMA step of the bare `reputation-weighted` spec.
+const DEFAULT_ETA: f64 = 0.2;
+/// Default clipping radius of the bare `centered-clip` spec.
+const DEFAULT_TAU: f64 = 10.0;
+/// Default anchor momentum of the bare `centered-clip` spec.
+const DEFAULT_BETA: f64 = 0.9;
 
 /// A typed, serialisable specification of an aggregation rule.
 ///
@@ -43,7 +53,7 @@ pub const RULE_NAMES: &[&str] = &[
 /// `spec.to_string().parse()` is the identity for every variant. Serde
 /// serialises the spec as that same string, so a JSON scenario reads
 /// `"rule": "trimmed-mean:trim=2"`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RuleSpec {
     /// Plain averaging — the linear rule of Lemma 3.1.
     Average,
@@ -81,6 +91,20 @@ pub enum RuleSpec {
         inner: StageRule,
         /// Rule run over the `g` group winners (default Krum).
         outer: StageRule,
+    },
+    /// **Stateful**: per-worker EWMA reputation weighting
+    /// (see [`ReputationWeighted`]).
+    ReputationWeighted {
+        /// EWMA step size `η ∈ (0, 1]`.
+        eta: f64,
+    },
+    /// **Stateful**: momentum-anchored centered clipping
+    /// (see [`CenteredClip`]).
+    CenteredClip {
+        /// Clipping radius `τ > 0`.
+        tau: f64,
+        /// Anchor momentum `β ∈ [0, 1)`.
+        beta: f64,
     },
 }
 
@@ -123,7 +147,32 @@ impl RuleSpec {
                 inner,
                 outer,
             } => Ok(Box::new(Hierarchical::new(n, f, groups, inner, outer)?)),
+            Self::ReputationWeighted { eta } => Ok(Box::new(ReputationWeighted::new(eta)?)),
+            Self::CenteredClip { tau, beta } => Ok(Box::new(CenteredClip::new(tau, beta)?)),
         }
+    }
+
+    /// Whether this rule carries cross-round state in the
+    /// [`AggregationContext`](crate::AggregationContext) — the trajectory
+    /// then depends on every previous round, and checkpoint/resume must
+    /// persist the state ([`crate::StatefulState`]) to stay bit-identical.
+    pub fn stateful(&self) -> bool {
+        match self {
+            Self::ReputationWeighted { .. } | Self::CenteredClip { .. } => true,
+            Self::Hierarchical { inner, outer, .. } => inner.stateful() || outer.stateful(),
+            _ => false,
+        }
+    }
+
+    /// Whether this is a hierarchical rule with a stateful stage. Their
+    /// cross-round state lives inside per-group workspaces that are not
+    /// exportable, so checkpointing callers must reject this combination
+    /// up front instead of resuming into a silently different trajectory.
+    pub fn hierarchical_stateful(&self) -> bool {
+        matches!(
+            self,
+            Self::Hierarchical { inner, outer, .. } if inner.stateful() || outer.stateful()
+        )
     }
 
     /// The canonical rule name (the `Display` form without parameters).
@@ -139,6 +188,8 @@ impl RuleSpec {
             Self::ClosestToBarycenter => "closest-to-barycenter",
             Self::MinDiameterSubset => "min-diameter-subset",
             Self::Hierarchical { .. } => "hierarchical",
+            Self::ReputationWeighted { .. } => "reputation-weighted",
+            Self::CenteredClip { .. } => "centered-clip",
         }
     }
 
@@ -160,6 +211,11 @@ impl RuleSpec {
                 groups: 2,
                 inner: StageRule::Median,
                 outer: StageRule::Median,
+            },
+            Self::ReputationWeighted { eta: DEFAULT_ETA },
+            Self::CenteredClip {
+                tau: DEFAULT_TAU,
+                beta: DEFAULT_BETA,
             },
         ]
     }
@@ -184,6 +240,12 @@ impl fmt::Display for RuleSpec {
                 }
                 Ok(())
             }
+            // The stateful rules always print their parameters so the
+            // rendered spec is self-describing in experiment tables.
+            Self::ReputationWeighted { eta } => write!(out, "reputation-weighted:eta={eta}"),
+            Self::CenteredClip { tau, beta } => {
+                write!(out, "centered-clip:tau={tau},beta={beta}")
+            }
             _ => out.write_str(self.name()),
         }
     }
@@ -200,6 +262,11 @@ impl FromStr for RuleSpec {
         // go through the integer-valued `parse_params`.
         if name == "hierarchical" {
             return parse_hierarchical(raw_params);
+        }
+        // The stateful rules carry real-valued parameters, so they cannot go
+        // through the integer-valued `parse_params` either.
+        if name == "reputation-weighted" || name == "centered-clip" {
+            return parse_stateful(name, raw_params);
         }
         let params = parse_params(raw_params, name)?;
         let get =
@@ -372,6 +439,56 @@ fn parse_hierarchical(raw: &str) -> Result<RuleSpec, AggregationError> {
     })
 }
 
+/// Parses the parameter list of the stateful rules, whose values are real
+/// numbers: `reputation-weighted:eta=0.2`, `centered-clip:tau=10,beta=0.9`.
+/// Range validation stays in the rule constructors ([`RuleSpec::build`]);
+/// this only checks shape and key names.
+fn parse_stateful(name: &str, raw: &str) -> Result<RuleSpec, AggregationError> {
+    let mut eta = DEFAULT_ETA;
+    let mut tau = DEFAULT_TAU;
+    let mut beta = DEFAULT_BETA;
+    let allowed: &[&str] = if name == "reputation-weighted" {
+        &["eta"]
+    } else {
+        &["tau", "beta"]
+    };
+    for piece in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let mut kv = piece.splitn(2, '=');
+        let key = kv.next().unwrap_or_default().trim();
+        let value = kv
+            .next()
+            .ok_or_else(|| {
+                AggregationError::config(
+                    "registry",
+                    format!("parameter `{piece}` for rule `{name}` is not of the form key=value"),
+                )
+            })?
+            .trim();
+        if !allowed.contains(&key) {
+            return Err(AggregationError::config(
+                "registry",
+                format!("unknown parameter `{key}` for rule `{name}`"),
+            ));
+        }
+        let value: f64 = value.parse().map_err(|_| {
+            AggregationError::config(
+                "registry",
+                format!("parameter `{key}` of rule `{name}` must be a real number"),
+            )
+        })?;
+        match key {
+            "eta" => eta = value,
+            "tau" => tau = value,
+            _ => beta = value,
+        }
+    }
+    Ok(if name == "reputation-weighted" {
+        RuleSpec::ReputationWeighted { eta }
+    } else {
+        RuleSpec::CenteredClip { tau, beta }
+    })
+}
+
 /// Parses `key=value,key=value` parameter lists with `usize` values.
 fn parse_params(raw: &str, rule: &str) -> Result<Vec<(String, usize)>, AggregationError> {
     let mut out = Vec::new();
@@ -503,6 +620,16 @@ mod tests {
                 inner: StageRule::Median,
                 outer: StageRule::TrimmedMean { trim: Some(1) },
             },
+            RuleSpec::ReputationWeighted { eta: 0.2 },
+            RuleSpec::ReputationWeighted { eta: 0.35 },
+            RuleSpec::CenteredClip {
+                tau: 10.0,
+                beta: 0.9,
+            },
+            RuleSpec::CenteredClip {
+                tau: 2.5,
+                beta: 0.0,
+            },
         ];
         for spec in specs {
             let parsed: RuleSpec = spec.to_string().parse().unwrap();
@@ -555,6 +682,56 @@ mod tests {
         assert!(build_aggregator("hierarchical:groups=4", 24, 3).is_ok());
         assert!(build_aggregator("hierarchical:groups=4", 9, 2).is_err());
         assert!(build_aggregator("hierarchical:groups=2,inner=median,outer=median", 9, 2).is_ok());
+    }
+
+    #[test]
+    fn stateful_specs_parse_build_and_flag() {
+        // Bare forms pick the documented defaults.
+        assert_eq!(
+            "reputation-weighted".parse::<RuleSpec>().unwrap(),
+            RuleSpec::ReputationWeighted { eta: 0.2 }
+        );
+        assert_eq!(
+            "centered-clip".parse::<RuleSpec>().unwrap(),
+            RuleSpec::CenteredClip {
+                tau: 10.0,
+                beta: 0.9
+            }
+        );
+        // Real-valued parameters parse and render back.
+        let spec: RuleSpec = "centered-clip:tau=1.5,beta=0.25".parse().unwrap();
+        assert_eq!(spec.to_string(), "centered-clip:tau=1.5,beta=0.25");
+        assert!(build_aggregator("reputation-weighted:eta=0.5", 9, 2).is_ok());
+        // Shape errors are caught at parse time, range errors at build time.
+        assert!("reputation-weighted:rho=1".parse::<RuleSpec>().is_err());
+        assert!("reputation-weighted:eta".parse::<RuleSpec>().is_err());
+        assert!("centered-clip:tau=big".parse::<RuleSpec>().is_err());
+        assert!(build_aggregator("reputation-weighted:eta=0", 9, 2).is_err());
+        assert!(build_aggregator("centered-clip:tau=-1", 9, 2).is_err());
+        assert!(build_aggregator("centered-clip:beta=1", 9, 2).is_err());
+        // The statefulness flag drives engine feedback and checkpoint
+        // handling.
+        assert!(RuleSpec::ReputationWeighted { eta: 0.2 }.stateful());
+        assert!(RuleSpec::CenteredClip {
+            tau: 1.0,
+            beta: 0.5
+        }
+        .stateful());
+        assert!(!RuleSpec::Krum.stateful());
+        let hier = RuleSpec::Hierarchical {
+            groups: 2,
+            inner: StageRule::ReputationWeighted { eta: 0.2 },
+            outer: StageRule::Median,
+        };
+        assert!(hier.stateful());
+        assert!(hier.hierarchical_stateful());
+        assert!(!RuleSpec::ReputationWeighted { eta: 0.2 }.hierarchical_stateful());
+        assert!(!RuleSpec::Hierarchical {
+            groups: 2,
+            inner: StageRule::Median,
+            outer: StageRule::Median,
+        }
+        .hierarchical_stateful());
     }
 
     #[test]

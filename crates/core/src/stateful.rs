@@ -1,0 +1,614 @@
+//! Stateful defenses: rules whose output depends on previous rounds.
+//!
+//! Every other rule in this crate is a pure function of one round's
+//! proposals. The two rules here answer the *adaptive* adversaries (see
+//! `krum-attacks`), which exploit exactly that memorylessness: an inlier
+//! attacker is indistinguishable within a single round but leaves a
+//! consistent bias across rounds. [`ReputationWeighted`] remembers
+//! per-worker distance-to-aggregate scores; [`CenteredClip`] remembers a
+//! momentum anchor and clips every deviation against it.
+//!
+//! The cross-round memory lives in the caller's [`AggregationContext`] as a
+//! [`StatefulState`] (so the rules themselves stay `&self`, exactly like the
+//! zero-alloc `aggregate_in` contract requires), and is serde-serialisable
+//! so server checkpoints can persist it — resume stays bit-identical. A
+//! fresh context means fresh state; [`Aggregator::aggregate_detailed`]
+//! therefore behaves like the rule's first-ever round.
+
+use krum_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::{validate_proposals, Aggregator};
+use crate::context::AggregationContext;
+use crate::error::AggregationError;
+
+/// Weights never decay to exactly zero — a worker can always earn its way
+/// back, and the weighted mean stays well-defined.
+const MIN_WEIGHT: f64 = 1e-6;
+/// Floor for the median-distance scale, so an all-identical round (zero
+/// distances) scores everyone 1 instead of dividing by zero.
+const MIN_SCALE: f64 = 1e-12;
+
+/// Cross-round memory of the stateful rules, owned by the
+/// [`AggregationContext`] and serialised into server checkpoints.
+///
+/// Both buffers start empty and are (re)initialised lazily by the rule that
+/// uses them: `reputation` grows to cover the highest worker id seen (new
+/// entries start at weight `1`), `clip_center` is reset whenever the model
+/// dimension changes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatefulState {
+    /// Per-worker EWMA reputation weights ([`ReputationWeighted`]).
+    pub reputation: Vec<f64>,
+    /// Momentum-anchored clipping center ([`CenteredClip`]).
+    pub clip_center: Vec<f64>,
+}
+
+impl StatefulState {
+    /// `max − min` of the reputation weights, `None` while no reputation
+    /// has been formed — the `reputation_spread` metrics column.
+    pub fn reputation_spread(&self) -> Option<f64> {
+        let mut iter = self.reputation.iter();
+        let first = *iter.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for &w in iter {
+            lo = lo.min(w);
+            hi = hi.max(w);
+        }
+        Some(hi - lo)
+    }
+}
+
+/// The layer contract on top of [`Aggregator`] for rules with cross-round
+/// state: the state lives in the context, the rule stays `&self`, and the
+/// caller can drop the memory explicitly (new job, changed threat model)
+/// without rebuilding the rule.
+pub trait StatefulAggregator: Aggregator {
+    /// Clears this rule's slice of the context's cross-round state; the
+    /// next aggregation behaves like the rule's first-ever round.
+    fn reset_state(&self, ctx: &mut AggregationContext);
+}
+
+/// Reputation-weighted averaging: a per-worker EWMA of agreement with the
+/// aggregate.
+///
+/// Each round, with current weights `r`:
+///
+/// 1. anchor `A = Σ rᵢ·Vᵢ / Σ rᵢ` over the finite proposals;
+/// 2. per-slot distance `dᵢ = ‖Vᵢ − A‖`, scaled by the round's median
+///    distance `s`: `scoreᵢ = 1 / (1 + (dᵢ/s)²)` (non-finite proposals
+///    score `0`);
+/// 3. EWMA update `rᵢ ← (1 − η)·rᵢ + η·scoreᵢ` (floored at `1e-6`);
+/// 4. output the mean re-weighted by the *updated* `r`.
+///
+/// Workers that consistently sit farther from the aggregate than the round
+/// median — an inlier drifter steering one direction every round — lose
+/// weight geometrically, while one bad round costs an honest worker only
+/// `η` of its weight. Weights are keyed by worker id when the caller
+/// declares the slot→worker map ([`AggregationContext::set_slot_workers`]);
+/// without a map, slot index is used (identical under barrier execution,
+/// where slot `i` *is* worker `i`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReputationWeighted {
+    eta: f64,
+}
+
+impl ReputationWeighted {
+    /// Creates the rule with EWMA step `eta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] unless `0 < eta ≤ 1`.
+    pub fn new(eta: f64) -> Result<Self, AggregationError> {
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Err(AggregationError::config(
+                "reputation-weighted",
+                "eta must be in (0, 1]",
+            ));
+        }
+        Ok(Self { eta })
+    }
+
+    /// EWMA step size.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+}
+
+impl Aggregator for ReputationWeighted {
+    fn aggregate_detailed(
+        &self,
+        proposals: &[Vector],
+    ) -> Result<crate::Aggregation, AggregationError> {
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        let dim = validate_proposals(proposals)?;
+        let n = proposals.len();
+        ctx.begin_mixed(dim);
+        if ctx.stateful.is_none() {
+            ctx.stateful = Some(Box::default());
+        }
+        // Disjoint field borrows: the state box, the slot→worker map, the
+        // output vector and the scratch buffers never alias.
+        let Some(state) = ctx.stateful.as_deref_mut() else {
+            unreachable!("installed above");
+        };
+        let slot_workers: &[usize] = if ctx.slot_workers.len() == n {
+            &ctx.slot_workers
+        } else {
+            &[]
+        };
+        let worker = |slot: usize| -> usize {
+            if slot_workers.is_empty() {
+                slot
+            } else {
+                slot_workers[slot]
+            }
+        };
+        let highest = (0..n).map(worker).max().unwrap_or(0);
+        if state.reputation.len() <= highest {
+            state.reputation.resize(highest + 1, 1.0);
+        }
+
+        // Phase 1: anchor = mean weighted by the carried-over reputations.
+        let value = &mut ctx.output.value;
+        let mut total = 0.0;
+        let mut finite = 0usize;
+        for (slot, v) in proposals.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let w = state.reputation[worker(slot)];
+            for c in 0..dim {
+                value[c] += w * v[c];
+            }
+            total += w;
+            finite += 1;
+        }
+        if finite == 0 {
+            return Err(AggregationError::AllScoresNonFinite {
+                rule: "reputation-weighted",
+            });
+        }
+        for c in 0..dim {
+            value[c] /= total;
+        }
+
+        // Phase 2: per-slot distances to the anchor, median-scaled.
+        ctx.scratch.clear();
+        ctx.scratch.resize(n, f64::NAN);
+        for (slot, v) in proposals.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let mut sq = 0.0;
+            for c in 0..dim {
+                let d = v[c] - value[c];
+                sq += d * d;
+            }
+            ctx.scratch[slot] = sq.sqrt();
+        }
+        ctx.order.clear();
+        ctx.order
+            .extend((0..n).filter(|&slot| ctx.scratch[slot].is_finite()));
+        let distances = &ctx.scratch;
+        ctx.order
+            .sort_by(|&a, &b| distances[a].total_cmp(&distances[b]));
+        let k = ctx.order.len();
+        let median = if k % 2 == 1 {
+            distances[ctx.order[k / 2]]
+        } else {
+            0.5 * (distances[ctx.order[k / 2 - 1]] + distances[ctx.order[k / 2]])
+        };
+        let scale = median.max(MIN_SCALE);
+
+        // Phase 3: EWMA reputation update for every slot present this round.
+        for (slot, &distance) in distances.iter().enumerate() {
+            let score = if distance.is_finite() {
+                let r = distance / scale;
+                1.0 / (1.0 + r * r)
+            } else {
+                0.0
+            };
+            let w = &mut state.reputation[worker(slot)];
+            *w = ((1.0 - self.eta) * *w + self.eta * score).max(MIN_WEIGHT);
+        }
+
+        // Phase 4: the output is the mean re-weighted by the updated
+        // reputations.
+        value.fill(0.0);
+        let mut total = 0.0;
+        for (slot, v) in proposals.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let w = state.reputation[worker(slot)];
+            for c in 0..dim {
+                value[c] += w * v[c];
+            }
+            total += w;
+        }
+        for c in 0..dim {
+            value[c] /= total;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        format!("reputation-weighted(eta={})", self.eta)
+    }
+}
+
+impl StatefulAggregator for ReputationWeighted {
+    fn reset_state(&self, ctx: &mut AggregationContext) {
+        if let Some(state) = ctx.stateful.as_deref_mut() {
+            state.reputation.clear();
+        }
+    }
+}
+
+/// Centered clipping (Karimireddy et al.-style): deviations from a
+/// momentum-carried anchor are norm-clipped at `τ` before averaging.
+///
+/// With anchor `c` (zero on the first round):
+///
+/// ```text
+/// F = c + (1/k) Σ clip(Vᵢ − c, τ)          over the k finite proposals
+/// c ← β·c + (1 − β)·F
+/// ```
+///
+/// where `clip(x, τ)` rescales `x` to norm `τ` when `‖x‖ > τ`. No attacker
+/// can move the aggregate by more than `τ·f/n` per round regardless of
+/// magnitude, and the anchor's momentum means the bound is anchored to
+/// *history*, not to whatever the current round claims the center is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenteredClip {
+    tau: f64,
+    beta: f64,
+}
+
+impl CenteredClip {
+    /// Creates the rule with clipping radius `tau` and anchor momentum
+    /// `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AggregationError::InvalidConfig`] unless `tau` is positive
+    /// and finite and `0 ≤ beta < 1`.
+    pub fn new(tau: f64, beta: f64) -> Result<Self, AggregationError> {
+        if !(tau > 0.0 && tau.is_finite()) {
+            return Err(AggregationError::config(
+                "centered-clip",
+                "tau must be positive and finite",
+            ));
+        }
+        if !(0.0..1.0).contains(&beta) {
+            return Err(AggregationError::config(
+                "centered-clip",
+                "beta must be in [0, 1)",
+            ));
+        }
+        Ok(Self { tau, beta })
+    }
+
+    /// Clipping radius.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Anchor momentum.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Aggregator for CenteredClip {
+    fn aggregate_detailed(
+        &self,
+        proposals: &[Vector],
+    ) -> Result<crate::Aggregation, AggregationError> {
+        let mut ctx = AggregationContext::new();
+        self.aggregate_in(&mut ctx, proposals)?;
+        Ok(ctx.into_output())
+    }
+
+    fn aggregate_in(
+        &self,
+        ctx: &mut AggregationContext,
+        proposals: &[Vector],
+    ) -> Result<(), AggregationError> {
+        let dim = validate_proposals(proposals)?;
+        ctx.begin_mixed(dim);
+        if ctx.stateful.is_none() {
+            ctx.stateful = Some(Box::default());
+        }
+        let Some(state) = ctx.stateful.as_deref_mut() else {
+            unreachable!("installed above");
+        };
+        if state.clip_center.len() != dim {
+            state.clip_center.clear();
+            state.clip_center.resize(dim, 0.0);
+        }
+        let center = &mut state.clip_center;
+        let value = &mut ctx.output.value;
+        let mut finite = 0usize;
+        for v in proposals {
+            if !v.is_finite() {
+                continue;
+            }
+            let mut sq = 0.0;
+            for c in 0..dim {
+                let d = v[c] - center[c];
+                sq += d * d;
+            }
+            let norm = sq.sqrt();
+            let scale = if norm > self.tau {
+                self.tau / norm
+            } else {
+                1.0
+            };
+            for c in 0..dim {
+                value[c] += scale * (v[c] - center[c]);
+            }
+            finite += 1;
+        }
+        if finite == 0 {
+            return Err(AggregationError::AllScoresNonFinite {
+                rule: "centered-clip",
+            });
+        }
+        let inv = 1.0 / finite as f64;
+        for c in 0..dim {
+            value[c] = center[c] + inv * value[c];
+        }
+        // Momentum anchor update — finite by induction: the clipped mean is
+        // within tau of the (finite) previous anchor.
+        for c in 0..dim {
+            center[c] = self.beta * center[c] + (1.0 - self.beta) * value[c];
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> String {
+        format!("centered-clip(tau={},beta={})", self.tau, self.beta)
+    }
+}
+
+impl StatefulAggregator for CenteredClip {
+    fn reset_state(&self, ctx: &mut AggregationContext) {
+        if let Some(state) = ctx.stateful.as_deref_mut() {
+            state.clip_center.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecutionPolicy;
+
+    fn cloud(n: usize, dim: usize, fill: f64) -> Vec<Vector> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vector::filled(dim, fill);
+                v[0] += i as f64 * 0.01;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reputation_weighted_validates_and_names() {
+        assert!(ReputationWeighted::new(0.0).is_err());
+        assert!(ReputationWeighted::new(1.5).is_err());
+        assert!(ReputationWeighted::new(f64::NAN).is_err());
+        let rule = ReputationWeighted::new(0.2).unwrap();
+        assert_eq!(rule.eta(), 0.2);
+        assert_eq!(rule.name(), "reputation-weighted(eta=0.2)");
+        assert!(!rule.is_selection_rule());
+    }
+
+    #[test]
+    fn reputation_downweights_a_persistent_outlier() {
+        let rule = ReputationWeighted::new(0.3).unwrap();
+        let mut ctx = AggregationContext::with_policy(ExecutionPolicy::Sequential);
+        let mut proposals = cloud(8, 4, 1.0);
+        proposals[7] = Vector::filled(4, 5.0); // persistent outlier
+        for _ in 0..30 {
+            rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        }
+        let state = ctx.stateful_state().unwrap();
+        let outlier = state.reputation[7];
+        let honest = state.reputation[0];
+        assert!(
+            outlier < honest * 0.1,
+            "outlier weight {outlier} vs honest {honest}"
+        );
+        // The aggregate converges toward the honest cluster, not the naive
+        // mean (which would sit at 1.5 in every coordinate).
+        let out = &ctx.output().value;
+        assert!(out[1] < 1.1, "aggregate pulled to {}", out[1]);
+        // Spread is reported for the metrics column.
+        assert!(state.reputation_spread().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn reputation_state_survives_rounds_and_resets_explicitly() {
+        let rule = ReputationWeighted::new(0.5).unwrap();
+        let mut ctx = AggregationContext::new();
+        let proposals = cloud(5, 3, 1.0);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        let after_one = ctx.stateful_state().unwrap().clone();
+        assert_eq!(after_one.reputation.len(), 5);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert_ne!(
+            ctx.stateful_state().unwrap().reputation,
+            after_one.reputation
+        );
+        rule.reset_state(&mut ctx);
+        assert!(ctx.stateful_state().unwrap().reputation.is_empty());
+        // Export/import round-trips through the public accessors.
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        let exported = ctx.stateful_state().cloned();
+        let mut fresh = AggregationContext::new();
+        fresh.set_stateful_state(exported.clone());
+        assert_eq!(fresh.stateful_state(), exported.as_ref());
+    }
+
+    #[test]
+    fn slot_worker_map_keys_reputation_by_worker_id() {
+        let rule = ReputationWeighted::new(0.4).unwrap();
+        let mut ctx = AggregationContext::new();
+        let mut proposals = cloud(4, 3, 1.0);
+        proposals[2] = Vector::filled(3, 9.0); // outlier in slot 2
+                                               // Slot 2 is worker 7 this round.
+        ctx.set_slot_workers(&[0, 1, 7, 3]);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        let state = ctx.stateful_state().unwrap();
+        assert_eq!(state.reputation.len(), 8);
+        assert!(state.reputation[7] < state.reputation[0]);
+        // Worker 2 never participated — still at the initial weight.
+        assert_eq!(state.reputation[2], 1.0);
+        // A stale map (wrong length) falls back to slot identity.
+        ctx.set_slot_workers(&[0, 1]);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert!(ctx.stateful_state().unwrap().reputation[2] < 1.0);
+    }
+
+    #[test]
+    fn reputation_weighted_handles_non_finite_proposals() {
+        let rule = ReputationWeighted::new(0.2).unwrap();
+        let mut ctx = AggregationContext::new();
+        let mut proposals = cloud(5, 3, 1.0);
+        proposals[4] = Vector::filled(3, f64::NAN);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        assert!(ctx.output().value.is_finite());
+        // The poisoned slot's weight decays.
+        assert!(ctx.stateful_state().unwrap().reputation[4] < 1.0);
+        // Fully poisoned round is a structured error.
+        let all_nan = vec![Vector::filled(3, f64::NAN); 4];
+        assert!(matches!(
+            rule.aggregate_in(&mut ctx, &all_nan),
+            Err(AggregationError::AllScoresNonFinite {
+                rule: "reputation-weighted"
+            })
+        ));
+        assert!(matches!(
+            rule.aggregate_detailed(&[]),
+            Err(AggregationError::NoProposals)
+        ));
+    }
+
+    #[test]
+    fn reputation_weighted_is_deterministic_across_contexts() {
+        let rule = ReputationWeighted::new(0.25).unwrap();
+        let proposals = cloud(7, 5, 2.0);
+        let mut a = AggregationContext::new();
+        let mut b = AggregationContext::new();
+        for _ in 0..5 {
+            rule.aggregate_in(&mut a, &proposals).unwrap();
+            rule.aggregate_in(&mut b, &proposals).unwrap();
+            assert_eq!(a.output(), b.output());
+            assert_eq!(a.stateful_state(), b.stateful_state());
+        }
+    }
+
+    #[test]
+    fn centered_clip_validates_and_names() {
+        assert!(CenteredClip::new(0.0, 0.5).is_err());
+        assert!(CenteredClip::new(f64::INFINITY, 0.5).is_err());
+        assert!(CenteredClip::new(1.0, 1.0).is_err());
+        assert!(CenteredClip::new(1.0, -0.1).is_err());
+        let rule = CenteredClip::new(2.5, 0.9).unwrap();
+        assert_eq!(rule.tau(), 2.5);
+        assert_eq!(rule.beta(), 0.9);
+        assert_eq!(rule.name(), "centered-clip(tau=2.5,beta=0.9)");
+    }
+
+    #[test]
+    fn centered_clip_bounds_the_attacker_displacement() {
+        // 9 honest at 1.0, one attacker at 1000: with tau = 1 the attacker
+        // moves the aggregate by at most tau/n per round.
+        let rule = CenteredClip::new(1.0, 0.5).unwrap();
+        let mut ctx = AggregationContext::new();
+        let mut proposals = cloud(10, 3, 1.0);
+        proposals[9] = Vector::filled(3, 1000.0);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        let first = ctx.output().value.clone();
+        assert!(first.norm() < 2.0, "first aggregate {first:?}");
+        // Repeated rounds converge near the honest cluster, not the mean
+        // (the naive mean sits at ~101).
+        for _ in 0..200 {
+            rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        }
+        let out = &ctx.output().value;
+        assert!(
+            (out[0] - 1.0).abs() < 0.5,
+            "converged to {} instead of the honest cluster",
+            out[0]
+        );
+    }
+
+    #[test]
+    fn centered_clip_state_and_degenerate_inputs() {
+        let rule = CenteredClip::new(5.0, 0.9).unwrap();
+        let mut ctx = AggregationContext::new();
+        let proposals = cloud(4, 2, 3.0);
+        rule.aggregate_in(&mut ctx, &proposals).unwrap();
+        let center_1 = ctx.stateful_state().unwrap().clip_center.clone();
+        assert_eq!(center_1.len(), 2);
+        assert!(center_1.iter().all(|x| x.is_finite() && *x > 0.0));
+        // A dimension change resets the anchor rather than mixing spaces.
+        let wider = cloud(4, 6, 1.0);
+        rule.aggregate_in(&mut ctx, &wider).unwrap();
+        assert_eq!(ctx.stateful_state().unwrap().clip_center.len(), 6);
+        rule.reset_state(&mut ctx);
+        assert!(ctx.stateful_state().unwrap().clip_center.is_empty());
+        // Non-finite proposals are skipped; all-poisoned errors.
+        let mut mixed = cloud(3, 2, 1.0);
+        mixed[0] = Vector::filled(2, f64::NAN);
+        let mut ctx = AggregationContext::new();
+        rule.aggregate_in(&mut ctx, &mixed).unwrap();
+        assert!(ctx.output().value.is_finite());
+        assert!(matches!(
+            rule.aggregate_in(&mut ctx, &[Vector::filled(2, f64::NAN)]),
+            Err(AggregationError::AllScoresNonFinite {
+                rule: "centered-clip"
+            })
+        ));
+    }
+
+    #[test]
+    fn stateful_rules_behind_the_layer_trait() {
+        let rules: Vec<Box<dyn StatefulAggregator>> = vec![
+            Box::new(ReputationWeighted::new(0.2).unwrap()),
+            Box::new(CenteredClip::new(10.0, 0.9).unwrap()),
+        ];
+        let proposals = cloud(6, 3, 1.0);
+        let mut ctx = AggregationContext::new();
+        for rule in &rules {
+            rule.aggregate_in(&mut ctx, &proposals).unwrap();
+            assert!(ctx.output().value.is_finite());
+            assert!(ctx.output().selected.is_empty(), "mixing rules");
+            rule.reset_state(&mut ctx);
+        }
+    }
+
+    #[test]
+    fn reputation_spread_reports_none_without_state() {
+        assert_eq!(StatefulState::default().reputation_spread(), None);
+        let state = StatefulState {
+            reputation: vec![1.0, 0.25, 0.5],
+            clip_center: Vec::new(),
+        };
+        assert_eq!(state.reputation_spread(), Some(0.75));
+    }
+}

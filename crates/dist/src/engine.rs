@@ -42,7 +42,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use krum_attacks::{Attack, AttackContext, AttackTiming};
+use krum_attacks::{Attack, AttackContext, AttackTiming, RoundFeedback};
 use krum_compress::GradientCodec;
 use krum_core::{Aggregator, ExecutionPolicy};
 use krum_metrics::{RoundRecord, TrainingHistory};
@@ -53,6 +53,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::config::{ClusterSpec, TrainingConfig};
+use crate::drift::DriftTracker;
 use crate::error::TrainError;
 use crate::network::NetworkModel;
 use crate::round_core::{AccuracyProbe, RoundCore};
@@ -257,6 +258,42 @@ fn forge_proposals(
     Ok(forged)
 }
 
+/// Feeds the round's observers once the aggregate is accepted: the drift
+/// tracker fills the drift columns of the record, and a stateful adversary
+/// receives the [`RoundFeedback`] it adapts on. `worker_ids[i]` is the
+/// worker behind `proposals[i]`; the record's selection fields must already
+/// be remapped to worker ids. Stateless attacks pay no feedback cost (no
+/// clone, no observe call), so pre-existing trajectories are untouched.
+fn observe_round(
+    drift: &mut DriftTracker,
+    attack: &mut dyn Attack,
+    record: &mut RoundRecord,
+    aggregate: &Vector,
+    proposals: &[Vector],
+    worker_ids: &[usize],
+    honest: usize,
+) {
+    drift.observe(
+        record,
+        aggregate,
+        proposals,
+        worker_ids,
+        honest,
+        record.learning_rate,
+    );
+    if attack.stateful() {
+        let feedback = RoundFeedback {
+            round: record.round,
+            aggregate: aggregate.clone(),
+            learning_rate: record.learning_rate,
+            selected_worker: record.selected_worker,
+            selected_byzantine: record.selected_byzantine,
+            quorum_workers: worker_ids.to_vec(),
+        };
+        attack.observe(&feedback);
+    }
+}
+
 /// Applies the codec's canonical quantize → dequantize transform to each
 /// vector in place (`reference` is the round's broadcast params, used by
 /// delta codecs). This is the in-process twin of an encode on one socket
@@ -320,6 +357,14 @@ pub struct RoundEngine {
     /// Whether reuse-stale rounds arm the incremental Gram cache (on by
     /// default; benches disable it to measure the full-recompute baseline).
     gram_cache: bool,
+    /// Drift-metrics accumulator, fed after every closed round.
+    drift: DriftTracker,
+    /// Identity worker map `0..n` — the proposal layout of the barrier and
+    /// reuse-stale paths, where slot `i` *is* worker `i`.
+    identity_ids: Vec<usize>,
+    /// Worker ids behind this round's aggregated vectors on the async path
+    /// (the worker components of `quorum_meta`), rebuilt each round.
+    round_workers: Vec<usize>,
 }
 
 impl RoundEngine {
@@ -443,6 +488,9 @@ impl RoundEngine {
             latest_issued: Vec::new(),
             generations: Vec::new(),
             gram_cache: true,
+            drift: DriftTracker::new(),
+            identity_ids: (0..cluster.workers()).collect(),
+            round_workers: Vec::new(),
         })
     }
 
@@ -651,6 +699,15 @@ impl RoundEngine {
         record.propose_nanos = propose_nanos;
         record.attack_nanos = attack_nanos;
         record.round_nanos = round_start.elapsed().as_nanos();
+        observe_round(
+            &mut self.drift,
+            &mut *self.attack,
+            &mut record,
+            self.core.last_aggregate(),
+            &self.proposals,
+            &self.identity_ids,
+            honest,
+        );
 
         // The simulated network (threaded strategy) charges the synchronous
         // barrier's communication time on top of the measured wall clock.
@@ -921,6 +978,15 @@ impl RoundEngine {
             self.quorum_vectors.push(vector);
         }
 
+        // Hand the slot → worker map to the aggregation workspace so
+        // stateful rules (reputation weights) key their cross-round memory
+        // by worker id, not by quorum slot — slots are not stable worker
+        // identities when `quorum < n`.
+        self.round_workers.clear();
+        self.round_workers
+            .extend(self.quorum_meta.iter().map(|&(worker, _)| worker));
+        self.core.set_slot_workers(&self.round_workers);
+
         // Unselected arrivals carry into the next round — unless carrying
         // them would exceed the staleness bound, in which case the server
         // drops them on the floor (and the metrics say so).
@@ -964,6 +1030,15 @@ impl RoundEngine {
         record.pending_carryover = Some(pending_carryover);
         record.network_nanos = cutoff_nanos;
         record.round_nanos += cutoff_nanos;
+        observe_round(
+            &mut self.drift,
+            &mut *self.attack,
+            &mut record,
+            self.core.last_aggregate(),
+            &self.quorum_vectors,
+            &self.round_workers,
+            honest,
+        );
         Ok(record)
     }
 
@@ -1196,6 +1271,15 @@ impl RoundEngine {
         record.pending_carryover = Some(0);
         record.network_nanos = cutoff_nanos;
         record.round_nanos += cutoff_nanos;
+        observe_round(
+            &mut self.drift,
+            &mut *self.attack,
+            &mut record,
+            self.core.last_aggregate(),
+            &self.latest,
+            &self.identity_ids,
+            honest,
+        );
         Ok(record)
     }
 

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod drift;
 mod engine;
 mod error;
 mod network;
@@ -43,6 +44,7 @@ mod sync;
 mod threaded;
 
 pub use config::{ClusterSpec, LearningRateSchedule, TrainingConfig};
+pub use drift::DriftTracker;
 pub use engine::{stream_rng, ExecutionStrategy, RoundEngine, ATTACK_STREAM};
 pub use error::TrainError;
 pub use network::{LatencyModel, NetworkModel, LATENCY_MODEL_NAMES};
@@ -53,8 +55,8 @@ pub use threaded::ThreadedTrainer;
 /// Convenience prelude for the distributed-training crate.
 pub mod prelude {
     pub use crate::{
-        ClusterSpec, ExecutionStrategy, LatencyModel, LearningRateSchedule, NetworkModel,
-        RoundEngine, SyncTrainer, ThreadedTrainer, TrainError, TrainingConfig,
+        ClusterSpec, DriftTracker, ExecutionStrategy, LatencyModel, LearningRateSchedule,
+        NetworkModel, RoundEngine, SyncTrainer, ThreadedTrainer, TrainError, TrainingConfig,
     };
 }
 

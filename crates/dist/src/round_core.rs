@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use krum_compress::GradientCodec;
-use krum_core::{AggregationContext, Aggregator, ExecutionPolicy};
+use krum_core::{AggregationContext, Aggregator, ExecutionPolicy, StatefulState};
 use krum_metrics::RoundRecord;
 use krum_models::GradientEstimator;
 use krum_tensor::Vector;
@@ -146,6 +146,35 @@ impl RoundCore {
         self.ctx.invalidate_gram_cache();
     }
 
+    /// The aggregate accepted by the most recent
+    /// [`close_round`](RoundCore::close_round) — what a stateful adversary
+    /// is shown as round feedback.
+    pub fn last_aggregate(&self) -> &Vector {
+        &self.ctx.output().value
+    }
+
+    /// Snapshot of the stateful-rule memory (reputation weights, clip
+    /// anchor), `None` when no stateful rule has run. Serialisable into
+    /// server checkpoints.
+    pub fn export_stateful_state(&self) -> Option<StatefulState> {
+        self.ctx.stateful_state().cloned()
+    }
+
+    /// Installs (or clears) the stateful-rule memory — the resume half of
+    /// checkpointing. Restoring the exported state reproduces the
+    /// trajectory bit-identically.
+    pub fn import_stateful_state(&mut self, state: Option<StatefulState>) {
+        self.ctx.set_stateful_state(state);
+    }
+
+    /// Declares the worker id behind each proposal slot of the next
+    /// [`close_round`](RoundCore::close_round), so per-worker rule state
+    /// (reputation weights) follows workers through partial quorums. Not
+    /// needed when the proposal slice is in worker order.
+    pub fn set_slot_workers(&mut self, workers: &[usize]) {
+        self.ctx.set_slot_workers(workers);
+    }
+
     /// Whether `round` is an evaluation round under the configured cadence
     /// (the final round always is).
     pub fn eval_due(&self, round: usize) -> bool {
@@ -256,6 +285,10 @@ impl RoundCore {
         record.aggregation_nanos = aggregation_nanos;
         record.selected_worker = aggregation.selected_index();
         record.selected_byzantine = record.selected_worker.map(|w| w >= self.cluster.honest());
+        record.reputation_spread = self
+            .ctx
+            .stateful_state()
+            .and_then(StatefulState::reputation_spread);
         if let Some(gradient) = &true_gradient {
             record.true_gradient_norm = Some(gradient.norm());
             record.alignment = aggregation.value.cosine_similarity(gradient);

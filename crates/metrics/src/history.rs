@@ -284,6 +284,44 @@ impl TrainingHistory {
         values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
     }
 
+    /// Mean distance between the accepted aggregate and the honest mean,
+    /// over the rounds that tracked drift (0 when untracked).
+    pub fn mean_dist_to_honest_mean(&self) -> f64 {
+        let values: Vec<f64> = self
+            .rounds
+            .iter()
+            .filter_map(|r| r.dist_to_honest_mean)
+            .collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// The attacker's cumulative displacement of the trajectory at the end
+    /// of the run — the last recorded `attacker_displacement` (`None` when
+    /// drift was never tracked or no Byzantine proposals were present).
+    pub fn final_attacker_displacement(&self) -> Option<f64> {
+        self.rounds
+            .iter()
+            .rev()
+            .find_map(|r| r.attacker_displacement)
+    }
+
+    /// Mean reputation spread over the rounds that recorded one (the
+    /// reputation-weighted defense; 0 for stateless rules).
+    pub fn mean_reputation_spread(&self) -> f64 {
+        let values: Vec<f64> = self
+            .rounds
+            .iter()
+            .filter_map(|r| r.reputation_spread)
+            .collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
     /// Builds a [`ConvergenceSummary`] over the recorded rounds.
     pub fn summary(&self) -> ConvergenceSummary {
         let losses: Vec<f64> = self.rounds.iter().filter_map(|r| r.loss).collect();
@@ -482,6 +520,28 @@ mod tests {
         assert_eq!(empty.mean_raw_bytes(), 0.0);
         assert_eq!(empty.total_raw_bytes(), 0);
         assert_eq!(empty.mean_arrival_nanos(), 0.0);
+    }
+
+    /// The drift statistics aggregate only over drift-tracking rounds; the
+    /// final displacement is the last recorded value, not a sum (the column
+    /// is already cumulative).
+    #[test]
+    fn drift_statistics_aggregate_over_tracking_rounds() {
+        let mut h = TrainingHistory::new("d", "krum", "inlier-drift", 9, 2);
+        assert_eq!(h.mean_dist_to_honest_mean(), 0.0);
+        assert_eq!(h.final_attacker_displacement(), None);
+        assert_eq!(h.mean_reputation_spread(), 0.0);
+        for (i, (dist, disp, spread)) in [(1.0, 0.5, 0.1), (3.0, 1.25, 0.3)].iter().enumerate() {
+            let mut r = RoundRecord::new(i, 1.0, 0.1);
+            r.dist_to_honest_mean = Some(*dist);
+            r.attacker_displacement = Some(*disp);
+            r.reputation_spread = Some(*spread);
+            h.push(r);
+        }
+        h.push(RoundRecord::new(2, 1.0, 0.1)); // untracked round
+        assert!((h.mean_dist_to_honest_mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.final_attacker_displacement(), Some(1.25));
+        assert!((h.mean_reputation_spread() - 0.2).abs() < 1e-12);
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub struct RoundRecord {
     /// rounds without a checkpoint); `None` when checkpointing is off or
     /// the round ran in-process.
     pub checkpoint_bytes: Option<u64>,
+    /// Distance between the accepted aggregate and the mean of this round's
+    /// honest proposals `‖F − μ_honest‖` — how far the round's outcome was
+    /// pulled from the honest consensus; `None` when the engine does not
+    /// track drift.
+    pub dist_to_honest_mean: Option<f64>,
+    /// Cumulative projection of the applied updates onto the
+    /// attacker-direction (Byzantine mean minus honest mean, unit-normed),
+    /// summed over all rounds so far — the attacker's net displacement of
+    /// the trajectory. `None` when untracked or when no Byzantine proposals
+    /// were present.
+    pub attacker_displacement: Option<f64>,
+    /// `max − min` of the per-worker reputation weights after this round,
+    /// for the reputation-weighted defense; `None` for stateless rules.
+    pub reputation_spread: Option<f64>,
 }
 
 impl RoundRecord {
@@ -117,6 +131,9 @@ impl RoundRecord {
             reconnects: None,
             degraded_rounds: None,
             checkpoint_bytes: None,
+            dist_to_honest_mean: None,
+            attacker_displacement: None,
+            reputation_spread: None,
         }
     }
 
@@ -126,14 +143,17 @@ impl RoundRecord {
     /// and empty for barrier rounds; the trailing wire columns are filled
     /// when the round ran over a real transport (`krum-server`); the
     /// churn columns (`reconnects`, `degraded_rounds`, `checkpoint_bytes`)
-    /// close the row and are likewise transport-only.
+    /// are transport-only; the drift columns (`dist_to_honest_mean`,
+    /// `attacker_displacement`, `reputation_spread`) close the row and are
+    /// filled by engines that track adaptive-adversary drift.
     pub fn csv_header() -> &'static str {
         "round,loss,accuracy,true_gradient_norm,aggregate_norm,alignment,\
          distance_to_optimum,selected_worker,selected_byzantine,learning_rate,\
          propose_nanos,attack_nanos,aggregation_nanos,network_nanos,round_nanos,\
          quorum_size,stale_in_quorum,max_staleness_in_quorum,dropped_stale,\
          pending_carryover,wire_bytes,raw_bytes,arrival_nanos,reconnects,\
-         degraded_rounds,checkpoint_bytes"
+         degraded_rounds,checkpoint_bytes,dist_to_honest_mean,\
+         attacker_displacement,reputation_spread"
     }
 
     /// Serialises the record as one CSV row (empty cells for `None`).
@@ -142,7 +162,7 @@ impl RoundRecord {
             v.as_ref().map(ToString::to_string).unwrap_or_default()
         }
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.round,
             opt(&self.loss),
             opt(&self.accuracy),
@@ -169,6 +189,9 @@ impl RoundRecord {
             opt(&self.reconnects),
             opt(&self.degraded_rounds),
             opt(&self.checkpoint_bytes),
+            opt(&self.dist_to_honest_mean),
+            opt(&self.attacker_displacement),
+            opt(&self.reputation_spread),
         )
     }
 }
@@ -207,9 +230,9 @@ mod tests {
         r.aggregation_nanos = 33;
         r.network_nanos = 44;
         r.round_nanos = 110;
-        // The trailing quorum/staleness and wire cells are empty for
+        // The trailing quorum/staleness, wire and drift cells are empty for
         // in-process barrier rounds.
-        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,,,,,"));
+        assert!(r.to_csv_row().ends_with("11,22,33,44,110,,,,,,,,,,,,,,"));
     }
 
     #[test]
@@ -234,7 +257,7 @@ mod tests {
         r.max_staleness_in_quorum = Some(1);
         r.dropped_stale = Some(0);
         r.pending_carryover = Some(3);
-        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,,,,,"));
+        assert!(r.to_csv_row().ends_with("8,2,1,0,3,,,,,,,,,"));
     }
 
     /// Satellite: the wire columns trail everything (they only apply to
@@ -251,26 +274,43 @@ mod tests {
         r.wire_bytes = Some(81_920);
         r.raw_bytes = Some(327_680);
         r.arrival_nanos = Some(1_500_000);
-        assert!(r.to_csv_row().ends_with(",81920,327680,1500000,,,"));
+        assert!(r.to_csv_row().ends_with(",81920,327680,1500000,,,,,,"));
     }
 
-    /// Satellite: the churn columns close the row, in
+    /// Satellite: the churn columns follow the wire columns, in
     /// reconnects → degraded → checkpoint order, and serialise as plain
     /// integers on networked rounds.
     #[test]
-    fn churn_columns_close_the_header_and_serialise() {
+    fn churn_columns_trail_the_header_and_serialise() {
         let header = RoundRecord::csv_header();
         let arrival = header.find("arrival_nanos").unwrap();
         let reconnects = header.find("reconnects").unwrap();
         let degraded = header.find("degraded_rounds").unwrap();
         let checkpoint = header.find("checkpoint_bytes").unwrap();
         assert!(arrival < reconnects && reconnects < degraded && degraded < checkpoint);
-        assert!(header.ends_with("checkpoint_bytes"));
         let mut r = RoundRecord::new(4, 1.0, 0.1);
         r.reconnects = Some(1);
         r.degraded_rounds = Some(1);
         r.checkpoint_bytes = Some(4_096);
-        assert!(r.to_csv_row().ends_with(",1,1,4096"));
+        assert!(r.to_csv_row().ends_with(",1,1,4096,,,"));
+    }
+
+    /// The drift columns close the row, in distance → displacement → spread
+    /// order, and serialise as plain floats when an engine tracks them.
+    #[test]
+    fn drift_columns_close_the_header_and_serialise() {
+        let header = RoundRecord::csv_header();
+        let checkpoint = header.find("checkpoint_bytes").unwrap();
+        let dist = header.find("dist_to_honest_mean").unwrap();
+        let displacement = header.find("attacker_displacement").unwrap();
+        let spread = header.find("reputation_spread").unwrap();
+        assert!(checkpoint < dist && dist < displacement && displacement < spread);
+        assert!(header.ends_with("reputation_spread"));
+        let mut r = RoundRecord::new(5, 1.0, 0.1);
+        r.dist_to_honest_mean = Some(0.5);
+        r.attacker_displacement = Some(12.25);
+        r.reputation_spread = Some(0.75);
+        assert!(r.to_csv_row().ends_with(",0.5,12.25,0.75"));
     }
 
     #[test]

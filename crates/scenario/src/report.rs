@@ -89,6 +89,9 @@ impl ScenarioReport {
         if let Some(compression) = &spec.compression {
             entries.push(("compression", compression.to_string()));
         }
+        if let Some(displacement) = self.history.final_attacker_displacement() {
+            entries.push(("final_attacker_displacement", format!("{displacement:.6}")));
+        }
         entries
     }
 

@@ -599,7 +599,8 @@ impl ScenarioSpec {
         let arity = self.execution.aggregation_arity(cluster.workers());
         self.rule.build(arity, cluster.byzantine())?;
         self.attack.build(dim)?;
-        self.attack.validate_for_cluster(cluster.byzantine())?;
+        self.attack
+            .validate_for_cluster(cluster.honest(), cluster.byzantine())?;
         if let ExecutionSpec::Remote {
             round_timeout_secs,
             handshake_timeout_secs,

@@ -19,6 +19,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use krum_core::StatefulState;
 use krum_metrics::TrainingHistory;
 use krum_scenario::ScenarioSpec;
 use krum_tensor::Vector;
@@ -53,6 +54,11 @@ struct CheckpointState {
     spec: ScenarioSpec,
     history: TrainingHistory,
     wall_nanos: u128,
+    /// Cross-round memory of a stateful aggregation rule (reputation
+    /// weights, clip momentum); `None` for stateless rules. Restoring it is
+    /// what keeps a resumed reputation-weighted run bit-identical to an
+    /// uninterrupted one.
+    stateful_rule: Option<StatefulState>,
 }
 
 /// Everything a restarted server needs to continue a job where its
@@ -73,6 +79,8 @@ pub(crate) struct ResumeState {
     pub history: TrainingHistory,
     /// Wall-clock nanoseconds already accumulated before the restart.
     pub wall_nanos: u128,
+    /// Snapshotted cross-round memory of a stateful aggregation rule.
+    pub stateful_rule: Option<StatefulState>,
 }
 
 /// Writes one job snapshot atomically (`.tmp` + rename) and returns the
@@ -93,11 +101,13 @@ pub(crate) fn write_checkpoint(
     spec: &ScenarioSpec,
     history: &TrainingHistory,
     wall_nanos: u128,
+    stateful_rule: Option<StatefulState>,
 ) -> Result<u64, ServerError> {
     let state = CheckpointState {
         spec: spec.clone(),
         history: history.clone(),
         wall_nanos,
+        stateful_rule,
     };
     let state_json = serde_json::to_string(&state)
         .map_err(|e| ServerError::Checkpoint(format!("state serialisation failed: {e}")))?;
@@ -186,6 +196,7 @@ pub(crate) fn read_checkpoint(path: &Path) -> Result<ResumeState, ServerError> {
         spec: state.spec,
         history: state.history,
         wall_nanos: state.wall_nanos,
+        stateful_rule: state.stateful_rule,
     })
 }
 
@@ -265,8 +276,22 @@ mod tests {
             h.push(krum_metrics::RoundRecord::new(1, 0.5, 0.1));
             h
         };
-        let bytes =
-            write_checkpoint(&config, 0, 2, &params, &pending, &spec, &history, 42).unwrap();
+        let stateful = StatefulState {
+            reputation: vec![1.0, 0.25, f64::MIN_POSITIVE],
+            clip_center: vec![0.5; dim],
+        };
+        let bytes = write_checkpoint(
+            &config,
+            0,
+            2,
+            &params,
+            &pending,
+            &spec,
+            &history,
+            42,
+            Some(stateful.clone()),
+        )
+        .unwrap();
         assert_eq!(
             bytes,
             fs::metadata(config.path(0)).unwrap().len(),
@@ -283,6 +308,7 @@ mod tests {
         assert_eq!(resumed.spec, spec);
         assert_eq!(resumed.history.rounds.len(), 2);
         assert_eq!(resumed.wall_nanos, 42);
+        assert_eq!(resumed.stateful_rule, Some(stateful));
 
         assert_eq!(list_checkpoints(&dir).unwrap(), vec![(0, config.path(0))]);
         fs::remove_dir_all(&dir).unwrap();
@@ -300,7 +326,7 @@ mod tests {
         let params = Vector::zeros(dim);
         let mut history = krum_metrics::TrainingHistory::new("t", "krum", "none", 9, 2);
         history.push(krum_metrics::RoundRecord::new(0, 1.0, 0.1));
-        write_checkpoint(&config, 1, 1, &params, &[], &spec, &history, 0).unwrap();
+        write_checkpoint(&config, 1, 1, &params, &[], &spec, &history, 0, None).unwrap();
         let path = config.path(1);
 
         // Flip one byte: the CRC catches it, structurally.
@@ -315,7 +341,7 @@ mod tests {
 
         // Truncate it: torn writes do not resume.
         let good = {
-            write_checkpoint(&config, 1, 1, &params, &[], &spec, &history, 0).unwrap();
+            write_checkpoint(&config, 1, 1, &params, &[], &spec, &history, 0, None).unwrap();
             fs::read(&path).unwrap()
         };
         fs::write(&path, &good[..good.len() - 3]).unwrap();
@@ -327,7 +353,7 @@ mod tests {
         // A snapshot whose round count disagrees with its history is
         // rejected before any job starts.
         let empty = krum_metrics::TrainingHistory::new("t", "krum", "none", 9, 2);
-        write_checkpoint(&config, 1, 1, &params, &[], &spec, &empty, 0).unwrap();
+        write_checkpoint(&config, 1, 1, &params, &[], &spec, &empty, 0, None).unwrap();
         assert!(matches!(
             read_checkpoint(&path).unwrap_err(),
             ServerError::Checkpoint(_)
@@ -347,6 +373,7 @@ mod tests {
             &spec,
             &full,
             0,
+            None,
         )
         .unwrap();
         assert!(matches!(

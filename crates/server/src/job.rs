@@ -62,14 +62,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use krum_compress::GradientCodec;
-use krum_dist::{RoundCore, TrainingConfig};
+use krum_dist::{DriftTracker, RoundCore, TrainingConfig};
 use krum_metrics::{RoundRecord, TrainingHistory};
 use krum_models::GradientEstimator;
 use krum_scenario::{
     CrashPolicy, ExecutionSpec, InitSpec, RemoteTimeouts, ScenarioReport, ScenarioSpec,
 };
 use krum_tensor::Vector;
-use krum_wire::{write_frame, CarryOver, Frame, WireError};
+use krum_wire::{write_frame, CarryOver, Frame, SelectedWorker, WireError};
 
 use crate::checkpoint::{self, CheckpointConfig, ResumeState};
 use crate::error::ServerError;
@@ -355,6 +355,19 @@ fn drive_job(
              wire; run it in-process"
         )));
     }
+    // Top-level stateful rules snapshot through the checkpoint sidecar, but
+    // a stateful rule buried inside a hierarchical stage keeps its memory in
+    // per-group contexts the snapshot cannot reach; refuse up front instead
+    // of resuming a silently reset trajectory.
+    if (runtime.checkpoint.is_some() || runtime.resume.is_some())
+        && spec.rule.hierarchical_stateful()
+    {
+        return Err(ServerError::Checkpoint(format!(
+            "job {id}: a stateful rule inside a hierarchical stage keeps \
+             per-group memory that checkpoints cannot capture; use the \
+             top-level form of the rule or disable checkpointing"
+        )));
+    }
     let cluster = spec.cluster;
     let n = cluster.workers();
     let honest = cluster.honest();
@@ -446,6 +459,10 @@ fn drive_job(
                     vector: Vector::from(c.proposal.clone()),
                 })
                 .collect();
+            // Reinstall the stateful-rule memory (reputation weights, clip
+            // anchor) so the resumed rounds weigh workers exactly as the
+            // uninterrupted run would have.
+            core.import_stateful_state(resume.stateful_rule.clone());
             (
                 resume.start_round as usize,
                 resume.params.clone(),
@@ -483,6 +500,16 @@ fn drive_job(
     };
 
     let mut alive = vec![true; conns.len()];
+    // Drift columns continue a resumed series exactly: the tracker restarts
+    // from the last recorded cumulative displacement (0 for a fresh run or
+    // when no Byzantine round has closed yet).
+    let mut drift = DriftTracker::resume(
+        history
+            .rounds
+            .last()
+            .and_then(|r| r.attacker_displacement)
+            .unwrap_or(0.0),
+    );
     let wall_start = Instant::now();
     for round in start_round..spec.rounds {
         let record = serve_round(
@@ -498,6 +525,7 @@ fn drive_job(
             &mut pending,
             &policy,
             codec.as_deref(),
+            &mut drift,
         )?;
         history.push(record);
         let halting = runtime.halt_after_round == Some(round as u64);
@@ -520,6 +548,7 @@ fn drive_job(
                     spec,
                     &history,
                     wall_before + wall_start.elapsed().as_nanos(),
+                    core.export_stateful_state(),
                 )?;
                 if let Some(last) = history.rounds.last_mut() {
                     last.checkpoint_bytes = Some(bytes);
@@ -577,6 +606,7 @@ fn serve_round(
     pending: &mut Vec<Pending>,
     policy: &ClosePolicy,
     codec: Option<&dyn GradientCodec>,
+    drift: &mut DriftTracker,
 ) -> Result<RoundRecord, ServerError> {
     let cluster = spec.cluster;
     let n = cluster.workers();
@@ -1085,7 +1115,12 @@ fn serve_round(
         .iter()
         .map(|s| (s.worker, s.issued_round))
         .collect();
+    let worker_ids: Vec<usize> = meta.iter().map(|&(w, _)| w).collect();
     let vectors: Vec<Vector> = selected.into_iter().map(|s| s.vector).collect();
+
+    // Stateful rules key their memory by worker, not by proposal slot:
+    // declare who is behind each slot before the core closes the round.
+    core.set_slot_workers(&worker_ids);
 
     // Aggregate → step → record through the shared core. A crash-degraded
     // round closes through the same rule rebuilt at the surviving arity
@@ -1100,6 +1135,17 @@ fn serve_round(
     };
     record.selected_worker = record.selected_worker.map(|slot| meta[slot].0);
     record.selected_byzantine = record.selected_worker.map(|w| w >= honest);
+    // Drift columns from the exact quorum the rule saw — the same
+    // arithmetic the in-process engines run, so loopback histories match.
+    let learning_rate = record.learning_rate;
+    drift.observe(
+        &mut record,
+        core.last_aggregate(),
+        &vectors,
+        &worker_ids,
+        honest,
+        learning_rate,
+    );
     record.propose_nanos = propose_nanos;
     record.attack_nanos = attack_nanos;
     if policy.record_quorum {
@@ -1112,6 +1158,39 @@ fn serve_round(
     record.arrival_nanos = Some(arrival_nanos);
     record.reconnects = Some(reconnects);
     record.degraded_rounds = Some(u64::from(degraded));
+
+    // A stateful adversary observes what the server accepted — the same
+    // feedback the in-process engines hand to `Attack::observe`, as bytes on
+    // the wire, so the remote attack adapts identically to the in-process
+    // one. Stateless attacks hear nothing (the frame never fires), keeping
+    // their traffic byte-identical to earlier protocol revisions.
+    if f > 0 && spec.attack.stateful() && alive[adversary] {
+        let feedback = Frame::RoundFeedback {
+            job: id,
+            round: round as u64,
+            aggregate: core.last_aggregate().as_slice().to_vec(),
+            learning_rate: record.learning_rate,
+            selected: record.selected_worker.map(|w| SelectedWorker {
+                worker: w as u32,
+                byzantine: record.selected_byzantine.unwrap_or(w >= honest),
+            }),
+            quorum: worker_ids.iter().map(|&w| w as u32).collect(),
+        };
+        match write_frame(&mut conns[adversary].stream, &feedback) {
+            Ok(b) => {
+                wire_bytes += b as u64;
+                raw_bytes += b as u64;
+            }
+            Err(e) => crash(
+                on_crash,
+                alive,
+                conns,
+                adversary as u32,
+                round,
+                &format!("round-feedback failed: {e}"),
+            )?,
+        }
+    }
 
     // Close the round towards the live workers (a dead one hears the next
     // broadcast after it rejoins).

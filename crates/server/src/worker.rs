@@ -38,7 +38,7 @@
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use krum_attacks::{Attack, AttackContext};
+use krum_attacks::{Attack, AttackContext, RoundFeedback};
 use krum_compress::GradientCodec;
 use krum_dist::{stream_rng, ATTACK_STREAM};
 use krum_models::GradientEstimator;
@@ -427,6 +427,38 @@ impl WorkerSession {
                     }
                 }
                 Frame::RoundClosed { .. } => {}
+                Frame::RoundFeedback {
+                    job: j,
+                    round,
+                    aggregate,
+                    learning_rate,
+                    selected,
+                    quorum,
+                } => {
+                    if j != self.job {
+                        return Err(ServerError::protocol(format!(
+                            "round-feedback for foreign job {j} (serving job {})",
+                            self.job
+                        )));
+                    }
+                    // The server only addresses feedback to the adversary
+                    // connection of a stateful attack; anyone else hearing
+                    // it means the server is confused about roles.
+                    let Role::Adversary { attack, .. } = &mut self.role else {
+                        return Err(ServerError::protocol(
+                            "round-feedback sent to an honest worker".to_string(),
+                        ));
+                    };
+                    let feedback = RoundFeedback {
+                        round: round as usize,
+                        aggregate: Vector::from(aggregate),
+                        learning_rate,
+                        selected_worker: selected.map(|s| s.worker as usize),
+                        selected_byzantine: selected.map(|s| s.byzantine),
+                        quorum_workers: quorum.into_iter().map(|w| w as usize).collect(),
+                    };
+                    attack.observe(&feedback);
+                }
                 Frame::Aggregate { params, .. } => {
                     final_params = Some(Vector::from(params));
                 }
@@ -504,6 +536,17 @@ impl WorkerSession {
         match &mut self.role {
             Role::Honest { estimator, rng } => {
                 let _ = estimator.estimate(params, rng)?;
+            }
+            // Dummy replay restores an RNG cursor, but a stateful attack's
+            // memory is built from the *real* round feedback it observed —
+            // feedback the server no longer has. Refuse instead of silently
+            // forging from reset state.
+            Role::Adversary { attack, .. } if attack.stateful() => {
+                return Err(ServerError::protocol(
+                    "a stateful attack cannot fast-forward skipped rounds: \
+                     the round feedback it missed cannot be replayed"
+                        .to_string(),
+                ));
             }
             Role::Adversary {
                 attack,
@@ -603,6 +646,16 @@ impl WorkerSession {
     fn rejoin(&mut self, original: ServerError) -> Result<RejoinOutcome, ServerError> {
         if self.retries == 0 {
             return Err(original);
+        }
+        // A stateful attack adapts to feedback frames it may have missed
+        // while the socket was down; no replay can restore that history, so
+        // the adversary session fails fast instead of rejoining with a
+        // diverged attack state.
+        if matches!(&self.role, Role::Adversary { attack, .. } if attack.stateful()) {
+            return Err(ServerError::protocol(format!(
+                "a stateful attack cannot rejoin: feedback observed while \
+                 disconnected cannot be replayed (disconnect: {original})"
+            )));
         }
         let mut last = original;
         for attempt in 1..=self.retries {

@@ -89,6 +89,7 @@ pub const FRAME_NAMES: &[&str] = &[
     "checkpoint",
     "broadcast-compressed",
     "propose-compressed",
+    "round-feedback",
 ];
 
 /// Errors raised while encoding, decoding or transporting frames.
@@ -138,6 +139,14 @@ pub enum WireError {
     /// A string field was not valid UTF-8.
     #[error("string field is not valid UTF-8")]
     BadUtf8,
+    /// An enum-coded byte field held a value outside its legal range.
+    #[error("field `{field}` holds invalid discriminant {value}")]
+    BadEnum {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The byte the payload carried.
+        value: u8,
+    },
     /// The peer speaks a different protocol version.
     #[error("protocol version mismatch: peer speaks v{got}, this build speaks v{expected}")]
     VersionMismatch {
@@ -197,6 +206,7 @@ pub fn checksum(bytes: &[u8]) -> u32 {
 /// | [`Checkpoint`](Frame::Checkpoint) | server → disk | serialized job snapshot (also the on-disk checkpoint format) |
 /// | [`BroadcastC`](Frame::BroadcastC) | server → worker | v2 only: codec-compressed round parameters and observation relay |
 /// | [`ProposeC`](Frame::ProposeC) | worker → server | v2 only: one codec-compressed gradient proposal |
+/// | [`RoundFeedback`](Frame::RoundFeedback) | server → adversary | what a stateful attack observes after a round closes |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client handshake: protocol version and a free-form agent label.
@@ -356,6 +366,44 @@ pub enum Frame {
         /// round's params as reference).
         proposal: Vec<u8>,
     },
+    /// What a *stateful* adversary observes after a round closes: the
+    /// accepted aggregate, the applied learning rate, the selection outcome
+    /// and the quorum roster — the wire twin of the in-process
+    /// `RoundFeedback` the engines feed to `Attack::observe`, sent only to
+    /// the adversary connection and only when the job's attack is stateful.
+    /// Keeping the relayed fields identical to the in-process struct is
+    /// what preserves loopback-equals-in-process for adaptive attacks.
+    ///
+    /// No [`PROTOCOL_VERSION`] bump: a job whose attack is stateful cannot
+    /// be parsed by an older build in the first place (the attack spec
+    /// grammar rejects it at `JobAssign` time), so no v2 peer can ever
+    /// receive this frame unexpectedly.
+    RoundFeedback {
+        /// Job identifier.
+        job: u64,
+        /// The round that just closed.
+        round: u64,
+        /// The aggregate `F(V_1, …, V_n)` the server accepted.
+        aggregate: Vec<f64>,
+        /// Learning rate `γ_t` applied this round.
+        learning_rate: f64,
+        /// Worker whose proposal a selection rule picked, with its
+        /// Byzantine attribution (`None` for mixing rules).
+        selected: Option<SelectedWorker>,
+        /// Workers whose proposals formed the round's quorum, in
+        /// aggregation order.
+        quorum: Vec<u32>,
+    },
+}
+
+/// Selection outcome inside a [`Frame::RoundFeedback`]: which worker a
+/// selection rule picked and whether that worker was Byzantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectedWorker {
+    /// The selected worker slot.
+    pub worker: u32,
+    /// Whether the selected worker was Byzantine.
+    pub byzantine: bool,
 }
 
 /// One carried-over proposal inside a [`Frame::Checkpoint`]: a straggler
@@ -388,6 +436,7 @@ impl Frame {
             Self::Checkpoint { .. } => 11,
             Self::BroadcastC { .. } => 12,
             Self::ProposeC { .. } => 13,
+            Self::RoundFeedback { .. } => 14,
         }
     }
 
@@ -521,6 +570,33 @@ impl Frame {
                 put_u64(out, *round);
                 put_u32(out, *worker);
                 put_blob(out, proposal);
+            }
+            Self::RoundFeedback {
+                job,
+                round,
+                aggregate,
+                learning_rate,
+                selected,
+                quorum,
+            } => {
+                put_u64(out, *job);
+                put_u64(out, *round);
+                put_vec(out, aggregate);
+                put_f64(out, *learning_rate);
+                // Selection as one discriminant byte: 0 = none, 1 = honest
+                // worker selected, 2 = Byzantine worker selected; the
+                // worker slot follows only when a selection exists.
+                match selected {
+                    None => out.push(0),
+                    Some(s) => {
+                        out.push(if s.byzantine { 2 } else { 1 });
+                        put_u32(out, s.worker);
+                    }
+                }
+                put_u32(out, quorum.len() as u32);
+                for &worker in quorum {
+                    put_u32(out, worker);
+                }
             }
         }
     }
@@ -673,6 +749,47 @@ impl Frame {
                 worker: r.u32()?,
                 proposal: r.blob()?,
             },
+            14 => {
+                let job = r.u64()?;
+                let round = r.u64()?;
+                let aggregate = r.vec_f64()?;
+                let learning_rate = r.f64()?;
+                let selected = match r.u8()? {
+                    0 => None,
+                    tag @ (1 | 2) => Some(SelectedWorker {
+                        worker: r.u32()?,
+                        byzantine: tag == 2,
+                    }),
+                    value => {
+                        return Err(WireError::BadEnum {
+                            field: "selected",
+                            value,
+                        })
+                    }
+                };
+                let count = r.u32()? as usize;
+                // The count is attacker-controlled: each entry is 4 bytes,
+                // so the remaining payload bounds the allocation.
+                let available = r.remaining() / 4;
+                if count > available {
+                    return Err(WireError::Truncated {
+                        needed: (count - available).saturating_mul(4),
+                        offset: r.position(),
+                    });
+                }
+                let mut quorum = Vec::with_capacity(count);
+                for _ in 0..count {
+                    quorum.push(r.u32()?);
+                }
+                Self::RoundFeedback {
+                    job,
+                    round,
+                    aggregate,
+                    learning_rate,
+                    selected,
+                    quorum,
+                }
+            }
             other => return Err(WireError::UnknownTag(other)),
         };
         r.finish()?;
@@ -990,6 +1107,25 @@ mod tests {
                 worker: 2,
                 proposal: vec![0xDE, 0xAD, 0xBE, 0xEF],
             },
+            Frame::RoundFeedback {
+                job: 3,
+                round: 9,
+                aggregate: vec![0.25, -1.5, f64::NAN],
+                learning_rate: 0.05,
+                selected: Some(SelectedWorker {
+                    worker: 7,
+                    byzantine: true,
+                }),
+                quorum: vec![0, 1, 2, 7],
+            },
+            Frame::RoundFeedback {
+                job: 3,
+                round: 10,
+                aggregate: vec![],
+                learning_rate: 0.05,
+                selected: None,
+                quorum: vec![],
+            },
         ]
     }
 
@@ -1135,7 +1271,40 @@ mod tests {
         for frame in frames() {
             assert_eq!(FRAME_NAMES[(frame.tag() - 1) as usize], frame.name());
         }
-        assert_eq!(FRAME_NAMES.len(), 13);
+        assert_eq!(FRAME_NAMES.len(), 14);
+    }
+
+    /// A feedback frame with an out-of-range selection discriminant or a
+    /// lying quorum count is a structured error, never a panic or an
+    /// unbounded allocation.
+    #[test]
+    fn round_feedback_rejects_bad_discriminants_and_lying_counts() {
+        let mut payload = Vec::new();
+        payload.push(14u8); // RoundFeedback
+        put_u64(&mut payload, 1); // job
+        put_u64(&mut payload, 2); // round
+        put_vec(&mut payload, &[1.0]); // aggregate
+        put_f64(&mut payload, 0.1); // learning rate
+        payload.push(3); // selection discriminant: a lie
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::BadEnum {
+                field: "selected",
+                value: 3
+            })
+        ));
+        let mut payload = Vec::new();
+        payload.push(14u8);
+        put_u64(&mut payload, 1);
+        put_u64(&mut payload, 2);
+        put_vec(&mut payload, &[1.0]);
+        put_f64(&mut payload, 0.1);
+        payload.push(0); // no selection
+        put_u32(&mut payload, u32::MAX); // quorum count: a lie
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     /// A compressed broadcast whose blob length lies about the remaining

@@ -3,7 +3,8 @@
 //! input comes back as a structured [`WireError`] — never a panic.
 
 use krum_wire::{
-    read_frame, write_frame, CarryOver, Frame, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    read_frame, write_frame, CarryOver, Frame, SelectedWorker, WireError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -45,7 +46,7 @@ fn blob(len: usize, salt: u64) -> Vec<u8> {
 /// One frame of each kind, sized and salted by the inputs — covers every
 /// variant across the proptest cases.
 fn frame(kind: usize, len: usize, salt: u64) -> Frame {
-    match kind % 13 {
+    match kind % 14 {
         0 => Frame::Hello {
             version: (salt % u64::from(u16::MAX)) as u16,
             agent: label(salt, len % 32),
@@ -112,6 +113,20 @@ fn frame(kind: usize, len: usize, salt: u64) -> Frame {
             worker: (salt % 64) as u32,
             proposal: blob(len, salt),
         },
+        13 => Frame::RoundFeedback {
+            job: salt,
+            round: salt % 10_000,
+            aggregate: payload(len, salt),
+            learning_rate: f64::from_bits(salt),
+            selected: match salt % 3 {
+                0 => None,
+                s => Some(SelectedWorker {
+                    worker: (salt % 64) as u32,
+                    byzantine: s == 2,
+                }),
+            },
+            quorum: (0..(salt % 9)).map(|w| w as u32).collect(),
+        },
         _ => Frame::Checkpoint {
             job: salt,
             round: salt % 10_000,
@@ -134,7 +149,7 @@ proptest! {
     /// Arbitrary payloads of every frame kind round-trip bit-exactly
     /// (encoded-bytes equality tolerates NaN, which `PartialEq` would not).
     #[test]
-    fn frames_round_trip_bit_exactly(kind in 0usize..13, len in 0usize..2048, salt in 0u64..u64::MAX) {
+    fn frames_round_trip_bit_exactly(kind in 0usize..14, len in 0usize..2048, salt in 0u64..u64::MAX) {
         let original = frame(kind, len, salt);
         let bytes = original.encode();
         prop_assert!(bytes.len() <= MAX_FRAME_BYTES + 8);
@@ -149,7 +164,7 @@ proptest! {
     /// Any single flipped byte is a structured error, never a panic and
     /// never a silently different frame.
     #[test]
-    fn corrupt_frames_are_structured_errors(kind in 0usize..13, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
+    fn corrupt_frames_are_structured_errors(kind in 0usize..14, len in 0usize..256, salt in 0u64..u64::MAX, flip in 0usize..10_000) {
         let original = frame(kind, len, salt);
         let mut bytes = original.encode();
         let at = flip % bytes.len();
@@ -160,7 +175,7 @@ proptest! {
 
     /// Every strict prefix of a frame is a structured error, never a panic.
     #[test]
-    fn truncated_frames_are_structured_errors(kind in 0usize..13, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
+    fn truncated_frames_are_structured_errors(kind in 0usize..14, len in 0usize..256, salt in 0u64..u64::MAX, cut in 0usize..10_000) {
         let original = frame(kind, len, salt);
         let bytes = original.encode();
         let at = cut % bytes.len();
